@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 9: coverage of total execution time by the top three
+ * phases from k-means with k = 5. The paper notes that even with
+ * more than 3 clusters, the top 3 still dominate.
+ */
+
+#include <cstdio>
+
+#include "analyzer/analyzer.hh"
+#include "bench/common.hh"
+
+using namespace tpupoint;
+
+int
+main()
+{
+    benchutil::banner("Figure 9: top-3 phase coverage, k-means "
+                      "(k = 5)",
+                      "Figure 9 + Observation 2");
+
+    std::printf("%-16s %8s %10s\n", "Workload", "clusters",
+                "top3");
+    for (const WorkloadId id : allWorkloads()) {
+        const RuntimeWorkload w = benchutil::buildScaled(id);
+        const auto run =
+            benchutil::profiledRun(w, TpuGeneration::V2);
+
+        AnalyzerOptions options;
+        options.algorithm = PhaseAlgorithm::KMeans;
+        options.kmeans_fixed_k = 5;
+        const AnalysisResult analysis =
+            TpuPointAnalyzer(options).analyze(run.records);
+
+        std::printf("%-16s %8zu %9.1f%%\n", workloadName(id),
+                    analysis.phases.size(),
+                    100 * analysis.top3_coverage);
+    }
+    std::printf("\nPaper: with k = 5 the top 3 clusters still "
+                "dominate total execution time.\n");
+    return 0;
+}

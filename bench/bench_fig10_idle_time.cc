@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 10: TPU idle time across workloads for TPUv2 and TPUv3.
+ * Paper averages: 38.90% idle on TPUv2, 43.53% on TPUv3
+ * (Observations 3 and 5).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+using namespace tpupoint;
+
+int
+main()
+{
+    benchutil::banner("Figure 10: TPU idle time, TPUv2 vs TPUv3",
+                      "Figure 10 + Observations 3 and 5");
+
+    std::printf("%-16s %10s %10s\n", "Workload", "TPUv2",
+                "TPUv3");
+    double sum_v2 = 0, sum_v3 = 0;
+    int count = 0;
+    for (const WorkloadId id : allWorkloads()) {
+        const RuntimeWorkload w = benchutil::buildScaled(id);
+        const SessionResult v2 =
+            benchutil::plainRun(w, TpuGeneration::V2);
+        const SessionResult v3 =
+            benchutil::plainRun(w, TpuGeneration::V3);
+        std::printf("%-16s %9.2f%% %9.2f%%\n", workloadName(id),
+                    100 * v2.tpu_idle_fraction,
+                    100 * v3.tpu_idle_fraction);
+        sum_v2 += v2.tpu_idle_fraction;
+        sum_v3 += v3.tpu_idle_fraction;
+        ++count;
+    }
+    std::printf("%-16s %9.2f%% %9.2f%%\n", "Average",
+                100 * sum_v2 / count, 100 * sum_v3 / count);
+    std::printf("\nPaper averages: 38.90%% (TPUv2), 43.53%% "
+                "(TPUv3) — idle grows on the faster part.\n");
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 11: MXU utilization across workloads for TPUv2 and TPUv3.
+ * Paper averages: 22.72% on TPUv2 dropping to 11.34% on TPUv3 —
+ * doubling the matrix units roughly halves their utilization when
+ * the feed rate stays fixed (Observation 5).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+using namespace tpupoint;
+
+int
+main()
+{
+    benchutil::banner("Figure 11: MXU utilization, TPUv2 vs TPUv3",
+                      "Figure 11 + Observation 5");
+
+    std::printf("%-16s %10s %10s\n", "Workload", "TPUv2",
+                "TPUv3");
+    double sum_v2 = 0, sum_v3 = 0;
+    int count = 0;
+    for (const WorkloadId id : allWorkloads()) {
+        const RuntimeWorkload w = benchutil::buildScaled(id);
+        const SessionResult v2 =
+            benchutil::plainRun(w, TpuGeneration::V2);
+        const SessionResult v3 =
+            benchutil::plainRun(w, TpuGeneration::V3);
+        std::printf("%-16s %9.2f%% %9.2f%%\n", workloadName(id),
+                    100 * v2.mxu_utilization,
+                    100 * v3.mxu_utilization);
+        sum_v2 += v2.mxu_utilization;
+        sum_v3 += v3.mxu_utilization;
+        ++count;
+    }
+    std::printf("%-16s %9.2f%% %9.2f%%\n", "Average",
+                100 * sum_v2 / count, 100 * sum_v3 / count);
+    std::printf("\nPaper averages: 22.72%% (TPUv2), 11.34%% "
+                "(TPUv3).\n");
+    return 0;
+}

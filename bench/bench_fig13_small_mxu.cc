@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 13: MXU utilization for QANet, RetinaNet and ResNet with
+ * reduced datasets. All models lose MXU utilization; ResNet on
+ * CIFAR-10 collapses furthest from its ImageNet numbers
+ * (Observation 6).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+using namespace tpupoint;
+
+int
+main()
+{
+    benchutil::banner("Figure 13: MXU utilization with reduced "
+                      "datasets",
+                      "Figure 13 + Observation 6");
+
+    const std::pair<WorkloadId, WorkloadId> pairs[] = {
+        {WorkloadId::QanetSquad, WorkloadId::QanetSquadHalf},
+        {WorkloadId::RetinanetCoco,
+         WorkloadId::RetinanetCocoHalf},
+        {WorkloadId::ResnetImagenet, WorkloadId::ResnetCifar10},
+    };
+
+    std::printf("%-18s %12s %12s %12s %12s\n", "Workload",
+                "v2 full", "v2 reduced", "v3 full", "v3 reduced");
+    for (const auto &[full_id, reduced_id] : pairs) {
+        const RuntimeWorkload full =
+            benchutil::buildScaled(full_id);
+        const RuntimeWorkload reduced =
+            benchutil::buildScaled(reduced_id);
+        const double v2_full = benchutil::plainRun(
+            full, TpuGeneration::V2).mxu_utilization;
+        const double v2_small = benchutil::plainRun(
+            reduced, TpuGeneration::V2).mxu_utilization;
+        const double v3_full = benchutil::plainRun(
+            full, TpuGeneration::V3).mxu_utilization;
+        const double v3_small = benchutil::plainRun(
+            reduced, TpuGeneration::V3).mxu_utilization;
+        std::printf("%-18s %11.2f%% %11.2f%% %11.2f%% %11.2f%%\n",
+                    workloadName(reduced_id), 100 * v2_full,
+                    100 * v2_small, 100 * v3_full,
+                    100 * v3_small);
+    }
+    std::printf("\nPaper: all models lose MXU utilization on the "
+                "reduced datasets (Observation 6).\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 14: TPUPoint-Optimizer speedups on TPUv2 for the
+ * workloads that originally ran twenty minutes or longer (QANet
+ * and RetinaNet in the paper's figure; ResNet also qualifies and
+ * is included here). Runs use the library defaults as the
+ * "default parameters"; the paper reports ~1.12x average speedup.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "optimizer/optimizer.hh"
+
+using namespace tpupoint;
+
+int
+main()
+{
+    benchutil::banner("Figure 14: TPUPoint-Optimizer speedups "
+                      "(TPUv2, default parameters)",
+                      "Figure 14 + Section VII-C");
+
+    // The paper's figure shows the two workloads that ran twenty
+    // minutes or more under its methodology; ResNet is reported
+    // separately below.
+    const WorkloadId long_running[] = {
+        WorkloadId::QanetSquad, WorkloadId::RetinanetCoco};
+
+    std::printf("%-16s %12s %12s %9s %s\n", "Workload",
+                "baseline", "optimized", "speedup",
+                "tuned configuration");
+    double product = 1.0;
+    int count = 0;
+    for (const WorkloadId id : long_running) {
+        const RuntimeWorkload w = benchutil::buildScaled(id);
+        SessionConfig config;
+        config.device = TpuDeviceSpec::v2();
+        const OptimizationOutcome outcome =
+            runOptimizationExperiment(w, config);
+        // Runs are step-scaled; charge the optimizer's fixed
+        // post-processing at the same scale so the >=20-minute
+        // semantics of the paper's figure are preserved.
+        const SimTime post = outcome.optimized_wall_with_post -
+            outcome.optimized.wall_time;
+        const double scale = benchutil::workloadScale(id);
+        const SimTime wall = outcome.optimized.wall_time +
+            static_cast<SimTime>(static_cast<double>(post) *
+                                 scale);
+        const double speedup =
+            static_cast<double>(outcome.baseline.wall_time) /
+            static_cast<double>(wall);
+        std::printf("%-16s %11.1fs %11.1fs %8.2fx %s\n",
+                    workloadName(id),
+                    toSeconds(outcome.baseline.wall_time),
+                    toSeconds(wall), speedup,
+                    outcome.tuned_config.toString().c_str());
+        product *= speedup;
+        ++count;
+    }
+    const double geomean =
+        count ? std::pow(product, 1.0 / count) : 1.0;
+    std::printf("%-16s %37.2fx\n", "Geomean", geomean);
+
+    // ResNet-ImageNet also exceeds twenty minutes at full scale;
+    // the paper's figure omits it, so it is shown separately.
+    {
+        const RuntimeWorkload w =
+            benchutil::buildScaled(WorkloadId::ResnetImagenet);
+        SessionConfig config;
+        config.device = TpuDeviceSpec::v2();
+        const OptimizationOutcome outcome =
+            runOptimizationExperiment(w, config);
+        const SimTime post = outcome.optimized_wall_with_post -
+            outcome.optimized.wall_time;
+        const double scale =
+            benchutil::workloadScale(WorkloadId::ResnetImagenet);
+        const SimTime wall = outcome.optimized.wall_time +
+            static_cast<SimTime>(static_cast<double>(post) *
+                                 scale);
+        std::printf("%-16s %11.1fs %11.1fs %8.2fx %s  "
+                    "(not in the paper's figure)\n",
+                    "ResNet-ImageNet",
+                    toSeconds(outcome.baseline.wall_time),
+                    toSeconds(wall),
+                    static_cast<double>(
+                        outcome.baseline.wall_time) /
+                        static_cast<double>(wall),
+                    outcome.tuned_config.toString().c_str());
+    }
+    std::printf("\nPaper: ~1.12x average speedup over default "
+                "parameters on TPUv2 for >=20-minute workloads.\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table I: workload breakdown and specifications — models, datasets,
+ * dataset sizes and default training parameters, as instantiated by
+ * the workload catalog.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "core/strings.hh"
+
+using namespace tpupoint;
+
+int
+main()
+{
+    benchutil::banner("Table I: workload breakdown and "
+                      "specifications",
+                      "Table I (Section V, Experimental "
+                      "Methodology)");
+
+    std::printf("%-18s %-12s %10s %12s %8s %12s %11s %9s\n",
+                "Workload", "Dataset", "Size", "Examples",
+                "Batch", "TrainSteps", "Eval/Steps", "ParamsM");
+    for (const WorkloadId id : allWorkloads()) {
+        const RuntimeWorkload w = makeWorkload(id);
+        std::printf("%-18s %-12s %10s %12llu %8llu %12llu "
+                    "%5llu/%-5llu %9.1f\n",
+                    workloadName(id), w.dataset.name.c_str(),
+                    formatBytes(w.dataset.total_bytes).c_str(),
+                    static_cast<unsigned long long>(
+                        w.dataset.num_examples),
+                    static_cast<unsigned long long>(w.batch_size),
+                    static_cast<unsigned long long>(
+                        w.schedule.train_steps),
+                    static_cast<unsigned long long>(
+                        w.schedule.steps_per_eval),
+                    static_cast<unsigned long long>(
+                        w.schedule.eval_steps),
+                    static_cast<double>(w.model_bytes) / 4e6);
+    }
+
+    std::printf("\nReduced-dataset variants (Section VI-C):\n");
+    for (const WorkloadId id : reducedWorkloads()) {
+        const RuntimeWorkload w = makeWorkload(id);
+        std::printf("%-18s %-12s %10s %12llu\n", workloadName(id),
+                    w.dataset.name.c_str(),
+                    formatBytes(w.dataset.total_bytes).c_str(),
+                    static_cast<unsigned long long>(
+                        w.dataset.num_examples));
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure/per-table benchmark binaries:
+ * scaled workload construction, profiled platform runs and tabular
+ * output helpers.
+ *
+ * Step-count scaling: the paper's full training runs span hours of
+ * TPU time (ResNet: 112,590 steps). Every bench replays each
+ * workload with all cadences (train/eval/checkpoint) scaled
+ * together, which preserves phase structure, operator mix and
+ * utilization while keeping each binary's runtime in seconds. The
+ * scale used per workload is printed with every table.
+ */
+
+#ifndef TPUPOINT_BENCH_COMMON_HH
+#define TPUPOINT_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "host/pipeline.hh"
+#include "proto/record.hh"
+#include "runtime/session.hh"
+#include "tpu/spec.hh"
+#include "workloads/catalog.hh"
+
+namespace tpupoint {
+namespace benchutil {
+
+/** Simulation scale for one workload (fraction of real steps). */
+double workloadScale(WorkloadId id);
+
+/** Build the workload at its bench scale. */
+RuntimeWorkload buildScaled(WorkloadId id);
+
+/** Everything one profiled platform run produces. */
+struct RunOutput
+{
+    SessionResult result;
+    std::vector<ProfileRecord> records;
+    std::vector<CheckpointInfo> checkpoints;
+};
+
+/** Run @p workload once with TPUPoint-Profiler attached. */
+RunOutput profiledRun(const RuntimeWorkload &workload,
+                      TpuGeneration generation,
+                      const PipelineConfig &pipeline =
+                          PipelineConfig{});
+
+/** Run without the profiler (platform metrics only). */
+SessionResult plainRun(const RuntimeWorkload &workload,
+                       TpuGeneration generation,
+                       const PipelineConfig &pipeline =
+                           PipelineConfig{});
+
+/** Print the standard bench banner. */
+void banner(const std::string &title,
+            const std::string &paper_reference);
+
+/** Print one row of right-aligned columns. */
+void row(const std::vector<std::string> &cells,
+         const std::vector<int> &widths);
+
+} // namespace benchutil
+} // namespace tpupoint
+
+#endif // TPUPOINT_BENCH_COMMON_HH

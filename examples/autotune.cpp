@@ -1,0 +1,68 @@
+/**
+ * @file
+ * TPUPoint-Optimizer in action: take a naively written input
+ * pipeline (single-threaded reads and preprocessing, no prefetch,
+ * unfused map/batch) for RetinaNet-COCO and let the optimizer tune
+ * it online — program analysis, critical-phase detection, and
+ * hill-climbing over the adjustable parameters, with the full
+ * decision log printed (Section VII).
+ */
+
+#include <cstdio>
+
+#include "core/strings.hh"
+#include "optimizer/optimizer.hh"
+#include "workloads/catalog.hh"
+
+using namespace tpupoint;
+
+int
+main()
+{
+    WorkloadOptions options;
+    options.step_scale = 0.03;
+    options.max_train_steps = 700;
+    const RuntimeWorkload workload =
+        makeWorkload(WorkloadId::RetinanetCoco, options);
+
+    SessionConfig config;
+    config.device = TpuDeviceSpec::v2();
+    config.pipeline = PipelineConfig::naive();
+
+    std::printf("workload: %s on %s\n", workload.name.c_str(),
+                config.device.name.c_str());
+    std::printf("naive pipeline: %s\n\n",
+                config.pipeline.toString().c_str());
+
+    const OptimizationOutcome outcome =
+        runOptimizationExperiment(workload, config);
+
+    std::printf("program analysis found %zu adjustable "
+                "parameters\n",
+                outcome.tuner_report.log.empty() ? 0u
+                    : allTunableParams().size());
+    std::printf("\ntuning log:\n");
+    for (const auto &line : outcome.tuner_report.log)
+        std::printf("  %s\n", line.c_str());
+
+    std::printf("\n%-22s %14s %14s\n", "", "naive", "optimized");
+    std::printf("%-22s %14s %14s\n", "wall time",
+                formatDuration(outcome.baseline.wall_time).c_str(),
+                formatDuration(
+                    outcome.optimized.wall_time).c_str());
+    std::printf("%-22s %13.1f%% %13.1f%%\n", "TPU idle",
+                100 * outcome.baseline.tpu_idle_fraction,
+                100 * outcome.optimized.tpu_idle_fraction);
+    std::printf("%-22s %13.1f%% %13.1f%%\n", "MXU utilization",
+                100 * outcome.baseline.mxu_utilization,
+                100 * outcome.optimized.mxu_utilization);
+    std::printf("%-22s %14s %14s\n", "config",
+                outcome.initial_config.toString().c_str(),
+                outcome.tuned_config.toString().c_str());
+    std::printf("\nspeedup (including optimizer post-processing): "
+                "%.2fx\n",
+                outcome.speedup());
+    std::printf("output quality unchanged: %s\n",
+                outcome.output_quality_ok ? "yes" : "NO");
+    return 0;
+}

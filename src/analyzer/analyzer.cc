@@ -1,0 +1,125 @@
+#include "analyzer/analyzer.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+const char *
+phaseAlgorithmName(PhaseAlgorithm algorithm)
+{
+    switch (algorithm) {
+      case PhaseAlgorithm::KMeans: return "k-means";
+      case PhaseAlgorithm::Dbscan: return "DBSCAN";
+      case PhaseAlgorithm::OnlineLinearScan: return "OLS";
+    }
+    panic("phaseAlgorithmName: unknown algorithm");
+}
+
+TpuPointAnalyzer::TpuPointAnalyzer(const AnalyzerOptions &options)
+    : opts(options)
+{
+}
+
+AnalysisResult
+TpuPointAnalyzer::analyze(
+    const std::vector<ProfileRecord> &records,
+    const std::vector<CheckpointInfo> &checkpoints) const
+{
+    AnalysisResult result;
+    result.algorithm = opts.algorithm;
+    result.table = StepTable::fromRecords(records);
+    if (result.table.size() == 0)
+        return result;
+
+    switch (opts.algorithm) {
+      case PhaseAlgorithm::KMeans: {
+        const FeatureMatrix features =
+            FeatureMatrix::build(result.table, opts.features);
+        if (opts.kmeans_fixed_k > 0) {
+            Rng rng(opts.seed);
+            result.kmeans.best = kMeansCluster(
+                features.rows(), opts.kmeans_fixed_k, rng);
+            result.kmeans.elbow_k = opts.kmeans_fixed_k;
+            result.kmeans.k_values = {opts.kmeans_fixed_k};
+            result.kmeans.ssd_curve = {result.kmeans.best.ssd};
+        } else {
+            result.kmeans = kMeansSweep(
+                features.rows(), opts.kmeans_k_min,
+                opts.kmeans_k_max, opts.seed);
+        }
+        result.phases = phasesFromLabels(
+            result.table, result.kmeans.best.labels);
+        break;
+      }
+      case PhaseAlgorithm::Dbscan: {
+        const FeatureMatrix features =
+            FeatureMatrix::build(result.table, opts.features);
+        if (opts.dbscan_fixed_min_samples > 0) {
+            const double eps = opts.dbscan_eps > 0
+                ? opts.dbscan_eps
+                : suggestEps(features.rows());
+            result.dbscan.best = dbscanCluster(
+                features.rows(), eps,
+                opts.dbscan_fixed_min_samples);
+            result.dbscan.elbow_min_samples =
+                opts.dbscan_fixed_min_samples;
+            result.dbscan.min_samples_values = {
+                opts.dbscan_fixed_min_samples};
+            result.dbscan.noise_curve = {
+                result.dbscan.best.noise_ratio};
+            result.dbscan.cluster_counts = {
+                result.dbscan.best.clusters};
+        } else {
+            result.dbscan =
+                dbscanSweep(features.rows(), opts.dbscan_eps);
+        }
+        result.phases = phasesFromLabels(
+            result.table, result.dbscan.best.labels);
+        break;
+      }
+      case PhaseAlgorithm::OnlineLinearScan: {
+        OnlineLinearScan ols(OlsOptions{opts.ols_threshold});
+        for (const auto &step : result.table.steps())
+            ols.addStep(step);
+        ols.finish();
+        result.ols_spans = ols.spans();
+        result.ols_groups = ols.phases();
+        result.phases =
+            phasesFromGroups(result.table, result.ols_groups);
+        break;
+      }
+    }
+
+    result.top3_coverage = topPhaseCoverage(result.phases, 3);
+
+    // Section IV-C: find the checkpoint with the smallest distance
+    // to each phase's steps.
+    if (!checkpoints.empty()) {
+        for (const auto &phase : result.phases) {
+            PhaseCheckpoint assoc;
+            assoc.phase_id = phase.id;
+            StepId best_distance = kNoStep;
+            for (const auto &info : checkpoints) {
+                // Distance from the checkpoint to the phase's step
+                // interval.
+                StepId distance = 0;
+                if (info.step < phase.first_step)
+                    distance = phase.first_step - info.step;
+                else if (info.step > phase.last_step)
+                    distance = info.step - phase.last_step;
+                if (distance < best_distance) {
+                    best_distance = distance;
+                    assoc.checkpoint_step = info.step;
+                    assoc.saved_at = info.saved_at;
+                    assoc.distance = distance;
+                }
+            }
+            result.checkpoints.push_back(assoc);
+        }
+    }
+    return result;
+}
+
+} // namespace tpupoint

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * TPUPoint-Analyzer (Section IV): the post-execution analysis
+ * facade. Walks the statistical profiles, summarizes them into
+ * program phases with one of the three algorithms (k-means, DBSCAN,
+ * OLS), measures coverage, ranks operators, and associates each
+ * phase with the nearest model checkpoint for fast-forwarding.
+ */
+
+#ifndef TPUPOINT_ANALYZER_ANALYZER_HH
+#define TPUPOINT_ANALYZER_ANALYZER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analyzer/dbscan.hh"
+#include "analyzer/features.hh"
+#include "analyzer/kmeans.hh"
+#include "analyzer/ols.hh"
+#include "analyzer/phases.hh"
+#include "analyzer/step_table.hh"
+#include "host/checkpoint.hh"
+
+namespace tpupoint {
+
+/** Phase-detection algorithms offered by TPUPoint-Analyzer. */
+enum class PhaseAlgorithm { KMeans, Dbscan, OnlineLinearScan };
+
+/** Printable algorithm name. */
+const char *phaseAlgorithmName(PhaseAlgorithm algorithm);
+
+/** Analyzer configuration. */
+struct AnalyzerOptions
+{
+    PhaseAlgorithm algorithm = PhaseAlgorithm::OnlineLinearScan;
+
+    /** OLS similarity threshold (Equation 1; default 70%). */
+    double ols_threshold = 0.70;
+
+    /** k-means sweep range (Section IV-A: 1..15). */
+    int kmeans_k_min = 1;
+    int kmeans_k_max = 15;
+
+    /** Fixed k (0 = pick with the elbow method). */
+    int kmeans_fixed_k = 0;
+
+    /** DBSCAN eps (0 = derive from the data). */
+    double dbscan_eps = 0.0;
+
+    /** Fixed min-samples (0 = sweep 5..180 step 25 + elbow). */
+    std::size_t dbscan_fixed_min_samples = 0;
+
+    FeatureOptions features;
+    std::uint64_t seed = 0x414e4c5aULL; // "ANLZ"
+};
+
+/** A phase's associated restart checkpoint (Section IV-C). */
+struct PhaseCheckpoint
+{
+    int phase_id = 0;
+    StepId checkpoint_step = 0;
+    SimTime saved_at = 0;
+    StepId distance = 0; ///< |checkpoint - nearest phase step|.
+};
+
+/** Everything TPUPoint-Analyzer derives from a profiled run. */
+struct AnalysisResult
+{
+    PhaseAlgorithm algorithm = PhaseAlgorithm::OnlineLinearScan;
+    StepTable table;
+    std::vector<Phase> phases;
+
+    /** Coverage of execution by the 3 longest phases. */
+    double top3_coverage = 0.0;
+
+    /** k-means sweep curve (Figure 4) when that algorithm ran. */
+    KMeansSweep kmeans;
+
+    /** DBSCAN sweep curve (Figure 5) when that algorithm ran. */
+    DbscanSweep dbscan;
+
+    /** OLS raw segments and aggregated phase groups. */
+    std::vector<OnlineLinearScan::Span> ols_spans;
+    std::vector<OnlineLinearScan::Group> ols_groups;
+
+    /** Nearest checkpoint per phase, when checkpoints were given. */
+    std::vector<PhaseCheckpoint> checkpoints;
+
+    /** The longest phase, or nullptr when no phases. */
+    const Phase *longest() const { return longestPhase(phases); }
+};
+
+/**
+ * The analyzer. Stateless across runs; analyze() is const apart
+ * from seeding.
+ */
+class TpuPointAnalyzer
+{
+  public:
+    explicit TpuPointAnalyzer(const AnalyzerOptions &options = {});
+
+    /**
+     * Full post-execution analysis of @p records.
+     * @param checkpoints The run's checkpoint registry, used for
+     *     phase/checkpoint association (may be empty).
+     */
+    AnalysisResult analyze(
+        const std::vector<ProfileRecord> &records,
+        const std::vector<CheckpointInfo> &checkpoints = {}) const;
+
+    const AnalyzerOptions &options() const { return opts; }
+
+  private:
+    AnalyzerOptions opts;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_ANALYZER_ANALYZER_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Cross-run analysis comparison. The paper repeats its analysis
+ * with the same workloads on TPUv2 and TPUv3 and compares the top
+ * operators and utilization (Table II, Observation 5); this module
+ * packages that comparison: operator-share deltas of the longest
+ * phases and the headline utilization changes between two profiled
+ * runs.
+ */
+
+#ifndef TPUPOINT_ANALYZER_COMPARE_HH
+#define TPUPOINT_ANALYZER_COMPARE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.hh"
+
+namespace tpupoint {
+
+/** One operator's share in both runs. */
+struct OpShareDelta
+{
+    std::string name;
+    double share_a = 0.0;   ///< Fraction of run A's phase time.
+    double share_b = 0.0;   ///< Fraction of run B's phase time.
+
+    double delta() const { return share_b - share_a; }
+};
+
+/** The comparison of two analyses. */
+struct AnalysisComparison
+{
+    std::string label_a;
+    std::string label_b;
+
+    /** Longest-phase TPU operators present in either run. */
+    std::vector<OpShareDelta> tpu_ops;
+
+    /** Longest-phase host operators present in either run. */
+    std::vector<OpShareDelta> host_ops;
+
+    /** Phase counts. */
+    std::size_t phases_a = 0;
+    std::size_t phases_b = 0;
+
+    /** Whether both runs' longest phases share their top operator
+     * (the paper: "the top five operators generally remain
+     * consistent for TPUv2 and TPUv3"). */
+    bool same_top_tpu_op = false;
+
+    /** Operators whose share moved by at least @p threshold. */
+    std::vector<OpShareDelta> movers(double threshold) const;
+};
+
+/**
+ * Compare two analyses (e.g. the same workload on TPUv2 and
+ * TPUv3). Shares are taken over each run's longest phase.
+ */
+AnalysisComparison compareAnalyses(const AnalysisResult &a,
+                                   const AnalysisResult &b,
+                                   std::string label_a = "A",
+                                   std::string label_b = "B");
+
+/** Human-readable report of a comparison. */
+void writeComparison(const AnalysisComparison &comparison,
+                     std::ostream &out, std::size_t top_n = 8);
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_ANALYZER_COMPARE_HH

@@ -1,0 +1,147 @@
+#include "analyzer/dbscan.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "analyzer/elbow.hh"
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+namespace {
+
+/** Indices of all points within eps of @p center (inclusive). */
+std::vector<std::size_t>
+regionQuery(const std::vector<FeatureVector> &points,
+            std::size_t center, double eps2)
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (squaredDistance(points[center], points[i]) <= eps2)
+            out.push_back(i);
+    }
+    return out;
+}
+
+} // namespace
+
+double
+suggestEps(const std::vector<FeatureVector> &points)
+{
+    if (points.size() < 2)
+        return 1.0;
+    // Use a 24-NN radius: wide enough that steady-state training
+    // steps (which dominate every run) form a dense core across
+    // the whole min-samples sweep, as in the paper's Figure 5.
+    constexpr std::size_t kth = 24;
+    std::vector<double> kth_distances;
+    kth_distances.reserve(points.size());
+    std::vector<double> dists;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        dists.clear();
+        for (std::size_t j = 0; j < points.size(); ++j) {
+            if (j != i) {
+                dists.push_back(
+                    euclideanDistance(points[i], points[j]));
+            }
+        }
+        const std::size_t k = std::min(kth, dists.size()) - 1;
+        std::nth_element(dists.begin(), dists.begin() +
+                         static_cast<std::ptrdiff_t>(k),
+                         dists.end());
+        kth_distances.push_back(dists[k]);
+    }
+    std::sort(kth_distances.begin(), kth_distances.end());
+    const std::size_t p90 = (kth_distances.size() * 9) / 10;
+    const double eps = 1.5 *
+        kth_distances[std::min(p90, kth_distances.size() - 1)];
+    return eps > 0 ? eps : 1.0;
+}
+
+DbscanResult
+dbscanCluster(const std::vector<FeatureVector> &points, double eps,
+              std::size_t min_samples)
+{
+    if (eps <= 0)
+        fatal("dbscanCluster: eps must be positive");
+    if (min_samples == 0)
+        fatal("dbscanCluster: min_samples must be positive");
+
+    DbscanResult result;
+    result.eps = eps;
+    result.min_samples = min_samples;
+    const double eps2 = eps * eps;
+
+    constexpr int kUnvisited = -2;
+    result.labels.assign(points.size(), kUnvisited);
+    int next_cluster = 0;
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (result.labels[i] != kUnvisited)
+            continue;
+        std::vector<std::size_t> neighbours =
+            regionQuery(points, i, eps2);
+        if (neighbours.size() < min_samples) {
+            result.labels[i] = kDbscanNoise;
+            continue;
+        }
+        // Grow a new cluster from this core point.
+        const int cluster = next_cluster++;
+        result.labels[i] = cluster;
+        std::deque<std::size_t> frontier(neighbours.begin(),
+                                         neighbours.end());
+        while (!frontier.empty()) {
+            const std::size_t p = frontier.front();
+            frontier.pop_front();
+            if (result.labels[p] == kDbscanNoise)
+                result.labels[p] = cluster; // border point
+            if (result.labels[p] != kUnvisited)
+                continue;
+            result.labels[p] = cluster;
+            std::vector<std::size_t> p_neighbours =
+                regionQuery(points, p, eps2);
+            if (p_neighbours.size() >= min_samples) {
+                frontier.insert(frontier.end(),
+                                p_neighbours.begin(),
+                                p_neighbours.end());
+            }
+        }
+    }
+
+    result.clusters = next_cluster;
+    for (const int label : result.labels)
+        if (label == kDbscanNoise)
+            ++result.noise_points;
+    result.noise_ratio = points.empty() ? 0.0
+        : static_cast<double>(result.noise_points) /
+            static_cast<double>(points.size());
+    return result;
+}
+
+DbscanSweep
+dbscanSweep(const std::vector<FeatureVector> &points, double eps,
+            std::size_t lo, std::size_t hi, std::size_t stride)
+{
+    if (stride == 0)
+        fatal("dbscanSweep: stride must be positive");
+    if (eps <= 0)
+        eps = suggestEps(points);
+
+    DbscanSweep sweep;
+    std::vector<DbscanResult> all;
+    std::vector<double> xs;
+    for (std::size_t m = lo; m <= hi; m += stride) {
+        DbscanResult r = dbscanCluster(points, eps, m);
+        sweep.min_samples_values.push_back(m);
+        sweep.noise_curve.push_back(r.noise_ratio);
+        sweep.cluster_counts.push_back(r.clusters);
+        xs.push_back(static_cast<double>(m));
+        all.push_back(std::move(r));
+    }
+    const std::size_t idx = elbowIndex(xs, sweep.noise_curve);
+    sweep.elbow_min_samples = sweep.min_samples_values[idx];
+    sweep.best = all[idx];
+    return sweep;
+}
+
+} // namespace tpupoint

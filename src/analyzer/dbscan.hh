@@ -1,0 +1,68 @@
+/**
+ * @file
+ * DBSCAN (Ester et al., 1996) as TPUPoint-Analyzer's second phase
+ * detector: sweep the minimum-samples requirement from 5 to 200,
+ * measure the ratio of noise (unclustered) points, and pick the
+ * elbow that minimizes noise while maximizing the requirement
+ * (Section IV-A).
+ */
+
+#ifndef TPUPOINT_ANALYZER_DBSCAN_HH
+#define TPUPOINT_ANALYZER_DBSCAN_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/math.hh"
+
+namespace tpupoint {
+
+/** Label assigned to noise points. */
+inline constexpr int kDbscanNoise = -1;
+
+/** One DBSCAN clustering. */
+struct DbscanResult
+{
+    std::vector<int> labels;   ///< Cluster id or kDbscanNoise.
+    int clusters = 0;          ///< Clusters formed.
+    std::size_t noise_points = 0;
+    double noise_ratio = 0.0;  ///< noise / total.
+    double eps = 0.0;
+    std::size_t min_samples = 0;
+};
+
+/**
+ * Classic DBSCAN with Euclidean eps-neighbourhoods.
+ */
+DbscanResult dbscanCluster(const std::vector<FeatureVector> &points,
+                           double eps, std::size_t min_samples);
+
+/**
+ * Suggest an eps from the data: 1.5x the 90th percentile of each
+ * point's 24th-nearest-neighbour distance — dense step clusters
+ * sit well inside it, stragglers outside.
+ */
+double suggestEps(const std::vector<FeatureVector> &points);
+
+/** The min-samples sweep plus elbow choice (Figure 5). */
+struct DbscanSweep
+{
+    std::vector<std::size_t> min_samples_values;
+    std::vector<double> noise_curve;  ///< Noise ratio per setting.
+    std::vector<int> cluster_counts;
+    std::size_t elbow_min_samples = 0;
+    DbscanResult best; ///< Clustering at the elbow.
+};
+
+/**
+ * Sweep min_samples over [lo, hi] in the given stride (the paper
+ * uses 5..180 step 25) at a fixed eps (0 = suggestEps()).
+ */
+DbscanSweep dbscanSweep(const std::vector<FeatureVector> &points,
+                        double eps = 0.0, std::size_t lo = 5,
+                        std::size_t hi = 180,
+                        std::size_t stride = 25);
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_ANALYZER_DBSCAN_HH

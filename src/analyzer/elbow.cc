@@ -1,0 +1,57 @@
+#include "analyzer/elbow.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+std::size_t
+elbowIndex(const std::vector<double> &x, const std::vector<double> &y)
+{
+    if (x.size() != y.size())
+        panic("elbowIndex: mismatched curve arrays");
+    const std::size_t n = x.size();
+    if (n < 3)
+        return 0;
+
+    // Normalize both axes so the chord distance is scale-free.
+    const double x_span = x.back() - x.front();
+    double y_min = y.front(), y_max = y.front();
+    for (const double v : y) {
+        y_min = std::min(y_min, v);
+        y_max = std::max(y_max, v);
+    }
+    const double y_span = y_max - y_min;
+    if (x_span == 0.0)
+        return 0;
+
+    auto nx = [&](std::size_t i) {
+        return (x[i] - x.front()) / x_span;
+    };
+    auto ny = [&](std::size_t i) {
+        return y_span > 0 ? (y[i] - y_min) / y_span : 0.0;
+    };
+
+    // Chord from (nx0, ny0) to (nx_last, ny_last).
+    const double x0 = nx(0), y0 = ny(0);
+    const double x1 = nx(n - 1), y1 = ny(n - 1);
+    const double dx = x1 - x0, dy = y1 - y0;
+    const double len = std::sqrt(dx * dx + dy * dy);
+    if (len == 0.0)
+        return 0;
+
+    std::size_t best = 0;
+    double best_dist = -1.0;
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+        const double d = std::fabs(dy * (nx(i) - x0) -
+                                   dx * (ny(i) - y0)) / len;
+        if (d > best_dist) {
+            best_dist = d;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace tpupoint

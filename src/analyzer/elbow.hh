@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The elbow heuristic (Thorndike, 1953) TPUPoint-Analyzer uses to
+ * "cut clustering off when improvement stops increasing
+ * significantly" (Section IV-A) — for the k-means SSD curve and the
+ * DBSCAN noise-ratio curve alike.
+ */
+
+#ifndef TPUPOINT_ANALYZER_ELBOW_HH
+#define TPUPOINT_ANALYZER_ELBOW_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace tpupoint {
+
+/**
+ * Index of the elbow of a monotonically (mostly) decreasing curve:
+ * the point with maximum perpendicular distance from the chord
+ * between the first and last points. Returns 0 for curves with
+ * fewer than three points.
+ *
+ * @param x Positions (e.g. k values or min-sample counts).
+ * @param y Scores (e.g. SSD or noise ratio).
+ */
+std::size_t elbowIndex(const std::vector<double> &x,
+                       const std::vector<double> &y);
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_ANALYZER_ELBOW_HH

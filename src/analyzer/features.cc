@@ -1,0 +1,79 @@
+#include "analyzer/features.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "analyzer/pca.hh"
+#include "core/rng.hh"
+
+namespace tpupoint {
+
+FeatureMatrix
+FeatureMatrix::build(const StepTable &table,
+                     const FeatureOptions &options)
+{
+    FeatureMatrix out;
+    const std::vector<std::string> universe = table.opUniverse();
+
+    // Dimension layout: per op label, optionally a count dim and a
+    // duration dim.
+    std::unordered_map<std::string, std::size_t> op_index;
+    op_index.reserve(universe.size());
+    for (const auto &label : universe) {
+        op_index.emplace(label, op_index.size());
+        out.labels.push_back(label);
+    }
+    const std::size_t dims_per_op =
+        (options.include_counts ? 1u : 0u) +
+        (options.include_durations ? 1u : 0u);
+    const std::size_t raw_dims =
+        std::max<std::size_t>(universe.size() * dims_per_op, 1);
+
+    out.data.reserve(table.size());
+    for (const auto &step : table.steps()) {
+        FeatureVector row(raw_dims, 0.0);
+        auto fill = [&](const OpStatsMap &ops, const char *prefix) {
+            for (const auto &[name, stats] : ops) {
+                const auto it = op_index.find(prefix + name);
+                if (it == op_index.end())
+                    continue;
+                std::size_t d = it->second * dims_per_op;
+                if (options.include_counts) {
+                    row[d] = static_cast<double>(stats.count);
+                    ++d;
+                }
+                if (options.include_durations) {
+                    row[d] = static_cast<double>(
+                        stats.total_duration);
+                }
+            }
+        };
+        fill(step.host_ops, "host:");
+        fill(step.tpu_ops, "tpu:");
+        out.data.push_back(std::move(row));
+    }
+
+    if (options.normalize && !out.data.empty()) {
+        // Per-dimension max scaling keeps counts and durations
+        // commensurable.
+        FeatureVector maxima(raw_dims, 0.0);
+        for (const auto &row : out.data)
+            for (std::size_t d = 0; d < raw_dims; ++d)
+                maxima[d] = std::max(maxima[d], std::abs(row[d]));
+        for (auto &row : out.data)
+            for (std::size_t d = 0; d < raw_dims; ++d)
+                if (maxima[d] > 0)
+                    row[d] /= maxima[d];
+    }
+
+    if (raw_dims > options.max_dimensions && out.data.size() > 1) {
+        Rng rng(options.pca_seed);
+        const PcaModel pca =
+            fitPca(out.data, options.max_dimensions, rng);
+        out.data = pca.projectAll(out.data);
+        out.reduced = true;
+    }
+    return out;
+}
+
+} // namespace tpupoint

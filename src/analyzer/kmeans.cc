@@ -1,0 +1,147 @@
+#include "analyzer/kmeans.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "analyzer/elbow.hh"
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+namespace {
+
+/** k-means++ initial centroid selection. */
+std::vector<FeatureVector>
+seedCentroids(const std::vector<FeatureVector> &points, int k,
+              Rng &rng)
+{
+    std::vector<FeatureVector> centroids;
+    centroids.reserve(static_cast<std::size_t>(k));
+    centroids.push_back(
+        points[rng.nextBounded(points.size())]);
+
+    std::vector<double> dist2(points.size(),
+                              std::numeric_limits<double>::max());
+    while (centroids.size() < static_cast<std::size_t>(k)) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            dist2[i] = std::min(
+                dist2[i],
+                squaredDistance(points[i], centroids.back()));
+            total += dist2[i];
+        }
+        if (total == 0.0) {
+            // All remaining points coincide with centroids.
+            centroids.push_back(
+                points[rng.nextBounded(points.size())]);
+            continue;
+        }
+        double target = rng.nextDouble() * total;
+        std::size_t chosen = points.size() - 1;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            target -= dist2[i];
+            if (target <= 0) {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push_back(points[chosen]);
+    }
+    return centroids;
+}
+
+} // namespace
+
+KMeansResult
+kMeansCluster(const std::vector<FeatureVector> &points, int k,
+              Rng &rng, int max_iterations)
+{
+    if (points.empty())
+        fatal("kMeansCluster: empty data set");
+    k = std::max(1, std::min<int>(
+        k, static_cast<int>(points.size())));
+
+    KMeansResult result;
+    result.k = k;
+    result.centroids = seedCentroids(points, k, rng);
+    result.labels.assign(points.size(), 0);
+
+    const std::size_t dim = points.front().size();
+    for (int iter = 0; iter < max_iterations; ++iter) {
+        bool changed = false;
+        // Assignment step.
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            int best = 0;
+            double best_d =
+                squaredDistance(points[i], result.centroids[0]);
+            for (int c = 1; c < k; ++c) {
+                const double d = squaredDistance(
+                    points[i],
+                    result.centroids[static_cast<std::size_t>(c)]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (result.labels[i] != best) {
+                result.labels[i] = best;
+                changed = true;
+            }
+        }
+        result.iterations = iter + 1;
+        if (!changed && iter > 0)
+            break;
+
+        // Update step.
+        std::vector<FeatureVector> sums(
+            static_cast<std::size_t>(k), FeatureVector(dim, 0.0));
+        std::vector<std::size_t> counts(
+            static_cast<std::size_t>(k), 0);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            addInPlace(sums[static_cast<std::size_t>(
+                result.labels[i])], points[i]);
+            ++counts[static_cast<std::size_t>(result.labels[i])];
+        }
+        for (int c = 0; c < k; ++c) {
+            const auto uc = static_cast<std::size_t>(c);
+            if (counts[uc] == 0)
+                continue; // keep the stale centroid
+            scaleInPlace(sums[uc],
+                         1.0 / static_cast<double>(counts[uc]));
+            result.centroids[uc] = std::move(sums[uc]);
+        }
+    }
+
+    result.ssd = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        result.ssd += squaredDistance(
+            points[i], result.centroids[static_cast<std::size_t>(
+                result.labels[i])]);
+    }
+    return result;
+}
+
+KMeansSweep
+kMeansSweep(const std::vector<FeatureVector> &points, int k_min,
+            int k_max, std::uint64_t seed)
+{
+    if (k_min < 1 || k_max < k_min)
+        fatal("kMeansSweep: invalid k range");
+    KMeansSweep sweep;
+    std::vector<KMeansResult> all;
+    std::vector<double> ks;
+    for (int k = k_min; k <= k_max; ++k) {
+        Rng rng(seed + static_cast<std::uint64_t>(k));
+        KMeansResult r = kMeansCluster(points, k, rng);
+        sweep.k_values.push_back(k);
+        sweep.ssd_curve.push_back(r.ssd);
+        ks.push_back(static_cast<double>(k));
+        all.push_back(std::move(r));
+    }
+    const std::size_t idx = elbowIndex(ks, sweep.ssd_curve);
+    sweep.elbow_k = sweep.k_values[idx];
+    sweep.best = all[idx];
+    return sweep;
+}
+
+} // namespace tpupoint

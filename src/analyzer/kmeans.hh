@@ -1,0 +1,60 @@
+/**
+ * @file
+ * k-means clustering, implemented the way TPUPoint-Analyzer (and
+ * SimPoint before it) uses it: cluster step feature vectors for
+ * k = 1..15, compute the sum of squared distances to centroids per
+ * k, and pick k with the elbow method (Section IV-A).
+ */
+
+#ifndef TPUPOINT_ANALYZER_KMEANS_HH
+#define TPUPOINT_ANALYZER_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/math.hh"
+#include "core/rng.hh"
+
+namespace tpupoint {
+
+/** One k-means clustering. */
+struct KMeansResult
+{
+    int k = 0;
+    std::vector<int> labels;              ///< Per-point cluster id.
+    std::vector<FeatureVector> centroids;
+    double ssd = 0.0;  ///< Sum of squared distances to centroids.
+    int iterations = 0;
+};
+
+/**
+ * Lloyd's algorithm with k-means++ seeding.
+ *
+ * @param points Observations.
+ * @param k Clusters; clamped to the number of points.
+ * @param rng Seeding source (deterministic given a seed).
+ * @param max_iterations Lloyd iteration cap.
+ */
+KMeansResult kMeansCluster(const std::vector<FeatureVector> &points,
+                           int k, Rng &rng,
+                           int max_iterations = 100);
+
+/** The k = k_min..k_max sweep plus the elbow choice (Figure 4). */
+struct KMeansSweep
+{
+    std::vector<int> k_values;
+    std::vector<double> ssd_curve;
+    int elbow_k = 0;
+    KMeansResult best; ///< The clustering at elbow_k.
+};
+
+/**
+ * Run the full sweep of Section IV-A stages 2-3.
+ */
+KMeansSweep kMeansSweep(const std::vector<FeatureVector> &points,
+                        int k_min, int k_max,
+                        std::uint64_t seed = 0x6b6d65616e73ULL);
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_ANALYZER_KMEANS_HH

@@ -1,0 +1,134 @@
+#include "analyzer/ols.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+OnlineLinearScan::OnlineLinearScan(const OlsOptions &options)
+    : opts(options)
+{
+    if (opts.similarity_threshold < 0.0 ||
+        opts.similarity_threshold > 1.0)
+        fatal("OnlineLinearScan: threshold must be in [0, 1]");
+}
+
+double
+OnlineLinearScan::setSimilarity(const std::vector<std::string> &a,
+                                const std::vector<std::string> &b)
+{
+    if (a.empty() || b.empty())
+        return a.empty() && b.empty() ? 1.0 : 0.0;
+    // Both sets are sorted (map iteration order); linear merge.
+    std::size_t i = 0, j = 0, common = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] == b[j]) {
+            ++common;
+            ++i;
+            ++j;
+        } else if (a[i] < b[j]) {
+            ++i;
+        } else {
+            ++j;
+        }
+    }
+    const std::size_t smaller = std::min(a.size(), b.size());
+    return static_cast<double>(common) /
+        static_cast<double>(smaller);
+}
+
+double
+OnlineLinearScan::stepSimilarity(const StepStats &a,
+                                 const StepStats &b)
+{
+    return setSimilarity(a.opSet(), b.opSet());
+}
+
+void
+OnlineLinearScan::addStep(const StepStats &step)
+{
+    if (finished)
+        panic("OnlineLinearScan::addStep after finish");
+
+    std::vector<std::string> event_set = step.opSet();
+
+    if (!have_current) {
+        current = Span{step.step, step.step, 1, step.span()};
+        current_signature = event_set;
+        have_current = true;
+    } else {
+        const double similarity =
+            setSimilarity(previous_set, event_set);
+        if (similarity >= opts.similarity_threshold) {
+            // Group with the running segment.
+            current.last_step = step.step;
+            ++current.steps;
+            current.duration += step.span();
+        } else {
+            // Phase boundary: close the segment, aggregate it into
+            // a matching phase (or start a new one), and open the
+            // next segment. This keeps the working set at three
+            // step records plus one signature per distinct phase.
+            closeSegment();
+            current = Span{step.step, step.step, 1, step.span()};
+            current_signature = event_set;
+        }
+    }
+
+    // Slide the three-step window (i, i-1, i-2).
+    preprevious_set = std::move(previous_set);
+    previous_set = std::move(event_set);
+    peak_held = std::max<std::size_t>(peak_held, 3);
+}
+
+void
+OnlineLinearScan::closeSegment()
+{
+    segments.push_back(current);
+
+    Group *home = nullptr;
+    for (auto &group : groups) {
+        if (setSimilarity(group.signature, current_signature) >=
+            opts.similarity_threshold) {
+            home = &group;
+            break;
+        }
+    }
+    if (!home) {
+        groups.emplace_back();
+        home = &groups.back();
+        home->signature = current_signature;
+    }
+    home->spans.push_back(current);
+    home->steps += current.steps;
+    home->duration += current.duration;
+}
+
+void
+OnlineLinearScan::finish()
+{
+    if (finished)
+        return;
+    finished = true;
+    if (have_current)
+        closeSegment();
+}
+
+const std::vector<OnlineLinearScan::Span> &
+OnlineLinearScan::spans() const
+{
+    if (!finished)
+        panic("OnlineLinearScan::spans before finish");
+    return segments;
+}
+
+const std::vector<OnlineLinearScan::Group> &
+OnlineLinearScan::phases() const
+{
+    if (!finished)
+        panic("OnlineLinearScan::phases before finish");
+    return groups;
+}
+
+} // namespace tpupoint

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The Online Linear Scan (OLS) phase detector — TPUPoint's
+ * lower-overhead alternative to k-means/DBSCAN (Section IV-A). OLS
+ * runs *during* recording: it only ever holds the current step, the
+ * previous step, and the step before that, comparing neighbours
+ * with Equation 1 and growing a segment while the similarity stays
+ * above the threshold (70% by default). Recurring segments with the
+ * same operator signature (e.g. every eval pass) then aggregate
+ * into a single phase — the paper notes all three algorithms
+ * "aggregate the same set of phases into a single phase".
+ */
+
+#ifndef TPUPOINT_ANALYZER_OLS_HH
+#define TPUPOINT_ANALYZER_OLS_HH
+
+#include <string>
+#include <vector>
+
+#include "proto/record.hh"
+
+namespace tpupoint {
+
+/** OLS options. */
+struct OlsOptions
+{
+    /** Equation 1 threshold; neighbours at or above it merge. */
+    double similarity_threshold = 0.70;
+};
+
+/**
+ * Streaming phase detection over the per-step record stream.
+ */
+class OnlineLinearScan
+{
+  public:
+    /** A run of consecutive similar steps. */
+    struct Span
+    {
+        StepId first_step = 0;
+        StepId last_step = 0;
+        std::size_t steps = 0;
+        SimTime duration = 0; ///< Sum of member step spans.
+    };
+
+    /** A phase: one or more recurring spans with one signature. */
+    struct Group
+    {
+        std::vector<Span> spans;
+        std::vector<std::string> signature; ///< Sorted op labels.
+        std::size_t steps = 0;
+        SimTime duration = 0;
+    };
+
+    explicit OnlineLinearScan(const OlsOptions &options = {});
+
+    /** Feed the next step (ascending step order). */
+    void addStep(const StepStats &step);
+
+    /** Close the trailing segment and aggregate phases. */
+    void finish();
+
+    /** Raw consecutive segments, in execution order. */
+    const std::vector<Span> &spans() const;
+
+    /** Aggregated phases (recurring segments merged). */
+    const std::vector<Group> &phases() const;
+
+    /** Peak number of step records held at any point (the OLS
+     * memory footprint — contrast with k-means/DBSCAN which hold
+     * every step). */
+    std::size_t peakStepsHeld() const { return peak_held; }
+
+    /**
+     * Equation 1: |events(a) ∩ events(b)| / min(|events(a)|,
+     * |events(b)|), where a step's event set is its distinct
+     * operator labels.
+     */
+    static double stepSimilarity(const StepStats &a,
+                                 const StepStats &b);
+
+    /** Equation 1 over pre-extracted sorted label sets. */
+    static double setSimilarity(const std::vector<std::string> &a,
+                                const std::vector<std::string> &b);
+
+  private:
+    /** Close the open segment and fold it into its phase group. */
+    void closeSegment();
+
+    OlsOptions opts;
+    std::vector<Span> segments;
+    std::vector<Group> groups;
+    Span current;
+    std::vector<std::string> current_signature;
+    std::vector<std::string> previous_set;    ///< Step i-1.
+    std::vector<std::string> preprevious_set; ///< Step i-2.
+    bool have_current = false;
+    bool finished = false;
+    std::size_t peak_held = 0;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_ANALYZER_OLS_HH

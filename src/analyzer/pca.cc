@@ -1,0 +1,80 @@
+#include "analyzer/pca.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+FeatureVector
+PcaModel::project(const FeatureVector &point) const
+{
+    FeatureVector centered = point;
+    for (std::size_t i = 0; i < centered.size(); ++i)
+        centered[i] -= mean[i];
+    FeatureVector out(components.size(), 0.0);
+    for (std::size_t c = 0; c < components.size(); ++c)
+        out[c] = dot(components[c], centered);
+    return out;
+}
+
+std::vector<FeatureVector>
+PcaModel::projectAll(const std::vector<FeatureVector> &points) const
+{
+    std::vector<FeatureVector> out;
+    out.reserve(points.size());
+    for (const auto &p : points)
+        out.push_back(project(p));
+    return out;
+}
+
+PcaModel
+fitPca(const std::vector<FeatureVector> &points,
+       std::size_t num_components, Rng &rng, int iterations)
+{
+    if (points.empty())
+        fatal("fitPca: empty data set");
+    const std::size_t dim = points.front().size();
+    num_components = std::min(num_components, dim);
+
+    PcaModel model;
+    model.mean = meanVector(points);
+
+    Matrix cov = Matrix::covariance(points);
+
+    for (std::size_t c = 0; c < num_components; ++c) {
+        // Power iteration for the current dominant eigenvector.
+        FeatureVector v(dim);
+        for (auto &x : v)
+            x = rng.uniform(-1.0, 1.0);
+        normalizeInPlace(v);
+
+        double eigenvalue = 0.0;
+        for (int it = 0; it < iterations; ++it) {
+            FeatureVector next = cov.multiply(v);
+            const double norm = l2Norm(next);
+            if (norm < 1e-12) {
+                eigenvalue = 0.0;
+                break;
+            }
+            scaleInPlace(next, 1.0 / norm);
+            eigenvalue = norm;
+            v = std::move(next);
+        }
+        if (eigenvalue <= 1e-12)
+            break; // remaining variance is numerically zero
+
+        // Deflate: cov -= lambda * v v^T.
+        for (std::size_t i = 0; i < dim; ++i) {
+            for (std::size_t j = 0; j < dim; ++j) {
+                cov.at(i, j) -= eigenvalue * v[i] * v[j];
+            }
+        }
+        model.components.push_back(std::move(v));
+        model.eigenvalues.push_back(eigenvalue);
+    }
+    return model;
+}
+
+} // namespace tpupoint

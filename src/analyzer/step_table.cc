@@ -1,0 +1,61 @@
+#include "analyzer/step_table.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+StepTable
+StepTable::fromRecords(const std::vector<ProfileRecord> &records)
+{
+    // A step can span profile windows; merge duplicates.
+    std::map<StepId, StepStats> merged;
+    for (const auto &record : records) {
+        for (const auto &step : record.steps) {
+            auto [it, inserted] = merged.try_emplace(step.step,
+                                                     step);
+            if (!inserted)
+                it->second.merge(step);
+        }
+    }
+    StepTable table;
+    table.rows.reserve(merged.size());
+    for (auto &[id, stats] : merged)
+        table.rows.push_back(std::move(stats));
+    return table;
+}
+
+const StepStats &
+StepTable::at(std::size_t index) const
+{
+    if (index >= rows.size())
+        panic("StepTable::at: index out of range");
+    return rows[index];
+}
+
+SimTime
+StepTable::totalDuration() const
+{
+    SimTime total = 0;
+    for (const auto &row : rows)
+        total += row.span();
+    return total;
+}
+
+std::vector<std::string>
+StepTable::opUniverse() const
+{
+    std::set<std::string> labels;
+    for (const auto &row : rows) {
+        for (const auto &[name, stats] : row.host_ops)
+            labels.insert("host:" + name);
+        for (const auto &[name, stats] : row.tpu_ops)
+            labels.insert("tpu:" + name);
+    }
+    return {labels.begin(), labels.end()};
+}
+
+} // namespace tpupoint

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The analyzer's working set: all profile records of a run merged
+ * into one per-step table (TPUPoint-Analyzer "extracts the records
+ * from all statistical profiles and aggregates records together
+ * using the TPU step numbers" — Section IV-A, stage 1).
+ */
+
+#ifndef TPUPOINT_ANALYZER_STEP_TABLE_HH
+#define TPUPOINT_ANALYZER_STEP_TABLE_HH
+
+#include <string>
+#include <vector>
+
+#include "proto/record.hh"
+
+namespace tpupoint {
+
+/**
+ * Per-step statistics aggregated across every profile window,
+ * ascending by step number.
+ */
+class StepTable
+{
+  public:
+    /** Merge all records into a table. */
+    static StepTable fromRecords(
+        const std::vector<ProfileRecord> &records);
+
+    /** All steps, ascending. */
+    const std::vector<StepStats> &steps() const { return rows; }
+
+    /** Number of steps observed. */
+    std::size_t size() const { return rows.size(); }
+
+    /** One step by index (not by step id). */
+    const StepStats &at(std::size_t index) const;
+
+    /** Sum of all step spans (the execution time phases divide). */
+    SimTime totalDuration() const;
+
+    /**
+     * Every distinct operator label, "host:"/"tpu:"-prefixed,
+     * sorted. These are the raw feature dimensions.
+     */
+    std::vector<std::string> opUniverse() const;
+
+  private:
+    std::vector<StepStats> rows;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_ANALYZER_STEP_TABLE_HH

@@ -1,0 +1,101 @@
+#include "core/csv.hh"
+
+#include "core/logging.hh"
+#include "core/strings.hh"
+
+namespace tpupoint {
+
+CsvWriter::CsvWriter(std::ostream &out) : stream(out)
+{
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &columns)
+{
+    if (wrote_header || row_open || data_rows)
+        panic("CsvWriter: header must be the first output");
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (i)
+            stream << ',';
+        stream << quote(columns[i]);
+    }
+    stream << "\r\n";
+    wrote_header = true;
+    header_columns = columns.size();
+}
+
+void
+CsvWriter::separator()
+{
+    if (row_open)
+        stream << ',';
+    row_open = true;
+    ++current_columns;
+}
+
+CsvWriter &
+CsvWriter::field(std::string_view text)
+{
+    separator();
+    stream << quote(text);
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(double number, int decimals)
+{
+    separator();
+    stream << formatDouble(number, decimals);
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(std::int64_t number)
+{
+    separator();
+    stream << number;
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::field(std::uint64_t number)
+{
+    separator();
+    stream << number;
+    return *this;
+}
+
+void
+CsvWriter::endRow()
+{
+    if (!row_open)
+        panic("CsvWriter: endRow with no fields");
+    if (wrote_header && current_columns != header_columns) {
+        panic("CsvWriter: row has ", current_columns,
+              " fields, header has ", header_columns);
+    }
+    stream << "\r\n";
+    row_open = false;
+    current_columns = 0;
+    ++data_rows;
+}
+
+std::string
+CsvWriter::quote(std::string_view text)
+{
+    const bool needs_quotes =
+        text.find_first_of(",\"\r\n") != std::string_view::npos;
+    if (!needs_quotes)
+        return std::string(text);
+    std::string out = "\"";
+    for (const char c : text) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace tpupoint

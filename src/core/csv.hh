@@ -1,0 +1,59 @@
+/**
+ * @file
+ * CSV emission per RFC 4180. TPUPoint-Analyzer writes a CSV summary
+ * next to its chrome://tracing JSON (Section IV-B of the paper).
+ */
+
+#ifndef TPUPOINT_CORE_CSV_HH
+#define TPUPOINT_CORE_CSV_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tpupoint {
+
+/**
+ * Row-oriented CSV writer. Fields containing commas, quotes or
+ * newlines are quoted and escaped.
+ */
+class CsvWriter
+{
+  public:
+    /** Write to @p out; the stream must outlive the writer. */
+    explicit CsvWriter(std::ostream &out);
+
+    /** Emit a header row. */
+    void header(const std::vector<std::string> &columns);
+
+    /** Append one field to the current row. */
+    CsvWriter &field(std::string_view text);
+    CsvWriter &field(double number, int decimals = 6);
+    CsvWriter &field(std::int64_t number);
+    CsvWriter &field(std::uint64_t number);
+
+    /** Terminate the current row. */
+    void endRow();
+
+    /** Number of rows written, excluding the header. */
+    std::size_t rows() const { return data_rows; }
+
+    /** Quote one field if needed (exposed for tests). */
+    static std::string quote(std::string_view text);
+
+  private:
+    void separator();
+
+    std::ostream &stream;
+    bool row_open = false;
+    bool wrote_header = false;
+    std::size_t header_columns = 0;
+    std::size_t current_columns = 0;
+    std::size_t data_rows = 0;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_CORE_CSV_HH

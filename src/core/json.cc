@@ -1,0 +1,193 @@
+#include "core/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+JsonWriter::JsonWriter(std::ostream &out, bool pretty)
+    : stream(out), pretty_print(pretty)
+{
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    if (!pretty_print)
+        return;
+    stream << '\n';
+    for (std::size_t i = 0; i < scopes.size(); ++i)
+        stream << "  ";
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (scopes.empty()) {
+        if (root_written)
+            panic("JsonWriter: more than one root value");
+        root_written = true;
+        return;
+    }
+    if (scopes.back() == Scope::Object) {
+        if (!key_pending)
+            panic("JsonWriter: object value without a key");
+        key_pending = false;
+        return;
+    }
+    // Array element.
+    if (has_items.back())
+        stream << ',';
+    has_items.back() = true;
+    newlineIndent();
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeValue();
+    stream << '{';
+    scopes.push_back(Scope::Object);
+    has_items.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    if (scopes.empty() || scopes.back() != Scope::Object)
+        panic("JsonWriter: endObject without matching beginObject");
+    if (key_pending)
+        panic("JsonWriter: dangling key at endObject");
+    scopes.pop_back();
+    const bool had_items = has_items.back();
+    has_items.pop_back();
+    if (had_items)
+        newlineIndent();
+    stream << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeValue();
+    stream << '[';
+    scopes.push_back(Scope::Array);
+    has_items.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    if (scopes.empty() || scopes.back() != Scope::Array)
+        panic("JsonWriter: endArray without matching beginArray");
+    scopes.pop_back();
+    const bool had_items = has_items.back();
+    has_items.pop_back();
+    if (had_items)
+        newlineIndent();
+    stream << ']';
+}
+
+void
+JsonWriter::key(std::string_view name)
+{
+    if (scopes.empty() || scopes.back() != Scope::Object)
+        panic("JsonWriter: key outside of an object");
+    if (key_pending)
+        panic("JsonWriter: two keys in a row");
+    if (has_items.back())
+        stream << ',';
+    has_items.back() = true;
+    newlineIndent();
+    stream << '"' << escape(name) << "\":";
+    if (pretty_print)
+        stream << ' ';
+    key_pending = true;
+}
+
+void
+JsonWriter::value(std::string_view text)
+{
+    beforeValue();
+    stream << '"' << escape(text) << '"';
+}
+
+void
+JsonWriter::value(double number)
+{
+    beforeValue();
+    if (!std::isfinite(number)) {
+        // JSON has no NaN/Inf; emit null as browsers' tracing does.
+        stream << "null";
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", number);
+    stream << buf;
+}
+
+void
+JsonWriter::value(std::int64_t number)
+{
+    beforeValue();
+    stream << number;
+}
+
+void
+JsonWriter::value(std::uint64_t number)
+{
+    beforeValue();
+    stream << number;
+}
+
+void
+JsonWriter::value(bool flag)
+{
+    beforeValue();
+    stream << (flag ? "true" : "false");
+}
+
+void
+JsonWriter::nullValue()
+{
+    beforeValue();
+    stream << "null";
+}
+
+bool
+JsonWriter::complete() const
+{
+    return scopes.empty() && root_written && !key_pending;
+}
+
+std::string
+JsonWriter::escape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace tpupoint

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A small streaming JSON writer. TPUPoint emits chrome://tracing
+ * files and analysis summaries as JSON; a streaming writer keeps the
+ * memory footprint flat even for traces with millions of events.
+ */
+
+#ifndef TPUPOINT_CORE_JSON_HH
+#define TPUPOINT_CORE_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tpupoint {
+
+/**
+ * Streaming JSON writer with structural validation.
+ *
+ * Usage:
+ * @code
+ *   JsonWriter w(stream);
+ *   w.beginObject();
+ *   w.key("traceEvents");
+ *   w.beginArray();
+ *   ...
+ *   w.endArray();
+ *   w.endObject();
+ * @endcode
+ *
+ * Misuse (e.g. a value without a pending key inside an object) is a
+ * programming error and triggers panic().
+ */
+class JsonWriter
+{
+  public:
+    /** Write to @p out; the stream must outlive the writer. */
+    explicit JsonWriter(std::ostream &out, bool pretty = false);
+
+    /** Open an object value. */
+    void beginObject();
+
+    /** Close the innermost object. */
+    void endObject();
+
+    /** Open an array value. */
+    void beginArray();
+
+    /** Close the innermost array. */
+    void endArray();
+
+    /** Emit an object key; next call must produce its value. */
+    void key(std::string_view name);
+
+    /** Emit a string value (escaped). */
+    void value(std::string_view text);
+    void value(const char *text) { value(std::string_view(text)); }
+
+    /** Emit numeric and boolean values. */
+    void value(double number);
+    void value(std::int64_t number);
+    void value(std::uint64_t number);
+    void value(int number) { value(static_cast<std::int64_t>(number)); }
+    void value(bool flag);
+
+    /** Emit a JSON null. */
+    void nullValue();
+
+    /** Convenience: key + value in one call. */
+    template <typename T>
+    void
+    field(std::string_view name, T &&v)
+    {
+        key(name);
+        value(std::forward<T>(v));
+    }
+
+    /** True when every container has been closed. */
+    bool complete() const;
+
+    /** Escape a string per JSON rules (exposed for tests). */
+    static std::string escape(std::string_view text);
+
+  private:
+    enum class Scope { Object, Array };
+
+    void beforeValue();
+    void newlineIndent();
+
+    std::ostream &stream;
+    bool pretty_print;
+    bool key_pending = false;
+    bool root_written = false;
+    std::vector<Scope> scopes;
+    std::vector<bool> has_items;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_CORE_JSON_HH

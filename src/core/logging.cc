@@ -1,0 +1,70 @@
+#include "core/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+
+namespace tpupoint {
+
+namespace {
+
+std::atomic<LogLevel> global_threshold{LogLevel::Info};
+std::mutex emit_mutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+LogConfig::threshold()
+{
+    return global_threshold.load(std::memory_order_relaxed);
+}
+
+void
+LogConfig::setThreshold(LogLevel level)
+{
+    global_threshold.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level < global_threshold.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> lock(emit_mutex);
+    std::fprintf(stderr, "tpupoint: %s: %s\n", levelName(level),
+                 msg.c_str());
+}
+
+} // namespace detail
+
+void
+fatalError(const std::string &msg)
+{
+    detail::logMessage(LogLevel::Fatal, msg);
+    throw std::runtime_error("tpupoint fatal: " + msg);
+}
+
+void
+panicError(const std::string &msg)
+{
+    detail::logMessage(LogLevel::Panic, msg);
+    throw std::logic_error("tpupoint panic: " + msg);
+}
+
+} // namespace tpupoint

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * gem5-flavoured status/error reporting: inform/warn for status,
+ * fatal for user errors, panic for internal invariant violations.
+ */
+
+#ifndef TPUPOINT_CORE_LOGGING_HH
+#define TPUPOINT_CORE_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace tpupoint {
+
+/** Severity of a log message. */
+enum class LogLevel { Debug, Info, Warn, Fatal, Panic };
+
+/**
+ * Global log verbosity control. Messages below the threshold are
+ * suppressed. Defaults to Info; tests lower it to keep output clean.
+ */
+class LogConfig
+{
+  public:
+    /** Current minimum level that will be emitted. */
+    static LogLevel threshold();
+
+    /** Set the minimum level that will be emitted. */
+    static void setThreshold(LogLevel level);
+};
+
+namespace detail {
+
+/** Emit one formatted message to stderr (internal). */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concatenate(Args &&...args)
+{
+    std::ostringstream os;
+    if constexpr (sizeof...(Args) > 0)
+        (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Informative status message; no connotation of incorrectness. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::logMessage(LogLevel::Info,
+                       detail::concatenate(std::forward<Args>(args)...));
+}
+
+/** Debug-level message, suppressed unless verbosity is raised. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    detail::logMessage(LogLevel::Debug,
+                       detail::concatenate(std::forward<Args>(args)...));
+}
+
+/** Something may not be modelled perfectly but execution continues. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::logMessage(LogLevel::Warn,
+                       detail::concatenate(std::forward<Args>(args)...));
+}
+
+/**
+ * Unrecoverable condition caused by the caller (bad configuration,
+ * invalid arguments). Throws std::runtime_error so library users can
+ * catch it; never returns.
+ */
+[[noreturn]] void fatalError(const std::string &msg);
+
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    fatalError(detail::concatenate(std::forward<Args>(args)...));
+}
+
+/**
+ * Internal invariant violation (a TPUPoint bug, not a user error).
+ * Throws std::logic_error; never returns.
+ */
+[[noreturn]] void panicError(const std::string &msg);
+
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    panicError(detail::concatenate(std::forward<Args>(args)...));
+}
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_CORE_LOGGING_HH

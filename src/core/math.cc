@@ -1,0 +1,158 @@
+#include "core/math.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+double
+dot(const FeatureVector &a, const FeatureVector &b)
+{
+    if (a.size() != b.size())
+        panic("dot: dimension mismatch ", a.size(), " vs ", b.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        sum += a[i] * b[i];
+    return sum;
+}
+
+double
+l2Norm(const FeatureVector &v)
+{
+    return std::sqrt(dot(v, v));
+}
+
+double
+squaredDistance(const FeatureVector &a, const FeatureVector &b)
+{
+    if (a.size() != b.size())
+        panic("squaredDistance: dimension mismatch");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        sum += d * d;
+    }
+    return sum;
+}
+
+double
+euclideanDistance(const FeatureVector &a, const FeatureVector &b)
+{
+    return std::sqrt(squaredDistance(a, b));
+}
+
+void
+addInPlace(FeatureVector &a, const FeatureVector &b)
+{
+    if (a.size() != b.size())
+        panic("addInPlace: dimension mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] += b[i];
+}
+
+void
+scaleInPlace(FeatureVector &v, double s)
+{
+    for (double &x : v)
+        x *= s;
+}
+
+void
+normalizeInPlace(FeatureVector &v)
+{
+    const double norm = l2Norm(v);
+    if (norm > 0.0)
+        scaleInPlace(v, 1.0 / norm);
+}
+
+FeatureVector
+meanVector(const std::vector<FeatureVector> &points)
+{
+    if (points.empty())
+        return {};
+    FeatureVector mean(points.front().size(), 0.0);
+    for (const auto &p : points)
+        addInPlace(mean, p);
+    scaleInPlace(mean, 1.0 / static_cast<double>(points.size()));
+    return mean;
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : num_rows(rows), num_cols(cols), cells(rows * cols, 0.0)
+{
+}
+
+double &
+Matrix::at(std::size_t r, std::size_t c)
+{
+    if (r >= num_rows || c >= num_cols)
+        panic("Matrix::at out of range");
+    return cells[r * num_cols + c];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    if (r >= num_rows || c >= num_cols)
+        panic("Matrix::at out of range");
+    return cells[r * num_cols + c];
+}
+
+FeatureVector
+Matrix::multiply(const FeatureVector &v) const
+{
+    if (v.size() != num_cols)
+        panic("Matrix::multiply: dimension mismatch");
+    FeatureVector out(num_rows, 0.0);
+    for (std::size_t r = 0; r < num_rows; ++r) {
+        double sum = 0.0;
+        const double *row = &cells[r * num_cols];
+        for (std::size_t c = 0; c < num_cols; ++c)
+            sum += row[c] * v[c];
+        out[r] = sum;
+    }
+    return out;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(num_cols, num_rows);
+    for (std::size_t r = 0; r < num_rows; ++r)
+        for (std::size_t c = 0; c < num_cols; ++c)
+            out.at(c, r) = at(r, c);
+    return out;
+}
+
+Matrix
+Matrix::covariance(const std::vector<FeatureVector> &data)
+{
+    if (data.empty())
+        fatal("Matrix::covariance: empty data set");
+    const std::size_t dim = data.front().size();
+    for (const auto &row : data) {
+        if (row.size() != dim)
+            fatal("Matrix::covariance: ragged data set");
+    }
+    const FeatureVector mean = meanVector(data);
+    Matrix cov(dim, dim);
+    for (const auto &row : data) {
+        for (std::size_t i = 0; i < dim; ++i) {
+            const double di = row[i] - mean[i];
+            for (std::size_t j = i; j < dim; ++j) {
+                cov.at(i, j) += di * (row[j] - mean[j]);
+            }
+        }
+    }
+    const double inv = 1.0 / static_cast<double>(data.size());
+    for (std::size_t i = 0; i < dim; ++i) {
+        for (std::size_t j = i; j < dim; ++j) {
+            cov.at(i, j) *= inv;
+            cov.at(j, i) = cov.at(i, j);
+        }
+    }
+    return cov;
+}
+
+} // namespace tpupoint

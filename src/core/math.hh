@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Dense linear-algebra primitives backing the analyzer's clustering
+ * and PCA implementations: feature vectors and a small row-major
+ * matrix.
+ */
+
+#ifndef TPUPOINT_CORE_MATH_HH
+#define TPUPOINT_CORE_MATH_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace tpupoint {
+
+/** A dense feature vector (one per training step in the analyzer). */
+using FeatureVector = std::vector<double>;
+
+/** Dot product; vectors must have equal dimension. */
+double dot(const FeatureVector &a, const FeatureVector &b);
+
+/** Euclidean (L2) norm. */
+double l2Norm(const FeatureVector &v);
+
+/** Squared Euclidean distance. */
+double squaredDistance(const FeatureVector &a, const FeatureVector &b);
+
+/** Euclidean distance. */
+double euclideanDistance(const FeatureVector &a,
+                         const FeatureVector &b);
+
+/** a += b (element-wise); dimensions must match. */
+void addInPlace(FeatureVector &a, const FeatureVector &b);
+
+/** v *= s (element-wise). */
+void scaleInPlace(FeatureVector &v, double s);
+
+/** Normalize to unit L2 norm; zero vectors are left unchanged. */
+void normalizeInPlace(FeatureVector &v);
+
+/** Component-wise mean of @p points; empty input yields empty. */
+FeatureVector meanVector(const std::vector<FeatureVector> &points);
+
+/**
+ * Row-major dense matrix. Minimal: only what covariance/PCA and the
+ * tests need.
+ */
+class Matrix
+{
+  public:
+    /** A rows x cols zero matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Element access. */
+    double &at(std::size_t r, std::size_t c);
+    double at(std::size_t r, std::size_t c) const;
+
+    std::size_t rows() const { return num_rows; }
+    std::size_t cols() const { return num_cols; }
+
+    /** Matrix-vector product; v.size() must equal cols(). */
+    FeatureVector multiply(const FeatureVector &v) const;
+
+    /** Transpose. */
+    Matrix transposed() const;
+
+    /**
+     * Covariance matrix of a data set whose rows are observations.
+     * Rows of @p data must share one dimension.
+     */
+    static Matrix covariance(const std::vector<FeatureVector> &data);
+
+  private:
+    std::size_t num_rows;
+    std::size_t num_cols;
+    std::vector<double> cells;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_CORE_MATH_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the TPUPoint code base.
+ */
+
+#ifndef TPUPOINT_CORE_TYPES_HH
+#define TPUPOINT_CORE_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace tpupoint {
+
+/**
+ * Simulated time in nanoseconds. All simulator clocks, event stamps
+ * and profile durations use this unit. 64 signed bits cover ~292
+ * years of simulated time, far beyond any training run.
+ */
+using SimTime = std::int64_t;
+
+/** A step index within a training session (TensorFlow global step). */
+using StepId = std::uint64_t;
+
+/** Sentinel for "no step associated with this event". */
+inline constexpr StepId kNoStep = std::numeric_limits<StepId>::max();
+
+/** Sentinel "infinitely far in the future" timestamp. */
+inline constexpr SimTime kTimeForever =
+    std::numeric_limits<SimTime>::max();
+
+/** Nanoseconds per microsecond/millisecond/second, for readability. */
+inline constexpr SimTime kUsec = 1000;
+inline constexpr SimTime kMsec = 1000 * kUsec;
+inline constexpr SimTime kSec = 1000 * kMsec;
+
+/** Bytes per KiB/MiB/GiB. */
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/** Convert a SimTime to floating-point seconds. */
+constexpr double
+toSeconds(SimTime t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSec);
+}
+
+/** Convert a SimTime to floating-point milliseconds. */
+constexpr double
+toMillis(SimTime t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMsec);
+}
+
+/** Convert floating-point seconds to SimTime, rounding to nearest. */
+constexpr SimTime
+fromSeconds(double s)
+{
+    return static_cast<SimTime>(s * static_cast<double>(kSec) + 0.5);
+}
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_CORE_TYPES_HH

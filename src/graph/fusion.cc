@@ -1,0 +1,173 @@
+#include "graph/fusion.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+namespace {
+
+/** Union-find over node ids with path compression. */
+class GroupSet
+{
+  public:
+    explicit GroupSet(std::size_t n) : parent(n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            parent[i] = static_cast<NodeId>(i);
+    }
+
+    NodeId
+    find(NodeId x)
+    {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    }
+
+    void
+    unite(NodeId child, NodeId into)
+    {
+        parent[find(child)] = find(into);
+    }
+
+  private:
+    std::vector<NodeId> parent;
+};
+
+} // namespace
+
+Graph
+fuseGraph(const Graph &graph, FusionStats *stats)
+{
+    const auto &nodes = graph.nodes();
+    const std::vector<std::uint32_t> consumers =
+        graph.consumerCounts();
+    GroupSet groups(nodes.size());
+
+    // Phase 1: group assignment. Absorb fusable element-wise nodes
+    // into a single-consumer producer.
+    for (const Node &n : nodes) {
+        if (!isFusableElementwise(n.kind))
+            continue;
+        for (const NodeId input : n.inputs) {
+            const Node &producer = nodes[input];
+            if (consumers[input] != 1)
+                continue;
+            // Don't fuse across the infeed/outfeed boundary or into
+            // pure data-movement ops.
+            const OpClass cls = opKindClass(producer.kind);
+            if (cls == OpClass::InfeedOutfeed ||
+                cls == OpClass::Memory ||
+                cls == OpClass::Collective)
+                continue;
+            groups.unite(n.id, input);
+            break;
+        }
+    }
+
+    // Phase 2: collect members per group root; the group's emission
+    // slot is its last member (every external use references it).
+    std::unordered_map<NodeId, std::vector<NodeId>> members;
+    for (const Node &n : nodes)
+        members[groups.find(n.id)].push_back(n.id);
+
+    // last member id per group root
+    std::unordered_map<NodeId, NodeId> last_member;
+    for (auto &[root, list] : members)
+        last_member[root] = list.back(); // lists are ascending
+
+    // Phase 3: emit the fused graph in order of last-member index.
+    Graph fused(graph.name());
+    std::vector<NodeId> old_to_new(nodes.size(), kInvalidNode);
+    std::size_t fusion_counter = 0;
+    FusionStats local;
+
+    // Iterate original order; emit a group when reaching its last
+    // member.
+    for (const Node &n : nodes) {
+        const NodeId root = groups.find(n.id);
+        if (last_member[root] != n.id)
+            continue; // not this group's emission slot
+        const std::vector<NodeId> &group = members[root];
+
+        // Gather external inputs (mapped), deduplicated in order.
+        std::vector<NodeId> new_inputs;
+        auto add_input = [&](NodeId old_input) {
+            if (groups.find(old_input) == root)
+                return; // internal edge
+            const NodeId mapped =
+                old_to_new[last_member[groups.find(old_input)]];
+            if (mapped == kInvalidNode)
+                panic("fuseGraph: input group not yet emitted");
+            if (std::find(new_inputs.begin(), new_inputs.end(),
+                          mapped) == new_inputs.end())
+                new_inputs.push_back(mapped);
+        };
+
+        if (group.size() == 1) {
+            Node copy_node = n;
+            copy_node.inputs.clear();
+            for (const NodeId input : n.inputs)
+                add_input(input);
+            copy_node.inputs = std::move(new_inputs);
+            const NodeId new_id = fused.add(std::move(copy_node));
+            old_to_new[n.id] = new_id;
+            continue;
+        }
+
+        // Build the fusion node.
+        Node fusion_node;
+        fusion_node.kind = OpKind::Fusion;
+        fusion_node.name = "fusion." +
+            std::to_string(fusion_counter++);
+        fusion_node.shape = n.shape;
+        fusion_node.dtype = n.dtype;
+
+        std::uint64_t flops = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t elided = 0;
+        bool mxu = false;
+        for (const NodeId member : group) {
+            const Node &m = nodes[member];
+            flops += m.flops;
+            bytes += m.bytes;
+            mxu = mxu || m.mxu;
+            for (const NodeId input : m.inputs) {
+                if (groups.find(input) == root) {
+                    // Internal edge: producer write + consumer read
+                    // both disappear.
+                    const Node &p = nodes[input];
+                    const std::uint64_t edge =
+                        2 * p.shape.numBytes(p.dtype);
+                    elided += std::min(edge, bytes);
+                    bytes -= std::min(edge, bytes);
+                } else {
+                    add_input(input);
+                }
+            }
+        }
+        fusion_node.inputs = std::move(new_inputs);
+        fusion_node.flops = flops;
+        fusion_node.bytes = bytes;
+        fusion_node.mxu = mxu;
+
+        const NodeId new_id = fused.add(std::move(fusion_node));
+        old_to_new[n.id] = new_id;
+        ++local.groups_formed;
+        local.nodes_fused += group.size() - 1;
+        local.bytes_elided += elided;
+    }
+
+    fused.validate();
+    if (stats)
+        *stats = local;
+    return fused;
+}
+
+} // namespace tpupoint

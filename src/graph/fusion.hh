@@ -1,0 +1,46 @@
+/**
+ * @file
+ * XLA-style operator fusion. The paper observes that the `fusion`
+ * operator — the XLA compiler's combination of compute-intensive ops
+ * that "help reduce memory operations" — is the most time-consuming
+ * TPU operator overall (Table II). This pass reproduces the
+ * mechanism: greedy producer-consumer fusion of element-wise chains
+ * into their producers (including MXU producers, i.e. output
+ * fusion), eliding the HBM traffic of internal edges.
+ */
+
+#ifndef TPUPOINT_GRAPH_FUSION_HH
+#define TPUPOINT_GRAPH_FUSION_HH
+
+#include <cstddef>
+
+#include "graph/graph.hh"
+
+namespace tpupoint {
+
+/** Statistics reported by the fusion pass. */
+struct FusionStats
+{
+    std::size_t groups_formed = 0;   ///< Fusion nodes emitted.
+    std::size_t nodes_fused = 0;     ///< Original nodes absorbed.
+    std::uint64_t bytes_elided = 0;  ///< HBM traffic removed.
+};
+
+/**
+ * Run the fusion pass.
+ *
+ * A node is absorbed into its producer's fusion group when (a) the
+ * node is a fusable element-wise op and (b) it is the producer's
+ * only consumer. Groups of two or more become a single Fusion node
+ * whose flops are the members' sum and whose HBM bytes exclude the
+ * internal producer-consumer edges.
+ *
+ * @param graph Input graph (unchanged).
+ * @param stats Optional out-params describing what was fused.
+ * @return The fused graph.
+ */
+Graph fuseGraph(const Graph &graph, FusionStats *stats = nullptr);
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_GRAPH_FUSION_HH

@@ -1,0 +1,177 @@
+#include "graph/op.hh"
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::MatMul: return "MatMul";
+      case OpKind::Conv2D: return "Conv2D";
+      case OpKind::Conv2DBackpropFilter:
+        return "Conv2DBackpropFilter";
+      case OpKind::Conv2DBackpropInput:
+        return "Conv2DBackpropInput";
+      case OpKind::Mul: return "Mul";
+      case OpKind::Add: return "Add";
+      case OpKind::Sub: return "Sub";
+      case OpKind::Maximum: return "Maximum";
+      case OpKind::Minimum: return "Minimum";
+      case OpKind::Relu: return "Relu";
+      case OpKind::ReluGrad: return "ReluGrad";
+      case OpKind::Tanh: return "Tanh";
+      case OpKind::Gelu: return "Gelu";
+      case OpKind::Softmax: return "Softmax";
+      case OpKind::SoftmaxGrad: return "SoftmaxGrad";
+      case OpKind::Cast: return "Cast";
+      case OpKind::Sum: return "Sum";
+      case OpKind::Mean: return "Mean";
+      case OpKind::L2Loss: return "L2Loss";
+      case OpKind::BiasAdd: return "BiasAdd";
+      case OpKind::BiasAddGrad: return "BiasAddGrad";
+      case OpKind::Rsqrt: return "Rsqrt";
+      case OpKind::ApplyAdam: return "ApplyAdam";
+      case OpKind::ApplyGradientDescent:
+        return "ApplyGradientDescent";
+      case OpKind::ArgMax: return "ArgMax";
+      case OpKind::Equal: return "Equal";
+      case OpKind::FusedBatchNormV3: return "FusedBatchNormV3";
+      case OpKind::FusedBatchNormGradV3:
+        return "FusedBatchNormGradV3";
+      case OpKind::LayerNorm: return "LayerNorm";
+      case OpKind::LayerNormGrad: return "LayerNormGrad";
+      case OpKind::Reshape: return "Reshape";
+      case OpKind::Transpose: return "Transpose";
+      case OpKind::Copy: return "Copy";
+      case OpKind::Concat: return "Concat";
+      case OpKind::Slice: return "Slice";
+      case OpKind::Pad: return "Pad";
+      case OpKind::GatherV2: return "GatherV2";
+      case OpKind::DynamicStitch: return "DynamicStitch";
+      case OpKind::OneHot: return "OneHot";
+      case OpKind::Squeeze: return "Squeeze";
+      case OpKind::MaxPool: return "MaxPool";
+      case OpKind::MaxPoolGrad: return "MaxPoolGrad";
+      case OpKind::AvgPool: return "AvgPool";
+      case OpKind::ResizeNearestNeighbor:
+        return "ResizeNearestNeighbor";
+      case OpKind::Infeed: return "Infeed";
+      case OpKind::InfeedDequeueTuple: return "InfeedDequeueTuple";
+      case OpKind::Outfeed: return "Outfeed";
+      case OpKind::OutfeedEnqueueTuple:
+        return "OutfeedEnqueueTuple";
+      case OpKind::AllReduce: return "all-reduce";
+      case OpKind::CrossReplicaSum: return "CrossReplicaSum";
+      case OpKind::Fusion: return "fusion";
+    }
+    panic("opKindName: unknown OpKind");
+}
+
+OpClass
+opKindClass(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::MatMul:
+      case OpKind::Conv2D:
+      case OpKind::Conv2DBackpropFilter:
+      case OpKind::Conv2DBackpropInput:
+        return OpClass::MxuCompute;
+
+      case OpKind::Mul:
+      case OpKind::Add:
+      case OpKind::Sub:
+      case OpKind::Maximum:
+      case OpKind::Minimum:
+      case OpKind::Relu:
+      case OpKind::ReluGrad:
+      case OpKind::Tanh:
+      case OpKind::Gelu:
+      case OpKind::Softmax:
+      case OpKind::SoftmaxGrad:
+      case OpKind::Cast:
+      case OpKind::Sum:
+      case OpKind::Mean:
+      case OpKind::L2Loss:
+      case OpKind::BiasAdd:
+      case OpKind::BiasAddGrad:
+      case OpKind::Rsqrt:
+      case OpKind::ApplyAdam:
+      case OpKind::ApplyGradientDescent:
+      case OpKind::ArgMax:
+      case OpKind::Equal:
+      case OpKind::FusedBatchNormV3:
+      case OpKind::FusedBatchNormGradV3:
+      case OpKind::LayerNorm:
+      case OpKind::LayerNormGrad:
+      case OpKind::MaxPool:
+      case OpKind::MaxPoolGrad:
+      case OpKind::AvgPool:
+      case OpKind::ResizeNearestNeighbor:
+      case OpKind::Fusion:
+        return OpClass::VectorCompute;
+
+      case OpKind::Reshape:
+      case OpKind::Transpose:
+      case OpKind::Copy:
+      case OpKind::Concat:
+      case OpKind::Slice:
+      case OpKind::Pad:
+      case OpKind::GatherV2:
+      case OpKind::DynamicStitch:
+      case OpKind::OneHot:
+      case OpKind::Squeeze:
+        return OpClass::Memory;
+
+      case OpKind::Infeed:
+      case OpKind::InfeedDequeueTuple:
+      case OpKind::Outfeed:
+      case OpKind::OutfeedEnqueueTuple:
+        return OpClass::InfeedOutfeed;
+
+      case OpKind::AllReduce:
+      case OpKind::CrossReplicaSum:
+        return OpClass::Collective;
+    }
+    panic("opKindClass: unknown OpKind");
+}
+
+bool
+isMxuKind(OpKind kind)
+{
+    return opKindClass(kind) == OpClass::MxuCompute;
+}
+
+bool
+isFusableElementwise(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Mul:
+      case OpKind::Add:
+      case OpKind::Sub:
+      case OpKind::Maximum:
+      case OpKind::Minimum:
+      case OpKind::Relu:
+      case OpKind::ReluGrad:
+      case OpKind::Tanh:
+      case OpKind::Gelu:
+      case OpKind::Cast:
+      case OpKind::BiasAdd:
+      case OpKind::BiasAddGrad:
+      case OpKind::Rsqrt:
+      // XLA decomposes normalization and softmax into elementwise
+      // chains and reductions, which then join loop fusions.
+      case OpKind::FusedBatchNormV3:
+      case OpKind::FusedBatchNormGradV3:
+      case OpKind::LayerNorm:
+      case OpKind::LayerNormGrad:
+      case OpKind::Softmax:
+      case OpKind::SoftmaxGrad:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace tpupoint

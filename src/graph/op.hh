@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The operator taxonomy of the IR. The names mirror the TensorFlow /
+ * XLA operators that TPUPoint's profiler observes on real Cloud TPUs
+ * (Table II of the paper): compute ops (MatMul, Conv2D, ...), data
+ * movement (Reshape, Transpose, Copy), normalization, reductions,
+ * the infeed/outfeed boundary, and the post-fusion `fusion` op.
+ */
+
+#ifndef TPUPOINT_GRAPH_OP_HH
+#define TPUPOINT_GRAPH_OP_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tpupoint {
+
+/** Device-side operator kinds appearing in TPU op graphs. */
+enum class OpKind
+{
+    // MXU (systolic array) compute.
+    MatMul,
+    Conv2D,
+    Conv2DBackpropFilter,
+    Conv2DBackpropInput,
+
+    // Vector-unit compute (element-wise and reductions).
+    Mul,
+    Add,
+    Sub,
+    Maximum,
+    Minimum,
+    Relu,
+    ReluGrad,
+    Tanh,
+    Gelu,
+    Softmax,
+    SoftmaxGrad,
+    Cast,
+    Sum,
+    Mean,
+    L2Loss,
+    BiasAdd,
+    BiasAddGrad,
+    Rsqrt,
+    ApplyAdam,
+    ApplyGradientDescent,
+    ArgMax,
+    Equal,
+
+    // Normalization.
+    FusedBatchNormV3,
+    FusedBatchNormGradV3,
+    LayerNorm,
+    LayerNormGrad,
+
+    // Data movement / layout.
+    Reshape,
+    Transpose,
+    Copy,
+    Concat,
+    Slice,
+    Pad,
+    GatherV2,
+    DynamicStitch,
+    OneHot,
+    Squeeze,
+
+    // Pooling / resampling.
+    MaxPool,
+    MaxPoolGrad,
+    AvgPool,
+    ResizeNearestNeighbor,
+
+    // Host <-> device boundary (device side).
+    Infeed,
+    InfeedDequeueTuple,
+    Outfeed,
+    OutfeedEnqueueTuple,
+
+    // Collective / replication.
+    AllReduce,
+    CrossReplicaSum,
+
+    // Compiler-generated.
+    Fusion,
+};
+
+/** Number of OpKind values (for tables indexed by kind). */
+inline constexpr std::size_t kNumOpKinds =
+    static_cast<std::size_t>(OpKind::Fusion) + 1;
+
+/**
+ * The operator-type label the profiler reports, e.g. "MatMul",
+ * "fusion", "all-reduce". Matches the paper's Table II spelling.
+ */
+const char *opKindName(OpKind kind);
+
+/** Coarse execution class of an operator. */
+enum class OpClass
+{
+    MxuCompute,    ///< Runs on the matrix units.
+    VectorCompute, ///< Runs on the vector/scalar units.
+    Memory,        ///< Layout/data movement, HBM-bandwidth bound.
+    InfeedOutfeed, ///< Host <-> device queue boundary.
+    Collective,    ///< Cross-replica communication.
+};
+
+/** Execution class of @p kind (pre-fusion; fusion ops carry their own). */
+OpClass opKindClass(OpKind kind);
+
+/** True when @p kind executes on the MXUs. */
+bool isMxuKind(OpKind kind);
+
+/** True for pure element-wise ops that XLA will fuse greedily. */
+bool isFusableElementwise(OpKind kind);
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_GRAPH_OP_HH

@@ -1,0 +1,71 @@
+#include "graph/schedule.hh"
+
+namespace tpupoint {
+
+StepSchedule
+extractSchedule(const Graph &graph)
+{
+    StepSchedule schedule;
+    schedule.model = graph.name();
+
+    // The infeed delivers one tuple per step regardless of how many
+    // tensors the model declares: coalesce every infeed node into a
+    // single dequeue op (at the first infeed's position), and every
+    // outfeed node into a single enqueue op (at the last one's).
+    std::size_t first_infeed = graph.size();
+    std::size_t last_outfeed = graph.size();
+    for (const Node &n : graph.nodes()) {
+        const bool is_infeed = n.kind == OpKind::InfeedDequeueTuple ||
+            n.kind == OpKind::Infeed;
+        const bool is_outfeed =
+            n.kind == OpKind::OutfeedEnqueueTuple ||
+            n.kind == OpKind::Outfeed;
+        if (is_infeed) {
+            schedule.infeed_bytes += n.shape.numBytes(n.dtype);
+            if (first_infeed == graph.size())
+                first_infeed = n.id;
+        }
+        if (is_outfeed) {
+            schedule.outfeed_bytes += n.shape.numBytes(n.dtype);
+            last_outfeed = n.id;
+        }
+    }
+
+    schedule.ops.reserve(graph.size());
+    for (const Node &n : graph.nodes()) {
+        const bool is_infeed = n.kind == OpKind::InfeedDequeueTuple ||
+            n.kind == OpKind::Infeed;
+        const bool is_outfeed =
+            n.kind == OpKind::OutfeedEnqueueTuple ||
+            n.kind == OpKind::Outfeed;
+
+        ScheduledOp op;
+        if (is_infeed) {
+            if (n.id != first_infeed)
+                continue; // coalesced into the first infeed
+            op.kind = OpKind::InfeedDequeueTuple;
+            op.name = "infeed";
+            op.bytes = schedule.infeed_bytes;
+        } else if (is_outfeed) {
+            if (n.id != last_outfeed)
+                continue; // coalesced into the last outfeed
+            op.kind = OpKind::OutfeedEnqueueTuple;
+            op.name = "outfeed";
+            op.bytes = schedule.outfeed_bytes;
+        } else {
+            op.kind = n.kind;
+            op.name = n.name;
+            op.flops = n.flops;
+            op.bytes = n.bytes;
+            op.mxu = n.mxu;
+        }
+        schedule.total_flops += op.flops;
+        schedule.total_bytes += op.bytes;
+        if (op.mxu)
+            schedule.mxu_flops += op.flops;
+        schedule.ops.push_back(std::move(op));
+    }
+    return schedule;
+}
+
+} // namespace tpupoint

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Linear execution schedules. The TPU core executes one StepSchedule
+ * per training step; the schedule is extracted once from the
+ * (post-fusion) graph and reused across steps.
+ */
+
+#ifndef TPUPOINT_GRAPH_SCHEDULE_HH
+#define TPUPOINT_GRAPH_SCHEDULE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace tpupoint {
+
+/** One operator occurrence in the per-step execution order. */
+struct ScheduledOp
+{
+    OpKind kind = OpKind::Copy;
+    std::string name;        ///< Instance name (for trace labels).
+    std::uint64_t flops = 0; ///< Floating-point work.
+    std::uint64_t bytes = 0; ///< HBM traffic.
+    bool mxu = false;        ///< Uses the matrix units.
+
+    /** The operator-type label the profiler aggregates by. */
+    const char *typeName() const { return opKindName(kind); }
+};
+
+/**
+ * The per-step execution recipe for a model: the ordered op list
+ * plus the infeed/outfeed byte totals the host must move per step.
+ */
+struct StepSchedule
+{
+    std::string model;                ///< Graph name.
+    std::vector<ScheduledOp> ops;     ///< Topological order.
+    std::uint64_t infeed_bytes = 0;   ///< Host -> TPU per step.
+    std::uint64_t outfeed_bytes = 0;  ///< TPU -> host per step.
+    std::uint64_t total_flops = 0;    ///< Sum over ops.
+    std::uint64_t total_bytes = 0;    ///< Sum over ops.
+    std::uint64_t mxu_flops = 0;      ///< Flops on the matrix units.
+
+    /** Number of ops per step. */
+    std::size_t size() const { return ops.size(); }
+};
+
+/**
+ * Extract the linear schedule of @p graph (usually post-fusion).
+ */
+StepSchedule extractSchedule(const Graph &graph);
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_GRAPH_SCHEDULE_HH

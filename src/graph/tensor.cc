@@ -1,0 +1,92 @@
+#include "graph/tensor.hh"
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+std::size_t
+dataTypeSize(DataType type)
+{
+    switch (type) {
+      case DataType::F32: return 4;
+      case DataType::BF16: return 2;
+      case DataType::F16: return 2;
+      case DataType::I32: return 4;
+      case DataType::I64: return 8;
+      case DataType::U8: return 1;
+      case DataType::Bool: return 1;
+    }
+    panic("dataTypeSize: unknown DataType");
+}
+
+const char *
+dataTypeName(DataType type)
+{
+    switch (type) {
+      case DataType::F32: return "f32";
+      case DataType::BF16: return "bf16";
+      case DataType::F16: return "f16";
+      case DataType::I32: return "i32";
+      case DataType::I64: return "i64";
+      case DataType::U8: return "u8";
+      case DataType::Bool: return "bool";
+    }
+    panic("dataTypeName: unknown DataType");
+}
+
+TensorShape::TensorShape(std::initializer_list<std::int64_t> dimensions)
+    : dims(dimensions)
+{
+    for (const auto d : dims) {
+        if (d < 0)
+            fatal("TensorShape: negative dimension ", d);
+    }
+}
+
+TensorShape::TensorShape(std::vector<std::int64_t> dimensions)
+    : dims(std::move(dimensions))
+{
+    for (const auto d : dims) {
+        if (d < 0)
+            fatal("TensorShape: negative dimension ", d);
+    }
+}
+
+std::int64_t
+TensorShape::dim(std::size_t axis) const
+{
+    if (axis >= dims.size())
+        panic("TensorShape::dim: axis ", axis, " out of range");
+    return dims[axis];
+}
+
+std::int64_t
+TensorShape::numElements() const
+{
+    std::int64_t count = 1;
+    for (const auto d : dims)
+        count *= d;
+    return count;
+}
+
+std::uint64_t
+TensorShape::numBytes(DataType type) const
+{
+    return static_cast<std::uint64_t>(numElements()) *
+        dataTypeSize(type);
+}
+
+std::string
+TensorShape::toString() const
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+        if (i)
+            out += ',';
+        out += std::to_string(dims[i]);
+    }
+    out += ']';
+    return out;
+}
+
+} // namespace tpupoint

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tensor shapes and element types for the op-graph IR.
+ */
+
+#ifndef TPUPOINT_GRAPH_TENSOR_HH
+#define TPUPOINT_GRAPH_TENSOR_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace tpupoint {
+
+/** Element type of a tensor. */
+enum class DataType { F32, BF16, F16, I32, I64, U8, Bool };
+
+/** Size in bytes of one element of @p type. */
+std::size_t dataTypeSize(DataType type);
+
+/** Printable name, e.g. "f32". */
+const char *dataTypeName(DataType type);
+
+/**
+ * A dense tensor shape. Rank 0 represents a scalar.
+ */
+class TensorShape
+{
+  public:
+    TensorShape() = default;
+
+    /** Construct from a dimension list, e.g. {32, 128, 768}. */
+    TensorShape(std::initializer_list<std::int64_t> dimensions);
+
+    /** Construct from a vector of dimensions. */
+    explicit TensorShape(std::vector<std::int64_t> dimensions);
+
+    /** Number of dimensions. */
+    std::size_t rank() const { return dims.size(); }
+
+    /** Size of dimension @p axis. */
+    std::int64_t dim(std::size_t axis) const;
+
+    /** All dimensions. */
+    const std::vector<std::int64_t> &dimensions() const
+    {
+        return dims;
+    }
+
+    /** Product of all dimensions; 1 for scalars. */
+    std::int64_t numElements() const;
+
+    /** numElements() * dataTypeSize(type). */
+    std::uint64_t numBytes(DataType type) const;
+
+    /** "[32,128,768]" — for debugging and trace labels. */
+    std::string toString() const;
+
+    bool operator==(const TensorShape &other) const
+    {
+        return dims == other.dims;
+    }
+
+  private:
+    std::vector<std::int64_t> dims;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_GRAPH_TENSOR_HH

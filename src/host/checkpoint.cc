@@ -1,0 +1,80 @@
+#include "host/checkpoint.hh"
+
+#include <cstdlib>
+
+#include "host/host_ops.hh"
+
+namespace tpupoint {
+
+CheckpointManager::CheckpointManager(Simulator &simulator,
+                                     StorageBucket &bucket,
+                                     std::uint64_t model_bytes,
+                                     TraceSink *trace_sink)
+    : sim(simulator), storage(bucket), model_size(model_bytes),
+      sink(trace_sink)
+{
+}
+
+void
+CheckpointManager::save(StepId step, std::function<void()> done)
+{
+    const SimTime start = sim.now();
+    storage.write(model_size, [this, step, start,
+                               done = std::move(done)]() mutable {
+        if (sink) {
+            TraceEvent event;
+            event.type = hostop::kSaveV2;
+            event.start = start;
+            event.duration = sim.now() - start;
+            event.step = step;
+            event.device = EventDevice::Host;
+            sink->record(event);
+        }
+        CheckpointInfo info;
+        info.step = step;
+        info.saved_at = sim.now();
+        info.bytes = model_size;
+        saved.push_back(info);
+        if (done)
+            done();
+    });
+}
+
+void
+CheckpointManager::restore(StepId from_step,
+                           std::function<void()> done)
+{
+    const SimTime start = sim.now();
+    storage.read(model_size, 8, [this, from_step, start,
+                                 done = std::move(done)]() mutable {
+        if (sink) {
+            TraceEvent event;
+            event.type = hostop::kRestoreV2;
+            event.start = start;
+            event.duration = sim.now() - start;
+            event.step = from_step;
+            event.device = EventDevice::Host;
+            sink->record(event);
+        }
+        if (done)
+            done();
+    });
+}
+
+const CheckpointInfo *
+CheckpointManager::nearest(StepId step) const
+{
+    const CheckpointInfo *best = nullptr;
+    std::uint64_t best_delta = 0;
+    for (const auto &info : saved) {
+        const std::uint64_t delta = info.step > step
+            ? info.step - step : step - info.step;
+        if (!best || delta < best_delta) {
+            best = &info;
+            best_delta = delta;
+        }
+    }
+    return best;
+}
+
+} // namespace tpupoint

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Model checkpointing. TensorFlow estimators periodically write the
+ * model variables to cloud storage (SaveV2) and restore them at
+ * startup (RestoreV2). TPUPoint-Analyzer associates each detected
+ * phase with the nearest checkpoint (Section IV-C) so applications
+ * can fast-forward to a phase instead of replaying from step zero.
+ */
+
+#ifndef TPUPOINT_HOST_CHECKPOINT_HH
+#define TPUPOINT_HOST_CHECKPOINT_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/types.hh"
+#include "host/storage.hh"
+#include "proto/event.hh"
+#include "sim/simulator.hh"
+
+namespace tpupoint {
+
+/** Metadata of one saved checkpoint. */
+struct CheckpointInfo
+{
+    StepId step = 0;        ///< Global step at save time.
+    SimTime saved_at = 0;   ///< Completion timestamp.
+    std::uint64_t bytes = 0;
+};
+
+/**
+ * Saves and restores model state through a storage bucket, keeping
+ * the checkpoint registry the analyzer queries.
+ */
+class CheckpointManager
+{
+  public:
+    /**
+     * @param model_bytes Serialized size of the model variables.
+     */
+    CheckpointManager(Simulator &simulator, StorageBucket &bucket,
+                      std::uint64_t model_bytes,
+                      TraceSink *trace_sink);
+
+    /** Write a checkpoint at @p step; @p done fires on completion. */
+    void save(StepId step, std::function<void()> done);
+
+    /**
+     * Restore model variables (emits RestoreV2). When @p from_step
+     * is nonzero this models restarting at a saved checkpoint.
+     */
+    void restore(StepId from_step, std::function<void()> done);
+
+    /** All checkpoints saved so far, ascending by step. */
+    const std::vector<CheckpointInfo> &checkpoints() const
+    {
+        return saved;
+    }
+
+    /**
+     * The checkpoint closest to @p step (smallest |step delta|), or
+     * nullptr when none exist.
+     */
+    const CheckpointInfo *nearest(StepId step) const;
+
+  private:
+    Simulator &sim;
+    StorageBucket &storage;
+    std::uint64_t model_size;
+    TraceSink *sink;
+    std::vector<CheckpointInfo> saved;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_HOST_CHECKPOINT_HH

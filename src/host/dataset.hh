@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Dataset descriptors: what the host input pipeline must do per
+ * example. The workload catalog (`workloads/datasets`) instantiates
+ * these for the nine datasets of Table I.
+ */
+
+#ifndef TPUPOINT_HOST_DATASET_HH
+#define TPUPOINT_HOST_DATASET_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.hh"
+
+namespace tpupoint {
+
+/** Storage format / preprocessing class of a dataset. */
+enum class DatasetKind
+{
+    JpegImages,    ///< JPEG decode + crop + resize (COCO, ImageNet).
+    RawImages,     ///< Small raw images (CIFAR-10, MNIST).
+    TokenizedText, ///< Token-id records + padding (SQuAD, MRPC, ...).
+};
+
+/**
+ * Static description of one dataset as the input pipeline sees it.
+ */
+struct DatasetSpec
+{
+    std::string name;
+    DatasetKind kind = DatasetKind::TokenizedText;
+    std::uint64_t total_bytes = 0;   ///< On-disk size (Table I).
+    std::uint64_t num_examples = 0;  ///< Records in the dataset.
+
+    /**
+     * Host CPU cost to decode one stored byte on one thread
+     * (ns/byte). JPEG decode is far more expensive per byte than
+     * parsing token records.
+     */
+    double decode_ns_per_byte = 1.0;
+
+    /**
+     * Fixed host CPU cost per example in the decode stage
+     * (ns/example): tokenization and feature construction cost
+     * roughly per record, not per byte.
+     */
+    double decode_ns_per_example = 0.0;
+
+    /**
+     * Host CPU cost of post-decode preprocessing per *decoded* byte
+     * (resize/crop/augment for images, padding for text).
+     */
+    double preprocess_ns_per_byte = 0.5;
+
+    /** Fixed per-example preprocessing cost (ns/example). */
+    double preprocess_ns_per_example = 0.0;
+
+    /**
+     * Expansion from stored to decoded size (JPEG ~10x; raw/text
+     * ~1x). Decoded bytes flow through preprocessing and batching.
+     */
+    double decode_expansion = 1.0;
+
+    /**
+     * Relative per-example variability of host processing cost
+     * (lognormal sigma). Object-detection inputs (COCO) vary much
+     * more than fixed-length text records.
+     */
+    double cost_sigma = 0.05;
+
+    /** Average stored bytes of one example. */
+    std::uint64_t
+    exampleBytes() const
+    {
+        return num_examples ? total_bytes / num_examples : 0;
+    }
+
+    /** Average decoded bytes of one example. */
+    std::uint64_t
+    decodedExampleBytes() const
+    {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(exampleBytes()) * decode_expansion);
+    }
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_HOST_DATASET_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Interned host-side operator labels. These are the operator names
+ * TPUPoint observes in host traces on the real platform (Table II of
+ * the paper): the infeed/outfeed boundary, TensorFlow session ops,
+ * gRPC transport, dataset preprocessing and TPU system management.
+ */
+
+#ifndef TPUPOINT_HOST_HOST_OPS_HH
+#define TPUPOINT_HOST_HOST_OPS_HH
+
+namespace tpupoint {
+namespace hostop {
+
+// Host <-> TPU data exchange (the paper's top host operators).
+inline constexpr const char *kOutfeedDequeueTuple =
+    "OutfeedDequeueTuple";
+inline constexpr const char *kTransferBufferToInfeedLocked =
+    "TransferBufferToInfeedLocked";
+inline constexpr const char *kInfeedEnqueueTuple =
+    "InfeedEnqueueTuple";
+inline constexpr const char *kLinearizeX32 = "LinearizeX32";
+
+// TensorFlow session / dispatch.
+inline constexpr const char *kRunGraph = "RunGraph";
+inline constexpr const char *kSend = "Send";
+inline constexpr const char *kRecv = "Recv";
+inline constexpr const char *kStartProgram = "StartProgram";
+inline constexpr const char *kLSRAv2 = "LSRAv2";
+
+// TPU system lifecycle.
+inline constexpr const char *kInitializeHostForDistributedTpu =
+    "InitializeHostForDistributedTpu";
+inline constexpr const char *kDisconnectHostFromDistributedTPUSystem =
+    "DisconnectHostFromDistributedTPUSystem";
+inline constexpr const char *kConfigureDistributedTPU =
+    "ConfigureDistributedTPU";
+
+// Checkpointing.
+inline constexpr const char *kRestoreV2 = "RestoreV2";
+inline constexpr const char *kSaveV2 = "SaveV2";
+
+// Input-pipeline preprocessing (image workloads).
+inline constexpr const char *kDecodeAndCropJpeg = "DecodeAndCropJpeg";
+inline constexpr const char *kResizeBicubic = "ResizeBicubic";
+inline constexpr const char *kRandomFlip = "RandomFlipLeftRight";
+
+// Input-pipeline preprocessing (text workloads).
+inline constexpr const char *kBuildPaddedOutput = "BuildPaddedOutput";
+inline constexpr const char *kParseExample = "ParseExample";
+
+// Host-side eval metric computation (TPUEstimator computes eval
+// metrics on the host from outfed tensors).
+inline constexpr const char *kArgMax = "ArgMax";
+inline constexpr const char *kEqual = "Equal";
+inline constexpr const char *kMean = "Mean";
+inline constexpr const char *kConcatV2 = "ConcatV2";
+inline constexpr const char *kSqueeze = "Squeeze";
+
+// Generic element-wise host math seen in input pipelines.
+inline constexpr const char *kMaximum = "Maximum";
+inline constexpr const char *kMinimum = "Minimum";
+inline constexpr const char *kSub = "Sub";
+inline constexpr const char *kCast = "Cast";
+
+} // namespace hostop
+} // namespace tpupoint
+
+#endif // TPUPOINT_HOST_HOST_OPS_HH

@@ -1,0 +1,131 @@
+#include "host/infeed.hh"
+
+#include "core/logging.hh"
+#include "host/host_ops.hh"
+
+namespace tpupoint {
+
+namespace {
+
+SimTime
+transferTime(std::uint64_t bytes, double bandwidth)
+{
+    return static_cast<SimTime>(
+        static_cast<double>(bytes) / bandwidth * 1e9 + 0.5);
+}
+
+} // namespace
+
+InfeedDriver::InfeedDriver(Simulator &simulator,
+                           BoundedQueue<HostBatch> &prefetch_buffer,
+                           InfeedQueue &device_queue,
+                           double pcie_bandwidth,
+                           TraceSink *trace_sink)
+    : sim(simulator), prefetch(prefetch_buffer),
+      device(device_queue), pcie_bw(pcie_bandwidth),
+      sink(trace_sink)
+{
+}
+
+void
+InfeedDriver::emit(const char *type, SimTime start, SimTime duration,
+                   StepId step)
+{
+    if (!sink)
+        return;
+    TraceEvent event;
+    event.type = type;
+    event.start = start;
+    event.duration = duration;
+    event.step = step;
+    event.device = EventDevice::Host;
+    sink->record(event);
+}
+
+void
+InfeedDriver::start()
+{
+    if (started)
+        panic("InfeedDriver::start called twice");
+    started = true;
+    sim.schedule(0, [this]() { forwardLoop(); });
+}
+
+void
+InfeedDriver::forwardLoop()
+{
+    prefetch.pop([this](HostBatch batch) {
+        // Hold the PCIe link while serializing the batch across.
+        const SimTime transfer = transferTime(batch.bytes, pcie_bw);
+        const SimTime start = sim.now();
+        sim.schedule(transfer, [this, batch, start,
+                                transfer]() mutable {
+            emit(hostop::kTransferBufferToInfeedLocked, start,
+                 transfer, batch.step);
+            link_busy += transfer;
+
+            // Registering the tuple with the device queue is cheap.
+            const SimTime enqueue_start = sim.now();
+            DeviceBatch device_batch;
+            device_batch.step = batch.step;
+            device_batch.bytes = batch.bytes;
+            device_batch.host_ready = batch.ready_at;
+            device.push(device_batch, [this, batch,
+                                       enqueue_start]() mutable {
+                emit(hostop::kInfeedEnqueueTuple, enqueue_start,
+                     sim.now() - enqueue_start + 5 * kUsec,
+                     batch.step);
+                ++batches;
+                forwardLoop();
+            });
+        });
+    });
+}
+
+OutfeedDrain::OutfeedDrain(Simulator &simulator,
+                           OutfeedQueue &device_queue,
+                           double pcie_bandwidth,
+                           TraceSink *trace_sink)
+    : sim(simulator), device(device_queue), pcie_bw(pcie_bandwidth),
+      sink(trace_sink)
+{
+}
+
+void
+OutfeedDrain::start(StepCallback on_step)
+{
+    if (started)
+        panic("OutfeedDrain::start called twice");
+    started = true;
+    callback = std::move(on_step);
+    sim.schedule(0, [this]() { drainLoop(); });
+}
+
+void
+OutfeedDrain::drainLoop()
+{
+    const SimTime wait_start = sim.now();
+    device.pop([this, wait_start](StepResult result) {
+        // The dequeue op spans the blocking wait plus the readback.
+        const SimTime transfer =
+            transferTime(result.bytes, pcie_bw) + 20 * kUsec;
+        sim.schedule(transfer, [this, result,
+                                wait_start]() mutable {
+            if (sink) {
+                TraceEvent event;
+                event.type = hostop::kOutfeedDequeueTuple;
+                event.start = wait_start;
+                event.duration = sim.now() - wait_start;
+                event.step = result.step;
+                event.device = EventDevice::Host;
+                sink->record(event);
+            }
+            ++results;
+            if (callback)
+                callback(result);
+            drainLoop();
+        });
+    });
+}
+
+} // namespace tpupoint

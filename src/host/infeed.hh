@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The host infeed thread: drains the input pipeline's prefetch
+ * buffer and pushes batches across PCIe into the device's infeed
+ * queue. Its transfer op — TransferBufferToInfeedLocked — is one of
+ * the two most critical host operators the paper identifies.
+ */
+
+#ifndef TPUPOINT_HOST_INFEED_HH
+#define TPUPOINT_HOST_INFEED_HH
+
+#include <cstdint>
+
+#include "host/pipeline.hh"
+#include "proto/event.hh"
+#include "sim/simulator.hh"
+#include "tpu/queues.hh"
+
+namespace tpupoint {
+
+/**
+ * Moves prepared batches host -> device. One batch at a time: pop
+ * from the prefetch buffer, hold the PCIe link for the transfer,
+ * enqueue into the bounded on-device infeed buffer (blocking when
+ * the device is behind).
+ */
+class InfeedDriver
+{
+  public:
+    /**
+     * @param pcie_bandwidth Host-link bytes/s (device spec).
+     * @param device_queue On-device infeed buffer.
+     */
+    InfeedDriver(Simulator &simulator,
+                 BoundedQueue<HostBatch> &prefetch_buffer,
+                 InfeedQueue &device_queue, double pcie_bandwidth,
+                 TraceSink *trace_sink);
+
+    /** Begin the forwarding loop (runs until producers stop). */
+    void start();
+
+    /** Batches transferred so far. */
+    std::uint64_t transferred() const { return batches; }
+
+    /** Total time the link was busy. */
+    SimTime linkBusy() const { return link_busy; }
+
+  private:
+    void forwardLoop();
+
+    void emit(const char *type, SimTime start, SimTime duration,
+              StepId step);
+
+    Simulator &sim;
+    BoundedQueue<HostBatch> &prefetch;
+    InfeedQueue &device;
+    double pcie_bw;
+    TraceSink *sink;
+    std::uint64_t batches = 0;
+    SimTime link_busy = 0;
+    bool started = false;
+};
+
+/**
+ * The host outfeed thread: blocks in OutfeedDequeueTuple until the
+ * device publishes a step result, then hands it to the session.
+ * The blocking wait is charged to OutfeedDequeueTuple — which is
+ * why that operator tops the paper's host-op table.
+ */
+class OutfeedDrain
+{
+  public:
+    using StepCallback = std::function<void(StepResult)>;
+
+    OutfeedDrain(Simulator &simulator, OutfeedQueue &device_queue,
+                 double pcie_bandwidth, TraceSink *trace_sink);
+
+    /** Begin draining; @p on_step fires per completed step. */
+    void start(StepCallback on_step);
+
+    /** Steps drained so far. */
+    std::uint64_t drained() const { return results; }
+
+  private:
+    void drainLoop();
+
+    Simulator &sim;
+    OutfeedQueue &device;
+    double pcie_bw;
+    TraceSink *sink;
+    StepCallback callback;
+    std::uint64_t results = 0;
+    bool started = false;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_HOST_INFEED_HH

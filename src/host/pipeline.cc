@@ -1,0 +1,251 @@
+#include "host/pipeline.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+#include "core/strings.hh"
+#include "host/host_ops.hh"
+
+namespace tpupoint {
+
+std::string
+PipelineConfig::toString() const
+{
+    std::string out;
+    out += "reads=" + std::to_string(num_parallel_reads);
+    out += " calls=" + std::to_string(num_parallel_calls);
+    out += " prefetch=" + std::to_string(prefetch_depth);
+    out += " shuffle=" + std::to_string(shuffle_buffer);
+    out += " fused=";
+    out += map_and_batch_fused ? '1' : '0';
+    return out;
+}
+
+PipelineConfig
+PipelineConfig::naive()
+{
+    PipelineConfig cfg;
+    cfg.num_parallel_reads = 1;
+    cfg.num_parallel_calls = 1;
+    cfg.prefetch_depth = 1;
+    cfg.shuffle_buffer = 256;
+    cfg.map_and_batch_fused = false;
+    return cfg;
+}
+
+InputPipeline::InputPipeline(Simulator &simulator,
+                             const HostSpec &host_spec,
+                             StorageBucket &bucket,
+                             const DatasetSpec &dataset,
+                             std::uint64_t batch_size,
+                             std::uint64_t device_batch_bytes,
+                             const PipelineConfig &config, Rng rng,
+                             TraceSink *trace_sink)
+    : sim(simulator), host(host_spec), storage(bucket),
+      data(dataset), batch_examples(batch_size),
+      device_bytes(device_batch_bytes), cfg(config),
+      noise(std::move(rng)), sink(trace_sink),
+      raw_queue(simulator, 2), processed_queue(simulator, 2),
+      prefetch(simulator, std::max<std::size_t>(
+          config.prefetch_depth, 1))
+{
+    if (batch_examples == 0)
+        fatal("InputPipeline: batch size must be positive");
+}
+
+void
+InputPipeline::emit(const char *type, SimTime start,
+                    SimTime duration, StepId step)
+{
+    if (!sink)
+        return;
+    TraceEvent event;
+    event.type = type;
+    event.start = start;
+    event.duration = duration;
+    event.step = step;
+    event.device = EventDevice::Host;
+    sink->record(event);
+}
+
+double
+InputPipeline::effectiveParallelism() const
+{
+    const int threads = std::max(host.threads(), 1);
+    const int p = std::clamp(cfg.num_parallel_calls, 1, threads);
+    constexpr double serial_fraction = 0.03;
+    return 1.0 / (serial_fraction +
+                  (1.0 - serial_fraction) / static_cast<double>(p));
+}
+
+std::uint64_t
+InputPipeline::storedBatchBytes() const
+{
+    return batch_examples * data.exampleBytes();
+}
+
+std::uint64_t
+InputPipeline::decodedBatchBytes() const
+{
+    return batch_examples * data.decodedExampleBytes();
+}
+
+void
+InputPipeline::start(StepId first_step, std::uint64_t count)
+{
+    if (started)
+        panic("InputPipeline::start called twice");
+    started = true;
+    next_read_step = first_step;
+    end_step = first_step + count;
+    sim.schedule(0, [this]() { readLoop(); });
+    sim.schedule(0, [this]() { processLoop(); });
+    sim.schedule(0, [this]() { linearizeLoop(); });
+}
+
+void
+InputPipeline::setConfig(const PipelineConfig &new_config)
+{
+    cfg = new_config;
+    prefetch.setCapacity(
+        std::max<std::size_t>(cfg.prefetch_depth, 1));
+}
+
+void
+InputPipeline::readLoop()
+{
+    if (next_read_step >= end_step)
+        return; // dataset exhausted for this session
+
+    if (!shuffle_filled) {
+        // One-time shuffle-buffer fill before the first batch.
+        shuffle_filled = true;
+        const std::uint64_t fill_bytes =
+            cfg.shuffle_buffer * data.exampleBytes();
+        const SimTime start = sim.now();
+        storage.read(fill_bytes, cfg.num_parallel_reads,
+                     [this, start]() {
+                         emit(hostop::kRecv, start,
+                              sim.now() - start, kNoStep);
+                         readLoop();
+                     });
+        return;
+    }
+
+    const StepId step = next_read_step++;
+    const std::uint64_t stored = storedBatchBytes();
+    const SimTime start = sim.now();
+    storage.read(stored, cfg.num_parallel_reads,
+                 [this, step, stored, start]() {
+        const SimTime elapsed = sim.now() - start;
+        emit(hostop::kRecv, start, elapsed, step);
+        stats.read_busy += elapsed;
+        HostBatch batch;
+        batch.step = step;
+        batch.bytes = stored;
+        batch.ready_at = sim.now();
+        raw_queue.push(batch, [this]() { readLoop(); });
+    });
+}
+
+void
+InputPipeline::processLoop()
+{
+    raw_queue.pop([this](HostBatch batch) {
+        const double par = effectiveParallelism();
+        const double fused_penalty =
+            cfg.map_and_batch_fused ? 1.0 : 1.25;
+        const double jitter =
+            noise.logNormal(0.0, data.cost_sigma);
+
+        const double stored =
+            static_cast<double>(batch.bytes);
+        const double decoded = stored * data.decode_expansion;
+        const double examples =
+            static_cast<double>(batch_examples);
+        const SimTime decode_time = static_cast<SimTime>(
+            (stored * data.decode_ns_per_byte +
+             examples * data.decode_ns_per_example) / par *
+            fused_penalty * jitter);
+        const SimTime prep_time = static_cast<SimTime>(
+            (decoded * data.preprocess_ns_per_byte +
+             examples * data.preprocess_ns_per_example) / par *
+            fused_penalty * jitter);
+        const SimTime total = decode_time + prep_time;
+        const SimTime start = sim.now();
+
+        sim.schedule(total, [this, batch, start, decode_time,
+                             prep_time]() mutable {
+            // Break the stage into the operator events a real host
+            // trace shows for this dataset class.
+            SimTime cursor = start;
+            auto sub_event = [&](const char *type, double frac,
+                                 SimTime base) {
+                const SimTime d =
+                    static_cast<SimTime>(frac *
+                        static_cast<double>(base));
+                emit(type, cursor, d, batch.step);
+                cursor += d;
+            };
+            switch (data.kind) {
+              case DatasetKind::JpegImages:
+                sub_event(hostop::kDecodeAndCropJpeg, 1.0,
+                          decode_time);
+                sub_event(hostop::kResizeBicubic, 0.55, prep_time);
+                sub_event(hostop::kRandomFlip, 0.15, prep_time);
+                sub_event(hostop::kCast, 0.15, prep_time);
+                sub_event(hostop::kSub, 0.15, prep_time);
+                break;
+              case DatasetKind::RawImages:
+                sub_event(hostop::kCast, 1.0, decode_time);
+                sub_event(hostop::kSub, 0.5, prep_time);
+                sub_event(hostop::kMinimum, 0.25, prep_time);
+                sub_event(hostop::kMaximum, 0.25, prep_time);
+                break;
+              case DatasetKind::TokenizedText:
+                sub_event(hostop::kParseExample, 1.0, decode_time);
+                sub_event(hostop::kBuildPaddedOutput, 0.55,
+                          prep_time);
+                sub_event(hostop::kMaximum, 0.15, prep_time);
+                sub_event(hostop::kMinimum, 0.10, prep_time);
+                sub_event(hostop::kSub, 0.10, prep_time);
+                sub_event(hostop::kCast, 0.10, prep_time);
+                break;
+            }
+            stats.process_busy += decode_time + prep_time;
+            HostBatch processed = batch;
+            processed.bytes = decodedBatchBytes();
+            processed.ready_at = sim.now();
+            processed_queue.push(processed,
+                                 [this]() { processLoop(); });
+        });
+    });
+}
+
+void
+InputPipeline::linearizeLoop()
+{
+    processed_queue.pop([this](HostBatch batch) {
+        const double fused_penalty =
+            cfg.map_and_batch_fused ? 1.0 : 1.4;
+        const SimTime copy_time = static_cast<SimTime>(
+            static_cast<double>(device_bytes) /
+            host.memcpy_bandwidth * 1e9 * fused_penalty);
+        const SimTime start = sim.now();
+        sim.schedule(copy_time, [this, batch, start,
+                                 copy_time]() mutable {
+            emit(hostop::kLinearizeX32, start, copy_time,
+                 batch.step);
+            stats.linearize_busy += copy_time;
+            HostBatch final_batch = batch;
+            final_batch.bytes = device_bytes;
+            final_batch.ready_at = sim.now();
+            prefetch.push(final_batch, [this]() {
+                ++stats.batches_produced;
+                linearizeLoop();
+            });
+        });
+    });
+}
+
+} // namespace tpupoint

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The tf.data-style host input pipeline: storage read -> decode ->
+ * preprocess -> batch/linearize -> prefetch buffer. Its parameters
+ * (parallel reads, parallel calls, prefetch depth, ...) are exactly
+ * the "adjustable parameters" TPUPoint-Optimizer tunes (Section
+ * VII-A: buffer sizes, thread counts, operation order).
+ */
+
+#ifndef TPUPOINT_HOST_PIPELINE_HH
+#define TPUPOINT_HOST_PIPELINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/rng.hh"
+#include "core/types.hh"
+#include "host/dataset.hh"
+#include "host/spec.hh"
+#include "host/storage.hh"
+#include "proto/event.hh"
+#include "sim/bounded_queue.hh"
+#include "sim/simulator.hh"
+
+namespace tpupoint {
+
+/**
+ * User-adjustable input-pipeline parameters — the optimizer's search
+ * space.
+ */
+struct PipelineConfig
+{
+    /** Concurrent storage streams feeding the record reader. */
+    int num_parallel_reads = 8;
+
+    /** Worker threads for decode/preprocess (tf.data map). */
+    int num_parallel_calls = 10;
+
+    /** Batches buffered ahead of the infeed (tf.data prefetch). */
+    std::size_t prefetch_depth = 2;
+
+    /** Shuffle-buffer size in examples (startup fill cost). */
+    std::size_t shuffle_buffer = 1024;
+
+    /** Fused map_and_batch (operation reorder; cuts copy cost). */
+    bool map_and_batch_fused = true;
+
+    bool operator==(const PipelineConfig &) const = default;
+
+    /** "reads=8 calls=16 prefetch=2 shuffle=1024 fused=1". */
+    std::string toString() const;
+
+    /** The deliberately poor configuration used for naive runs. */
+    static PipelineConfig naive();
+};
+
+/** One host-prepared batch parked in the prefetch buffer. */
+struct HostBatch
+{
+    StepId step = kNoStep;
+    std::uint64_t bytes = 0;  ///< Device-format (infeed) bytes.
+    SimTime ready_at = 0;
+};
+
+/**
+ * Event-driven input pipeline. Three internally-queued stages
+ * (read, process, batch/linearize) run concurrently; the output
+ * lands in a prefetch buffer of configurable depth. Stage costs are
+ * derived from the dataset descriptor and the host spec, with
+ * deterministic per-batch lognormal variability.
+ */
+class InputPipeline
+{
+  public:
+    /** Stage-level accounting for bottleneck diagnosis. */
+    struct Counters
+    {
+        std::uint64_t batches_produced = 0;
+        SimTime read_busy = 0;
+        SimTime process_busy = 0;
+        SimTime linearize_busy = 0;
+    };
+
+    /**
+     * @param batch_size Examples per batch (Table I defaults).
+     * @param device_batch_bytes Bytes of one device-format batch
+     *     (the model schedule's infeed bytes).
+     */
+    InputPipeline(Simulator &simulator, const HostSpec &host_spec,
+                  StorageBucket &bucket, const DatasetSpec &dataset,
+                  std::uint64_t batch_size,
+                  std::uint64_t device_batch_bytes,
+                  const PipelineConfig &config, Rng rng,
+                  TraceSink *sink);
+
+    /**
+     * Produce batches for steps [first_step, first_step + count).
+     * Asynchronous; batches appear in output() as they are ready.
+     */
+    void start(StepId first_step, std::uint64_t count);
+
+    /** The prefetch buffer the infeed thread drains. */
+    BoundedQueue<HostBatch> &output() { return prefetch; }
+
+    /** Live-retune the pipeline (TPUPoint-Optimizer hook). Takes
+     * effect from the next batch in each stage. */
+    void setConfig(const PipelineConfig &new_config);
+
+    /** Current configuration. */
+    const PipelineConfig &config() const { return cfg; }
+
+    /** Stage accounting. */
+    const Counters &counters() const { return stats; }
+
+    /** Host-side stored bytes of one batch. */
+    std::uint64_t storedBatchBytes() const;
+
+    /** Host-side decoded bytes of one batch. */
+    std::uint64_t decodedBatchBytes() const;
+
+  private:
+    void readLoop();
+    void processLoop();
+    void linearizeLoop();
+
+    /** Parallel speedup of the map stage (Amdahl-limited). */
+    double effectiveParallelism() const;
+
+    void emit(const char *type, SimTime start, SimTime duration,
+              StepId step);
+
+    Simulator &sim;
+    HostSpec host;
+    StorageBucket &storage;
+    DatasetSpec data;
+    std::uint64_t batch_examples;
+    std::uint64_t device_bytes;
+    PipelineConfig cfg;
+    Rng noise;
+    TraceSink *sink;
+
+    BoundedQueue<HostBatch> raw_queue;       ///< read -> process
+    BoundedQueue<HostBatch> processed_queue; ///< process -> batch
+    BoundedQueue<HostBatch> prefetch;        ///< final buffer
+
+    StepId next_read_step = 0;
+    StepId end_step = 0;
+    bool started = false;
+    bool shuffle_filled = false;
+    Counters stats;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_HOST_PIPELINE_HH

@@ -1,0 +1,11 @@
+#include "host/spec.hh"
+
+namespace tpupoint {
+
+HostSpec
+HostSpec::standard()
+{
+    return HostSpec{};
+}
+
+} // namespace tpupoint

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The Compute Engine host model. The paper's experiments ran on a
+ * 16-core 2-way-SMT Intel Skylake instance with 104 GB of memory
+ * (Section V); the numbers here describe that machine.
+ */
+
+#ifndef TPUPOINT_HOST_SPEC_HH
+#define TPUPOINT_HOST_SPEC_HH
+
+#include <cstdint>
+
+#include "core/types.hh"
+
+namespace tpupoint {
+
+/** Host-machine capability description. */
+struct HostSpec
+{
+    int physical_cores = 16;  ///< Skylake cores.
+    int smt_ways = 2;         ///< 2-way SMT.
+    double memcpy_bandwidth = 12e9; ///< Host memcpy bytes/s.
+    double core_throughput = 3.2e9; ///< Per-thread ops/s scalar.
+    std::uint64_t memory_bytes = 104ULL * 1000 * kMiB;
+
+    /** Schedulable hardware threads. */
+    int threads() const { return physical_cores * smt_ways; }
+
+    /** The n1-standard-32-class host used in the paper. */
+    static HostSpec standard();
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_HOST_SPEC_HH

@@ -1,0 +1,60 @@
+#include "host/storage.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+StorageBucket::StorageBucket(Simulator &simulator,
+                             const StorageSpec &spec)
+    : sim(simulator), config(spec),
+      streams(simulator,
+              static_cast<std::size_t>(std::max(spec.max_streams, 1)))
+{
+}
+
+SimTime
+StorageBucket::transferTime(std::uint64_t bytes) const
+{
+    const double seconds =
+        static_cast<double>(bytes) / config.stream_bandwidth;
+    return config.request_latency +
+        static_cast<SimTime>(seconds * 1e9 + 0.5);
+}
+
+void
+StorageBucket::read(std::uint64_t bytes, int parallel_streams,
+                    std::function<void()> done)
+{
+    if (parallel_streams < 1)
+        fatal("StorageBucket::read: need at least one stream");
+    const int actual = std::min(parallel_streams,
+                                config.max_streams);
+    bytes_read += bytes;
+    const std::uint64_t per_stream =
+        (bytes + static_cast<std::uint64_t>(actual) - 1) /
+        static_cast<std::uint64_t>(actual);
+    const SimTime per_stream_time = transferTime(per_stream);
+
+    // All streams carry an equal share; completion when the last
+    // stream finishes. Streams contend for the bounded pool.
+    auto remaining = std::make_shared<int>(actual);
+    auto completion = std::make_shared<std::function<void()>>(
+        std::move(done));
+    for (int i = 0; i < actual; ++i) {
+        streams.use(per_stream_time, [remaining, completion]() {
+            if (--(*remaining) == 0 && *completion)
+                (*completion)();
+        });
+    }
+}
+
+void
+StorageBucket::write(std::uint64_t bytes, std::function<void()> done)
+{
+    bytes_written += bytes;
+    streams.use(transferTime(bytes), std::move(done));
+}
+
+} // namespace tpupoint

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Cloud storage-bucket model. Cloud TPU training streams datasets
+ * and writes checkpoints through Google Cloud Storage; this models
+ * per-stream bandwidth, request latency and a bounded number of
+ * concurrent streams.
+ */
+
+#ifndef TPUPOINT_HOST_STORAGE_HH
+#define TPUPOINT_HOST_STORAGE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/types.hh"
+#include "sim/resource.hh"
+#include "sim/simulator.hh"
+
+namespace tpupoint {
+
+/** Storage service parameters. */
+struct StorageSpec
+{
+    double stream_bandwidth = 160e6; ///< Bytes/s per stream.
+    SimTime request_latency = 6 * kMsec;
+    int max_streams = 64;            ///< Concurrent connections.
+};
+
+/**
+ * A persistent object-store bucket. Reads and writes acquire one of
+ * a bounded pool of streams; each transfer costs latency plus
+ * size/bandwidth.
+ */
+class StorageBucket
+{
+  public:
+    StorageBucket(Simulator &simulator, const StorageSpec &spec);
+
+    /**
+     * Read @p bytes using up to @p parallel_streams concurrent
+     * streams; @p done fires when the last stream completes.
+     */
+    void read(std::uint64_t bytes, int parallel_streams,
+              std::function<void()> done);
+
+    /** Write @p bytes (checkpoints) on one stream. */
+    void write(std::uint64_t bytes, std::function<void()> done);
+
+    /** Total bytes served. */
+    std::uint64_t bytesRead() const { return bytes_read; }
+
+    /** Total bytes written. */
+    std::uint64_t bytesWritten() const { return bytes_written; }
+
+  private:
+    SimTime transferTime(std::uint64_t bytes) const;
+
+    Simulator &sim;
+    StorageSpec config;
+    Resource streams;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_HOST_STORAGE_HH

@@ -1,0 +1,121 @@
+#include "optimizer/parameters.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+std::vector<TunableParam>
+allTunableParams()
+{
+    return {TunableParam::ParallelCalls,
+            TunableParam::PrefetchDepth,
+            TunableParam::ParallelReads,
+            TunableParam::MapAndBatchFusion,
+            TunableParam::ShuffleBuffer};
+}
+
+const char *
+tunableParamName(TunableParam param)
+{
+    switch (param) {
+      case TunableParam::ParallelReads: return "num_parallel_reads";
+      case TunableParam::ParallelCalls: return "num_parallel_calls";
+      case TunableParam::PrefetchDepth: return "prefetch_depth";
+      case TunableParam::ShuffleBuffer: return "shuffle_buffer";
+      case TunableParam::MapAndBatchFusion:
+        return "map_and_batch_fusion";
+    }
+    panic("tunableParamName: unknown parameter");
+}
+
+std::int64_t
+getParam(const PipelineConfig &config, TunableParam param)
+{
+    switch (param) {
+      case TunableParam::ParallelReads:
+        return config.num_parallel_reads;
+      case TunableParam::ParallelCalls:
+        return config.num_parallel_calls;
+      case TunableParam::PrefetchDepth:
+        return static_cast<std::int64_t>(config.prefetch_depth);
+      case TunableParam::ShuffleBuffer:
+        return static_cast<std::int64_t>(config.shuffle_buffer);
+      case TunableParam::MapAndBatchFusion:
+        return config.map_and_batch_fused ? 1 : 0;
+    }
+    panic("getParam: unknown parameter");
+}
+
+void
+setParam(PipelineConfig &config, TunableParam param,
+         std::int64_t value)
+{
+    switch (param) {
+      case TunableParam::ParallelReads:
+        config.num_parallel_reads = static_cast<int>(value);
+        return;
+      case TunableParam::ParallelCalls:
+        config.num_parallel_calls = static_cast<int>(value);
+        return;
+      case TunableParam::PrefetchDepth:
+        config.prefetch_depth = static_cast<std::size_t>(value);
+        return;
+      case TunableParam::ShuffleBuffer:
+        config.shuffle_buffer = static_cast<std::size_t>(value);
+        return;
+      case TunableParam::MapAndBatchFusion:
+        config.map_and_batch_fused = value != 0;
+        return;
+    }
+    panic("setParam: unknown parameter");
+}
+
+std::optional<std::int64_t>
+neighborValue(const PipelineConfig &config, TunableParam param,
+              int direction)
+{
+    const std::int64_t current = getParam(config, param);
+    if (param == TunableParam::MapAndBatchFusion) {
+        const std::int64_t target = direction > 0 ? 1 : 0;
+        if (target == current)
+            return std::nullopt;
+        return target;
+    }
+    if (direction > 0)
+        return current * 2;
+    if (current <= 1)
+        return std::nullopt;
+    return current / 2;
+}
+
+bool
+isValidConfig(const PipelineConfig &config,
+              const DatasetSpec &dataset, const HostSpec &host)
+{
+    if (config.num_parallel_reads < 1 ||
+        config.num_parallel_calls < 1)
+        return false;
+    if (config.prefetch_depth < 1)
+        return false;
+    if (config.shuffle_buffer < 1)
+        return false;
+    // More worker threads than the host schedules is an error the
+    // runtime rejects.
+    if (config.num_parallel_calls > 2 * host.threads())
+        return false;
+    if (config.num_parallel_reads > 128)
+        return false;
+    // A shuffle buffer beyond the dataset raises OutOfRange.
+    if (dataset.num_examples &&
+        config.shuffle_buffer > dataset.num_examples)
+        return false;
+    // Prefetching more than 64 batches exhausts host memory for
+    // the large-batch image workloads.
+    if (config.prefetch_depth > 64)
+        return false;
+    return true;
+}
+
+} // namespace tpupoint

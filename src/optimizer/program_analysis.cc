@@ -1,0 +1,39 @@
+#include "optimizer/program_analysis.hh"
+
+namespace tpupoint {
+
+ProgramAnalysis
+analyzeProgram(const RuntimeWorkload &workload,
+               const PipelineConfig &config, const HostSpec &host)
+{
+    ProgramAnalysis analysis;
+    for (const TunableParam param : allTunableParams()) {
+        bool has_valid_neighbor = false;
+        for (const int direction : {+1, -1}) {
+            const auto candidate =
+                neighborValue(config, param, direction);
+            if (!candidate)
+                continue;
+            PipelineConfig probe = config;
+            setParam(probe, param, *candidate);
+            if (isValidConfig(probe, workload.dataset, host)) {
+                has_valid_neighbor = true;
+                break;
+            }
+        }
+        if (has_valid_neighbor)
+            analysis.adjustable.push_back(param);
+        else
+            analysis.rejected.push_back(param);
+    }
+
+    // Instrumentation: a checkpoint before each stage call of the
+    // profiled input program (Section VII-A).
+    analysis.instrumentation_points = {
+        "dataset.read", "dataset.map", "dataset.batch",
+        "dataset.prefetch", "infeed.transfer", "train.step",
+    };
+    return analysis;
+}
+
+} // namespace tpupoint

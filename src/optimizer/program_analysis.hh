@@ -1,0 +1,46 @@
+/**
+ * @file
+ * TPUPoint-Optimizer's program-analysis pass (Section VII-A): scan
+ * the program between the profiler's Start()/Stop() calls, identify
+ * the user-defined adjustable parameters (dropping any whose
+ * alteration would error), and plan instrumentation — a checkpoint
+ * before each function call of the profiled program.
+ */
+
+#ifndef TPUPOINT_OPTIMIZER_PROGRAM_ANALYSIS_HH
+#define TPUPOINT_OPTIMIZER_PROGRAM_ANALYSIS_HH
+
+#include <string>
+#include <vector>
+
+#include "optimizer/parameters.hh"
+#include "runtime/workload.hh"
+
+namespace tpupoint {
+
+/** Result of analyzing one TensorFlow program. */
+struct ProgramAnalysis
+{
+    /** Parameters that survived the validity probes. */
+    std::vector<TunableParam> adjustable;
+
+    /** Parameters rejected because altering them errors. */
+    std::vector<TunableParam> rejected;
+
+    /** Pipeline stages instrumented with pre-call checkpoints. */
+    std::vector<std::string> instrumentation_points;
+};
+
+/**
+ * Analyze @p workload's input program under @p config. Each
+ * candidate parameter is probed by checking that at least one
+ * neighbouring value is executable; parameters with no valid
+ * neighbour are not adjustable.
+ */
+ProgramAnalysis analyzeProgram(const RuntimeWorkload &workload,
+                               const PipelineConfig &config,
+                               const HostSpec &host);
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_OPTIMIZER_PROGRAM_ANALYSIS_HH

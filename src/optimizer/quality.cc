@@ -1,0 +1,31 @@
+#include "optimizer/quality.hh"
+
+namespace tpupoint {
+
+void
+OutputQualityGuard::onStep(StepId step)
+{
+    ++observed;
+    if (have_last && step <= last_step) {
+        // Duplicate or reordered result tuple: output changed.
+        intact = false;
+    }
+    last_step = step;
+    have_last = true;
+}
+
+bool
+OutputQualityGuard::preservesOutput(TunableParam param)
+{
+    switch (param) {
+      case TunableParam::ParallelReads:
+      case TunableParam::ParallelCalls:
+      case TunableParam::PrefetchDepth:
+      case TunableParam::ShuffleBuffer:
+      case TunableParam::MapAndBatchFusion:
+        return true;
+    }
+    return false;
+}
+
+} // namespace tpupoint

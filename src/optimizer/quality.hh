@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Output-quality control (Section VII: TPUPoint-Optimizer "controls
+ * the output quality" and only keeps a parameter change when
+ * "performance improves and output does not change"). The guard
+ * checks two things: the tuned parameter is semantics-preserving,
+ * and the training output stream (one result tuple per step,
+ * strictly ordered) is unperturbed by the change.
+ */
+
+#ifndef TPUPOINT_OPTIMIZER_QUALITY_HH
+#define TPUPOINT_OPTIMIZER_QUALITY_HH
+
+#include <cstdint>
+
+#include "core/types.hh"
+#include "optimizer/parameters.hh"
+
+namespace tpupoint {
+
+/**
+ * Watches the outfeed result stream for gaps, duplicates or
+ * reordering — any of which would mean an optimization changed
+ * program output.
+ */
+class OutputQualityGuard
+{
+  public:
+    /** Observe one completed step (outfeed order). */
+    void onStep(StepId step);
+
+    /** True while the output stream is intact. */
+    bool consistent() const { return intact; }
+
+    /** Steps observed. */
+    std::uint64_t stepsObserved() const { return observed; }
+
+    /**
+     * Whether altering @p param can change program output. All of
+     * the pipeline parameters TPUPoint-Optimizer considers are
+     * execution-level; none alter computed results.
+     */
+    static bool preservesOutput(TunableParam param);
+
+  private:
+    bool intact = true;
+    bool have_last = false;
+    StepId last_step = 0;
+    std::uint64_t observed = 0;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_OPTIMIZER_QUALITY_HH

@@ -1,0 +1,67 @@
+#include "profiler/collector.hh"
+
+#include <algorithm>
+
+namespace tpupoint {
+
+StatsCollector::StatsCollector(SimTime start) : window_begin(start)
+{
+}
+
+void
+StatsCollector::record(const TraceEvent &event)
+{
+    if (events >= kMaxEventsPerProfile) {
+        truncated = true;
+        return;
+    }
+    if (event.end() - window_begin > kMaxProfileDuration) {
+        truncated = true;
+        return;
+    }
+    StepId step = event.step;
+    if (step == kNoStep) {
+        step = latest_step; // out-of-step events join the current
+    } else {
+        latest_step = std::max(latest_step, step);
+    }
+    auto [it, inserted] = steps.try_emplace(step);
+    if (inserted)
+        it->second.step = step;
+    it->second.add(event);
+    ++events;
+}
+
+ProfileRecord
+StatsCollector::harvest(SimTime window_end)
+{
+    ProfileRecord record;
+    record.sequence = sequence++;
+    record.window_begin = window_begin;
+    record.window_end = window_end;
+    record.event_count = events;
+    record.truncated = truncated;
+
+    SimTime busy = 0;
+    SimTime mxu = 0;
+    record.steps.reserve(steps.size());
+    for (auto &[step, stats] : steps) {
+        busy += stats.tpu_busy;
+        mxu += stats.mxu_active;
+        record.steps.push_back(std::move(stats));
+    }
+    const double span = static_cast<double>(record.span());
+    if (span > 0) {
+        record.tpu_idle_fraction =
+            std::max(0.0, 1.0 - static_cast<double>(busy) / span);
+        record.mxu_utilization = static_cast<double>(mxu) / span;
+    }
+
+    steps.clear();
+    events = 0;
+    truncated = false;
+    window_begin = window_end;
+    return record;
+}
+
+} // namespace tpupoint

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The statistics collector behind TPUPoint-Profiler. It consumes
+ * the raw event stream and maintains per-step operator statistics
+ * for the current profile window — "by storing only statistical
+ * information in a profile, TPUPoint-Profiler reduces memory
+ * consumption and accelerates the post-processing" (Section III-A).
+ */
+
+#ifndef TPUPOINT_PROFILER_COLLECTOR_HH
+#define TPUPOINT_PROFILER_COLLECTOR_HH
+
+#include <cstdint>
+#include <map>
+
+#include "proto/event.hh"
+#include "proto/limits.hh"
+#include "proto/record.hh"
+
+namespace tpupoint {
+
+/**
+ * Aggregates trace events into the per-step summaries of one
+ * profile window. Enforces the transport caps: once a window holds
+ * 1,000,000 events or spans 60 s, further events are dropped and
+ * the harvested record is flagged truncated.
+ */
+class StatsCollector : public TraceSink
+{
+  public:
+    /** Begin the first window at @p start. */
+    explicit StatsCollector(SimTime start = 0);
+
+    void record(const TraceEvent &event) override;
+
+    /**
+     * Close the current window and return its record; a fresh
+     * window begins at @p window_end.
+     */
+    ProfileRecord harvest(SimTime window_end);
+
+    /** Events accepted into the current window. */
+    std::uint64_t eventsInWindow() const { return events; }
+
+    /** True once the current window hit a transport cap. */
+    bool overflowed() const { return truncated; }
+
+    /** Start timestamp of the current window. */
+    SimTime windowBegin() const { return window_begin; }
+
+  private:
+    std::map<StepId, StepStats> steps;
+    SimTime window_begin;
+    std::uint64_t events = 0;
+    std::uint64_t sequence = 0;
+    bool truncated = false;
+    StepId latest_step = 0;
+};
+
+/**
+ * A sink that retains raw events (tests and visualization demos
+ * only — the production path never stores raw events).
+ */
+class InMemoryTrace : public TraceSink
+{
+  public:
+    void
+    record(const TraceEvent &event) override
+    {
+        trace.push_back(event);
+    }
+
+    const std::vector<TraceEvent> &events() const { return trace; }
+
+    void clear() { trace.clear(); }
+
+  private:
+    std::vector<TraceEvent> trace;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_PROFILER_COLLECTOR_HH

@@ -1,0 +1,111 @@
+#include "profiler/profiler.hh"
+
+#include <sstream>
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+TpuPointProfiler::TpuPointProfiler(Simulator &simulator,
+                                   TrainingSession &session_ref,
+                                   const ProfilerOptions &options)
+    : sim(simulator), session(session_ref), opts(options),
+      collector(simulator.now())
+{
+    if (opts.profile_interval <= 0)
+        fatal("TpuPointProfiler: profile interval must be positive");
+}
+
+TpuPointProfiler::~TpuPointProfiler()
+{
+    if (active) {
+        // Detach cleanly; the session may outlive the profiler.
+        session.traceHub().attach(nullptr);
+        session.tpu().setTraceOverhead(0);
+        if (pending_request)
+            sim.cancel(pending_request);
+    }
+}
+
+void
+TpuPointProfiler::start(bool analyzer)
+{
+    if (active)
+        panic("TpuPointProfiler::start called while running");
+    active = true;
+    analyzer_enabled = analyzer;
+    collector = StatsCollector(sim.now());
+    session.traceHub().attach(&collector);
+    session.tpu().setTraceOverhead(opts.trace_overhead_per_op);
+    scheduleNextRequest();
+}
+
+void
+TpuPointProfiler::scheduleNextRequest()
+{
+    pending_request =
+        sim.schedule(opts.profile_interval, [this]() {
+            pending_request = 0;
+            handleResponse();
+            if (!active)
+                return;
+            if (session.finished()) {
+                // The TensorFlow application completed; issue the
+                // final request and terminate the threads.
+                stop();
+                return;
+            }
+            if (opts.breakpoint &&
+                session.currentStep() >= opts.breakpoint) {
+                stop();
+                return;
+            }
+            scheduleNextRequest();
+        });
+}
+
+void
+TpuPointProfiler::handleResponse()
+{
+    ++requests;
+    ProfileRecord record = collector.harvest(sim.now());
+    if (record.event_count == 0 && record.steps.empty())
+        return; // nothing happened in this window
+    if (analyzer_enabled) {
+        // The recording thread serializes the statistical record
+        // and streams it to cloud storage while profiling
+        // continues.
+        std::ostringstream buffer;
+        ProfileWriter writer(buffer);
+        writer.write(record);
+        const std::uint64_t bytes = buffer.str().size();
+        recorded_bytes += bytes;
+        session.storageBucket().write(bytes, nullptr);
+    }
+    profile_records.push_back(std::move(record));
+}
+
+void
+TpuPointProfiler::writeRecords(std::ostream &out) const
+{
+    ProfileWriter writer(out);
+    for (const auto &record : profile_records)
+        writer.write(record);
+}
+
+void
+TpuPointProfiler::stop()
+{
+    if (!active)
+        return;
+    handleResponse(); // the last profile request
+    session.traceHub().attach(nullptr);
+    session.tpu().setTraceOverhead(0);
+    if (pending_request) {
+        sim.cancel(pending_request);
+        pending_request = 0;
+    }
+    active = false;
+}
+
+} // namespace tpupoint

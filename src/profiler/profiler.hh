@@ -1,0 +1,107 @@
+/**
+ * @file
+ * TPUPoint-Profiler (Section III): the core of the toolchain. A
+ * profiling thread periodically requests profiles from the TPU
+ * while training continues uninterrupted; an optional recording
+ * thread persists each statistical record to cloud storage for
+ * TPUPoint-Analyzer. Mirrors the Figure 2 programming interface:
+ *
+ * @code
+ *   TpuPointProfiler profiler(sim, session, options);
+ *   profiler.start(/\*analyzer=*\/true);
+ *   session.start(...);   // estimator.train(...)
+ *   sim.run();
+ *   profiler.stop();
+ * @endcode
+ */
+
+#ifndef TPUPOINT_PROFILER_PROFILER_HH
+#define TPUPOINT_PROFILER_PROFILER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "profiler/collector.hh"
+#include "proto/serialize.hh"
+#include "runtime/session.hh"
+#include "sim/simulator.hh"
+
+namespace tpupoint {
+
+/** TPUPoint-Profiler options. */
+struct ProfilerOptions
+{
+    /** Period between profile requests to the Cloud TPU. */
+    SimTime profile_interval = 1 * kSec;
+
+    /**
+     * Per-op instrumentation cost while profiling is active (the
+     * source of the <10 % overhead Section VII-C reports).
+     */
+    SimTime trace_overhead_per_op = 120;
+
+    /** Stop profiling when this step completes (0 = whole run). */
+    StepId breakpoint = 0;
+};
+
+/**
+ * The profiler. One instance profiles one TrainingSession.
+ */
+class TpuPointProfiler
+{
+  public:
+    TpuPointProfiler(Simulator &simulator, TrainingSession &session,
+                     const ProfilerOptions &options = {});
+
+    ~TpuPointProfiler();
+
+    /**
+     * Begin profiling. With @p analyzer true the recording thread
+     * persists every record to the session's storage bucket for
+     * post-execution analysis; with false records are only buffered
+     * in host memory (the TPUPoint-Optimizer path).
+     */
+    void start(bool analyzer = true);
+
+    /** Stop profiling: harvest and store the final record. */
+    void stop();
+
+    /** True between start() and stop(). */
+    bool running() const { return active; }
+
+    /** All records harvested so far (host-memory buffer). */
+    const std::vector<ProfileRecord> &records() const
+    {
+        return profile_records;
+    }
+
+    /** Serialize all records in the binary profile format. */
+    void writeRecords(std::ostream &out) const;
+
+    /** Bytes the recording thread pushed to cloud storage. */
+    std::uint64_t bytesRecorded() const { return recorded_bytes; }
+
+    /** Profile requests issued. */
+    std::uint64_t requestsIssued() const { return requests; }
+
+  private:
+    void scheduleNextRequest();
+    void handleResponse();
+
+    Simulator &sim;
+    TrainingSession &session;
+    ProfilerOptions opts;
+    StatsCollector collector;
+    std::vector<ProfileRecord> profile_records;
+    bool active = false;
+    bool analyzer_enabled = false;
+    EventId pending_request = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t recorded_bytes = 0;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_PROFILER_PROFILER_HH

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Protocol limits of the Cloud TPU profile transport, as described
+ * in Section III-A of the paper: each profile response can include a
+ * maximum of 1,000,000 events lasting for a maximum duration of
+ * 60,000 ms of elapsed time.
+ */
+
+#ifndef TPUPOINT_PROTO_LIMITS_HH
+#define TPUPOINT_PROTO_LIMITS_HH
+
+#include <cstdint>
+
+#include "core/types.hh"
+
+namespace tpupoint {
+
+/** Maximum events a single profile response may carry. */
+inline constexpr std::uint64_t kMaxEventsPerProfile = 1000000;
+
+/** Maximum elapsed time a single profile response may cover. */
+inline constexpr SimTime kMaxProfileDuration = 60000 * kMsec;
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_PROTO_LIMITS_HH

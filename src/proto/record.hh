@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Statistical profile records. TPUPoint-Profiler does not retain raw
+ * events; each profile window is summarized into per-step operator
+ * statistics plus device meta-data (TPU idle time, MXU utilization),
+ * exactly the information Section III-A describes.
+ */
+
+#ifndef TPUPOINT_PROTO_RECORD_HH
+#define TPUPOINT_PROTO_RECORD_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+#include "proto/event.hh"
+
+namespace tpupoint {
+
+/** Accumulated statistics for one operator type within one step. */
+struct OpStats
+{
+    std::uint64_t count = 0;     ///< Invocations.
+    SimTime total_duration = 0;  ///< Sum of elapsed times.
+
+    void
+    add(SimTime duration)
+    {
+        ++count;
+        total_duration += duration;
+    }
+
+    void
+    merge(const OpStats &other)
+    {
+        count += other.count;
+        total_duration += other.total_duration;
+    }
+};
+
+/** Map from operator-type label to its accumulated statistics. */
+using OpStatsMap = std::map<std::string, OpStats>;
+
+/**
+ * Per-step summary: all operator statistics grouped by the TPU step
+ * number, split by device side, plus step timing.
+ */
+struct StepStats
+{
+    StepId step = kNoStep;
+    SimTime begin = kTimeForever; ///< Earliest event start seen.
+    SimTime end = 0;              ///< Latest event end seen.
+    OpStatsMap host_ops;
+    OpStatsMap tpu_ops;
+    SimTime tpu_busy = 0;  ///< TPU time attributed to ops.
+    SimTime tpu_idle = 0;  ///< TPU time stalled on infeed/outfeed.
+    SimTime mxu_active = 0; ///< Equivalent full-MXU-activity time.
+
+    /** Fold one event into the summary. */
+    void add(const TraceEvent &event);
+
+    /** Merge a step summary for the same step id. */
+    void merge(const StepStats &other);
+
+    /** Wall-clock span covered by this step's events. */
+    SimTime span() const { return end > begin ? end - begin : 0; }
+
+    /** Set of distinct op labels (host + TPU), used by OLS Eq. 1. */
+    std::vector<std::string> opSet() const;
+};
+
+/**
+ * One profile response: a bounded window of execution summarized
+ * into per-step statistics. `truncated` marks windows that hit the
+ * 1M-event or 60 s transport cap.
+ */
+struct ProfileRecord
+{
+    std::uint64_t sequence = 0;   ///< Profile number in the session.
+    SimTime window_begin = 0;
+    SimTime window_end = 0;
+    std::uint64_t event_count = 0;
+    bool truncated = false;
+
+    /** Device meta-data sampled with the response. */
+    double tpu_idle_fraction = 0.0;  ///< Idle / elapsed in window.
+    double mxu_utilization = 0.0;    ///< MXU-active / elapsed.
+
+    /** Per-step summaries, ascending by step. */
+    std::vector<StepStats> steps;
+
+    /** Total events in all steps (recomputed; for validation). */
+    std::uint64_t totalOpCount() const;
+
+    /** Window duration. */
+    SimTime span() const { return window_end - window_begin; }
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_PROTO_RECORD_HH

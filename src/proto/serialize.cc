@@ -1,0 +1,270 @@
+#include "proto/serialize.hh"
+
+#include <cstring>
+
+#include "core/json.hh"
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'P', 'P', 'F'};
+constexpr std::uint32_t kVersion = 1;
+
+void
+putU32(std::ostream &out, std::uint32_t v)
+{
+    unsigned char buf[4];
+    for (int i = 0; i < 4; ++i)
+        buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    out.write(reinterpret_cast<const char *>(buf), 4);
+}
+
+void
+putU64(std::ostream &out, std::uint64_t v)
+{
+    unsigned char buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    out.write(reinterpret_cast<const char *>(buf), 8);
+}
+
+void
+putI64(std::ostream &out, std::int64_t v)
+{
+    putU64(out, static_cast<std::uint64_t>(v));
+}
+
+void
+putF64(std::ostream &out, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+void
+putString(std::ostream &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool
+getU32(std::istream &in, std::uint32_t &v)
+{
+    unsigned char buf[4];
+    if (!in.read(reinterpret_cast<char *>(buf), 4))
+        return false;
+    v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | buf[i];
+    return true;
+}
+
+bool
+getU64(std::istream &in, std::uint64_t &v)
+{
+    unsigned char buf[8];
+    if (!in.read(reinterpret_cast<char *>(buf), 8))
+        return false;
+    v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | buf[i];
+    return true;
+}
+
+bool
+getI64(std::istream &in, std::int64_t &v)
+{
+    std::uint64_t u;
+    if (!getU64(in, u))
+        return false;
+    v = static_cast<std::int64_t>(u);
+    return true;
+}
+
+bool
+getF64(std::istream &in, double &v)
+{
+    std::uint64_t bits;
+    if (!getU64(in, bits))
+        return false;
+    std::memcpy(&v, &bits, sizeof(v));
+    return true;
+}
+
+bool
+getString(std::istream &in, std::string &s)
+{
+    std::uint32_t len;
+    if (!getU32(in, len))
+        return false;
+    s.resize(len);
+    return static_cast<bool>(
+        in.read(s.data(), static_cast<std::streamsize>(len)));
+}
+
+void
+putOpStatsMap(std::ostream &out, const OpStatsMap &ops)
+{
+    putU32(out, static_cast<std::uint32_t>(ops.size()));
+    for (const auto &[name, stats] : ops) {
+        putString(out, name);
+        putU64(out, stats.count);
+        putI64(out, stats.total_duration);
+    }
+}
+
+bool
+getOpStatsMap(std::istream &in, OpStatsMap &ops)
+{
+    std::uint32_t count;
+    if (!getU32(in, count))
+        return false;
+    ops.clear();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::string name;
+        OpStats stats;
+        if (!getString(in, name) || !getU64(in, stats.count) ||
+            !getI64(in, stats.total_duration))
+            return false;
+        ops.emplace(std::move(name), stats);
+    }
+    return true;
+}
+
+void
+jsonOpStatsMap(JsonWriter &w, const OpStatsMap &ops)
+{
+    w.beginObject();
+    for (const auto &[name, stats] : ops) {
+        w.key(name);
+        w.beginObject();
+        w.field("count", stats.count);
+        w.field("total_duration_ns", stats.total_duration);
+        w.endObject();
+    }
+    w.endObject();
+}
+
+} // namespace
+
+ProfileWriter::ProfileWriter(std::ostream &out) : stream(out)
+{
+    stream.write(kMagic, sizeof(kMagic));
+    putU32(stream, kVersion);
+}
+
+void
+ProfileWriter::write(const ProfileRecord &record)
+{
+    putU64(stream, record.sequence);
+    putI64(stream, record.window_begin);
+    putI64(stream, record.window_end);
+    putU64(stream, record.event_count);
+    putU32(stream, record.truncated ? 1 : 0);
+    putF64(stream, record.tpu_idle_fraction);
+    putF64(stream, record.mxu_utilization);
+    putU32(stream, static_cast<std::uint32_t>(record.steps.size()));
+    for (const auto &s : record.steps) {
+        putU64(stream, s.step);
+        putI64(stream, s.begin);
+        putI64(stream, s.end);
+        putI64(stream, s.tpu_busy);
+        putI64(stream, s.tpu_idle);
+        putI64(stream, s.mxu_active);
+        putOpStatsMap(stream, s.host_ops);
+        putOpStatsMap(stream, s.tpu_ops);
+    }
+    ++count;
+    if (!stream)
+        fatal("ProfileWriter: stream write failed");
+}
+
+ProfileReader::ProfileReader(std::istream &in) : stream(in)
+{
+    char magic[4];
+    std::uint32_t version;
+    if (!stream.read(magic, sizeof(magic)) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        fatal("ProfileReader: bad magic (not a TPUPoint profile)");
+    if (!getU32(stream, version) || version != kVersion)
+        fatal("ProfileReader: unsupported profile version");
+}
+
+bool
+ProfileReader::read(ProfileRecord &record)
+{
+    record = ProfileRecord();
+    if (!getU64(stream, record.sequence))
+        return false; // clean EOF
+    std::uint32_t truncated = 0;
+    std::uint32_t num_steps = 0;
+    if (!getI64(stream, record.window_begin) ||
+        !getI64(stream, record.window_end) ||
+        !getU64(stream, record.event_count) ||
+        !getU32(stream, truncated) ||
+        !getF64(stream, record.tpu_idle_fraction) ||
+        !getF64(stream, record.mxu_utilization) ||
+        !getU32(stream, num_steps))
+        fatal("ProfileReader: truncated record header");
+    record.truncated = truncated != 0;
+    record.steps.resize(num_steps);
+    for (auto &s : record.steps) {
+        if (!getU64(stream, s.step) || !getI64(stream, s.begin) ||
+            !getI64(stream, s.end) || !getI64(stream, s.tpu_busy) ||
+            !getI64(stream, s.tpu_idle) ||
+            !getI64(stream, s.mxu_active) ||
+            !getOpStatsMap(stream, s.host_ops) ||
+            !getOpStatsMap(stream, s.tpu_ops))
+            fatal("ProfileReader: truncated step record");
+    }
+    return true;
+}
+
+std::vector<ProfileRecord>
+ProfileReader::readAll()
+{
+    std::vector<ProfileRecord> records;
+    ProfileRecord record;
+    while (read(record))
+        records.push_back(std::move(record));
+    return records;
+}
+
+void
+profileRecordToJson(const ProfileRecord &record, std::ostream &out,
+                    bool pretty)
+{
+    JsonWriter w(out, pretty);
+    w.beginObject();
+    w.field("sequence", record.sequence);
+    w.field("window_begin_ns", record.window_begin);
+    w.field("window_end_ns", record.window_end);
+    w.field("event_count", record.event_count);
+    w.field("truncated", record.truncated);
+    w.field("tpu_idle_fraction", record.tpu_idle_fraction);
+    w.field("mxu_utilization", record.mxu_utilization);
+    w.key("steps");
+    w.beginArray();
+    for (const auto &s : record.steps) {
+        w.beginObject();
+        w.field("step", s.step);
+        w.field("begin_ns", s.begin);
+        w.field("end_ns", s.end);
+        w.field("tpu_busy_ns", s.tpu_busy);
+        w.field("tpu_idle_ns", s.tpu_idle);
+        w.field("mxu_active_ns", s.mxu_active);
+        w.key("host_ops");
+        jsonOpStatsMap(w, s.host_ops);
+        w.key("tpu_ops");
+        jsonOpStatsMap(w, s.tpu_ops);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace tpupoint

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Profile-record serialization. TPUPoint-Profiler's recording thread
+ * streams records into cloud storage; this module defines the
+ * compact binary wire format (the stand-in for the Protobuf
+ * messages the real toolchain uses) plus a JSON form for
+ * interoperability and debugging.
+ */
+
+#ifndef TPUPOINT_PROTO_SERIALIZE_HH
+#define TPUPOINT_PROTO_SERIALIZE_HH
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "proto/record.hh"
+
+namespace tpupoint {
+
+/**
+ * Streaming binary writer. Records can be appended one at a time —
+ * the recording thread persists each profile response as it
+ * arrives.
+ */
+class ProfileWriter
+{
+  public:
+    /** Writes the file header immediately. */
+    explicit ProfileWriter(std::ostream &out);
+
+    /** Append one record. */
+    void write(const ProfileRecord &record);
+
+    /** Records written so far. */
+    std::uint64_t written() const { return count; }
+
+  private:
+    std::ostream &stream;
+    std::uint64_t count = 0;
+};
+
+/**
+ * Streaming binary reader for files produced by ProfileWriter.
+ */
+class ProfileReader
+{
+  public:
+    /** Validates the header; throws via fatal() on mismatch. */
+    explicit ProfileReader(std::istream &in);
+
+    /**
+     * Read the next record.
+     * @return false at end of stream.
+     */
+    bool read(ProfileRecord &record);
+
+    /** Read every remaining record. */
+    std::vector<ProfileRecord> readAll();
+
+  private:
+    std::istream &stream;
+};
+
+/** Serialize one record as a JSON object into @p out. */
+void profileRecordToJson(const ProfileRecord &record,
+                         std::ostream &out, bool pretty = false);
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_PROTO_SERIALIZE_HH

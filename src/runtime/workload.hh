@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The runtime's view of a workload: compiled step schedules, the
+ * dataset, and the training-loop shape (train/eval/checkpoint
+ * cadence). The workload catalog (`workloads/`) builds these from
+ * the Table I model definitions.
+ */
+
+#ifndef TPUPOINT_RUNTIME_WORKLOAD_HH
+#define TPUPOINT_RUNTIME_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "graph/schedule.hh"
+#include "host/dataset.hh"
+
+namespace tpupoint {
+
+/** Training-loop shape (the TPUEstimator parameters). */
+struct SessionSchedule
+{
+    std::uint64_t train_steps = 1000;
+
+    /** Run an eval pass after this many train steps (0 = never). */
+    std::uint64_t steps_per_eval = 0;
+
+    /** Steps in one eval pass. */
+    std::uint64_t eval_steps = 0;
+
+    /** Save a checkpoint every N train steps (0 = final only). */
+    std::uint64_t checkpoint_interval = 0;
+
+    /** Steps dispatched per host RunGraph call (TPUEstimator's
+     * iterations_per_loop). */
+    std::uint64_t iterations_per_loop = 100;
+};
+
+/**
+ * Everything the TrainingSession needs to execute one workload.
+ */
+struct RuntimeWorkload
+{
+    std::string name;             ///< e.g. "resnet-imagenet".
+    StepSchedule train_schedule;  ///< Post-fusion training step.
+    StepSchedule eval_schedule;   ///< Post-fusion eval step.
+    DatasetSpec dataset;
+    std::uint64_t batch_size = 0;
+    std::uint64_t model_bytes = 0; ///< Checkpoint size.
+    SessionSchedule schedule;
+
+    /**
+     * Time-scaled-replay factor for fixed costs (TPU system init,
+     * XLA compilation, disconnect). 1.0 replays them at full
+     * length; the workload catalog lowers it in lock-step with the
+     * eval/checkpoint cadences so every overhead keeps its
+     * full-scale share of the run.
+     */
+    double fixed_cost_scale = 1.0;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_RUNTIME_WORKLOAD_HH

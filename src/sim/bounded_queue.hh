@@ -1,0 +1,181 @@
+/**
+ * @file
+ * A bounded producer/consumer channel for the event-driven platform
+ * model. Blocking semantics are expressed with continuations: a full
+ * queue parks the producer's continuation, an empty queue parks the
+ * consumer's. The infeed pipeline (host -> PCIe -> TPU) is built from
+ * these, and TPU idle time *is* the time a consumer spends parked.
+ */
+
+#ifndef TPUPOINT_SIM_BOUNDED_QUEUE_HH
+#define TPUPOINT_SIM_BOUNDED_QUEUE_HH
+
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "core/logging.hh"
+#include "sim/simulator.hh"
+
+namespace tpupoint {
+
+/**
+ * Bounded FIFO channel of T with continuation-passing push/pop.
+ * All handoffs are scheduled through the simulator at zero delay so
+ * that callbacks never nest re-entrantly.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    using PushDone = std::function<void()>;
+    using PopDone = std::function<void(T)>;
+
+    /**
+     * @param simulator The owning simulation kernel.
+     * @param capacity Maximum buffered items; must be positive.
+     */
+    BoundedQueue(Simulator &simulator, std::size_t capacity)
+        : sim(simulator), max_items(capacity)
+    {
+        if (capacity == 0)
+            fatal("BoundedQueue capacity must be positive");
+    }
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /**
+     * Offer an item. @p on_accepted fires (at zero simulated delay)
+     * once the item has entered the queue — immediately when space
+     * exists, or later when a consumer frees a slot.
+     */
+    void
+    push(T item, PushDone on_accepted)
+    {
+        if (!waiting_consumers.empty()) {
+            // Hand the item straight to the parked consumer.
+            PopDone consumer = std::move(waiting_consumers.front());
+            waiting_consumers.pop_front();
+            sim.schedule(0, [fn = std::move(consumer),
+                             v = std::move(item)]() mutable {
+                fn(std::move(v));
+            });
+            completePush(std::move(on_accepted));
+            return;
+        }
+        if (items.size() < max_items) {
+            items.push_back(std::move(item));
+            completePush(std::move(on_accepted));
+            return;
+        }
+        waiting_producers.emplace_back(std::move(item),
+                                       std::move(on_accepted));
+    }
+
+    /**
+     * Take an item. @p on_item fires once an item is available —
+     * immediately when the queue is non-empty, or when the next
+     * producer arrives.
+     */
+    void
+    pop(PopDone on_item)
+    {
+        if (!items.empty()) {
+            T item = std::move(items.front());
+            items.pop_front();
+            admitParkedProducer();
+            sim.schedule(0, [fn = std::move(on_item),
+                             v = std::move(item)]() mutable {
+                fn(std::move(v));
+            });
+            return;
+        }
+        if (!waiting_producers.empty()) {
+            // Capacity 0-in-flight case: producer parked on a full
+            // queue can only happen when items is non-empty, so a
+            // parked producer with an empty queue means direct
+            // handoff.
+            auto [item, done] = std::move(waiting_producers.front());
+            waiting_producers.pop_front();
+            completePush(std::move(done));
+            sim.schedule(0, [fn = std::move(on_item),
+                             v = std::move(item)]() mutable {
+                fn(std::move(v));
+            });
+            return;
+        }
+        waiting_consumers.emplace_back(std::move(on_item));
+    }
+
+    /** Items currently buffered (excludes parked producers). */
+    std::size_t size() const { return items.size(); }
+
+    /** True when no buffered items exist. */
+    bool empty() const { return items.empty(); }
+
+    /** True when the buffer is at capacity. */
+    bool full() const { return items.size() >= max_items; }
+
+    /** Configured capacity. */
+    std::size_t capacity() const { return max_items; }
+
+    /**
+     * Retarget the capacity at runtime (the optimizer retunes
+     * prefetch depths live). Growing admits parked producers;
+     * shrinking strands no items — the buffer simply drains down.
+     */
+    void
+    setCapacity(std::size_t new_capacity)
+    {
+        if (new_capacity == 0)
+            fatal("BoundedQueue capacity must be positive");
+        max_items = new_capacity;
+        while (!waiting_producers.empty() &&
+               items.size() < max_items) {
+            admitParkedProducer();
+        }
+    }
+
+    /** Number of producers parked on a full queue. */
+    std::size_t blockedProducers() const
+    {
+        return waiting_producers.size();
+    }
+
+    /** Number of consumers parked on an empty queue. */
+    std::size_t blockedConsumers() const
+    {
+        return waiting_consumers.size();
+    }
+
+  private:
+    void
+    completePush(PushDone done)
+    {
+        if (done)
+            sim.schedule(0, std::move(done));
+    }
+
+    /** A slot freed up: admit the oldest parked producer, if any. */
+    void
+    admitParkedProducer()
+    {
+        if (waiting_producers.empty() || items.size() >= max_items)
+            return;
+        auto [item, done] = std::move(waiting_producers.front());
+        waiting_producers.pop_front();
+        items.push_back(std::move(item));
+        completePush(std::move(done));
+    }
+
+    Simulator &sim;
+    std::size_t max_items;
+    std::deque<T> items;
+    std::deque<std::pair<T, PushDone>> waiting_producers;
+    std::deque<PopDone> waiting_consumers;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_SIM_BOUNDED_QUEUE_HH

@@ -1,0 +1,54 @@
+#include "sim/event_queue.hh"
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+EventId
+EventQueue::schedule(SimTime when, Callback fn)
+{
+    if (!fn)
+        panic("EventQueue::schedule: null callback");
+    const EventId id = next_id++;
+    heap.push(Entry{when, id});
+    pending.emplace(id, std::move(fn));
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    return pending.erase(id) > 0;
+}
+
+void
+EventQueue::purgeDead() const
+{
+    while (!heap.empty() &&
+           pending.find(heap.top().id) == pending.end()) {
+        heap.pop();
+    }
+}
+
+SimTime
+EventQueue::nextTime() const
+{
+    purgeDead();
+    return heap.empty() ? kTimeForever : heap.top().when;
+}
+
+std::pair<SimTime, EventQueue::Callback>
+EventQueue::pop()
+{
+    purgeDead();
+    if (heap.empty())
+        panic("EventQueue::pop on an empty queue");
+    const Entry entry = heap.top();
+    heap.pop();
+    auto it = pending.find(entry.id);
+    Callback fn = std::move(it->second);
+    pending.erase(it);
+    return {entry.when, std::move(fn)};
+}
+
+} // namespace tpupoint

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Pending-event set for the discrete-event simulator: a binary heap
+ * ordered by (timestamp, insertion sequence) with O(log n) insertion
+ * and lazy cancellation.
+ */
+
+#ifndef TPUPOINT_SIM_EVENT_QUEUE_HH
+#define TPUPOINT_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace tpupoint {
+
+/** Opaque handle to a scheduled event, used for cancellation. */
+using EventId = std::uint64_t;
+
+/**
+ * Time-ordered queue of callbacks. Events with equal timestamps fire
+ * in insertion order, which makes simulations deterministic.
+ * Cancellation is lazy: heap entries whose callback was cancelled are
+ * skipped on pop.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Insert an event; returns a handle usable with cancel(). */
+    EventId schedule(SimTime when, Callback fn);
+
+    /**
+     * Cancel a pending event.
+     * @return true when the event existed and had not yet fired.
+     */
+    bool cancel(EventId id);
+
+    /** True when no live events remain. */
+    bool empty() const { return pending.empty(); }
+
+    /** Number of live (non-cancelled, unfired) events. */
+    std::size_t size() const { return pending.size(); }
+
+    /** Timestamp of the earliest live event; kTimeForever if none. */
+    SimTime nextTime() const;
+
+    /**
+     * Remove and return the earliest live event.
+     * @pre !empty()
+     */
+    std::pair<SimTime, Callback> pop();
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        EventId id;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return id > other.id;
+        }
+    };
+
+    /** Discard heap entries whose callbacks were cancelled. */
+    void purgeDead() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>,
+                                std::greater<Entry>> heap;
+    std::unordered_map<EventId, Callback> pending;
+    EventId next_id = 1;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,56 @@
+#include "sim/simulator.hh"
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+EventId
+Simulator::schedule(SimTime delay, Callback fn)
+{
+    if (delay < 0)
+        panic("Simulator::schedule: negative delay ", delay);
+    return events.schedule(current_time + delay, std::move(fn));
+}
+
+EventId
+Simulator::scheduleAt(SimTime when, Callback fn)
+{
+    if (when < current_time) {
+        panic("Simulator::scheduleAt: timestamp ", when,
+              " is in the past (now ", current_time, ")");
+    }
+    return events.schedule(when, std::move(fn));
+}
+
+bool
+Simulator::cancel(EventId id)
+{
+    return events.cancel(id);
+}
+
+std::uint64_t
+Simulator::run()
+{
+    return runUntil(kTimeForever);
+}
+
+std::uint64_t
+Simulator::runUntil(SimTime deadline)
+{
+    stop_requested = false;
+    std::uint64_t count = 0;
+    while (!events.empty() && !stop_requested) {
+        if (events.nextTime() > deadline) {
+            current_time = deadline;
+            break;
+        }
+        auto [when, fn] = events.pop();
+        current_time = when;
+        fn();
+        ++count;
+        ++executed;
+    }
+    return count;
+}
+
+} // namespace tpupoint

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Payload types of the host<->TPU queues. The host's infeed thread
+ * pushes DeviceBatch items; the TPU pushes StepResult items back
+ * through the outfeed.
+ */
+
+#ifndef TPUPOINT_TPU_QUEUES_HH
+#define TPUPOINT_TPU_QUEUES_HH
+
+#include <cstdint>
+
+#include "core/types.hh"
+#include "sim/bounded_queue.hh"
+
+namespace tpupoint {
+
+/** One training batch staged in the device's infeed buffer. */
+struct DeviceBatch
+{
+    StepId step = kNoStep;
+    std::uint64_t bytes = 0;
+    SimTime host_ready = 0; ///< When the host finished preparing it.
+};
+
+/** One step's outfeed tuple (loss/metrics) awaiting the host. */
+struct StepResult
+{
+    StepId step = kNoStep;
+    std::uint64_t bytes = 0;
+    SimTime tpu_finished = 0;
+};
+
+using InfeedQueue = BoundedQueue<DeviceBatch>;
+using OutfeedQueue = BoundedQueue<StepResult>;
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_TPU_QUEUES_HH

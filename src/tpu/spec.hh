@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Cloud TPU device specifications. Numbers follow Section II of the
+ * paper and Google's published system-architecture figures: a TPUv2
+ * chip has two MXUs with 8 GiB of HBM each and 45 TFLOPS; a TPUv3
+ * chip doubles the MXUs and HBM for 90 TFLOPS. A Cloud TPU instance
+ * is one board of four chips (v2-8 / v3-8).
+ */
+
+#ifndef TPUPOINT_TPU_SPEC_HH
+#define TPUPOINT_TPU_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.hh"
+
+namespace tpupoint {
+
+/** Cloud TPU generation offered through Google Cloud (Section II). */
+enum class TpuGeneration { V2, V3 };
+
+/** Printable generation name: "TPUv2" / "TPUv3". */
+const char *tpuGenerationName(TpuGeneration gen);
+
+/**
+ * Aggregate capability description of one Cloud TPU instance
+ * (a board), used by the roofline op-timing model.
+ */
+struct TpuDeviceSpec
+{
+    std::string name;            ///< e.g. "TPUv2-8".
+    TpuGeneration generation = TpuGeneration::V2;
+    int num_chips = 4;           ///< Chips per board.
+    int mxus_per_chip = 2;       ///< Matrix units per chip.
+
+    double peak_flops = 0.0;     ///< Board peak FLOP/s (MXU).
+    double mxu_efficiency = 0.6; ///< Achievable fraction of peak.
+    double vector_flops = 0.0;   ///< Vector/scalar unit FLOP/s.
+
+    std::uint64_t hbm_bytes = 0; ///< Total HBM capacity.
+    double hbm_bandwidth = 0.0;  ///< HBM bytes/s (board).
+    double pcie_bandwidth = 0.0; ///< Host link bytes/s (board).
+    double ici_bandwidth = 0.0;  ///< Interconnect bytes/s.
+
+    SimTime op_overhead = 0;     ///< Fixed per-op launch cost.
+
+    /** Total matrix units on the board. */
+    int totalMxus() const { return num_chips * mxus_per_chip; }
+
+    /** The TPUv2-8 instance used throughout the paper. */
+    static TpuDeviceSpec v2();
+
+    /** The TPUv3-8 instance used throughout the paper. */
+    static TpuDeviceSpec v3();
+
+    /** Lookup by generation. */
+    static TpuDeviceSpec forGeneration(TpuGeneration gen);
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_TPU_SPEC_HH

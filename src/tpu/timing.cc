@@ -1,0 +1,80 @@
+#include "tpu/timing.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tpupoint {
+
+namespace {
+
+SimTime
+secondsToSim(double seconds)
+{
+    return static_cast<SimTime>(seconds * 1e9 + 0.5);
+}
+
+} // namespace
+
+SimTime
+opDuration(const TpuDeviceSpec &spec, const ScheduledOp &op)
+{
+    const double flops = static_cast<double>(op.flops);
+    const double bytes = static_cast<double>(op.bytes);
+    const double hbm_seconds = bytes / spec.hbm_bandwidth;
+
+    double compute_seconds = 0.0;
+    switch (opKindClass(op.kind)) {
+      case OpClass::MxuCompute:
+        compute_seconds =
+            flops / (spec.peak_flops * spec.mxu_efficiency);
+        break;
+      case OpClass::VectorCompute:
+        if (op.mxu) {
+            // A fusion rooted at a matmul/conv: the dominant flops
+            // run on the MXUs.
+            compute_seconds =
+                flops / (spec.peak_flops * spec.mxu_efficiency);
+        } else {
+            compute_seconds = flops / spec.vector_flops;
+        }
+        break;
+      case OpClass::Memory:
+        compute_seconds = 0.0; // bandwidth bound
+        break;
+      case OpClass::InfeedOutfeed:
+        compute_seconds = 0.0; // staging cost is HBM traffic
+        break;
+      case OpClass::Collective:
+        return secondsToSim(bytes / spec.ici_bandwidth) +
+            spec.op_overhead;
+    }
+
+    return secondsToSim(std::max(compute_seconds, hbm_seconds)) +
+        spec.op_overhead;
+}
+
+SimTime
+mxuActiveTime(const TpuDeviceSpec &spec, const ScheduledOp &op)
+{
+    if (!op.mxu)
+        return 0;
+    const double seconds =
+        static_cast<double>(op.flops) / spec.peak_flops;
+    return secondsToSim(seconds);
+}
+
+SimTime
+hbmTime(const TpuDeviceSpec &spec, std::uint64_t bytes)
+{
+    return secondsToSim(static_cast<double>(bytes) /
+                        spec.hbm_bandwidth);
+}
+
+SimTime
+pcieTime(const TpuDeviceSpec &spec, std::uint64_t bytes)
+{
+    return secondsToSim(static_cast<double>(bytes) /
+                        spec.pcie_bandwidth);
+}
+
+} // namespace tpupoint

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Roofline op-timing model: each operator's duration is the larger
+ * of its compute time (flops over the relevant unit's throughput)
+ * and its HBM time (bytes over bandwidth), plus a fixed launch
+ * overhead.
+ */
+
+#ifndef TPUPOINT_TPU_TIMING_HH
+#define TPUPOINT_TPU_TIMING_HH
+
+#include "core/types.hh"
+#include "graph/schedule.hh"
+#include "tpu/spec.hh"
+
+namespace tpupoint {
+
+/** Duration of @p op when executed on @p spec. */
+SimTime opDuration(const TpuDeviceSpec &spec, const ScheduledOp &op);
+
+/**
+ * Equivalent full-MXU activity time of @p op: the time the board's
+ * matrix units would need at peak throughput. mxu_active / elapsed
+ * is the MXU-utilization metric the profiler reports (Fig. 11).
+ */
+SimTime mxuActiveTime(const TpuDeviceSpec &spec,
+                      const ScheduledOp &op);
+
+/** HBM-copy time for @p bytes (used for infeed dequeue staging). */
+SimTime hbmTime(const TpuDeviceSpec &spec, std::uint64_t bytes);
+
+/** PCIe transfer time for @p bytes across the host link. */
+SimTime pcieTime(const TpuDeviceSpec &spec, std::uint64_t bytes);
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_TPU_TIMING_HH

@@ -1,0 +1,59 @@
+#include "workloads/backbone.hh"
+
+namespace tpupoint {
+
+NodeId
+bottleneckBlock(ModelBuilder &mb, NodeId x, std::int64_t filters,
+                std::int64_t stride, bool project,
+                const std::string &name)
+{
+    NodeId shortcut = x;
+    if (project) {
+        shortcut = mb.convBnAct(x, 4 * filters, 1, stride,
+                                Activation::None,
+                                name + "/shortcut");
+    }
+    NodeId y = mb.convBnAct(x, filters, 1, 1, Activation::Relu,
+                            name + "/conv1");
+    y = mb.convBnAct(y, filters, 3, stride, Activation::Relu,
+                     name + "/conv2");
+    y = mb.convBnAct(y, 4 * filters, 1, 1, Activation::None,
+                     name + "/conv3");
+    const NodeId merged = mb.residual(shortcut, y, name);
+    return mb.builder().unary(OpKind::Relu, merged,
+                              name + "/Relu");
+}
+
+BackboneOutputs
+resnet50Backbone(ModelBuilder &mb, NodeId images,
+                 const std::string &prefix)
+{
+    NodeId x = mb.convBnAct(images, 64, 7, 2, Activation::Relu,
+                            prefix + "/stem");
+    x = mb.maxPool(x, 3, 2, prefix + "/stem_pool");
+
+    BackboneOutputs outs;
+    const std::int64_t stage_blocks[4] = {3, 4, 6, 3};
+    const std::int64_t stage_filters[4] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        for (std::int64_t block = 0; block < stage_blocks[stage];
+             ++block) {
+            const bool first = block == 0;
+            const std::int64_t stride =
+                (first && stage > 0) ? 2 : 1;
+            x = bottleneckBlock(
+                mb, x, stage_filters[stage], stride, first,
+                prefix + "/stage" + std::to_string(stage + 1) +
+                    "/block" + std::to_string(block));
+        }
+        switch (stage) {
+          case 0: outs.c2 = x; break;
+          case 1: outs.c3 = x; break;
+          case 2: outs.c4 = x; break;
+          case 3: outs.c5 = x; break;
+        }
+    }
+    return outs;
+}
+
+} // namespace tpupoint

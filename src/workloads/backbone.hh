@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared ResNet-50 backbone used by both the ResNet classifier and
+ * the RetinaNet detector.
+ */
+
+#ifndef TPUPOINT_WORKLOADS_BACKBONE_HH
+#define TPUPOINT_WORKLOADS_BACKBONE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/layers.hh"
+
+namespace tpupoint {
+
+/** Stage outputs of the backbone (C2 stride 4 ... C5 stride 32). */
+struct BackboneOutputs
+{
+    NodeId c2 = kInvalidNode;
+    NodeId c3 = kInvalidNode;
+    NodeId c4 = kInvalidNode;
+    NodeId c5 = kInvalidNode;
+};
+
+/**
+ * One bottleneck residual block: 1x1 reduce, 3x3, 1x1 expand plus
+ * a projection shortcut when shape changes.
+ */
+NodeId bottleneckBlock(ModelBuilder &mb, NodeId x,
+                       std::int64_t filters, std::int64_t stride,
+                       bool project, const std::string &name);
+
+/**
+ * The full [3, 4, 6, 3] ResNet-50 trunk: stem + four stages.
+ */
+BackboneOutputs resnet50Backbone(ModelBuilder &mb, NodeId images,
+                                 const std::string &prefix);
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_WORKLOADS_BACKBONE_HH

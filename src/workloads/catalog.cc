@@ -1,0 +1,276 @@
+#include "workloads/catalog.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+#include "core/types.hh"
+#include "graph/fusion.hh"
+#include "workloads/datasets.hh"
+#include "workloads/models.hh"
+
+namespace tpupoint {
+
+namespace {
+
+/** Scale a cadence, keeping it at least 1 when it was nonzero. */
+std::uint64_t
+scaled(std::uint64_t steps, double scale)
+{
+    if (steps == 0)
+        return 0;
+    const auto s = static_cast<std::uint64_t>(
+        static_cast<double>(steps) * scale);
+    return std::max<std::uint64_t>(s, 1);
+}
+
+RuntimeWorkload
+assemble(const std::string &name, ModelGraphs graphs,
+         DatasetSpec dataset, std::uint64_t batch,
+         SessionSchedule schedule, const WorkloadOptions &options)
+{
+    RuntimeWorkload w;
+    w.name = name;
+    w.train_schedule = extractSchedule(fuseGraph(graphs.train));
+    w.eval_schedule = extractSchedule(fuseGraph(graphs.eval));
+    w.dataset = std::move(dataset);
+    w.batch_size = batch;
+    w.model_bytes = graphs.parameters * 4; // f32 variables
+
+    schedule.train_steps =
+        scaled(schedule.train_steps, options.step_scale);
+
+    // Cadences (eval/checkpoint/host-loop) scale together so the
+    // run keeps its structure, but never below 1 step — the
+    // effective cadence scale is raised just enough to keep every
+    // ratio intact. The checkpoint payload shrinks by the same
+    // factor so that save/restore overhead keeps its full-scale
+    // share of the training time.
+    double cadence_scale = options.step_scale;
+    for (const std::uint64_t cadence :
+         {schedule.steps_per_eval, schedule.eval_steps,
+          schedule.checkpoint_interval,
+          schedule.iterations_per_loop}) {
+        if (cadence > 0) {
+            cadence_scale = std::max(
+                cadence_scale, 1.0 / static_cast<double>(cadence));
+        }
+    }
+    cadence_scale = std::min(cadence_scale, 1.0);
+    schedule.steps_per_eval =
+        scaled(schedule.steps_per_eval, cadence_scale);
+    schedule.eval_steps =
+        scaled(schedule.eval_steps, cadence_scale);
+    schedule.checkpoint_interval =
+        scaled(schedule.checkpoint_interval, cadence_scale);
+    schedule.iterations_per_loop =
+        scaled(schedule.iterations_per_loop, cadence_scale);
+    w.model_bytes = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(
+            static_cast<double>(w.model_bytes) * cadence_scale),
+        64 * kKiB);
+    w.fixed_cost_scale = cadence_scale;
+
+    if (options.max_train_steps &&
+        schedule.train_steps > options.max_train_steps) {
+        schedule.train_steps = options.max_train_steps;
+    }
+    schedule.iterations_per_loop = std::min<std::uint64_t>(
+        schedule.iterations_per_loop,
+        std::max<std::uint64_t>(schedule.train_steps / 4, 1));
+    w.schedule = schedule;
+    return w;
+}
+
+/** Table I: BERT defaults (seq 128, batch 32, 3 epochs). */
+RuntimeWorkload
+makeBert(const char *name, const DatasetSpec &dataset,
+         const WorkloadOptions &options)
+{
+    constexpr std::uint64_t batch = 32;
+    constexpr std::int64_t seq = 128;
+    SessionSchedule schedule;
+    const std::uint64_t steps_per_epoch =
+        std::max<std::uint64_t>(dataset.num_examples / batch, 1);
+    schedule.train_steps = 3 * steps_per_epoch;
+    schedule.steps_per_eval = steps_per_epoch;
+    schedule.eval_steps =
+        std::min<std::uint64_t>(steps_per_epoch / 10 + 1, 100);
+    schedule.checkpoint_interval =
+        std::min<std::uint64_t>(steps_per_epoch, 1000);
+    schedule.iterations_per_loop = 100;
+    return assemble(name, buildBert(batch, seq), dataset, batch,
+                    schedule, options);
+}
+
+/** Table I: DCGAN defaults (batch 1024, 10000 steps, eval/1000). */
+RuntimeWorkload
+makeDcgan(const char *name, const DatasetSpec &dataset,
+          std::int64_t image_size, const WorkloadOptions &options)
+{
+    constexpr std::uint64_t batch = 1024;
+    SessionSchedule schedule;
+    schedule.train_steps = 10000;
+    schedule.steps_per_eval = 1000; // train_steps_per_eval
+    schedule.eval_steps = 50;
+    schedule.checkpoint_interval = 1000;
+    schedule.iterations_per_loop = 100;
+    return assemble(name, buildDcgan(batch, image_size, 3),
+                    dataset, batch, schedule, options);
+}
+
+/** Table I: QANet defaults (batch 32, 20000 x 5 steps). */
+RuntimeWorkload
+makeQanet(const char *name, const DatasetSpec &dataset,
+          const WorkloadOptions &options)
+{
+    constexpr std::uint64_t batch = 32;
+    // Eval/checkpoint cadence follows the epoch, i.e. the dataset
+    // size: a reduced dataset means shorter epochs and more
+    // frequent eval/checkpoint cycles (the mechanism behind
+    // Observation 6).
+    constexpr std::uint64_t full_squad_examples = 87599;
+    // QANet reads pre-tokenized word/char-id records; its
+    // per-example host cost is about half of BERT's WordPiece
+    // featurization over the same corpus.
+    DatasetSpec tuned = dataset;
+    tuned.decode_ns_per_example /= 2;
+    tuned.preprocess_ns_per_example /= 2;
+    SessionSchedule schedule;
+    schedule.train_steps = 20000ULL * 5;
+    schedule.steps_per_eval = std::max<std::uint64_t>(
+        20000ULL * dataset.num_examples / full_squad_examples, 1);
+    schedule.eval_steps = 300;
+    schedule.checkpoint_interval = std::max<std::uint64_t>(
+        2000ULL * dataset.num_examples / full_squad_examples, 1);
+    schedule.iterations_per_loop = 100;
+    return assemble(name, buildQanet(batch, 400, 30), tuned,
+                    batch, schedule, options);
+}
+
+/** Table I: RetinaNet (batch 64, 640px, 15 epochs of 120k). */
+RuntimeWorkload
+makeRetinanet(const char *name, const DatasetSpec &dataset,
+              const WorkloadOptions &options)
+{
+    constexpr std::uint64_t batch = 64;
+    SessionSchedule schedule;
+    // Table I: 15 epochs of 120k examples.
+    schedule.train_steps = 15 * (120000 / batch);
+    // The eval/checkpoint epoch follows the actual dataset size,
+    // so reduced datasets cycle twice as often (Observation 6).
+    const std::uint64_t dataset_epoch = std::max<std::uint64_t>(
+        dataset.num_examples / batch, 1);
+    schedule.steps_per_eval = dataset_epoch;
+    schedule.eval_steps = 100;
+    schedule.checkpoint_interval = dataset_epoch;
+    schedule.iterations_per_loop = 100;
+    return assemble(name, buildRetinanet(batch, 640), dataset,
+                    batch, schedule, options);
+}
+
+/** Table I: ResNet-50 (batch 1024, 112590 steps). */
+RuntimeWorkload
+makeResnet(const char *name, const DatasetSpec &dataset,
+           std::int64_t image_size, const WorkloadOptions &options)
+{
+    constexpr std::uint64_t batch = 1024;
+    SessionSchedule schedule;
+    schedule.train_steps = 112590;
+    // One epoch of whatever dataset is fed in: 1251 steps for
+    // ImageNet, only 48 for CIFAR-10 — the same methodology then
+    // evals and checkpoints far more often on the small dataset.
+    const std::uint64_t dataset_epoch = std::max<std::uint64_t>(
+        dataset.num_examples / batch, 1);
+    schedule.steps_per_eval = dataset_epoch;
+    schedule.eval_steps = std::max<std::uint64_t>(
+        dataset_epoch / 26, 1); // ~50k eval examples at 1024
+    schedule.checkpoint_interval = dataset_epoch;
+    schedule.iterations_per_loop = 100;
+    return assemble(name, buildResnet(batch, image_size, 1000),
+                    dataset, batch, schedule, options);
+}
+
+} // namespace
+
+const char *
+workloadName(WorkloadId id)
+{
+    switch (id) {
+      case WorkloadId::BertMrpc: return "BERT-MRPC";
+      case WorkloadId::BertSquad: return "BERT-SQuAD";
+      case WorkloadId::BertCola: return "BERT-CoLA";
+      case WorkloadId::BertMnli: return "BERT-MNLI";
+      case WorkloadId::DcganCifar10: return "DCGAN-CIFAR10";
+      case WorkloadId::DcganMnist: return "DCGAN-MNIST";
+      case WorkloadId::QanetSquad: return "QANet-SQuAD";
+      case WorkloadId::RetinanetCoco: return "RetinaNet-COCO";
+      case WorkloadId::ResnetImagenet: return "ResNet-ImageNet";
+      case WorkloadId::QanetSquadHalf: return "QANet-SQuAD/2";
+      case WorkloadId::RetinanetCocoHalf:
+        return "RetinaNet-COCO/2";
+      case WorkloadId::ResnetCifar10: return "ResNet-CIFAR10";
+    }
+    panic("workloadName: unknown WorkloadId");
+}
+
+std::vector<WorkloadId>
+allWorkloads()
+{
+    return {WorkloadId::BertMrpc, WorkloadId::BertSquad,
+            WorkloadId::BertCola, WorkloadId::BertMnli,
+            WorkloadId::DcganCifar10, WorkloadId::DcganMnist,
+            WorkloadId::QanetSquad, WorkloadId::RetinanetCoco,
+            WorkloadId::ResnetImagenet};
+}
+
+std::vector<WorkloadId>
+reducedWorkloads()
+{
+    return {WorkloadId::QanetSquadHalf,
+            WorkloadId::RetinanetCocoHalf,
+            WorkloadId::ResnetCifar10};
+}
+
+RuntimeWorkload
+makeWorkload(WorkloadId id, const WorkloadOptions &options)
+{
+    switch (id) {
+      case WorkloadId::BertMrpc:
+        return makeBert("BERT-MRPC", datasets::mrpc(), options);
+      case WorkloadId::BertSquad:
+        return makeBert("BERT-SQuAD", datasets::squad(), options);
+      case WorkloadId::BertCola:
+        return makeBert("BERT-CoLA", datasets::cola(), options);
+      case WorkloadId::BertMnli:
+        return makeBert("BERT-MNLI", datasets::mnli(), options);
+      case WorkloadId::DcganCifar10:
+        return makeDcgan("DCGAN-CIFAR10", datasets::cifar10(), 32,
+                         options);
+      case WorkloadId::DcganMnist:
+        return makeDcgan("DCGAN-MNIST", datasets::mnist(), 28,
+                         options);
+      case WorkloadId::QanetSquad:
+        return makeQanet("QANet-SQuAD", datasets::squad(),
+                         options);
+      case WorkloadId::RetinanetCoco:
+        return makeRetinanet("RetinaNet-COCO", datasets::coco(),
+                             options);
+      case WorkloadId::ResnetImagenet:
+        return makeResnet("ResNet-ImageNet", datasets::imagenet(),
+                          224, options);
+      case WorkloadId::QanetSquadHalf:
+        return makeQanet("QANet-SQuAD/2", datasets::squadHalf(),
+                         options);
+      case WorkloadId::RetinanetCocoHalf:
+        return makeRetinanet("RetinaNet-COCO/2",
+                             datasets::cocoHalf(), options);
+      case WorkloadId::ResnetCifar10:
+        // The paper feeds CIFAR-10 through the same ResNet-50
+        // methodology; the 32px native inputs starve the MXUs.
+        return makeResnet("ResNet-CIFAR10", datasets::cifar10(),
+                          32, options);
+    }
+    panic("makeWorkload: unknown WorkloadId");
+}
+
+} // namespace tpupoint

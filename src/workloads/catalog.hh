@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The workload catalog: every (model, dataset) pair of Table I plus
+ * the reduced-dataset variants of Section VI-C, with the paper's
+ * default training parameters. makeWorkload() compiles the model
+ * (graph build + XLA-style fusion + schedule extraction) and packs
+ * everything into a RuntimeWorkload.
+ */
+
+#ifndef TPUPOINT_WORKLOADS_CATALOG_HH
+#define TPUPOINT_WORKLOADS_CATALOG_HH
+
+#include <string>
+#include <vector>
+
+#include "runtime/workload.hh"
+
+namespace tpupoint {
+
+/** Every workload x dataset configuration used in the paper. */
+enum class WorkloadId
+{
+    BertMrpc,
+    BertSquad,
+    BertCola,
+    BertMnli,
+    DcganCifar10,
+    DcganMnist,
+    QanetSquad,
+    RetinanetCoco,
+    ResnetImagenet,
+    // Reduced-dataset variants (Figures 12 and 13).
+    QanetSquadHalf,
+    RetinanetCocoHalf,
+    ResnetCifar10,
+};
+
+/** Display name, e.g. "BERT-MRPC", "ResNet-ImageNet". */
+const char *workloadName(WorkloadId id);
+
+/** The nine Table I workloads in the paper's order. */
+std::vector<WorkloadId> allWorkloads();
+
+/** The three reduced-dataset workloads of Section VI-C. */
+std::vector<WorkloadId> reducedWorkloads();
+
+/**
+ * Knobs for building a workload at simulation-friendly scale.
+ */
+struct WorkloadOptions
+{
+    /**
+     * Multiplier applied to train_steps / steps_per_eval /
+     * checkpoint_interval. Full-scale runs (scale 1.0) replay the
+     * paper's entire training durations; benches use smaller scales
+     * — phase structure and utilization are unaffected because every
+     * cadence shrinks together.
+     */
+    double step_scale = 1.0;
+
+    /** Hard cap on train steps after scaling (0 = none). */
+    std::uint64_t max_train_steps = 0;
+};
+
+/** Build the RuntimeWorkload for @p id. */
+RuntimeWorkload makeWorkload(WorkloadId id,
+                             const WorkloadOptions &options = {});
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_WORKLOADS_CATALOG_HH

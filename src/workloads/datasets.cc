@@ -1,0 +1,142 @@
+#include "workloads/datasets.hh"
+
+#include "core/types.hh"
+
+namespace tpupoint {
+namespace datasets {
+
+namespace {
+
+DatasetSpec
+textDataset(const char *name, double mib, std::uint64_t examples)
+{
+    DatasetSpec d;
+    d.name = name;
+    d.kind = DatasetKind::TokenizedText;
+    d.total_bytes = static_cast<std::uint64_t>(mib * kMiB);
+    d.num_examples = examples;
+    // Tokenization and feature construction cost milliseconds per
+    // record on one core, mostly independent of record length.
+    d.decode_ns_per_byte = 40.0;
+    d.decode_ns_per_example = 8.0e6;     // ~8 ms/example tokenize
+    d.preprocess_ns_per_byte = 25.0;     // pad/mask/feature build
+    d.preprocess_ns_per_example = 3.0e6; // ~3 ms/example features
+    d.decode_expansion = 1.0;
+    d.cost_sigma = 0.05;
+    return d;
+}
+
+DatasetSpec
+rawImageDataset(const char *name, double mib,
+                std::uint64_t examples)
+{
+    DatasetSpec d;
+    d.name = name;
+    d.kind = DatasetKind::RawImages;
+    d.total_bytes = static_cast<std::uint64_t>(mib * kMiB);
+    d.num_examples = examples;
+    d.decode_ns_per_byte = 9.0;     // parse/cast/copy
+    d.preprocess_ns_per_byte = 7.0; // normalize/augment
+    d.decode_expansion = 1.0;
+    d.cost_sigma = 0.10;
+    return d;
+}
+
+DatasetSpec
+jpegDataset(const char *name, double gib, std::uint64_t examples,
+            double sigma)
+{
+    DatasetSpec d;
+    d.name = name;
+    d.kind = DatasetKind::JpegImages;
+    d.total_bytes = static_cast<std::uint64_t>(gib * kGiB);
+    d.num_examples = examples;
+    d.decode_ns_per_byte = 26.0;    // JPEG decode ~38 MB/s/core
+    d.preprocess_ns_per_byte = 1.2; // crop/resize/augment (decoded)
+    d.decode_expansion = 8.0;       // compressed -> RGB
+    d.cost_sigma = sigma;
+    return d;
+}
+
+} // namespace
+
+DatasetSpec
+squad()
+{
+    // ~88k training question/answer contexts.
+    return textDataset("SQuAD", 422.27, 87599);
+}
+
+DatasetSpec
+mrpc()
+{
+    return textDataset("MRPC", 2.85, 3668);
+}
+
+DatasetSpec
+mnli()
+{
+    return textDataset("MNLI", 430.61, 392702);
+}
+
+DatasetSpec
+cola()
+{
+    return textDataset("CoLA", 1.44, 8551);
+}
+
+DatasetSpec
+cifar10()
+{
+    return rawImageDataset("CIFAR10", 178.87, 50000);
+}
+
+DatasetSpec
+mnist()
+{
+    return rawImageDataset("MNIST", 56.21, 60000);
+}
+
+DatasetSpec
+coco()
+{
+    // Object-detection inputs vary a lot per image, and the 640px
+    // crop/resize/pad path costs more per decoded byte than the
+    // classification path.
+    DatasetSpec d = jpegDataset("COCO", 48.49, 118287, 0.25);
+    // Decode plus the detection augmentations (random crop, box
+    // clipping, padding to 640x640) are far heavier per byte than
+    // the classification path.
+    d.decode_ns_per_byte = 110.0;
+    d.preprocess_ns_per_byte = 3.0;
+    return d;
+}
+
+DatasetSpec
+imagenet()
+{
+    return jpegDataset("ImageNet", 143.38, 1281167, 0.15);
+}
+
+DatasetSpec
+squadHalf()
+{
+    DatasetSpec d = squad();
+    d.name = "SQuAD-half";
+    d.total_bytes /= 2;
+    d.num_examples /= 2;
+    return d;
+}
+
+DatasetSpec
+cocoHalf()
+{
+    DatasetSpec d = coco();
+    d.name = "COCO-half";
+    d.total_bytes /= 2;
+    d.num_examples /= 2;
+    return d;
+}
+
+} // namespace datasets
+} // namespace tpupoint

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The dataset catalog: the nine datasets of Table I plus the
+ * reduced variants of Section VI-C (half SQuAD, half COCO, and
+ * ResNet-on-CIFAR-10). Sizes are the paper's; per-byte host costs
+ * are calibrated to Compute Engine Skylake throughput (JPEG decode
+ * ~40 MB/s/core, record parsing ~500 MB/s/core).
+ */
+
+#ifndef TPUPOINT_WORKLOADS_DATASETS_HH
+#define TPUPOINT_WORKLOADS_DATASETS_HH
+
+#include "host/dataset.hh"
+
+namespace tpupoint {
+namespace datasets {
+
+/** Stanford Question Answering Dataset — 422.27 MiB. */
+DatasetSpec squad();
+
+/** Microsoft Research Paraphrase Corpus — 2.85 MiB. */
+DatasetSpec mrpc();
+
+/** Multi-Genre Natural Language Inference — 430.61 MiB. */
+DatasetSpec mnli();
+
+/** Corpus of Linguistic Acceptability — 1.44 MiB. */
+DatasetSpec cola();
+
+/** CIFAR-10 — 178.87 MiB of raw 32x32 images. */
+DatasetSpec cifar10();
+
+/** MNIST — 56.21 MiB of raw 28x28 images. */
+DatasetSpec mnist();
+
+/** Common Objects in Context — 48.49 GiB of JPEG images. */
+DatasetSpec coco();
+
+/** ImageNet — 143.38 GiB of JPEG images. */
+DatasetSpec imagenet();
+
+/** SQuAD reduced to half size (Section VI-C). */
+DatasetSpec squadHalf();
+
+/** COCO reduced to half size (Section VI-C). */
+DatasetSpec cocoHalf();
+
+} // namespace datasets
+} // namespace tpupoint
+
+#endif // TPUPOINT_WORKLOADS_DATASETS_HH

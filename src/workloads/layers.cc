@@ -1,0 +1,466 @@
+#include "workloads/layers.hh"
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+ModelBuilder::ModelBuilder(std::string model_name, DataType type)
+    : gb(std::move(model_name), type)
+{
+}
+
+void
+ModelBuilder::pushBackward(BackwardEmitter fn)
+{
+    backward_stack.push_back(std::move(fn));
+}
+
+NodeId
+ModelBuilder::adaptGrad(NodeId grad, const TensorShape &want,
+                        const std::string &name)
+{
+    if (gb.outputShape(grad) == want)
+        return grad;
+    return gb.shapeOp(OpKind::Copy, grad, want,
+                      name + "/grad/BroadcastGrad");
+}
+
+NodeId
+ModelBuilder::input(const TensorShape &shape,
+                    const std::string &name)
+{
+    return gb.infeed(shape, name);
+}
+
+NodeId
+ModelBuilder::intInput(const TensorShape &shape,
+                       const std::string &name)
+{
+    return gb.infeed(shape, name, DataType::I32);
+}
+
+NodeId
+ModelBuilder::activation(NodeId x, Activation act,
+                         const std::string &name)
+{
+    switch (act) {
+      case Activation::None: return x;
+      case Activation::Relu:
+        return gb.unary(OpKind::Relu, x, name + "/Relu");
+      case Activation::Gelu:
+        return gb.unary(OpKind::Gelu, x, name + "/Gelu");
+      case Activation::Tanh:
+        return gb.unary(OpKind::Tanh, x, name + "/Tanh");
+    }
+    panic("ModelBuilder::activation: unknown activation");
+}
+
+NodeId
+ModelBuilder::activationGrad(NodeId grad, Activation act,
+                             const std::string &name)
+{
+    switch (act) {
+      case Activation::None: return grad;
+      case Activation::Relu:
+        return gb.unary(OpKind::ReluGrad, grad,
+                        name + "/grad/ReluGrad");
+      case Activation::Gelu:
+        return gb.unary(OpKind::Gelu, grad,
+                        name + "/grad/GeluGrad");
+      case Activation::Tanh:
+        return gb.unary(OpKind::Tanh, grad,
+                        name + "/grad/TanhGrad");
+    }
+    panic("ModelBuilder::activationGrad: unknown activation");
+}
+
+NodeId
+ModelBuilder::convBnAct(NodeId x, std::int64_t out_channels,
+                        std::int64_t kernel, std::int64_t stride,
+                        Activation act, const std::string &name)
+{
+    const TensorShape in_shape = gb.outputShape(x);
+    const std::int64_t in_channels = in_shape.dim(3);
+    const NodeId conv =
+        gb.conv2d(x, out_channels, kernel, stride,
+                  name + "/Conv2D");
+    const NodeId bn = gb.batchNorm(conv,
+                                   name + "/FusedBatchNormV3");
+    const NodeId out = activation(bn, act, name);
+    const TensorShape out_shape = gb.outputShape(out);
+    params += static_cast<std::uint64_t>(kernel) * kernel *
+        in_channels * out_channels + 2ULL * out_channels;
+
+    pushBackward([this, x, in_shape, out_shape, kernel, act,
+                  name](NodeId grad) {
+        grad = adaptGrad(grad, out_shape, name);
+        const NodeId ag = activationGrad(grad, act, name);
+        const NodeId bg = gb.batchNormGrad(
+            ag, name + "/grad/FusedBatchNormGradV3");
+        gb.conv2dBackpropFilter(x, bg, kernel,
+                                name + "/grad/Conv2DBackpropFilter");
+        return gb.conv2dBackpropInput(
+            bg, in_shape, kernel,
+            name + "/grad/Conv2DBackpropInput");
+    });
+    return out;
+}
+
+NodeId
+ModelBuilder::convBias(NodeId x, std::int64_t out_channels,
+                       std::int64_t kernel, std::int64_t stride,
+                       Activation act, const std::string &name)
+{
+    const TensorShape in_shape = gb.outputShape(x);
+    const std::int64_t in_channels = in_shape.dim(3);
+    const NodeId conv =
+        gb.conv2d(x, out_channels, kernel, stride,
+                  name + "/Conv2D");
+    const NodeId bias = gb.biasAdd(conv, name + "/BiasAdd");
+    const NodeId out = activation(bias, act, name);
+    const TensorShape out_shape = gb.outputShape(out);
+    params += static_cast<std::uint64_t>(kernel) * kernel *
+        in_channels * out_channels + out_channels;
+
+    pushBackward([this, x, in_shape, out_shape, kernel, act,
+                  name](NodeId grad) {
+        grad = adaptGrad(grad, out_shape, name);
+        const NodeId ag = activationGrad(grad, act, name);
+        gb.reduceLastAxis(OpKind::BiasAddGrad, ag,
+                          name + "/grad/BiasAddGrad");
+        gb.conv2dBackpropFilter(x, ag, kernel,
+                                name + "/grad/Conv2DBackpropFilter");
+        return gb.conv2dBackpropInput(
+            ag, in_shape, kernel,
+            name + "/grad/Conv2DBackpropInput");
+    });
+    return out;
+}
+
+NodeId
+ModelBuilder::dense(NodeId x, std::int64_t units, Activation act,
+                    const std::string &name)
+{
+    const TensorShape in_shape = gb.outputShape(x);
+    const std::int64_t in_units = in_shape.dim(in_shape.rank() - 1);
+    const NodeId mm = gb.matmul(x, units, name + "/MatMul");
+    const NodeId bias = gb.biasAdd(mm, name + "/BiasAdd");
+    const NodeId out = activation(bias, act, name);
+    const TensorShape out_shape = gb.outputShape(out);
+    params += static_cast<std::uint64_t>(in_units) * units + units;
+
+    pushBackward([this, in_units, out_shape, act,
+                  name](NodeId grad) {
+        grad = adaptGrad(grad, out_shape, name);
+        const NodeId ag = activationGrad(grad, act, name);
+        gb.reduceLastAxis(OpKind::BiasAddGrad, ag,
+                          name + "/grad/BiasAddGrad");
+        // dW and dX are both matmuls against the incoming grad;
+        // cost-wise each contracts [m, units] down to in_units.
+        gb.matmul(ag, in_units, name + "/grad/MatMul_1");
+        return gb.matmul(ag, in_units, name + "/grad/MatMul");
+    });
+    return out;
+}
+
+NodeId
+ModelBuilder::embedding(NodeId ids, std::int64_t vocab,
+                        std::int64_t width, const std::string &name)
+{
+    const NodeId table = gb.gather(ids, width, name + "/GatherV2");
+    params += static_cast<std::uint64_t>(vocab) * width;
+
+    pushBackward([this, name](NodeId grad) {
+        // The sparse scatter into the embedding table.
+        return gb.unary(OpKind::DynamicStitch, grad,
+                        name + "/grad/DynamicStitch");
+    });
+    return table;
+}
+
+NodeId
+ModelBuilder::layerNorm(NodeId x, const std::string &name)
+{
+    const TensorShape &shape = gb.outputShape(x);
+    const NodeId out = gb.layerNorm(x, name + "/LayerNorm");
+    params += 2ULL *
+        static_cast<std::uint64_t>(shape.dim(shape.rank() - 1));
+
+    const TensorShape out_shape = gb.outputShape(out);
+    pushBackward([this, out_shape, name](NodeId grad) {
+        grad = adaptGrad(grad, out_shape, name);
+        return gb.layerNormGrad(grad, name + "/grad/LayerNormGrad");
+    });
+    return out;
+}
+
+NodeId
+ModelBuilder::selfAttention(NodeId x, std::int64_t heads,
+                            const std::string &name)
+{
+    const TensorShape in_shape = gb.outputShape(x);
+    if (in_shape.rank() != 3)
+        fatal("selfAttention: expected [batch, seq, hidden] for ",
+              name);
+    const std::int64_t b = in_shape.dim(0);
+    const std::int64_t s = in_shape.dim(1);
+    const std::int64_t h = in_shape.dim(2);
+    if (h % heads != 0)
+        fatal("selfAttention: hidden not divisible by heads for ",
+              name);
+    const std::int64_t dh = h / heads;
+
+    const NodeId q = dense(x, h, Activation::None, name + "/query");
+    const NodeId k = dense(x, h, Activation::None, name + "/key");
+    const NodeId v = dense(x, h, Activation::None, name + "/value");
+
+    // Head split: [b, s, h] -> [b*heads, s, dh] (and k transposed).
+    auto split = [&](NodeId t, const char *tag) {
+        const NodeId r = gb.reshape(
+            t, TensorShape{b, s, heads, dh},
+            name + "/" + tag + "/Reshape");
+        const NodeId tr = gb.transpose(
+            r, {0, 2, 1, 3}, name + "/" + tag + "/Transpose");
+        return gb.reshape(tr, TensorShape{b * heads, s, dh},
+                          name + "/" + tag + "/Reshape_1");
+    };
+    const NodeId qs = split(q, "query");
+    const NodeId vs = split(v, "value");
+    const NodeId kr = gb.reshape(k, TensorShape{b, s, heads, dh},
+                                 name + "/key/Reshape");
+    const NodeId kt = gb.transpose(kr, {0, 2, 3, 1},
+                                   name + "/key/Transpose");
+    const NodeId ks = gb.reshape(kt, TensorShape{b * heads, dh, s},
+                                 name + "/key/Reshape_1");
+
+    const NodeId scores =
+        gb.batchMatmul(qs, ks, name + "/MatMul");
+    const NodeId scaled =
+        gb.unary(OpKind::Mul, scores, name + "/Mul");
+    const NodeId probs = gb.softmax(scaled, name + "/Softmax");
+    const NodeId ctx = gb.batchMatmul(probs, vs,
+                                      name + "/MatMul_1");
+
+    // Merge heads back: [b*heads, s, dh] -> [b, s, h].
+    const NodeId cr = gb.reshape(ctx,
+                                 TensorShape{b, heads, s, dh},
+                                 name + "/context/Reshape");
+    const NodeId ct = gb.transpose(cr, {0, 2, 1, 3},
+                                   name + "/context/Transpose");
+    const NodeId merged = gb.reshape(ct, TensorShape{b, s, h},
+                                     name + "/context/Reshape_1");
+
+    // Backward of the attention core (between the v and output
+    // projections on the stack).
+    pushBackward([this, b, s, h, heads, dh, name](NodeId grad) {
+        grad = adaptGrad(grad, TensorShape{b, s, h}, name);
+        const NodeId gr = gb.reshape(
+            grad, TensorShape{b, s, heads, dh},
+            name + "/grad/Reshape");
+        const NodeId gt = gb.transpose(
+            gr, {0, 2, 1, 3}, name + "/grad/Transpose");
+        const NodeId gs = gb.reshape(
+            gt, TensorShape{b * heads, s, dh},
+            name + "/grad/Reshape_1");
+        // dV and dProbs.
+        const NodeId dprobs_proxy = gb.reshape(
+            gs, TensorShape{b * heads, s, dh},
+            name + "/grad/Reshape_2");
+        gb.batchMatmul(
+            gs,
+            gb.reshape(dprobs_proxy,
+                       TensorShape{b * heads, dh, s},
+                       name + "/grad/Transpose_1"),
+            name + "/grad/MatMul");
+        const NodeId sg = gb.unary(
+            OpKind::SoftmaxGrad,
+            gb.shapeOp(OpKind::Copy, gs,
+                       TensorShape{b * heads, s, s},
+                       name + "/grad/Copy"),
+            name + "/grad/SoftmaxGrad");
+        const NodeId dq = gb.batchMatmul(
+            sg,
+            gb.shapeOp(OpKind::Transpose, sg,
+                       TensorShape{b * heads, s, dh},
+                       name + "/grad/Transpose_2"),
+            name + "/grad/MatMul_1");
+        return gb.reshape(dq, TensorShape{b, s, h},
+                          name + "/grad/Reshape_3");
+    });
+
+    return dense(merged, h, Activation::None, name + "/output");
+}
+
+NodeId
+ModelBuilder::feedForward(NodeId x, std::int64_t ff_units,
+                          const std::string &name)
+{
+    const TensorShape &shape = gb.outputShape(x);
+    const std::int64_t hidden = shape.dim(shape.rank() - 1);
+    const NodeId up = dense(x, ff_units, Activation::Gelu,
+                            name + "/intermediate");
+    return dense(up, hidden, Activation::None, name + "/output");
+}
+
+NodeId
+ModelBuilder::transformerLayer(NodeId x, std::int64_t heads,
+                               std::int64_t ff_units,
+                               const std::string &name)
+{
+    const NodeId ln1 = layerNorm(x, name + "/ln_attention");
+    const NodeId attn = selfAttention(ln1, heads,
+                                      name + "/attention");
+    const NodeId r1 = residual(x, attn, name + "/add_attention");
+    const NodeId ln2 = layerNorm(r1, name + "/ln_ffn");
+    const NodeId ff = feedForward(ln2, ff_units, name + "/ffn");
+    return residual(r1, ff, name + "/add_ffn");
+}
+
+NodeId
+ModelBuilder::residual(NodeId x, NodeId y, const std::string &name)
+{
+    const NodeId add = gb.binary(OpKind::Add, x, y,
+                                 name + "/Add");
+    pushBackward([](NodeId grad) { return grad; });
+    return add;
+}
+
+NodeId
+ModelBuilder::maxPool(NodeId x, std::int64_t window,
+                      std::int64_t stride, const std::string &name)
+{
+    const TensorShape in_shape = gb.outputShape(x);
+    const NodeId out = gb.pool(OpKind::MaxPool, x, window, stride,
+                               name + "/MaxPool");
+    pushBackward([this, in_shape, name](NodeId grad) {
+        return gb.shapeOp(OpKind::MaxPoolGrad, grad, in_shape,
+                          name + "/grad/MaxPoolGrad");
+    });
+    return out;
+}
+
+NodeId
+ModelBuilder::globalAvgPool(NodeId x, const std::string &name)
+{
+    const TensorShape in_shape = gb.outputShape(x);
+    const NodeId pooled =
+        gb.pool(OpKind::AvgPool, x, in_shape.dim(1),
+                in_shape.dim(1), name + "/AvgPool");
+    const NodeId out = gb.reshape(
+        pooled, TensorShape{in_shape.dim(0), in_shape.dim(3)},
+        name + "/Reshape");
+    pushBackward([this, in_shape, name](NodeId grad) {
+        return gb.shapeOp(OpKind::AvgPool, grad, in_shape,
+                          name + "/grad/AvgPoolGrad");
+    });
+    return out;
+}
+
+NodeId
+ModelBuilder::upsample(NodeId x, std::int64_t factor,
+                       const std::string &name)
+{
+    const TensorShape in_shape = gb.outputShape(x);
+    const NodeId out = gb.resizeNearest(
+        x, factor, name + "/ResizeNearestNeighbor");
+    pushBackward([this, in_shape, name](NodeId grad) {
+        return gb.shapeOp(OpKind::Sum, grad, in_shape,
+                          name + "/grad/ResizeGrad");
+    });
+    return out;
+}
+
+void
+ModelBuilder::emitBackward(NodeId seed_grad, OpKind optimizer,
+                           const std::string &name)
+{
+    NodeId grad = seed_grad;
+    for (auto it = backward_stack.rbegin();
+         it != backward_stack.rend(); ++it) {
+        grad = (*it)(grad);
+    }
+    backward_stack.clear();
+    const NodeId reduced =
+        gb.allReduce(grad, params, name + "/all_reduce");
+    const NodeId replicated = gb.shapeOp(
+        OpKind::CrossReplicaSum, reduced, TensorShape{},
+        name + "/CrossReplicaSum");
+    // Global gradient-norm reduction (clipping), train-only.
+    const NodeId norm = gb.reduceAll(OpKind::Sum, replicated,
+                                     name + "/global_norm/Sum");
+    gb.applyOptimizer(optimizer, norm, params,
+                      name + "/ApplyOptimizer");
+}
+
+void
+ModelBuilder::classificationLoss(NodeId logits, OpKind optimizer,
+                                 const std::string &name)
+{
+    if (closed)
+        panic("ModelBuilder: model already closed");
+    closed = true;
+    const NodeId probs = gb.softmax(logits, name + "/Softmax");
+    const NodeId loss = gb.reduceAll(OpKind::Mean, probs,
+                                     name + "/Mean");
+    const NodeId decay = gb.l2Loss(loss, params,
+                                   name + "/L2Loss");
+    const NodeId total = gb.binary(OpKind::Add, loss, decay,
+                                   name + "/TotalLoss");
+    const NodeId seed = gb.unary(OpKind::SoftmaxGrad, probs,
+                                 name + "/grad/SoftmaxGrad");
+    emitBackward(seed, optimizer, name);
+    gb.outfeed(total, name + "/Outfeed");
+}
+
+void
+ModelBuilder::scalarLoss(NodeId value, OpKind optimizer,
+                         const std::string &name)
+{
+    if (closed)
+        panic("ModelBuilder: model already closed");
+    closed = true;
+    const NodeId loss = gb.reduceAll(OpKind::Sum, value,
+                                     name + "/Sum");
+    const NodeId decay = gb.l2Loss(loss, params,
+                                   name + "/L2Loss");
+    const NodeId total = gb.binary(OpKind::Add, loss, decay,
+                                   name + "/TotalLoss");
+    const NodeId seed = gb.unary(OpKind::Mul, value,
+                                 name + "/grad/LossGrad");
+    emitBackward(seed, optimizer, name);
+    gb.outfeed(total, name + "/Outfeed");
+}
+
+void
+ModelBuilder::evalHead(NodeId logits, const std::string &name)
+{
+    if (closed)
+        panic("ModelBuilder: model already closed");
+    closed = true;
+    backward_stack.clear();
+    const NodeId probs = gb.softmax(logits, name + "/Softmax");
+    // Eval-only metric ops: prediction extraction and comparison.
+    // These labels never appear in training steps, which is what
+    // lets phase detectors tell eval apart from training.
+    const NodeId preds = gb.outputShape(probs).rank() >= 1
+        ? gb.reduceLastAxis(OpKind::ArgMax, probs,
+                            name + "/ArgMax")
+        : gb.unary(OpKind::ArgMax, probs, name + "/ArgMax");
+    const NodeId squeezed = gb.unary(OpKind::Squeeze, preds,
+                                     name + "/Squeeze");
+    const NodeId matches = gb.unary(OpKind::Equal, squeezed,
+                                    name + "/Equal");
+    const NodeId metric = gb.reduceAll(OpKind::Mean, matches,
+                                       name + "/Mean");
+    gb.outfeed(metric, name + "/Outfeed");
+}
+
+Graph
+ModelBuilder::finish()
+{
+    if (!closed)
+        panic("ModelBuilder::finish before a loss/eval head");
+    return gb.finish();
+}
+
+} // namespace tpupoint

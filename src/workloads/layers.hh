@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Mid-level neural-network layer library. ModelBuilder wraps a
+ * GraphBuilder and emits *training* graphs: each layer call appends
+ * the forward operators and pushes a backward emitter onto a stack;
+ * finishing the model pops the stack in reverse, appending the
+ * gradient operators (Conv2DBackpropFilter, BiasAddGrad, ...) the
+ * way TensorFlow's autograd does. Parameter counts are tracked for
+ * the all-reduce, weight decay (L2Loss) and optimizer-update ops.
+ */
+
+#ifndef TPUPOINT_WORKLOADS_LAYERS_HH
+#define TPUPOINT_WORKLOADS_LAYERS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/builder.hh"
+#include "graph/graph.hh"
+
+namespace tpupoint {
+
+/** Activation applied inside dense/conv layers. */
+enum class Activation { None, Relu, Gelu, Tanh };
+
+/**
+ * Training-graph builder with automatic backward emission.
+ */
+class ModelBuilder
+{
+  public:
+    /**
+     * @param model_name Graph name (e.g. "bert-squad").
+     * @param type Element type of activations (TPUs train in bf16).
+     */
+    explicit ModelBuilder(std::string model_name,
+                          DataType type = DataType::BF16);
+
+    /** The underlying primitive-op builder (escape hatch). */
+    GraphBuilder &builder() { return gb; }
+
+    // ---- Inputs --------------------------------------------------
+
+    /** Feature tensor from the infeed queue. */
+    NodeId input(const TensorShape &shape, const std::string &name);
+
+    /** Integer tensor (token ids / labels) from the infeed queue. */
+    NodeId intInput(const TensorShape &shape,
+                    const std::string &name);
+
+    // ---- Layers (forward + deferred backward) --------------------
+
+    /** Conv -> BatchNorm -> activation (the CNN workhorse). */
+    NodeId convBnAct(NodeId x, std::int64_t out_channels,
+                     std::int64_t kernel, std::int64_t stride,
+                     Activation act, const std::string &name);
+
+    /** Plain conv + bias (detection heads, GAN layers). */
+    NodeId convBias(NodeId x, std::int64_t out_channels,
+                    std::int64_t kernel, std::int64_t stride,
+                    Activation act, const std::string &name);
+
+    /** Dense projection + bias + activation. */
+    NodeId dense(NodeId x, std::int64_t units, Activation act,
+                 const std::string &name);
+
+    /** Token-embedding lookup (ids -> [.., width]). */
+    NodeId embedding(NodeId ids, std::int64_t vocab,
+                     std::int64_t width, const std::string &name);
+
+    /** LayerNorm with learned scale/offset. */
+    NodeId layerNorm(NodeId x, const std::string &name);
+
+    /**
+     * Multi-head self-attention block: QKV projections, head
+     * split (reshape + transpose), scores, softmax, context,
+     * merge, output projection. The reshape/transpose traffic this
+     * emits is exactly what makes `Reshape`/`Transpose` prominent
+     * in Table II.
+     */
+    NodeId selfAttention(NodeId x, std::int64_t heads,
+                         const std::string &name);
+
+    /** Transformer FFN: dense(ff) -> gelu -> dense(hidden). */
+    NodeId feedForward(NodeId x, std::int64_t ff_units,
+                       const std::string &name);
+
+    /** Full pre-LN transformer encoder layer. */
+    NodeId transformerLayer(NodeId x, std::int64_t heads,
+                            std::int64_t ff_units,
+                            const std::string &name);
+
+    /** Residual add (x + y); gradients fan to both branches. */
+    NodeId residual(NodeId x, NodeId y, const std::string &name);
+
+    /** Max pooling (no parameters). */
+    NodeId maxPool(NodeId x, std::int64_t window,
+                   std::int64_t stride, const std::string &name);
+
+    /** Global average pool NHWC -> [n, c]. */
+    NodeId globalAvgPool(NodeId x, const std::string &name);
+
+    /** Nearest-neighbour upsample (FPN / GAN decoder). */
+    NodeId upsample(NodeId x, std::int64_t factor,
+                    const std::string &name);
+
+    // ---- Closing the graph ---------------------------------------
+
+    /**
+     * Softmax cross-entropy loss head, then: L2 weight decay,
+     * full backward sweep, cross-replica all-reduce, optimizer
+     * update, and the loss outfeed.
+     */
+    void classificationLoss(NodeId logits, OpKind optimizer,
+                            const std::string &name);
+
+    /** Scalar regression/detection loss head + backward sweep. */
+    void scalarLoss(NodeId value, OpKind optimizer,
+                    const std::string &name);
+
+    /**
+     * Forward-only finish (eval graphs): softmax + metric outfeed,
+     * no backward ops.
+     */
+    void evalHead(NodeId logits, const std::string &name);
+
+    /** Total trainable parameters emitted so far. */
+    std::uint64_t parameterCount() const { return params; }
+
+    /** Finish and take the (unfused) graph. */
+    Graph finish();
+
+  private:
+    using BackwardEmitter = std::function<NodeId(NodeId grad)>;
+
+    void pushBackward(BackwardEmitter fn);
+
+    /**
+     * Coerce an incoming gradient to the layer's output shape.
+     * Forward reductions/reshapes that carry no explicit backward
+     * emitter (loss sums, flattens) leave the gradient mis-shaped;
+     * the adapter inserts the broadcast/reshape copy TensorFlow's
+     * autograd would emit. A no-op when shapes already match.
+     */
+    NodeId adaptGrad(NodeId grad, const TensorShape &want,
+                     const std::string &name);
+    NodeId activation(NodeId x, Activation act,
+                      const std::string &name);
+    NodeId activationGrad(NodeId grad, Activation act,
+                          const std::string &name);
+    void emitBackward(NodeId seed_grad, OpKind optimizer,
+                      const std::string &name);
+
+    GraphBuilder gb;
+    std::vector<BackwardEmitter> backward_stack;
+    std::uint64_t params = 0;
+    bool closed = false;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_WORKLOADS_LAYERS_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * BERT-Base fine-tuning graph (Devlin et al.; the compact-model
+ * recipe of Turc et al. the paper cites). Encoder-only transformer:
+ * token + position embeddings, 12 encoder layers, pooler, task
+ * head.
+ */
+
+#include "workloads/models.hh"
+
+#include "workloads/layers.hh"
+
+namespace tpupoint {
+
+namespace {
+
+constexpr std::int64_t kHidden = 768;
+constexpr std::int64_t kLayers = 12;
+constexpr std::int64_t kHeads = 12;
+constexpr std::int64_t kFfn = 3072;
+constexpr std::int64_t kVocab = 30522;
+constexpr std::int64_t kTypeVocab = 2;
+constexpr std::int64_t kClasses = 2;
+
+/** Shared forward pass; returns task logits. */
+NodeId
+bertForward(ModelBuilder &mb, std::int64_t batch,
+            std::int64_t seq_len)
+{
+    GraphBuilder &gb = mb.builder();
+
+    const NodeId input_ids = mb.intInput(
+        TensorShape{batch, seq_len}, "bert/input_ids");
+    const NodeId input_mask = mb.intInput(
+        TensorShape{batch, seq_len}, "bert/input_mask");
+    const NodeId segment_ids = mb.intInput(
+        TensorShape{batch, seq_len}, "bert/segment_ids");
+
+    // Embedding lookup: word + segment + position.
+    const NodeId words = mb.embedding(
+        input_ids, kVocab, kHidden, "bert/embeddings/word");
+    const NodeId segments = mb.embedding(
+        segment_ids, kTypeVocab, kHidden,
+        "bert/embeddings/token_type");
+    NodeId embedded = gb.binary(OpKind::Add, words, segments,
+                                "bert/embeddings/Add");
+    // Positional table add (the table itself is tiny).
+    embedded = gb.unary(OpKind::Add, embedded,
+                        "bert/embeddings/Add_1");
+    embedded = mb.layerNorm(embedded, "bert/embeddings");
+
+    // Attention mask preparation (host did the padding; the device
+    // still casts and scales the mask).
+    const NodeId mask_f = gb.unary(OpKind::Cast, input_mask,
+                                   "bert/encoder/mask/Cast");
+    gb.unary(OpKind::Mul, mask_f, "bert/encoder/mask/Mul");
+
+    NodeId hidden = embedded;
+    for (std::int64_t layer = 0; layer < kLayers; ++layer) {
+        hidden = mb.transformerLayer(
+            hidden, kHeads, kFfn,
+            "bert/encoder/layer_" + std::to_string(layer));
+    }
+
+    // Pooler: first-token slice -> dense(tanh).
+    const NodeId flat = gb.reshape(
+        hidden, TensorShape{batch * seq_len, kHidden},
+        "bert/pooler/Reshape");
+    const NodeId first = gb.slice(flat, batch,
+                                  "bert/pooler/Slice");
+    const NodeId pooled = mb.dense(first, kHidden,
+                                   Activation::Tanh, "bert/pooler");
+    return mb.dense(pooled, kClasses, Activation::None,
+                    "bert/classifier");
+}
+
+} // namespace
+
+ModelGraphs
+buildBert(std::int64_t batch, std::int64_t seq_len)
+{
+    ModelGraphs graphs{Graph("bert"), Graph("bert-eval"), 0};
+
+    {
+        ModelBuilder mb("bert");
+        const NodeId logits = bertForward(mb, batch, seq_len);
+        mb.classificationLoss(logits, OpKind::ApplyAdam,
+                              "bert/loss");
+        graphs.parameters = mb.parameterCount();
+        graphs.train = mb.finish();
+    }
+    {
+        ModelBuilder mb("bert-eval");
+        const NodeId logits = bertForward(mb, batch, seq_len);
+        mb.evalHead(logits, "bert/eval");
+        graphs.eval = mb.finish();
+    }
+    return graphs;
+}
+
+} // namespace tpupoint

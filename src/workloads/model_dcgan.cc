@@ -1,0 +1,115 @@
+/**
+ * @file
+ * DCGAN (Radford et al.): a generator that projects a latent vector
+ * and upsamples through strided transposed convolutions (modelled
+ * as upsample + conv), and a convolutional discriminator. One
+ * training step updates both networks, so the graph contains the
+ * generator pass plus two discriminator passes (real and fake).
+ */
+
+#include "workloads/models.hh"
+
+#include <string>
+
+#include "workloads/layers.hh"
+
+namespace tpupoint {
+
+namespace {
+
+constexpr std::int64_t kLatent = 100;
+constexpr std::int64_t kBaseFilters = 64;
+
+/** Generator: latent -> [b, size, size, channels] image. */
+NodeId
+generator(ModelBuilder &mb, NodeId z, std::int64_t image_size,
+          std::int64_t channels)
+{
+    GraphBuilder &gb = mb.builder();
+    const std::int64_t start = image_size / 8; // 4 for 32px
+    const TensorShape z_shape = gb.outputShape(z);
+    const std::int64_t batch = z_shape.dim(0);
+
+    NodeId x = mb.dense(z, start * start * kBaseFilters * 4,
+                        Activation::Relu, "generator/project");
+    x = gb.reshape(x,
+                   TensorShape{batch, start, start,
+                               kBaseFilters * 4},
+                   "generator/Reshape");
+    x = mb.upsample(x, 2, "generator/up1");
+    x = mb.convBnAct(x, kBaseFilters * 2, 5, 1, Activation::Relu,
+                     "generator/conv1");
+    x = mb.upsample(x, 2, "generator/up2");
+    x = mb.convBnAct(x, kBaseFilters, 5, 1, Activation::Relu,
+                     "generator/conv2");
+    x = mb.upsample(x, 2, "generator/up3");
+    return mb.convBias(x, channels, 5, 1, Activation::Tanh,
+                       "generator/conv3");
+}
+
+/** Discriminator: image -> 1 logit. */
+NodeId
+discriminator(ModelBuilder &mb, NodeId images,
+              const std::string &name)
+{
+    GraphBuilder &gb = mb.builder();
+    const TensorShape in = gb.outputShape(images);
+    const std::int64_t batch = in.dim(0);
+
+    NodeId x = mb.convBias(images, kBaseFilters, 5, 2,
+                           Activation::Relu, name + "/conv1");
+    x = mb.convBnAct(x, kBaseFilters * 2, 5, 2, Activation::Relu,
+                     name + "/conv2");
+    x = mb.convBnAct(x, kBaseFilters * 4, 5, 2, Activation::Relu,
+                     name + "/conv3");
+    const TensorShape flat_in = gb.outputShape(x);
+    x = gb.reshape(x,
+                   TensorShape{batch,
+                               flat_in.numElements() / batch},
+                   name + "/Reshape");
+    return mb.dense(x, 1, Activation::None, name + "/logit");
+}
+
+} // namespace
+
+ModelGraphs
+buildDcgan(std::int64_t batch, std::int64_t image_size,
+           std::int64_t channels)
+{
+    // DCGAN generators work on power-of-two canvases; MNIST's 28px
+    // images are padded to 32 by the input pipeline.
+    const std::int64_t canvas = image_size <= 32 ? 32 : image_size;
+
+    ModelGraphs graphs{Graph("dcgan"), Graph("dcgan-eval"), 0};
+    {
+        ModelBuilder mb("dcgan");
+        GraphBuilder &gb = mb.builder();
+        const NodeId reals = mb.input(
+            TensorShape{batch, canvas, canvas, channels},
+            "dcgan/real_images");
+        const NodeId z = mb.input(TensorShape{batch, kLatent},
+                                  "dcgan/noise");
+        const NodeId fakes = generator(mb, z, canvas, channels);
+        const NodeId d_real =
+            discriminator(mb, reals, "discriminator");
+        const NodeId d_fake =
+            discriminator(mb, fakes, "discriminator_fake");
+        const NodeId joined = gb.binary(OpKind::Sub, d_real,
+                                        d_fake, "dcgan/loss/Sub");
+        mb.scalarLoss(joined, OpKind::ApplyAdam, "dcgan/loss");
+        graphs.parameters = mb.parameterCount();
+        graphs.train = mb.finish();
+    }
+    {
+        // Eval: generate a sample grid only.
+        ModelBuilder mb("dcgan-eval");
+        const NodeId z = mb.input(TensorShape{batch, kLatent},
+                                  "dcgan/noise");
+        const NodeId fakes = generator(mb, z, canvas, channels);
+        mb.evalHead(fakes, "dcgan/eval");
+        graphs.eval = mb.finish();
+    }
+    return graphs;
+}
+
+} // namespace tpupoint

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * QANet (Yu et al.): convolution + self-attention encoder blocks
+ * over SQuAD contexts, context-query attention, and three stacked
+ * model encoders feeding span-start/end heads. 1-D convolutions are
+ * modelled on [batch, seq, 1, d] grids; the reshape traffic this
+ * creates matches the reshape-heavy QANet profiles the paper
+ * reports.
+ */
+
+#include "workloads/models.hh"
+
+#include <string>
+
+#include "workloads/layers.hh"
+
+namespace tpupoint {
+
+namespace {
+
+constexpr std::int64_t kDim = 128;
+constexpr std::int64_t kHeads = 8;
+constexpr std::int64_t kVocab = 90000;
+constexpr std::int64_t kEmbedDim = 300;
+
+/** 1-D conv sub-layer with residual (via the 4-D grid trick). */
+NodeId
+convSublayer(ModelBuilder &mb, NodeId x, const std::string &name)
+{
+    GraphBuilder &gb = mb.builder();
+    const TensorShape shape = gb.outputShape(x);
+    const std::int64_t b = shape.dim(0);
+    const std::int64_t s = shape.dim(1);
+    const std::int64_t d = shape.dim(2);
+
+    const NodeId normed = mb.layerNorm(x, name + "/ln");
+    const NodeId grid = gb.reshape(
+        normed, TensorShape{b, s, 1, d}, name + "/Reshape");
+    const NodeId conv = mb.convBias(grid, d, 3, 1,
+                                    Activation::Relu,
+                                    name + "/conv");
+    const NodeId seq = gb.reshape(conv, TensorShape{b, s, d},
+                                  name + "/Reshape_1");
+    return mb.residual(x, seq, name);
+}
+
+/** One QANet encoder block: convs, self-attention, FFN. */
+NodeId
+encoderBlock(ModelBuilder &mb, NodeId x, int convs,
+             const std::string &name)
+{
+    NodeId h = x;
+    for (int i = 0; i < convs; ++i) {
+        h = convSublayer(mb, h,
+                         name + "/conv" + std::to_string(i));
+    }
+    const NodeId ln_a = mb.layerNorm(h, name + "/ln_attention");
+    const NodeId attn = mb.selfAttention(ln_a, kHeads,
+                                         name + "/attention");
+    h = mb.residual(h, attn, name + "/add_attention");
+    const NodeId ln_f = mb.layerNorm(h, name + "/ln_ffn");
+    const NodeId ff = mb.feedForward(ln_f, 4 * kDim,
+                                     name + "/ffn");
+    return mb.residual(h, ff, name + "/add_ffn");
+}
+
+/** Context-query attention (the DCN-style bi-attention). */
+NodeId
+contextQueryAttention(ModelBuilder &mb, NodeId context,
+                      NodeId question, const std::string &name)
+{
+    GraphBuilder &gb = mb.builder();
+    const TensorShape c_shape = gb.outputShape(context);
+    const TensorShape q_shape = gb.outputShape(question);
+    const std::int64_t b = c_shape.dim(0);
+    const std::int64_t lc = c_shape.dim(1);
+    const std::int64_t lq = q_shape.dim(1);
+    const std::int64_t d = c_shape.dim(2);
+
+    const NodeId q_t = gb.shapeOp(OpKind::Transpose, question,
+                                  TensorShape{b, d, lq},
+                                  name + "/Transpose");
+    const NodeId sim = gb.batchMatmul(context, q_t,
+                                      name + "/MatMul");
+    const NodeId c2q_w = gb.softmax(sim, name + "/Softmax");
+    const NodeId c2q = gb.batchMatmul(c2q_w, question,
+                                      name + "/MatMul_1");
+    const NodeId q2c_w = gb.softmax(sim, name + "/Softmax_1");
+    const NodeId q2c_seed = gb.shapeOp(OpKind::Transpose, q2c_w,
+                                       TensorShape{b, lq, lc},
+                                       name + "/Transpose_1");
+    const NodeId q2c = gb.shapeOp(OpKind::Copy,
+                                  gb.batchMatmul(q2c_seed, context,
+                                                 name + "/MatMul_2"),
+                                  TensorShape{b, lc, d},
+                                  name + "/Copy");
+    const NodeId fused = gb.concat({context, c2q, q2c, c2q},
+                                   2, name + "/Concat");
+    // The bi-attention backward cost is approximated by the
+    // projection and encoder gradients that surround it.
+    return mb.dense(fused, d, Activation::None,
+                    name + "/projection");
+}
+
+NodeId
+qanetForward(ModelBuilder &mb, std::int64_t batch,
+             std::int64_t ctx_len, std::int64_t question_len)
+{
+    GraphBuilder &gb = mb.builder();
+
+    const NodeId ctx_ids = mb.intInput(
+        TensorShape{batch, ctx_len}, "qanet/context_ids");
+    const NodeId q_ids = mb.intInput(
+        TensorShape{batch, question_len}, "qanet/question_ids");
+
+    NodeId c = mb.embedding(ctx_ids, kVocab, kEmbedDim,
+                            "qanet/embedding/context");
+    NodeId q = mb.embedding(q_ids, kVocab, kEmbedDim,
+                            "qanet/embedding/question");
+    c = mb.dense(c, kDim, Activation::Relu,
+                 "qanet/highway/context");
+    q = mb.dense(q, kDim, Activation::Relu,
+                 "qanet/highway/question");
+
+    c = encoderBlock(mb, c, 4, "qanet/embed_encoder/context");
+    q = encoderBlock(mb, q, 4, "qanet/embed_encoder/question");
+
+    NodeId m = contextQueryAttention(mb, c, q, "qanet/cq");
+
+    for (int stack = 0; stack < 3; ++stack) {
+        for (int block = 0; block < 7; ++block) {
+            m = encoderBlock(
+                mb, m, 2,
+                "qanet/model_encoder" + std::to_string(stack) +
+                    "/block" + std::to_string(block));
+        }
+    }
+
+    const NodeId start_logits = mb.dense(m, 1, Activation::None,
+                                         "qanet/output/start");
+    const NodeId end_logits = mb.dense(m, 1, Activation::None,
+                                       "qanet/output/end");
+    const NodeId spans = gb.binary(OpKind::Add, start_logits,
+                                   end_logits, "qanet/output/Add");
+    return gb.reshape(spans, TensorShape{batch, ctx_len},
+                      "qanet/output/Reshape");
+}
+
+} // namespace
+
+ModelGraphs
+buildQanet(std::int64_t batch, std::int64_t ctx_len,
+           std::int64_t question_len)
+{
+    ModelGraphs graphs{Graph("qanet"), Graph("qanet-eval"), 0};
+    {
+        ModelBuilder mb("qanet");
+        const NodeId logits =
+            qanetForward(mb, batch, ctx_len, question_len);
+        mb.classificationLoss(logits, OpKind::ApplyAdam,
+                              "qanet/loss");
+        graphs.parameters = mb.parameterCount();
+        graphs.train = mb.finish();
+    }
+    {
+        ModelBuilder mb("qanet-eval");
+        const NodeId logits =
+            qanetForward(mb, batch, ctx_len, question_len);
+        mb.evalHead(logits, "qanet/eval");
+        graphs.eval = mb.finish();
+    }
+    return graphs;
+}
+
+} // namespace tpupoint

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ResNet-50 v1.5 (He et al.): 7x7 stem, four bottleneck stages of
+ * [3, 4, 6, 3] blocks, global average pool and a 1000-way
+ * classifier.
+ */
+
+#include "workloads/models.hh"
+
+#include <string>
+
+#include "workloads/backbone.hh"
+#include "workloads/layers.hh"
+
+namespace tpupoint {
+
+namespace {
+
+NodeId
+resnetForward(ModelBuilder &mb, std::int64_t batch,
+              std::int64_t image_size, std::int64_t classes)
+{
+    const NodeId images = mb.input(
+        TensorShape{batch, image_size, image_size, 3},
+        "resnet/images");
+    const BackboneOutputs trunk =
+        resnet50Backbone(mb, images, "resnet");
+    const NodeId pooled = mb.globalAvgPool(trunk.c5,
+                                           "resnet/pool");
+    return mb.dense(pooled, classes, Activation::None,
+                    "resnet/fc");
+}
+
+} // namespace
+
+ModelGraphs
+buildResnet(std::int64_t batch, std::int64_t image_size,
+            std::int64_t classes)
+{
+    ModelGraphs graphs{Graph("resnet50"), Graph("resnet50-eval"),
+                       0};
+    {
+        ModelBuilder mb("resnet50");
+        const NodeId logits =
+            resnetForward(mb, batch, image_size, classes);
+        mb.classificationLoss(logits,
+                              OpKind::ApplyGradientDescent,
+                              "resnet/loss");
+        graphs.parameters = mb.parameterCount();
+        graphs.train = mb.finish();
+    }
+    {
+        ModelBuilder mb("resnet50-eval");
+        const NodeId logits =
+            resnetForward(mb, batch, image_size, classes);
+        mb.evalHead(logits, "resnet/eval");
+        graphs.eval = mb.finish();
+    }
+    return graphs;
+}
+
+} // namespace tpupoint

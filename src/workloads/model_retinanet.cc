@@ -1,0 +1,156 @@
+/**
+ * @file
+ * RetinaNet (Lin et al.): ResNet-50 backbone, feature pyramid
+ * network P3-P7, and shared classification/box-regression subnets
+ * (four 3x3 convs each) applied at every pyramid level, trained
+ * with focal loss.
+ */
+
+#include "workloads/models.hh"
+
+#include <string>
+#include <vector>
+
+#include "workloads/backbone.hh"
+#include "workloads/layers.hh"
+
+namespace tpupoint {
+
+namespace {
+
+constexpr std::int64_t kFpnDim = 256;
+constexpr std::int64_t kAnchors = 9;
+constexpr std::int64_t kClasses = 90;
+
+/** Build the FPN levels P3..P7 from backbone outputs. */
+std::vector<NodeId>
+featurePyramid(ModelBuilder &mb, const BackboneOutputs &trunk,
+               const std::string &prefix)
+{
+    GraphBuilder &gb = mb.builder();
+
+    const NodeId p5 = mb.convBias(trunk.c5, kFpnDim, 1, 1,
+                                  Activation::None,
+                                  prefix + "/lateral_c5");
+    const NodeId p5_up = mb.upsample(p5, 2, prefix + "/up_p5");
+    const NodeId l4 = mb.convBias(trunk.c4, kFpnDim, 1, 1,
+                                  Activation::None,
+                                  prefix + "/lateral_c4");
+    const NodeId p4 = mb.residual(l4, p5_up, prefix + "/merge_p4");
+    const NodeId p4_up = mb.upsample(p4, 2, prefix + "/up_p4");
+    const NodeId l3 = mb.convBias(trunk.c3, kFpnDim, 1, 1,
+                                  Activation::None,
+                                  prefix + "/lateral_c3");
+    const NodeId p3 = mb.residual(l3, p4_up, prefix + "/merge_p3");
+
+    // Smoothing convs plus the extra coarse levels P6/P7.
+    const NodeId p3s = mb.convBias(p3, kFpnDim, 3, 1,
+                                   Activation::None,
+                                   prefix + "/smooth_p3");
+    const NodeId p4s = mb.convBias(p4, kFpnDim, 3, 1,
+                                   Activation::None,
+                                   prefix + "/smooth_p4");
+    const NodeId p5s = mb.convBias(p5, kFpnDim, 3, 1,
+                                   Activation::None,
+                                   prefix + "/smooth_p5");
+    const NodeId p6 = mb.convBias(trunk.c5, kFpnDim, 3, 2,
+                                  Activation::Relu,
+                                  prefix + "/p6");
+    const NodeId p7 = mb.convBias(p6, kFpnDim, 3, 2,
+                                  Activation::Relu,
+                                  prefix + "/p7");
+    (void)gb;
+    return {p3s, p4s, p5s, p6, p7};
+}
+
+/** The shared class/box subnets applied at one pyramid level. */
+NodeId
+detectionHeads(ModelBuilder &mb, NodeId level,
+               const std::string &name)
+{
+    GraphBuilder &gb = mb.builder();
+    NodeId cls = level;
+    NodeId box = level;
+    for (int i = 0; i < 4; ++i) {
+        cls = mb.convBias(cls, kFpnDim, 3, 1, Activation::Relu,
+                          name + "/class" + std::to_string(i));
+        box = mb.convBias(box, kFpnDim, 3, 1, Activation::Relu,
+                          name + "/box" + std::to_string(i));
+    }
+    cls = mb.convBias(cls, kAnchors * kClasses, 3, 1,
+                      Activation::None, name + "/class_out");
+    box = mb.convBias(box, kAnchors * 4, 3, 1, Activation::None,
+                      name + "/box_out");
+
+    // Flatten both outputs and combine into the level's loss
+    // contribution (the focal-loss weighting fuses on device).
+    const TensorShape cs = gb.outputShape(cls);
+    const TensorShape bs = gb.outputShape(box);
+    const NodeId cls_flat = gb.reshape(
+        cls, TensorShape{cs.dim(0), cs.numElements() / cs.dim(0)},
+        name + "/class/Reshape");
+    const NodeId box_flat = gb.reshape(
+        box, TensorShape{bs.dim(0), bs.numElements() / bs.dim(0)},
+        name + "/box/Reshape");
+    const NodeId cls_loss = gb.reduceAll(OpKind::Sum, cls_flat,
+                                         name + "/class/Sum");
+    const NodeId box_loss = gb.reduceAll(OpKind::Sum, box_flat,
+                                         name + "/box/Sum");
+    return gb.binary(OpKind::Add, cls_loss, box_loss,
+                     name + "/Add");
+}
+
+NodeId
+retinanetForward(ModelBuilder &mb, std::int64_t batch,
+                 std::int64_t image_size)
+{
+    GraphBuilder &gb = mb.builder();
+    const NodeId images = mb.input(
+        TensorShape{batch, image_size, image_size, 3},
+        "retinanet/images");
+    const BackboneOutputs trunk =
+        resnet50Backbone(mb, images, "retinanet/backbone");
+    const std::vector<NodeId> pyramid =
+        featurePyramid(mb, trunk, "retinanet/fpn");
+
+    NodeId total = kInvalidNode;
+    for (std::size_t level = 0; level < pyramid.size(); ++level) {
+        const NodeId contribution = detectionHeads(
+            mb, pyramid[level],
+            "retinanet/head_p" + std::to_string(level + 3));
+        total = (total == kInvalidNode)
+            ? contribution
+            : gb.binary(OpKind::Add, total, contribution,
+                        "retinanet/loss/Add_" +
+                            std::to_string(level));
+    }
+    return total;
+}
+
+} // namespace
+
+ModelGraphs
+buildRetinanet(std::int64_t batch, std::int64_t image_size)
+{
+    ModelGraphs graphs{Graph("retinanet"), Graph("retinanet-eval"),
+                       0};
+    {
+        ModelBuilder mb("retinanet");
+        const NodeId loss = retinanetForward(mb, batch,
+                                             image_size);
+        mb.scalarLoss(loss, OpKind::ApplyGradientDescent,
+                      "retinanet/loss");
+        graphs.parameters = mb.parameterCount();
+        graphs.train = mb.finish();
+    }
+    {
+        ModelBuilder mb("retinanet-eval");
+        const NodeId loss = retinanetForward(mb, batch,
+                                             image_size);
+        mb.evalHead(loss, "retinanet/eval");
+        graphs.eval = mb.finish();
+    }
+    return graphs;
+}
+
+} // namespace tpupoint

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The five workload model architectures of Table I, synthesized as
+ * op graphs: BERT (natural language), DCGAN (image generation),
+ * QANet (Q/A natural language), RetinaNet (object detection) and
+ * ResNet-50 (image classification). Each builder returns a training
+ * graph (forward + backward + optimizer) and a forward-only eval
+ * graph, both pre-fusion.
+ */
+
+#ifndef TPUPOINT_WORKLOADS_MODELS_HH
+#define TPUPOINT_WORKLOADS_MODELS_HH
+
+#include <cstdint>
+
+#include "graph/graph.hh"
+
+namespace tpupoint {
+
+/** A model's training and eval graphs plus its parameter count. */
+struct ModelGraphs
+{
+    Graph train;
+    Graph eval;
+    std::uint64_t parameters = 0;
+};
+
+/**
+ * BERT-Base fine-tuning: 12 transformer layers, hidden 768, 12
+ * heads, FFN 3072, vocab 30522 (max_seq_length and batch from
+ * Table I: 128 / 32).
+ */
+ModelGraphs buildBert(std::int64_t batch, std::int64_t seq_len);
+
+/**
+ * DCGAN: generator (project + 4 upsample conv stages) and
+ * discriminator (4 downsample conv stages), trained jointly.
+ * @param image_size 32 for CIFAR-10, 28 (padded to 32) for MNIST.
+ */
+ModelGraphs buildDcgan(std::int64_t batch, std::int64_t image_size,
+                       std::int64_t channels);
+
+/**
+ * QANet: embedding + convolutional encoder blocks with
+ * self-attention, context-query attention and three model-encoder
+ * stacks over SQuAD contexts.
+ */
+ModelGraphs buildQanet(std::int64_t batch, std::int64_t ctx_len,
+                       std::int64_t question_len);
+
+/**
+ * RetinaNet: ResNet-50 backbone, FPN P3-P7, shared class/box
+ * subnets with focal loss (image size 640, batch 64 per Table I).
+ */
+ModelGraphs buildRetinanet(std::int64_t batch,
+                           std::int64_t image_size);
+
+/**
+ * ResNet-50 v1.5 image classification ([3,4,6,3] bottleneck
+ * stages; batch 1024 per Table I).
+ */
+ModelGraphs buildResnet(std::int64_t batch, std::int64_t image_size,
+                        std::int64_t classes);
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_WORKLOADS_MODELS_HH

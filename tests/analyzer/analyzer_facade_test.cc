@@ -1,0 +1,161 @@
+/** @file TpuPointAnalyzer facade across all three algorithms. */
+
+#include <gtest/gtest.h>
+
+#include "analyzer/analyzer.hh"
+#include "tests/analyzer/synthetic.hh"
+
+namespace tpupoint {
+namespace {
+
+using testutil::makeRecord;
+using testutil::threePhaseRun;
+
+std::vector<ProfileRecord>
+syntheticRecords()
+{
+    return {makeRecord(threePhaseRun())};
+}
+
+TEST(AnalyzerTest, OlsFindsThreePhasesWithFullCoverage)
+{
+    AnalyzerOptions options;
+    options.algorithm = PhaseAlgorithm::OnlineLinearScan;
+    const AnalysisResult result =
+        TpuPointAnalyzer(options).analyze(syntheticRecords());
+    EXPECT_EQ(result.algorithm,
+              PhaseAlgorithm::OnlineLinearScan);
+    EXPECT_EQ(result.phases.size(), 3u);
+    EXPECT_NEAR(result.top3_coverage, 1.0, 1e-9);
+    EXPECT_FALSE(result.ols_groups.empty());
+    ASSERT_NE(result.longest(), nullptr);
+    // The train phase dominates.
+    EXPECT_TRUE(result.longest()->tpu_ops.count("fusion"));
+}
+
+TEST(AnalyzerTest, KMeansSweepSelectsSmallK)
+{
+    AnalyzerOptions options;
+    options.algorithm = PhaseAlgorithm::KMeans;
+    const AnalysisResult result =
+        TpuPointAnalyzer(options).analyze(syntheticRecords());
+    EXPECT_GE(result.kmeans.elbow_k, 2);
+    EXPECT_LE(result.kmeans.elbow_k, 6);
+    EXPECT_EQ(result.kmeans.k_values.size(), 15u);
+    EXPECT_GE(result.top3_coverage, 0.95);
+}
+
+TEST(AnalyzerTest, KMeansFixedKIsHonored)
+{
+    AnalyzerOptions options;
+    options.algorithm = PhaseAlgorithm::KMeans;
+    options.kmeans_fixed_k = 5;
+    const AnalysisResult result =
+        TpuPointAnalyzer(options).analyze(syntheticRecords());
+    EXPECT_EQ(result.kmeans.best.k, 5);
+    EXPECT_LE(result.phases.size(), 5u);
+}
+
+TEST(AnalyzerTest, DbscanSweepAndFixedMinSamples)
+{
+    AnalyzerOptions sweep;
+    sweep.algorithm = PhaseAlgorithm::Dbscan;
+    const AnalysisResult swept =
+        TpuPointAnalyzer(sweep).analyze(syntheticRecords());
+    EXPECT_FALSE(swept.dbscan.noise_curve.empty());
+    EXPECT_GT(swept.phases.size(), 0u);
+
+    AnalyzerOptions fixed;
+    fixed.algorithm = PhaseAlgorithm::Dbscan;
+    fixed.dbscan_fixed_min_samples = 30;
+    const AnalysisResult result =
+        TpuPointAnalyzer(fixed).analyze(syntheticRecords());
+    EXPECT_EQ(result.dbscan.best.min_samples, 30u);
+    EXPECT_GE(result.phases.size(), 1u);
+
+    // An extreme min-samples turns every step into noise — which
+    // the paper then treats as a cluster of its own.
+    AnalyzerOptions extreme;
+    extreme.algorithm = PhaseAlgorithm::Dbscan;
+    extreme.dbscan_fixed_min_samples = 200;
+    const AnalysisResult noisy =
+        TpuPointAnalyzer(extreme).analyze(syntheticRecords());
+    bool has_noise_phase = false;
+    for (const auto &phase : noisy.phases)
+        has_noise_phase |= phase.is_noise;
+    EXPECT_TRUE(has_noise_phase);
+}
+
+TEST(AnalyzerTest, ChecksAssociateNearestCheckpoint)
+{
+    std::vector<CheckpointInfo> checkpoints;
+    CheckpointInfo a;
+    a.step = 10;
+    a.saved_at = 1000;
+    CheckpointInfo b;
+    b.step = 60;
+    b.saved_at = 2000;
+    checkpoints.push_back(a);
+    checkpoints.push_back(b);
+
+    AnalyzerOptions options;
+    const AnalysisResult result = TpuPointAnalyzer(options)
+        .analyze(syntheticRecords(), checkpoints);
+    ASSERT_EQ(result.checkpoints.size(), result.phases.size());
+    for (const auto &assoc : result.checkpoints) {
+        EXPECT_TRUE(assoc.checkpoint_step == 10 ||
+                    assoc.checkpoint_step == 60);
+    }
+    // A phase containing step 60 associates at distance zero.
+    bool zero_distance = false;
+    for (const auto &assoc : result.checkpoints)
+        zero_distance |= assoc.distance == 0;
+    EXPECT_TRUE(zero_distance);
+}
+
+TEST(AnalyzerTest, EmptyRecordsYieldEmptyResult)
+{
+    const AnalysisResult result =
+        TpuPointAnalyzer().analyze({});
+    EXPECT_EQ(result.phases.size(), 0u);
+    EXPECT_EQ(result.table.size(), 0u);
+    EXPECT_EQ(result.longest(), nullptr);
+}
+
+TEST(AnalyzerTest, AlgorithmNames)
+{
+    EXPECT_STREQ(phaseAlgorithmName(PhaseAlgorithm::KMeans),
+                 "k-means");
+    EXPECT_STREQ(phaseAlgorithmName(PhaseAlgorithm::Dbscan),
+                 "DBSCAN");
+    EXPECT_STREQ(
+        phaseAlgorithmName(PhaseAlgorithm::OnlineLinearScan),
+        "OLS");
+}
+
+/** Property: all algorithms cover every step with their phases. */
+class AnalyzerCoverageProperty
+    : public ::testing::TestWithParam<PhaseAlgorithm>
+{
+};
+
+TEST_P(AnalyzerCoverageProperty, PhasesPartitionSteps)
+{
+    AnalyzerOptions options;
+    options.algorithm = GetParam();
+    const AnalysisResult result =
+        TpuPointAnalyzer(options).analyze(syntheticRecords());
+    std::size_t covered = 0;
+    for (const auto &phase : result.phases)
+        covered += phase.size();
+    EXPECT_EQ(covered, result.table.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, AnalyzerCoverageProperty,
+    ::testing::Values(PhaseAlgorithm::KMeans,
+                      PhaseAlgorithm::Dbscan,
+                      PhaseAlgorithm::OnlineLinearScan));
+
+} // namespace
+} // namespace tpupoint

@@ -1,0 +1,65 @@
+/** @file Elbow-method heuristic. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "analyzer/elbow.hh"
+
+namespace tpupoint {
+namespace {
+
+TEST(ElbowTest, FindsSharpKnee)
+{
+    // SSD-style curve with an obvious knee at x = 4.
+    const std::vector<double> x{1, 2, 3, 4, 5, 6, 7, 8};
+    const std::vector<double> y{100, 60, 30, 10, 9, 8, 7, 6};
+    EXPECT_EQ(elbowIndex(x, y), 3u);
+}
+
+TEST(ElbowTest, LinearCurveHasNoStrongElbow)
+{
+    const std::vector<double> x{1, 2, 3, 4, 5};
+    const std::vector<double> y{50, 40, 30, 20, 10};
+    // Any interior point is equally (un)distinguished; the result
+    // must at least be an interior index.
+    const std::size_t idx = elbowIndex(x, y);
+    EXPECT_GE(idx, 1u);
+    EXPECT_LE(idx, 3u);
+}
+
+TEST(ElbowTest, TinyCurvesReturnZero)
+{
+    EXPECT_EQ(elbowIndex({}, {}), 0u);
+    EXPECT_EQ(elbowIndex({1}, {5}), 0u);
+    EXPECT_EQ(elbowIndex({1, 2}, {5, 4}), 0u);
+}
+
+TEST(ElbowTest, FlatCurveReturnsInterior)
+{
+    const std::vector<double> x{1, 2, 3, 4};
+    const std::vector<double> y{5, 5, 5, 5};
+    const std::size_t idx = elbowIndex(x, y);
+    EXPECT_GE(idx, 1u);
+    EXPECT_LE(idx, 2u);
+}
+
+TEST(ElbowTest, MismatchedArraysPanic)
+{
+    EXPECT_THROW(elbowIndex({1, 2}, {1}), std::logic_error);
+}
+
+TEST(ElbowTest, NoiseCurveKneeForDbscanShape)
+{
+    // Noise-ratio style: rises slowly then jumps.
+    const std::vector<double> x{5, 30, 55, 80, 105, 130, 155, 180};
+    const std::vector<double> y{0.02, 0.03, 0.05, 0.08,
+                                0.35,  0.6,  0.8,  0.95};
+    const std::size_t idx = elbowIndex(x, y);
+    // The knee sits where the noise starts exploding.
+    EXPECT_GE(idx, 2u);
+    EXPECT_LE(idx, 4u);
+}
+
+} // namespace
+} // namespace tpupoint

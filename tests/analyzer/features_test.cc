@@ -1,0 +1,103 @@
+/** @file Feature extraction: dimensions, normalization, PCA cap. */
+
+#include <gtest/gtest.h>
+
+#include "analyzer/features.hh"
+#include "tests/analyzer/synthetic.hh"
+
+namespace tpupoint {
+namespace {
+
+using testutil::makeRecord;
+using testutil::makeStep;
+
+TEST(FeaturesTest, TwoDimensionsPerOp)
+{
+    auto record = makeRecord({makeStep(0, {"fusion", "MatMul"}),
+                              makeStep(1, {"fusion"})});
+    const StepTable table = StepTable::fromRecords({record});
+    const FeatureMatrix features = FeatureMatrix::build(table);
+    // 2 distinct ops x (count, duration) = 4 dims.
+    EXPECT_EQ(features.dimensions(), 4u);
+    EXPECT_EQ(features.rows().size(), 2u);
+    EXPECT_FALSE(features.pcaApplied());
+    EXPECT_EQ(features.rawDimensions().size(), 2u);
+}
+
+TEST(FeaturesTest, CountsOnlyOption)
+{
+    auto record = makeRecord({makeStep(0, {"fusion", "MatMul"})});
+    const StepTable table = StepTable::fromRecords({record});
+    FeatureOptions options;
+    options.include_durations = false;
+    const FeatureMatrix features =
+        FeatureMatrix::build(table, options);
+    EXPECT_EQ(features.dimensions(), 2u);
+}
+
+TEST(FeaturesTest, MissingOpsAreZero)
+{
+    auto record = makeRecord({makeStep(0, {"fusion", "MatMul"}),
+                              makeStep(1, {"fusion"})});
+    const StepTable table = StepTable::fromRecords({record});
+    FeatureOptions options;
+    options.normalize = false;
+    const FeatureMatrix features =
+        FeatureMatrix::build(table, options);
+    // Step 1 lacks MatMul: some dimension must be exactly zero.
+    bool has_zero = false;
+    for (const double x : features.rows()[1])
+        has_zero |= x == 0.0;
+    EXPECT_TRUE(has_zero);
+}
+
+TEST(FeaturesTest, NormalizationBoundsDimensions)
+{
+    auto record = makeRecord({makeStep(0, {"fusion"}),
+                              makeStep(1, {"fusion"})});
+    const StepTable table = StepTable::fromRecords({record});
+    const FeatureMatrix features = FeatureMatrix::build(table);
+    for (const auto &row : features.rows())
+        for (const double x : row) {
+            EXPECT_GE(x, -1.0);
+            EXPECT_LE(x, 1.0);
+        }
+}
+
+TEST(FeaturesTest, PcaCapsDimensions)
+{
+    // Manufacture steps with many distinct op labels.
+    std::vector<StepStats> steps;
+    for (StepId s = 0; s < 20; ++s) {
+        std::vector<std::string> ops;
+        for (int i = 0; i < 40; ++i)
+            ops.push_back("op_" + std::to_string(i) + "_" +
+                          std::to_string(s % 4));
+        steps.push_back(makeStep(s, ops));
+    }
+    const StepTable table =
+        StepTable::fromRecords({makeRecord(steps)});
+    FeatureOptions options;
+    options.max_dimensions = 10;
+    const FeatureMatrix features =
+        FeatureMatrix::build(table, options);
+    EXPECT_TRUE(features.pcaApplied());
+    EXPECT_LE(features.dimensions(), 10u);
+    EXPECT_EQ(features.rows().size(), 20u);
+}
+
+TEST(FeaturesTest, PaperDefaultCapIsOneHundred)
+{
+    EXPECT_EQ(FeatureOptions{}.max_dimensions, 100u);
+}
+
+TEST(FeaturesTest, EmptyTable)
+{
+    const StepTable table = StepTable::fromRecords({});
+    const FeatureMatrix features = FeatureMatrix::build(table);
+    EXPECT_EQ(features.rows().size(), 0u);
+    EXPECT_EQ(features.dimensions(), 0u);
+}
+
+} // namespace
+} // namespace tpupoint

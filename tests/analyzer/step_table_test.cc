@@ -1,0 +1,80 @@
+/** @file Step table aggregation across profile records. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "analyzer/step_table.hh"
+#include "tests/analyzer/synthetic.hh"
+
+namespace tpupoint {
+namespace {
+
+using testutil::makeRecord;
+using testutil::makeStep;
+
+TEST(StepTableTest, MergesRecordsByStep)
+{
+    // Step 2 spans two profile windows.
+    auto first = makeRecord(
+        {makeStep(1, {"fusion"}), makeStep(2, {"fusion"})}, 0);
+    auto second = makeRecord(
+        {makeStep(2, {"MatMul"}), makeStep(3, {"fusion"})}, 1);
+    const StepTable table =
+        StepTable::fromRecords({first, second});
+
+    ASSERT_EQ(table.size(), 3u);
+    EXPECT_EQ(table.at(0).step, 1u);
+    EXPECT_EQ(table.at(1).step, 2u);
+    EXPECT_EQ(table.at(2).step, 3u);
+    // The merged step carries both windows' ops.
+    EXPECT_EQ(table.at(1).tpu_ops.size(), 2u);
+    EXPECT_TRUE(table.at(1).tpu_ops.count("fusion"));
+    EXPECT_TRUE(table.at(1).tpu_ops.count("MatMul"));
+}
+
+TEST(StepTableTest, StepsAreAscendingRegardlessOfInput)
+{
+    auto record = makeRecord({makeStep(9, {"a"}),
+                              makeStep(3, {"b"}),
+                              makeStep(7, {"c"})});
+    const StepTable table = StepTable::fromRecords({record});
+    ASSERT_EQ(table.size(), 3u);
+    EXPECT_EQ(table.at(0).step, 3u);
+    EXPECT_EQ(table.at(1).step, 7u);
+    EXPECT_EQ(table.at(2).step, 9u);
+}
+
+TEST(StepTableTest, TotalDurationSumsSpans)
+{
+    auto record = makeRecord(
+        {makeStep(0, {"a"}, {}, 100), makeStep(1, {"a"}, {}, 50)});
+    const StepTable table = StepTable::fromRecords({record});
+    EXPECT_EQ(table.totalDuration(), 150);
+}
+
+TEST(StepTableTest, OpUniverseIsSortedAndPrefixed)
+{
+    auto record = makeRecord(
+        {makeStep(0, {"MatMul"}, {"RunGraph"}),
+         makeStep(1, {"fusion"}, {"Recv"})});
+    const StepTable table = StepTable::fromRecords({record});
+    const auto universe = table.opUniverse();
+    ASSERT_EQ(universe.size(), 4u);
+    EXPECT_EQ(universe[0], "host:Recv");
+    EXPECT_EQ(universe[1], "host:RunGraph");
+    EXPECT_EQ(universe[2], "tpu:MatMul");
+    EXPECT_EQ(universe[3], "tpu:fusion");
+}
+
+TEST(StepTableTest, EmptyInput)
+{
+    const StepTable table = StepTable::fromRecords({});
+    EXPECT_EQ(table.size(), 0u);
+    EXPECT_EQ(table.totalDuration(), 0);
+    EXPECT_TRUE(table.opUniverse().empty());
+    EXPECT_THROW(table.at(0), std::logic_error);
+}
+
+} // namespace
+} // namespace tpupoint

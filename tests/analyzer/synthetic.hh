@@ -1,0 +1,108 @@
+/** @file Synthetic step/record builders shared by analyzer tests. */
+
+#ifndef TPUPOINT_TESTS_ANALYZER_SYNTHETIC_HH
+#define TPUPOINT_TESTS_ANALYZER_SYNTHETIC_HH
+
+#include <string>
+#include <vector>
+
+#include "proto/record.hh"
+
+namespace tpupoint {
+namespace testutil {
+
+/**
+ * Build one StepStats with the given TPU op labels (each one
+ * invocation of 10us-ish) and a step span of @p span.
+ */
+inline StepStats
+makeStep(StepId step, const std::vector<std::string> &tpu_ops,
+         const std::vector<std::string> &host_ops = {},
+         SimTime span = 100 * kUsec)
+{
+    StepStats s;
+    s.step = step;
+    s.begin = static_cast<SimTime>(step) * span;
+    s.end = s.begin + span;
+    // Earlier-listed ops are the most time-consuming, so the
+    // first label (e.g. "fusion") tops the phase rankings.
+    SimTime weight = static_cast<SimTime>(tpu_ops.size());
+    for (const auto &name : tpu_ops) {
+        OpStats stats;
+        stats.count = 1;
+        stats.total_duration = 10 * kUsec * weight;
+        --weight;
+        s.tpu_ops[name] = stats;
+        s.tpu_busy += stats.total_duration;
+    }
+    for (const auto &name : host_ops) {
+        OpStats stats;
+        stats.count = 1;
+        stats.total_duration = 5 * kUsec;
+        s.host_ops[name] = stats;
+    }
+    return s;
+}
+
+/** Wrap steps into a single profile record. */
+inline ProfileRecord
+makeRecord(std::vector<StepStats> steps, std::uint64_t seq = 0)
+{
+    ProfileRecord record;
+    record.sequence = seq;
+    if (!steps.empty()) {
+        record.window_begin = steps.front().begin;
+        record.window_end = steps.back().end;
+    }
+    for (const auto &s : steps)
+        record.event_count +=
+            s.tpu_ops.size() + s.host_ops.size();
+    record.steps = std::move(steps);
+    return record;
+}
+
+/**
+ * A canonical three-phase run: init step, N train steps, M eval
+ * steps, then N more train steps — the structure TPUPoint's
+ * workloads exhibit.
+ */
+inline std::vector<StepStats>
+threePhaseRun(std::size_t train_steps = 40,
+              std::size_t eval_steps = 8)
+{
+    const std::vector<std::string> init_ops{};
+    const std::vector<std::string> init_host{
+        "InitializeHostForDistributedTpu", "StartProgram",
+        "RestoreV2"};
+    const std::vector<std::string> train_ops{
+        "fusion", "MatMul", "Reshape", "Conv2DBackpropFilter",
+        "Conv2DBackpropInput", "all-reduce",
+        "InfeedDequeueTuple", "OutfeedEnqueueTuple"};
+    const std::vector<std::string> train_host{
+        "OutfeedDequeueTuple", "TransferBufferToInfeedLocked",
+        "Recv", "LinearizeX32"};
+    const std::vector<std::string> eval_ops{
+        "fusion", "MatMul", "Reshape", "ArgMax", "Equal",
+        "Squeeze", "InfeedDequeueTuple", "OutfeedEnqueueTuple"};
+    const std::vector<std::string> eval_host{
+        "OutfeedDequeueTuple", "TransferBufferToInfeedLocked",
+        "ArgMax", "Equal", "Mean", "ConcatV2", "Squeeze"};
+
+    std::vector<StepStats> steps;
+    StepId id = 0;
+    steps.push_back(makeStep(id++, init_ops, init_host,
+                             5000 * kUsec));
+    for (std::size_t i = 0; i < train_steps; ++i)
+        steps.push_back(makeStep(id++, train_ops, train_host));
+    for (std::size_t i = 0; i < eval_steps; ++i)
+        steps.push_back(makeStep(id++, eval_ops, eval_host,
+                                 60 * kUsec));
+    for (std::size_t i = 0; i < train_steps; ++i)
+        steps.push_back(makeStep(id++, train_ops, train_host));
+    return steps;
+}
+
+} // namespace testutil
+} // namespace tpupoint
+
+#endif // TPUPOINT_TESTS_ANALYZER_SYNTHETIC_HH

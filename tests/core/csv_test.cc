@@ -1,0 +1,79 @@
+/** @file CSV writer quoting and structure checks. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/csv.hh"
+
+namespace tpupoint {
+namespace {
+
+TEST(CsvWriterTest, HeaderAndRows)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.header({"a", "b"});
+    csv.field("x").field(std::int64_t{2});
+    csv.endRow();
+    EXPECT_EQ(out.str(), "a,b\r\nx,2\r\n");
+    EXPECT_EQ(csv.rows(), 1u);
+}
+
+TEST(CsvWriterTest, QuotesOnlyWhenNeeded)
+{
+    EXPECT_EQ(CsvWriter::quote("plain"), "plain");
+    EXPECT_EQ(CsvWriter::quote("with,comma"), "\"with,comma\"");
+    EXPECT_EQ(CsvWriter::quote("with\"quote"),
+              "\"with\"\"quote\"");
+    EXPECT_EQ(CsvWriter::quote("line\nbreak"),
+              "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, DoubleFormatsWithDecimals)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.field(1.23456, 2);
+    csv.endRow();
+    EXPECT_EQ(out.str(), "1.23\r\n");
+}
+
+TEST(CsvWriterTest, ColumnCountMismatchPanics)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.header({"a", "b"});
+    csv.field("only-one");
+    EXPECT_THROW(csv.endRow(), std::logic_error);
+}
+
+TEST(CsvWriterTest, EmptyRowPanics)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    EXPECT_THROW(csv.endRow(), std::logic_error);
+}
+
+TEST(CsvWriterTest, LateHeaderPanics)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.field("data");
+    csv.endRow();
+    EXPECT_THROW(csv.header({"too", "late"}), std::logic_error);
+}
+
+TEST(CsvWriterTest, UnsignedAndSignedFields)
+{
+    std::ostringstream out;
+    CsvWriter csv(out);
+    csv.field(std::uint64_t{18446744073709551615ULL})
+        .field(std::int64_t{-5});
+    csv.endRow();
+    EXPECT_EQ(out.str(), "18446744073709551615,-5\r\n");
+}
+
+} // namespace
+} // namespace tpupoint

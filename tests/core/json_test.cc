@@ -1,0 +1,142 @@
+/** @file Streaming JSON writer structure and escaping. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/json.hh"
+
+namespace tpupoint {
+namespace {
+
+TEST(JsonWriterTest, EmptyObject)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.endObject();
+    EXPECT_EQ(out.str(), "{}");
+    EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonWriterTest, SimpleFields)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.field("name", "tpu");
+    w.field("count", std::int64_t{3});
+    w.field("ratio", 0.5);
+    w.field("ok", true);
+    w.key("none");
+    w.nullValue();
+    w.endObject();
+    EXPECT_EQ(out.str(),
+              "{\"name\":\"tpu\",\"count\":3,\"ratio\":0.5,"
+              "\"ok\":true,\"none\":null}");
+}
+
+TEST(JsonWriterTest, NestedArrays)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginArray();
+    w.value(std::int64_t{1});
+    w.beginArray();
+    w.value(std::int64_t{2});
+    w.endArray();
+    w.beginObject();
+    w.field("x", std::int64_t{3});
+    w.endObject();
+    w.endArray();
+    EXPECT_EQ(out.str(), "[1,[2],{\"x\":3}]");
+    EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonWriter::escape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+    EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')),
+              "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginArray();
+    w.value(std::nan(""));
+    w.endArray();
+    EXPECT_EQ(out.str(), "[null]");
+}
+
+TEST(JsonWriterTest, ValueWithoutKeyPanics)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    EXPECT_THROW(w.value("oops"), std::logic_error);
+}
+
+TEST(JsonWriterTest, DoubleKeyPanics)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("a");
+    EXPECT_THROW(w.key("b"), std::logic_error);
+}
+
+TEST(JsonWriterTest, MismatchedClosePanics)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    EXPECT_THROW(w.endArray(), std::logic_error);
+}
+
+TEST(JsonWriterTest, DanglingKeyAtClosePanics)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.key("k");
+    EXPECT_THROW(w.endObject(), std::logic_error);
+}
+
+TEST(JsonWriterTest, SecondRootPanics)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.value("one");
+    EXPECT_THROW(w.value("two"), std::logic_error);
+}
+
+TEST(JsonWriterTest, PrettyPrintingIndents)
+{
+    std::ostringstream out;
+    JsonWriter w(out, /*pretty=*/true);
+    w.beginObject();
+    w.field("a", std::int64_t{1});
+    w.endObject();
+    EXPECT_EQ(out.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonWriterTest, CompleteOnlyWhenBalanced)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    EXPECT_FALSE(w.complete());
+    w.beginArray();
+    EXPECT_FALSE(w.complete());
+    w.endArray();
+    EXPECT_TRUE(w.complete());
+}
+
+} // namespace
+} // namespace tpupoint

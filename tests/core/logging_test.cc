@@ -1,0 +1,84 @@
+/** @file Logging thresholds and error-reporting contracts. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+namespace {
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        previous = LogConfig::threshold();
+    }
+
+    void
+    TearDown() override
+    {
+        LogConfig::setThreshold(previous);
+    }
+
+    LogLevel previous = LogLevel::Info;
+};
+
+TEST_F(LoggingTest, ThresholdRoundTrips)
+{
+    LogConfig::setThreshold(LogLevel::Warn);
+    EXPECT_EQ(LogConfig::threshold(), LogLevel::Warn);
+    LogConfig::setThreshold(LogLevel::Debug);
+    EXPECT_EQ(LogConfig::threshold(), LogLevel::Debug);
+}
+
+TEST_F(LoggingTest, FatalThrowsRuntimeError)
+{
+    LogConfig::setThreshold(LogLevel::Panic); // keep stderr quiet
+    EXPECT_THROW(fatal("user misconfigured ", 42),
+                 std::runtime_error);
+    try {
+        fatal("bad value ", 7);
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("bad value 7"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(LoggingTest, PanicThrowsLogicError)
+{
+    LogConfig::setThreshold(LogLevel::Panic);
+    EXPECT_THROW(panic("invariant ", "broken"),
+                 std::logic_error);
+    // panic is NOT a runtime_error: internal bugs are
+    // distinguishable from user errors.
+    try {
+        panic("x");
+    } catch (const std::runtime_error &) {
+        FAIL() << "panic must not be a runtime_error";
+    } catch (const std::logic_error &) {
+        SUCCEED();
+    }
+}
+
+TEST_F(LoggingTest, ConcatenateFormatsMixedTypes)
+{
+    EXPECT_EQ(detail::concatenate("a=", 1, " b=", 2.5, " c=",
+                                  'x'),
+              "a=1 b=2.5 c=x");
+    EXPECT_EQ(detail::concatenate(), "");
+}
+
+TEST_F(LoggingTest, InformAndWarnDoNotThrow)
+{
+    LogConfig::setThreshold(LogLevel::Panic); // suppress output
+    EXPECT_NO_THROW(inform("status ", 1));
+    EXPECT_NO_THROW(warn("watch out ", 2));
+    EXPECT_NO_THROW(debugLog("detail ", 3));
+}
+
+} // namespace
+} // namespace tpupoint

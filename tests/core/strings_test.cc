@@ -1,0 +1,97 @@
+/** @file String utility behaviour. */
+
+#include <gtest/gtest.h>
+
+#include "core/strings.hh"
+#include "core/types.hh"
+
+namespace tpupoint {
+namespace {
+
+TEST(StringsTest, JoinEmptyAndNonEmpty)
+{
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"a"}, ","), "a");
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields)
+{
+    const auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitWithoutDelimiterIsWhole)
+{
+    const auto parts = split("hello", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(StringsTest, SplitJoinRoundTrip)
+{
+    const std::string text = "x,y,z,w";
+    EXPECT_EQ(join(split(text, ','), ","), text);
+}
+
+TEST(StringsTest, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("tpu:MatMul", "tpu:"));
+    EXPECT_FALSE(startsWith("tpu", "tpu:"));
+    EXPECT_TRUE(endsWith("model.ckpt", ".ckpt"));
+    EXPECT_FALSE(endsWith("ckpt", "model.ckpt"));
+    EXPECT_TRUE(startsWith("abc", ""));
+    EXPECT_TRUE(endsWith("abc", ""));
+}
+
+TEST(StringsTest, TrimRemovesSurroundingWhitespace)
+{
+    EXPECT_EQ(trim("  hi \t\n"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \t "), "");
+    EXPECT_EQ(trim("inner space"), "inner space");
+}
+
+TEST(StringsTest, ToLower)
+{
+    EXPECT_EQ(toLower("TPUPoint"), "tpupoint");
+    EXPECT_EQ(toLower("abc123"), "abc123");
+}
+
+TEST(StringsTest, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(1.2345, 2), "1.23");
+    EXPECT_EQ(formatDouble(1.0, 0), "1");
+    EXPECT_EQ(formatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(StringsTest, FormatBytesPicksUnits)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(2048), "2.00 KiB");
+    EXPECT_EQ(formatBytes(static_cast<std::uint64_t>(1.44 * kMiB)),
+              "1.44 MiB");
+    EXPECT_EQ(formatBytes(48ULL * kGiB), "48.00 GiB");
+}
+
+TEST(StringsTest, FormatDurationPicksUnits)
+{
+    EXPECT_EQ(formatDuration(500), "500 ns");
+    EXPECT_EQ(formatDuration(1500), "1.50 us");
+    EXPECT_EQ(formatDuration(230 * kMsec), "230.00 ms");
+    EXPECT_EQ(formatDuration(3 * kSec / 2), "1.50 s");
+}
+
+TEST(StringsTest, Padding)
+{
+    EXPECT_EQ(padLeft("ab", 5), "   ab");
+    EXPECT_EQ(padRight("ab", 5), "ab   ");
+    EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+    EXPECT_EQ(padRight("abcdef", 3), "abcdef");
+}
+
+} // namespace
+} // namespace tpupoint

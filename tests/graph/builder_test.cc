@@ -1,0 +1,200 @@
+/** @file GraphBuilder shape inference and the FLOP/byte cost model. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/builder.hh"
+
+namespace tpupoint {
+namespace {
+
+TEST(BuilderTest, InfeedCarriesTensorBytes)
+{
+    GraphBuilder gb("t", DataType::BF16);
+    const NodeId x = gb.infeed(TensorShape{4, 8}, "in");
+    const Graph g = gb.finish();
+    EXPECT_EQ(g.node(x).kind, OpKind::InfeedDequeueTuple);
+    EXPECT_EQ(g.node(x).bytes, 4u * 8 * 2);
+    EXPECT_EQ(g.node(x).flops, 0u);
+}
+
+TEST(BuilderTest, MatMulFlopsAndShape)
+{
+    GraphBuilder gb("t", DataType::BF16);
+    const NodeId x = gb.infeed(TensorShape{32, 128, 256}, "in");
+    const NodeId y = gb.matmul(x, 512, "mm");
+    const Graph g = gb.finish();
+    // [32*128, 256] x [256, 512]
+    EXPECT_EQ(g.node(y).shape, TensorShape({32, 128, 512}));
+    EXPECT_EQ(g.node(y).flops,
+              2ULL * 32 * 128 * 256 * 512);
+    EXPECT_TRUE(g.node(y).mxu);
+    // bytes: input + weights + output, all bf16.
+    const std::uint64_t expected_bytes =
+        (32ULL * 128 * 256 + 256ULL * 512 + 32ULL * 128 * 512) * 2;
+    EXPECT_EQ(g.node(y).bytes, expected_bytes);
+}
+
+TEST(BuilderTest, BatchMatMulValidatesShapes)
+{
+    GraphBuilder gb("t", DataType::BF16);
+    const NodeId a = gb.infeed(TensorShape{8, 16, 32}, "a");
+    const NodeId b = gb.infeed(TensorShape{8, 32, 24}, "b");
+    const NodeId c = gb.batchMatmul(a, b, "bmm");
+    EXPECT_EQ(gb.outputShape(c), TensorShape({8, 16, 24}));
+    const NodeId bad = gb.infeed(TensorShape{8, 31, 24}, "bad");
+    EXPECT_THROW(gb.batchMatmul(a, bad, "boom"),
+                 std::runtime_error);
+    const Graph g = gb.finish();
+    EXPECT_EQ(g.node(c).flops, 2ULL * 8 * 16 * 32 * 24);
+}
+
+TEST(BuilderTest, Conv2dShapeAndFlops)
+{
+    GraphBuilder gb("t", DataType::BF16);
+    const NodeId x = gb.infeed(TensorShape{2, 32, 32, 16}, "in");
+    const NodeId y = gb.conv2d(x, 64, 3, 2, "conv");
+    const Graph g = gb.finish();
+    EXPECT_EQ(g.node(y).shape, TensorShape({2, 16, 16, 64}));
+    EXPECT_EQ(g.node(y).flops,
+              2ULL * 2 * 16 * 16 * 64 * 3 * 3 * 16);
+    EXPECT_TRUE(g.node(y).mxu);
+}
+
+TEST(BuilderTest, Conv2dRejectsNonNhwc)
+{
+    GraphBuilder gb("t");
+    const NodeId x = gb.infeed(TensorShape{2, 32}, "in");
+    EXPECT_THROW(gb.conv2d(x, 8, 3, 1, "conv"),
+                 std::runtime_error);
+}
+
+TEST(BuilderTest, ConvBackpropsMatchForwardFlops)
+{
+    GraphBuilder gb("t", DataType::BF16);
+    const NodeId x = gb.infeed(TensorShape{2, 16, 16, 8}, "in");
+    const NodeId y = gb.conv2d(x, 32, 3, 1, "conv");
+    const NodeId wg =
+        gb.conv2dBackpropFilter(x, y, 3, "conv/wgrad");
+    const NodeId ig = gb.conv2dBackpropInput(
+        y, TensorShape{2, 16, 16, 8}, 3, "conv/igrad");
+    const Graph g = gb.finish();
+    EXPECT_EQ(g.node(wg).flops, g.node(y).flops);
+    EXPECT_EQ(g.node(ig).shape, TensorShape({2, 16, 16, 8}));
+    EXPECT_TRUE(g.node(wg).mxu);
+    EXPECT_TRUE(g.node(ig).mxu);
+}
+
+TEST(BuilderTest, ReshapeRequiresSameElementCount)
+{
+    GraphBuilder gb("t");
+    const NodeId x = gb.infeed(TensorShape{4, 6}, "in");
+    const NodeId y = gb.reshape(x, TensorShape{2, 12}, "ok");
+    EXPECT_EQ(gb.outputShape(y), TensorShape({2, 12}));
+    EXPECT_THROW(gb.reshape(x, TensorShape{5, 5}, "bad"),
+                 std::runtime_error);
+    const Graph g = gb.finish();
+    // Reshape is a full HBM copy: read + write.
+    EXPECT_EQ(g.node(y).bytes, 2u * 4 * 6 * 2);
+    EXPECT_EQ(g.node(y).flops, 0u);
+}
+
+TEST(BuilderTest, TransposePermutesShape)
+{
+    GraphBuilder gb("t");
+    const NodeId x = gb.infeed(TensorShape{2, 3, 4}, "in");
+    const NodeId y = gb.transpose(x, {2, 0, 1}, "tr");
+    EXPECT_EQ(gb.outputShape(y), TensorShape({4, 2, 3}));
+    EXPECT_THROW(gb.transpose(x, {0, 1}, "bad-rank"),
+                 std::runtime_error);
+    EXPECT_THROW(gb.transpose(x, {0, 1, 7}, "bad-axis"),
+                 std::runtime_error);
+    (void)gb.finish();
+}
+
+TEST(BuilderTest, ConcatSumsAlongAxis)
+{
+    GraphBuilder gb("t");
+    const NodeId a = gb.infeed(TensorShape{2, 3}, "a");
+    const NodeId b = gb.infeed(TensorShape{2, 5}, "b");
+    const NodeId c = gb.concat({a, b}, 1, "cat");
+    EXPECT_EQ(gb.outputShape(c), TensorShape({2, 8}));
+    EXPECT_THROW(gb.concat({}, 0, "empty"), std::runtime_error);
+    (void)gb.finish();
+}
+
+TEST(BuilderTest, ReduceAllYieldsScalar)
+{
+    GraphBuilder gb("t");
+    const NodeId x = gb.infeed(TensorShape{16, 16}, "in");
+    const NodeId s = gb.reduceAll(OpKind::Sum, x, "sum");
+    EXPECT_EQ(gb.outputShape(s).rank(), 0u);
+    const Graph g = gb.finish();
+    EXPECT_EQ(g.node(s).flops, 16u * 16);
+}
+
+TEST(BuilderTest, ReduceLastAxisDropsOneDim)
+{
+    GraphBuilder gb("t");
+    const NodeId x = gb.infeed(TensorShape{4, 5, 6}, "in");
+    const NodeId r =
+        gb.reduceLastAxis(OpKind::BiasAddGrad, x, "bg");
+    EXPECT_EQ(gb.outputShape(r), TensorShape({4, 5}));
+    (void)gb.finish();
+}
+
+TEST(BuilderTest, UnaryCostsScaleWithKind)
+{
+    GraphBuilder gb("t");
+    const NodeId x = gb.infeed(TensorShape{10, 10}, "in");
+    const NodeId relu = gb.unary(OpKind::Relu, x, "relu");
+    const NodeId tanh = gb.unary(OpKind::Tanh, x, "tanh");
+    const Graph g = gb.finish();
+    EXPECT_EQ(g.node(relu).flops, 100u);
+    EXPECT_EQ(g.node(tanh).flops, 800u); // transcendental
+}
+
+TEST(BuilderTest, GatherAppendsWidth)
+{
+    GraphBuilder gb("t");
+    const NodeId ids =
+        gb.infeed(TensorShape{8, 128}, "ids", DataType::I32);
+    const NodeId emb = gb.gather(ids, 768, "emb");
+    EXPECT_EQ(gb.outputShape(emb), TensorShape({8, 128, 768}));
+    (void)gb.finish();
+}
+
+TEST(BuilderTest, PoolAndUpsample)
+{
+    GraphBuilder gb("t");
+    const NodeId x = gb.infeed(TensorShape{1, 8, 8, 4}, "in");
+    const NodeId p = gb.pool(OpKind::MaxPool, x, 2, 2, "pool");
+    EXPECT_EQ(gb.outputShape(p), TensorShape({1, 4, 4, 4}));
+    const NodeId u = gb.resizeNearest(p, 2, "up");
+    EXPECT_EQ(gb.outputShape(u), TensorShape({1, 8, 8, 4}));
+    (void)gb.finish();
+}
+
+TEST(BuilderTest, AllReduceChargesTwiceParamBytes)
+{
+    GraphBuilder gb("t");
+    const NodeId x = gb.infeed(TensorShape{2}, "in");
+    const NodeId ar = gb.allReduce(x, 1000, "ar");
+    const Graph g = gb.finish();
+    EXPECT_EQ(g.node(ar).kind, OpKind::AllReduce);
+    EXPECT_EQ(g.node(ar).bytes, 2u * 1000 * 4);
+}
+
+TEST(BuilderTest, OutfeedTakesValueShape)
+{
+    GraphBuilder gb("t");
+    const NodeId x = gb.infeed(TensorShape{3}, "in");
+    const NodeId out = gb.outfeed(x, "out");
+    const Graph g = gb.finish();
+    EXPECT_EQ(g.node(out).kind, OpKind::OutfeedEnqueueTuple);
+    EXPECT_EQ(g.node(out).bytes, 3u * 2);
+}
+
+} // namespace
+} // namespace tpupoint

@@ -1,0 +1,92 @@
+/** @file Exhaustive operator-taxonomy coverage. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "graph/op.hh"
+
+namespace tpupoint {
+namespace {
+
+TEST(OpCoverageTest, EveryKindHasANameAndClass)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < kNumOpKinds; ++i) {
+        const OpKind kind = static_cast<OpKind>(i);
+        const char *name = opKindName(kind);
+        ASSERT_NE(name, nullptr);
+        EXPECT_GT(std::string(name).size(), 0u);
+        names.insert(name);
+        // opKindClass is total over the enum.
+        const OpClass cls = opKindClass(kind);
+        EXPECT_TRUE(cls == OpClass::MxuCompute ||
+                    cls == OpClass::VectorCompute ||
+                    cls == OpClass::Memory ||
+                    cls == OpClass::InfeedOutfeed ||
+                    cls == OpClass::Collective);
+    }
+    // Names are unique.
+    EXPECT_EQ(names.size(), kNumOpKinds);
+}
+
+TEST(OpCoverageTest, MxuKindsAreExactlyTheMatrixOps)
+{
+    std::size_t mxu_count = 0;
+    for (std::size_t i = 0; i < kNumOpKinds; ++i) {
+        const OpKind kind = static_cast<OpKind>(i);
+        if (isMxuKind(kind)) {
+            ++mxu_count;
+            EXPECT_EQ(opKindClass(kind), OpClass::MxuCompute);
+        }
+    }
+    // MatMul + Conv2D + the two conv backprops.
+    EXPECT_EQ(mxu_count, 4u);
+}
+
+TEST(OpCoverageTest, FusableKindsAreVectorCompute)
+{
+    for (std::size_t i = 0; i < kNumOpKinds; ++i) {
+        const OpKind kind = static_cast<OpKind>(i);
+        if (isFusableElementwise(kind)) {
+            EXPECT_EQ(opKindClass(kind), OpClass::VectorCompute)
+                << opKindName(kind);
+        }
+    }
+}
+
+TEST(OpCoverageTest, BoundaryKindsAreNeverFusable)
+{
+    for (std::size_t i = 0; i < kNumOpKinds; ++i) {
+        const OpKind kind = static_cast<OpKind>(i);
+        const OpClass cls = opKindClass(kind);
+        if (cls == OpClass::InfeedOutfeed ||
+            cls == OpClass::Memory ||
+            cls == OpClass::Collective ||
+            cls == OpClass::MxuCompute) {
+            EXPECT_FALSE(isFusableElementwise(kind))
+                << opKindName(kind);
+        }
+    }
+}
+
+TEST(OpCoverageTest, TableTwoSpellingsPreserved)
+{
+    // The profiler's labels must match the paper's Table II
+    // spellings exactly (including the lowercase `fusion` and the
+    // hyphenated `all-reduce`).
+    EXPECT_STREQ(opKindName(OpKind::Fusion), "fusion");
+    EXPECT_STREQ(opKindName(OpKind::AllReduce), "all-reduce");
+    EXPECT_STREQ(opKindName(OpKind::BiasAddGrad), "BiasAddGrad");
+    EXPECT_STREQ(opKindName(OpKind::L2Loss), "L2Loss");
+    EXPECT_STREQ(opKindName(OpKind::FusedBatchNormV3),
+                 "FusedBatchNormV3");
+    EXPECT_STREQ(opKindName(OpKind::Infeed), "Infeed");
+    EXPECT_STREQ(opKindName(OpKind::Copy), "Copy");
+    EXPECT_STREQ(opKindName(OpKind::Transpose), "Transpose");
+    EXPECT_STREQ(opKindName(OpKind::Sum), "Sum");
+}
+
+} // namespace
+} // namespace tpupoint

@@ -1,0 +1,77 @@
+/** @file Tensor shapes and element types. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/tensor.hh"
+
+namespace tpupoint {
+namespace {
+
+TEST(DataTypeTest, SizesMatchDefinitions)
+{
+    EXPECT_EQ(dataTypeSize(DataType::F32), 4u);
+    EXPECT_EQ(dataTypeSize(DataType::BF16), 2u);
+    EXPECT_EQ(dataTypeSize(DataType::F16), 2u);
+    EXPECT_EQ(dataTypeSize(DataType::I32), 4u);
+    EXPECT_EQ(dataTypeSize(DataType::I64), 8u);
+    EXPECT_EQ(dataTypeSize(DataType::U8), 1u);
+    EXPECT_EQ(dataTypeSize(DataType::Bool), 1u);
+}
+
+TEST(DataTypeTest, Names)
+{
+    EXPECT_STREQ(dataTypeName(DataType::BF16), "bf16");
+    EXPECT_STREQ(dataTypeName(DataType::I64), "i64");
+}
+
+TEST(TensorShapeTest, ScalarHasOneElement)
+{
+    TensorShape scalar;
+    EXPECT_EQ(scalar.rank(), 0u);
+    EXPECT_EQ(scalar.numElements(), 1);
+    EXPECT_EQ(scalar.numBytes(DataType::F32), 4u);
+    EXPECT_EQ(scalar.toString(), "[]");
+}
+
+TEST(TensorShapeTest, ElementAndByteCounts)
+{
+    TensorShape s{32, 128, 768};
+    EXPECT_EQ(s.rank(), 3u);
+    EXPECT_EQ(s.numElements(), 32 * 128 * 768);
+    EXPECT_EQ(s.numBytes(DataType::BF16),
+              static_cast<std::uint64_t>(32) * 128 * 768 * 2);
+    EXPECT_EQ(s.dim(2), 768);
+    EXPECT_EQ(s.toString(), "[32,128,768]");
+}
+
+TEST(TensorShapeTest, ZeroDimensionGivesZeroElements)
+{
+    TensorShape s{4, 0, 2};
+    EXPECT_EQ(s.numElements(), 0);
+}
+
+TEST(TensorShapeTest, NegativeDimensionRejected)
+{
+    EXPECT_THROW(TensorShape({-1, 2}), std::runtime_error);
+    EXPECT_THROW(
+        TensorShape(std::vector<std::int64_t>{3, -7}),
+        std::runtime_error);
+}
+
+TEST(TensorShapeTest, DimOutOfRangePanics)
+{
+    TensorShape s{2, 3};
+    EXPECT_THROW(s.dim(2), std::logic_error);
+}
+
+TEST(TensorShapeTest, Equality)
+{
+    EXPECT_TRUE(TensorShape({1, 2}) == TensorShape({1, 2}));
+    EXPECT_FALSE(TensorShape({1, 2}) == TensorShape({2, 1}));
+}
+
+} // namespace
+} // namespace tpupoint

@@ -1,0 +1,89 @@
+/** @file TpuPointOptimizer facade and the experiment harness. */
+
+#include <gtest/gtest.h>
+
+#include "optimizer/optimizer.hh"
+#include "workloads/catalog.hh"
+
+namespace tpupoint {
+namespace {
+
+RuntimeWorkload
+workload(std::uint64_t steps = 400)
+{
+    WorkloadOptions options;
+    options.step_scale = 0.02;
+    options.max_train_steps = steps;
+    return makeWorkload(WorkloadId::RetinanetCoco, options);
+}
+
+TEST(OptimizerTest, StartWiresEverything)
+{
+    Simulator sim;
+    const RuntimeWorkload w = workload(100);
+    SessionConfig config;
+    config.pipeline = PipelineConfig::naive();
+    TrainingSession session(sim, config, w);
+    TpuPointOptimizer optimizer(sim, session);
+    optimizer.start();
+    EXPECT_FALSE(optimizer.programAnalysis().adjustable.empty());
+    session.start(nullptr);
+    sim.run();
+    optimizer.stop();
+    EXPECT_GT(optimizer.postProcessingTime(), 0);
+    EXPECT_THROW(optimizer.start(), std::logic_error);
+}
+
+TEST(OptimizerTest, ExperimentImprovesNaiveRun)
+{
+    const RuntimeWorkload w = workload();
+    SessionConfig naive;
+    naive.pipeline = PipelineConfig::naive();
+    const OptimizationOutcome outcome =
+        runOptimizationExperiment(w, naive);
+
+    // Output quality is unchanged: same steps completed.
+    EXPECT_TRUE(outcome.output_quality_ok);
+    EXPECT_EQ(outcome.baseline.steps_completed,
+              outcome.optimized.steps_completed);
+    // The optimized run beats the naive baseline even before
+    // discounting post-processing.
+    EXPECT_LT(outcome.optimized.wall_time,
+              outcome.baseline.wall_time);
+    // Idle drops, MXU utilization rises (Figures 15 and 16).
+    EXPECT_LT(outcome.optimized.tpu_idle_fraction,
+              outcome.baseline.tpu_idle_fraction);
+    EXPECT_GT(outcome.optimized.mxu_utilization,
+              outcome.baseline.mxu_utilization);
+    EXPECT_NE(outcome.tuned_config, outcome.initial_config);
+    EXPECT_GT(outcome.tuner_report.accepted, 0u);
+}
+
+TEST(OptimizerTest, PostProcessingPenalizesShortRuns)
+{
+    // Section VII-C: short workloads can take a performance hit
+    // from waiting on the optimizer's post-processing.
+    WorkloadOptions options;
+    options.step_scale = 0.01;
+    options.max_train_steps = 40;
+    const RuntimeWorkload w =
+        makeWorkload(WorkloadId::BertMrpc, options);
+    SessionConfig config;
+    const OptimizationOutcome outcome =
+        runOptimizationExperiment(w, config);
+    EXPECT_GT(outcome.optimized_wall_with_post,
+              outcome.optimized.wall_time);
+    EXPECT_LT(outcome.speedup(), 1.0);
+}
+
+TEST(OptimizerTest, ReportBeforeStartPanics)
+{
+    Simulator sim;
+    const RuntimeWorkload w = workload(50);
+    TrainingSession session(sim, SessionConfig{}, w);
+    TpuPointOptimizer optimizer(sim, session);
+    EXPECT_THROW(optimizer.report(), std::logic_error);
+}
+
+} // namespace
+} // namespace tpupoint

@@ -1,0 +1,103 @@
+/** @file Adjustable-parameter space. */
+
+#include <gtest/gtest.h>
+
+#include "optimizer/parameters.hh"
+#include "workloads/datasets.hh"
+
+namespace tpupoint {
+namespace {
+
+TEST(ParametersTest, AllFiveParamsListed)
+{
+    EXPECT_EQ(allTunableParams().size(), 5u);
+}
+
+TEST(ParametersTest, GetSetRoundTrip)
+{
+    PipelineConfig config;
+    for (const TunableParam param : allTunableParams()) {
+        setParam(config, param, 4);
+        EXPECT_EQ(getParam(config, param),
+                  param == TunableParam::MapAndBatchFusion ? 1
+                                                           : 4)
+            << tunableParamName(param);
+    }
+    setParam(config, TunableParam::MapAndBatchFusion, 0);
+    EXPECT_FALSE(config.map_and_batch_fused);
+}
+
+TEST(ParametersTest, NeighborLadderDoublesAndHalves)
+{
+    PipelineConfig config;
+    config.num_parallel_calls = 8;
+    EXPECT_EQ(*neighborValue(config,
+                             TunableParam::ParallelCalls, +1),
+              16);
+    EXPECT_EQ(*neighborValue(config,
+                             TunableParam::ParallelCalls, -1),
+              4);
+    config.num_parallel_calls = 1;
+    EXPECT_FALSE(neighborValue(config,
+                               TunableParam::ParallelCalls, -1)
+                     .has_value());
+}
+
+TEST(ParametersTest, FusionFlagToggles)
+{
+    PipelineConfig config;
+    config.map_and_batch_fused = false;
+    EXPECT_EQ(*neighborValue(
+                  config, TunableParam::MapAndBatchFusion, +1),
+              1);
+    // Already at the target: no neighbour.
+    config.map_and_batch_fused = true;
+    EXPECT_FALSE(neighborValue(config,
+                               TunableParam::MapAndBatchFusion,
+                               +1)
+                     .has_value());
+    EXPECT_EQ(*neighborValue(
+                  config, TunableParam::MapAndBatchFusion, -1),
+              0);
+}
+
+TEST(ParametersTest, ValidityConstraints)
+{
+    const DatasetSpec data = datasets::mrpc(); // 3668 examples
+    const HostSpec host = HostSpec::standard();
+
+    PipelineConfig ok;
+    EXPECT_TRUE(isValidConfig(ok, data, host));
+
+    PipelineConfig too_many_threads;
+    too_many_threads.num_parallel_calls = 1000;
+    EXPECT_FALSE(isValidConfig(too_many_threads, data, host));
+
+    PipelineConfig big_shuffle;
+    big_shuffle.shuffle_buffer = 100000; // beyond the dataset
+    EXPECT_FALSE(isValidConfig(big_shuffle, data, host));
+
+    PipelineConfig zero_prefetch;
+    zero_prefetch.prefetch_depth = 0;
+    EXPECT_FALSE(isValidConfig(zero_prefetch, data, host));
+
+    PipelineConfig huge_prefetch;
+    huge_prefetch.prefetch_depth = 1000;
+    EXPECT_FALSE(isValidConfig(huge_prefetch, data, host));
+
+    PipelineConfig bad_reads;
+    bad_reads.num_parallel_reads = 0;
+    EXPECT_FALSE(isValidConfig(bad_reads, data, host));
+}
+
+TEST(ParametersTest, NamesAreStable)
+{
+    EXPECT_STREQ(tunableParamName(TunableParam::ParallelCalls),
+                 "num_parallel_calls");
+    EXPECT_STREQ(
+        tunableParamName(TunableParam::MapAndBatchFusion),
+        "map_and_batch_fusion");
+}
+
+} // namespace
+} // namespace tpupoint

@@ -1,0 +1,67 @@
+/** @file Program analysis: adjustable-parameter discovery. */
+
+#include <gtest/gtest.h>
+
+#include "optimizer/program_analysis.hh"
+#include "workloads/catalog.hh"
+
+namespace tpupoint {
+namespace {
+
+TEST(ProgramAnalysisTest, DefaultConfigAllAdjustable)
+{
+    const RuntimeWorkload w = makeWorkload(WorkloadId::BertSquad);
+    const ProgramAnalysis analysis = analyzeProgram(
+        w, PipelineConfig{}, HostSpec::standard());
+    EXPECT_EQ(analysis.adjustable.size(), 5u);
+    EXPECT_TRUE(analysis.rejected.empty());
+    EXPECT_FALSE(analysis.instrumentation_points.empty());
+}
+
+TEST(ProgramAnalysisTest, ParamsThatErrorAreNotAdjustable)
+{
+    // CoLA has only 8551 examples; a config already shuffling the
+    // whole dataset cannot move the shuffle buffer anywhere valid
+    // upward, but halving stays available — so it remains
+    // adjustable. Pin it to 1 to block the downward move too.
+    WorkloadOptions options;
+    const RuntimeWorkload w =
+        makeWorkload(WorkloadId::BertCola, options);
+    PipelineConfig config;
+    config.shuffle_buffer = 8551; // == dataset size
+    ProgramAnalysis analysis =
+        analyzeProgram(w, config, HostSpec::standard());
+    // Doubling overflows the dataset, but halving is valid.
+    EXPECT_TRUE(std::count(analysis.adjustable.begin(),
+                           analysis.adjustable.end(),
+                           TunableParam::ShuffleBuffer));
+
+    // A parameter pinned at its only valid value is rejected.
+    config.shuffle_buffer = 1;
+    // Halving is impossible; doubling to 2 is valid, so still
+    // adjustable — use a dataset of a single example to pin it.
+    RuntimeWorkload tiny = w;
+    tiny.dataset.num_examples = 1;
+    analysis = analyzeProgram(tiny, config, HostSpec::standard());
+    EXPECT_TRUE(std::count(analysis.rejected.begin(),
+                           analysis.rejected.end(),
+                           TunableParam::ShuffleBuffer));
+}
+
+TEST(ProgramAnalysisTest, InstrumentationCoversPipelineStages)
+{
+    const RuntimeWorkload w =
+        makeWorkload(WorkloadId::DcganMnist);
+    const ProgramAnalysis analysis = analyzeProgram(
+        w, PipelineConfig{}, HostSpec::standard());
+    bool has_map = false, has_step = false;
+    for (const auto &point : analysis.instrumentation_points) {
+        has_map |= point == "dataset.map";
+        has_step |= point == "train.step";
+    }
+    EXPECT_TRUE(has_map);
+    EXPECT_TRUE(has_step);
+}
+
+} // namespace
+} // namespace tpupoint

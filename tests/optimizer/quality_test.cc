@@ -1,0 +1,56 @@
+/** @file Output-quality guard. */
+
+#include <gtest/gtest.h>
+
+#include "optimizer/quality.hh"
+
+namespace tpupoint {
+namespace {
+
+TEST(QualityGuardTest, MonotonicStreamIsConsistent)
+{
+    OutputQualityGuard guard;
+    for (StepId s = 1; s <= 100; ++s)
+        guard.onStep(s);
+    EXPECT_TRUE(guard.consistent());
+    EXPECT_EQ(guard.stepsObserved(), 100u);
+}
+
+TEST(QualityGuardTest, GapsAreAllowed)
+{
+    // Eval interleaves advance the pseudo-step counter, so gaps in
+    // the train stream are normal.
+    OutputQualityGuard guard;
+    guard.onStep(1);
+    guard.onStep(2);
+    guard.onStep(15);
+    EXPECT_TRUE(guard.consistent());
+}
+
+TEST(QualityGuardTest, DuplicateBreaksConsistency)
+{
+    OutputQualityGuard guard;
+    guard.onStep(5);
+    guard.onStep(5);
+    EXPECT_FALSE(guard.consistent());
+}
+
+TEST(QualityGuardTest, ReorderingBreaksConsistency)
+{
+    OutputQualityGuard guard;
+    guard.onStep(9);
+    guard.onStep(3);
+    EXPECT_FALSE(guard.consistent());
+    // Once broken, stays broken.
+    guard.onStep(10);
+    EXPECT_FALSE(guard.consistent());
+}
+
+TEST(QualityGuardTest, PipelineParamsPreserveOutput)
+{
+    for (const TunableParam param : allTunableParams())
+        EXPECT_TRUE(OutputQualityGuard::preservesOutput(param));
+}
+
+} // namespace
+} // namespace tpupoint

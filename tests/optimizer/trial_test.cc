@@ -1,0 +1,107 @@
+/** @file Checkpoint-based trial runs and offline search. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "optimizer/trial.hh"
+#include "workloads/catalog.hh"
+
+namespace tpupoint {
+namespace {
+
+RuntimeWorkload
+workload()
+{
+    WorkloadOptions options;
+    options.step_scale = 0.02;
+    options.max_train_steps = 400;
+    return makeWorkload(WorkloadId::RetinanetCoco, options);
+}
+
+TEST(TrialRunnerTest, EvaluatesExactlyTheWindow)
+{
+    const RuntimeWorkload w = workload();
+    TrialRunner runner(w, SessionConfig{}, 100, 60);
+    const TrialResult result =
+        runner.evaluate(PipelineConfig{});
+    EXPECT_EQ(result.steps, 60u);
+    EXPECT_GT(result.seconds_per_step, 0.0);
+    EXPECT_GT(result.wall_time, result.train_window);
+    EXPECT_EQ(runner.trialsRun(), 1u);
+}
+
+TEST(TrialRunnerTest, TrialIsMuchCheaperThanFullRun)
+{
+    const RuntimeWorkload w = workload();
+    // Full run.
+    Simulator sim;
+    TrainingSession full(sim, SessionConfig{}, w);
+    full.start(nullptr);
+    sim.run();
+
+    TrialRunner runner(w, SessionConfig{}, 200, 40);
+    const TrialResult trial =
+        runner.evaluate(PipelineConfig{});
+    // "Online tuning without the need for complete program
+    // execution": a trial replays a fraction of the run.
+    EXPECT_LT(trial.wall_time, full.result().wall_time / 4);
+}
+
+TEST(TrialRunnerTest, RanksConfigsLikeSteadyState)
+{
+    const RuntimeWorkload w = workload();
+    TrialRunner runner(w, SessionConfig{}, 100, 60);
+    const TrialResult tuned =
+        runner.evaluate(PipelineConfig{});
+    const TrialResult naive =
+        runner.evaluate(PipelineConfig::naive());
+    EXPECT_LT(tuned.seconds_per_step, naive.seconds_per_step);
+}
+
+TEST(TrialRunnerTest, WindowValidation)
+{
+    const RuntimeWorkload w = workload();
+    EXPECT_THROW(TrialRunner(w, SessionConfig{}, 0, 0),
+                 std::runtime_error);
+    EXPECT_THROW(TrialRunner(w, SessionConfig{},
+                             w.schedule.train_steps, 10),
+                 std::runtime_error);
+}
+
+TEST(TrialSearchTest, ImprovesNaiveConfigWithoutFullRuns)
+{
+    const RuntimeWorkload w = workload();
+    TrialRunner runner(w, SessionConfig{}, 100, 50);
+    const TrialSearchResult search = searchFromCheckpoint(
+        runner, PipelineConfig::naive(), allTunableParams(),
+        w.dataset, HostSpec::standard());
+
+    EXPECT_GT(search.trials, 0u);
+    EXPECT_GT(search.projectedSpeedup(), 1.5);
+    EXPECT_GT(search.best_config.num_parallel_calls,
+              PipelineConfig::naive().num_parallel_calls);
+    EXPECT_FALSE(search.log.empty());
+    // Every trial respected the validity envelope.
+    EXPECT_TRUE(isValidConfig(search.best_config, w.dataset,
+                              HostSpec::standard()));
+}
+
+TEST(TrialSearchTest, KeepsAlreadyGoodConfig)
+{
+    const RuntimeWorkload w = workload();
+    TrialRunner runner(w, SessionConfig{}, 100, 50);
+    // Start from a strong configuration.
+    PipelineConfig strong;
+    strong.num_parallel_calls = 32;
+    strong.prefetch_depth = 8;
+    const TrialSearchResult search = searchFromCheckpoint(
+        runner, strong, allTunableParams(), w.dataset,
+        HostSpec::standard());
+    // The search never regresses below its starting point.
+    EXPECT_LE(search.best_seconds_per_step,
+              search.baseline_seconds_per_step + 1e-12);
+}
+
+} // namespace
+} // namespace tpupoint

@@ -1,0 +1,71 @@
+/** @file Checkpoint manager registry and nearest-checkpoint query. */
+
+#include <gtest/gtest.h>
+
+#include "host/checkpoint.hh"
+#include "profiler/collector.hh"
+
+namespace tpupoint {
+namespace {
+
+struct Rig
+{
+    Simulator sim;
+    StorageBucket storage{sim, StorageSpec{}};
+    InMemoryTrace trace;
+    CheckpointManager ckpt{sim, storage, 100 * kMiB, &trace};
+};
+
+TEST(CheckpointTest, SaveRegistersCheckpointAndEmitsSaveV2)
+{
+    Rig rig;
+    bool done = false;
+    rig.ckpt.save(100, [&] { done = true; });
+    rig.sim.run();
+    EXPECT_TRUE(done);
+    ASSERT_EQ(rig.ckpt.checkpoints().size(), 1u);
+    EXPECT_EQ(rig.ckpt.checkpoints()[0].step, 100u);
+    EXPECT_EQ(rig.ckpt.checkpoints()[0].bytes, 100 * kMiB);
+    EXPECT_GT(rig.ckpt.checkpoints()[0].saved_at, 0);
+    ASSERT_EQ(rig.trace.events().size(), 1u);
+    EXPECT_STREQ(rig.trace.events()[0].type, "SaveV2");
+    EXPECT_EQ(rig.storage.bytesWritten(), 100 * kMiB);
+}
+
+TEST(CheckpointTest, RestoreEmitsRestoreV2AndReadsStorage)
+{
+    Rig rig;
+    bool done = false;
+    rig.ckpt.restore(0, [&] { done = true; });
+    rig.sim.run();
+    EXPECT_TRUE(done);
+    ASSERT_EQ(rig.trace.events().size(), 1u);
+    EXPECT_STREQ(rig.trace.events()[0].type, "RestoreV2");
+    EXPECT_EQ(rig.storage.bytesRead(), 100 * kMiB);
+    // Restoring registers nothing.
+    EXPECT_TRUE(rig.ckpt.checkpoints().empty());
+}
+
+TEST(CheckpointTest, NearestPicksSmallestDistance)
+{
+    Rig rig;
+    rig.ckpt.save(100, nullptr);
+    rig.ckpt.save(200, nullptr);
+    rig.ckpt.save(300, nullptr);
+    rig.sim.run();
+
+    EXPECT_EQ(rig.ckpt.nearest(90)->step, 100u);
+    EXPECT_EQ(rig.ckpt.nearest(149)->step, 100u);
+    EXPECT_EQ(rig.ckpt.nearest(151)->step, 200u);
+    EXPECT_EQ(rig.ckpt.nearest(1000)->step, 300u);
+    EXPECT_EQ(rig.ckpt.nearest(200)->step, 200u);
+}
+
+TEST(CheckpointTest, NearestOnEmptyIsNull)
+{
+    Rig rig;
+    EXPECT_EQ(rig.ckpt.nearest(5), nullptr);
+}
+
+} // namespace
+} // namespace tpupoint

@@ -1,0 +1,122 @@
+/** @file Infeed driver and outfeed drain. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "host/infeed.hh"
+#include "profiler/collector.hh"
+
+namespace tpupoint {
+namespace {
+
+TEST(InfeedDriverTest, ForwardsBatchesAcrossPcie)
+{
+    Simulator sim;
+    BoundedQueue<HostBatch> prefetch(sim, 4);
+    InfeedQueue device(sim, 2);
+    InMemoryTrace trace;
+    InfeedDriver driver(sim, prefetch, device, 16e9, &trace);
+    driver.start();
+
+    for (StepId s = 0; s < 3; ++s) {
+        HostBatch batch;
+        batch.step = s;
+        batch.bytes = 16'000'000; // 1 ms at 16 GB/s
+        prefetch.push(batch, nullptr);
+    }
+    std::vector<DeviceBatch> got;
+    std::function<void()> drain = [&]() {
+        device.pop([&](DeviceBatch b) {
+            got.push_back(b);
+            if (got.size() < 3)
+                drain();
+        });
+    };
+    drain();
+    sim.run();
+
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(driver.transferred(), 3u);
+    EXPECT_EQ(got[0].step, 0u);
+    EXPECT_EQ(got[2].step, 2u);
+    // Link held for ~1 ms per batch.
+    EXPECT_NEAR(static_cast<double>(driver.linkBusy()), 3e6,
+                1e4);
+
+    bool saw_transfer = false, saw_enqueue = false;
+    for (const auto &event : trace.events()) {
+        const std::string type = event.type;
+        if (type == "TransferBufferToInfeedLocked")
+            saw_transfer = true;
+        if (type == "InfeedEnqueueTuple")
+            saw_enqueue = true;
+        EXPECT_EQ(event.device, EventDevice::Host);
+    }
+    EXPECT_TRUE(saw_transfer);
+    EXPECT_TRUE(saw_enqueue);
+}
+
+TEST(InfeedDriverTest, BlocksWhenDeviceQueueFull)
+{
+    Simulator sim;
+    BoundedQueue<HostBatch> prefetch(sim, 8);
+    InfeedQueue device(sim, 1);
+    InfeedDriver driver(sim, prefetch, device, 16e9, nullptr);
+    driver.start();
+    for (StepId s = 0; s < 4; ++s) {
+        HostBatch batch;
+        batch.step = s;
+        batch.bytes = 1024;
+        prefetch.push(batch, nullptr);
+    }
+    sim.run();
+    // One in the queue, one parked in the push.
+    EXPECT_LE(driver.transferred(), 2u);
+    EXPECT_EQ(device.size(), 1u);
+}
+
+TEST(OutfeedDrainTest, ChargesWaitToOutfeedDequeueTuple)
+{
+    Simulator sim;
+    OutfeedQueue device(sim, 4);
+    InMemoryTrace trace;
+    OutfeedDrain drain(sim, device, 16e9, &trace);
+    std::vector<StepId> completed;
+    drain.start([&](StepResult r) {
+        completed.push_back(r.step);
+    });
+
+    // Publish a result 5 ms in: the drain has been blocked since
+    // t=0, so the dequeue op spans >= 5 ms.
+    sim.schedule(5 * kMsec, [&] {
+        StepResult r;
+        r.step = 9;
+        r.bytes = 64;
+        r.tpu_finished = sim.now();
+        device.push(r, nullptr);
+    });
+    sim.run();
+
+    ASSERT_EQ(completed.size(), 1u);
+    EXPECT_EQ(completed[0], 9u);
+    EXPECT_EQ(drain.drained(), 1u);
+    ASSERT_FALSE(trace.events().empty());
+    const TraceEvent &event = trace.events().front();
+    EXPECT_STREQ(event.type, "OutfeedDequeueTuple");
+    EXPECT_GE(event.duration, 5 * kMsec);
+    EXPECT_EQ(event.step, 9u);
+}
+
+TEST(OutfeedDrainTest, DoubleStartPanics)
+{
+    Simulator sim;
+    OutfeedQueue device(sim, 1);
+    OutfeedDrain drain(sim, device, 16e9, nullptr);
+    drain.start(nullptr);
+    EXPECT_THROW(drain.start(nullptr), std::logic_error);
+}
+
+} // namespace
+} // namespace tpupoint

@@ -1,0 +1,196 @@
+/** @file Input-pipeline production, events and tunability. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "host/pipeline.hh"
+#include "profiler/collector.hh"
+#include "workloads/datasets.hh"
+
+namespace tpupoint {
+namespace {
+
+struct Rig
+{
+    Simulator sim;
+    StorageBucket storage{sim, StorageSpec{}};
+    InMemoryTrace trace;
+
+    std::unique_ptr<InputPipeline>
+    make(const DatasetSpec &data, std::uint64_t batch,
+         std::uint64_t device_bytes, const PipelineConfig &cfg)
+    {
+        return std::make_unique<InputPipeline>(
+            sim, HostSpec::standard(), storage, data, batch,
+            device_bytes, cfg, Rng(1), &trace);
+    }
+};
+
+/** Drain @p n batches, returning completion time. */
+SimTime
+drainAll(Simulator &sim, InputPipeline &pipe, std::uint64_t n)
+{
+    SimTime last = 0;
+    std::function<void()> drain = [&]() {
+        pipe.output().pop([&](HostBatch) {
+            last = sim.now();
+            if (--n > 0)
+                drain();
+        });
+    };
+    drain();
+    sim.run();
+    return last;
+}
+
+TEST(PipelineTest, ProducesRequestedBatchCount)
+{
+    Rig rig;
+    auto pipe = rig.make(datasets::mrpc(), 32, 1 << 16,
+                         PipelineConfig{});
+    pipe->start(0, 10);
+    drainAll(rig.sim, *pipe, 10);
+    EXPECT_EQ(pipe->counters().batches_produced, 10u);
+}
+
+TEST(PipelineTest, BatchesCarryDeviceBytesAndSequentialSteps)
+{
+    Rig rig;
+    auto pipe = rig.make(datasets::mrpc(), 32, 4096,
+                         PipelineConfig{});
+    pipe->start(5, 3);
+    std::vector<HostBatch> got;
+    std::function<void()> drain = [&]() {
+        pipe->output().pop([&](HostBatch b) {
+            got.push_back(b);
+            if (got.size() < 3)
+                drain();
+        });
+    };
+    drain();
+    rig.sim.run();
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].step, 5u);
+    EXPECT_EQ(got[2].step, 7u);
+    for (const auto &b : got)
+        EXPECT_EQ(b.bytes, 4096u);
+}
+
+TEST(PipelineTest, TextPipelineEmitsTextOps)
+{
+    Rig rig;
+    auto pipe = rig.make(datasets::squad(), 32, 1 << 16,
+                         PipelineConfig{});
+    pipe->start(0, 2);
+    drainAll(rig.sim, *pipe, 2);
+    std::set<std::string> types;
+    for (const auto &event : rig.trace.events())
+        types.insert(event.type);
+    EXPECT_TRUE(types.count("ParseExample"));
+    EXPECT_TRUE(types.count("BuildPaddedOutput"));
+    EXPECT_TRUE(types.count("LinearizeX32"));
+    EXPECT_TRUE(types.count("Recv"));
+    EXPECT_FALSE(types.count("DecodeAndCropJpeg"));
+}
+
+TEST(PipelineTest, JpegPipelineEmitsImageOps)
+{
+    Rig rig;
+    auto pipe = rig.make(datasets::coco(), 8, 1 << 20,
+                         PipelineConfig{});
+    pipe->start(0, 2);
+    drainAll(rig.sim, *pipe, 2);
+    std::set<std::string> types;
+    for (const auto &event : rig.trace.events())
+        types.insert(event.type);
+    EXPECT_TRUE(types.count("DecodeAndCropJpeg"));
+    EXPECT_TRUE(types.count("ResizeBicubic"));
+}
+
+TEST(PipelineTest, MoreParallelCallsIsFaster)
+{
+    const DatasetSpec data = datasets::coco();
+    auto run = [&](int calls) {
+        Rig rig;
+        PipelineConfig cfg;
+        cfg.num_parallel_calls = calls;
+        auto pipe = rig.make(data, 16, 1 << 20, cfg);
+        pipe->start(0, 6);
+        return drainAll(rig.sim, *pipe, 6);
+    };
+    EXPECT_LT(run(16), run(1));
+}
+
+TEST(PipelineTest, NaiveConfigIsSlower)
+{
+    const DatasetSpec data = datasets::coco();
+    auto run = [&](const PipelineConfig &cfg) {
+        Rig rig;
+        auto pipe = rig.make(data, 16, 1 << 20, cfg);
+        pipe->start(0, 6);
+        return drainAll(rig.sim, *pipe, 6);
+    };
+    EXPECT_LT(run(PipelineConfig{}),
+              run(PipelineConfig::naive()));
+}
+
+TEST(PipelineTest, SetConfigTakesEffectLive)
+{
+    Rig rig;
+    auto pipe = rig.make(datasets::coco(), 16, 1 << 20,
+                         PipelineConfig::naive());
+    pipe->start(0, 4);
+    PipelineConfig tuned;
+    tuned.num_parallel_calls = 32;
+    tuned.prefetch_depth = 8;
+    pipe->setConfig(tuned);
+    EXPECT_EQ(pipe->config().num_parallel_calls, 32);
+    EXPECT_EQ(pipe->output().capacity(), 8u);
+    drainAll(rig.sim, *pipe, 4);
+    EXPECT_EQ(pipe->counters().batches_produced, 4u);
+}
+
+TEST(PipelineTest, StageCountersAccumulate)
+{
+    Rig rig;
+    auto pipe = rig.make(datasets::squad(), 32, 1 << 16,
+                         PipelineConfig{});
+    pipe->start(0, 5);
+    drainAll(rig.sim, *pipe, 5);
+    EXPECT_GT(pipe->counters().read_busy, 0);
+    EXPECT_GT(pipe->counters().process_busy, 0);
+    EXPECT_GT(pipe->counters().linearize_busy, 0);
+}
+
+TEST(PipelineTest, ByteAccountingHelpers)
+{
+    Rig rig;
+    const DatasetSpec data = datasets::coco();
+    auto pipe = rig.make(data, 16, 1 << 20, PipelineConfig{});
+    EXPECT_EQ(pipe->storedBatchBytes(),
+              16u * data.exampleBytes());
+    EXPECT_EQ(pipe->decodedBatchBytes(),
+              16u * data.decodedExampleBytes());
+}
+
+TEST(PipelineTest, ZeroBatchRejected)
+{
+    Rig rig;
+    EXPECT_THROW(rig.make(datasets::mrpc(), 0, 64,
+                          PipelineConfig{}),
+                 std::runtime_error);
+}
+
+TEST(PipelineTest, DoubleStartPanics)
+{
+    Rig rig;
+    auto pipe = rig.make(datasets::mrpc(), 32, 64,
+                         PipelineConfig{});
+    pipe->start(0, 1);
+    EXPECT_THROW(pipe->start(0, 1), std::logic_error);
+}
+
+} // namespace
+} // namespace tpupoint

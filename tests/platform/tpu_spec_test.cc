@@ -1,0 +1,55 @@
+/** @file TPU generation specifications (Section II). */
+
+#include <gtest/gtest.h>
+
+#include "tpu/spec.hh"
+
+namespace tpupoint {
+namespace {
+
+TEST(TpuSpecTest, GenerationNames)
+{
+    EXPECT_STREQ(tpuGenerationName(TpuGeneration::V2), "TPUv2");
+    EXPECT_STREQ(tpuGenerationName(TpuGeneration::V3), "TPUv3");
+}
+
+TEST(TpuSpecTest, V3DoublesMxusAndHbm)
+{
+    const TpuDeviceSpec v2 = TpuDeviceSpec::v2();
+    const TpuDeviceSpec v3 = TpuDeviceSpec::v3();
+    // "TPUv3 contains twice as many MXUs as TPUv2 and twice the
+    // HBM" (Section II-A).
+    EXPECT_EQ(v3.totalMxus(), 2 * v2.totalMxus());
+    EXPECT_EQ(v3.hbm_bytes, 2 * v2.hbm_bytes);
+    EXPECT_DOUBLE_EQ(v3.peak_flops, 2 * v2.peak_flops);
+}
+
+TEST(TpuSpecTest, V2MatchesPaperNumbers)
+{
+    const TpuDeviceSpec v2 = TpuDeviceSpec::v2();
+    // 45 TFLOPS and 2 MXUs x 8 GiB per chip.
+    EXPECT_DOUBLE_EQ(v2.peak_flops / v2.num_chips, 45e12);
+    EXPECT_EQ(v2.mxus_per_chip, 2);
+    EXPECT_EQ(v2.hbm_bytes /
+                  static_cast<std::uint64_t>(v2.totalMxus()),
+              8ULL * kGiB);
+}
+
+TEST(TpuSpecTest, HostLinkIsGenerationIndependent)
+{
+    // The host-side bottleneck does not improve with the TPU
+    // generation — the root of Observation 5.
+    EXPECT_DOUBLE_EQ(TpuDeviceSpec::v2().pcie_bandwidth,
+                     TpuDeviceSpec::v3().pcie_bandwidth);
+}
+
+TEST(TpuSpecTest, ForGenerationDispatches)
+{
+    EXPECT_EQ(TpuDeviceSpec::forGeneration(TpuGeneration::V2).name,
+              "TPUv2-8");
+    EXPECT_EQ(TpuDeviceSpec::forGeneration(TpuGeneration::V3).name,
+              "TPUv3-8");
+}
+
+} // namespace
+} // namespace tpupoint

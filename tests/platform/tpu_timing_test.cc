@@ -1,0 +1,119 @@
+/** @file Roofline op-timing model. */
+
+#include <gtest/gtest.h>
+
+#include "tpu/timing.hh"
+
+namespace tpupoint {
+namespace {
+
+ScheduledOp
+makeOp(OpKind kind, std::uint64_t flops, std::uint64_t bytes,
+       bool mxu)
+{
+    ScheduledOp op;
+    op.kind = kind;
+    op.name = opKindName(kind);
+    op.flops = flops;
+    op.bytes = bytes;
+    op.mxu = mxu;
+    return op;
+}
+
+TEST(TpuTimingTest, ComputeBoundMatMul)
+{
+    const TpuDeviceSpec spec = TpuDeviceSpec::v2();
+    // Heavy flops, light bytes: duration = flops / effective rate.
+    const auto op = makeOp(OpKind::MatMul, 1ULL << 40, 1024, true);
+    const double seconds = static_cast<double>(1ULL << 40) /
+        (spec.peak_flops * spec.mxu_efficiency);
+    const SimTime expected =
+        static_cast<SimTime>(seconds * 1e9 + 0.5) +
+        spec.op_overhead;
+    EXPECT_EQ(opDuration(spec, op), expected);
+}
+
+TEST(TpuTimingTest, MemoryBoundReshape)
+{
+    const TpuDeviceSpec spec = TpuDeviceSpec::v2();
+    const std::uint64_t bytes = 1ULL << 30;
+    const auto op = makeOp(OpKind::Reshape, 0, bytes, false);
+    const SimTime expected = hbmTime(spec, bytes) +
+        spec.op_overhead;
+    EXPECT_EQ(opDuration(spec, op), expected);
+}
+
+TEST(TpuTimingTest, RooflineTakesTheMax)
+{
+    const TpuDeviceSpec spec = TpuDeviceSpec::v2();
+    // Tiny flops but huge bytes: HBM side dominates even for MXU.
+    const auto op =
+        makeOp(OpKind::MatMul, 1000, 1ULL << 32, true);
+    EXPECT_EQ(opDuration(spec, op),
+              hbmTime(spec, 1ULL << 32) + spec.op_overhead);
+}
+
+TEST(TpuTimingTest, CollectiveUsesInterconnect)
+{
+    const TpuDeviceSpec spec = TpuDeviceSpec::v2();
+    const std::uint64_t bytes = 1ULL << 28;
+    const auto op = makeOp(OpKind::AllReduce, 0, bytes, false);
+    const double seconds =
+        static_cast<double>(bytes) / spec.ici_bandwidth;
+    EXPECT_EQ(opDuration(spec, op),
+              static_cast<SimTime>(seconds * 1e9 + 0.5) +
+                  spec.op_overhead);
+}
+
+TEST(TpuTimingTest, MxuFusionUsesMatrixThroughput)
+{
+    const TpuDeviceSpec spec = TpuDeviceSpec::v2();
+    const auto mxu_fusion =
+        makeOp(OpKind::Fusion, 1ULL << 36, 64, true);
+    const auto vec_fusion =
+        makeOp(OpKind::Fusion, 1ULL << 36, 64, false);
+    // The MXU-rooted fusion is much faster than the vector one.
+    EXPECT_LT(opDuration(spec, mxu_fusion),
+              opDuration(spec, vec_fusion));
+}
+
+TEST(TpuTimingTest, V3IsFasterButNotTwiceAsFast)
+{
+    const TpuDeviceSpec v2 = TpuDeviceSpec::v2();
+    const TpuDeviceSpec v3 = TpuDeviceSpec::v3();
+    const auto op =
+        makeOp(OpKind::MatMul, 1ULL << 40, 1024, true);
+    const SimTime t2 = opDuration(v2, op);
+    const SimTime t3 = opDuration(v3, op);
+    EXPECT_LT(t3, t2);
+    // Efficiency drops on the wider arrays (Observation 5):
+    // speedup stays well below the 2x peak ratio.
+    EXPECT_GT(static_cast<double>(t3),
+              static_cast<double>(t2) / 2.0);
+}
+
+TEST(TpuTimingTest, MxuActiveTimeOnlyForMxuOps)
+{
+    const TpuDeviceSpec spec = TpuDeviceSpec::v2();
+    const auto mxu_op =
+        makeOp(OpKind::MatMul, 1ULL << 30, 64, true);
+    const auto vec_op =
+        makeOp(OpKind::Relu, 1ULL << 30, 64, false);
+    EXPECT_GT(mxuActiveTime(spec, mxu_op), 0);
+    EXPECT_EQ(mxuActiveTime(spec, vec_op), 0);
+    // Active time uses raw peak: always <= the op duration's
+    // compute side.
+    EXPECT_LT(mxuActiveTime(spec, mxu_op),
+              opDuration(spec, mxu_op));
+}
+
+TEST(TpuTimingTest, PcieTimeLinearInBytes)
+{
+    const TpuDeviceSpec spec = TpuDeviceSpec::v2();
+    EXPECT_NEAR(static_cast<double>(pcieTime(spec, 16'000'000)),
+                1e6, 1.0); // 16 MB over 16 GB/s = 1 ms
+    EXPECT_EQ(pcieTime(spec, 0), 0);
+}
+
+} // namespace
+} // namespace tpupoint

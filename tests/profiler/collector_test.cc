@@ -1,0 +1,115 @@
+/** @file StatsCollector windowing and transport caps. */
+
+#include <gtest/gtest.h>
+
+#include "profiler/collector.hh"
+
+namespace tpupoint {
+namespace {
+
+TraceEvent
+makeEvent(const char *type, SimTime start, SimTime duration,
+          StepId step, EventDevice device = EventDevice::Tpu)
+{
+    TraceEvent e;
+    e.type = type;
+    e.start = start;
+    e.duration = duration;
+    e.step = step;
+    e.device = device;
+    return e;
+}
+
+TEST(CollectorTest, AggregatesByStep)
+{
+    StatsCollector collector(0);
+    collector.record(makeEvent("MatMul", 0, 10, 1));
+    collector.record(makeEvent("MatMul", 10, 10, 1));
+    collector.record(makeEvent("fusion", 30, 10, 2));
+    EXPECT_EQ(collector.eventsInWindow(), 3u);
+
+    const ProfileRecord record = collector.harvest(100);
+    EXPECT_EQ(record.event_count, 3u);
+    ASSERT_EQ(record.steps.size(), 2u);
+    EXPECT_EQ(record.steps[0].step, 1u);
+    EXPECT_EQ(record.steps[0].tpu_ops.at("MatMul").count, 2u);
+    EXPECT_EQ(record.steps[1].step, 2u);
+    EXPECT_FALSE(record.truncated);
+    EXPECT_EQ(record.window_begin, 0);
+    EXPECT_EQ(record.window_end, 100);
+}
+
+TEST(CollectorTest, HarvestResetsWindow)
+{
+    StatsCollector collector(0);
+    collector.record(makeEvent("MatMul", 0, 10, 1));
+    (void)collector.harvest(50);
+    EXPECT_EQ(collector.eventsInWindow(), 0u);
+    EXPECT_EQ(collector.windowBegin(), 50);
+    collector.record(makeEvent("fusion", 60, 5, 2));
+    const ProfileRecord second = collector.harvest(100);
+    EXPECT_EQ(second.sequence, 1u);
+    ASSERT_EQ(second.steps.size(), 1u);
+    EXPECT_EQ(second.steps[0].step, 2u);
+}
+
+TEST(CollectorTest, NoStepEventsJoinLatestStep)
+{
+    StatsCollector collector(0);
+    collector.record(makeEvent("MatMul", 0, 10, 7));
+    collector.record(
+        makeEvent("Recv", 10, 5, kNoStep, EventDevice::Host));
+    const ProfileRecord record = collector.harvest(100);
+    ASSERT_EQ(record.steps.size(), 1u);
+    EXPECT_EQ(record.steps[0].step, 7u);
+    EXPECT_EQ(record.steps[0].host_ops.at("Recv").count, 1u);
+}
+
+TEST(CollectorTest, EventCapTruncates)
+{
+    StatsCollector collector(0);
+    for (std::uint64_t i = 0; i < kMaxEventsPerProfile + 10; ++i)
+        collector.record(makeEvent("MatMul", 0, 1, 0));
+    EXPECT_TRUE(collector.overflowed());
+    const ProfileRecord record = collector.harvest(1);
+    EXPECT_TRUE(record.truncated);
+    EXPECT_EQ(record.event_count, kMaxEventsPerProfile);
+    // The cap resets with the window.
+    EXPECT_FALSE(collector.overflowed());
+}
+
+TEST(CollectorTest, DurationCapTruncates)
+{
+    StatsCollector collector(0);
+    collector.record(makeEvent("MatMul", 0, 10, 0));
+    // An event past the 60 s window limit is dropped.
+    collector.record(
+        makeEvent("MatMul", kMaxProfileDuration + kSec, 10, 0));
+    EXPECT_TRUE(collector.overflowed());
+    EXPECT_EQ(collector.eventsInWindow(), 1u);
+}
+
+TEST(CollectorTest, MetadataComputedOverWindow)
+{
+    StatsCollector collector(0);
+    TraceEvent busy = makeEvent("MatMul", 0, 400, 0);
+    busy.mxu = true;
+    busy.mxu_active = 100;
+    collector.record(busy);
+    const ProfileRecord record = collector.harvest(1000);
+    // 400 of 1000 ns busy -> 60% idle; 100/1000 MXU.
+    EXPECT_NEAR(record.tpu_idle_fraction, 0.6, 1e-9);
+    EXPECT_NEAR(record.mxu_utilization, 0.1, 1e-9);
+}
+
+TEST(CollectorTest, HostEventsDoNotCountAsTpuBusy)
+{
+    StatsCollector collector(0);
+    collector.record(
+        makeEvent("RunGraph", 0, 500, 0, EventDevice::Host));
+    const ProfileRecord record = collector.harvest(1000);
+    EXPECT_NEAR(record.tpu_idle_fraction, 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace tpupoint

@@ -1,0 +1,109 @@
+/** @file Statistical record aggregation semantics. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "proto/record.hh"
+
+namespace tpupoint {
+namespace {
+
+TraceEvent
+makeEvent(const char *type, SimTime start, SimTime duration,
+          StepId step, EventDevice device,
+          SimTime mxu_active = 0)
+{
+    TraceEvent e;
+    e.type = type;
+    e.start = start;
+    e.duration = duration;
+    e.step = step;
+    e.device = device;
+    e.mxu = mxu_active > 0;
+    e.mxu_active = mxu_active;
+    return e;
+}
+
+TEST(StepStatsTest, AccumulatesOpStatistics)
+{
+    StepStats s;
+    s.step = 4;
+    s.add(makeEvent("MatMul", 10, 5, 4, EventDevice::Tpu, 2));
+    s.add(makeEvent("MatMul", 20, 7, 4, EventDevice::Tpu, 3));
+    s.add(makeEvent("RunGraph", 0, 3, 4, EventDevice::Host));
+
+    EXPECT_EQ(s.tpu_ops.at("MatMul").count, 2u);
+    EXPECT_EQ(s.tpu_ops.at("MatMul").total_duration, 12);
+    EXPECT_EQ(s.host_ops.at("RunGraph").count, 1u);
+    EXPECT_EQ(s.tpu_busy, 12);
+    EXPECT_EQ(s.mxu_active, 5);
+    EXPECT_EQ(s.begin, 0);
+    EXPECT_EQ(s.end, 27);
+    EXPECT_EQ(s.span(), 27);
+}
+
+TEST(StepStatsTest, InfeedWaitCountsAsIdleNotBusy)
+{
+    StepStats s;
+    s.step = 1;
+    s.add(makeEvent("Infeed", 0, 100, 1, EventDevice::Tpu));
+    s.add(makeEvent("MatMul", 100, 50, 1, EventDevice::Tpu, 10));
+    EXPECT_EQ(s.tpu_idle, 100);
+    EXPECT_EQ(s.tpu_busy, 50);
+}
+
+TEST(StepStatsTest, MergeCombinesMaps)
+{
+    StepStats a, b;
+    a.step = b.step = 3;
+    a.add(makeEvent("MatMul", 0, 5, 3, EventDevice::Tpu, 1));
+    b.add(makeEvent("MatMul", 50, 7, 3, EventDevice::Tpu, 2));
+    b.add(makeEvent("Relu", 57, 1, 3, EventDevice::Tpu));
+    a.merge(b);
+    EXPECT_EQ(a.tpu_ops.at("MatMul").count, 2u);
+    EXPECT_EQ(a.tpu_ops.at("Relu").count, 1u);
+    EXPECT_EQ(a.tpu_busy, 13);
+    EXPECT_EQ(a.mxu_active, 3);
+    EXPECT_EQ(a.end, 58);
+}
+
+TEST(StepStatsTest, MergeDifferentStepsPanics)
+{
+    StepStats a, b;
+    a.step = 1;
+    b.step = 2;
+    EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
+TEST(StepStatsTest, OpSetIsPrefixedAndSorted)
+{
+    StepStats s;
+    s.step = 0;
+    s.add(makeEvent("MatMul", 0, 1, 0, EventDevice::Tpu));
+    s.add(makeEvent("RunGraph", 0, 1, 0, EventDevice::Host));
+    s.add(makeEvent("Relu", 0, 1, 0, EventDevice::Tpu));
+    const auto set = s.opSet();
+    ASSERT_EQ(set.size(), 3u);
+    EXPECT_EQ(set[0], "host:RunGraph");
+    EXPECT_EQ(set[1], "tpu:MatMul");
+    EXPECT_EQ(set[2], "tpu:Relu");
+}
+
+TEST(ProfileRecordTest, TotalOpCount)
+{
+    ProfileRecord record;
+    StepStats s;
+    s.step = 0;
+    s.add(makeEvent("MatMul", 0, 1, 0, EventDevice::Tpu));
+    s.add(makeEvent("MatMul", 1, 1, 0, EventDevice::Tpu));
+    s.add(makeEvent("RunGraph", 0, 1, 0, EventDevice::Host));
+    record.steps.push_back(s);
+    EXPECT_EQ(record.totalOpCount(), 3u);
+    record.window_begin = 10;
+    record.window_end = 50;
+    EXPECT_EQ(record.span(), 40);
+}
+
+} // namespace
+} // namespace tpupoint

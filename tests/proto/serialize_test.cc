@@ -1,0 +1,164 @@
+/** @file Profile binary serialization round trip. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/rng.hh"
+#include "proto/serialize.hh"
+
+namespace tpupoint {
+namespace {
+
+/** Build a deterministic pseudo-random record. */
+ProfileRecord
+randomRecord(Rng &rng, std::uint64_t sequence)
+{
+    ProfileRecord record;
+    record.sequence = sequence;
+    record.window_begin =
+        static_cast<SimTime>(rng.nextBounded(1u << 30));
+    record.window_end = record.window_begin +
+        static_cast<SimTime>(rng.nextBounded(1u << 30));
+    record.event_count = rng.nextBounded(100000);
+    record.truncated = rng.bernoulli(0.3);
+    record.tpu_idle_fraction = rng.nextDouble();
+    record.mxu_utilization = rng.nextDouble();
+
+    const std::size_t steps = 1 + rng.nextBounded(5);
+    for (std::size_t i = 0; i < steps; ++i) {
+        StepStats step;
+        step.step = sequence * 100 + i;
+        step.begin = static_cast<SimTime>(rng.nextBounded(1000));
+        step.end = step.begin +
+            static_cast<SimTime>(rng.nextBounded(10000));
+        step.tpu_busy =
+            static_cast<SimTime>(rng.nextBounded(5000));
+        step.tpu_idle =
+            static_cast<SimTime>(rng.nextBounded(5000));
+        step.mxu_active =
+            static_cast<SimTime>(rng.nextBounded(2000));
+        const char *tpu_names[] = {"fusion", "MatMul", "Reshape"};
+        const char *host_names[] = {"OutfeedDequeueTuple",
+                                    "RunGraph"};
+        for (const char *name : tpu_names) {
+            OpStats stats;
+            stats.count = 1 + rng.nextBounded(50);
+            stats.total_duration =
+                static_cast<SimTime>(rng.nextBounded(100000));
+            step.tpu_ops[name] = stats;
+        }
+        for (const char *name : host_names) {
+            OpStats stats;
+            stats.count = 1 + rng.nextBounded(10);
+            stats.total_duration =
+                static_cast<SimTime>(rng.nextBounded(100000));
+            step.host_ops[name] = stats;
+        }
+        record.steps.push_back(std::move(step));
+    }
+    return record;
+}
+
+void
+expectEqualRecords(const ProfileRecord &a, const ProfileRecord &b)
+{
+    EXPECT_EQ(a.sequence, b.sequence);
+    EXPECT_EQ(a.window_begin, b.window_begin);
+    EXPECT_EQ(a.window_end, b.window_end);
+    EXPECT_EQ(a.event_count, b.event_count);
+    EXPECT_EQ(a.truncated, b.truncated);
+    EXPECT_DOUBLE_EQ(a.tpu_idle_fraction, b.tpu_idle_fraction);
+    EXPECT_DOUBLE_EQ(a.mxu_utilization, b.mxu_utilization);
+    ASSERT_EQ(a.steps.size(), b.steps.size());
+    for (std::size_t i = 0; i < a.steps.size(); ++i) {
+        const StepStats &x = a.steps[i];
+        const StepStats &y = b.steps[i];
+        EXPECT_EQ(x.step, y.step);
+        EXPECT_EQ(x.begin, y.begin);
+        EXPECT_EQ(x.end, y.end);
+        EXPECT_EQ(x.tpu_busy, y.tpu_busy);
+        EXPECT_EQ(x.tpu_idle, y.tpu_idle);
+        EXPECT_EQ(x.mxu_active, y.mxu_active);
+        ASSERT_EQ(x.tpu_ops.size(), y.tpu_ops.size());
+        for (const auto &[name, stats] : x.tpu_ops) {
+            ASSERT_TRUE(y.tpu_ops.count(name));
+            EXPECT_EQ(stats.count, y.tpu_ops.at(name).count);
+            EXPECT_EQ(stats.total_duration,
+                      y.tpu_ops.at(name).total_duration);
+        }
+        ASSERT_EQ(x.host_ops.size(), y.host_ops.size());
+    }
+}
+
+TEST(SerializeTest, RoundTripSingleRecord)
+{
+    Rng rng(1);
+    const ProfileRecord original = randomRecord(rng, 0);
+    std::stringstream buffer;
+    ProfileWriter writer(buffer);
+    writer.write(original);
+    EXPECT_EQ(writer.written(), 1u);
+
+    ProfileReader reader(buffer);
+    ProfileRecord decoded;
+    ASSERT_TRUE(reader.read(decoded));
+    expectEqualRecords(original, decoded);
+    ASSERT_FALSE(reader.read(decoded)); // clean EOF
+}
+
+TEST(SerializeTest, RoundTripManyRecordsFuzz)
+{
+    Rng rng(99);
+    std::vector<ProfileRecord> originals;
+    std::stringstream buffer;
+    ProfileWriter writer(buffer);
+    for (std::uint64_t i = 0; i < 25; ++i) {
+        originals.push_back(randomRecord(rng, i));
+        writer.write(originals.back());
+    }
+    ProfileReader reader(buffer);
+    const std::vector<ProfileRecord> decoded = reader.readAll();
+    ASSERT_EQ(decoded.size(), originals.size());
+    for (std::size_t i = 0; i < decoded.size(); ++i)
+        expectEqualRecords(originals[i], decoded[i]);
+}
+
+TEST(SerializeTest, BadMagicIsRejected)
+{
+    std::stringstream buffer;
+    buffer << "NOPExxxxxxxxxxxxxxxx";
+    EXPECT_THROW(ProfileReader reader(buffer),
+                 std::runtime_error);
+}
+
+TEST(SerializeTest, TruncatedStreamIsRejected)
+{
+    Rng rng(2);
+    std::stringstream buffer;
+    ProfileWriter writer(buffer);
+    writer.write(randomRecord(rng, 0));
+    std::string bytes = buffer.str();
+    bytes.resize(bytes.size() / 2);
+    std::stringstream truncated(bytes);
+    ProfileReader reader(truncated);
+    ProfileRecord record;
+    EXPECT_THROW(reader.read(record), std::runtime_error);
+}
+
+TEST(SerializeTest, JsonOutputContainsKeyFields)
+{
+    Rng rng(3);
+    const ProfileRecord record = randomRecord(rng, 7);
+    std::ostringstream out;
+    profileRecordToJson(record, out);
+    const std::string json = out.str();
+    EXPECT_NE(json.find("\"sequence\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"steps\""), std::string::npos);
+    EXPECT_NE(json.find("\"tpu_ops\""), std::string::npos);
+    EXPECT_NE(json.find("fusion"), std::string::npos);
+}
+
+} // namespace
+} // namespace tpupoint

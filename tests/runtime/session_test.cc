@@ -1,0 +1,200 @@
+/** @file End-to-end TrainingSession behaviour. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "profiler/collector.hh"
+#include "runtime/session.hh"
+#include "workloads/catalog.hh"
+
+namespace tpupoint {
+namespace {
+
+RuntimeWorkload
+smallWorkload(std::uint64_t steps = 50)
+{
+    WorkloadOptions options;
+    options.step_scale = 0.01;
+    options.max_train_steps = steps;
+    return makeWorkload(WorkloadId::DcganCifar10, options);
+}
+
+TEST(SessionTest, RunsToCompletion)
+{
+    Simulator sim;
+    const RuntimeWorkload w = smallWorkload();
+    TrainingSession session(sim, SessionConfig{}, w);
+    bool completed = false;
+    session.start([&] { completed = true; });
+    sim.run();
+    ASSERT_TRUE(completed);
+    ASSERT_TRUE(session.finished());
+    const SessionResult &r = session.result();
+    EXPECT_EQ(r.steps_completed, w.schedule.train_steps);
+    EXPECT_GT(r.wall_time, 0);
+    EXPECT_GT(r.train_window, 0);
+    EXPECT_LE(r.train_window, r.wall_time);
+    EXPECT_GT(r.tpu.busy, 0);
+    EXPECT_GE(r.tpu_idle_fraction, 0.0);
+    EXPECT_LE(r.tpu_idle_fraction, 1.0);
+    EXPECT_GT(r.mxu_utilization, 0.0);
+}
+
+TEST(SessionTest, ResultBeforeCompletionPanics)
+{
+    Simulator sim;
+    const RuntimeWorkload w = smallWorkload();
+    TrainingSession session(sim, SessionConfig{}, w);
+    EXPECT_THROW(session.result(), std::logic_error);
+}
+
+TEST(SessionTest, CheckpointsFollowInterval)
+{
+    Simulator sim;
+    const RuntimeWorkload w = smallWorkload(60);
+    TrainingSession session(sim, SessionConfig{}, w);
+    session.start(nullptr);
+    sim.run();
+    const auto &checkpoints = session.result().checkpoints;
+    // Checkpoints fire at host-loop granularity (the host only
+    // regains control between RunGraph loops, as TPUEstimator
+    // does): one save per loop that crossed an interval boundary,
+    // plus the final save.
+    const std::uint64_t loop =
+        std::max<std::uint64_t>(w.schedule.iterations_per_loop, 1);
+    const std::uint64_t effective_interval =
+        std::max(w.schedule.checkpoint_interval, loop);
+    const std::uint64_t lower =
+        w.schedule.train_steps / effective_interval;
+    const std::uint64_t upper = w.schedule.train_steps /
+        w.schedule.checkpoint_interval + 1;
+    EXPECT_GE(checkpoints.size(), lower);
+    EXPECT_LE(checkpoints.size(), upper);
+    EXPECT_GE(checkpoints.size(), 2u);
+    // Ascending by step.
+    for (std::size_t i = 1; i < checkpoints.size(); ++i)
+        EXPECT_GE(checkpoints[i].step, checkpoints[i - 1].step);
+}
+
+TEST(SessionTest, StopAtStepEndsEarly)
+{
+    Simulator sim;
+    const RuntimeWorkload w = smallWorkload(100);
+    SessionConfig config;
+    config.stop_at_step = 30;
+    TrainingSession session(sim, config, w);
+    session.start(nullptr);
+    sim.run();
+    EXPECT_EQ(session.result().steps_completed, 30u);
+}
+
+TEST(SessionTest, RestartFromCheckpointRunsRemainder)
+{
+    Simulator sim;
+    const RuntimeWorkload w = smallWorkload(100);
+    SessionConfig config;
+    config.start_step = 60;
+    TrainingSession session(sim, config, w);
+    session.start(nullptr);
+    sim.run();
+    EXPECT_EQ(session.result().steps_completed, 40u);
+}
+
+TEST(SessionTest, DeterministicAcrossRuns)
+{
+    const RuntimeWorkload w = smallWorkload();
+    auto run = [&]() {
+        Simulator sim;
+        TrainingSession session(sim, SessionConfig{}, w);
+        session.start(nullptr);
+        sim.run();
+        return session.result();
+    };
+    const SessionResult a = run();
+    const SessionResult b = run();
+    EXPECT_EQ(a.wall_time, b.wall_time);
+    EXPECT_EQ(a.tpu.busy, b.tpu.busy);
+    EXPECT_DOUBLE_EQ(a.mxu_utilization, b.mxu_utilization);
+}
+
+TEST(SessionTest, EventsFlowThroughTraceHub)
+{
+    Simulator sim;
+    const RuntimeWorkload w = smallWorkload();
+    TrainingSession session(sim, SessionConfig{}, w);
+    InMemoryTrace trace;
+    session.traceHub().attach(&trace);
+    session.start(nullptr);
+    sim.run();
+    EXPECT_GT(trace.events().size(), 100u);
+    EXPECT_EQ(session.traceHub().totalEvents(),
+              trace.events().size());
+
+    bool saw_host = false, saw_tpu = false;
+    for (const auto &event : trace.events()) {
+        saw_host |= event.device == EventDevice::Host;
+        saw_tpu |= event.device == EventDevice::Tpu;
+    }
+    EXPECT_TRUE(saw_host);
+    EXPECT_TRUE(saw_tpu);
+}
+
+TEST(SessionTest, StepCallbackSeesEveryStep)
+{
+    Simulator sim;
+    const RuntimeWorkload w = smallWorkload(40);
+    TrainingSession session(sim, SessionConfig{}, w);
+    std::uint64_t calls = 0;
+    StepId last = 0;
+    session.setStepCallback([&](StepId step, SimTime step_time) {
+        ++calls;
+        EXPECT_GT(step, last);
+        EXPECT_GT(step_time, 0);
+        last = step;
+    });
+    session.start(nullptr);
+    sim.run();
+    // Train steps plus eval steps all surface.
+    EXPECT_GE(calls, w.schedule.train_steps);
+}
+
+TEST(SessionTest, NaivePipelineIsSlower)
+{
+    const RuntimeWorkload w = smallWorkload(80);
+    auto run = [&](const PipelineConfig &pipeline) {
+        Simulator sim;
+        SessionConfig config;
+        config.pipeline = pipeline;
+        TrainingSession session(sim, config, w);
+        session.start(nullptr);
+        sim.run();
+        return session.result().wall_time;
+    };
+    EXPECT_LT(run(PipelineConfig{}),
+              run(PipelineConfig::naive()));
+}
+
+TEST(SessionTest, V3FasterOrEqualButLessUtilized)
+{
+    const RuntimeWorkload w = smallWorkload(80);
+    auto run = [&](TpuGeneration gen) {
+        Simulator sim;
+        SessionConfig config;
+        config.device = TpuDeviceSpec::forGeneration(gen);
+        TrainingSession session(sim, config, w);
+        session.start(nullptr);
+        sim.run();
+        return session.result();
+    };
+    const SessionResult v2 = run(TpuGeneration::V2);
+    const SessionResult v3 = run(TpuGeneration::V3);
+    EXPECT_LE(v3.wall_time, v2.wall_time);
+    // Observation 5 in miniature.
+    EXPECT_LT(v3.mxu_utilization, v2.mxu_utilization);
+    EXPECT_GT(v3.tpu_idle_fraction, v2.tpu_idle_fraction);
+}
+
+} // namespace
+} // namespace tpupoint

@@ -1,0 +1,167 @@
+/** @file Bounded producer/consumer channel semantics. */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/bounded_queue.hh"
+
+namespace tpupoint {
+namespace {
+
+TEST(BoundedQueueTest, ZeroCapacityIsRejected)
+{
+    Simulator sim;
+    EXPECT_THROW(BoundedQueue<int>(sim, 0), std::runtime_error);
+}
+
+TEST(BoundedQueueTest, PushThenPopDelivers)
+{
+    Simulator sim;
+    BoundedQueue<int> q(sim, 2);
+    bool accepted = false;
+    int got = 0;
+    q.push(42, [&] { accepted = true; });
+    q.pop([&](int v) { got = v; });
+    sim.run();
+    EXPECT_TRUE(accepted);
+    EXPECT_EQ(got, 42);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueueTest, PopBeforePushParksConsumer)
+{
+    Simulator sim;
+    BoundedQueue<int> q(sim, 1);
+    int got = 0;
+    q.pop([&](int v) { got = v; });
+    EXPECT_EQ(q.blockedConsumers(), 1u);
+    q.push(7, nullptr);
+    sim.run();
+    EXPECT_EQ(got, 7);
+    EXPECT_EQ(q.blockedConsumers(), 0u);
+}
+
+TEST(BoundedQueueTest, FullQueueParksProducer)
+{
+    Simulator sim;
+    BoundedQueue<int> q(sim, 1);
+    int accepted = 0;
+    q.push(1, [&] { ++accepted; });
+    q.push(2, [&] { ++accepted; });
+    sim.run();
+    EXPECT_EQ(accepted, 1);
+    EXPECT_EQ(q.blockedProducers(), 1u);
+    EXPECT_TRUE(q.full());
+
+    int got = 0;
+    q.pop([&](int v) { got = v; });
+    sim.run();
+    EXPECT_EQ(got, 1);
+    EXPECT_EQ(accepted, 2); // parked producer admitted
+    EXPECT_EQ(q.blockedProducers(), 0u);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BoundedQueueTest, FifoOrderPreserved)
+{
+    Simulator sim;
+    BoundedQueue<int> q(sim, 4);
+    for (int i = 0; i < 4; ++i)
+        q.push(i, nullptr);
+    std::vector<int> got;
+    for (int i = 0; i < 4; ++i)
+        q.pop([&](int v) { got.push_back(v); });
+    sim.run();
+    EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(BoundedQueueTest, InterleavedProducersAndConsumers)
+{
+    Simulator sim;
+    BoundedQueue<int> q(sim, 2);
+    std::vector<int> got;
+    // Producer chain: pushes 0..9 as fast as accepted.
+    std::function<void(int)> produce = [&](int i) {
+        if (i >= 10)
+            return;
+        q.push(i, [&produce, i] { produce(i + 1); });
+    };
+    // Consumer chain drains with a 5ns think time.
+    std::function<void()> consume = [&]() {
+        q.pop([&](int v) {
+            got.push_back(v);
+            if (v < 9)
+                sim.schedule(5, consume);
+        });
+    };
+    produce(0);
+    consume();
+    sim.run();
+    ASSERT_EQ(got.size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST(BoundedQueueTest, SetCapacityGrowAdmitsParkedProducers)
+{
+    Simulator sim;
+    BoundedQueue<int> q(sim, 1);
+    int accepted = 0;
+    q.push(1, [&] { ++accepted; });
+    q.push(2, [&] { ++accepted; });
+    q.push(3, [&] { ++accepted; });
+    sim.run();
+    EXPECT_EQ(accepted, 1);
+    q.setCapacity(3);
+    sim.run();
+    EXPECT_EQ(accepted, 3);
+    EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(BoundedQueueTest, SetCapacityShrinkDrainsNaturally)
+{
+    Simulator sim;
+    BoundedQueue<int> q(sim, 3);
+    for (int i = 0; i < 3; ++i)
+        q.push(i, nullptr);
+    sim.run();
+    q.setCapacity(1);
+    EXPECT_EQ(q.size(), 3u); // existing items stay
+    int got = -1;
+    q.pop([&](int v) { got = v; });
+    sim.run();
+    EXPECT_EQ(got, 0);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_TRUE(q.full()); // still above the new capacity
+}
+
+TEST(BoundedQueueTest, SetCapacityZeroRejected)
+{
+    Simulator sim;
+    BoundedQueue<int> q(sim, 1);
+    EXPECT_THROW(q.setCapacity(0), std::runtime_error);
+}
+
+TEST(BoundedQueueTest, StructPayloadSurvivesHandoff)
+{
+    struct Payload
+    {
+        int id;
+        std::vector<int> data;
+    };
+    Simulator sim;
+    BoundedQueue<Payload> q(sim, 1);
+    q.push(Payload{3, {1, 2, 3}}, nullptr);
+    Payload got{};
+    q.pop([&](Payload p) { got = std::move(p); });
+    sim.run();
+    EXPECT_EQ(got.id, 3);
+    EXPECT_EQ(got.data.size(), 3u);
+}
+
+} // namespace
+} // namespace tpupoint

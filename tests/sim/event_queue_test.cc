@@ -1,0 +1,106 @@
+/** @file Event-queue ordering, ties and cancellation. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace tpupoint {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.nextTime(), kTimeForever);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    while (!q.empty()) {
+        auto [when, fn] = q.pop();
+        fn();
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesFireInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.pop().second();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, CancelRemovesEvent)
+{
+    EventQueue q;
+    bool fired = false;
+    const EventId id = q.schedule(1, [&] { fired = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.cancel(id)); // second cancel is a no-op
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelMiddleEventSkipsIt)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1, [&] { order.push_back(1); });
+    const EventId id = q.schedule(2, [&] { order.push_back(2); });
+    q.schedule(3, [&] { order.push_back(3); });
+    q.cancel(id);
+    while (!q.empty())
+        q.pop().second();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled)
+{
+    EventQueue q;
+    const EventId early = q.schedule(1, [] {});
+    q.schedule(9, [] {});
+    q.cancel(early);
+    EXPECT_EQ(q.nextTime(), 9);
+}
+
+TEST(EventQueueTest, PopEmptyPanics)
+{
+    EventQueue q;
+    EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+TEST(EventQueueTest, NullCallbackPanics)
+{
+    EventQueue q;
+    EXPECT_THROW(q.schedule(0, EventQueue::Callback{}),
+                 std::logic_error);
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents)
+{
+    EventQueue q;
+    const EventId a = q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.size(), 1u);
+    q.pop();
+    EXPECT_EQ(q.size(), 0u);
+}
+
+} // namespace
+} // namespace tpupoint

@@ -1,0 +1,134 @@
+/**
+ * @file Randomized model-based tests: the event queue against a
+ * sorted reference, and the bounded queue against a plain deque
+ * model, under thousands of seeded random operations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/rng.hh"
+#include "sim/bounded_queue.hh"
+#include "sim/event_queue.hh"
+
+namespace tpupoint {
+namespace {
+
+/** EventQueue behaves like a stable sort by (time, insertion). */
+class EventQueueModelProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(EventQueueModelProperty, MatchesStableSortReference)
+{
+    Rng rng(GetParam());
+    EventQueue queue;
+    struct Expected
+    {
+        SimTime when;
+        std::uint64_t order;
+        int tag;
+        EventId id;
+        bool cancelled = false;
+    };
+    std::vector<Expected> reference;
+    std::vector<int> fired;
+
+    for (int i = 0; i < 500; ++i) {
+        const SimTime when =
+            static_cast<SimTime>(rng.nextBounded(100));
+        const int tag = i;
+        const EventId id = queue.schedule(
+            when, [&fired, tag] { fired.push_back(tag); });
+        reference.push_back(
+            {when, static_cast<std::uint64_t>(i), tag, id});
+    }
+    // Cancel ~20% at random.
+    for (auto &entry : reference) {
+        if (rng.bernoulli(0.2)) {
+            EXPECT_TRUE(queue.cancel(entry.id));
+            entry.cancelled = true;
+        }
+    }
+
+    while (!queue.empty())
+        queue.pop().second();
+
+    std::vector<Expected> live;
+    for (const auto &entry : reference)
+        if (!entry.cancelled)
+            live.push_back(entry);
+    std::stable_sort(live.begin(), live.end(),
+                     [](const Expected &a, const Expected &b) {
+                         return a.when < b.when;
+                     });
+    ASSERT_EQ(fired.size(), live.size());
+    for (std::size_t i = 0; i < live.size(); ++i)
+        EXPECT_EQ(fired[i], live[i].tag);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueModelProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21,
+                                           34));
+
+/** BoundedQueue delivers every item exactly once, in FIFO order,
+ * never holding more than its capacity. */
+class BoundedQueueModelProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BoundedQueueModelProperty, FifoExactlyOnceWithinCapacity)
+{
+    Rng rng(GetParam());
+    Simulator sim;
+    const std::size_t capacity = 1 + rng.nextBounded(5);
+    BoundedQueue<int> queue(sim, capacity);
+
+    const int total = 300;
+    std::vector<int> received;
+
+    // Producer: push items back to back; randomized think time.
+    std::function<void(int)> produce = [&](int value) {
+        if (value >= total)
+            return;
+        const SimTime think =
+            static_cast<SimTime>(rng.nextBounded(4));
+        sim.schedule(think, [&, value] {
+            queue.push(value,
+                       [&produce, value] { produce(value + 1); });
+        });
+    };
+    // Consumer: randomized service time.
+    std::function<void()> consume = [&]() {
+        queue.pop([&](int value) {
+            EXPECT_LE(queue.size(), capacity);
+            received.push_back(value);
+            if (static_cast<int>(received.size()) < total) {
+                const SimTime service =
+                    static_cast<SimTime>(rng.nextBounded(6));
+                sim.schedule(service, consume);
+            }
+        });
+    };
+    produce(0);
+    consume();
+    sim.run();
+
+    ASSERT_EQ(received.size(), static_cast<std::size_t>(total));
+    for (int i = 0; i < total; ++i)
+        EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundedQueueModelProperty,
+                         ::testing::Values(11, 22, 33, 44, 55,
+                                           66));
+
+} // namespace
+} // namespace tpupoint

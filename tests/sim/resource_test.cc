@@ -1,0 +1,85 @@
+/** @file Counted-resource acquisition semantics. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/resource.hh"
+
+namespace tpupoint {
+namespace {
+
+TEST(ResourceTest, ZeroUnitsRejected)
+{
+    Simulator sim;
+    EXPECT_THROW(Resource(sim, 0), std::runtime_error);
+}
+
+TEST(ResourceTest, GrantsUpToCapacity)
+{
+    Simulator sim;
+    Resource r(sim, 2);
+    int granted = 0;
+    r.acquire([&] { ++granted; });
+    r.acquire([&] { ++granted; });
+    r.acquire([&] { ++granted; });
+    sim.run();
+    EXPECT_EQ(granted, 2);
+    EXPECT_EQ(r.waiting(), 1u);
+    EXPECT_EQ(r.freeUnits(), 0u);
+}
+
+TEST(ResourceTest, ReleaseWakesOldestWaiter)
+{
+    Simulator sim;
+    Resource r(sim, 1);
+    std::vector<int> order;
+    r.acquire([&] { order.push_back(0); });
+    r.acquire([&] { order.push_back(1); });
+    r.acquire([&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0}));
+    r.release();
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    r.release();
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ResourceTest, OverReleasePanics)
+{
+    Simulator sim;
+    Resource r(sim, 1);
+    EXPECT_THROW(r.release(), std::logic_error);
+}
+
+TEST(ResourceTest, UseHoldsForDuration)
+{
+    Simulator sim;
+    Resource r(sim, 1);
+    SimTime first_done = 0, second_done = 0;
+    r.use(100, [&] { first_done = sim.now(); });
+    r.use(50, [&] { second_done = sim.now(); });
+    sim.run();
+    EXPECT_EQ(first_done, 100);
+    // The second use waits for the first to release.
+    EXPECT_EQ(second_done, 150);
+    EXPECT_EQ(r.freeUnits(), 1u);
+}
+
+TEST(ResourceTest, ParallelUnitsOverlap)
+{
+    Simulator sim;
+    Resource r(sim, 2);
+    SimTime a = 0, b = 0;
+    r.use(100, [&] { a = sim.now(); });
+    r.use(100, [&] { b = sim.now(); });
+    sim.run();
+    EXPECT_EQ(a, 100);
+    EXPECT_EQ(b, 100); // ran concurrently on two units
+}
+
+} // namespace
+} // namespace tpupoint

@@ -1,0 +1,109 @@
+/** @file Simulator clock semantics. */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace tpupoint {
+namespace {
+
+TEST(SimulatorTest, ClockAdvancesToEventTimes)
+{
+    Simulator sim;
+    std::vector<SimTime> seen;
+    sim.schedule(100, [&] { seen.push_back(sim.now()); });
+    sim.schedule(50, [&] { seen.push_back(sim.now()); });
+    const auto executed = sim.run();
+    EXPECT_EQ(executed, 2u);
+    EXPECT_EQ(seen, (std::vector<SimTime>{50, 100}));
+    EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    std::function<void()> chain = [&]() {
+        ++fired;
+        if (fired < 5)
+            sim.schedule(10, chain);
+    };
+    sim.schedule(10, chain);
+    sim.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(10, [&] { ++fired; });
+    sim.schedule(20, [&] { ++fired; });
+    sim.schedule(30, [&] { ++fired; });
+    const auto executed = sim.runUntil(20);
+    EXPECT_EQ(executed, 2u); // deadline-stamped events still run
+    EXPECT_EQ(sim.now(), 20);
+    EXPECT_FALSE(sim.idle());
+    sim.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, StopInterruptsRun)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(1, [&] {
+        ++fired;
+        sim.stop();
+    });
+    sim.schedule(2, [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    // A later run resumes the remaining events.
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, NegativeDelayPanics)
+{
+    Simulator sim;
+    EXPECT_THROW(sim.schedule(-1, [] {}), std::logic_error);
+}
+
+TEST(SimulatorTest, ScheduleAtPastPanics)
+{
+    Simulator sim;
+    sim.schedule(100, [] {});
+    sim.run();
+    EXPECT_THROW(sim.scheduleAt(50, [] {}), std::logic_error);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution)
+{
+    Simulator sim;
+    bool fired = false;
+    const EventId id = sim.schedule(5, [&] { fired = true; });
+    EXPECT_TRUE(sim.cancel(id));
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, EventsExecutedAccumulates)
+{
+    Simulator sim;
+    for (int i = 0; i < 7; ++i)
+        sim.schedule(i, [] {});
+    sim.run();
+    EXPECT_EQ(sim.eventsExecuted(), 7u);
+    sim.schedule(1, [] {});
+    sim.run();
+    EXPECT_EQ(sim.eventsExecuted(), 8u);
+}
+
+} // namespace
+} // namespace tpupoint

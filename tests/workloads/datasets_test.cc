@@ -1,0 +1,85 @@
+/** @file Dataset catalog fidelity to Table I. */
+
+#include <gtest/gtest.h>
+
+#include "core/types.hh"
+#include "workloads/datasets.hh"
+
+namespace tpupoint {
+namespace {
+
+TEST(DatasetsTest, SizesMatchTableOne)
+{
+    EXPECT_EQ(datasets::squad().total_bytes,
+              static_cast<std::uint64_t>(422.27 * kMiB));
+    EXPECT_EQ(datasets::mrpc().total_bytes,
+              static_cast<std::uint64_t>(2.85 * kMiB));
+    EXPECT_EQ(datasets::mnli().total_bytes,
+              static_cast<std::uint64_t>(430.61 * kMiB));
+    EXPECT_EQ(datasets::cola().total_bytes,
+              static_cast<std::uint64_t>(1.44 * kMiB));
+    EXPECT_EQ(datasets::cifar10().total_bytes,
+              static_cast<std::uint64_t>(178.87 * kMiB));
+    EXPECT_EQ(datasets::mnist().total_bytes,
+              static_cast<std::uint64_t>(56.21 * kMiB));
+    EXPECT_EQ(datasets::coco().total_bytes,
+              static_cast<std::uint64_t>(48.49 * kGiB));
+    EXPECT_EQ(datasets::imagenet().total_bytes,
+              static_cast<std::uint64_t>(143.38 * kGiB));
+}
+
+TEST(DatasetsTest, KindsMatchContent)
+{
+    EXPECT_EQ(datasets::squad().kind,
+              DatasetKind::TokenizedText);
+    EXPECT_EQ(datasets::cifar10().kind, DatasetKind::RawImages);
+    EXPECT_EQ(datasets::coco().kind, DatasetKind::JpegImages);
+    EXPECT_EQ(datasets::imagenet().kind,
+              DatasetKind::JpegImages);
+}
+
+TEST(DatasetsTest, ReducedVariantsAreHalved)
+{
+    const DatasetSpec full = datasets::squad();
+    const DatasetSpec half = datasets::squadHalf();
+    EXPECT_EQ(half.total_bytes, full.total_bytes / 2);
+    EXPECT_EQ(half.num_examples, full.num_examples / 2);
+    // Per-example character is unchanged.
+    EXPECT_EQ(half.exampleBytes(), full.exampleBytes());
+
+    const DatasetSpec coco_half = datasets::cocoHalf();
+    EXPECT_EQ(coco_half.total_bytes,
+              datasets::coco().total_bytes / 2);
+}
+
+TEST(DatasetsTest, JpegDatasetsExpandOnDecode)
+{
+    EXPECT_GT(datasets::coco().decode_expansion, 1.0);
+    EXPECT_GT(datasets::imagenet().decodedExampleBytes(),
+              datasets::imagenet().exampleBytes());
+    EXPECT_DOUBLE_EQ(datasets::cifar10().decode_expansion, 1.0);
+}
+
+TEST(DatasetsTest, CocoIsTheNoisiest)
+{
+    // Object-detection inputs vary the most per example.
+    EXPECT_GT(datasets::coco().cost_sigma,
+              datasets::imagenet().cost_sigma);
+    EXPECT_GT(datasets::imagenet().cost_sigma,
+              datasets::squad().cost_sigma);
+}
+
+TEST(DatasetsTest, ExampleBytesAreReasonable)
+{
+    // ImageNet averages ~115 KiB per JPEG.
+    const std::uint64_t imagenet_example =
+        datasets::imagenet().exampleBytes();
+    EXPECT_GT(imagenet_example, 80 * kKiB);
+    EXPECT_LT(imagenet_example, 200 * kKiB);
+    // COCO images are larger (~430 KiB).
+    EXPECT_GT(datasets::coco().exampleBytes(),
+              imagenet_example);
+}
+
+} // namespace
+} // namespace tpupoint

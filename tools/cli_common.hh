@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared argument parsing for the command-line tools.
+ */
+
+#ifndef TPUPOINT_TOOLS_CLI_COMMON_HH
+#define TPUPOINT_TOOLS_CLI_COMMON_HH
+
+#include <string>
+
+#include "analyzer/analyzer.hh"
+#include "workloads/catalog.hh"
+
+namespace tpupoint {
+namespace cli {
+
+/** Map a CLI workload name to its id; false when unknown. */
+inline bool
+parseWorkload(const std::string &name, WorkloadId *id)
+{
+    if (name == "bert-mrpc")
+        *id = WorkloadId::BertMrpc;
+    else if (name == "bert-squad")
+        *id = WorkloadId::BertSquad;
+    else if (name == "bert-cola")
+        *id = WorkloadId::BertCola;
+    else if (name == "bert-mnli")
+        *id = WorkloadId::BertMnli;
+    else if (name == "dcgan-cifar10")
+        *id = WorkloadId::DcganCifar10;
+    else if (name == "dcgan-mnist")
+        *id = WorkloadId::DcganMnist;
+    else if (name == "qanet")
+        *id = WorkloadId::QanetSquad;
+    else if (name == "qanet-half")
+        *id = WorkloadId::QanetSquadHalf;
+    else if (name == "retinanet")
+        *id = WorkloadId::RetinanetCoco;
+    else if (name == "retinanet-half")
+        *id = WorkloadId::RetinanetCocoHalf;
+    else if (name == "resnet")
+        *id = WorkloadId::ResnetImagenet;
+    else if (name == "resnet-cifar10")
+        *id = WorkloadId::ResnetCifar10;
+    else
+        return false;
+    return true;
+}
+
+/** Map a CLI algorithm name to the analyzer enum. */
+inline bool
+parseAlgorithm(const std::string &name, PhaseAlgorithm *algorithm)
+{
+    if (name == "ols")
+        *algorithm = PhaseAlgorithm::OnlineLinearScan;
+    else if (name == "kmeans")
+        *algorithm = PhaseAlgorithm::KMeans;
+    else if (name == "dbscan")
+        *algorithm = PhaseAlgorithm::Dbscan;
+    else
+        return false;
+    return true;
+}
+
+} // namespace cli
+} // namespace tpupoint
+
+#endif // TPUPOINT_TOOLS_CLI_COMMON_HH

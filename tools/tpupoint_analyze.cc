@@ -1,0 +1,156 @@
+/**
+ * @file
+ * `tpupoint-analyze`: the offline half of the toolchain. Reads a
+ * binary profile written by `tpupoint-profile` (or
+ * TpuPointProfiler::writeRecords), runs TPUPoint-Analyzer with the
+ * chosen phase detector, prints the phase summary and writes the
+ * chrome://tracing JSON, phase CSV and analysis JSON next to the
+ * input.
+ *
+ * Usage:
+ *   tpupoint-analyze PROFILE [options]
+ *     --algorithm ols|kmeans|dbscan       (default ols)
+ *     --threshold F       OLS similarity threshold (default 0.70)
+ *     --k N               fixed k for k-means (default: 1..15 sweep)
+ *     --min-samples N     fixed DBSCAN min-samples (default: sweep)
+ *     --out BASE          output base path (default: PROFILE)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "analyzer/visualization.hh"
+#include "core/strings.hh"
+#include "proto/serialize.hh"
+#include "tools/cli_common.hh"
+
+using namespace tpupoint;
+
+namespace {
+
+std::vector<CheckpointInfo>
+loadCheckpoints(const std::string &path)
+{
+    std::vector<CheckpointInfo> out;
+    std::ifstream in(path);
+    CheckpointInfo info;
+    while (in >> info.step >> info.saved_at >> info.bytes)
+        out.push_back(info);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: tpupoint-analyze PROFILE "
+                     "[--algorithm ols|kmeans|dbscan] "
+                     "[--threshold F] [--k N] "
+                     "[--min-samples N] [--out BASE]\n");
+        return 2;
+    }
+    const std::string profile_path = argv[1];
+    std::string out_base = profile_path;
+    AnalyzerOptions options;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--algorithm") {
+            if (!cli::parseAlgorithm(next(),
+                                     &options.algorithm)) {
+                std::fprintf(stderr, "unknown algorithm\n");
+                return 2;
+            }
+        } else if (arg == "--threshold") {
+            options.ols_threshold = std::atof(next());
+        } else if (arg == "--k") {
+            options.kmeans_fixed_k = std::atoi(next());
+        } else if (arg == "--min-samples") {
+            options.dbscan_fixed_min_samples =
+                static_cast<std::size_t>(std::atoll(next()));
+        } else if (arg == "--out") {
+            out_base = next();
+        } else {
+            std::fprintf(stderr, "unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    std::ifstream in(profile_path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n",
+                     profile_path.c_str());
+        return 1;
+    }
+    ProfileReader reader(in);
+    const std::vector<ProfileRecord> records = reader.readAll();
+    const auto checkpoints =
+        loadCheckpoints(profile_path + ".checkpoints");
+    std::printf("loaded %zu profile records, %zu checkpoints\n",
+                records.size(), checkpoints.size());
+
+    const AnalysisResult analysis =
+        TpuPointAnalyzer(options).analyze(records, checkpoints);
+
+    std::printf("\n%s: %zu steps -> %zu phases (top-3 coverage "
+                "%.1f%%)\n",
+                phaseAlgorithmName(analysis.algorithm),
+                analysis.table.size(), analysis.phases.size(),
+                100 * analysis.top3_coverage);
+    for (const auto *phase : phasesByDuration(analysis.phases)) {
+        std::printf("  phase %d%s: steps %llu..%llu, %zu steps, "
+                    "%s\n",
+                    phase->id, phase->is_noise ? " (noise)" : "",
+                    static_cast<unsigned long long>(
+                        phase->first_step),
+                    static_cast<unsigned long long>(
+                        phase->last_step),
+                    phase->size(),
+                    formatDuration(
+                        phase->total_duration).c_str());
+    }
+    const Phase *longest = analysis.longest();
+    if (longest) {
+        std::printf("\nlongest phase — top TPU ops:");
+        for (const auto &op : topOps(longest->tpu_ops, 5))
+            std::printf(" %s(%.0f%%)", op.name.c_str(),
+                        100 * op.share);
+        std::printf("\nlongest phase — top host ops:");
+        for (const auto &op : topOps(longest->host_ops, 5))
+            std::printf(" %s(%.0f%%)", op.name.c_str(),
+                        100 * op.share);
+        std::printf("\n");
+    }
+
+    {
+        std::ofstream out(out_base + ".trace.json");
+        writeChromeTrace(analysis, records, out);
+    }
+    {
+        std::ofstream out(out_base + ".phases.csv");
+        writePhaseCsv(analysis, out);
+    }
+    {
+        std::ofstream out(out_base + ".summary.json");
+        writeAnalysisJson(analysis, out);
+    }
+    std::printf("\nwrote %s.trace.json, %s.phases.csv, "
+                "%s.summary.json\n",
+                out_base.c_str(), out_base.c_str(),
+                out_base.c_str());
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * `tpupoint-compare`: compare two saved profiles (e.g. the same
+ * workload on TPUv2 and TPUv3, or before/after a pipeline change):
+ * phase counts, whether the top TPU operator is consistent, and
+ * the operator-share deltas of the longest phases — the Table II /
+ * Observation 5 view of two runs.
+ *
+ * Usage:
+ *   tpupoint-compare PROFILE_A PROFILE_B [--label-a X]
+ *                    [--label-b Y] [--algorithm ols|kmeans|dbscan]
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analyzer/compare.hh"
+#include "proto/serialize.hh"
+#include "tools/cli_common.hh"
+
+using namespace tpupoint;
+
+namespace {
+
+std::vector<ProfileRecord>
+loadProfile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        std::exit(1);
+    }
+    ProfileReader reader(in);
+    return reader.readAll();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: tpupoint-compare PROFILE_A PROFILE_B"
+                     " [--label-a X] [--label-b Y]"
+                     " [--algorithm ols|kmeans|dbscan]\n");
+        return 2;
+    }
+    const std::string path_a = argv[1];
+    const std::string path_b = argv[2];
+    std::string label_a = path_a;
+    std::string label_b = path_b;
+    AnalyzerOptions options;
+
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--label-a") {
+            label_a = next();
+        } else if (arg == "--label-b") {
+            label_b = next();
+        } else if (arg == "--algorithm") {
+            if (!cli::parseAlgorithm(next(),
+                                     &options.algorithm)) {
+                std::fprintf(stderr, "unknown algorithm\n");
+                return 2;
+            }
+        } else {
+            std::fprintf(stderr, "unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    const TpuPointAnalyzer analyzer(options);
+    const AnalysisResult a = analyzer.analyze(loadProfile(path_a));
+    const AnalysisResult b = analyzer.analyze(loadProfile(path_b));
+    const AnalysisComparison comparison =
+        compareAnalyses(a, b, label_a, label_b);
+    writeComparison(comparison, std::cout);
+
+    const auto movers = comparison.movers(0.05);
+    if (!movers.empty()) {
+        std::printf("\noperators moving >= 5 pp:\n");
+        for (const auto &delta : movers) {
+            std::printf("  %-30s %+5.1f pp\n",
+                        delta.name.c_str(),
+                        100 * delta.delta());
+        }
+    }
+    return 0;
+}

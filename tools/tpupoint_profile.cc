@@ -1,0 +1,126 @@
+/**
+ * @file
+ * `tpupoint-profile`: run one catalog workload under
+ * TPUPoint-Profiler and write the binary profile (plus the
+ * checkpoint registry) to disk — the front half of the toolchain,
+ * separated so profiles can be analyzed offline (and repeatedly)
+ * with `tpupoint-analyze`.
+ *
+ * Usage:
+ *   tpupoint-profile [options]
+ *     --workload NAME   bert-mrpc|bert-squad|bert-cola|bert-mnli|
+ *                       dcgan-cifar10|dcgan-mnist|qanet|retinanet|
+ *                       resnet|resnet-cifar10        (default dcgan)
+ *     --tpu v2|v3       TPU generation               (default v2)
+ *     --scale F         step-scale factor            (default 0.05)
+ *     --naive           use the naive pipeline configuration
+ *     --out PATH        output profile path (default tpupoint.profile)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "profiler/profiler.hh"
+#include "proto/serialize.hh"
+#include "runtime/session.hh"
+#include "tools/cli_common.hh"
+#include "workloads/catalog.hh"
+
+using namespace tpupoint;
+
+int
+main(int argc, char **argv)
+{
+    std::string workload_name = "dcgan-cifar10";
+    std::string tpu = "v2";
+    std::string out_path = "tpupoint.profile";
+    double scale = 0.05;
+    bool naive = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload_name = next();
+        } else if (arg == "--tpu") {
+            tpu = next();
+        } else if (arg == "--scale") {
+            scale = std::atof(next());
+        } else if (arg == "--naive") {
+            naive = true;
+        } else if (arg == "--out") {
+            out_path = next();
+        } else {
+            std::fprintf(stderr, "unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    WorkloadId id;
+    if (!cli::parseWorkload(workload_name, &id)) {
+        std::fprintf(stderr, "unknown workload '%s'\n",
+                     workload_name.c_str());
+        return 2;
+    }
+
+    WorkloadOptions options;
+    options.step_scale = scale;
+    const RuntimeWorkload workload = makeWorkload(id, options);
+
+    Simulator sim;
+    SessionConfig config;
+    config.device = tpu == "v3" ? TpuDeviceSpec::v3()
+                                : TpuDeviceSpec::v2();
+    if (naive)
+        config.pipeline = PipelineConfig::naive();
+
+    std::printf("profiling %s on %s (%llu train steps%s)...\n",
+                workload.name.c_str(), config.device.name.c_str(),
+                static_cast<unsigned long long>(
+                    workload.schedule.train_steps),
+                naive ? ", naive pipeline" : "");
+
+    TrainingSession session(sim, config, workload);
+    TpuPointProfiler profiler(sim, session);
+    profiler.start(/*analyzer=*/true);
+    session.start(nullptr);
+    sim.run();
+    profiler.stop();
+
+    const SessionResult &result = session.result();
+    std::printf("done: wall %.1f s, idle %.1f%%, MXU %.1f%%, "
+                "%zu profile records\n",
+                toSeconds(result.wall_time),
+                100 * result.tpu_idle_fraction,
+                100 * result.mxu_utilization,
+                profiler.records().size());
+
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    profiler.writeRecords(out);
+
+    // Checkpoint registry alongside, for phase fast-forwarding.
+    std::ofstream ckpt_out(out_path + ".checkpoints");
+    for (const auto &info :
+         session.checkpoints().checkpoints()) {
+        ckpt_out << info.step << ' ' << info.saved_at << ' '
+                 << info.bytes << '\n';
+    }
+    std::printf("wrote %s and %s.checkpoints\n", out_path.c_str(),
+                out_path.c_str());
+    return 0;
+}
