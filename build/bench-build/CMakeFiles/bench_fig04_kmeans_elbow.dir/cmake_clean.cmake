@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_kmeans_elbow"
+  "../bench/bench_fig04_kmeans_elbow.pdb"
+  "CMakeFiles/bench_fig04_kmeans_elbow.dir/bench_fig04_kmeans_elbow.cc.o"
+  "CMakeFiles/bench_fig04_kmeans_elbow.dir/bench_fig04_kmeans_elbow.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_kmeans_elbow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_dbscan_noise"
+  "../bench/bench_fig05_dbscan_noise.pdb"
+  "CMakeFiles/bench_fig05_dbscan_noise.dir/bench_fig05_dbscan_noise.cc.o"
+  "CMakeFiles/bench_fig05_dbscan_noise.dir/bench_fig05_dbscan_noise.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_dbscan_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_coverage_ols"
+  "../bench/bench_fig07_coverage_ols.pdb"
+  "CMakeFiles/bench_fig07_coverage_ols.dir/bench_fig07_coverage_ols.cc.o"
+  "CMakeFiles/bench_fig07_coverage_ols.dir/bench_fig07_coverage_ols.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_coverage_ols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_coverage_dbscan"
+  "../bench/bench_fig08_coverage_dbscan.pdb"
+  "CMakeFiles/bench_fig08_coverage_dbscan.dir/bench_fig08_coverage_dbscan.cc.o"
+  "CMakeFiles/bench_fig08_coverage_dbscan.dir/bench_fig08_coverage_dbscan.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_coverage_dbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_coverage_kmeans"
+  "../bench/bench_fig09_coverage_kmeans.pdb"
+  "CMakeFiles/bench_fig09_coverage_kmeans.dir/bench_fig09_coverage_kmeans.cc.o"
+  "CMakeFiles/bench_fig09_coverage_kmeans.dir/bench_fig09_coverage_kmeans.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_coverage_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_mxu_util.cc" "bench-build/CMakeFiles/bench_fig11_mxu_util.dir/bench_fig11_mxu_util.cc.o" "gcc" "bench-build/CMakeFiles/bench_fig11_mxu_util.dir/bench_fig11_mxu_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/tpupoint_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/tpupoint_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/tpupoint_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/tpupoint_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tpupoint_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/tpupoint_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/tpupoint_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpu/CMakeFiles/tpupoint_tpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpupoint_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/tpupoint_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tpupoint_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tpupoint_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

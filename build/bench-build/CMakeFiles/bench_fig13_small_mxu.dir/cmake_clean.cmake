@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_small_mxu"
+  "../bench/bench_fig13_small_mxu.pdb"
+  "CMakeFiles/bench_fig13_small_mxu.dir/bench_fig13_small_mxu.cc.o"
+  "CMakeFiles/bench_fig13_small_mxu.dir/bench_fig13_small_mxu.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_small_mxu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_optimized_idle"
+  "../bench/bench_fig15_optimized_idle.pdb"
+  "CMakeFiles/bench_fig15_optimized_idle.dir/bench_fig15_optimized_idle.cc.o"
+  "CMakeFiles/bench_fig15_optimized_idle.dir/bench_fig15_optimized_idle.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_optimized_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpupoint_bench_common.dir/common.cc.o"
+  "CMakeFiles/tpupoint_bench_common.dir/common.cc.o.d"
+  "libtpupoint_bench_common.a"
+  "libtpupoint_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpupoint_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/analyze_workload"
+  "../examples/analyze_workload.pdb"
+  "CMakeFiles/analyze_workload.dir/analyze_workload.cpp.o"
+  "CMakeFiles/analyze_workload.dir/analyze_workload.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

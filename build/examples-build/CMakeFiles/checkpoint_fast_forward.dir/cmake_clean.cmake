@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/checkpoint_fast_forward"
+  "../examples/checkpoint_fast_forward.pdb"
+  "CMakeFiles/checkpoint_fast_forward.dir/checkpoint_fast_forward.cpp.o"
+  "CMakeFiles/checkpoint_fast_forward.dir/checkpoint_fast_forward.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_fast_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/compare_generations"
+  "../examples/compare_generations.pdb"
+  "CMakeFiles/compare_generations.dir/compare_generations.cpp.o"
+  "CMakeFiles/compare_generations.dir/compare_generations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

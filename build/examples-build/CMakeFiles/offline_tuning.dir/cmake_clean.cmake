@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/offline_tuning"
+  "../examples/offline_tuning.pdb"
+  "CMakeFiles/offline_tuning.dir/offline_tuning.cpp.o"
+  "CMakeFiles/offline_tuning.dir/offline_tuning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

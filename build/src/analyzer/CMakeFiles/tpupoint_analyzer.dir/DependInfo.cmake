@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyzer/analyzer.cc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/analyzer.cc.o" "gcc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/analyzer.cc.o.d"
+  "/root/repo/src/analyzer/compare.cc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/compare.cc.o" "gcc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/compare.cc.o.d"
+  "/root/repo/src/analyzer/dbscan.cc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/dbscan.cc.o" "gcc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/dbscan.cc.o.d"
+  "/root/repo/src/analyzer/elbow.cc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/elbow.cc.o" "gcc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/elbow.cc.o.d"
+  "/root/repo/src/analyzer/features.cc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/features.cc.o" "gcc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/features.cc.o.d"
+  "/root/repo/src/analyzer/kmeans.cc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/kmeans.cc.o" "gcc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/kmeans.cc.o.d"
+  "/root/repo/src/analyzer/ols.cc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/ols.cc.o" "gcc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/ols.cc.o.d"
+  "/root/repo/src/analyzer/pca.cc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/pca.cc.o" "gcc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/pca.cc.o.d"
+  "/root/repo/src/analyzer/phases.cc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/phases.cc.o" "gcc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/phases.cc.o.d"
+  "/root/repo/src/analyzer/step_table.cc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/step_table.cc.o" "gcc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/step_table.cc.o.d"
+  "/root/repo/src/analyzer/visualization.cc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/visualization.cc.o" "gcc" "src/analyzer/CMakeFiles/tpupoint_analyzer.dir/visualization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tpupoint_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/tpupoint_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/tpupoint_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpu/CMakeFiles/tpupoint_tpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tpupoint_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpupoint_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpupoint_analyzer.dir/analyzer.cc.o"
+  "CMakeFiles/tpupoint_analyzer.dir/analyzer.cc.o.d"
+  "CMakeFiles/tpupoint_analyzer.dir/compare.cc.o"
+  "CMakeFiles/tpupoint_analyzer.dir/compare.cc.o.d"
+  "CMakeFiles/tpupoint_analyzer.dir/dbscan.cc.o"
+  "CMakeFiles/tpupoint_analyzer.dir/dbscan.cc.o.d"
+  "CMakeFiles/tpupoint_analyzer.dir/elbow.cc.o"
+  "CMakeFiles/tpupoint_analyzer.dir/elbow.cc.o.d"
+  "CMakeFiles/tpupoint_analyzer.dir/features.cc.o"
+  "CMakeFiles/tpupoint_analyzer.dir/features.cc.o.d"
+  "CMakeFiles/tpupoint_analyzer.dir/kmeans.cc.o"
+  "CMakeFiles/tpupoint_analyzer.dir/kmeans.cc.o.d"
+  "CMakeFiles/tpupoint_analyzer.dir/ols.cc.o"
+  "CMakeFiles/tpupoint_analyzer.dir/ols.cc.o.d"
+  "CMakeFiles/tpupoint_analyzer.dir/pca.cc.o"
+  "CMakeFiles/tpupoint_analyzer.dir/pca.cc.o.d"
+  "CMakeFiles/tpupoint_analyzer.dir/phases.cc.o"
+  "CMakeFiles/tpupoint_analyzer.dir/phases.cc.o.d"
+  "CMakeFiles/tpupoint_analyzer.dir/step_table.cc.o"
+  "CMakeFiles/tpupoint_analyzer.dir/step_table.cc.o.d"
+  "CMakeFiles/tpupoint_analyzer.dir/visualization.cc.o"
+  "CMakeFiles/tpupoint_analyzer.dir/visualization.cc.o.d"
+  "libtpupoint_analyzer.a"
+  "libtpupoint_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpupoint_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/csv.cc" "src/core/CMakeFiles/tpupoint_core.dir/csv.cc.o" "gcc" "src/core/CMakeFiles/tpupoint_core.dir/csv.cc.o.d"
+  "/root/repo/src/core/json.cc" "src/core/CMakeFiles/tpupoint_core.dir/json.cc.o" "gcc" "src/core/CMakeFiles/tpupoint_core.dir/json.cc.o.d"
+  "/root/repo/src/core/logging.cc" "src/core/CMakeFiles/tpupoint_core.dir/logging.cc.o" "gcc" "src/core/CMakeFiles/tpupoint_core.dir/logging.cc.o.d"
+  "/root/repo/src/core/math.cc" "src/core/CMakeFiles/tpupoint_core.dir/math.cc.o" "gcc" "src/core/CMakeFiles/tpupoint_core.dir/math.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/core/CMakeFiles/tpupoint_core.dir/rng.cc.o" "gcc" "src/core/CMakeFiles/tpupoint_core.dir/rng.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/tpupoint_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/tpupoint_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/strings.cc" "src/core/CMakeFiles/tpupoint_core.dir/strings.cc.o" "gcc" "src/core/CMakeFiles/tpupoint_core.dir/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpupoint_core.dir/csv.cc.o"
+  "CMakeFiles/tpupoint_core.dir/csv.cc.o.d"
+  "CMakeFiles/tpupoint_core.dir/json.cc.o"
+  "CMakeFiles/tpupoint_core.dir/json.cc.o.d"
+  "CMakeFiles/tpupoint_core.dir/logging.cc.o"
+  "CMakeFiles/tpupoint_core.dir/logging.cc.o.d"
+  "CMakeFiles/tpupoint_core.dir/math.cc.o"
+  "CMakeFiles/tpupoint_core.dir/math.cc.o.d"
+  "CMakeFiles/tpupoint_core.dir/rng.cc.o"
+  "CMakeFiles/tpupoint_core.dir/rng.cc.o.d"
+  "CMakeFiles/tpupoint_core.dir/stats.cc.o"
+  "CMakeFiles/tpupoint_core.dir/stats.cc.o.d"
+  "CMakeFiles/tpupoint_core.dir/strings.cc.o"
+  "CMakeFiles/tpupoint_core.dir/strings.cc.o.d"
+  "libtpupoint_core.a"
+  "libtpupoint_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpupoint_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

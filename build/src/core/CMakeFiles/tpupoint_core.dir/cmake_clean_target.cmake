@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtpupoint_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cc" "src/graph/CMakeFiles/tpupoint_graph.dir/builder.cc.o" "gcc" "src/graph/CMakeFiles/tpupoint_graph.dir/builder.cc.o.d"
+  "/root/repo/src/graph/fusion.cc" "src/graph/CMakeFiles/tpupoint_graph.dir/fusion.cc.o" "gcc" "src/graph/CMakeFiles/tpupoint_graph.dir/fusion.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/tpupoint_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/tpupoint_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/op.cc" "src/graph/CMakeFiles/tpupoint_graph.dir/op.cc.o" "gcc" "src/graph/CMakeFiles/tpupoint_graph.dir/op.cc.o.d"
+  "/root/repo/src/graph/schedule.cc" "src/graph/CMakeFiles/tpupoint_graph.dir/schedule.cc.o" "gcc" "src/graph/CMakeFiles/tpupoint_graph.dir/schedule.cc.o.d"
+  "/root/repo/src/graph/tensor.cc" "src/graph/CMakeFiles/tpupoint_graph.dir/tensor.cc.o" "gcc" "src/graph/CMakeFiles/tpupoint_graph.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tpupoint_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

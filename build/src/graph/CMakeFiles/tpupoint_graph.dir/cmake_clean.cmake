@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpupoint_graph.dir/builder.cc.o"
+  "CMakeFiles/tpupoint_graph.dir/builder.cc.o.d"
+  "CMakeFiles/tpupoint_graph.dir/fusion.cc.o"
+  "CMakeFiles/tpupoint_graph.dir/fusion.cc.o.d"
+  "CMakeFiles/tpupoint_graph.dir/graph.cc.o"
+  "CMakeFiles/tpupoint_graph.dir/graph.cc.o.d"
+  "CMakeFiles/tpupoint_graph.dir/op.cc.o"
+  "CMakeFiles/tpupoint_graph.dir/op.cc.o.d"
+  "CMakeFiles/tpupoint_graph.dir/schedule.cc.o"
+  "CMakeFiles/tpupoint_graph.dir/schedule.cc.o.d"
+  "CMakeFiles/tpupoint_graph.dir/tensor.cc.o"
+  "CMakeFiles/tpupoint_graph.dir/tensor.cc.o.d"
+  "libtpupoint_graph.a"
+  "libtpupoint_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpupoint_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

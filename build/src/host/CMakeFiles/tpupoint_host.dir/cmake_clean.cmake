@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpupoint_host.dir/checkpoint.cc.o"
+  "CMakeFiles/tpupoint_host.dir/checkpoint.cc.o.d"
+  "CMakeFiles/tpupoint_host.dir/infeed.cc.o"
+  "CMakeFiles/tpupoint_host.dir/infeed.cc.o.d"
+  "CMakeFiles/tpupoint_host.dir/pipeline.cc.o"
+  "CMakeFiles/tpupoint_host.dir/pipeline.cc.o.d"
+  "CMakeFiles/tpupoint_host.dir/spec.cc.o"
+  "CMakeFiles/tpupoint_host.dir/spec.cc.o.d"
+  "CMakeFiles/tpupoint_host.dir/storage.cc.o"
+  "CMakeFiles/tpupoint_host.dir/storage.cc.o.d"
+  "libtpupoint_host.a"
+  "libtpupoint_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpupoint_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

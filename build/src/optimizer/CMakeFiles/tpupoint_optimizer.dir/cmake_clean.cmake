@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpupoint_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/tpupoint_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/tpupoint_optimizer.dir/parameters.cc.o"
+  "CMakeFiles/tpupoint_optimizer.dir/parameters.cc.o.d"
+  "CMakeFiles/tpupoint_optimizer.dir/program_analysis.cc.o"
+  "CMakeFiles/tpupoint_optimizer.dir/program_analysis.cc.o.d"
+  "CMakeFiles/tpupoint_optimizer.dir/quality.cc.o"
+  "CMakeFiles/tpupoint_optimizer.dir/quality.cc.o.d"
+  "CMakeFiles/tpupoint_optimizer.dir/trial.cc.o"
+  "CMakeFiles/tpupoint_optimizer.dir/trial.cc.o.d"
+  "CMakeFiles/tpupoint_optimizer.dir/tuner.cc.o"
+  "CMakeFiles/tpupoint_optimizer.dir/tuner.cc.o.d"
+  "libtpupoint_optimizer.a"
+  "libtpupoint_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpupoint_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpupoint_profiler.dir/collector.cc.o"
+  "CMakeFiles/tpupoint_profiler.dir/collector.cc.o.d"
+  "CMakeFiles/tpupoint_profiler.dir/profiler.cc.o"
+  "CMakeFiles/tpupoint_profiler.dir/profiler.cc.o.d"
+  "libtpupoint_profiler.a"
+  "libtpupoint_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpupoint_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

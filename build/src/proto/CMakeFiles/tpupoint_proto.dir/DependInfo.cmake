@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/record.cc" "src/proto/CMakeFiles/tpupoint_proto.dir/record.cc.o" "gcc" "src/proto/CMakeFiles/tpupoint_proto.dir/record.cc.o.d"
+  "/root/repo/src/proto/serialize.cc" "src/proto/CMakeFiles/tpupoint_proto.dir/serialize.cc.o" "gcc" "src/proto/CMakeFiles/tpupoint_proto.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tpupoint_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tpupoint_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpupoint_proto.dir/record.cc.o"
+  "CMakeFiles/tpupoint_proto.dir/record.cc.o.d"
+  "CMakeFiles/tpupoint_proto.dir/serialize.cc.o"
+  "CMakeFiles/tpupoint_proto.dir/serialize.cc.o.d"
+  "libtpupoint_proto.a"
+  "libtpupoint_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpupoint_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpupoint_runtime.dir/session.cc.o"
+  "CMakeFiles/tpupoint_runtime.dir/session.cc.o.d"
+  "libtpupoint_runtime.a"
+  "libtpupoint_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpupoint_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpupoint_sim.dir/event_queue.cc.o"
+  "CMakeFiles/tpupoint_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/tpupoint_sim.dir/simulator.cc.o"
+  "CMakeFiles/tpupoint_sim.dir/simulator.cc.o.d"
+  "libtpupoint_sim.a"
+  "libtpupoint_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpupoint_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

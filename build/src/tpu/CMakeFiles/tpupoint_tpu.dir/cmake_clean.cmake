@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpupoint_tpu.dir/core.cc.o"
+  "CMakeFiles/tpupoint_tpu.dir/core.cc.o.d"
+  "CMakeFiles/tpupoint_tpu.dir/spec.cc.o"
+  "CMakeFiles/tpupoint_tpu.dir/spec.cc.o.d"
+  "CMakeFiles/tpupoint_tpu.dir/timing.cc.o"
+  "CMakeFiles/tpupoint_tpu.dir/timing.cc.o.d"
+  "libtpupoint_tpu.a"
+  "libtpupoint_tpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpupoint_tpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

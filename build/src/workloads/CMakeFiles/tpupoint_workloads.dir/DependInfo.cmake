@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/backbone.cc" "src/workloads/CMakeFiles/tpupoint_workloads.dir/backbone.cc.o" "gcc" "src/workloads/CMakeFiles/tpupoint_workloads.dir/backbone.cc.o.d"
+  "/root/repo/src/workloads/catalog.cc" "src/workloads/CMakeFiles/tpupoint_workloads.dir/catalog.cc.o" "gcc" "src/workloads/CMakeFiles/tpupoint_workloads.dir/catalog.cc.o.d"
+  "/root/repo/src/workloads/datasets.cc" "src/workloads/CMakeFiles/tpupoint_workloads.dir/datasets.cc.o" "gcc" "src/workloads/CMakeFiles/tpupoint_workloads.dir/datasets.cc.o.d"
+  "/root/repo/src/workloads/layers.cc" "src/workloads/CMakeFiles/tpupoint_workloads.dir/layers.cc.o" "gcc" "src/workloads/CMakeFiles/tpupoint_workloads.dir/layers.cc.o.d"
+  "/root/repo/src/workloads/model_bert.cc" "src/workloads/CMakeFiles/tpupoint_workloads.dir/model_bert.cc.o" "gcc" "src/workloads/CMakeFiles/tpupoint_workloads.dir/model_bert.cc.o.d"
+  "/root/repo/src/workloads/model_dcgan.cc" "src/workloads/CMakeFiles/tpupoint_workloads.dir/model_dcgan.cc.o" "gcc" "src/workloads/CMakeFiles/tpupoint_workloads.dir/model_dcgan.cc.o.d"
+  "/root/repo/src/workloads/model_qanet.cc" "src/workloads/CMakeFiles/tpupoint_workloads.dir/model_qanet.cc.o" "gcc" "src/workloads/CMakeFiles/tpupoint_workloads.dir/model_qanet.cc.o.d"
+  "/root/repo/src/workloads/model_resnet.cc" "src/workloads/CMakeFiles/tpupoint_workloads.dir/model_resnet.cc.o" "gcc" "src/workloads/CMakeFiles/tpupoint_workloads.dir/model_resnet.cc.o.d"
+  "/root/repo/src/workloads/model_retinanet.cc" "src/workloads/CMakeFiles/tpupoint_workloads.dir/model_retinanet.cc.o" "gcc" "src/workloads/CMakeFiles/tpupoint_workloads.dir/model_retinanet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tpupoint_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tpupoint_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/tpupoint_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tpupoint_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpu/CMakeFiles/tpupoint_tpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpupoint_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/tpupoint_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

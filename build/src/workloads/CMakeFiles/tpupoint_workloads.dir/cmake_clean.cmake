@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpupoint_workloads.dir/backbone.cc.o"
+  "CMakeFiles/tpupoint_workloads.dir/backbone.cc.o.d"
+  "CMakeFiles/tpupoint_workloads.dir/catalog.cc.o"
+  "CMakeFiles/tpupoint_workloads.dir/catalog.cc.o.d"
+  "CMakeFiles/tpupoint_workloads.dir/datasets.cc.o"
+  "CMakeFiles/tpupoint_workloads.dir/datasets.cc.o.d"
+  "CMakeFiles/tpupoint_workloads.dir/layers.cc.o"
+  "CMakeFiles/tpupoint_workloads.dir/layers.cc.o.d"
+  "CMakeFiles/tpupoint_workloads.dir/model_bert.cc.o"
+  "CMakeFiles/tpupoint_workloads.dir/model_bert.cc.o.d"
+  "CMakeFiles/tpupoint_workloads.dir/model_dcgan.cc.o"
+  "CMakeFiles/tpupoint_workloads.dir/model_dcgan.cc.o.d"
+  "CMakeFiles/tpupoint_workloads.dir/model_qanet.cc.o"
+  "CMakeFiles/tpupoint_workloads.dir/model_qanet.cc.o.d"
+  "CMakeFiles/tpupoint_workloads.dir/model_resnet.cc.o"
+  "CMakeFiles/tpupoint_workloads.dir/model_resnet.cc.o.d"
+  "CMakeFiles/tpupoint_workloads.dir/model_retinanet.cc.o"
+  "CMakeFiles/tpupoint_workloads.dir/model_retinanet.cc.o.d"
+  "libtpupoint_workloads.a"
+  "libtpupoint_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpupoint_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyzer_test.dir/analyzer/analyzer_facade_test.cc.o"
+  "CMakeFiles/analyzer_test.dir/analyzer/analyzer_facade_test.cc.o.d"
+  "CMakeFiles/analyzer_test.dir/analyzer/compare_test.cc.o"
+  "CMakeFiles/analyzer_test.dir/analyzer/compare_test.cc.o.d"
+  "CMakeFiles/analyzer_test.dir/analyzer/dbscan_test.cc.o"
+  "CMakeFiles/analyzer_test.dir/analyzer/dbscan_test.cc.o.d"
+  "CMakeFiles/analyzer_test.dir/analyzer/elbow_test.cc.o"
+  "CMakeFiles/analyzer_test.dir/analyzer/elbow_test.cc.o.d"
+  "CMakeFiles/analyzer_test.dir/analyzer/features_test.cc.o"
+  "CMakeFiles/analyzer_test.dir/analyzer/features_test.cc.o.d"
+  "CMakeFiles/analyzer_test.dir/analyzer/kmeans_test.cc.o"
+  "CMakeFiles/analyzer_test.dir/analyzer/kmeans_test.cc.o.d"
+  "CMakeFiles/analyzer_test.dir/analyzer/ols_test.cc.o"
+  "CMakeFiles/analyzer_test.dir/analyzer/ols_test.cc.o.d"
+  "CMakeFiles/analyzer_test.dir/analyzer/pca_test.cc.o"
+  "CMakeFiles/analyzer_test.dir/analyzer/pca_test.cc.o.d"
+  "CMakeFiles/analyzer_test.dir/analyzer/phases_test.cc.o"
+  "CMakeFiles/analyzer_test.dir/analyzer/phases_test.cc.o.d"
+  "CMakeFiles/analyzer_test.dir/analyzer/step_table_test.cc.o"
+  "CMakeFiles/analyzer_test.dir/analyzer/step_table_test.cc.o.d"
+  "CMakeFiles/analyzer_test.dir/analyzer/visualization_test.cc.o"
+  "CMakeFiles/analyzer_test.dir/analyzer/visualization_test.cc.o.d"
+  "analyzer_test"
+  "analyzer_test.pdb"
+  "analyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_test.dir/optimizer/optimizer_facade_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/optimizer_facade_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/optimizer/parameters_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/parameters_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/optimizer/program_analysis_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/program_analysis_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/optimizer/quality_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/quality_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/optimizer/trial_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/trial_test.cc.o.d"
+  "CMakeFiles/optimizer_test.dir/optimizer/tuner_test.cc.o"
+  "CMakeFiles/optimizer_test.dir/optimizer/tuner_test.cc.o.d"
+  "optimizer_test"
+  "optimizer_test.pdb"
+  "optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/platform/checkpoint_test.cc" "tests/CMakeFiles/platform_test.dir/platform/checkpoint_test.cc.o" "gcc" "tests/CMakeFiles/platform_test.dir/platform/checkpoint_test.cc.o.d"
+  "/root/repo/tests/platform/failure_injection_test.cc" "tests/CMakeFiles/platform_test.dir/platform/failure_injection_test.cc.o" "gcc" "tests/CMakeFiles/platform_test.dir/platform/failure_injection_test.cc.o.d"
+  "/root/repo/tests/platform/infeed_test.cc" "tests/CMakeFiles/platform_test.dir/platform/infeed_test.cc.o" "gcc" "tests/CMakeFiles/platform_test.dir/platform/infeed_test.cc.o.d"
+  "/root/repo/tests/platform/pipeline_test.cc" "tests/CMakeFiles/platform_test.dir/platform/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/platform_test.dir/platform/pipeline_test.cc.o.d"
+  "/root/repo/tests/platform/storage_test.cc" "tests/CMakeFiles/platform_test.dir/platform/storage_test.cc.o" "gcc" "tests/CMakeFiles/platform_test.dir/platform/storage_test.cc.o.d"
+  "/root/repo/tests/platform/tpu_core_test.cc" "tests/CMakeFiles/platform_test.dir/platform/tpu_core_test.cc.o" "gcc" "tests/CMakeFiles/platform_test.dir/platform/tpu_core_test.cc.o.d"
+  "/root/repo/tests/platform/tpu_spec_test.cc" "tests/CMakeFiles/platform_test.dir/platform/tpu_spec_test.cc.o" "gcc" "tests/CMakeFiles/platform_test.dir/platform/tpu_spec_test.cc.o.d"
+  "/root/repo/tests/platform/tpu_timing_test.cc" "tests/CMakeFiles/platform_test.dir/platform/tpu_timing_test.cc.o" "gcc" "tests/CMakeFiles/platform_test.dir/platform/tpu_timing_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/tpupoint_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/tpupoint_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/tpupoint_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/tpupoint_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/tpupoint_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/tpupoint_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpu/CMakeFiles/tpupoint_tpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tpupoint_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/tpupoint_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tpupoint_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tpupoint_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_test.dir/platform/checkpoint_test.cc.o"
+  "CMakeFiles/platform_test.dir/platform/checkpoint_test.cc.o.d"
+  "CMakeFiles/platform_test.dir/platform/failure_injection_test.cc.o"
+  "CMakeFiles/platform_test.dir/platform/failure_injection_test.cc.o.d"
+  "CMakeFiles/platform_test.dir/platform/infeed_test.cc.o"
+  "CMakeFiles/platform_test.dir/platform/infeed_test.cc.o.d"
+  "CMakeFiles/platform_test.dir/platform/pipeline_test.cc.o"
+  "CMakeFiles/platform_test.dir/platform/pipeline_test.cc.o.d"
+  "CMakeFiles/platform_test.dir/platform/storage_test.cc.o"
+  "CMakeFiles/platform_test.dir/platform/storage_test.cc.o.d"
+  "CMakeFiles/platform_test.dir/platform/tpu_core_test.cc.o"
+  "CMakeFiles/platform_test.dir/platform/tpu_core_test.cc.o.d"
+  "CMakeFiles/platform_test.dir/platform/tpu_spec_test.cc.o"
+  "CMakeFiles/platform_test.dir/platform/tpu_spec_test.cc.o.d"
+  "CMakeFiles/platform_test.dir/platform/tpu_timing_test.cc.o"
+  "CMakeFiles/platform_test.dir/platform/tpu_timing_test.cc.o.d"
+  "platform_test"
+  "platform_test.pdb"
+  "platform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

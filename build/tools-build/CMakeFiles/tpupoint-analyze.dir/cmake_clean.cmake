@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/tpupoint-analyze"
+  "../tools/tpupoint-analyze.pdb"
+  "CMakeFiles/tpupoint-analyze.dir/tpupoint_analyze.cc.o"
+  "CMakeFiles/tpupoint-analyze.dir/tpupoint_analyze.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpupoint-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/tpupoint-compare"
+  "../tools/tpupoint-compare.pdb"
+  "CMakeFiles/tpupoint-compare.dir/tpupoint_compare.cc.o"
+  "CMakeFiles/tpupoint-compare.dir/tpupoint_compare.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpupoint-compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/tpupoint-profile"
+  "../tools/tpupoint-profile.pdb"
+  "CMakeFiles/tpupoint-profile.dir/tpupoint_profile.cc.o"
+  "CMakeFiles/tpupoint-profile.dir/tpupoint_profile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpupoint-profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
