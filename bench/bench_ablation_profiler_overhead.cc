@@ -22,17 +22,20 @@ main()
     std::printf("%-16s %12s %12s %10s %10s\n", "Workload",
                 "unprofiled", "profiled", "overhead",
                 "records");
-    for (const WorkloadId id : allWorkloads()) {
-        const RuntimeWorkload w = benchutil::buildScaled(id);
-        const SessionResult plain =
-            benchutil::plainRun(w, TpuGeneration::V2);
-        const auto profiled =
-            benchutil::profiledRun(w, TpuGeneration::V2);
+    const std::vector<WorkloadId> ids = allWorkloads();
+    const auto plain_runs =
+        benchutil::plainSweep(ids, TpuGeneration::V2);
+    const auto profiled_runs =
+        benchutil::profiledSweep(ids, TpuGeneration::V2);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        const SessionResult &plain = plain_runs[i];
+        const auto &profiled = profiled_runs[i];
         const double overhead =
             static_cast<double>(profiled.result.wall_time) /
                 static_cast<double>(plain.wall_time) - 1.0;
         std::printf("%-16s %11.2fs %11.2fs %9.2f%% %10zu\n",
-                    workloadName(id), toSeconds(plain.wall_time),
+                    workloadName(ids[i]),
+                    toSeconds(plain.wall_time),
                     toSeconds(profiled.result.wall_time),
                     100 * overhead, profiled.records.size());
     }

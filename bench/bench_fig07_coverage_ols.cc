@@ -20,10 +20,12 @@ main()
 
     std::printf("%-16s %8s %10s %10s %10s %10s\n", "Workload",
                 "phases", "phase1", "phase2", "phase3", "top3");
-    for (const WorkloadId id : allWorkloads()) {
-        const RuntimeWorkload w = benchutil::buildScaled(id);
-        const auto run =
-            benchutil::profiledRun(w, TpuGeneration::V2);
+    const std::vector<WorkloadId> ids = allWorkloads();
+    const auto runs =
+        benchutil::profiledSweep(ids, TpuGeneration::V2);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        const WorkloadId id = ids[i];
+        const auto &run = runs[i];
 
         AnalyzerOptions options;
         options.algorithm = PhaseAlgorithm::OnlineLinearScan;
@@ -36,9 +38,9 @@ main()
             total += phase.total_duration;
         const auto sorted = phasesByDuration(analysis.phases);
         double shares[3] = {0, 0, 0};
-        for (std::size_t i = 0; i < sorted.size() && i < 3; ++i) {
-            shares[i] = total ? static_cast<double>(
-                sorted[i]->total_duration) /
+        for (std::size_t s = 0; s < sorted.size() && s < 3; ++s) {
+            shares[s] = total ? static_cast<double>(
+                sorted[s]->total_duration) /
                 static_cast<double>(total) : 0.0;
         }
         std::printf("%-16s %8zu %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n",

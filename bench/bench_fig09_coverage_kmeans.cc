@@ -21,10 +21,12 @@ main()
 
     std::printf("%-16s %8s %10s\n", "Workload", "clusters",
                 "top3");
-    for (const WorkloadId id : allWorkloads()) {
-        const RuntimeWorkload w = benchutil::buildScaled(id);
-        const auto run =
-            benchutil::profiledRun(w, TpuGeneration::V2);
+    const std::vector<WorkloadId> ids = allWorkloads();
+    const auto runs =
+        benchutil::profiledSweep(ids, TpuGeneration::V2);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        const WorkloadId id = ids[i];
+        const auto &run = runs[i];
 
         AnalyzerOptions options;
         options.algorithm = PhaseAlgorithm::KMeans;

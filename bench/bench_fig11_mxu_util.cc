@@ -22,13 +22,15 @@ main()
                 "TPUv3");
     double sum_v2 = 0, sum_v3 = 0;
     int count = 0;
-    for (const WorkloadId id : allWorkloads()) {
-        const RuntimeWorkload w = benchutil::buildScaled(id);
-        const SessionResult v2 =
-            benchutil::plainRun(w, TpuGeneration::V2);
-        const SessionResult v3 =
-            benchutil::plainRun(w, TpuGeneration::V3);
-        std::printf("%-16s %9.2f%% %9.2f%%\n", workloadName(id),
+    const std::vector<WorkloadId> ids = allWorkloads();
+    const auto v2_runs =
+        benchutil::plainSweep(ids, TpuGeneration::V2);
+    const auto v3_runs =
+        benchutil::plainSweep(ids, TpuGeneration::V3);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        const SessionResult &v2 = v2_runs[i];
+        const SessionResult &v3 = v3_runs[i];
+        std::printf("%-16s %9.2f%% %9.2f%%\n", workloadName(ids[i]),
                     100 * v2.mxu_utilization,
                     100 * v3.mxu_utilization);
         sum_v2 += v2.mxu_utilization;

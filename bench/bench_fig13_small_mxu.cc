@@ -19,32 +19,29 @@ main()
                       "datasets",
                       "Figure 13 + Observation 6");
 
-    const std::pair<WorkloadId, WorkloadId> pairs[] = {
-        {WorkloadId::QanetSquad, WorkloadId::QanetSquadHalf},
-        {WorkloadId::RetinanetCoco,
-         WorkloadId::RetinanetCocoHalf},
-        {WorkloadId::ResnetImagenet, WorkloadId::ResnetCifar10},
+    // Full/reduced pairs, flattened so one sweep per generation
+    // covers all six runs.
+    const std::vector<WorkloadId> ids = {
+        WorkloadId::QanetSquad, WorkloadId::QanetSquadHalf,
+        WorkloadId::RetinanetCoco, WorkloadId::RetinanetCocoHalf,
+        WorkloadId::ResnetImagenet, WorkloadId::ResnetCifar10,
     };
+    const auto v2_runs =
+        benchutil::plainSweep(ids, TpuGeneration::V2);
+    const auto v3_runs =
+        benchutil::plainSweep(ids, TpuGeneration::V3);
 
     std::printf("%-18s %12s %12s %12s %12s\n", "Workload",
                 "v2 full", "v2 reduced", "v3 full", "v3 reduced");
-    for (const auto &[full_id, reduced_id] : pairs) {
-        const RuntimeWorkload full =
-            benchutil::buildScaled(full_id);
-        const RuntimeWorkload reduced =
-            benchutil::buildScaled(reduced_id);
-        const double v2_full = benchutil::plainRun(
-            full, TpuGeneration::V2).mxu_utilization;
-        const double v2_small = benchutil::plainRun(
-            reduced, TpuGeneration::V2).mxu_utilization;
-        const double v3_full = benchutil::plainRun(
-            full, TpuGeneration::V3).mxu_utilization;
-        const double v3_small = benchutil::plainRun(
-            reduced, TpuGeneration::V3).mxu_utilization;
+    for (std::size_t pair = 0; pair < ids.size() / 2; ++pair) {
+        const std::size_t full = 2 * pair;
+        const std::size_t reduced = 2 * pair + 1;
         std::printf("%-18s %11.2f%% %11.2f%% %11.2f%% %11.2f%%\n",
-                    workloadName(reduced_id), 100 * v2_full,
-                    100 * v2_small, 100 * v3_full,
-                    100 * v3_small);
+                    workloadName(ids[reduced]),
+                    100 * v2_runs[full].mxu_utilization,
+                    100 * v2_runs[reduced].mxu_utilization,
+                    100 * v3_runs[full].mxu_utilization,
+                    100 * v3_runs[reduced].mxu_utilization);
     }
     std::printf("\nPaper: all models lose MXU utilization on the "
                 "reduced datasets (Observation 6).\n");

@@ -24,11 +24,10 @@ std::map<std::string, int> host_tally_v2, tpu_tally_v2;
 std::map<std::string, int> host_tally_v3, tpu_tally_v3;
 
 void
-analyzeOne(WorkloadId id, TpuGeneration generation)
+analyzeOne(WorkloadId id, TpuGeneration generation,
+           const benchutil::RunOutput &run)
 {
     const bool is_v2 = generation == TpuGeneration::V2;
-    const RuntimeWorkload w = benchutil::buildScaled(id);
-    const auto run = benchutil::profiledRun(w, generation);
 
     const PhaseAlgorithm algorithms[] = {
         PhaseAlgorithm::KMeans, PhaseAlgorithm::Dbscan,
@@ -111,9 +110,16 @@ main()
                       "70%)",
                       "Table II + Observations 3-5");
 
-    for (const WorkloadId id : allWorkloads()) {
-        analyzeOne(id, TpuGeneration::V2);
-        analyzeOne(id, TpuGeneration::V3);
+    // Both generations profile in one parallel sweep each; the
+    // tallying stays serial so the printed order is unchanged.
+    const std::vector<WorkloadId> ids = allWorkloads();
+    const auto v2_runs =
+        benchutil::profiledSweep(ids, TpuGeneration::V2);
+    const auto v3_runs =
+        benchutil::profiledSweep(ids, TpuGeneration::V3);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        analyzeOne(ids[i], TpuGeneration::V2, v2_runs[i]);
+        analyzeOne(ids[i], TpuGeneration::V3, v3_runs[i]);
     }
 
     printTally("Host operations", host_tally_v2, host_tally_v3);

@@ -1,10 +1,12 @@
 #include "bench/common.hh"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/logging.hh"
 #include "core/strings.hh"
 #include "profiler/profiler.hh"
+#include "runtime/sweep.hh"
 
 namespace tpupoint {
 namespace benchutil {
@@ -75,6 +77,69 @@ plainRun(const RuntimeWorkload &workload, TpuGeneration generation,
     session.start(nullptr);
     sim.run();
     return session.result();
+}
+
+unsigned
+sweepThreads()
+{
+    if (const char *env = std::getenv("TPUPOINT_SWEEP_THREADS")) {
+        const long parsed = std::atol(env);
+        if (parsed > 0)
+            return static_cast<unsigned>(parsed);
+    }
+    return 0; // 0 = let SweepRunner pick hardware concurrency.
+}
+
+namespace {
+
+std::vector<SweepOutcome>
+sweep(const std::vector<WorkloadId> &ids, TpuGeneration generation,
+      const PipelineConfig &pipeline, bool profile)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(ids.size());
+    for (const WorkloadId id : ids) {
+        SweepJob job;
+        job.workload = buildScaled(id);
+        job.config.device =
+            TpuDeviceSpec::forGeneration(generation);
+        job.config.pipeline = pipeline;
+        job.profile = profile;
+        jobs.push_back(std::move(job));
+    }
+    SweepOptions options;
+    options.threads = sweepThreads();
+    return SweepRunner(options).run(jobs);
+}
+
+} // namespace
+
+std::vector<RunOutput>
+profiledSweep(const std::vector<WorkloadId> &ids,
+              TpuGeneration generation,
+              const PipelineConfig &pipeline)
+{
+    auto outcomes = sweep(ids, generation, pipeline, true);
+    std::vector<RunOutput> outputs(outcomes.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        outputs[i].result = outcomes[i].result;
+        outputs[i].records = std::move(outcomes[i].records);
+        outputs[i].checkpoints =
+            std::move(outcomes[i].checkpoints);
+    }
+    return outputs;
+}
+
+std::vector<SessionResult>
+plainSweep(const std::vector<WorkloadId> &ids,
+           TpuGeneration generation,
+           const PipelineConfig &pipeline)
+{
+    auto outcomes = sweep(ids, generation, pipeline, false);
+    std::vector<SessionResult> results(outcomes.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i)
+        results[i] = outcomes[i].result;
+    return results;
 }
 
 void

@@ -53,6 +53,24 @@ SessionResult plainRun(const RuntimeWorkload &workload,
                        const PipelineConfig &pipeline =
                            PipelineConfig{});
 
+/**
+ * Worker threads for bench sweeps: TPUPOINT_SWEEP_THREADS if set,
+ * else hardware concurrency. The thread count never changes the
+ * numbers a bench prints — sweeps are bit-deterministic — only how
+ * long the bench takes.
+ */
+unsigned sweepThreads();
+
+/** One profiled run per workload, in parallel, in input order. */
+std::vector<RunOutput> profiledSweep(
+    const std::vector<WorkloadId> &ids, TpuGeneration generation,
+    const PipelineConfig &pipeline = PipelineConfig{});
+
+/** One plain run per workload, in parallel, in input order. */
+std::vector<SessionResult> plainSweep(
+    const std::vector<WorkloadId> &ids, TpuGeneration generation,
+    const PipelineConfig &pipeline = PipelineConfig{});
+
 /** Print the standard bench banner. */
 void banner(const std::string &title,
             const std::string &paper_reference);

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build and run the full test suite, first
+# plain and then instrumented with AddressSanitizer
+# (TPUPOINT_SANITIZE=address). Usage:
+#   scripts/ci.sh [extra cmake args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run_suite() {
+    local build_dir=$1
+    shift
+    echo "== configuring ${build_dir} ($*)"
+    cmake -B "${build_dir}" -S . "$@"
+    echo "== building ${build_dir}"
+    cmake --build "${build_dir}" -j "${jobs}"
+    echo "== testing ${build_dir}"
+    ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+}
+
+run_suite build "$@"
+run_suite build-asan -DTPUPOINT_SANITIZE=address "$@"
+
+echo "== ci passed"

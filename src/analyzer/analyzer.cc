@@ -22,14 +22,30 @@ TpuPointAnalyzer::TpuPointAnalyzer(const AnalyzerOptions &options)
 {
 }
 
-AnalysisResult
-TpuPointAnalyzer::analyze(
-    const std::vector<ProfileRecord> &records,
-    const std::vector<CheckpointInfo> &checkpoints) const
+AnalysisSession::AnalysisSession(const AnalyzerOptions &options)
+    : opts(options)
 {
+}
+
+void
+AnalysisSession::ingest(const ProfileRecord &record)
+{
+    if (finalized)
+        panic("AnalysisSession::ingest after finalize");
+    builder.ingest(record);
+}
+
+AnalysisResult
+AnalysisSession::finalize(
+    const std::vector<CheckpointInfo> &checkpoints)
+{
+    if (finalized)
+        panic("AnalysisSession::finalize called twice");
+    finalized = true;
+
     AnalysisResult result;
     result.algorithm = opts.algorithm;
-    result.table = StepTable::fromRecords(records);
+    result.table = std::move(builder).build();
     if (result.table.size() == 0)
         return result;
 
@@ -120,6 +136,17 @@ TpuPointAnalyzer::analyze(
         }
     }
     return result;
+}
+
+AnalysisResult
+TpuPointAnalyzer::analyze(
+    const std::vector<ProfileRecord> &records,
+    const std::vector<CheckpointInfo> &checkpoints) const
+{
+    AnalysisSession session(opts);
+    for (const auto &record : records)
+        session.ingest(record);
+    return session.finalize(checkpoints);
 }
 
 } // namespace tpupoint

@@ -91,6 +91,44 @@ struct AnalysisResult
 };
 
 /**
+ * One incremental analysis: records are ingested as they arrive
+ * from the streaming profile reader (or straight off the live
+ * profiler), so step aggregation overlaps record arrival and the
+ * record list never has to be materialized. finalize() runs the
+ * phase detector over the aggregated table.
+ */
+class AnalysisSession
+{
+  public:
+    explicit AnalysisSession(const AnalyzerOptions &options = {});
+
+    /** Fold one profile record into the session. */
+    void ingest(const ProfileRecord &record);
+
+    /** Records ingested so far. */
+    std::uint64_t recordsIngested() const
+    {
+        return builder.recordsIngested();
+    }
+
+    /**
+     * Run phase detection over everything ingested. The session
+     * is consumed; a fresh one is needed for another analysis.
+     * @param checkpoints The run's checkpoint registry, used for
+     *     phase/checkpoint association (may be empty).
+     */
+    AnalysisResult finalize(
+        const std::vector<CheckpointInfo> &checkpoints = {});
+
+    const AnalyzerOptions &options() const { return opts; }
+
+  private:
+    AnalyzerOptions opts;
+    StepTableBuilder builder;
+    bool finalized = false;
+};
+
+/**
  * The analyzer. Stateless across runs; analyze() is const apart
  * from seeding.
  */
@@ -100,7 +138,8 @@ class TpuPointAnalyzer
     explicit TpuPointAnalyzer(const AnalyzerOptions &options = {});
 
     /**
-     * Full post-execution analysis of @p records.
+     * Full post-execution analysis of @p records: a thin wrapper
+     * that feeds an AnalysisSession and finalizes it.
      * @param checkpoints The run's checkpoint registry, used for
      *     phase/checkpoint association (may be empty).
      */

@@ -8,24 +8,41 @@
 
 namespace tpupoint {
 
-StepTable
-StepTable::fromRecords(const std::vector<ProfileRecord> &records)
+void
+StepTableBuilder::ingest(const StepStats &step)
 {
     // A step can span profile windows; merge duplicates.
-    std::map<StepId, StepStats> merged;
-    for (const auto &record : records) {
-        for (const auto &step : record.steps) {
-            auto [it, inserted] = merged.try_emplace(step.step,
-                                                     step);
-            if (!inserted)
-                it->second.merge(step);
-        }
-    }
+    auto [it, inserted] = merged.try_emplace(step.step, step);
+    if (!inserted)
+        it->second.merge(step);
+}
+
+void
+StepTableBuilder::ingest(const ProfileRecord &record)
+{
+    for (const auto &step : record.steps)
+        ingest(step);
+    ++records_seen;
+}
+
+StepTable
+StepTableBuilder::build() &&
+{
     StepTable table;
     table.rows.reserve(merged.size());
     for (auto &[id, stats] : merged)
         table.rows.push_back(std::move(stats));
+    merged.clear();
     return table;
+}
+
+StepTable
+StepTable::fromRecords(const std::vector<ProfileRecord> &records)
+{
+    StepTableBuilder builder;
+    for (const auto &record : records)
+        builder.ingest(record);
+    return std::move(builder).build();
 }
 
 const StepStats &

@@ -9,12 +9,44 @@
 #ifndef TPUPOINT_ANALYZER_STEP_TABLE_HH
 #define TPUPOINT_ANALYZER_STEP_TABLE_HH
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "proto/record.hh"
 
 namespace tpupoint {
+
+class StepTable;
+
+/**
+ * Incremental step aggregation: records are folded in one at a
+ * time as they arrive from the streaming reader, so the table can
+ * be built while the profile is still being read (or recorded)
+ * without materializing the record list.
+ */
+class StepTableBuilder
+{
+  public:
+    /** Fold one profile record into the aggregation. */
+    void ingest(const ProfileRecord &record);
+
+    /** Fold one step summary into the aggregation. */
+    void ingest(const StepStats &step);
+
+    /** Records folded in so far. */
+    std::uint64_t recordsIngested() const { return records_seen; }
+
+    /** Steps aggregated so far. */
+    std::size_t stepsAggregated() const { return merged.size(); }
+
+    /** Finish aggregation; the builder is consumed. */
+    StepTable build() &&;
+
+  private:
+    std::map<StepId, StepStats> merged;
+    std::uint64_t records_seen = 0;
+};
 
 /**
  * Per-step statistics aggregated across every profile window,
@@ -23,7 +55,7 @@ namespace tpupoint {
 class StepTable
 {
   public:
-    /** Merge all records into a table. */
+    /** Merge all records into a table (one-shot builder). */
     static StepTable fromRecords(
         const std::vector<ProfileRecord> &records);
 
@@ -46,6 +78,8 @@ class StepTable
     std::vector<std::string> opUniverse() const;
 
   private:
+    friend class StepTableBuilder;
+
     std::vector<StepStats> rows;
 };
 

@@ -59,6 +59,18 @@ writeChromeTrace(const AnalysisResult &analysis,
                  const std::vector<ProfileRecord> &records,
                  std::ostream &out)
 {
+    std::vector<ProfileWindowInfo> windows;
+    windows.reserve(records.size());
+    for (const auto &record : records)
+        windows.emplace_back(record);
+    writeChromeTrace(analysis, windows, out);
+}
+
+void
+writeChromeTrace(const AnalysisResult &analysis,
+                 const std::vector<ProfileWindowInfo> &windows,
+                 std::ostream &out)
+{
     JsonWriter w(out);
     w.beginObject();
     w.key("traceEvents");
@@ -81,11 +93,15 @@ writeChromeTrace(const AnalysisResult &analysis,
     }
 
     // Profile Breakdown: one slice per profile window.
-    for (const auto &record : records) {
+    for (const auto &window : windows) {
+        const SimTime span =
+            window.window_end > window.window_begin
+                ? window.window_end - window.window_begin
+                : 0;
         traceEvent(w,
-                   "profile " + std::to_string(record.sequence) +
-                       (record.truncated ? " (truncated)" : ""),
-                   1, 1, record.window_begin, record.span());
+                   "profile " + std::to_string(window.sequence) +
+                       (window.truncated ? " (truncated)" : ""),
+                   1, 1, window.window_begin, span);
     }
 
     // Phase Breakdown: one slice per phase.

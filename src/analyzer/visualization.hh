@@ -18,9 +18,37 @@
 namespace tpupoint {
 
 /**
+ * The slice of a ProfileRecord the trace viewer needs. Collected
+ * by streaming consumers so records themselves don't have to stay
+ * resident just to draw the Profile Breakdown track.
+ */
+struct ProfileWindowInfo
+{
+    std::uint64_t sequence = 0;
+    SimTime window_begin = 0;
+    SimTime window_end = 0;
+    bool truncated = false;
+
+    ProfileWindowInfo() = default;
+
+    explicit ProfileWindowInfo(const ProfileRecord &record)
+        : sequence(record.sequence),
+          window_begin(record.window_begin),
+          window_end(record.window_end),
+          truncated(record.truncated)
+    {
+    }
+};
+
+/**
  * Write a chrome://tracing JSON file with one track of profile
  * windows and one track of detected phases.
  */
+void writeChromeTrace(const AnalysisResult &analysis,
+                      const std::vector<ProfileWindowInfo> &windows,
+                      std::ostream &out);
+
+/** Convenience overload over fully-materialized records. */
 void writeChromeTrace(const AnalysisResult &analysis,
                       const std::vector<ProfileRecord> &records,
                       std::ostream &out);

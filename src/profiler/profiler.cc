@@ -1,7 +1,5 @@
 #include "profiler/profiler.hh"
 
-#include <sstream>
-
 #include "core/logging.hh"
 
 namespace tpupoint {
@@ -28,6 +26,16 @@ TpuPointProfiler::~TpuPointProfiler()
 }
 
 void
+TpuPointProfiler::streamTo(std::ostream &out)
+{
+    if (active)
+        fatal("TpuPointProfiler::streamTo: profiler is running");
+    if (spool)
+        fatal("TpuPointProfiler::streamTo: stream already open");
+    sink = &out;
+}
+
+void
 TpuPointProfiler::start(bool analyzer)
 {
     if (active)
@@ -35,6 +43,11 @@ TpuPointProfiler::start(bool analyzer)
     active = true;
     analyzer_enabled = analyzer;
     collector = StatsCollector(sim.now());
+    if (analyzer_enabled && !spool) {
+        // The recording thread's bounded spool; without a
+        // streamTo() sink it only accounts for the traffic.
+        spool = std::make_unique<RecordSpool>(sink, opts.spool);
+    }
     session.traceHub().attach(&collector);
     session.tpu().setTraceOverhead(opts.trace_overhead_per_op);
     scheduleNextRequest();
@@ -71,26 +84,41 @@ TpuPointProfiler::handleResponse()
     ProfileRecord record = collector.harvest(sim.now());
     if (record.event_count == 0 && record.steps.empty())
         return; // nothing happened in this window
-    if (analyzer_enabled) {
-        // The recording thread serializes the statistical record
-        // and streams it to cloud storage while profiling
-        // continues.
-        std::ostringstream buffer;
-        ProfileWriter writer(buffer);
-        writer.write(record);
-        const std::uint64_t bytes = buffer.str().size();
+    ++records_recorded;
+    if (analyzer_enabled && spool) {
+        // The recording thread frames the statistical record
+        // through the spool and streams it toward cloud storage
+        // while profiling continues.
+        const std::uint64_t before = spool->bytesSpooled();
+        spool->push(encodeProfileRecord(record));
+        const std::uint64_t bytes =
+            spool->bytesSpooled() - before;
         recorded_bytes += bytes;
         session.storageBucket().write(bytes, nullptr);
     }
-    profile_records.push_back(std::move(record));
+    if (opts.retain_records)
+        profile_records.push_back(std::move(record));
+}
+
+const std::vector<ProfileRecord> &
+TpuPointProfiler::records() const
+{
+    if (!opts.retain_records && records_recorded > 0)
+        fatal("TpuPointProfiler::records: retention is disabled "
+              "(streaming-only profile)");
+    return profile_records;
 }
 
 void
 TpuPointProfiler::writeRecords(std::ostream &out) const
 {
+    if (!opts.retain_records && records_recorded > 0)
+        fatal("TpuPointProfiler::writeRecords: retention is "
+              "disabled; use streamTo() before start()");
     ProfileWriter writer(out);
     for (const auto &record : profile_records)
         writer.write(record);
+    writer.finish();
 }
 
 void
@@ -105,6 +133,8 @@ TpuPointProfiler::stop()
         sim.cancel(pending_request);
         pending_request = 0;
     }
+    if (spool)
+        spool->finish(); // seal the streamed profile
     active = false;
 }
 

@@ -13,12 +13,20 @@
  *   sim.run();
  *   profiler.stop();
  * @endcode
+ *
+ * The recording path is streaming: harvested records are framed
+ * through a backpressured RecordSpool (trace transport layer) and
+ * can be spooled directly to a caller-supplied stream via
+ * streamTo(), keeping host memory bounded for arbitrarily long
+ * runs. In-memory retention for the optimizer path stays available
+ * through ProfilerOptions::retain_records.
  */
 
 #ifndef TPUPOINT_PROFILER_PROFILER_HH
 #define TPUPOINT_PROFILER_PROFILER_HH
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -27,6 +35,7 @@
 #include "proto/serialize.hh"
 #include "runtime/session.hh"
 #include "sim/simulator.hh"
+#include "trace/spool.hh"
 
 namespace tpupoint {
 
@@ -44,6 +53,17 @@ struct ProfilerOptions
 
     /** Stop profiling when this step completes (0 = whole run). */
     StepId breakpoint = 0;
+
+    /**
+     * Keep harvested records in host memory (records()). The
+     * optimizer and the in-process analyze examples need this;
+     * long-running stream-to-disk profiling turns it off for
+     * bounded memory.
+     */
+    bool retain_records = true;
+
+    /** Recording-thread spool: chunking and backpressure. */
+    RecordSpoolOptions spool;
 };
 
 /**
@@ -58,10 +78,18 @@ class TpuPointProfiler
     ~TpuPointProfiler();
 
     /**
+     * Stream the recorded profile to @p out while the run
+     * progresses (the recording thread's storage bucket). Must be
+     * called before start(); the stream is sealed at stop().
+     */
+    void streamTo(std::ostream &out);
+
+    /**
      * Begin profiling. With @p analyzer true the recording thread
-     * persists every record to the session's storage bucket for
-     * post-execution analysis; with false records are only buffered
-     * in host memory (the TPUPoint-Optimizer path).
+     * persists every record through the spool (to the streamTo()
+     * sink when one is attached) for post-execution analysis; with
+     * false records are only buffered in host memory (the
+     * TPUPoint-Optimizer path).
      */
     void start(bool analyzer = true);
 
@@ -71,17 +99,29 @@ class TpuPointProfiler
     /** True between start() and stop(). */
     bool running() const { return active; }
 
-    /** All records harvested so far (host-memory buffer). */
-    const std::vector<ProfileRecord> &records() const
+    /**
+     * All records harvested so far (host-memory buffer).
+     * @pre ProfilerOptions::retain_records
+     */
+    const std::vector<ProfileRecord> &records() const;
+
+    /** Records harvested, independent of retention. */
+    std::uint64_t recordsRecorded() const
     {
-        return profile_records;
+        return records_recorded;
     }
 
-    /** Serialize all records in the binary profile format. */
+    /** Serialize all retained records in the binary format. */
     void writeRecords(std::ostream &out) const;
 
     /** Bytes the recording thread pushed to cloud storage. */
     std::uint64_t bytesRecorded() const { return recorded_bytes; }
+
+    /** Times the recording spool hit its backpressure bound. */
+    std::uint64_t spoolStalls() const
+    {
+        return spool ? spool->stalls() : 0;
+    }
 
     /** Profile requests issued. */
     std::uint64_t requestsIssued() const { return requests; }
@@ -95,11 +135,14 @@ class TpuPointProfiler
     ProfilerOptions opts;
     StatsCollector collector;
     std::vector<ProfileRecord> profile_records;
+    std::unique_ptr<RecordSpool> spool;
+    std::ostream *sink = nullptr;
     bool active = false;
     bool analyzer_enabled = false;
     EventId pending_request = 0;
     std::uint64_t requests = 0;
     std::uint64_t recorded_bytes = 0;
+    std::uint64_t records_recorded = 0;
 };
 
 } // namespace tpupoint

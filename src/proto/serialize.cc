@@ -1,134 +1,36 @@
 #include "proto/serialize.hh"
 
-#include <cstring>
-
 #include "core/json.hh"
 #include "core/logging.hh"
+#include "trace/bytes.hh"
 
 namespace tpupoint {
 
 namespace {
 
-constexpr char kMagic[4] = {'T', 'P', 'P', 'F'};
-constexpr std::uint32_t kVersion = 1;
-
 void
-putU32(std::ostream &out, std::uint32_t v)
+putOpStatsMap(ByteWriter &out, const OpStatsMap &ops)
 {
-    unsigned char buf[4];
-    for (int i = 0; i < 4; ++i)
-        buf[i] = static_cast<unsigned char>(v >> (8 * i));
-    out.write(reinterpret_cast<const char *>(buf), 4);
-}
-
-void
-putU64(std::ostream &out, std::uint64_t v)
-{
-    unsigned char buf[8];
-    for (int i = 0; i < 8; ++i)
-        buf[i] = static_cast<unsigned char>(v >> (8 * i));
-    out.write(reinterpret_cast<const char *>(buf), 8);
-}
-
-void
-putI64(std::ostream &out, std::int64_t v)
-{
-    putU64(out, static_cast<std::uint64_t>(v));
-}
-
-void
-putF64(std::ostream &out, double v)
-{
-    std::uint64_t bits;
-    std::memcpy(&bits, &v, sizeof(bits));
-    putU64(out, bits);
-}
-
-void
-putString(std::ostream &out, const std::string &s)
-{
-    putU32(out, static_cast<std::uint32_t>(s.size()));
-    out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-bool
-getU32(std::istream &in, std::uint32_t &v)
-{
-    unsigned char buf[4];
-    if (!in.read(reinterpret_cast<char *>(buf), 4))
-        return false;
-    v = 0;
-    for (int i = 3; i >= 0; --i)
-        v = (v << 8) | buf[i];
-    return true;
-}
-
-bool
-getU64(std::istream &in, std::uint64_t &v)
-{
-    unsigned char buf[8];
-    if (!in.read(reinterpret_cast<char *>(buf), 8))
-        return false;
-    v = 0;
-    for (int i = 7; i >= 0; --i)
-        v = (v << 8) | buf[i];
-    return true;
-}
-
-bool
-getI64(std::istream &in, std::int64_t &v)
-{
-    std::uint64_t u;
-    if (!getU64(in, u))
-        return false;
-    v = static_cast<std::int64_t>(u);
-    return true;
-}
-
-bool
-getF64(std::istream &in, double &v)
-{
-    std::uint64_t bits;
-    if (!getU64(in, bits))
-        return false;
-    std::memcpy(&v, &bits, sizeof(v));
-    return true;
-}
-
-bool
-getString(std::istream &in, std::string &s)
-{
-    std::uint32_t len;
-    if (!getU32(in, len))
-        return false;
-    s.resize(len);
-    return static_cast<bool>(
-        in.read(s.data(), static_cast<std::streamsize>(len)));
-}
-
-void
-putOpStatsMap(std::ostream &out, const OpStatsMap &ops)
-{
-    putU32(out, static_cast<std::uint32_t>(ops.size()));
+    out.putU32(static_cast<std::uint32_t>(ops.size()));
     for (const auto &[name, stats] : ops) {
-        putString(out, name);
-        putU64(out, stats.count);
-        putI64(out, stats.total_duration);
+        out.putString(name);
+        out.putU64(stats.count);
+        out.putI64(stats.total_duration);
     }
 }
 
 bool
-getOpStatsMap(std::istream &in, OpStatsMap &ops)
+getOpStatsMap(ByteReader &in, OpStatsMap &ops)
 {
     std::uint32_t count;
-    if (!getU32(in, count))
+    if (!in.getU32(count))
         return false;
     ops.clear();
     for (std::uint32_t i = 0; i < count; ++i) {
         std::string name;
         OpStats stats;
-        if (!getString(in, name) || !getU64(in, stats.count) ||
-            !getI64(in, stats.total_duration))
+        if (!in.getString(name) || !in.getU64(stats.count) ||
+            !in.getI64(stats.total_duration))
             return false;
         ops.emplace(std::move(name), stats);
     }
@@ -151,77 +53,98 @@ jsonOpStatsMap(JsonWriter &w, const OpStatsMap &ops)
 
 } // namespace
 
-ProfileWriter::ProfileWriter(std::ostream &out) : stream(out)
+std::string
+encodeProfileRecord(const ProfileRecord &record)
 {
-    stream.write(kMagic, sizeof(kMagic));
-    putU32(stream, kVersion);
+    ByteWriter out;
+    out.putU64(record.sequence);
+    out.putI64(record.window_begin);
+    out.putI64(record.window_end);
+    out.putU64(record.event_count);
+    out.putU32(record.truncated ? 1 : 0);
+    out.putF64(record.tpu_idle_fraction);
+    out.putF64(record.mxu_utilization);
+    out.putU32(static_cast<std::uint32_t>(record.steps.size()));
+    for (const auto &s : record.steps) {
+        out.putU64(s.step);
+        out.putI64(s.begin);
+        out.putI64(s.end);
+        out.putI64(s.tpu_busy);
+        out.putI64(s.tpu_idle);
+        out.putI64(s.mxu_active);
+        putOpStatsMap(out, s.host_ops);
+        putOpStatsMap(out, s.tpu_ops);
+    }
+    return std::move(out).str();
+}
+
+bool
+decodeProfileRecord(std::string_view payload,
+                    ProfileRecord &record)
+{
+    record = ProfileRecord();
+    ByteReader in(payload);
+    std::uint32_t truncated = 0;
+    std::uint32_t num_steps = 0;
+    if (!in.getU64(record.sequence) ||
+        !in.getI64(record.window_begin) ||
+        !in.getI64(record.window_end) ||
+        !in.getU64(record.event_count) ||
+        !in.getU32(truncated) ||
+        !in.getF64(record.tpu_idle_fraction) ||
+        !in.getF64(record.mxu_utilization) ||
+        !in.getU32(num_steps))
+        return false;
+    record.truncated = truncated != 0;
+    // Each step needs at least 56 payload bytes (six 8-byte
+    // fields plus two empty op maps); reject counts the remaining
+    // payload cannot possibly hold before resizing.
+    if (num_steps > in.remaining() / 56)
+        return false;
+    record.steps.resize(num_steps);
+    for (auto &s : record.steps) {
+        if (!in.getU64(s.step) || !in.getI64(s.begin) ||
+            !in.getI64(s.end) || !in.getI64(s.tpu_busy) ||
+            !in.getI64(s.tpu_idle) || !in.getI64(s.mxu_active) ||
+            !getOpStatsMap(in, s.host_ops) ||
+            !getOpStatsMap(in, s.tpu_ops))
+            return false;
+    }
+    return in.atEnd();
+}
+
+ProfileWriter::ProfileWriter(std::ostream &out) : framing(out)
+{
 }
 
 void
 ProfileWriter::write(const ProfileRecord &record)
 {
-    putU64(stream, record.sequence);
-    putI64(stream, record.window_begin);
-    putI64(stream, record.window_end);
-    putU64(stream, record.event_count);
-    putU32(stream, record.truncated ? 1 : 0);
-    putF64(stream, record.tpu_idle_fraction);
-    putF64(stream, record.mxu_utilization);
-    putU32(stream, static_cast<std::uint32_t>(record.steps.size()));
-    for (const auto &s : record.steps) {
-        putU64(stream, s.step);
-        putI64(stream, s.begin);
-        putI64(stream, s.end);
-        putI64(stream, s.tpu_busy);
-        putI64(stream, s.tpu_idle);
-        putI64(stream, s.mxu_active);
-        putOpStatsMap(stream, s.host_ops);
-        putOpStatsMap(stream, s.tpu_ops);
-    }
-    ++count;
-    if (!stream)
-        fatal("ProfileWriter: stream write failed");
+    framing.append(encodeProfileRecord(record));
 }
 
-ProfileReader::ProfileReader(std::istream &in) : stream(in)
+ProfileReader::ProfileReader(std::istream &in) : framing(in)
 {
-    char magic[4];
-    std::uint32_t version;
-    if (!stream.read(magic, sizeof(magic)) ||
-        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
-        fatal("ProfileReader: bad magic (not a TPUPoint profile)");
-    if (!getU32(stream, version) || version != kVersion)
-        fatal("ProfileReader: unsupported profile version");
+    if (framing.status() != StreamStatus::Ok)
+        fatal("ProfileReader: ", framing.error());
 }
 
 bool
 ProfileReader::read(ProfileRecord &record)
 {
-    record = ProfileRecord();
-    if (!getU64(stream, record.sequence))
-        return false; // clean EOF
-    std::uint32_t truncated = 0;
-    std::uint32_t num_steps = 0;
-    if (!getI64(stream, record.window_begin) ||
-        !getI64(stream, record.window_end) ||
-        !getU64(stream, record.event_count) ||
-        !getU32(stream, truncated) ||
-        !getF64(stream, record.tpu_idle_fraction) ||
-        !getF64(stream, record.mxu_utilization) ||
-        !getU32(stream, num_steps))
-        fatal("ProfileReader: truncated record header");
-    record.truncated = truncated != 0;
-    record.steps.resize(num_steps);
-    for (auto &s : record.steps) {
-        if (!getU64(stream, s.step) || !getI64(stream, s.begin) ||
-            !getI64(stream, s.end) || !getI64(stream, s.tpu_busy) ||
-            !getI64(stream, s.tpu_idle) ||
-            !getI64(stream, s.mxu_active) ||
-            !getOpStatsMap(stream, s.host_ops) ||
-            !getOpStatsMap(stream, s.tpu_ops))
-            fatal("ProfileReader: truncated step record");
+    std::string_view payload;
+    switch (framing.next(payload)) {
+      case StreamStatus::Ok:
+        if (!decodeProfileRecord(payload, record))
+            fatal("ProfileReader: malformed record payload");
+        return true;
+      case StreamStatus::End:
+        return false;
+      case StreamStatus::Truncated:
+      case StreamStatus::Corrupt:
+        fatal("ProfileReader: ", framing.error());
     }
-    return true;
+    panic("ProfileReader: unreachable stream status");
 }
 
 std::vector<ProfileRecord>

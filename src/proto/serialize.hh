@@ -5,6 +5,12 @@
  * compact binary wire format (the stand-in for the Protobuf
  * messages the real toolchain uses) plus a JSON form for
  * interoperability and debugging.
+ *
+ * The record encoding lives here; container framing (chunking,
+ * versioning, checksums, truncation detection) is delegated to the
+ * trace transport layer (`trace/record_stream`). ProfileWriter and
+ * ProfileReader are the typed convenience wrappers every producer
+ * and consumer goes through.
  */
 
 #ifndef TPUPOINT_PROTO_SERIALIZE_HH
@@ -12,36 +18,60 @@
 
 #include <istream>
 #include <ostream>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "proto/record.hh"
+#include "trace/record_stream.hh"
 
 namespace tpupoint {
+
+/** Encode one record's wire payload (no container framing). */
+std::string encodeProfileRecord(const ProfileRecord &record);
+
+/**
+ * Decode one record from its wire payload.
+ * @return false when the payload is malformed or has slack bytes.
+ */
+bool decodeProfileRecord(std::string_view payload,
+                         ProfileRecord &record);
 
 /**
  * Streaming binary writer. Records can be appended one at a time —
  * the recording thread persists each profile response as it
- * arrives.
+ * arrives. finish() (or destruction) seals the stream; a profile
+ * without its end marker reads back as truncated.
  */
 class ProfileWriter
 {
   public:
-    /** Writes the file header immediately. */
+    /** Writes the container header immediately. */
     explicit ProfileWriter(std::ostream &out);
 
     /** Append one record. */
     void write(const ProfileRecord &record);
 
+    /** Flush buffered chunks and write the end marker. */
+    void finish() { framing.finish(); }
+
     /** Records written so far. */
-    std::uint64_t written() const { return count; }
+    std::uint64_t written() const { return framing.records(); }
+
+    /** Bytes pushed to the underlying stream so far. */
+    std::uint64_t bytesWritten() const
+    {
+        return framing.bytesWritten();
+    }
 
   private:
-    std::ostream &stream;
-    std::uint64_t count = 0;
+    RecordStreamWriter framing;
 };
 
 /**
  * Streaming binary reader for files produced by ProfileWriter.
+ * Incremental with bounded memory: one chunk is resident at a
+ * time, however large the profile.
  */
 class ProfileReader
 {
@@ -50,16 +80,20 @@ class ProfileReader
     explicit ProfileReader(std::istream &in);
 
     /**
-     * Read the next record.
-     * @return false at end of stream.
+     * Read the next record. Truncated or corrupt streams throw
+     * via fatal() with the transport layer's diagnosis.
+     * @return false at clean end of stream.
      */
     bool read(ProfileRecord &record);
 
     /** Read every remaining record. */
     std::vector<ProfileRecord> readAll();
 
+    /** Records produced so far. */
+    std::uint64_t recordsRead() const { return framing.records(); }
+
   private:
-    std::istream &stream;
+    RecordStreamReader framing;
 };
 
 /** Serialize one record as a JSON object into @p out. */

@@ -1,0 +1,125 @@
+#include "runtime/sweep.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+namespace {
+
+/** One complete, self-contained session: build, run, harvest. */
+SweepOutcome
+runJob(const SweepJob &job, std::size_t index,
+       std::uint64_t seed_override, bool use_override)
+{
+    SessionConfig config = job.config;
+    if (use_override)
+        config.seed = seed_override;
+
+    Simulator sim;
+    TrainingSession session(sim, config, job.workload);
+    std::unique_ptr<TpuPointProfiler> profiler;
+    if (job.profile) {
+        profiler = std::make_unique<TpuPointProfiler>(
+            sim, session, job.profiler);
+        profiler->start(/*analyzer=*/true);
+    }
+    session.start(nullptr);
+    sim.run();
+    if (profiler)
+        profiler->stop();
+
+    SweepOutcome outcome;
+    outcome.job_index = index;
+    outcome.result = session.result();
+    outcome.checkpoints = session.checkpoints().checkpoints();
+    if (profiler) {
+        outcome.records = profiler->records();
+        outcome.profiler_bytes = profiler->bytesRecorded();
+        outcome.profile_requests = profiler->requestsIssued();
+    }
+    return outcome;
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(const SweepOptions &options)
+    : opts(options), thread_count(options.threads)
+{
+    if (thread_count == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        thread_count = hw ? hw : 1;
+    }
+}
+
+std::uint64_t
+SweepRunner::jobSeed(std::uint64_t base, std::uint64_t salt,
+                     std::size_t index)
+{
+    // splitmix64: the finalizer scrambles even adjacent indices
+    // into unrelated seeds.
+    std::uint64_t z = base ^ (salt * 0x9e3779b97f4a7c15ULL) ^
+        (static_cast<std::uint64_t>(index) + 1);
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::vector<SweepOutcome>
+SweepRunner::run(const std::vector<SweepJob> &jobs) const
+{
+    std::vector<SweepOutcome> outcomes(jobs.size());
+    if (jobs.empty())
+        return outcomes;
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(thread_count, jobs.size()));
+
+    std::atomic<std::size_t> next_job{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t index =
+                next_job.fetch_add(1, std::memory_order_relaxed);
+            if (index >= jobs.size())
+                return;
+            try {
+                outcomes[index] = runJob(
+                    jobs[index], index,
+                    jobSeed(jobs[index].config.seed,
+                            opts.seed_salt, index),
+                    opts.derive_seeds);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    if (workers <= 1) {
+        // Single-threaded sweeps run inline: same code path, no
+        // pool, convenient under a debugger.
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned i = 0; i < workers; ++i)
+            pool.emplace_back(worker);
+        for (auto &thread : pool)
+            thread.join();
+    }
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return outcomes;
+}
+
+} // namespace tpupoint

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * SweepRunner: run N independent profiled training sessions across
+ * a thread pool. Each job gets its own Simulator, TrainingSession
+ * and TpuPointProfiler, so sessions share nothing and results are
+ * bit-identical whatever the thread count or scheduling order —
+ * the per-job seed is derived from the job's position in the
+ * sweep, never from the worker that happens to execute it. This is
+ * what turns the Table-I/figure benchmarks' serial per-workload
+ * loops into one parallel sweep.
+ */
+
+#ifndef TPUPOINT_RUNTIME_SWEEP_HH
+#define TPUPOINT_RUNTIME_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "profiler/profiler.hh"
+#include "runtime/session.hh"
+
+namespace tpupoint {
+
+/** One sweep entry: a workload on a platform configuration. */
+struct SweepJob
+{
+    RuntimeWorkload workload;
+    SessionConfig config;
+    ProfilerOptions profiler;
+
+    /** Attach TPUPoint-Profiler to this session. */
+    bool profile = true;
+};
+
+/** Everything one sweep entry produces. */
+struct SweepOutcome
+{
+    std::size_t job_index = 0;
+    SessionResult result;
+    std::vector<ProfileRecord> records;
+    std::vector<CheckpointInfo> checkpoints;
+    std::uint64_t profiler_bytes = 0;
+    std::uint64_t profile_requests = 0;
+};
+
+/** Sweep execution knobs. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    unsigned threads = 0;
+
+    /**
+     * Derive a distinct deterministic seed for each job from its
+     * configured seed, @ref seed_salt and the job index. Off by
+     * default so a sweep reproduces the serial loops it replaces
+     * byte for byte; turn on when the same workload appears many
+     * times and the runs should differ.
+     */
+    bool derive_seeds = false;
+
+    /** Extra entropy mixed into derived seeds. */
+    std::uint64_t seed_salt = 0;
+};
+
+/**
+ * The sweep runner. Jobs are pulled from a shared queue by a pool
+ * of std::threads; outcomes land at their job's index, so the
+ * output order equals the input order regardless of completion
+ * order.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(const SweepOptions &options = {});
+
+    /** Worker threads the pool will use. */
+    unsigned threads() const { return thread_count; }
+
+    /**
+     * Run every job; blocks until all complete. The first
+     * exception thrown by a job is rethrown after the pool joins.
+     */
+    std::vector<SweepOutcome> run(
+        const std::vector<SweepJob> &jobs) const;
+
+    /**
+     * The seed job @p index runs with under derive_seeds: a
+     * splitmix64 mix of @p base, @p salt and the index. Thread
+     * count and scheduling never enter the derivation.
+     */
+    static std::uint64_t jobSeed(std::uint64_t base,
+                                 std::uint64_t salt,
+                                 std::size_t index);
+
+  private:
+    SweepOptions opts;
+    unsigned thread_count;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_RUNTIME_SWEEP_HH

@@ -1,0 +1,39 @@
+#include "trace/checksum.hh"
+
+#include <array>
+
+namespace tpupoint {
+
+namespace {
+
+/** Reflected CRC-32 lookup table, built once at first use. */
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t value = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            value = (value & 1) ? 0xedb88320u ^ (value >> 1)
+                                : value >> 1;
+        }
+        table[i] = value;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    static const std::array<std::uint32_t, 256> table =
+        makeTable();
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint32_t crc = 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+} // namespace tpupoint

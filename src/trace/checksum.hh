@@ -1,0 +1,30 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3 polynomial) used to checksum every chunk of
+ * the record-stream transport so corruption of a persisted profile
+ * is detected at read time rather than surfacing as nonsense
+ * analysis output.
+ */
+
+#ifndef TPUPOINT_TRACE_CHECKSUM_HH
+#define TPUPOINT_TRACE_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tpupoint {
+
+/** CRC-32 of @p size bytes at @p data. */
+std::uint32_t crc32(const void *data, std::size_t size);
+
+/** CRC-32 of a byte string. */
+inline std::uint32_t
+crc32(std::string_view bytes)
+{
+    return crc32(bytes.data(), bytes.size());
+}
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_TRACE_CHECKSUM_HH

@@ -1,0 +1,277 @@
+#include "trace/record_stream.hh"
+
+#include <cstring>
+
+#include "core/logging.hh"
+#include "trace/checksum.hh"
+
+namespace tpupoint {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'P', 'P', 'F'};
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kChunkMarker = 0x4b4e4843u; // "CHNK"
+constexpr std::uint32_t kEndMarker = 0x53444e45u;   // "ENDS"
+
+/** Upper bound a chunk's declared payload size must respect; a
+ *  corrupt length field must not drive a multi-gigabyte resize. */
+constexpr std::uint32_t kMaxChunkPayload = 64u * 1024 * 1024;
+
+void
+putU32(std::ostream &out, std::uint32_t v)
+{
+    char bytes[4];
+    for (int i = 0; i < 4; ++i)
+        bytes[i] = static_cast<char>(v >> (8 * i));
+    out.write(bytes, sizeof(bytes));
+}
+
+void
+putU64(std::ostream &out, std::uint64_t v)
+{
+    char bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<char>(v >> (8 * i));
+    out.write(bytes, sizeof(bytes));
+}
+
+bool
+getU32(std::istream &in, std::uint32_t &v)
+{
+    char bytes[4];
+    if (!in.read(bytes, sizeof(bytes)))
+        return false;
+    v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | static_cast<unsigned char>(bytes[i]);
+    return true;
+}
+
+bool
+getU64(std::istream &in, std::uint64_t &v)
+{
+    char bytes[8];
+    if (!in.read(bytes, sizeof(bytes)))
+        return false;
+    v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | static_cast<unsigned char>(bytes[i]);
+    return true;
+}
+
+} // namespace
+
+const char *
+streamStatusName(StreamStatus status)
+{
+    switch (status) {
+      case StreamStatus::Ok: return "ok";
+      case StreamStatus::End: return "end";
+      case StreamStatus::Truncated: return "truncated";
+      case StreamStatus::Corrupt: return "corrupt";
+    }
+    panic("streamStatusName: unknown status");
+}
+
+RecordStreamWriter::RecordStreamWriter(
+    std::ostream &out, const RecordStreamOptions &options)
+    : stream(out), opts(options)
+{
+    if (opts.chunk_records == 0 || opts.chunk_bytes == 0)
+        fatal("RecordStreamWriter: chunk limits must be positive");
+    stream.write(kMagic, sizeof(kMagic));
+    putU32(stream, kVersion);
+    written_bytes += sizeof(kMagic) + 4;
+    if (!stream)
+        fatal("RecordStreamWriter: stream write failed");
+}
+
+RecordStreamWriter::~RecordStreamWriter()
+{
+    try {
+        finish();
+    } catch (...) {
+        // A failing stream was already reported by the explicit
+        // API; destruction must not throw on the unwind path.
+    }
+}
+
+void
+RecordStreamWriter::append(std::string_view payload)
+{
+    if (finished)
+        fatal("RecordStreamWriter: append after finish");
+    char length[4];
+    const auto size = static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        length[i] = static_cast<char>(size >> (8 * i));
+    chunk.append(length, sizeof(length));
+    chunk.append(payload.data(), payload.size());
+    ++chunk_records;
+    ++total_records;
+    if (chunk_records >= opts.chunk_records ||
+        chunk.size() >= opts.chunk_bytes)
+        flush();
+}
+
+void
+RecordStreamWriter::flush()
+{
+    if (chunk.empty())
+        return;
+    putU32(stream, kChunkMarker);
+    putU32(stream, static_cast<std::uint32_t>(chunk_records));
+    putU32(stream, static_cast<std::uint32_t>(chunk.size()));
+    putU32(stream, crc32(chunk));
+    stream.write(chunk.data(),
+                 static_cast<std::streamsize>(chunk.size()));
+    written_bytes += 16 + chunk.size();
+    chunk.clear();
+    chunk_records = 0;
+    if (!stream)
+        fatal("RecordStreamWriter: stream write failed");
+}
+
+void
+RecordStreamWriter::finish()
+{
+    if (finished)
+        return;
+    flush();
+    putU32(stream, kEndMarker);
+    putU64(stream, total_records);
+    written_bytes += 12;
+    finished = true;
+    if (!stream)
+        fatal("RecordStreamWriter: stream write failed");
+}
+
+RecordStreamReader::RecordStreamReader(std::istream &in)
+    : stream(in)
+{
+    char magic[4];
+    if (!stream.read(magic, sizeof(magic))) {
+        fail(StreamStatus::Truncated,
+             "stream ended inside the header");
+        return;
+    }
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        fail(StreamStatus::Corrupt,
+             "bad magic (not a TPUPoint profile)");
+        return;
+    }
+    if (!getU32(stream, stream_version)) {
+        fail(StreamStatus::Truncated,
+             "stream ended inside the header");
+        return;
+    }
+    if (stream_version != kVersion) {
+        fail(StreamStatus::Corrupt,
+             "unsupported profile version " +
+                 std::to_string(stream_version));
+    }
+}
+
+StreamStatus
+RecordStreamReader::fail(StreamStatus status, std::string message)
+{
+    state = status;
+    detail = std::move(message);
+    return state;
+}
+
+StreamStatus
+RecordStreamReader::next(std::string_view &payload)
+{
+    if (state != StreamStatus::Ok)
+        return state;
+    if (chunk_remaining == 0) {
+        const StreamStatus loaded = loadChunk();
+        if (loaded != StreamStatus::Ok)
+            return loaded;
+    }
+
+    if (chunk_offset + 4 > chunk.size()) {
+        return fail(StreamStatus::Corrupt,
+                    "record length field overruns its chunk");
+    }
+    std::uint32_t length = 0;
+    for (int i = 3; i >= 0; --i) {
+        length = (length << 8) |
+            static_cast<unsigned char>(chunk[chunk_offset + i]);
+    }
+    chunk_offset += 4;
+    if (chunk_offset + length > chunk.size()) {
+        return fail(StreamStatus::Corrupt,
+                    "record payload overruns its chunk");
+    }
+    payload = std::string_view(chunk.data() + chunk_offset,
+                               length);
+    chunk_offset += length;
+    --chunk_remaining;
+    if (chunk_remaining == 0 && chunk_offset != chunk.size()) {
+        return fail(StreamStatus::Corrupt,
+                    "trailing bytes after the last chunk record");
+    }
+    ++produced;
+    return StreamStatus::Ok;
+}
+
+StreamStatus
+RecordStreamReader::loadChunk()
+{
+    std::uint32_t marker;
+    if (!getU32(stream, marker)) {
+        return fail(StreamStatus::Truncated,
+                    "stream ended without an end marker");
+    }
+    if (marker == kEndMarker) {
+        std::uint64_t declared;
+        if (!getU64(stream, declared)) {
+            return fail(StreamStatus::Truncated,
+                        "stream ended inside the end marker");
+        }
+        if (declared != produced) {
+            return fail(
+                StreamStatus::Corrupt,
+                "end marker declares " + std::to_string(declared) +
+                    " records but " + std::to_string(produced) +
+                    " were read");
+        }
+        state = StreamStatus::End;
+        return state;
+    }
+    if (marker != kChunkMarker)
+        return fail(StreamStatus::Corrupt, "bad chunk marker");
+
+    std::uint32_t record_count, payload_size, checksum;
+    if (!getU32(stream, record_count) ||
+        !getU32(stream, payload_size) ||
+        !getU32(stream, checksum)) {
+        return fail(StreamStatus::Truncated,
+                    "stream ended inside a chunk header");
+    }
+    if (record_count == 0)
+        return fail(StreamStatus::Corrupt, "empty chunk");
+    if (payload_size > kMaxChunkPayload) {
+        return fail(StreamStatus::Corrupt,
+                    "implausible chunk payload size " +
+                        std::to_string(payload_size));
+    }
+    chunk.resize(payload_size);
+    if (!stream.read(chunk.data(),
+                     static_cast<std::streamsize>(payload_size))) {
+        return fail(StreamStatus::Truncated,
+                    "stream ended inside a chunk payload");
+    }
+    if (crc32(chunk) != checksum) {
+        return fail(StreamStatus::Corrupt,
+                    "chunk checksum mismatch");
+    }
+    chunk_offset = 0;
+    chunk_remaining = record_count;
+    return StreamStatus::Ok;
+}
+
+} // namespace tpupoint

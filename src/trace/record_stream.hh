@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The trace transport layer: a chunked, versioned, checksummed
+ * container for streams of opaque record payloads.
+ *
+ * TPUPoint-Profiler stays under its overhead budget by streaming
+ * statistical records to storage instead of buffering raw traces
+ * (Section III-A). This layer is the stand-in for that transport:
+ * the writer groups record payloads into CRC-32-guarded chunks and
+ * the reader yields one record at a time with bounded memory (one
+ * chunk resident at any moment), classifying damage as truncation
+ * or corruption instead of silently returning a partial profile.
+ *
+ * The payload encoding is owned by the caller (`proto/serialize`
+ * for ProfileRecords); this layer only frames bytes:
+ *
+ *   stream  := header chunk* end
+ *   header  := "TPPF" u32(version)
+ *   chunk   := u32(CHUNK_MARKER) u32(record_count)
+ *              u32(payload_size) u32(crc32 payload) payload
+ *   payload := { u32(record_size) record_bytes }*
+ *   end     := u32(END_MARKER) u64(total_records)
+ *
+ * All integers are little-endian. A stream that stops before the
+ * end marker — even at a chunk boundary — reads as Truncated.
+ */
+
+#ifndef TPUPOINT_TRACE_RECORD_STREAM_HH
+#define TPUPOINT_TRACE_RECORD_STREAM_HH
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace tpupoint {
+
+/** Outcome of a record-stream read step. */
+enum class StreamStatus {
+    Ok,        ///< A record payload was produced.
+    End,       ///< Clean end of stream (end marker verified).
+    Truncated, ///< Stream stopped before the end marker.
+    Corrupt,   ///< Structural damage (marker, checksum, counts).
+};
+
+/** Printable status name. */
+const char *streamStatusName(StreamStatus status);
+
+/** Chunk-sizing knobs for the writer. */
+struct RecordStreamOptions
+{
+    /** Flush the open chunk after this many records. */
+    std::size_t chunk_records = 32;
+
+    /** Flush the open chunk once its payload reaches this size. */
+    std::size_t chunk_bytes = 64 * 1024;
+};
+
+/**
+ * Streaming writer. Appended payloads buffer into the open chunk;
+ * finish() (or destruction) seals the stream with the end marker.
+ * Memory is bounded by one chunk.
+ */
+class RecordStreamWriter
+{
+  public:
+    explicit RecordStreamWriter(std::ostream &out,
+                                const RecordStreamOptions &options =
+                                    {});
+
+    RecordStreamWriter(const RecordStreamWriter &) = delete;
+    RecordStreamWriter &operator=(const RecordStreamWriter &) =
+        delete;
+
+    /** Flushes and writes the end marker if finish() was missed. */
+    ~RecordStreamWriter();
+
+    /** Append one record payload. */
+    void append(std::string_view payload);
+
+    /** Write out the open chunk, if any. */
+    void flush();
+
+    /** Seal the stream with the end marker. Idempotent. */
+    void finish();
+
+    /** Records appended so far. */
+    std::uint64_t records() const { return total_records; }
+
+    /** Bytes pushed to the underlying stream (header included). */
+    std::uint64_t bytesWritten() const { return written_bytes; }
+
+    /** Bytes buffered in the open, unflushed chunk. */
+    std::size_t pendingBytes() const { return chunk.size(); }
+
+    /** Records buffered in the open, unflushed chunk. */
+    std::size_t pendingRecords() const { return chunk_records; }
+
+  private:
+    std::ostream &stream;
+    RecordStreamOptions opts;
+    std::string chunk;
+    std::size_t chunk_records = 0;
+    std::uint64_t total_records = 0;
+    std::uint64_t written_bytes = 0;
+    bool finished = false;
+};
+
+/**
+ * Incremental reader for RecordStreamWriter output. Holds at most
+ * one chunk in memory; next() yields payload views valid until the
+ * following next() call.
+ */
+class RecordStreamReader
+{
+  public:
+    /**
+     * Reads and validates the header. Never throws: header damage
+     * parks the reader in Truncated/Corrupt state, which the first
+     * next() call (and status()) reports.
+     */
+    explicit RecordStreamReader(std::istream &in);
+
+    /**
+     * Advance to the next record payload.
+     * @return Ok with @p payload pointing into the current chunk
+     *     (valid until the next call), or the terminal status.
+     */
+    StreamStatus next(std::string_view &payload);
+
+    /** Terminal status, or Ok while records keep arriving. */
+    StreamStatus status() const { return state; }
+
+    /** Human-readable detail for Truncated/Corrupt states. */
+    const std::string &error() const { return detail; }
+
+    /** Records successfully produced so far. */
+    std::uint64_t records() const { return produced; }
+
+    /** Container version from the header (0 until read). */
+    std::uint32_t version() const { return stream_version; }
+
+  private:
+    StreamStatus fail(StreamStatus status, std::string message);
+    StreamStatus loadChunk();
+
+    std::istream &stream;
+    std::string chunk;
+    std::size_t chunk_offset = 0;
+    std::size_t chunk_remaining = 0; ///< Records left in chunk.
+    std::uint64_t produced = 0;
+    std::uint32_t stream_version = 0;
+    StreamStatus state = StreamStatus::Ok;
+    std::string detail;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_TRACE_RECORD_STREAM_HH

@@ -1,0 +1,33 @@
+#include "trace/spool.hh"
+
+namespace tpupoint {
+
+RecordSpool::RecordSpool(std::ostream *sink,
+                         const RecordSpoolOptions &options)
+    : null_stream(&null_buffer), opts(options),
+      writer(sink ? *sink : null_stream, options.stream)
+{
+}
+
+void
+RecordSpool::push(std::string_view payload)
+{
+    if (writer.pendingBytes() + payload.size() >
+        opts.max_buffered_bytes &&
+        writer.pendingRecords() > 0) {
+        // The bounded buffer is full: the profiling thread would
+        // block here while the recording thread drains.
+        ++stall_count;
+        writer.flush();
+    }
+    writer.append(payload);
+    spooled += payload.size() + 4; // payload + length framing
+}
+
+void
+RecordSpool::finish()
+{
+    writer.finish();
+}
+
+} // namespace tpupoint

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * RecordSpool: the bounded buffer between TPUPoint-Profiler's
+ * profiling thread and its recording thread. Harvested records are
+ * framed through a RecordStreamWriter whose open chunk is the
+ * spool; when the buffered bytes exceed the configured capacity the
+ * producer is considered stalled (the paper's recording thread
+ * would block on cloud-storage bandwidth) — the stall is counted
+ * and the chunk force-flushed so host memory stays bounded no
+ * matter how long the run is.
+ *
+ * The sink is optional: with none attached the framed bytes are
+ * counted and discarded, which is the profiler's "recording thread
+ * disabled" accounting mode.
+ */
+
+#ifndef TPUPOINT_TRACE_SPOOL_HH
+#define TPUPOINT_TRACE_SPOOL_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <streambuf>
+#include <string_view>
+
+#include "trace/record_stream.hh"
+
+namespace tpupoint {
+
+/** RecordSpool configuration. */
+struct RecordSpoolOptions
+{
+    /** Chunking of the underlying record stream. */
+    RecordStreamOptions stream;
+
+    /**
+     * Backpressure threshold: a push that finds more than this
+     * many bytes already buffered counts a stall and forces a
+     * flush.
+     */
+    std::size_t max_buffered_bytes = 64 * 1024;
+};
+
+/** Bounded-memory record spool writing one record stream. */
+class RecordSpool
+{
+  public:
+    /**
+     * @param sink Destination stream, or nullptr to count and
+     *     discard (accounting-only mode).
+     */
+    explicit RecordSpool(std::ostream *sink,
+                         const RecordSpoolOptions &options = {});
+
+    RecordSpool(const RecordSpool &) = delete;
+    RecordSpool &operator=(const RecordSpool &) = delete;
+
+    /** Spool one record payload. */
+    void push(std::string_view payload);
+
+    /** Flush buffered records and seal the stream. Idempotent. */
+    void finish();
+
+    /** Records accepted so far. */
+    std::uint64_t records() const { return writer.records(); }
+
+    /**
+     * Bytes of record payload plus framing accepted so far — the
+     * traffic the recording thread sends toward storage.
+     */
+    std::uint64_t bytesSpooled() const { return spooled; }
+
+    /** Bytes already pushed through to the sink. */
+    std::uint64_t bytesFlushed() const
+    {
+        return writer.bytesWritten();
+    }
+
+    /** Bytes currently buffered in the open chunk. */
+    std::size_t bufferedBytes() const
+    {
+        return writer.pendingBytes();
+    }
+
+    /** Times a push hit the backpressure threshold. */
+    std::uint64_t stalls() const { return stall_count; }
+
+  private:
+    /** Counting bit-bucket used when no sink is attached. */
+    class NullBuffer : public std::streambuf
+    {
+      protected:
+        int overflow(int ch) override { return ch; }
+
+        std::streamsize
+        xsputn(const char *, std::streamsize n) override
+        {
+            return n;
+        }
+    };
+
+    NullBuffer null_buffer;
+    std::ostream null_stream;
+    RecordSpoolOptions opts;
+    RecordStreamWriter writer;
+    std::uint64_t spooled = 0;
+    std::uint64_t stall_count = 0;
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_TRACE_SPOOL_HH

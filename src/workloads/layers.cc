@@ -181,7 +181,9 @@ ModelBuilder::embedding(NodeId ids, std::int64_t vocab,
 NodeId
 ModelBuilder::layerNorm(NodeId x, const std::string &name)
 {
-    const TensorShape &shape = gb.outputShape(x);
+    // Copy, not reference: adding the node below may reallocate
+    // the graph's node storage and invalidate shape references.
+    const TensorShape shape = gb.outputShape(x);
     const NodeId out = gb.layerNorm(x, name + "/LayerNorm");
     params += 2ULL *
         static_cast<std::uint64_t>(shape.dim(shape.rank() - 1));

@@ -82,7 +82,8 @@ TEST(VisualizationTest, EmptyAnalysisStillWellFormed)
 {
     AnalysisResult empty;
     std::ostringstream trace, csv, json;
-    writeChromeTrace(empty, {}, trace);
+    writeChromeTrace(empty, std::vector<ProfileWindowInfo>{},
+                     trace);
     writePhaseCsv(empty, csv);
     writeAnalysisJson(empty, json);
     EXPECT_NE(trace.str().find("traceEvents"), std::string::npos);

@@ -68,6 +68,7 @@ TEST(EndToEndTest, ProfileAnalyzeExportPipeline)
     ProfileWriter writer(profile_bin);
     for (const auto &record : run.records)
         writer.write(record);
+    writer.finish();
     EXPECT_GT(trace.str().size(), 100u);
     EXPECT_GT(csv.str().size(), 100u);
     EXPECT_GT(json.str().size(), 100u);

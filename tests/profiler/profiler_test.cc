@@ -144,6 +144,66 @@ TEST(ProfilerTest, WriteRecordsRoundTrips)
     EXPECT_EQ(decoded.size(), profiler.records().size());
 }
 
+TEST(ProfilerTest, StreamedProfileMatchesBufferedWriteRecords)
+{
+    const RuntimeWorkload w = smallWorkload();
+
+    // Buffered path: retain every record, serialize at the end.
+    Simulator buffered_sim;
+    TrainingSession buffered_session(buffered_sim,
+                                     SessionConfig{}, w);
+    TpuPointProfiler buffered(buffered_sim, buffered_session);
+    buffered.start(true);
+    buffered_session.start(nullptr);
+    buffered_sim.run();
+    buffered.stop();
+    std::stringstream buffered_bytes;
+    buffered.writeRecords(buffered_bytes);
+
+    // Streaming path: records go to the sink as harvested and are
+    // never retained in host memory.
+    Simulator streamed_sim;
+    TrainingSession streamed_session(streamed_sim,
+                                     SessionConfig{}, w);
+    ProfilerOptions options;
+    options.retain_records = false;
+    TpuPointProfiler streamed(streamed_sim, streamed_session,
+                              options);
+    std::stringstream streamed_bytes;
+    streamed.streamTo(streamed_bytes);
+    streamed.start(true);
+    streamed_session.start(nullptr);
+    streamed_sim.run();
+    streamed.stop();
+
+    EXPECT_EQ(streamed.recordsRecorded(),
+              buffered.recordsRecorded());
+
+    // The streamed profile decodes to exactly the records the
+    // buffered run retained, byte for byte.
+    ProfileReader reader(streamed_bytes);
+    const auto decoded = reader.readAll();
+    ASSERT_EQ(decoded.size(), buffered.records().size());
+    for (std::size_t i = 0; i < decoded.size(); ++i) {
+        EXPECT_EQ(encodeProfileRecord(decoded[i]),
+                  encodeProfileRecord(buffered.records()[i]));
+    }
+
+    // Retention off means the in-memory accessors refuse.
+    EXPECT_THROW(streamed.records(), std::runtime_error);
+}
+
+TEST(ProfilerTest, StreamToAfterStartIsRejected)
+{
+    Simulator sim;
+    const RuntimeWorkload w = smallWorkload();
+    TrainingSession session(sim, SessionConfig{}, w);
+    TpuPointProfiler profiler(sim, session);
+    profiler.start(true);
+    std::stringstream sink;
+    EXPECT_THROW(profiler.streamTo(sink), std::runtime_error);
+}
+
 TEST(ProfilerTest, DoubleStartPanics)
 {
     Simulator sim;

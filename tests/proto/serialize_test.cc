@@ -99,6 +99,7 @@ TEST(SerializeTest, RoundTripSingleRecord)
     std::stringstream buffer;
     ProfileWriter writer(buffer);
     writer.write(original);
+    writer.finish();
     EXPECT_EQ(writer.written(), 1u);
 
     ProfileReader reader(buffer);
@@ -118,11 +119,53 @@ TEST(SerializeTest, RoundTripManyRecordsFuzz)
         originals.push_back(randomRecord(rng, i));
         writer.write(originals.back());
     }
+    writer.finish();
     ProfileReader reader(buffer);
     const std::vector<ProfileRecord> decoded = reader.readAll();
     ASSERT_EQ(decoded.size(), originals.size());
     for (std::size_t i = 0; i < decoded.size(); ++i)
         expectEqualRecords(originals[i], decoded[i]);
+}
+
+TEST(SerializeTest, StreamedReadMatchesReadAll)
+{
+    Rng rng(7);
+    std::stringstream buffer;
+    ProfileWriter writer(buffer);
+    for (std::uint64_t i = 0; i < 40; ++i)
+        writer.write(randomRecord(rng, i));
+    writer.finish();
+    const std::string bytes = buffer.str();
+
+    std::istringstream streamed_in(bytes);
+    ProfileReader streamed(streamed_in);
+    std::vector<ProfileRecord> one_at_a_time;
+    ProfileRecord record;
+    while (streamed.read(record))
+        one_at_a_time.push_back(record);
+
+    std::istringstream bulk_in(bytes);
+    ProfileReader bulk(bulk_in);
+    const std::vector<ProfileRecord> all = bulk.readAll();
+
+    ASSERT_EQ(one_at_a_time.size(), all.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        expectEqualRecords(one_at_a_time[i], all[i]);
+        // Byte-identical, not just field-equal.
+        EXPECT_EQ(encodeProfileRecord(one_at_a_time[i]),
+                  encodeProfileRecord(all[i]));
+    }
+}
+
+TEST(SerializeTest, EmptyProfileReadsZeroRecords)
+{
+    std::stringstream buffer;
+    ProfileWriter writer(buffer);
+    writer.finish();
+    ProfileReader reader(buffer);
+    ProfileRecord record;
+    EXPECT_FALSE(reader.read(record));
+    EXPECT_EQ(reader.recordsRead(), 0u);
 }
 
 TEST(SerializeTest, BadMagicIsRejected)
@@ -139,6 +182,7 @@ TEST(SerializeTest, TruncatedStreamIsRejected)
     std::stringstream buffer;
     ProfileWriter writer(buffer);
     writer.write(randomRecord(rng, 0));
+    writer.finish();
     std::string bytes = buffer.str();
     bytes.resize(bytes.size() / 2);
     std::stringstream truncated(bytes);

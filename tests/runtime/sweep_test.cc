@@ -1,0 +1,138 @@
+/** @file SweepRunner: determinism across thread counts. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.hh"
+#include "proto/serialize.hh"
+#include "runtime/sweep.hh"
+#include "workloads/catalog.hh"
+
+namespace tpupoint {
+namespace {
+
+std::vector<SweepJob>
+smallJobs()
+{
+    const WorkloadId ids[] = {
+        WorkloadId::BertMrpc, WorkloadId::DcganCifar10,
+        WorkloadId::DcganMnist, WorkloadId::BertCola};
+    std::vector<SweepJob> jobs;
+    for (const WorkloadId id : ids) {
+        WorkloadOptions options;
+        options.step_scale = 0.02;
+        options.max_train_steps = 120;
+        SweepJob job;
+        job.workload = makeWorkload(id, options);
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+std::vector<SweepOutcome>
+runWith(unsigned threads, const std::vector<SweepJob> &jobs)
+{
+    SweepOptions options;
+    options.threads = threads;
+    return SweepRunner(options).run(jobs);
+}
+
+TEST(SweepRunnerTest, OutcomesLandInJobOrder)
+{
+    const auto jobs = smallJobs();
+    const auto outcomes = runWith(4, jobs);
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        EXPECT_EQ(outcomes[i].job_index, i);
+        EXPECT_GT(outcomes[i].result.steps_completed, 0u);
+        EXPECT_FALSE(outcomes[i].records.empty());
+    }
+}
+
+TEST(SweepRunnerTest, ThreadCountNeverChangesResults)
+{
+    const auto jobs = smallJobs();
+    const auto serial = runWith(1, jobs);
+    const auto parallel = runWith(4, jobs);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        // Bitwise: every profile record serializes identically.
+        ASSERT_EQ(serial[i].records.size(),
+                  parallel[i].records.size());
+        for (std::size_t r = 0; r < serial[i].records.size(); ++r) {
+            EXPECT_EQ(encodeProfileRecord(serial[i].records[r]),
+                      encodeProfileRecord(parallel[i].records[r]));
+        }
+        EXPECT_EQ(serial[i].result.wall_time,
+                  parallel[i].result.wall_time);
+        EXPECT_EQ(serial[i].result.steps_completed,
+                  parallel[i].result.steps_completed);
+        EXPECT_EQ(serial[i].profiler_bytes,
+                  parallel[i].profiler_bytes);
+        EXPECT_EQ(serial[i].profile_requests,
+                  parallel[i].profile_requests);
+
+        // And the downstream analysis agrees phase for phase.
+        const AnalysisResult a =
+            TpuPointAnalyzer().analyze(serial[i].records);
+        const AnalysisResult b =
+            TpuPointAnalyzer().analyze(parallel[i].records);
+        ASSERT_EQ(a.phases.size(), b.phases.size());
+        for (std::size_t p = 0; p < a.phases.size(); ++p) {
+            EXPECT_EQ(a.phases[p].first_step,
+                      b.phases[p].first_step);
+            EXPECT_EQ(a.phases[p].last_step,
+                      b.phases[p].last_step);
+            EXPECT_EQ(a.phases[p].total_duration,
+                      b.phases[p].total_duration);
+        }
+        EXPECT_DOUBLE_EQ(a.top3_coverage, b.top3_coverage);
+    }
+}
+
+TEST(SweepRunnerTest, UnprofiledJobsCarryNoRecords)
+{
+    auto jobs = smallJobs();
+    for (auto &job : jobs)
+        job.profile = false;
+    const auto outcomes = runWith(2, jobs);
+    for (const auto &outcome : outcomes) {
+        EXPECT_TRUE(outcome.records.empty());
+        EXPECT_EQ(outcome.profiler_bytes, 0u);
+        EXPECT_GT(outcome.result.steps_completed, 0u);
+    }
+}
+
+TEST(SweepRunnerTest, DerivedSeedsDependOnIndexNotThreads)
+{
+    // The seed is a pure function of (base, salt, index) — the
+    // worker that happens to run the job can never perturb it.
+    const std::uint64_t a = SweepRunner::jobSeed(1, 2, 3);
+    EXPECT_EQ(a, SweepRunner::jobSeed(1, 2, 3));
+    EXPECT_NE(a, SweepRunner::jobSeed(1, 2, 4));
+    EXPECT_NE(a, SweepRunner::jobSeed(1, 3, 3));
+    EXPECT_NE(a, SweepRunner::jobSeed(2, 2, 3));
+
+    auto jobs = smallJobs();
+    SweepOptions options;
+    options.threads = 3;
+    options.derive_seeds = true;
+    options.seed_salt = 42;
+    const auto first = SweepRunner(options).run(jobs);
+    const auto second = SweepRunner(options).run(jobs);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].result.wall_time,
+                  second[i].result.wall_time);
+    }
+}
+
+TEST(SweepRunnerTest, EmptyJobListIsFine)
+{
+    EXPECT_TRUE(SweepRunner().run({}).empty());
+}
+
+} // namespace
+} // namespace tpupoint

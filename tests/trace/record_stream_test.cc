@@ -1,0 +1,238 @@
+/** @file Chunked record-stream framing: round trips and damage. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/rng.hh"
+#include "trace/record_stream.hh"
+
+namespace tpupoint {
+namespace {
+
+// Wire offsets (see the format comment in record_stream.hh):
+// header is 8 bytes, a chunk header is 16, so the first chunk's
+// payload starts at byte 24.
+constexpr std::size_t kHeaderSize = 8;
+constexpr std::size_t kChunkHeaderSize = 16;
+constexpr std::size_t kEndSize = 12;
+
+std::vector<std::string>
+randomPayloads(std::size_t count, std::uint32_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::string> payloads;
+    payloads.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        std::string payload(rng.nextBounded(200), '\0');
+        for (char &byte : payload)
+            byte = static_cast<char>('a' + rng.nextBounded(26));
+        payloads.push_back(std::move(payload));
+    }
+    return payloads;
+}
+
+std::string
+writeStream(const std::vector<std::string> &payloads,
+            const RecordStreamOptions &options = {})
+{
+    std::ostringstream out;
+    RecordStreamWriter writer(out, options);
+    for (const std::string &payload : payloads)
+        writer.append(payload);
+    writer.finish();
+    return out.str();
+}
+
+TEST(RecordStreamTest, ZeroRecordStreamReadsCleanEnd)
+{
+    std::ostringstream out;
+    {
+        RecordStreamWriter writer(out);
+        writer.finish();
+        EXPECT_EQ(writer.records(), 0u);
+        EXPECT_EQ(writer.bytesWritten(), kHeaderSize + kEndSize);
+    }
+    std::istringstream in(out.str());
+    RecordStreamReader reader(in);
+    std::string_view payload;
+    EXPECT_EQ(reader.next(payload), StreamStatus::End);
+    EXPECT_EQ(reader.records(), 0u);
+    EXPECT_EQ(reader.version(), 2u);
+    // Terminal state is sticky.
+    EXPECT_EQ(reader.next(payload), StreamStatus::End);
+}
+
+TEST(RecordStreamTest, RoundTripAcrossManyChunks)
+{
+    const auto payloads = randomPayloads(257, 11);
+    RecordStreamOptions options;
+    options.chunk_records = 7; // Force many chunk boundaries.
+    const std::string bytes = writeStream(payloads, options);
+
+    std::istringstream in(bytes);
+    RecordStreamReader reader(in);
+    std::string_view payload;
+    for (const std::string &expected : payloads) {
+        ASSERT_EQ(reader.next(payload), StreamStatus::Ok);
+        EXPECT_EQ(payload, expected);
+    }
+    EXPECT_EQ(reader.next(payload), StreamStatus::End);
+    EXPECT_EQ(reader.records(), payloads.size());
+}
+
+TEST(RecordStreamTest, EmptyPayloadsRoundTrip)
+{
+    const std::vector<std::string> payloads = {"", "x", "", ""};
+    std::istringstream in(writeStream(payloads));
+    RecordStreamReader reader(in);
+    std::string_view payload;
+    for (const std::string &expected : payloads) {
+        ASSERT_EQ(reader.next(payload), StreamStatus::Ok);
+        EXPECT_EQ(payload, expected);
+    }
+    EXPECT_EQ(reader.next(payload), StreamStatus::End);
+}
+
+TEST(RecordStreamTest, DestructorSealsStream)
+{
+    std::ostringstream out;
+    {
+        RecordStreamWriter writer(out);
+        writer.append("abc");
+        // No finish(): the destructor must seal the stream.
+    }
+    std::istringstream in(out.str());
+    RecordStreamReader reader(in);
+    std::string_view payload;
+    ASSERT_EQ(reader.next(payload), StreamStatus::Ok);
+    EXPECT_EQ(payload, "abc");
+    EXPECT_EQ(reader.next(payload), StreamStatus::End);
+}
+
+TEST(RecordStreamTest, TruncationMidChunkIsDetected)
+{
+    std::string bytes = writeStream(randomPayloads(40, 3));
+    bytes.resize(bytes.size() / 2);
+    std::istringstream in(bytes);
+    RecordStreamReader reader(in);
+    std::string_view payload;
+    StreamStatus status;
+    while ((status = reader.next(payload)) == StreamStatus::Ok) {
+    }
+    EXPECT_EQ(status, StreamStatus::Truncated);
+    EXPECT_FALSE(reader.error().empty());
+}
+
+TEST(RecordStreamTest, MissingEndMarkerIsTruncation)
+{
+    // Cut exactly at the last chunk boundary: every chunk is
+    // intact, only the end marker is gone. A length-prefixed
+    // format would call this a clean EOF; the end marker is what
+    // lets the reader tell "writer died" from "writer finished".
+    std::string bytes = writeStream(randomPayloads(40, 4));
+    bytes.resize(bytes.size() - kEndSize);
+    std::istringstream in(bytes);
+    RecordStreamReader reader(in);
+    std::string_view payload;
+    std::uint64_t produced = 0;
+    StreamStatus status;
+    while ((status = reader.next(payload)) == StreamStatus::Ok)
+        ++produced;
+    EXPECT_EQ(status, StreamStatus::Truncated);
+    EXPECT_EQ(produced, 40u); // Every whole record is recovered.
+}
+
+TEST(RecordStreamTest, CorruptPayloadFailsChecksum)
+{
+    std::string bytes = writeStream(randomPayloads(40, 5));
+    // Flip one payload byte inside the first chunk.
+    const std::size_t victim =
+        kHeaderSize + kChunkHeaderSize + 10;
+    ASSERT_LT(victim, bytes.size());
+    bytes[victim] = static_cast<char>(bytes[victim] ^ 0x40);
+    std::istringstream in(bytes);
+    RecordStreamReader reader(in);
+    std::string_view payload;
+    EXPECT_EQ(reader.next(payload), StreamStatus::Corrupt);
+    EXPECT_NE(reader.error().find("checksum"), std::string::npos);
+}
+
+TEST(RecordStreamTest, BadChunkMarkerIsCorrupt)
+{
+    std::string bytes = writeStream(randomPayloads(4, 6));
+    bytes[kHeaderSize] = 'X'; // First byte of the chunk marker.
+    std::istringstream in(bytes);
+    RecordStreamReader reader(in);
+    std::string_view payload;
+    EXPECT_EQ(reader.next(payload), StreamStatus::Corrupt);
+}
+
+TEST(RecordStreamTest, WrongVersionIsCorrupt)
+{
+    std::string bytes = writeStream({"abc"});
+    bytes[4] = 9; // Version field follows the 4-byte magic.
+    std::istringstream in(bytes);
+    RecordStreamReader reader(in);
+    EXPECT_EQ(reader.status(), StreamStatus::Corrupt);
+    EXPECT_NE(reader.error().find("version"), std::string::npos);
+}
+
+TEST(RecordStreamTest, ImplausiblePayloadSizeIsCorrupt)
+{
+    // Hand-craft a chunk header declaring a 1 GiB payload; the
+    // reader must refuse the allocation, not attempt it.
+    std::string bytes = writeStream({"abc"});
+    const std::size_t size_field = kHeaderSize + 8;
+    bytes[size_field + 0] = 0;
+    bytes[size_field + 1] = 0;
+    bytes[size_field + 2] = 0;
+    bytes[size_field + 3] = 0x40; // 0x40000000 little-endian.
+    std::istringstream in(bytes);
+    RecordStreamReader reader(in);
+    std::string_view payload;
+    EXPECT_EQ(reader.next(payload), StreamStatus::Corrupt);
+    EXPECT_NE(reader.error().find("payload size"),
+              std::string::npos);
+}
+
+TEST(RecordStreamTest, EndMarkerCountMismatchIsCorrupt)
+{
+    RecordStreamOptions options;
+    options.chunk_records = 2;
+    std::string bytes = writeStream(randomPayloads(4, 7), options);
+    // The record-count u64 sits after the end marker's u32.
+    const std::size_t count_field = bytes.size() - 8;
+    bytes[count_field] =
+        static_cast<char>(bytes[count_field] + 1);
+    std::istringstream in(bytes);
+    RecordStreamReader reader(in);
+    std::string_view payload;
+    StreamStatus status;
+    while ((status = reader.next(payload)) == StreamStatus::Ok) {
+    }
+    EXPECT_EQ(status, StreamStatus::Corrupt);
+    EXPECT_NE(reader.error().find("end marker"),
+              std::string::npos);
+}
+
+TEST(RecordStreamTest, ChunkSizeNeverExceedsConfiguredBytes)
+{
+    std::ostringstream out;
+    RecordStreamOptions options;
+    options.chunk_records = 1000000;
+    options.chunk_bytes = 256;
+    RecordStreamWriter writer(out, options);
+    for (int i = 0; i < 100; ++i) {
+        writer.append(std::string(100, 'z'));
+        EXPECT_LT(writer.pendingBytes(), options.chunk_bytes);
+    }
+    writer.finish();
+    EXPECT_EQ(writer.pendingBytes(), 0u);
+    EXPECT_EQ(writer.bytesWritten(), out.str().size());
+}
+
+} // namespace
+} // namespace tpupoint

@@ -1,0 +1,77 @@
+/** @file RecordSpool backpressure and accounting. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "trace/record_stream.hh"
+#include "trace/spool.hh"
+
+namespace tpupoint {
+namespace {
+
+TEST(RecordSpoolTest, SpooledStreamRoundTrips)
+{
+    std::ostringstream out;
+    {
+        RecordSpool spool(&out);
+        spool.push("alpha");
+        spool.push("beta");
+        spool.push("");
+        spool.finish();
+        EXPECT_EQ(spool.records(), 3u);
+        // Payload bytes plus the 4-byte length frame per record.
+        EXPECT_EQ(spool.bytesSpooled(), 5u + 4 + 4 + 4 + 0 + 4);
+        EXPECT_EQ(spool.bufferedBytes(), 0u);
+        EXPECT_EQ(spool.bytesFlushed(), out.str().size());
+    }
+    std::istringstream in(out.str());
+    RecordStreamReader reader(in);
+    std::string_view payload;
+    ASSERT_EQ(reader.next(payload), StreamStatus::Ok);
+    EXPECT_EQ(payload, "alpha");
+    ASSERT_EQ(reader.next(payload), StreamStatus::Ok);
+    EXPECT_EQ(payload, "beta");
+    ASSERT_EQ(reader.next(payload), StreamStatus::Ok);
+    EXPECT_EQ(payload, "");
+    EXPECT_EQ(reader.next(payload), StreamStatus::End);
+}
+
+TEST(RecordSpoolTest, BackpressureCountsStallsAndBoundsMemory)
+{
+    std::ostringstream out;
+    RecordSpoolOptions options;
+    options.max_buffered_bytes = 128;
+    // Keep the stream's own chunk limits out of the way so the
+    // spool's backpressure is what flushes.
+    options.stream.chunk_records = 1u << 20;
+    options.stream.chunk_bytes = 1u << 20;
+    RecordSpool spool(&out, options);
+
+    const std::string payload(100, 'p');
+    for (int i = 0; i < 10; ++i) {
+        spool.push(payload);
+        EXPECT_LE(spool.bufferedBytes(),
+                  options.max_buffered_bytes + payload.size() + 4);
+    }
+    EXPECT_GT(spool.stalls(), 0u);
+    spool.finish();
+    EXPECT_EQ(spool.records(), 10u);
+}
+
+TEST(RecordSpoolTest, NullSinkCountsWithoutStoring)
+{
+    RecordSpool spool(nullptr);
+    for (int i = 0; i < 50; ++i)
+        spool.push("0123456789");
+    spool.finish();
+    EXPECT_EQ(spool.records(), 50u);
+    EXPECT_EQ(spool.bytesSpooled(), 50u * (10 + 4));
+    // Everything framed was pushed through (and discarded).
+    EXPECT_GT(spool.bytesFlushed(), spool.bytesSpooled());
+}
+
+} // namespace
+} // namespace tpupoint

@@ -18,8 +18,10 @@
 
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "analyzer/visualization.hh"
 #include "core/strings.hh"
@@ -92,19 +94,45 @@ main(int argc, char **argv)
 
     std::ifstream in(profile_path, std::ios::binary);
     if (!in) {
-        std::fprintf(stderr, "cannot read %s\n",
+        std::fprintf(stderr,
+                     "error: cannot open profile '%s'\n",
                      profile_path.c_str());
         return 1;
     }
-    ProfileReader reader(in);
-    const std::vector<ProfileRecord> records = reader.readAll();
+
+    // Stream the profile: each record is folded into the analysis
+    // as it is decoded, so memory stays bounded by one chunk plus
+    // the aggregated step table, not the profile size.
+    AnalysisSession session(options);
+    std::vector<ProfileWindowInfo> windows;
+    try {
+        ProfileReader reader(in);
+        ProfileRecord record;
+        while (reader.read(record)) {
+            windows.emplace_back(record);
+            session.ingest(record);
+        }
+    } catch (const std::exception &error) {
+        std::fprintf(stderr,
+                     "error: unreadable profile '%s': %s\n",
+                     profile_path.c_str(), error.what());
+        return 1;
+    }
+    if (session.recordsIngested() == 0) {
+        std::fprintf(stderr,
+                     "error: profile '%s' contains no records\n",
+                     profile_path.c_str());
+        return 1;
+    }
+
     const auto checkpoints =
         loadCheckpoints(profile_path + ".checkpoints");
-    std::printf("loaded %zu profile records, %zu checkpoints\n",
-                records.size(), checkpoints.size());
+    std::printf("loaded %llu profile records, %zu checkpoints\n",
+                static_cast<unsigned long long>(
+                    session.recordsIngested()),
+                checkpoints.size());
 
-    const AnalysisResult analysis =
-        TpuPointAnalyzer(options).analyze(records, checkpoints);
+    const AnalysisResult analysis = session.finalize(checkpoints);
 
     std::printf("\n%s: %zu steps -> %zu phases (top-3 coverage "
                 "%.1f%%)\n",
@@ -136,18 +164,34 @@ main(int argc, char **argv)
         std::printf("\n");
     }
 
-    {
-        std::ofstream out(out_base + ".trace.json");
-        writeChromeTrace(analysis, records, out);
-    }
-    {
-        std::ofstream out(out_base + ".phases.csv");
-        writePhaseCsv(analysis, out);
-    }
-    {
-        std::ofstream out(out_base + ".summary.json");
-        writeAnalysisJson(analysis, out);
-    }
+    const auto write_artifact =
+        [](const std::string &path, const auto &writer) -> bool {
+        std::ofstream out(path, std::ios::binary);
+        if (out)
+            writer(out);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         path.c_str());
+            return false;
+        }
+        return true;
+    };
+    const bool wrote_all =
+        write_artifact(out_base + ".trace.json",
+                       [&](std::ostream &out) {
+                           writeChromeTrace(analysis, windows,
+                                            out);
+                       }) &
+        write_artifact(out_base + ".phases.csv",
+                       [&](std::ostream &out) {
+                           writePhaseCsv(analysis, out);
+                       }) &
+        write_artifact(out_base + ".summary.json",
+                       [&](std::ostream &out) {
+                           writeAnalysisJson(analysis, out);
+                       });
+    if (!wrote_all)
+        return 1;
     std::printf("\nwrote %s.trace.json, %s.phases.csv, "
                 "%s.summary.json\n",
                 out_base.c_str(), out_base.c_str(),

@@ -12,6 +12,7 @@
  */
 
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -24,16 +25,41 @@ using namespace tpupoint;
 
 namespace {
 
-std::vector<ProfileRecord>
-loadProfile(const std::string &path)
+/**
+ * Stream one profile straight into an analysis. Unopenable,
+ * unreadable and empty profiles all fail loudly with a nonzero
+ * exit instead of comparing garbage.
+ */
+AnalysisResult
+analyzeProfile(const std::string &path,
+               const AnalyzerOptions &options)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
-        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        std::fprintf(stderr,
+                     "error: cannot open profile '%s'\n",
+                     path.c_str());
         std::exit(1);
     }
-    ProfileReader reader(in);
-    return reader.readAll();
+    AnalysisSession session(options);
+    try {
+        ProfileReader reader(in);
+        ProfileRecord record;
+        while (reader.read(record))
+            session.ingest(record);
+    } catch (const std::exception &error) {
+        std::fprintf(stderr,
+                     "error: unreadable profile '%s': %s\n",
+                     path.c_str(), error.what());
+        std::exit(1);
+    }
+    if (session.recordsIngested() == 0) {
+        std::fprintf(stderr,
+                     "error: profile '%s' contains no records\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    return session.finalize();
 }
 
 } // namespace
@@ -81,9 +107,8 @@ main(int argc, char **argv)
         }
     }
 
-    const TpuPointAnalyzer analyzer(options);
-    const AnalysisResult a = analyzer.analyze(loadProfile(path_a));
-    const AnalysisResult b = analyzer.analyze(loadProfile(path_b));
+    const AnalysisResult a = analyzeProfile(path_a, options);
+    const AnalysisResult b = analyzeProfile(path_b, options);
     const AnalysisComparison comparison =
         compareAnalyses(a, b, label_a, label_b);
     writeComparison(comparison, std::cout);

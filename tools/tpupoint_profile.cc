@@ -84,6 +84,16 @@ main(int argc, char **argv)
     if (naive)
         config.pipeline = PipelineConfig::naive();
 
+    // Open the sink up front and stream records to it as they are
+    // harvested: memory stays bounded by the spool, not the run
+    // length, and an unwritable path fails before the run starts.
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+
     std::printf("profiling %s on %s (%llu train steps%s)...\n",
                 workload.name.c_str(), config.device.name.c_str(),
                 static_cast<unsigned long long>(
@@ -91,27 +101,29 @@ main(int argc, char **argv)
                 naive ? ", naive pipeline" : "");
 
     TrainingSession session(sim, config, workload);
-    TpuPointProfiler profiler(sim, session);
+    ProfilerOptions profiler_options;
+    profiler_options.retain_records = false;
+    TpuPointProfiler profiler(sim, session, profiler_options);
+    profiler.streamTo(out);
     profiler.start(/*analyzer=*/true);
     session.start(nullptr);
     sim.run();
     profiler.stop();
-
-    const SessionResult &result = session.result();
-    std::printf("done: wall %.1f s, idle %.1f%%, MXU %.1f%%, "
-                "%zu profile records\n",
-                toSeconds(result.wall_time),
-                100 * result.tpu_idle_fraction,
-                100 * result.mxu_utilization,
-                profiler.records().size());
-
-    std::ofstream out(out_path, std::ios::binary);
+    out.flush();
     if (!out) {
-        std::fprintf(stderr, "cannot write %s\n",
+        std::fprintf(stderr, "error: failed writing %s\n",
                      out_path.c_str());
         return 1;
     }
-    profiler.writeRecords(out);
+
+    const SessionResult &result = session.result();
+    std::printf("done: wall %.1f s, idle %.1f%%, MXU %.1f%%, "
+                "%llu profile records\n",
+                toSeconds(result.wall_time),
+                100 * result.tpu_idle_fraction,
+                100 * result.mxu_utilization,
+                static_cast<unsigned long long>(
+                    profiler.recordsRecorded()));
 
     // Checkpoint registry alongside, for phase fast-forwarding.
     std::ofstream ckpt_out(out_path + ".checkpoints");
@@ -119,6 +131,11 @@ main(int argc, char **argv)
          session.checkpoints().checkpoints()) {
         ckpt_out << info.step << ' ' << info.saved_at << ' '
                  << info.bytes << '\n';
+    }
+    if (!ckpt_out) {
+        std::fprintf(stderr, "error: cannot write %s.checkpoints\n",
+                     out_path.c_str());
+        return 1;
     }
     std::printf("wrote %s and %s.checkpoints\n", out_path.c_str(),
                 out_path.c_str());
