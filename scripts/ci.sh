@@ -9,6 +9,10 @@ cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
+# Per-test timeout (seconds): a wedged simulation must fail the
+# gate, not hang it. Override with TPUPOINT_CTEST_TIMEOUT.
+test_timeout=${TPUPOINT_CTEST_TIMEOUT:-120}
+
 run_suite() {
     local build_dir=$1
     shift
@@ -17,7 +21,8 @@ run_suite() {
     echo "== building ${build_dir}"
     cmake --build "${build_dir}" -j "${jobs}"
     echo "== testing ${build_dir}"
-    ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+    ctest --test-dir "${build_dir}" --output-on-failure \
+        -j "${jobs}" --timeout "${test_timeout}"
 }
 
 run_suite build "$@"

@@ -37,7 +37,7 @@ CheckpointManager::save(StepId step, std::function<void()> done)
         saved.push_back(info);
         if (done)
             done();
-    });
+    }, step);
 }
 
 void
@@ -58,7 +58,7 @@ CheckpointManager::restore(StepId from_step,
         }
         if (done)
             done();
-    });
+    }, from_step);
 }
 
 const CheckpointInfo *

@@ -40,6 +40,11 @@ inline constexpr const char *kConfigureDistributedTPU =
 inline constexpr const char *kRestoreV2 = "RestoreV2";
 inline constexpr const char *kSaveV2 = "SaveV2";
 
+// Cloud-storage retry: one failed transfer attempt plus its
+// backoff. Emitted by the storage model under fault injection so
+// the profiler can attribute slowdown to transient faults.
+inline constexpr const char *kStorageRetry = "StorageRetry";
+
 // Input-pipeline preprocessing (image workloads).
 inline constexpr const char *kDecodeAndCropJpeg = "DecodeAndCropJpeg";
 inline constexpr const char *kResizeBicubic = "ResizeBicubic";

@@ -128,7 +128,8 @@ InputPipeline::readLoop()
                          emit(hostop::kRecv, start,
                               sim.now() - start, kNoStep);
                          readLoop();
-                     });
+                     },
+                     kNoStep);
         return;
     }
 
@@ -145,7 +146,7 @@ InputPipeline::readLoop()
         batch.bytes = stored;
         batch.ready_at = sim.now();
         raw_queue.push(batch, [this]() { readLoop(); });
-    });
+    }, step);
 }
 
 void

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/logging.hh"
+#include "host/host_ops.hh"
 
 namespace tpupoint {
 
@@ -14,6 +15,20 @@ StorageBucket::StorageBucket(Simulator &simulator,
 {
 }
 
+void
+StorageBucket::injectFaults(FaultPlan *plan,
+                            const RetryPolicy &policy)
+{
+    if (policy.max_attempts < 1)
+        fatal("StorageBucket: retry policy needs >= 1 attempt");
+    if (policy.jitter < 0 || policy.jitter > 1)
+        fatal("StorageBucket: retry jitter must lie in [0, 1]");
+    if (policy.backoff_multiplier < 1)
+        fatal("StorageBucket: backoff multiplier must be >= 1");
+    faults = plan;
+    retry_policy = policy;
+}
+
 SimTime
 StorageBucket::transferTime(std::uint64_t bytes) const
 {
@@ -23,38 +38,154 @@ StorageBucket::transferTime(std::uint64_t bytes) const
         static_cast<SimTime>(seconds * 1e9 + 0.5);
 }
 
+std::vector<std::uint64_t>
+StorageBucket::splitShares(std::uint64_t bytes, int streams)
+{
+    if (streams < 1)
+        fatal("StorageBucket::splitShares: need >= 1 stream");
+    const auto count = static_cast<std::uint64_t>(streams);
+    const std::uint64_t base = bytes / count;
+    std::vector<std::uint64_t> shares(
+        static_cast<std::size_t>(streams), base);
+    // The last stream carries the remainder so the shares sum to
+    // exactly `bytes` (no rounded-up over-charge).
+    shares.back() += bytes - base * count;
+    return shares;
+}
+
+SimTime
+StorageBucket::backoffDelay(int attempt)
+{
+    double delay =
+        static_cast<double>(retry_policy.initial_backoff);
+    for (int i = 1; i < attempt; ++i)
+        delay *= retry_policy.backoff_multiplier;
+    delay = std::min(delay,
+                     static_cast<double>(retry_policy.max_backoff));
+    if (faults && retry_policy.jitter > 0) {
+        // Deterministic jitter from the plan's own stream: one
+        // seed fixes the whole backoff schedule.
+        const double swing =
+            retry_policy.jitter * (2.0 * faults->jitter() - 1.0);
+        delay *= 1.0 + swing;
+    }
+    return static_cast<SimTime>(delay);
+}
+
+void
+StorageBucket::emitRetry(SimTime start, SimTime duration,
+                         StepId step)
+{
+    if (!sink)
+        return;
+    TraceEvent event;
+    event.type = hostop::kStorageRetry;
+    event.start = start;
+    event.duration = duration;
+    event.step = step;
+    event.device = EventDevice::Host;
+    sink->record(event);
+}
+
+void
+StorageBucket::transfer(std::uint64_t bytes, int attempt,
+                        SimTime op_start, StepId step,
+                        std::function<void()> done)
+{
+    FaultDecision fault;
+    if (faults)
+        fault = faults->sample(sim.now());
+
+    const SimTime clean = transferTime(bytes);
+    SimTime held = clean;
+    switch (fault.kind) {
+      case FaultKind::None:
+        break;
+      case FaultKind::LatencySpike:
+        held = clean + fault.extra_latency;
+        break;
+      case FaultKind::TransientError:
+        // The service answered the request with a retryable error:
+        // only the round trip was paid.
+        held = config.request_latency;
+        break;
+      case FaultKind::StreamReset:
+        // The connection died partway through the payload.
+        held = config.request_latency + static_cast<SimTime>(
+            fault.completed_fraction *
+            static_cast<double>(clean - config.request_latency));
+        break;
+    }
+
+    streams.use(held, [this, bytes, attempt, op_start, step, fault,
+                       held, done = std::move(done)]() mutable {
+        if (!fault.failed()) {
+            if (done)
+                done();
+            return;
+        }
+        const SimTime attempt_start = sim.now() - held;
+        if (attempt >= retry_policy.max_attempts) {
+            fatal("StorageBucket: transfer of ", bytes,
+                  " bytes failed (", faultKindName(fault.kind),
+                  ") after ", attempt,
+                  " attempts; retry budget exhausted");
+        }
+        const SimTime backoff = backoffDelay(attempt);
+        if (retry_policy.op_timeout > 0 &&
+            sim.now() + backoff - op_start >
+                retry_policy.op_timeout) {
+            fatal("StorageBucket: transfer of ", bytes,
+                  " bytes exceeded its ",
+                  toSeconds(retry_policy.op_timeout),
+                  " s timeout after ", attempt, " attempts");
+        }
+        ++retries;
+        retry_time += held + backoff;
+        // The retry event spans the failed attempt plus the
+        // backoff — the time the fault actually cost this stream.
+        emitRetry(attempt_start, held + backoff, step);
+        sim.schedule(backoff, [this, bytes, attempt, op_start,
+                               step,
+                               done = std::move(done)]() mutable {
+            transfer(bytes, attempt + 1, op_start, step,
+                     std::move(done));
+        });
+    });
+}
+
 void
 StorageBucket::read(std::uint64_t bytes, int parallel_streams,
-                    std::function<void()> done)
+                    std::function<void()> done, StepId step)
 {
     if (parallel_streams < 1)
         fatal("StorageBucket::read: need at least one stream");
     const int actual = std::min(parallel_streams,
                                 config.max_streams);
     bytes_read += bytes;
-    const std::uint64_t per_stream =
-        (bytes + static_cast<std::uint64_t>(actual) - 1) /
-        static_cast<std::uint64_t>(actual);
-    const SimTime per_stream_time = transferTime(per_stream);
+    const std::vector<std::uint64_t> shares =
+        splitShares(bytes, actual);
 
-    // All streams carry an equal share; completion when the last
-    // stream finishes. Streams contend for the bounded pool.
+    // Completion when the last stream finishes. Streams contend
+    // for the bounded pool and retry independently.
     auto remaining = std::make_shared<int>(actual);
     auto completion = std::make_shared<std::function<void()>>(
         std::move(done));
-    for (int i = 0; i < actual; ++i) {
-        streams.use(per_stream_time, [remaining, completion]() {
-            if (--(*remaining) == 0 && *completion)
-                (*completion)();
-        });
+    for (const std::uint64_t share : shares) {
+        transfer(share, 1, sim.now(), step,
+                 [remaining, completion]() {
+                     if (--(*remaining) == 0 && *completion)
+                         (*completion)();
+                 });
     }
 }
 
 void
-StorageBucket::write(std::uint64_t bytes, std::function<void()> done)
+StorageBucket::write(std::uint64_t bytes,
+                     std::function<void()> done, StepId step)
 {
     bytes_written += bytes;
-    streams.use(transferTime(bytes), std::move(done));
+    transfer(bytes, 1, sim.now(), step, std::move(done));
 }
 
 } // namespace tpupoint

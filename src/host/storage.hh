@@ -4,6 +4,15 @@
  * and writes checkpoints through Google Cloud Storage; this models
  * per-stream bandwidth, request latency and a bounded number of
  * concurrent streams.
+ *
+ * A FaultPlan can be injected to model the transient behaviour of a
+ * real bucket (request errors, tail-latency spikes, mid-transfer
+ * stream resets). Failed attempts are retried transparently under a
+ * RetryPolicy — capped exponential backoff with deterministic
+ * jitter — and all retry time is charged to the simulation, so
+ * faults surface exactly where TPUPoint looks: longer Recv/SaveV2
+ * durations, TPU infeed stalls, and StorageRetry trace events the
+ * profiler folds into the phase tables.
  */
 
 #ifndef TPUPOINT_HOST_STORAGE_HH
@@ -12,8 +21,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/types.hh"
+#include "proto/event.hh"
+#include "sim/fault.hh"
 #include "sim/resource.hh"
 #include "sim/simulator.hh"
 
@@ -28,9 +40,40 @@ struct StorageSpec
 };
 
 /**
+ * How the bucket retries a faulted transfer attempt. Backoff grows
+ * geometrically from @p initial_backoff, is capped at
+ * @p max_backoff, and is jittered by up to +/- @p jitter of itself
+ * (drawn deterministically from the fault plan's stream).
+ */
+struct RetryPolicy
+{
+    /** Attempts per transfer, the first included. Exhausting the
+     * budget is a hard failure (fatal): the training job would have
+     * crashed on the storage exception. */
+    int max_attempts = 6;
+
+    SimTime initial_backoff = 10 * kMsec;
+    double backoff_multiplier = 2.0;
+    SimTime max_backoff = 2 * kSec;
+
+    /** Jitter fraction in [0, 1]: backoff *= 1 +/- jitter. */
+    double jitter = 0.25;
+
+    /**
+     * Cap on one transfer's total time across attempts and
+     * backoffs, checked whenever an attempt fails; 0 disables. A
+     * transfer that would retry past the cap fails hard instead of
+     * wedging the run.
+     */
+    SimTime op_timeout = 60 * kSec;
+};
+
+/**
  * A persistent object-store bucket. Reads and writes acquire one of
  * a bounded pool of streams; each transfer costs latency plus
- * size/bandwidth.
+ * size/bandwidth. With a fault plan injected, each per-stream
+ * attempt samples the plan and may error, spike or reset; failures
+ * release the stream, back off per the retry policy, and reacquire.
  */
 class StorageBucket
 {
@@ -38,14 +81,41 @@ class StorageBucket
     StorageBucket(Simulator &simulator, const StorageSpec &spec);
 
     /**
+     * Inject transient faults. @p plan must outlive the bucket; a
+     * null plan (or a quiet one) restores steady-state behaviour.
+     */
+    void injectFaults(FaultPlan *plan,
+                      const RetryPolicy &policy = {});
+
+    /** Emit StorageRetry events here (nullptr disables). */
+    void setTraceSink(TraceSink *trace_sink) { sink = trace_sink; }
+
+    /**
      * Read @p bytes using up to @p parallel_streams concurrent
-     * streams; @p done fires when the last stream completes.
+     * streams; @p done fires when the last stream completes. The
+     * shares are as equal as possible with the last stream carrying
+     * the remainder, so the shares always sum to exactly @p bytes.
+     * @p step attributes retry events to a training step.
      */
     void read(std::uint64_t bytes, int parallel_streams,
-              std::function<void()> done);
+              std::function<void()> done, StepId step = kNoStep);
 
-    /** Write @p bytes (checkpoints) on one stream. */
-    void write(std::uint64_t bytes, std::function<void()> done);
+    /**
+     * Write @p bytes (checkpoints) on one stream. A zero-byte
+     * write still pays the request latency: an empty PUT is still
+     * a storage round trip, and callers rely on @p done firing
+     * strictly later than the call.
+     */
+    void write(std::uint64_t bytes, std::function<void()> done,
+               StepId step = kNoStep);
+
+    /**
+     * The per-stream byte shares read() uses: as equal as possible,
+     * remainder on the last stream. Exposed so tests can pin
+     * sum(shares) == bytes.
+     */
+    static std::vector<std::uint64_t>
+    splitShares(std::uint64_t bytes, int streams);
 
     /** Total bytes served. */
     std::uint64_t bytesRead() const { return bytes_read; }
@@ -53,14 +123,44 @@ class StorageBucket
     /** Total bytes written. */
     std::uint64_t bytesWritten() const { return bytes_written; }
 
+    /** Failed attempts that were retried. */
+    std::uint64_t retriesPerformed() const { return retries; }
+
+    /** Time lost to failed attempts plus backoff. */
+    SimTime retryTime() const { return retry_time; }
+
+    /** The injected plan, or nullptr. */
+    FaultPlan *faultPlan() const { return faults; }
+
   private:
     SimTime transferTime(std::uint64_t bytes) const;
+
+    /**
+     * One per-stream transfer: sample the fault plan, hold a
+     * stream for the attempt, and either complete or back off and
+     * try again.
+     * @param attempt 1-based attempt number.
+     * @param op_start When the transfer (attempt 1) began.
+     */
+    void transfer(std::uint64_t bytes, int attempt,
+                  SimTime op_start, StepId step,
+                  std::function<void()> done);
+
+    /** Jittered, capped exponential backoff after @p attempt. */
+    SimTime backoffDelay(int attempt);
+
+    void emitRetry(SimTime start, SimTime duration, StepId step);
 
     Simulator &sim;
     StorageSpec config;
     Resource streams;
+    FaultPlan *faults = nullptr;
+    RetryPolicy retry_policy;
+    TraceSink *sink = nullptr;
     std::uint64_t bytes_read = 0;
     std::uint64_t bytes_written = 0;
+    std::uint64_t retries = 0;
+    SimTime retry_time = 0;
 };
 
 } // namespace tpupoint

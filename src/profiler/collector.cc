@@ -1,6 +1,9 @@
 #include "profiler/collector.hh"
 
 #include <algorithm>
+#include <string_view>
+
+#include "host/host_ops.hh"
 
 namespace tpupoint {
 
@@ -29,6 +32,13 @@ StatsCollector::record(const TraceEvent &event)
     if (inserted)
         it->second.step = step;
     it->second.add(event);
+    if (event.type &&
+        std::string_view(event.type) == hostop::kStorageRetry) {
+        // Surface fault-induced retries as window meta-data so the
+        // analyzer can attribute slowdown without op-name lookups.
+        ++retry_events;
+        retry_time += event.duration;
+    }
     ++events;
 }
 
@@ -41,6 +51,8 @@ StatsCollector::harvest(SimTime window_end)
     record.window_end = window_end;
     record.event_count = events;
     record.truncated = truncated;
+    record.retries = retry_events;
+    record.retry_time = retry_time;
 
     SimTime busy = 0;
     SimTime mxu = 0;
@@ -60,6 +72,8 @@ StatsCollector::harvest(SimTime window_end)
     steps.clear();
     events = 0;
     truncated = false;
+    retry_events = 0;
+    retry_time = 0;
     window_begin = window_end;
     return record;
 }

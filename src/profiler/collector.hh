@@ -55,6 +55,8 @@ class StatsCollector : public TraceSink
     std::uint64_t sequence = 0;
     bool truncated = false;
     StepId latest_step = 0;
+    std::uint64_t retry_events = 0;
+    SimTime retry_time = 0;
 };
 
 /**

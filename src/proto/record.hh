@@ -88,6 +88,12 @@ struct ProfileRecord
     double tpu_idle_fraction = 0.0;  ///< Idle / elapsed in window.
     double mxu_utilization = 0.0;    ///< MXU-active / elapsed.
 
+    /** Storage retry events (transient faults) in the window. */
+    std::uint64_t retries = 0;
+
+    /** Time lost to failed attempts + backoff in the window. */
+    SimTime retry_time = 0;
+
     /** Per-step summaries, ascending by step. */
     std::vector<StepStats> steps;
 

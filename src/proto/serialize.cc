@@ -64,6 +64,8 @@ encodeProfileRecord(const ProfileRecord &record)
     out.putU32(record.truncated ? 1 : 0);
     out.putF64(record.tpu_idle_fraction);
     out.putF64(record.mxu_utilization);
+    out.putU64(record.retries);
+    out.putI64(record.retry_time);
     out.putU32(static_cast<std::uint32_t>(record.steps.size()));
     for (const auto &s : record.steps) {
         out.putU64(s.step);
@@ -93,6 +95,8 @@ decodeProfileRecord(std::string_view payload,
         !in.getU32(truncated) ||
         !in.getF64(record.tpu_idle_fraction) ||
         !in.getF64(record.mxu_utilization) ||
+        !in.getU64(record.retries) ||
+        !in.getI64(record.retry_time) ||
         !in.getU32(num_steps))
         return false;
     record.truncated = truncated != 0;
@@ -123,9 +127,10 @@ ProfileWriter::write(const ProfileRecord &record)
     framing.append(encodeProfileRecord(record));
 }
 
-ProfileReader::ProfileReader(std::istream &in) : framing(in)
+ProfileReader::ProfileReader(std::istream &in, bool salvage)
+    : framing(in, salvage)
 {
-    if (framing.status() != StreamStatus::Ok)
+    if (!salvage && framing.status() != StreamStatus::Ok)
         fatal("ProfileReader: ", framing.error());
 }
 
@@ -133,18 +138,28 @@ bool
 ProfileReader::read(ProfileRecord &record)
 {
     std::string_view payload;
-    switch (framing.next(payload)) {
-      case StreamStatus::Ok:
-        if (!decodeProfileRecord(payload, record))
-            fatal("ProfileReader: malformed record payload");
-        return true;
-      case StreamStatus::End:
-        return false;
-      case StreamStatus::Truncated:
-      case StreamStatus::Corrupt:
-        fatal("ProfileReader: ", framing.error());
+    for (;;) {
+        switch (framing.next(payload)) {
+          case StreamStatus::Ok:
+            if (!decodeProfileRecord(payload, record)) {
+                if (framing.salvaging()) {
+                    // The chunk CRC passed but this payload does
+                    // not decode (written damaged, or a version
+                    // skew): drop the record, keep the stream.
+                    ++undecodable;
+                    continue;
+                }
+                fatal("ProfileReader: malformed record payload");
+            }
+            return true;
+          case StreamStatus::End:
+            return false;
+          case StreamStatus::Truncated:
+          case StreamStatus::Corrupt:
+            fatal("ProfileReader: ", framing.error());
+        }
+        panic("ProfileReader: unreachable stream status");
     }
-    panic("ProfileReader: unreachable stream status");
 }
 
 std::vector<ProfileRecord>
@@ -170,6 +185,8 @@ profileRecordToJson(const ProfileRecord &record, std::ostream &out,
     w.field("truncated", record.truncated);
     w.field("tpu_idle_fraction", record.tpu_idle_fraction);
     w.field("mxu_utilization", record.mxu_utilization);
+    w.field("retries", record.retries);
+    w.field("retry_time_ns", record.retry_time);
     w.key("steps");
     w.beginArray();
     for (const auto &s : record.steps) {

@@ -72,17 +72,27 @@ class ProfileWriter
  * Streaming binary reader for files produced by ProfileWriter.
  * Incremental with bounded memory: one chunk is resident at a
  * time, however large the profile.
+ *
+ * In salvage mode damage never throws: corrupt chunks and payloads
+ * that fail to decode are dropped (and counted), a missing end
+ * marker just ends the stream, and every record the CRCs vouch for
+ * is still produced.
  */
 class ProfileReader
 {
   public:
-    /** Validates the header; throws via fatal() on mismatch. */
-    explicit ProfileReader(std::istream &in);
+    /**
+     * Validates the header; throws via fatal() on mismatch unless
+     * @p salvage is set, in which case the reader scans forward to
+     * the first intact chunk instead.
+     */
+    explicit ProfileReader(std::istream &in, bool salvage = false);
 
     /**
      * Read the next record. Truncated or corrupt streams throw
-     * via fatal() with the transport layer's diagnosis.
-     * @return false at clean end of stream.
+     * via fatal() with the transport layer's diagnosis (salvage
+     * mode drops the damage and reads on instead).
+     * @return false at end of stream.
      */
     bool read(ProfileRecord &record);
 
@@ -92,8 +102,40 @@ class ProfileReader
     /** Records produced so far. */
     std::uint64_t recordsRead() const { return framing.records(); }
 
+    /** True when constructed in salvage mode. */
+    bool salvaging() const { return framing.salvaging(); }
+
+    /** Salvage: chunks dropped to structural damage. */
+    std::uint64_t chunksDropped() const
+    {
+        return framing.chunksDropped();
+    }
+
+    /** Salvage: records whose payloads failed to decode. */
+    std::uint64_t recordsDropped() const
+    {
+        return framing.recordsDropped() + undecodable;
+    }
+
+    /** Salvage: bytes skipped while resynchronizing. */
+    std::uint64_t bytesSkipped() const
+    {
+        return framing.bytesSkipped();
+    }
+
+    /** Salvage: the stream ended without a (valid) end marker. */
+    bool truncatedTail() const { return framing.truncatedTail(); }
+
+    /** Salvage: any damage was encountered at all. */
+    bool
+    sawDamage() const
+    {
+        return framing.sawDamage() || undecodable > 0;
+    }
+
   private:
     RecordStreamReader framing;
+    std::uint64_t undecodable = 0;
 };
 
 /** Serialize one record as a JSON object into @p out. */

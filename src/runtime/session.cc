@@ -24,6 +24,8 @@ TrainingSession::TrainingSession(Simulator &simulator,
                                  const SessionConfig &session_config,
                                  const RuntimeWorkload &workload_def)
     : sim(simulator), config(session_config), work(workload_def),
+      fault_plan(session_config.faults,
+                 session_config.seed ^ 0x4641554c54ULL /* FAULT */),
       storage(simulator, session_config.storage),
       input(simulator, session_config.host, storage,
             workload_def.dataset, workload_def.batch_size,
@@ -42,6 +44,9 @@ TrainingSession::TrainingSession(Simulator &simulator,
       ckpt(simulator, storage, workload_def.model_bytes, &hub)
 {
     core.setSink(&hub);
+    storage.setTraceSink(&hub);
+    if (fault_plan.enabled())
+        storage.injectFaults(&fault_plan, config.retry);
     next_step = config.start_step;
 }
 

@@ -20,6 +20,7 @@
 #include "host/storage.hh"
 #include "proto/event.hh"
 #include "runtime/workload.hh"
+#include "sim/fault.hh"
 #include "sim/simulator.hh"
 #include "tpu/core.hh"
 #include "tpu/queues.hh"
@@ -34,6 +35,14 @@ struct SessionConfig
     HostSpec host = HostSpec::standard();
     StorageSpec storage;
     PipelineConfig pipeline;
+
+    /** Transient-fault schedule for the storage service (quiet by
+     * default). Seeded from `seed` unless the spec carries its
+     * own, so fault runs replay bit-for-bit. */
+    FaultSpec faults;
+
+    /** How storage transfers retry under the fault plan. */
+    RetryPolicy retry;
 
     /** On-device infeed buffer depth (batches). */
     std::size_t infeed_queue_depth = 2;
@@ -95,6 +104,9 @@ class TrainingSession
     /** Storage bucket (shared by dataset + checkpoints). */
     StorageBucket &storageBucket() { return storage; }
 
+    /** The live fault plan injected into the storage service. */
+    FaultPlan &faultPlan() { return fault_plan; }
+
     /** TPU device model. */
     TpuCore &tpu() { return core; }
 
@@ -130,6 +142,7 @@ class TrainingSession
     RuntimeWorkload work;
 
     TraceHub hub;
+    FaultPlan fault_plan;
     StorageBucket storage;
     InputPipeline input;
     InfeedQueue infeed_q;

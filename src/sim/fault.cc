@@ -1,0 +1,117 @@
+#include "sim/fault.hh"
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None: return "none";
+      case FaultKind::TransientError: return "transient-error";
+      case FaultKind::LatencySpike: return "latency-spike";
+      case FaultKind::StreamReset: return "stream-reset";
+    }
+    panic("faultKindName: unknown kind");
+}
+
+bool
+FaultSpec::enabled() const
+{
+    for (const auto &window : windows) {
+        if (!window.quiet())
+            return true;
+    }
+    return false;
+}
+
+FaultSpec
+FaultSpec::uniform(double error_rate, double spike_rate,
+                   double reset_rate)
+{
+    FaultWindow window;
+    window.error_rate = error_rate;
+    window.spike_rate = spike_rate;
+    window.reset_rate = reset_rate;
+    FaultSpec spec;
+    spec.windows.push_back(window);
+    return spec;
+}
+
+FaultPlan::FaultPlan(const FaultSpec &spec,
+                     std::uint64_t fallback_seed)
+    : plan(spec), rng(spec.seed ? spec.seed : fallback_seed)
+{
+    for (const auto &window : plan.windows) {
+        if (window.error_rate < 0 || window.error_rate > 1 ||
+            window.spike_rate < 0 || window.spike_rate > 1 ||
+            window.reset_rate < 0 || window.reset_rate > 1)
+            fatal("FaultPlan: rates must lie in [0, 1]");
+        if (window.end <= window.begin)
+            fatal("FaultPlan: window end must follow its begin");
+    }
+}
+
+FaultDecision
+FaultPlan::sample(SimTime now)
+{
+    ++sampled;
+    FaultDecision decision;
+    const FaultWindow *active = nullptr;
+    for (const auto &window : plan.windows) {
+        if (window.active(now) && !window.quiet()) {
+            active = &window;
+            break;
+        }
+    }
+    if (!active)
+        return decision;
+
+    // One class per attempt, errors taking precedence over resets
+    // over spikes; each draw comes from the plan's own stream so
+    // the schedule is a pure function of the seed.
+    if (rng.bernoulli(active->error_rate)) {
+        decision.kind = FaultKind::TransientError;
+    } else if (rng.bernoulli(active->reset_rate)) {
+        decision.kind = FaultKind::StreamReset;
+        decision.completed_fraction = rng.nextDouble();
+    } else if (rng.bernoulli(active->spike_rate)) {
+        decision.kind = FaultKind::LatencySpike;
+        decision.extra_latency = static_cast<SimTime>(
+            static_cast<double>(active->spike_latency) *
+            rng.exponential(1.0));
+    }
+    ++counts[static_cast<std::size_t>(decision.kind)];
+    return decision;
+}
+
+std::uint64_t
+FaultPlan::injected(FaultKind kind) const
+{
+    return counts[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t
+FaultPlan::injectedTotal() const
+{
+    return injected(FaultKind::TransientError) +
+        injected(FaultKind::LatencySpike) +
+        injected(FaultKind::StreamReset);
+}
+
+std::string
+FaultPlan::summary() const
+{
+    std::string out;
+    out += "errors=" +
+        std::to_string(injected(FaultKind::TransientError));
+    out += " spikes=" +
+        std::to_string(injected(FaultKind::LatencySpike));
+    out += " resets=" +
+        std::to_string(injected(FaultKind::StreamReset));
+    out += " of " + std::to_string(sampled) + " samples";
+    return out;
+}
+
+} // namespace tpupoint

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Transient-fault injection for Resource-backed services. A real
+ * cloud bucket is not a steady-state pipe: requests fail with
+ * retryable errors, tail latency spikes, and long transfers are
+ * reset mid-stream. A FaultPlan is a deterministic, seeded schedule
+ * of such events keyed to simulated time; services sample it once
+ * per operation attempt and react (retry, stall, resume), so whole
+ * fault experiments replay bit-for-bit from one seed.
+ */
+
+#ifndef TPUPOINT_SIM_FAULT_HH
+#define TPUPOINT_SIM_FAULT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.hh"
+#include "core/types.hh"
+
+namespace tpupoint {
+
+/** Classes of injected behaviour, sampled per operation attempt. */
+enum class FaultKind : std::uint8_t {
+    None,           ///< The attempt proceeds normally.
+    TransientError, ///< The request fails after its round trip.
+    LatencySpike,   ///< The attempt succeeds but pays tail latency.
+    StreamReset,    ///< The transfer dies partway through.
+};
+
+/** Printable fault-kind name. */
+const char *faultKindName(FaultKind kind);
+
+/**
+ * One window of the schedule. Rates are per-attempt probabilities;
+ * a window with all rates zero is quiet. Windows are keyed to sim
+ * time so experiments can model, e.g., a five-minute brown-out in
+ * the middle of a run.
+ */
+struct FaultWindow
+{
+    SimTime begin = 0;
+    SimTime end = kTimeForever;
+
+    /** P(retryable request error) per attempt. */
+    double error_rate = 0.0;
+
+    /** P(tail-latency spike) per attempt. */
+    double spike_rate = 0.0;
+
+    /** Mean added latency of a spike (exponential tail). */
+    SimTime spike_latency = 80 * kMsec;
+
+    /** P(mid-transfer stream reset) per attempt. */
+    double reset_rate = 0.0;
+
+    /** True when @p now falls inside [begin, end). */
+    bool
+    active(SimTime now) const
+    {
+        return now >= begin && now < end;
+    }
+
+    /** True when every rate is zero. */
+    bool
+    quiet() const
+    {
+        return error_rate <= 0 && spike_rate <= 0 && reset_rate <= 0;
+    }
+};
+
+/** The full injection schedule plus its seed — a config value. */
+struct FaultSpec
+{
+    std::vector<FaultWindow> windows;
+
+    /** Plan seed; 0 derives one from the owning session's seed. */
+    std::uint64_t seed = 0;
+
+    /** True when any window can actually inject something. */
+    bool enabled() const;
+
+    /** One always-active window with the given rates. */
+    static FaultSpec uniform(double error_rate,
+                             double spike_rate = 0.0,
+                             double reset_rate = 0.0);
+};
+
+/** Outcome of sampling the plan for one operation attempt. */
+struct FaultDecision
+{
+    FaultKind kind = FaultKind::None;
+
+    /** LatencySpike: latency added on top of the clean attempt. */
+    SimTime extra_latency = 0;
+
+    /**
+     * StreamReset: fraction of the transfer paid before the reset
+     * killed it, in [0, 1).
+     */
+    double completed_fraction = 0.0;
+
+    /** True when the attempt must be retried. */
+    bool
+    failed() const
+    {
+        return kind == FaultKind::TransientError ||
+            kind == FaultKind::StreamReset;
+    }
+};
+
+/**
+ * A live, seeded instance of a FaultSpec. Sampling order is the
+ * simulator's (single-threaded, deterministic) event order, so a
+ * fixed seed yields the same fault sequence every run. One plan is
+ * shared by every service it is injected into; counters record what
+ * was actually injected for tests and reports.
+ */
+class FaultPlan
+{
+  public:
+    /** A quiet plan: sample() always returns None. */
+    FaultPlan() : rng(0) {}
+
+    /**
+     * @param fallback_seed Used when @p spec.seed is zero, so every
+     *     session derives a distinct-but-reproducible stream from
+     *     its own seed.
+     */
+    FaultPlan(const FaultSpec &spec, std::uint64_t fallback_seed);
+
+    /** Sample the outcome of one operation attempt starting now. */
+    FaultDecision sample(SimTime now);
+
+    /**
+     * Deterministic jitter draw in [0, 1) for retry backoff. Drawn
+     * from the same stream as the faults so one seed fixes the
+     * whole experiment.
+     */
+    double jitter() { return rng.nextDouble(); }
+
+    /** True when some window can inject. */
+    bool enabled() const { return plan.enabled(); }
+
+    /** Attempts sampled (including ones that drew None). */
+    std::uint64_t samples() const { return sampled; }
+
+    /** Faults injected of @p kind. */
+    std::uint64_t injected(FaultKind kind) const;
+
+    /** Faults injected across all kinds (None excluded). */
+    std::uint64_t injectedTotal() const;
+
+    /** "errors=3 spikes=1 resets=0 of 512 samples". */
+    std::string summary() const;
+
+  private:
+    FaultSpec plan;
+    Rng rng;
+    std::uint64_t sampled = 0;
+    std::array<std::uint64_t, 4> counts{};
+};
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_SIM_FAULT_HH

@@ -10,7 +10,8 @@ namespace tpupoint {
 namespace {
 
 constexpr char kMagic[4] = {'T', 'P', 'P', 'F'};
-constexpr std::uint32_t kVersion = 2;
+// v3: profile records carry retry/fault meta-data.
+constexpr std::uint32_t kVersion = 3;
 constexpr std::uint32_t kChunkMarker = 0x4b4e4843u; // "CHNK"
 constexpr std::uint32_t kEndMarker = 0x53444e45u;   // "ENDS"
 
@@ -147,26 +148,48 @@ RecordStreamWriter::finish()
         fatal("RecordStreamWriter: stream write failed");
 }
 
-RecordStreamReader::RecordStreamReader(std::istream &in)
-    : stream(in)
+RecordStreamReader::RecordStreamReader(std::istream &in,
+                                       bool salvage_mode)
+    : stream(in), salvage(salvage_mode)
 {
     char magic[4];
     if (!stream.read(magic, sizeof(magic))) {
+        if (salvage) {
+            truncated_tail = true;
+            state = StreamStatus::End;
+            return;
+        }
         fail(StreamStatus::Truncated,
              "stream ended inside the header");
         return;
     }
     if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        if (salvage) {
+            // A damaged header loses nothing but the version:
+            // scan for the first chunk marker and carry on.
+            recover("bad magic");
+            return;
+        }
         fail(StreamStatus::Corrupt,
              "bad magic (not a TPUPoint profile)");
         return;
     }
     if (!getU32(stream, stream_version)) {
+        if (salvage) {
+            truncated_tail = true;
+            state = StreamStatus::End;
+            return;
+        }
         fail(StreamStatus::Truncated,
              "stream ended inside the header");
         return;
     }
     if (stream_version != kVersion) {
+        if (salvage) {
+            detail = "version " + std::to_string(stream_version) +
+                " salvaged as " + std::to_string(kVersion);
+            return;
+        }
         fail(StreamStatus::Corrupt,
              "unsupported profile version " +
                  std::to_string(stream_version));
@@ -186,92 +209,205 @@ RecordStreamReader::next(std::string_view &payload)
 {
     if (state != StreamStatus::Ok)
         return state;
-    if (chunk_remaining == 0) {
-        const StreamStatus loaded = loadChunk();
-        if (loaded != StreamStatus::Ok)
-            return loaded;
-    }
+    for (;;) {
+        if (chunk_remaining == 0) {
+            const StreamStatus loaded = loadChunk();
+            if (loaded != StreamStatus::Ok)
+                return loaded;
+        }
 
-    if (chunk_offset + 4 > chunk.size()) {
-        return fail(StreamStatus::Corrupt,
-                    "record length field overruns its chunk");
-    }
-    std::uint32_t length = 0;
-    for (int i = 3; i >= 0; --i) {
-        length = (length << 8) |
-            static_cast<unsigned char>(chunk[chunk_offset + i]);
-    }
-    chunk_offset += 4;
-    if (chunk_offset + length > chunk.size()) {
-        return fail(StreamStatus::Corrupt,
-                    "record payload overruns its chunk");
-    }
-    payload = std::string_view(chunk.data() + chunk_offset,
-                               length);
-    chunk_offset += length;
-    --chunk_remaining;
-    if (chunk_remaining == 0 && chunk_offset != chunk.size()) {
-        return fail(StreamStatus::Corrupt,
+        if (chunk_offset + 4 > chunk.size()) {
+            if (salvage) {
+                // The CRC passed but the record framing is off:
+                // drop what remains of this chunk.
+                ++dropped_chunks;
+                chunk_remaining = 0;
+                continue;
+            }
+            return fail(StreamStatus::Corrupt,
+                        "record length field overruns its chunk");
+        }
+        std::uint32_t length = 0;
+        for (int i = 3; i >= 0; --i) {
+            length = (length << 8) |
+                static_cast<unsigned char>(
+                    chunk[chunk_offset + i]);
+        }
+        if (chunk_offset + 4 + length > chunk.size()) {
+            if (salvage) {
+                ++dropped_chunks;
+                chunk_remaining = 0;
+                continue;
+            }
+            chunk_offset += 4;
+            return fail(StreamStatus::Corrupt,
+                        "record payload overruns its chunk");
+        }
+        chunk_offset += 4;
+        payload = std::string_view(chunk.data() + chunk_offset,
+                                   length);
+        chunk_offset += length;
+        --chunk_remaining;
+        if (chunk_remaining == 0 && chunk_offset != chunk.size()) {
+            if (!salvage) {
+                return fail(
+                    StreamStatus::Corrupt,
                     "trailing bytes after the last chunk record");
+            }
+            // Salvage: the record itself is intact; surrender the
+            // unaccounted tail bytes and keep the payload.
+            skipped_bytes += chunk.size() - chunk_offset;
+            chunk_offset = chunk.size();
+        }
+        ++produced;
+        return StreamStatus::Ok;
     }
-    ++produced;
-    return StreamStatus::Ok;
 }
 
 StreamStatus
 RecordStreamReader::loadChunk()
 {
-    std::uint32_t marker;
-    if (!getU32(stream, marker)) {
-        return fail(StreamStatus::Truncated,
-                    "stream ended without an end marker");
-    }
-    if (marker == kEndMarker) {
-        std::uint64_t declared;
-        if (!getU64(stream, declared)) {
+    for (;;) {
+        std::uint32_t marker;
+        if (resynced_marker != 0) {
+            marker = resynced_marker;
+            resynced_marker = 0;
+        } else if (!getU32(stream, marker)) {
+            if (salvage) {
+                truncated_tail = true;
+                state = StreamStatus::End;
+                return state;
+            }
             return fail(StreamStatus::Truncated,
-                        "stream ended inside the end marker");
+                        "stream ended without an end marker");
         }
-        if (declared != produced) {
-            return fail(
-                StreamStatus::Corrupt,
-                "end marker declares " + std::to_string(declared) +
-                    " records but " + std::to_string(produced) +
-                    " were read");
+        if (marker == kEndMarker) {
+            std::uint64_t declared;
+            if (!getU64(stream, declared)) {
+                if (salvage) {
+                    truncated_tail = true;
+                    state = StreamStatus::End;
+                    return state;
+                }
+                return fail(StreamStatus::Truncated,
+                            "stream ended inside the end marker");
+            }
+            if (declared != produced) {
+                if (salvage) {
+                    if (declared > produced)
+                        dropped_records = declared - produced;
+                    state = StreamStatus::End;
+                    return state;
+                }
+                return fail(
+                    StreamStatus::Corrupt,
+                    "end marker declares " +
+                        std::to_string(declared) + " records but " +
+                        std::to_string(produced) + " were read");
+            }
+            state = StreamStatus::End;
+            return state;
         }
-        state = StreamStatus::End;
-        return state;
-    }
-    if (marker != kChunkMarker)
-        return fail(StreamStatus::Corrupt, "bad chunk marker");
+        if (marker != kChunkMarker) {
+            if (salvage) {
+                ++dropped_chunks;
+                const StreamStatus rec =
+                    recover("bad chunk marker");
+                if (rec != StreamStatus::Ok)
+                    return rec;
+                continue;
+            }
+            return fail(StreamStatus::Corrupt, "bad chunk marker");
+        }
 
-    std::uint32_t record_count, payload_size, checksum;
-    if (!getU32(stream, record_count) ||
-        !getU32(stream, payload_size) ||
-        !getU32(stream, checksum)) {
-        return fail(StreamStatus::Truncated,
-                    "stream ended inside a chunk header");
+        std::uint32_t record_count, payload_size, checksum;
+        if (!getU32(stream, record_count) ||
+            !getU32(stream, payload_size) ||
+            !getU32(stream, checksum)) {
+            if (salvage) {
+                truncated_tail = true;
+                state = StreamStatus::End;
+                return state;
+            }
+            return fail(StreamStatus::Truncated,
+                        "stream ended inside a chunk header");
+        }
+        if (record_count == 0 || payload_size > kMaxChunkPayload) {
+            if (salvage) {
+                // The header fields cannot be trusted to skip by;
+                // rescan for the next marker instead.
+                ++dropped_chunks;
+                const StreamStatus rec =
+                    recover("implausible chunk header");
+                if (rec != StreamStatus::Ok)
+                    return rec;
+                continue;
+            }
+            if (record_count == 0)
+                return fail(StreamStatus::Corrupt, "empty chunk");
+            return fail(StreamStatus::Corrupt,
+                        "implausible chunk payload size " +
+                            std::to_string(payload_size));
+        }
+        chunk.resize(payload_size);
+        if (!stream.read(chunk.data(),
+                         static_cast<std::streamsize>(
+                             payload_size))) {
+            if (salvage) {
+                ++dropped_chunks;
+                truncated_tail = true;
+                state = StreamStatus::End;
+                return state;
+            }
+            return fail(StreamStatus::Truncated,
+                        "stream ended inside a chunk payload");
+        }
+        if (crc32(chunk) != checksum) {
+            if (salvage) {
+                // The chunk is structurally aligned: the stream is
+                // already positioned on the next marker, so simply
+                // drop this one.
+                ++dropped_chunks;
+                continue;
+            }
+            return fail(StreamStatus::Corrupt,
+                        "chunk checksum mismatch");
+        }
+        chunk_offset = 0;
+        chunk_remaining = record_count;
+        return StreamStatus::Ok;
     }
-    if (record_count == 0)
-        return fail(StreamStatus::Corrupt, "empty chunk");
-    if (payload_size > kMaxChunkPayload) {
-        return fail(StreamStatus::Corrupt,
-                    "implausible chunk payload size " +
-                        std::to_string(payload_size));
+}
+
+StreamStatus
+RecordStreamReader::recover(const std::string &why)
+{
+    if (!detail.empty())
+        detail += "; ";
+    detail += "salvage: " + why;
+    // Both markers read LSB-first, so on the wire they appear in
+    // stream order as "CHNK"/"ENDS": a byte-by-byte sliding window
+    // matched the same way getU32 assembles values finds them.
+    std::uint32_t window = 0;
+    std::uint64_t consumed = 0;
+    char byte;
+    while (stream.get(byte)) {
+        window = (window >> 8) |
+            (static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(byte))
+             << 24);
+        ++consumed;
+        if (consumed >= 4 &&
+            (window == kChunkMarker || window == kEndMarker)) {
+            skipped_bytes += consumed - 4;
+            resynced_marker = window;
+            return StreamStatus::Ok;
+        }
     }
-    chunk.resize(payload_size);
-    if (!stream.read(chunk.data(),
-                     static_cast<std::streamsize>(payload_size))) {
-        return fail(StreamStatus::Truncated,
-                    "stream ended inside a chunk payload");
-    }
-    if (crc32(chunk) != checksum) {
-        return fail(StreamStatus::Corrupt,
-                    "chunk checksum mismatch");
-    }
-    chunk_offset = 0;
-    chunk_remaining = record_count;
-    return StreamStatus::Ok;
+    skipped_bytes += consumed;
+    truncated_tail = true;
+    state = StreamStatus::End;
+    return state;
 }
 
 } // namespace tpupoint

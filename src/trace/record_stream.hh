@@ -111,6 +111,13 @@ class RecordStreamWriter
  * Incremental reader for RecordStreamWriter output. Holds at most
  * one chunk in memory; next() yields payload views valid until the
  * following next() call.
+ *
+ * In salvage mode the reader never reports Corrupt or Truncated:
+ * structural damage drops the affected chunk and resynchronizes on
+ * the next chunk (or end) marker, a truncated tail ends the stream
+ * early, and the salvage counters report exactly what was lost.
+ * Damage to a CRC-guarded chunk can at most lose that chunk; every
+ * intact chunk after it is recovered.
  */
 class RecordStreamReader
 {
@@ -118,9 +125,11 @@ class RecordStreamReader
     /**
      * Reads and validates the header. Never throws: header damage
      * parks the reader in Truncated/Corrupt state, which the first
-     * next() call (and status()) reports.
+     * next() call (and status()) reports. With @p salvage true a
+     * damaged header instead scans for the first chunk marker.
      */
-    explicit RecordStreamReader(std::istream &in);
+    explicit RecordStreamReader(std::istream &in,
+                                bool salvage = false);
 
     /**
      * Advance to the next record payload.
@@ -141,9 +150,42 @@ class RecordStreamReader
     /** Container version from the header (0 until read). */
     std::uint32_t version() const { return stream_version; }
 
+    /** True when constructed in salvage mode. */
+    bool salvaging() const { return salvage; }
+
+    /** Salvage: chunks dropped to structural damage. */
+    std::uint64_t chunksDropped() const { return dropped_chunks; }
+
+    /** Salvage: bytes skipped while resynchronizing. */
+    std::uint64_t bytesSkipped() const { return skipped_bytes; }
+
+    /**
+     * Salvage: records known lost — the end marker's declared
+     * count minus the records produced, when the marker survived.
+     */
+    std::uint64_t recordsDropped() const { return dropped_records; }
+
+    /** Salvage: the stream ended without a (valid) end marker. */
+    bool truncatedTail() const { return truncated_tail; }
+
+    /** Salvage: any damage was encountered at all. */
+    bool
+    sawDamage() const
+    {
+        return dropped_chunks > 0 || skipped_bytes > 0 ||
+            truncated_tail;
+    }
+
   private:
     StreamStatus fail(StreamStatus status, std::string message);
     StreamStatus loadChunk();
+
+    /**
+     * Salvage recovery: count the damage, scan forward for the
+     * next chunk/end marker, and leave the stream positioned just
+     * past it (marker_found tells loadChunk which one).
+     */
+    StreamStatus recover(const std::string &why);
 
     std::istream &stream;
     std::string chunk;
@@ -153,6 +195,13 @@ class RecordStreamReader
     std::uint32_t stream_version = 0;
     StreamStatus state = StreamStatus::Ok;
     std::string detail;
+
+    bool salvage = false;
+    std::uint32_t resynced_marker = 0; ///< Marker found by recover.
+    std::uint64_t dropped_chunks = 0;
+    std::uint64_t skipped_bytes = 0;
+    std::uint64_t dropped_records = 0;
+    bool truncated_tail = false;
 };
 
 } // namespace tpupoint

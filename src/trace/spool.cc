@@ -21,7 +21,6 @@ RecordSpool::push(std::string_view payload)
         writer.flush();
     }
     writer.append(payload);
-    spooled += payload.size() + 4; // payload + length framing
 }
 
 void

@@ -65,10 +65,16 @@ class RecordSpool
     std::uint64_t records() const { return writer.records(); }
 
     /**
-     * Bytes of record payload plus framing accepted so far — the
-     * traffic the recording thread sends toward storage.
+     * Bytes accepted so far as they will reach the sink: payload,
+     * length framing, chunk headers, and the container header. By
+     * construction bytesSpooled() == bytesFlushed() after finish(),
+     * so the traffic charged to storage equals the bytes actually
+     * written.
      */
-    std::uint64_t bytesSpooled() const { return spooled; }
+    std::uint64_t bytesSpooled() const
+    {
+        return writer.bytesWritten() + writer.pendingBytes();
+    }
 
     /** Bytes already pushed through to the sink. */
     std::uint64_t bytesFlushed() const
@@ -103,7 +109,6 @@ class RecordSpool
     std::ostream null_stream;
     RecordSpoolOptions opts;
     RecordStreamWriter writer;
-    std::uint64_t spooled = 0;
     std::uint64_t stall_count = 0;
 };
 

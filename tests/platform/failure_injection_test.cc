@@ -46,6 +46,35 @@ runWith(const StorageSpec &storage)
     return {session.result(), profiler.records()};
 }
 
+struct FaultedRun
+{
+    SessionResult result;
+    std::vector<ProfileRecord> records;
+    std::uint64_t retries = 0;
+    SimTime retry_time = 0;
+    std::uint64_t injected = 0;
+};
+
+FaultedRun
+runWithFaults(const FaultSpec &faults, std::uint64_t seed)
+{
+    Simulator sim;
+    SessionConfig config;
+    config.faults = faults;
+    config.seed = seed;
+    const RuntimeWorkload w = workload();
+    TrainingSession session(sim, config, w);
+    TpuPointProfiler profiler(sim, session);
+    profiler.start(true);
+    session.start(nullptr);
+    sim.run();
+    profiler.stop();
+    return {session.result(), profiler.records(),
+            session.storageBucket().retriesPerformed(),
+            session.storageBucket().retryTime(),
+            session.faultPlan().injectedTotal()};
+}
+
 TEST(FailureInjectionTest, DegradedStorageStillCompletes)
 {
     StorageSpec degraded;
@@ -107,6 +136,69 @@ TEST(FailureInjectionTest, SingleThreadHostStillCompletes)
     EXPECT_EQ(session.result().steps_completed,
               w.schedule.train_steps);
     EXPECT_GT(session.result().tpu_idle_fraction, 0.3);
+}
+
+TEST(FailureInjectionTest, TransientFaultsRetryToCompletion)
+{
+    const FaultedRun healthy = runWithFaults(FaultSpec{}, 1);
+    const FaultedRun faulted =
+        runWithFaults(FaultSpec::uniform(0.01), 1);
+
+    // A 1% transient-error plan completes the full run...
+    EXPECT_EQ(faulted.result.steps_completed,
+              healthy.result.steps_completed);
+    EXPECT_GT(faulted.injected, 0u);
+    EXPECT_GT(faulted.retries, 0u);
+    EXPECT_GT(faulted.retry_time, 0);
+    // ...and the extra wall time shows up as infeed/idle, exactly
+    // where TPUPoint looks.
+    EXPECT_GT(faulted.result.wall_time, healthy.result.wall_time);
+    EXPECT_GE(faulted.result.tpu_idle_fraction,
+              healthy.result.tpu_idle_fraction);
+}
+
+TEST(FailureInjectionTest, FaultedRunsReplayBitForBit)
+{
+    const FaultSpec faults = FaultSpec::uniform(0.01, 0.01, 0.002);
+    const FaultedRun a = runWithFaults(faults, 7);
+    const FaultedRun b = runWithFaults(faults, 7);
+
+    EXPECT_EQ(a.result.wall_time, b.result.wall_time);
+    EXPECT_EQ(a.result.steps_completed, b.result.steps_completed);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.retry_time, b.retry_time);
+    EXPECT_EQ(a.injected, b.injected);
+
+    // A different seed draws a different fault schedule.
+    const FaultedRun c = runWithFaults(faults, 8);
+    EXPECT_NE(a.retries, c.retries);
+}
+
+TEST(FailureInjectionTest, RetriesSurfaceInProfileRecords)
+{
+    // A heavy plan so every profile window sees some retries.
+    const FaultedRun faulted =
+        runWithFaults(FaultSpec::uniform(0.25), 3);
+
+    std::uint64_t recorded_retries = 0;
+    SimTime recorded_retry_time = 0;
+    bool retry_op_in_host_table = false;
+    for (const ProfileRecord &record : faulted.records) {
+        recorded_retries += record.retries;
+        recorded_retry_time += record.retry_time;
+        for (const auto &step : record.steps)
+            retry_op_in_host_table |=
+                step.host_ops.count("StorageRetry") > 0;
+    }
+    EXPECT_GT(recorded_retries, 0u);
+    EXPECT_GT(recorded_retry_time, 0);
+    EXPECT_TRUE(retry_op_in_host_table);
+
+    // The analyzer still produces a phase structure from the
+    // faulted records, with the slowdown attributed to input.
+    const AnalysisResult analysis =
+        TpuPointAnalyzer().analyze(faulted.records);
+    EXPECT_FALSE(analysis.phases.empty());
 }
 
 TEST(TraceHubTest, CountsWithAndWithoutSink)

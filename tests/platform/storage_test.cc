@@ -88,5 +88,183 @@ TEST(StorageTest, ZeroStreamReadRejected)
     EXPECT_THROW(bucket.read(1, 0, nullptr), std::runtime_error);
 }
 
+TEST(StorageTest, SplitSharesAlwaysSumToTheRequest)
+{
+    for (std::uint64_t bytes :
+         {0ull, 1ull, 7ull, 1000ull, 99'999'999ull}) {
+        for (int streams : {1, 2, 3, 7, 64}) {
+            const auto shares =
+                StorageBucket::splitShares(bytes, streams);
+            ASSERT_EQ(shares.size(),
+                      static_cast<std::size_t>(streams));
+            std::uint64_t total = 0;
+            for (const std::uint64_t share : shares)
+                total += share;
+            EXPECT_EQ(total, bytes)
+                << bytes << " bytes over " << streams
+                << " streams";
+        }
+    }
+    // The remainder rides on the last stream.
+    const auto shares = StorageBucket::splitShares(10, 3);
+    EXPECT_EQ(shares[0], 3u);
+    EXPECT_EQ(shares[1], 3u);
+    EXPECT_EQ(shares[2], 4u);
+}
+
+TEST(StorageTest, IndivisibleReadChargesTheExactByteCount)
+{
+    Simulator sim;
+    StorageSpec spec;
+    spec.stream_bandwidth = 100e6;
+    spec.request_latency = 0;
+    StorageBucket bucket(sim, spec);
+
+    // 100,000,001 bytes over 4 streams: the last stream carries
+    // 25,000,001 bytes and finishes last.
+    SimTime done_at = 0;
+    bucket.read(100'000'001, 4, [&] { done_at = sim.now(); });
+    sim.run();
+    const SimTime expected = static_cast<SimTime>(
+        25'000'001.0 / 100e6 * 1e9 + 0.5);
+    EXPECT_EQ(done_at, expected);
+    EXPECT_EQ(bucket.bytesRead(), 100'000'001u);
+}
+
+TEST(StorageTest, ZeroByteWriteStillPaysTheRoundTrip)
+{
+    Simulator sim;
+    StorageSpec spec;
+    spec.request_latency = 10 * kMsec;
+    StorageBucket bucket(sim, spec);
+
+    SimTime done_at = -1;
+    bucket.write(0, [&] { done_at = sim.now(); });
+    EXPECT_EQ(done_at, -1); // strictly asynchronous
+    sim.run();
+    EXPECT_EQ(done_at, 10 * kMsec);
+    EXPECT_EQ(bucket.bytesWritten(), 0u);
+}
+
+TEST(StorageTest, TransientErrorsRetryAndCompleteDeterministically)
+{
+    const auto run = [](std::uint64_t seed) {
+        Simulator sim;
+        StorageSpec spec;
+        spec.stream_bandwidth = 100e6;
+        spec.request_latency = kMsec;
+        StorageBucket bucket(sim, spec);
+
+        FaultSpec faults = FaultSpec::uniform(0.5);
+        faults.seed = seed;
+        FaultPlan plan(faults, 0);
+        bucket.injectFaults(&plan);
+
+        SimTime done_at = 0;
+        int completions = 0;
+        for (int i = 0; i < 20; ++i) {
+            bucket.read(1'000'000, 2, [&] {
+                ++completions;
+                done_at = sim.now();
+            });
+        }
+        sim.run();
+        EXPECT_EQ(completions, 20);
+        EXPECT_GT(bucket.retriesPerformed(), 0u);
+        EXPECT_GT(bucket.retryTime(), 0);
+        return done_at;
+    };
+
+    const SimTime first = run(77);
+    const SimTime second = run(77);
+    EXPECT_EQ(first, second); // fixed seed replays bit-for-bit
+
+    // Retries cost time: a faulted run finishes after a clean one.
+    Simulator sim;
+    StorageSpec spec;
+    spec.stream_bandwidth = 100e6;
+    spec.request_latency = kMsec;
+    StorageBucket clean(sim, spec);
+    SimTime clean_done = 0;
+    for (int i = 0; i < 20; ++i)
+        clean.read(1'000'000, 2, [&] { clean_done = sim.now(); });
+    sim.run();
+    EXPECT_GT(first, clean_done);
+}
+
+TEST(StorageTest, RetryEventsCarryStepAndReachTheSink)
+{
+    struct CapturingSink : TraceSink {
+        std::vector<TraceEvent> events;
+        void record(const TraceEvent &event) override
+        {
+            events.push_back(event);
+        }
+    };
+
+    Simulator sim;
+    StorageSpec spec;
+    spec.request_latency = kMsec;
+    StorageBucket bucket(sim, spec);
+    FaultPlan plan(FaultSpec::uniform(1.0, 0, 0), 5);
+    RetryPolicy budget;
+    budget.max_attempts = 3;
+    budget.op_timeout = 0;
+    bucket.injectFaults(&plan, budget);
+    CapturingSink sink;
+    bucket.setTraceSink(&sink);
+
+    // Every attempt errors: the budget exhausts after 3 tries and
+    // two StorageRetry events were emitted on the way.
+    bucket.write(1000, nullptr, /*step=*/42);
+    EXPECT_THROW(sim.run(), std::runtime_error);
+    ASSERT_EQ(sink.events.size(), 2u);
+    for (const auto &event : sink.events) {
+        EXPECT_STREQ(event.type, "StorageRetry");
+        EXPECT_EQ(event.step, 42u);
+        EXPECT_EQ(event.device, EventDevice::Host);
+        EXPECT_GT(event.duration, 0);
+    }
+    EXPECT_EQ(bucket.retriesPerformed(), 2u);
+}
+
+TEST(StorageTest, OpTimeoutFailsHardInsteadOfWedging)
+{
+    Simulator sim;
+    StorageSpec spec;
+    spec.request_latency = kMsec;
+    StorageBucket bucket(sim, spec);
+    FaultPlan plan(FaultSpec::uniform(1.0), 9);
+    RetryPolicy policy;
+    policy.max_attempts = 1000;
+    policy.op_timeout = 100 * kMsec;
+    bucket.injectFaults(&plan, policy);
+
+    bucket.write(1000, nullptr);
+    EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+TEST(StorageTest, InvalidRetryPoliciesAreRejected)
+{
+    Simulator sim;
+    StorageBucket bucket(sim, StorageSpec{});
+    FaultPlan plan(FaultSpec::uniform(0.1), 1);
+
+    RetryPolicy no_attempts;
+    no_attempts.max_attempts = 0;
+    EXPECT_THROW(bucket.injectFaults(&plan, no_attempts),
+                 std::runtime_error);
+
+    RetryPolicy bad_jitter;
+    bad_jitter.jitter = 2.0;
+    EXPECT_THROW(bucket.injectFaults(&plan, bad_jitter),
+                 std::runtime_error);
+
+    RetryPolicy shrinking;
+    shrinking.backoff_multiplier = 0.5;
+    EXPECT_THROW(bucket.injectFaults(&plan, shrinking),
+                 std::runtime_error);
+}
+
 } // namespace
 } // namespace tpupoint

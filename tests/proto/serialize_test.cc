@@ -25,6 +25,9 @@ randomRecord(Rng &rng, std::uint64_t sequence)
     record.truncated = rng.bernoulli(0.3);
     record.tpu_idle_fraction = rng.nextDouble();
     record.mxu_utilization = rng.nextDouble();
+    record.retries = rng.nextBounded(100);
+    record.retry_time =
+        static_cast<SimTime>(rng.nextBounded(1u << 30));
 
     const std::size_t steps = 1 + rng.nextBounded(5);
     for (std::size_t i = 0; i < steps; ++i) {
@@ -71,6 +74,8 @@ expectEqualRecords(const ProfileRecord &a, const ProfileRecord &b)
     EXPECT_EQ(a.truncated, b.truncated);
     EXPECT_DOUBLE_EQ(a.tpu_idle_fraction, b.tpu_idle_fraction);
     EXPECT_DOUBLE_EQ(a.mxu_utilization, b.mxu_utilization);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.retry_time, b.retry_time);
     ASSERT_EQ(a.steps.size(), b.steps.size());
     for (std::size_t i = 0; i < a.steps.size(); ++i) {
         const StepStats &x = a.steps[i];

@@ -1,0 +1,251 @@
+/**
+ * @file CLI-level tests for the tpupoint-* tools, run as real
+ * subprocesses. Pins the error contract — missing inputs and
+ * unwritable output paths produce a clear message and a nonzero
+ * exit — and the salvage workflow: `tpupoint-analyze --salvage`
+ * analyzes a damaged profile reporting exactly what was dropped
+ * while the plain invocation refuses it, and `tpupoint-salvage`
+ * rewrites the damage away entirely.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#ifdef __unix__
+#include <sys/wait.h>
+#endif
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "proto/serialize.hh"
+#include "tests/analyzer/synthetic.hh"
+
+namespace tpupoint {
+namespace {
+
+struct CommandResult
+{
+    int exit_code = -1;
+    std::string output; ///< Combined stdout + stderr.
+};
+
+/** Run @p command, capturing its combined output. */
+CommandResult
+run(const std::string &command)
+{
+    const std::string log =
+        testing::TempDir() + "cli_test_output.log";
+    const int raw = std::system(
+        (command + " > '" + log + "' 2>&1").c_str());
+    CommandResult result;
+#ifdef WEXITSTATUS
+    result.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+#else
+    result.exit_code = raw;
+#endif
+    std::ifstream in(log);
+    std::ostringstream text;
+    text << in.rdbuf();
+    result.output = text.str();
+    return result;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+/**
+ * Write an analyzable profile: the canonical three-phase step
+ * sequence, one record per chunk so chunk-level damage maps to
+ * whole records.
+ */
+void
+writeProfile(const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out);
+    RecordStreamOptions options;
+    options.chunk_records = 1;
+    RecordStreamWriter framing(out, options);
+    const auto steps = testutil::threePhaseRun();
+    // Four windows so one dropped chunk still leaves an
+    // analyzable majority.
+    const std::size_t quarter = steps.size() / 4;
+    for (std::uint64_t window = 0; window < 4; ++window) {
+        const std::size_t begin = window * quarter;
+        const std::size_t end =
+            window == 3 ? steps.size() : begin + quarter;
+        framing.append(encodeProfileRecord(testutil::makeRecord(
+            {steps.begin() + static_cast<std::ptrdiff_t>(begin),
+             steps.begin() + static_cast<std::ptrdiff_t>(end)},
+            window)));
+    }
+    framing.finish();
+    ASSERT_TRUE(out);
+}
+
+/** Flip a payload byte of the @p nth chunk in the file. */
+void
+corruptChunk(const std::string &path, int nth)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string bytes = buffer.str();
+    std::size_t pos = 0;
+    for (int i = 0; i <= nth; ++i) {
+        pos = bytes.find("CHNK", pos ? pos + 1 : 0);
+        ASSERT_NE(pos, std::string::npos);
+    }
+    const std::size_t payload = pos + 16;
+    ASSERT_LT(payload, bytes.size());
+    bytes[payload] = static_cast<char>(bytes[payload] ^ 0x5a);
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(CliTest, AnalyzeMissingProfileFailsClearly)
+{
+    const auto result = run(std::string(TPUPOINT_ANALYZE_BIN) +
+                            " /nonexistent/no.profile");
+    EXPECT_NE(result.exit_code, 0);
+    EXPECT_NE(result.output.find("cannot open profile"),
+              std::string::npos);
+}
+
+TEST(CliTest, AnalyzeUnwritableOutputFailsBeforeAnalyzing)
+{
+    const std::string profile = tempPath("ok.profile");
+    writeProfile(profile);
+    const auto result =
+        run(std::string(TPUPOINT_ANALYZE_BIN) + " '" + profile +
+            "' --out /nonexistent/dir/base");
+    EXPECT_NE(result.exit_code, 0);
+    EXPECT_NE(result.output.find("cannot write output base"),
+              std::string::npos);
+}
+
+TEST(CliTest, AnalyzeUnknownOptionFailsWithUsage)
+{
+    const auto result = run(std::string(TPUPOINT_ANALYZE_BIN) +
+                            " profile --frobnicate");
+    EXPECT_EQ(result.exit_code, 2);
+    EXPECT_NE(result.output.find("unknown option"),
+              std::string::npos);
+}
+
+TEST(CliTest, ProfileUnwritableOutputFailsBeforeRunning)
+{
+    const auto result =
+        run(std::string(TPUPOINT_PROFILE_BIN) +
+            " --out /nonexistent/dir/x.profile");
+    EXPECT_NE(result.exit_code, 0);
+    EXPECT_NE(result.output.find("cannot write"),
+              std::string::npos);
+}
+
+TEST(CliTest, ProfileRejectsBadFaultRate)
+{
+    const auto result = run(std::string(TPUPOINT_PROFILE_BIN) +
+                            " --fault-error-rate 1.5");
+    EXPECT_EQ(result.exit_code, 2);
+    EXPECT_NE(result.output.find("--fault-error-rate"),
+              std::string::npos);
+}
+
+TEST(CliTest, CompareMissingProfileFailsClearly)
+{
+    const std::string profile = tempPath("cmp.profile");
+    writeProfile(profile);
+    const auto result = run(std::string(TPUPOINT_COMPARE_BIN) +
+                            " '" + profile +
+                            "' /nonexistent/no.profile");
+    EXPECT_NE(result.exit_code, 0);
+    EXPECT_NE(result.output.find("cannot open profile"),
+              std::string::npos);
+}
+
+TEST(CliTest, SalvageAnalyzeAcceptsWhatPlainAnalyzeRefuses)
+{
+    const std::string profile = tempPath("damaged.profile");
+    writeProfile(profile);
+    corruptChunk(profile, 1);
+
+    // Plain analyze refuses the damaged profile...
+    const auto plain =
+        run(std::string(TPUPOINT_ANALYZE_BIN) + " '" + profile +
+            "' --out " + tempPath("plain"));
+    EXPECT_NE(plain.exit_code, 0);
+    EXPECT_NE(plain.output.find("unreadable profile"),
+              std::string::npos);
+
+    // ...--salvage analyzes what survives and reports the loss.
+    const auto salvaged =
+        run(std::string(TPUPOINT_ANALYZE_BIN) + " '" + profile +
+            "' --salvage --out " + tempPath("salvaged"));
+    EXPECT_EQ(salvaged.exit_code, 0) << salvaged.output;
+    EXPECT_NE(salvaged.output.find("salvage: dropped 1 chunks"),
+              std::string::npos)
+        << salvaged.output;
+    // The artifacts were still written.
+    std::ifstream summary(tempPath("salvaged") + ".summary.json");
+    EXPECT_TRUE(summary.good());
+}
+
+TEST(CliTest, SalvageToolRewritesACleanProfile)
+{
+    const std::string damaged = tempPath("rewrite.profile");
+    const std::string clean = tempPath("rewrite.clean.profile");
+    writeProfile(damaged);
+    corruptChunk(damaged, 2);
+
+    const auto salvage = run(std::string(TPUPOINT_SALVAGE_BIN) +
+                             " '" + damaged + "' '" + clean + "'");
+    EXPECT_EQ(salvage.exit_code, 0) << salvage.output;
+    EXPECT_NE(salvage.output.find("salvaged 3 records"),
+              std::string::npos)
+        << salvage.output;
+    EXPECT_NE(salvage.output.find("dropped 1 chunks"),
+              std::string::npos);
+
+    // The rewritten profile passes plain (non-salvage) analysis.
+    const auto analyze =
+        run(std::string(TPUPOINT_ANALYZE_BIN) + " '" + clean +
+            "' --out " + tempPath("rewritten"));
+    EXPECT_EQ(analyze.exit_code, 0) << analyze.output;
+}
+
+TEST(CliTest, SalvageToolFailsOnMissingInput)
+{
+    const auto result =
+        run(std::string(TPUPOINT_SALVAGE_BIN) +
+            " /nonexistent/no.profile " + tempPath("out.profile"));
+    EXPECT_NE(result.exit_code, 0);
+    EXPECT_NE(result.output.find("cannot open profile"),
+              std::string::npos);
+}
+
+TEST(CliTest, SalvageToolFailsWhenNothingSurvives)
+{
+    // A file with no recoverable chunks at all.
+    const std::string junk = tempPath("junk.profile");
+    {
+        std::ofstream out(junk, std::ios::binary);
+        out << "this is not a profile at all, not even close";
+    }
+    const auto result = run(std::string(TPUPOINT_SALVAGE_BIN) +
+                            " '" + junk + "' " +
+                            tempPath("junk.clean.profile"));
+    EXPECT_NE(result.exit_code, 0);
+    EXPECT_NE(result.output.find("nothing salvageable"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace tpupoint

@@ -22,10 +22,13 @@ TEST(RecordSpoolTest, SpooledStreamRoundTrips)
         spool.push("");
         spool.finish();
         EXPECT_EQ(spool.records(), 3u);
-        // Payload bytes plus the 4-byte length frame per record.
-        EXPECT_EQ(spool.bytesSpooled(), 5u + 4 + 4 + 4 + 0 + 4);
+        // Spooled bytes equal the bytes that actually reached the
+        // sink — payloads, length frames, chunk framing and the
+        // container header/end marker alike.
+        EXPECT_EQ(spool.bytesSpooled(), out.str().size());
         EXPECT_EQ(spool.bufferedBytes(), 0u);
         EXPECT_EQ(spool.bytesFlushed(), out.str().size());
+        EXPECT_EQ(spool.bytesSpooled(), spool.bytesFlushed());
     }
     std::istringstream in(out.str());
     RecordStreamReader reader(in);
@@ -68,9 +71,31 @@ TEST(RecordSpoolTest, NullSinkCountsWithoutStoring)
         spool.push("0123456789");
     spool.finish();
     EXPECT_EQ(spool.records(), 50u);
-    EXPECT_EQ(spool.bytesSpooled(), 50u * (10 + 4));
-    // Everything framed was pushed through (and discarded).
-    EXPECT_GT(spool.bytesFlushed(), spool.bytesSpooled());
+    // Record traffic (payload + 4-byte length frame each) is a
+    // strict lower bound; chunk and container framing rides along.
+    EXPECT_GT(spool.bytesSpooled(), 50u * (10 + 4));
+    // Everything framed was pushed through (and discarded): the
+    // sink saw exactly the spooled bytes.
+    EXPECT_EQ(spool.bytesFlushed(), spool.bytesSpooled());
+}
+
+TEST(RecordSpoolTest, SpooledBytesMatchSinkAtEveryFlushPoint)
+{
+    // Pin the accounting invariant: after finish() the spooled
+    // count equals the sink's byte count exactly, and mid-stream
+    // it equals flushed + buffered (never payload-only).
+    std::ostringstream out;
+    RecordSpoolOptions options;
+    options.stream.chunk_records = 4;
+    RecordSpool spool(&out, options);
+    for (int i = 0; i < 11; ++i) {
+        spool.push(std::string(static_cast<std::size_t>(i), 'x'));
+        EXPECT_EQ(spool.bytesSpooled(),
+                  spool.bytesFlushed() + spool.bufferedBytes());
+        EXPECT_EQ(spool.bytesFlushed(), out.str().size());
+    }
+    spool.finish();
+    EXPECT_EQ(spool.bytesSpooled(), out.str().size());
 }
 
 } // namespace

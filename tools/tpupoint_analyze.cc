@@ -14,6 +14,9 @@
  *     --k N               fixed k for k-means (default: 1..15 sweep)
  *     --min-samples N     fixed DBSCAN min-samples (default: sweep)
  *     --out BASE          output base path (default: PROFILE)
+ *     --salvage           analyze what survives in a damaged
+ *                         profile instead of failing on the first
+ *                         corrupt chunk; reports what was dropped
  */
 
 #include <cstdio>
@@ -53,11 +56,13 @@ main(int argc, char **argv)
                      "usage: tpupoint-analyze PROFILE "
                      "[--algorithm ols|kmeans|dbscan] "
                      "[--threshold F] [--k N] "
-                     "[--min-samples N] [--out BASE]\n");
+                     "[--min-samples N] [--out BASE] "
+                     "[--salvage]\n");
         return 2;
     }
     const std::string profile_path = argv[1];
     std::string out_base = profile_path;
+    bool salvage = false;
     AnalyzerOptions options;
 
     for (int i = 2; i < argc; ++i) {
@@ -85,6 +90,8 @@ main(int argc, char **argv)
                 static_cast<std::size_t>(std::atoll(next()));
         } else if (arg == "--out") {
             out_base = next();
+        } else if (arg == "--salvage") {
+            salvage = true;
         } else {
             std::fprintf(stderr, "unknown option %s\n",
                          arg.c_str());
@@ -100,17 +107,44 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // Probe the output base before the (possibly long) analysis so
+    // a bad --out fails immediately, not after minutes of work.
+    {
+        std::ofstream probe(out_base + ".trace.json",
+                            std::ios::binary);
+        if (!probe) {
+            std::fprintf(stderr,
+                         "error: cannot write output base '%s'\n",
+                         out_base.c_str());
+            return 1;
+        }
+    }
+
     // Stream the profile: each record is folded into the analysis
     // as it is decoded, so memory stays bounded by one chunk plus
     // the aggregated step table, not the profile size.
     AnalysisSession session(options);
     std::vector<ProfileWindowInfo> windows;
     try {
-        ProfileReader reader(in);
+        ProfileReader reader(in, salvage);
         ProfileRecord record;
         while (reader.read(record)) {
             windows.emplace_back(record);
             session.ingest(record);
+        }
+        if (salvage && reader.sawDamage()) {
+            std::printf(
+                "salvage: dropped %llu chunks, %llu records, "
+                "skipped %llu bytes%s\n",
+                static_cast<unsigned long long>(
+                    reader.chunksDropped()),
+                static_cast<unsigned long long>(
+                    reader.recordsDropped()),
+                static_cast<unsigned long long>(
+                    reader.bytesSkipped()),
+                reader.truncatedTail() ? ", truncated tail" : "");
+        } else if (salvage) {
+            std::printf("salvage: profile is intact\n");
         }
     } catch (const std::exception &error) {
         std::fprintf(stderr,

@@ -13,8 +13,12 @@
  *                       resnet|resnet-cifar10        (default dcgan)
  *     --tpu v2|v3       TPU generation               (default v2)
  *     --scale F         step-scale factor            (default 0.05)
+ *     --steps N         hard cap on train steps      (default none)
  *     --naive           use the naive pipeline configuration
  *     --out PATH        output profile path (default tpupoint.profile)
+ *     --fault-error-rate F  storage transient-error probability
+ *                           per transfer              (default 0)
+ *     --fault-seed N    fault-plan seed (default: session seed)
  */
 
 #include <cstdio>
@@ -37,6 +41,9 @@ main(int argc, char **argv)
     std::string tpu = "v2";
     std::string out_path = "tpupoint.profile";
     double scale = 0.05;
+    std::uint64_t max_steps = 0;
+    double fault_error_rate = 0;
+    std::uint64_t fault_seed = 0;
     bool naive = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -55,6 +62,14 @@ main(int argc, char **argv)
             tpu = next();
         } else if (arg == "--scale") {
             scale = std::atof(next());
+        } else if (arg == "--steps") {
+            max_steps =
+                static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (arg == "--fault-error-rate") {
+            fault_error_rate = std::atof(next());
+        } else if (arg == "--fault-seed") {
+            fault_seed =
+                static_cast<std::uint64_t>(std::atoll(next()));
         } else if (arg == "--naive") {
             naive = true;
         } else if (arg == "--out") {
@@ -75,6 +90,7 @@ main(int argc, char **argv)
 
     WorkloadOptions options;
     options.step_scale = scale;
+    options.max_train_steps = max_steps;
     const RuntimeWorkload workload = makeWorkload(id, options);
 
     Simulator sim;
@@ -83,6 +99,16 @@ main(int argc, char **argv)
                                 : TpuDeviceSpec::v2();
     if (naive)
         config.pipeline = PipelineConfig::naive();
+    if (fault_error_rate < 0 || fault_error_rate > 1) {
+        std::fprintf(stderr,
+                     "error: --fault-error-rate must be in "
+                     "[0, 1]\n");
+        return 2;
+    }
+    if (fault_error_rate > 0) {
+        config.faults = FaultSpec::uniform(fault_error_rate);
+        config.faults.seed = fault_seed;
+    }
 
     // Open the sink up front and stream records to it as they are
     // harvested: memory stays bounded by the spool, not the run
@@ -124,6 +150,14 @@ main(int argc, char **argv)
                 100 * result.mxu_utilization,
                 static_cast<unsigned long long>(
                     profiler.recordsRecorded()));
+    if (session.faultPlan().enabled()) {
+        std::printf("faults: %s; %llu retries, %.2f s retried\n",
+                    session.faultPlan().summary().c_str(),
+                    static_cast<unsigned long long>(
+                        session.storageBucket().retriesPerformed()),
+                    toSeconds(
+                        session.storageBucket().retryTime()));
+    }
 
     // Checkpoint registry alongside, for phase fast-forwarding.
     std::ofstream ckpt_out(out_path + ".checkpoints");
