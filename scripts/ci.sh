@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure, build and run the full test suite, first
-# plain and then instrumented with AddressSanitizer
-# (TPUPOINT_SANITIZE=address). Usage:
+# plain and then once per sanitizer (TPUPOINT_SANITIZE=address and
+# =undefined by default). Usage:
 #   scripts/ci.sh [extra cmake args...]
+# TPUPOINT_CI_SANITIZERS overrides the sanitizer list, e.g.
+#   TPUPOINT_CI_SANITIZERS=address scripts/ci.sh   # ASan only
+#   TPUPOINT_CI_SANITIZERS= scripts/ci.sh          # plain only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,7 +28,12 @@ run_suite() {
         -j "${jobs}" --timeout "${test_timeout}"
 }
 
+sanitizers=${TPUPOINT_CI_SANITIZERS-"address undefined"}
+
 run_suite build "$@"
-run_suite build-asan -DTPUPOINT_SANITIZE=address "$@"
+for sanitizer in ${sanitizers}; do
+    run_suite "build-${sanitizer}" \
+        -DTPUPOINT_SANITIZE="${sanitizer}" "$@"
+done
 
 echo "== ci passed"

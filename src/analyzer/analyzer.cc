@@ -32,6 +32,22 @@ AnalysisSession::ingest(const ProfileRecord &record)
 {
     if (finalized)
         panic("AnalysisSession::ingest after finalize");
+    if (record.attempt + 1 > attempts_seen)
+        attempts_seen = record.attempt + 1;
+    if (record.attempt_boundary) {
+        // Stitch: the dead attempt's windows may extend past the
+        // restart point — completed steps the new attempt re-runs
+        // (they come back marked replayed, counted once) and
+        // prefetch activity on steps that never finished. Drop
+        // them and register the replay range.
+        SimTime span = 0;
+        discarded_steps +=
+            builder.dropAfter(record.resume_step, &span);
+        discarded_time += span;
+        builder.markReplayed(record.resume_step,
+                             record.preempted_at_step);
+        return; // boundary markers carry no step data
+    }
     builder.ingest(record);
 }
 
@@ -46,6 +62,13 @@ AnalysisSession::finalize(
     AnalysisResult result;
     result.algorithm = opts.algorithm;
     result.table = std::move(builder).build();
+    result.attempts = attempts_seen;
+    result.discarded_steps = discarded_steps;
+    result.discarded_time = discarded_time;
+    for (const auto &row : result.table.steps()) {
+        if (row.replayed)
+            ++result.replayed_steps;
+    }
     if (result.table.size() == 0)
         return result;
 

@@ -86,6 +86,18 @@ struct AnalysisResult
     /** Nearest checkpoint per phase, when checkpoints were given. */
     std::vector<PhaseCheckpoint> checkpoints;
 
+    /**
+     * Attempt continuity (container v4). A single-attempt profile
+     * reports attempts = 1 and zero replay/discard; a stitched
+     * multi-attempt profile counts each preemption boundary, the
+     * steps the restarts re-ran (marked in the table, counted once
+     * in aggregates), and the work discarded at each boundary.
+     */
+    std::uint32_t attempts = 1;
+    std::uint64_t replayed_steps = 0;  ///< Table rows marked replayed.
+    std::uint64_t discarded_steps = 0; ///< Rows dropped at boundaries.
+    SimTime discarded_time = 0;        ///< Span of dropped rows.
+
     /** The longest phase, or nullptr when no phases. */
     const Phase *longest() const { return longestPhase(phases); }
 };
@@ -102,7 +114,13 @@ class AnalysisSession
   public:
     explicit AnalysisSession(const AnalyzerOptions &options = {});
 
-    /** Fold one profile record into the session. */
+    /**
+     * Fold one profile record into the session. Attempt-boundary
+     * records (container v4) stitch instead of aggregate: steps
+     * the dead attempt ran past the restart's resume point are
+     * dropped, and the replayed range is marked so re-ingested
+     * steps count once with a replay flag.
+     */
     void ingest(const ProfileRecord &record);
 
     /** Records ingested so far. */
@@ -126,6 +144,10 @@ class AnalysisSession
     AnalyzerOptions opts;
     StepTableBuilder builder;
     bool finalized = false;
+
+    std::uint32_t attempts_seen = 1;
+    std::uint64_t discarded_steps = 0;
+    SimTime discarded_time = 0;
 };
 
 /**

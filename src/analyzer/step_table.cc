@@ -15,6 +15,12 @@ StepTableBuilder::ingest(const StepStats &step)
     auto [it, inserted] = merged.try_emplace(step.step, step);
     if (!inserted)
         it->second.merge(step);
+    for (const auto &[after, through] : replay_ranges) {
+        if (step.step > after && step.step <= through) {
+            it->second.replayed = true;
+            break;
+        }
+    }
 }
 
 void
@@ -23,6 +29,28 @@ StepTableBuilder::ingest(const ProfileRecord &record)
     for (const auto &step : record.steps)
         ingest(step);
     ++records_seen;
+}
+
+std::size_t
+StepTableBuilder::dropAfter(StepId after, SimTime *dropped_span)
+{
+    auto first = merged.upper_bound(after);
+    std::size_t dropped = 0;
+    for (auto it = first; it != merged.end(); ++it) {
+        ++dropped;
+        if (dropped_span)
+            *dropped_span += it->second.span();
+    }
+    merged.erase(first, merged.end());
+    return dropped;
+}
+
+void
+StepTableBuilder::markReplayed(StepId after, StepId through)
+{
+    if (through <= after)
+        return; // a restart from the very preemption point
+    replay_ranges.emplace_back(after, through);
 }
 
 StepTable

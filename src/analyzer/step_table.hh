@@ -11,6 +11,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "proto/record.hh"
@@ -40,12 +41,36 @@ class StepTableBuilder
     /** Steps aggregated so far. */
     std::size_t stepsAggregated() const { return merged.size(); }
 
+    /**
+     * Attempt stitching, part 1: erase every aggregated step with
+     * id > @p after. A preempted attempt's final windows carry
+     * steps past the resume point — completed steps the restart
+     * will re-run (which must not double-count) and prefetch
+     * activity attributed to steps that never finished.
+     * @param dropped_span When non-null, accumulates the wall span
+     *     of the dropped rows (the discarded work).
+     * @return Rows erased.
+     */
+    std::size_t dropAfter(StepId after,
+                          SimTime *dropped_span = nullptr);
+
+    /**
+     * Attempt stitching, part 2: steps in (@p after, @p through]
+     * ingested from now on are marked replayed — the checkpoint ->
+     * preemption gap the restarted attempt runs again.
+     */
+    void markReplayed(StepId after, StepId through);
+
     /** Finish aggregation; the builder is consumed. */
     StepTable build() &&;
 
   private:
     std::map<StepId, StepStats> merged;
     std::uint64_t records_seen = 0;
+
+    /** (after, through] ranges whose re-ingested steps are
+     * replays. */
+    std::vector<std::pair<StepId, StepId>> replay_ranges;
 };
 
 /**

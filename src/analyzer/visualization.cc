@@ -166,6 +166,11 @@ writeAnalysisJson(const AnalysisResult &analysis, std::ostream &out,
     w.field("phases", static_cast<std::uint64_t>(
         analysis.phases.size()));
     w.field("top3_coverage", analysis.top3_coverage);
+    w.field("attempts",
+            static_cast<std::uint64_t>(analysis.attempts));
+    w.field("replayed_steps", analysis.replayed_steps);
+    w.field("discarded_steps", analysis.discarded_steps);
+    w.field("discarded_time_ns", analysis.discarded_time);
 
     w.key("phase_list");
     w.beginArray();

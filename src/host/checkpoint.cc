@@ -69,7 +69,10 @@ CheckpointManager::nearest(StepId step) const
     for (const auto &info : saved) {
         const std::uint64_t delta = info.step > step
             ? info.step - step : step - info.step;
-        if (!best || delta < best_delta) {
+        // Equidistant checkpoints tie-break toward the earlier
+        // step: resuming there never skips work.
+        if (!best || delta < best_delta ||
+            (delta == best_delta && info.step < best->step)) {
             best = &info;
             best_delta = delta;
         }

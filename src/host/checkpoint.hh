@@ -60,7 +60,10 @@ class CheckpointManager
 
     /**
      * The checkpoint closest to @p step (smallest |step delta|), or
-     * nullptr when none exist.
+     * nullptr when none exist. Two equidistant checkpoints
+     * tie-break toward the *earlier* step: restart orchestration
+     * resumes from the returned checkpoint, and resuming earlier
+     * replays work while resuming later would silently skip it.
      */
     const CheckpointInfo *nearest(StepId step) const;
 

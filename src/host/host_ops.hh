@@ -40,6 +40,10 @@ inline constexpr const char *kConfigureDistributedTPU =
 inline constexpr const char *kRestoreV2 = "RestoreV2";
 inline constexpr const char *kSaveV2 = "SaveV2";
 
+// Device interruption: the session lost its TPU (preemptible
+// eviction or maintenance restart) and aborted at a safe boundary.
+inline constexpr const char *kDevicePreempted = "DevicePreempted";
+
 // Cloud-storage retry: one failed transfer attempt plus its
 // backoff. Emitted by the storage model under fault injection so
 // the profiler can attribute slowdown to transient faults.

@@ -30,9 +30,19 @@ TpuPointProfiler::streamTo(std::ostream &out)
 {
     if (active)
         fatal("TpuPointProfiler::streamTo: profiler is running");
-    if (spool)
+    if (spool || external_spool)
         fatal("TpuPointProfiler::streamTo: stream already open");
     sink = &out;
+}
+
+void
+TpuPointProfiler::streamTo(RecordSpool &shared)
+{
+    if (active)
+        fatal("TpuPointProfiler::streamTo: profiler is running");
+    if (spool || external_spool || sink)
+        fatal("TpuPointProfiler::streamTo: stream already open");
+    external_spool = &shared;
 }
 
 void
@@ -43,7 +53,7 @@ TpuPointProfiler::start(bool analyzer)
     active = true;
     analyzer_enabled = analyzer;
     collector = StatsCollector(sim.now());
-    if (analyzer_enabled && !spool) {
+    if (analyzer_enabled && !spool && !external_spool) {
         // The recording thread's bounded spool; without a
         // streamTo() sink it only accounts for the traffic.
         spool = std::make_unique<RecordSpool>(sink, opts.spool);
@@ -84,15 +94,18 @@ TpuPointProfiler::handleResponse()
     ProfileRecord record = collector.harvest(sim.now());
     if (record.event_count == 0 && record.steps.empty())
         return; // nothing happened in this window
+    record.attempt = opts.attempt;
     ++records_recorded;
-    if (analyzer_enabled && spool) {
+    RecordSpool *out_spool =
+        external_spool ? external_spool : spool.get();
+    if (analyzer_enabled && out_spool) {
         // The recording thread frames the statistical record
         // through the spool and streams it toward cloud storage
         // while profiling continues.
-        const std::uint64_t before = spool->bytesSpooled();
-        spool->push(encodeProfileRecord(record));
+        const std::uint64_t before = out_spool->bytesSpooled();
+        out_spool->push(encodeProfileRecord(record));
         const std::uint64_t bytes =
-            spool->bytesSpooled() - before;
+            out_spool->bytesSpooled() - before;
         recorded_bytes += bytes;
         session.storageBucket().write(bytes, nullptr);
     }
@@ -133,8 +146,10 @@ TpuPointProfiler::stop()
         sim.cancel(pending_request);
         pending_request = 0;
     }
+    // An owned spool seals its container here; a shared external
+    // spool stays open — its owner seals after the final attempt.
     if (spool)
-        spool->finish(); // seal the streamed profile
+        spool->finish();
     active = false;
 }
 

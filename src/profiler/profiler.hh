@@ -64,6 +64,14 @@ struct ProfilerOptions
 
     /** Recording-thread spool: chunking and backpressure. */
     RecordSpoolOptions spool;
+
+    /**
+     * Attempt index stamped into every harvested record (container
+     * v4). A resilient run profiles each attempt with a fresh
+     * profiler; the stamp lets the analyzer stitch the attempts
+     * back into one continuous profile.
+     */
+    std::uint32_t attempt = 0;
 };
 
 /**
@@ -83,6 +91,17 @@ class TpuPointProfiler
      * called before start(); the stream is sealed at stop().
      */
     void streamTo(std::ostream &out);
+
+    /**
+     * Record through an externally owned spool instead of creating
+     * one. The spool is shared — several profilers (one per attempt
+     * of a resilient run) can write the same container, with the
+     * owner interleaving attempt-boundary records and sealing the
+     * stream once the whole run is over; stop() leaves it open.
+     * Must be called before start(); @p shared must outlive the
+     * profiler.
+     */
+    void streamTo(RecordSpool &shared);
 
     /**
      * Begin profiling. With @p analyzer true the recording thread
@@ -136,6 +155,7 @@ class TpuPointProfiler
     StatsCollector collector;
     std::vector<ProfileRecord> profile_records;
     std::unique_ptr<RecordSpool> spool;
+    RecordSpool *external_spool = nullptr;
     std::ostream *sink = nullptr;
     bool active = false;
     bool analyzer_enabled = false;

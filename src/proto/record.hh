@@ -58,6 +58,15 @@ struct StepStats
     SimTime tpu_idle = 0;  ///< TPU time stalled on infeed/outfeed.
     SimTime mxu_active = 0; ///< Equivalent full-MXU-activity time.
 
+    /**
+     * True when this step repeats work a preempted attempt already
+     * ran (the checkpoint -> preemption gap). Derived during
+     * analysis from attempt-boundary records, never serialized;
+     * merging preserves it so a step replayed anywhere stays
+     * marked.
+     */
+    bool replayed = false;
+
     /** Fold one event into the summary. */
     void add(const TraceEvent &event);
 
@@ -93,6 +102,27 @@ struct ProfileRecord
 
     /** Time lost to failed attempts + backoff in the window. */
     SimTime retry_time = 0;
+
+    /**
+     * Attempt of a resilient run this window belongs to (container
+     * v4; 0 on v3 profiles and single-attempt runs).
+     */
+    std::uint32_t attempt = 0;
+
+    /**
+     * True for an attempt-boundary marker record: a stepless record
+     * announcing that the previous attempt was preempted at
+     * `preempted_at_step` and this attempt resumes from
+     * `resume_step` (the restored checkpoint). Steps in
+     * (resume_step, preempted_at_step] are replays.
+     */
+    bool attempt_boundary = false;
+
+    /** Boundary only: last step the preempted attempt completed. */
+    StepId preempted_at_step = 0;
+
+    /** Boundary only: checkpoint step the new attempt resumes at. */
+    StepId resume_step = 0;
 
     /** Per-step summaries, ascending by step. */
     std::vector<StepStats> steps;

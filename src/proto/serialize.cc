@@ -77,6 +77,12 @@ encodeProfileRecord(const ProfileRecord &record)
         putOpStatsMap(out, s.host_ops);
         putOpStatsMap(out, s.tpu_ops);
     }
+    // Container v4: the attempt-continuity tail. Appended after the
+    // steps so v3 payloads decode as records that simply end here.
+    out.putU32(record.attempt);
+    out.putU32(record.attempt_boundary ? 1 : 0);
+    out.putU64(record.preempted_at_step);
+    out.putU64(record.resume_step);
     return std::move(out).str();
 }
 
@@ -114,6 +120,16 @@ decodeProfileRecord(std::string_view payload,
             !getOpStatsMap(in, s.tpu_ops))
             return false;
     }
+    // A v3 payload ends here; a v4 payload carries the
+    // attempt-continuity tail.
+    if (in.atEnd())
+        return true;
+    std::uint32_t boundary = 0;
+    if (!in.getU32(record.attempt) || !in.getU32(boundary) ||
+        !in.getU64(record.preempted_at_step) ||
+        !in.getU64(record.resume_step))
+        return false;
+    record.attempt_boundary = boundary != 0;
     return in.atEnd();
 }
 
@@ -187,6 +203,11 @@ profileRecordToJson(const ProfileRecord &record, std::ostream &out,
     w.field("mxu_utilization", record.mxu_utilization);
     w.field("retries", record.retries);
     w.field("retry_time_ns", record.retry_time);
+    w.field("attempt",
+            static_cast<std::uint64_t>(record.attempt));
+    w.field("attempt_boundary", record.attempt_boundary);
+    w.field("preempted_at_step", record.preempted_at_step);
+    w.field("resume_step", record.resume_step);
     w.key("steps");
     w.beginArray();
     for (const auto &s : record.steps) {

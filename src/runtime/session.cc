@@ -26,6 +26,8 @@ TrainingSession::TrainingSession(Simulator &simulator,
     : sim(simulator), config(session_config), work(workload_def),
       fault_plan(session_config.faults,
                  session_config.seed ^ 0x4641554c54ULL /* FAULT */),
+      own_preempt(session_config.preemption,
+                  session_config.seed ^ 0x505245454d50ULL /* PREEMP */),
       storage(simulator, session_config.storage),
       input(simulator, session_config.host, storage,
             workload_def.dataset, workload_def.batch_size,
@@ -181,6 +183,17 @@ TrainingSession::trainLoop()
         return;
     }
 
+    // The host-loop join is the safe boundary for device
+    // interruption: no step is in flight, so the session can stop
+    // with an exact "completed through gstep" result. An
+    // interruption that landed mid-loop takes effect here — the
+    // loop's steps still ran, just as a real eviction notice
+    // observed at the next session checkpoint would.
+    if (const PreemptionEvent *event = preempt->poll(sim.now())) {
+        abortRun(*event);
+        return;
+    }
+
     const std::uint64_t loop_steps =
         std::min(work.schedule.iterations_per_loop, end - gstep);
 
@@ -230,6 +243,32 @@ TrainingSession::trainLoop()
 }
 
 void
+TrainingSession::captureMetrics()
+{
+    outcome.wall_time = sim.now();
+    outcome.train_window = last_step_end > first_step_start
+        ? last_step_end - first_step_start : 0;
+    outcome.steps_completed = train_done;
+    outcome.tpu = core.counters();
+    outcome.pipeline = input.counters();
+    // Idle is wall-based over the whole run: every nanosecond the
+    // device is not executing operators — initialization, infeed
+    // stalls, eval gaps, checkpoint pauses — counts. TPUPoint
+    // profiles the entire duration of an application (Section
+    // III), so its reported idle includes these.
+    const double window = static_cast<double>(outcome.wall_time);
+    if (window > 0) {
+        outcome.tpu_idle_fraction = 1.0 -
+            static_cast<double>(outcome.tpu.busy) / window;
+        if (outcome.tpu_idle_fraction < 0)
+            outcome.tpu_idle_fraction = 0;
+        outcome.mxu_utilization =
+            static_cast<double>(outcome.tpu.mxu_active) / window;
+    }
+    outcome.checkpoints = ckpt.checkpoints();
+}
+
+void
 TrainingSession::finishRun()
 {
     ckpt.save(config.start_step + train_done, [this]() {
@@ -240,34 +279,34 @@ TrainingSession::finishRun()
             emitHost(hostop::kDisconnectHostFromDistributedTPUSystem,
                      t0, sim.now() - t0,
                      next_step ? next_step - 1 : 0);
-            outcome.wall_time = sim.now();
-            outcome.train_window = last_step_end > first_step_start
-                ? last_step_end - first_step_start : 0;
-            outcome.steps_completed = train_done;
-            outcome.tpu = core.counters();
-            outcome.pipeline = input.counters();
-            // Idle is wall-based over the whole run: every
-            // nanosecond the device is not executing operators —
-            // initialization, infeed stalls, eval gaps, checkpoint
-            // pauses — counts. TPUPoint profiles the entire
-            // duration of an application (Section III), so its
-            // reported idle includes these.
-            const double window =
-                static_cast<double>(outcome.wall_time);
-            if (window > 0) {
-                outcome.tpu_idle_fraction = 1.0 -
-                    static_cast<double>(outcome.tpu.busy) / window;
-                if (outcome.tpu_idle_fraction < 0)
-                    outcome.tpu_idle_fraction = 0;
-                outcome.mxu_utilization =
-                    static_cast<double>(outcome.tpu.mxu_active) /
-                    window;
-            }
-            outcome.checkpoints = ckpt.checkpoints();
+            captureMetrics();
             done = true;
             if (completion)
                 completion();
         });
+    });
+}
+
+void
+TrainingSession::abortRun(const PreemptionEvent &event)
+{
+    // The device is gone: no final checkpoint save, no orderly
+    // disconnect — just the teardown notice the host observes. The
+    // result is partial; whatever checkpoints were saved before the
+    // interruption are all a restart can build on.
+    const StepId gstep = config.start_step + train_done;
+    emitHost(hostop::kDevicePreempted, event.at,
+             sim.now() > event.at ? sim.now() - event.at : 0, gstep);
+    const SimTime teardown = static_cast<SimTime>(
+        200 * kMsec * work.fixed_cost_scale);
+    sim.schedule(teardown, [this, event, gstep]() {
+        captureMetrics();
+        outcome.preempted = true;
+        outcome.preemption_kind = event.kind;
+        outcome.preempted_at = gstep;
+        done = true;
+        if (completion)
+            completion();
     });
 }
 

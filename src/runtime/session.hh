@@ -44,6 +44,12 @@ struct SessionConfig
     /** How storage transfers retry under the fault plan. */
     RetryPolicy retry;
 
+    /** Device-interruption schedule (quiet by default). Seeded
+     * from `seed` unless the spec carries its own. A session
+     * checks the plan at each host-loop boundary and aborts with a
+     * partial result when an interruption has landed. */
+    PreemptionSpec preemption;
+
     /** On-device infeed buffer depth (batches). */
     std::size_t infeed_queue_depth = 2;
 
@@ -58,7 +64,7 @@ struct SessionConfig
     std::uint64_t seed = 0x54505550; // "TPUP"
 };
 
-/** Outcome of a completed session. */
+/** Outcome of a completed (or preempted) session. */
 struct SessionResult
 {
     SimTime wall_time = 0;        ///< Total simulated run time.
@@ -69,6 +75,14 @@ struct SessionResult
     double tpu_idle_fraction = 0.0; ///< idle / (busy + idle).
     double mxu_utilization = 0.0;   ///< mxu_active / (busy + idle).
     std::vector<CheckpointInfo> checkpoints;
+
+    /** True when the run was cut short by a device interruption;
+     * the result is then *partial* and the fields below apply. */
+    bool preempted = false;
+    PreemptionKind preemption_kind = PreemptionKind::Eviction;
+
+    /** Last global step completed before the interruption. */
+    StepId preempted_at = 0;
 };
 
 /**
@@ -107,6 +121,17 @@ class TrainingSession
     /** The live fault plan injected into the storage service. */
     FaultPlan &faultPlan() { return fault_plan; }
 
+    /** The live device-interruption plan being consulted. */
+    PreemptionPlan &preemptionPlan() { return *preempt; }
+
+    /**
+     * Consult an external interruption plan instead of the
+     * config-derived one. ResilientRunner shares one plan across
+     * every attempt of a run so a consumed interruption never
+     * fires twice. Call before start().
+     */
+    void injectPreemptions(PreemptionPlan *plan) { preempt = plan; }
+
     /** TPU device model. */
     TpuCore &tpu() { return core; }
 
@@ -131,6 +156,8 @@ class TrainingSession
     void runSteps(std::uint64_t count, const StepSchedule &schedule,
                   bool is_eval, std::function<void()> next);
     void finishRun();
+    void abortRun(const PreemptionEvent &event);
+    void captureMetrics();
 
     void emitHost(const char *type, SimTime start, SimTime duration,
                   StepId step);
@@ -143,6 +170,8 @@ class TrainingSession
 
     TraceHub hub;
     FaultPlan fault_plan;
+    PreemptionPlan own_preempt; ///< Config-derived default plan.
+    PreemptionPlan *preempt = &own_preempt;
     StorageBucket storage;
     InputPipeline input;
     InfeedQueue infeed_q;

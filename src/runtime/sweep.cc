@@ -11,6 +11,77 @@ namespace tpupoint {
 
 namespace {
 
+/** Checkpoint-restart path: the job's config schedules device
+ * interruptions, so a ResilientRunner orchestrates the attempts and
+ * a fresh attempt-stamped profiler covers each one, with
+ * attempt-boundary records interleaved for the analyzer. */
+SweepOutcome
+runResilientJob(const SweepJob &job, std::size_t index,
+                const SessionConfig &config)
+{
+    SweepOutcome outcome;
+    outcome.job_index = index;
+
+    Simulator sim;
+    ResilientRunner runner(sim, config, job.workload,
+                           job.resilience);
+    std::unique_ptr<TpuPointProfiler> profiler;
+
+    auto harvest = [&outcome, &profiler]() {
+        if (!profiler)
+            return;
+        const auto &records = profiler->records();
+        outcome.records.insert(outcome.records.end(),
+                               records.begin(), records.end());
+        outcome.profiler_bytes += profiler->bytesRecorded();
+        outcome.profile_requests += profiler->requestsIssued();
+        profiler.reset();
+    };
+
+    if (job.profile) {
+        runner.setAttemptHook(
+            [&sim, &job, &profiler](TrainingSession &session,
+                                    std::uint32_t attempt) {
+            ProfilerOptions popts = job.profiler;
+            popts.attempt = attempt;
+            popts.retain_records = true;
+            profiler = std::make_unique<TpuPointProfiler>(
+                sim, session, popts);
+            profiler->start(/*analyzer=*/true);
+        });
+        runner.setBoundaryHook(
+            [&outcome, &harvest](const AttemptOutcome &failed,
+                                 StepId resume) {
+            // The preempted attempt's records, then its boundary
+            // marker, then (next iteration) the restarted
+            // attempt's records.
+            harvest();
+            ProfileRecord boundary;
+            boundary.attempt = failed.index + 1;
+            boundary.attempt_boundary = true;
+            boundary.preempted_at_step = failed.reached_step;
+            boundary.resume_step = resume;
+            boundary.window_begin = failed.ended_at;
+            boundary.window_end = failed.ended_at;
+            outcome.records.push_back(boundary);
+        });
+    }
+
+    const ResilientResult res = runner.run();
+    harvest();
+
+    outcome.status = res.completed ? JobStatus::Ok
+                                   : JobStatus::Preempted;
+    outcome.attempts = res.attempts;
+    outcome.replayed_steps = res.replayed_steps;
+    outcome.result = res.final_result;
+    // The per-attempt result only counts its own steps; callers of
+    // a sweep want the run's total useful progress.
+    outcome.result.steps_completed = res.useful_steps;
+    outcome.checkpoints = res.checkpoints;
+    return outcome;
+}
+
 /** One complete, self-contained session: build, run, harvest. */
 SweepOutcome
 runJob(const SweepJob &job, std::size_t index,
@@ -19,6 +90,9 @@ runJob(const SweepJob &job, std::size_t index,
     SessionConfig config = job.config;
     if (use_override)
         config.seed = seed_override;
+
+    if (config.preemption.enabled())
+        return runResilientJob(job, index, config);
 
     Simulator sim;
     TrainingSession session(sim, config, job.workload);
@@ -46,6 +120,17 @@ runJob(const SweepJob &job, std::size_t index,
 }
 
 } // namespace
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok: return "ok";
+      case JobStatus::Preempted: return "preempted";
+      case JobStatus::Failed: return "failed";
+    }
+    panic("jobStatusName: unknown status");
+}
 
 SweepRunner::SweepRunner(const SweepOptions &options)
     : opts(options), thread_count(options.threads)
@@ -90,16 +175,42 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                 next_job.fetch_add(1, std::memory_order_relaxed);
             if (index >= jobs.size())
                 return;
-            try {
-                outcomes[index] = runJob(
-                    jobs[index], index,
-                    jobSeed(jobs[index].config.seed,
-                            opts.seed_salt, index),
-                    opts.derive_seeds);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
+            const unsigned tries = opts.job_retries + 1;
+            for (unsigned t = 0; t < tries; ++t) {
+                std::exception_ptr err;
+                try {
+                    outcomes[index] = runJob(
+                        jobs[index], index,
+                        jobSeed(jobs[index].config.seed,
+                                opts.seed_salt, index),
+                        opts.derive_seeds);
+                } catch (...) {
+                    err = std::current_exception();
+                }
+                if (!err)
+                    break;
+                if (t + 1 < tries)
+                    continue; // per-job retry budget remains
+                // Failure isolation: the job's outcome carries its
+                // own status and message; the rest of the sweep is
+                // unaffected.
+                SweepOutcome failed;
+                failed.job_index = index;
+                failed.status = JobStatus::Failed;
+                failed.attempts = tries;
+                try {
+                    std::rethrow_exception(err);
+                } catch (const std::exception &e) {
+                    failed.error = e.what();
+                } catch (...) {
+                    failed.error = "unknown error";
+                }
+                outcomes[index] = std::move(failed);
+                if (opts.strict) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error)
+                        first_error = err;
+                }
             }
         }
     };
@@ -117,7 +228,9 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
             thread.join();
     }
 
-    if (first_error)
+    // Strict mode keeps the pre-isolation contract: any job
+    // failure fails the whole sweep.
+    if (opts.strict && first_error)
         std::rethrow_exception(first_error);
     return outcomes;
 }

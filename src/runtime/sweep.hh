@@ -15,9 +15,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "profiler/profiler.hh"
+#include "runtime/resilient.hh"
 #include "runtime/session.hh"
 
 namespace tpupoint {
@@ -31,17 +33,48 @@ struct SweepJob
 
     /** Attach TPUPoint-Profiler to this session. */
     bool profile = true;
+
+    /** Restart orchestration used when the job's config schedules
+     * preemptions (SessionConfig::preemption). */
+    ResilientOptions resilience;
 };
+
+/** How one sweep entry ended. */
+enum class JobStatus : std::uint8_t {
+    Ok,        ///< Ran to completion; the result is full.
+    Preempted, ///< Attempt budget exhausted; the result is partial.
+    Failed,    ///< Threw; `error` holds the message, result empty.
+};
+
+/** Printable job-status name. */
+const char *jobStatusName(JobStatus status);
 
 /** Everything one sweep entry produces. */
 struct SweepOutcome
 {
     std::size_t job_index = 0;
+
+    /** How the job ended; the fields below are only meaningful for
+     * Ok (and, partially, Preempted) jobs. */
+    JobStatus status = JobStatus::Ok;
+
+    /** Failure message for Failed jobs ("" otherwise). */
+    std::string error;
+
+    /** Sessions started (> 1 when preemptions forced restarts). */
+    std::uint32_t attempts = 1;
+
+    /** Steps run more than once across restarts. */
+    std::uint64_t replayed_steps = 0;
+
     SessionResult result;
     std::vector<ProfileRecord> records;
     std::vector<CheckpointInfo> checkpoints;
     std::uint64_t profiler_bytes = 0;
     std::uint64_t profile_requests = 0;
+
+    /** True when the job produced a usable (full) result. */
+    bool ok() const { return status == JobStatus::Ok; }
 };
 
 /** Sweep execution knobs. */
@@ -61,6 +94,21 @@ struct SweepOptions
 
     /** Extra entropy mixed into derived seeds. */
     std::uint64_t seed_salt = 0;
+
+    /**
+     * Rethrow the first job exception after the pool joins,
+     * discarding every outcome — the pre-failure-isolation
+     * behaviour, for callers that treat any job failure as a sweep
+     * failure. Off by default: failures land in their job's
+     * SweepOutcome and the rest of the sweep survives.
+     */
+    bool strict = false;
+
+    /** Extra times a Failed job is re-run before it is recorded as
+     * Failed (0 = no retries). Deterministic jobs fail the same
+     * way every time; this is for jobs whose failure is injected
+     * or environmental. */
+    unsigned job_retries = 0;
 };
 
 /**
@@ -78,8 +126,10 @@ class SweepRunner
     unsigned threads() const { return thread_count; }
 
     /**
-     * Run every job; blocks until all complete. The first
-     * exception thrown by a job is rethrown after the pool joins.
+     * Run every job; blocks until all complete. A throwing job
+     * records JobStatus::Failed in its own outcome and the rest of
+     * the sweep is returned intact; with SweepOptions::strict the
+     * first exception is rethrown after the pool joins instead.
      */
     std::vector<SweepOutcome> run(
         const std::vector<SweepJob> &jobs) const;

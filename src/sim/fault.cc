@@ -1,5 +1,7 @@
 #include "sim/fault.hh"
 
+#include <algorithm>
+
 #include "core/logging.hh"
 
 namespace tpupoint {
@@ -37,6 +39,108 @@ FaultSpec::uniform(double error_rate, double spike_rate,
     FaultSpec spec;
     spec.windows.push_back(window);
     return spec;
+}
+
+const char *
+preemptionKindName(PreemptionKind kind)
+{
+    switch (kind) {
+      case PreemptionKind::Eviction: return "eviction";
+      case PreemptionKind::Maintenance: return "maintenance";
+    }
+    panic("preemptionKindName: unknown kind");
+}
+
+bool
+PreemptionSpec::enabled() const
+{
+    return !events.empty() || rate_per_hour > 0;
+}
+
+PreemptionSpec
+PreemptionSpec::at(SimTime when, PreemptionKind kind)
+{
+    PreemptionSpec spec;
+    spec.events.push_back({when, kind});
+    return spec;
+}
+
+PreemptionSpec
+PreemptionSpec::poisson(double per_hour, std::uint64_t seed)
+{
+    PreemptionSpec spec;
+    spec.rate_per_hour = per_hour;
+    spec.seed = seed;
+    return spec;
+}
+
+PreemptionPlan::PreemptionPlan(const PreemptionSpec &spec,
+                               std::uint64_t fallback_seed)
+    : schedule(spec.events),
+      rng(spec.seed ? spec.seed : fallback_seed)
+{
+    if (spec.rate_per_hour < 0)
+        fatal("PreemptionPlan: rate must be non-negative");
+    if (spec.maintenance_share < 0 || spec.maintenance_share > 1)
+        fatal("PreemptionPlan: maintenance share must lie in [0, 1]");
+    for (const auto &event : schedule) {
+        if (event.at < 0)
+            fatal("PreemptionPlan: events cannot predate the run");
+    }
+    if (spec.rate_per_hour > 0) {
+        // Materialize the Poisson arrivals up front — exponential
+        // inter-arrival gaps at the configured hourly rate — so the
+        // whole schedule is a pure function of the seed, however
+        // many attempts end up consulting it.
+        constexpr SimTime kHour = 3600 * kSec;
+        const SimTime horizon = spec.horizon > 0
+            ? spec.horizon : 30 * 24 * kHour;
+        double t_hours = 0;
+        for (;;) {
+            t_hours += rng.exponential(spec.rate_per_hour);
+            const SimTime at = static_cast<SimTime>(
+                t_hours * static_cast<double>(kHour));
+            if (at >= horizon)
+                break;
+            PreemptionEvent event;
+            event.at = at;
+            event.kind = rng.bernoulli(spec.maintenance_share)
+                ? PreemptionKind::Maintenance
+                : PreemptionKind::Eviction;
+            schedule.push_back(event);
+        }
+    }
+    std::stable_sort(schedule.begin(), schedule.end(),
+                     [](const PreemptionEvent &a,
+                        const PreemptionEvent &b) {
+                         return a.at < b.at;
+                     });
+}
+
+const PreemptionEvent *
+PreemptionPlan::poll(SimTime now)
+{
+    if (cursor >= schedule.size() || schedule[cursor].at > now)
+        return nullptr;
+    ++fired;
+    return &schedule[cursor++];
+}
+
+void
+PreemptionPlan::discardUntil(SimTime now)
+{
+    while (cursor < schedule.size() && schedule[cursor].at <= now) {
+        ++cursor;
+        ++skipped;
+    }
+}
+
+std::string
+PreemptionPlan::summary() const
+{
+    return std::to_string(schedule.size()) + " scheduled, " +
+        std::to_string(fired) + " triggered, " +
+        std::to_string(skipped) + " discarded";
 }
 
 FaultPlan::FaultPlan(const FaultSpec &spec,

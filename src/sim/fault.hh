@@ -7,6 +7,13 @@
  * of such events keyed to simulated time; services sample it once
  * per operation attempt and react (retry, stall, resume), so whole
  * fault experiments replay bit-for-bit from one seed.
+ *
+ * Interruption of the device itself — preemptible-instance
+ * eviction, maintenance restarts — is modeled the same way: a
+ * PreemptionSpec is a deterministic schedule of PreemptionEvents a
+ * running TrainingSession consults at safe boundaries, aborting
+ * with a partial result when one has landed (the robustness layer
+ * ResilientRunner recovers from).
  */
 
 #ifndef TPUPOINT_SIM_FAULT_HH
@@ -109,6 +116,130 @@ struct FaultDecision
         return kind == FaultKind::TransientError ||
             kind == FaultKind::StreamReset;
     }
+};
+
+/** Classes of device interruption a Cloud TPU job can suffer. */
+enum class PreemptionKind : std::uint8_t {
+    Eviction,    ///< Preemptible-instance eviction; the device is gone.
+    Maintenance, ///< Host maintenance event; the device restarts.
+};
+
+/** Printable preemption-kind name. */
+const char *preemptionKindName(PreemptionKind kind);
+
+/** One scheduled device interruption, keyed to simulated time. */
+struct PreemptionEvent
+{
+    SimTime at = 0;
+    PreemptionKind kind = PreemptionKind::Eviction;
+};
+
+/**
+ * The device-interruption schedule — a config value, like
+ * FaultSpec. Explicit events model known maintenance windows;
+ * `rate_per_hour` adds seeded Poisson arrivals (the preemptible-TPU
+ * eviction model) materialized deterministically over `horizon`.
+ * Sessions consult the live PreemptionPlan at safe boundaries (the
+ * host-loop joins where TPUEstimator regains control) and abort
+ * with a partial result when an event has landed.
+ */
+struct PreemptionSpec
+{
+    /** Explicit interruptions (any order; the plan sorts them). */
+    std::vector<PreemptionEvent> events;
+
+    /** Mean Poisson eviction arrivals per simulated hour. */
+    double rate_per_hour = 0.0;
+
+    /** P(a sampled arrival is Maintenance rather than Eviction). */
+    double maintenance_share = 0.0;
+
+    /** Sampling horizon for rate arrivals; 0 = 30 simulated days. */
+    SimTime horizon = 0;
+
+    /** Plan seed; 0 derives one from the owning session's seed. */
+    std::uint64_t seed = 0;
+
+    /** True when the spec can interrupt anything. */
+    bool enabled() const;
+
+    /** One explicit interruption at @p when. */
+    static PreemptionSpec at(
+        SimTime when, PreemptionKind kind = PreemptionKind::Eviction);
+
+    /** Poisson evictions at @p per_hour mean arrivals. */
+    static PreemptionSpec poisson(double per_hour,
+                                  std::uint64_t seed = 0);
+};
+
+/**
+ * A live, seeded instance of a PreemptionSpec: the full
+ * interruption schedule, materialized at construction so a fixed
+ * seed yields the same interruptions every run. Events are consumed
+ * in time order with poll(); events that land while no device is
+ * held (between attempts of a restarted run) are dropped with
+ * discardUntil(). One plan spans every attempt of a resilient run,
+ * so a consumed interruption never fires twice.
+ */
+class PreemptionPlan
+{
+  public:
+    /** A quiet plan: poll() always returns nullptr. */
+    PreemptionPlan() : rng(0) {}
+
+    /**
+     * @param fallback_seed Used when @p spec.seed is zero, so every
+     *     session derives a distinct-but-reproducible stream from
+     *     its own seed.
+     */
+    PreemptionPlan(const PreemptionSpec &spec,
+                   std::uint64_t fallback_seed);
+
+    /** True when any interruption is scheduled at all. */
+    bool enabled() const { return !schedule.empty(); }
+
+    /** The full materialized schedule, ascending by time. */
+    const std::vector<PreemptionEvent> &events() const
+    {
+        return schedule;
+    }
+
+    /**
+     * The earliest unconsumed event with `at <= now`, or nullptr.
+     * The returned event is consumed: it will interrupt exactly one
+     * attempt. The pointer stays valid for the plan's lifetime.
+     */
+    const PreemptionEvent *poll(SimTime now);
+
+    /**
+     * Drop unconsumed events with `at <= now`: an interruption that
+     * lands while no device is held (restart backoff) evicts
+     * nothing.
+     */
+    void discardUntil(SimTime now);
+
+    /** Events consumed by poll() so far. */
+    std::uint64_t triggered() const { return fired; }
+
+    /** Events dropped by discardUntil() so far. */
+    std::uint64_t discarded() const { return skipped; }
+
+    /**
+     * Deterministic jitter draw in [0, 1) for restart backoff,
+     * from the plan's own stream — one seed fixes the whole
+     * preemption experiment, arrivals and backoffs alike.
+     */
+    double jitter() { return rng.nextDouble(); }
+
+    /** "2 scheduled, 1 triggered, 0 discarded". */
+    std::string summary() const;
+
+  private:
+    std::vector<PreemptionEvent> schedule;
+    std::size_t cursor = 0;
+    Rng rng;
+    std::uint64_t fired = 0;
+    std::uint64_t skipped = 0;
 };
 
 /**

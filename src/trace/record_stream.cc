@@ -10,8 +10,11 @@ namespace tpupoint {
 namespace {
 
 constexpr char kMagic[4] = {'T', 'P', 'P', 'F'};
-// v3: profile records carry retry/fault meta-data.
-constexpr std::uint32_t kVersion = 3;
+// v4: profile records carry attempt-continuity meta-data (attempt
+// index, attempt-boundary markers). The tail fields are appended to
+// the v3 layout, so readers accept every version back to v3.
+constexpr std::uint32_t kVersion = 4;
+constexpr std::uint32_t kMinVersion = 3;
 constexpr std::uint32_t kChunkMarker = 0x4b4e4843u; // "CHNK"
 constexpr std::uint32_t kEndMarker = 0x53444e45u;   // "ENDS"
 
@@ -184,7 +187,7 @@ RecordStreamReader::RecordStreamReader(std::istream &in,
              "stream ended inside the header");
         return;
     }
-    if (stream_version != kVersion) {
+    if (stream_version < kMinVersion || stream_version > kVersion) {
         if (salvage) {
             detail = "version " + std::to_string(stream_version) +
                 " salvaged as " + std::to_string(kVersion);
@@ -192,7 +195,9 @@ RecordStreamReader::RecordStreamReader(std::istream &in,
         }
         fail(StreamStatus::Corrupt,
              "unsupported profile version " +
-                 std::to_string(stream_version));
+                 std::to_string(stream_version) +
+                 " (supported: " + std::to_string(kMinVersion) +
+                 ".." + std::to_string(kVersion) + ")");
     }
 }
 

@@ -15,7 +15,8 @@
  * for ProfileRecords); this layer only frames bytes:
  *
  *   stream  := header chunk* end
- *   header  := "TPPF" u32(version)
+ *   header  := "TPPF" u32(version)    (writers emit v4; readers
+ *                                      accept v3..v4)
  *   chunk   := u32(CHUNK_MARKER) u32(record_count)
  *              u32(payload_size) u32(crc32 payload) payload
  *   payload := { u32(record_size) record_bytes }*

@@ -113,6 +113,55 @@ TEST(AnalyzerTest, ChecksAssociateNearestCheckpoint)
     EXPECT_TRUE(zero_distance);
 }
 
+TEST(AnalyzerTest, StitchesAttemptBoundariesWithoutDoubleCount)
+{
+    // Attempt 0 runs steps 0..30 and is preempted; the restart
+    // resumes from a step-20 checkpoint and re-runs 21..30 before
+    // continuing to 50. The uninterrupted equivalent is the same
+    // run without the boundary.
+    const std::vector<StepStats> all = threePhaseRun(21, 8);
+    ASSERT_EQ(all.size(), 51u);
+
+    std::vector<ProfileRecord> stitched;
+    stitched.push_back(makeRecord(
+        {all.begin(), all.begin() + 31}, 0));
+    ProfileRecord boundary;
+    boundary.attempt = 1;
+    boundary.attempt_boundary = true;
+    boundary.preempted_at_step = 30;
+    boundary.resume_step = 20;
+    stitched.push_back(boundary);
+    ProfileRecord rerun =
+        makeRecord({all.begin() + 21, all.end()}, 1);
+    rerun.attempt = 1;
+    stitched.push_back(rerun);
+
+    const AnalysisResult a =
+        TpuPointAnalyzer().analyze(stitched);
+    const AnalysisResult b = TpuPointAnalyzer().analyze(
+        {makeRecord(all)});
+
+    EXPECT_EQ(a.attempts, 2u);
+    EXPECT_EQ(a.replayed_steps, 10u); // steps 21..30
+    EXPECT_EQ(a.discarded_steps, 10u); // dropped rows 21..30
+    EXPECT_GT(a.discarded_time, 0);
+    std::uint64_t flagged = 0;
+    for (const auto &row : a.table.steps())
+        flagged += row.replayed ? 1 : 0;
+    EXPECT_EQ(flagged, 10u);
+
+    // Identical aggregates to the uninterrupted run: nothing
+    // counted twice, nothing lost.
+    ASSERT_EQ(a.table.size(), b.table.size());
+    EXPECT_EQ(a.table.totalDuration(), b.table.totalDuration());
+    for (std::size_t i = 0; i < a.table.size(); ++i) {
+        EXPECT_EQ(a.table.at(i).step, b.table.at(i).step);
+        EXPECT_EQ(a.table.at(i).tpu_busy, b.table.at(i).tpu_busy);
+    }
+    EXPECT_EQ(b.attempts, 1u);
+    EXPECT_EQ(b.replayed_steps, 0u);
+}
+
 TEST(AnalyzerTest, EmptyRecordsYieldEmptyResult)
 {
     const AnalysisResult result =

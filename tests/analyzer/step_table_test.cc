@@ -67,6 +67,65 @@ TEST(StepTableTest, OpUniverseIsSortedAndPrefixed)
     EXPECT_EQ(universe[3], "tpu:fusion");
 }
 
+TEST(StepTableTest, DropAfterErasesTailAndReportsSpan)
+{
+    StepTableBuilder builder;
+    builder.ingest(makeRecord({makeStep(1, {"a"}, {}, 100),
+                               makeStep(2, {"a"}, {}, 100),
+                               makeStep(3, {"a"}, {}, 100),
+                               makeStep(4, {"a"}, {}, 100)}));
+    SimTime span = 0;
+    EXPECT_EQ(builder.dropAfter(2, &span), 2u);
+    EXPECT_EQ(span, 200);
+    EXPECT_EQ(builder.stepsAggregated(), 2u);
+    // Idempotent once the tail is gone.
+    EXPECT_EQ(builder.dropAfter(2), 0u);
+
+    const StepTable table = std::move(builder).build();
+    ASSERT_EQ(table.size(), 2u);
+    EXPECT_EQ(table.at(1).step, 2u);
+}
+
+TEST(StepTableTest, MarkReplayedFlagsReingestedRange)
+{
+    StepTableBuilder builder;
+    builder.ingest(makeRecord({makeStep(1, {"a"}),
+                               makeStep(2, {"a"}),
+                               makeStep(3, {"a"})}));
+    // The dead attempt reached step 3, the restart resumes at 1:
+    // steps (1, 3] come back as replays.
+    builder.dropAfter(1);
+    builder.markReplayed(1, 3);
+    builder.ingest(makeRecord(
+        {makeStep(2, {"a"}), makeStep(3, {"a"}),
+         makeStep(4, {"a"})},
+        1));
+
+    const StepTable table = std::move(builder).build();
+    ASSERT_EQ(table.size(), 4u);
+    EXPECT_FALSE(table.at(0).replayed); // step 1
+    EXPECT_TRUE(table.at(1).replayed);  // step 2: replayed
+    EXPECT_TRUE(table.at(2).replayed);  // step 3: replayed
+    EXPECT_FALSE(table.at(3).replayed); // step 4: new progress
+    // Replayed steps count once: one row each, single-window span
+    // and a single op invocation, not a doubled aggregate.
+    EXPECT_EQ(table.at(1).end - table.at(1).begin,
+              100 * kUsec);
+    EXPECT_EQ(table.at(1).tpu_ops.at("a").count, 1u);
+}
+
+TEST(StepTableTest, MarkReplayedEmptyRangeIsIgnored)
+{
+    StepTableBuilder builder;
+    builder.markReplayed(5, 5);
+    builder.markReplayed(7, 3);
+    builder.ingest(makeRecord({makeStep(5, {"a"}),
+                               makeStep(4, {"a"})}));
+    const StepTable table = std::move(builder).build();
+    EXPECT_FALSE(table.at(0).replayed);
+    EXPECT_FALSE(table.at(1).replayed);
+}
+
 TEST(StepTableTest, EmptyInput)
 {
     const StepTable table = StepTable::fromRecords({});

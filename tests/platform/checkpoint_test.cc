@@ -61,6 +61,17 @@ TEST(CheckpointTest, NearestPicksSmallestDistance)
     EXPECT_EQ(rig.ckpt.nearest(200)->step, 200u);
 }
 
+TEST(CheckpointTest, NearestTiesBreakTowardTheEarlierStep)
+{
+    // Equidistant checkpoints resolve to the earlier one: resuming
+    // earlier replays work, resuming later would skip it.
+    Rig rig;
+    rig.ckpt.save(100, nullptr);
+    rig.ckpt.save(200, nullptr);
+    rig.sim.run();
+    EXPECT_EQ(rig.ckpt.nearest(150)->step, 100u);
+}
+
 TEST(CheckpointTest, NearestOnEmptyIsNull)
 {
     Rig rig;

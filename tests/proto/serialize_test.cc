@@ -76,6 +76,10 @@ expectEqualRecords(const ProfileRecord &a, const ProfileRecord &b)
     EXPECT_DOUBLE_EQ(a.mxu_utilization, b.mxu_utilization);
     EXPECT_EQ(a.retries, b.retries);
     EXPECT_EQ(a.retry_time, b.retry_time);
+    EXPECT_EQ(a.attempt, b.attempt);
+    EXPECT_EQ(a.attempt_boundary, b.attempt_boundary);
+    EXPECT_EQ(a.preempted_at_step, b.preempted_at_step);
+    EXPECT_EQ(a.resume_step, b.resume_step);
     ASSERT_EQ(a.steps.size(), b.steps.size());
     for (std::size_t i = 0; i < a.steps.size(); ++i) {
         const StepStats &x = a.steps[i];
@@ -194,6 +198,66 @@ TEST(SerializeTest, TruncatedStreamIsRejected)
     ProfileReader reader(truncated);
     ProfileRecord record;
     EXPECT_THROW(reader.read(record), std::runtime_error);
+}
+
+TEST(SerializeTest, V4RoundTripCarriesAttemptFields)
+{
+    Rng rng(11);
+    ProfileRecord original = randomRecord(rng, 4);
+    original.attempt = 3;
+    original.attempt_boundary = true;
+    original.preempted_at_step = 480;
+    original.resume_step = 450;
+
+    ProfileRecord decoded;
+    ASSERT_TRUE(
+        decodeProfileRecord(encodeProfileRecord(original),
+                            decoded));
+    expectEqualRecords(original, decoded);
+    EXPECT_EQ(decoded.attempt, 3u);
+    EXPECT_TRUE(decoded.attempt_boundary);
+    EXPECT_EQ(decoded.preempted_at_step, 480u);
+    EXPECT_EQ(decoded.resume_step, 450u);
+}
+
+/** The 24-byte v4 attempt tail: u32 + u32 + u64 + u64. */
+constexpr std::size_t kAttemptTailBytes = 24;
+
+TEST(SerializeTest, V3PayloadWithoutAttemptTailStillDecodes)
+{
+    Rng rng(12);
+    ProfileRecord original = randomRecord(rng, 9);
+    original.retries = 17;
+    original.retry_time = 123 * kMsec;
+
+    // Strip the fixed-width v4 tail: exactly what a v3 writer
+    // emitted. The v3 retry fields must survive unchanged and the
+    // attempt fields take their defaults.
+    std::string payload = encodeProfileRecord(original);
+    ASSERT_GT(payload.size(), kAttemptTailBytes);
+    payload.resize(payload.size() - kAttemptTailBytes);
+
+    ProfileRecord decoded;
+    ASSERT_TRUE(decodeProfileRecord(payload, decoded));
+    expectEqualRecords(original, decoded);
+    EXPECT_EQ(decoded.retries, 17u);
+    EXPECT_EQ(decoded.retry_time, 123 * kMsec);
+    EXPECT_EQ(decoded.attempt, 0u);
+    EXPECT_FALSE(decoded.attempt_boundary);
+    EXPECT_EQ(decoded.preempted_at_step, 0u);
+    EXPECT_EQ(decoded.resume_step, 0u);
+}
+
+TEST(SerializeTest, PartialAttemptTailIsRejected)
+{
+    Rng rng(13);
+    std::string payload =
+        encodeProfileRecord(randomRecord(rng, 0));
+    // A tail that is present but cut short is damage, not a v3
+    // payload.
+    payload.resize(payload.size() - kAttemptTailBytes / 2);
+    ProfileRecord decoded;
+    EXPECT_FALSE(decodeProfileRecord(payload, decoded));
 }
 
 TEST(SerializeTest, JsonOutputContainsKeyFields)

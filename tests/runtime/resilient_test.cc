@@ -1,0 +1,263 @@
+/**
+ * @file ResilientRunner: checkpoint-restart orchestration across
+ * device preemptions. The accounting invariant under test: useful
+ * steps across attempts sum to exactly the steps the run requested,
+ * and a fixed seed replays the whole experiment bit-for-bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "runtime/resilient.hh"
+#include "workloads/catalog.hh"
+
+namespace tpupoint {
+namespace {
+
+RuntimeWorkload
+smallWorkload(std::uint64_t steps = 80)
+{
+    WorkloadOptions options;
+    options.step_scale = 0.01;
+    options.max_train_steps = steps;
+    return makeWorkload(WorkloadId::DcganCifar10, options);
+}
+
+/** Wall time of the uninterrupted run, for placing preemptions. */
+SimTime
+cleanWallTime(const RuntimeWorkload &w)
+{
+    Simulator sim;
+    TrainingSession session(sim, SessionConfig{}, w);
+    session.start(nullptr);
+    sim.run();
+    return session.result().wall_time;
+}
+
+ResilientResult
+runResilient(const SessionConfig &config, const RuntimeWorkload &w,
+             const ResilientOptions &opts = {})
+{
+    Simulator sim;
+    ResilientRunner runner(sim, config, w, opts);
+    return runner.run();
+}
+
+TEST(ResilientRunnerTest, QuietPlanRunsOneAttempt)
+{
+    const RuntimeWorkload w = smallWorkload();
+    const ResilientResult r = runResilient(SessionConfig{}, w);
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.attempts, 1u);
+    EXPECT_EQ(r.useful_steps, w.schedule.train_steps);
+    EXPECT_EQ(r.replayed_steps, 0u);
+    EXPECT_EQ(r.backoff_time, 0);
+    EXPECT_EQ(r.wall_time, cleanWallTime(w));
+    ASSERT_EQ(r.attempt_log.size(), 1u);
+    EXPECT_FALSE(r.attempt_log[0].preempted);
+}
+
+TEST(ResilientRunnerTest, CompletesExactlyRequestedSteps)
+{
+    const RuntimeWorkload w = smallWorkload();
+    const SimTime wall = cleanWallTime(w);
+
+    SessionConfig config;
+    config.preemption = PreemptionSpec::at(wall / 2);
+    const ResilientResult r = runResilient(config, w);
+
+    EXPECT_TRUE(r.completed);
+    ASSERT_GE(r.attempts, 2u);
+    // The accounting invariant: useful progress across attempts
+    // sums to exactly the requested steps, nothing double-counted.
+    EXPECT_EQ(r.useful_steps, w.schedule.train_steps);
+    EXPECT_EQ(r.total_steps_run,
+              r.useful_steps + r.replayed_steps);
+    EXPECT_GT(r.backoff_time, 0);
+    EXPECT_GT(r.wall_time, wall);
+
+    std::uint64_t useful = 0, run = 0;
+    for (const auto &attempt : r.attempt_log) {
+        useful += attempt.useful_steps;
+        run += attempt.steps_run;
+        EXPECT_EQ(attempt.replayed_steps,
+                  attempt.steps_run - attempt.useful_steps);
+    }
+    EXPECT_EQ(useful, w.schedule.train_steps);
+    EXPECT_EQ(run, r.total_steps_run);
+    EXPECT_TRUE(r.attempt_log.front().preempted);
+    EXPECT_FALSE(r.attempt_log.back().preempted);
+    EXPECT_FALSE(r.final_result.preempted);
+}
+
+TEST(ResilientRunnerTest, RestartsFromACheckpointNotFromZero)
+{
+    const RuntimeWorkload w = smallWorkload();
+    const SimTime wall = cleanWallTime(w);
+
+    // Late preemption: by then the session has saved checkpoints,
+    // so the restart must not replay the whole run.
+    SessionConfig config;
+    config.preemption = PreemptionSpec::at((wall * 3) / 4);
+    const ResilientResult r = runResilient(config, w);
+
+    ASSERT_TRUE(r.completed);
+    ASSERT_GE(r.attempts, 2u);
+    const AttemptOutcome &restart = r.attempt_log[1];
+    EXPECT_GT(restart.start_step, 0u);
+    EXPECT_LE(restart.start_step, r.attempt_log[0].reached_step);
+    // The resume step is a step some attempt checkpointed.
+    bool is_checkpoint = false;
+    for (const auto &info : r.checkpoints)
+        is_checkpoint |= info.step == restart.start_step;
+    EXPECT_TRUE(is_checkpoint);
+}
+
+TEST(ResilientRunnerTest, ReplaysBitIdenticalForAFixedSeed)
+{
+    const RuntimeWorkload w = smallWorkload();
+    const SimTime wall = cleanWallTime(w);
+
+    SessionConfig config;
+    config.seed = 1234;
+    config.preemption = PreemptionSpec::at(wall / 2);
+    config.preemption.rate_per_hour = 0;
+
+    const ResilientResult a = runResilient(config, w);
+    const ResilientResult b = runResilient(config, w);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.attempts, b.attempts);
+    EXPECT_EQ(a.wall_time, b.wall_time);
+    EXPECT_EQ(a.backoff_time, b.backoff_time);
+    EXPECT_EQ(a.useful_steps, b.useful_steps);
+    EXPECT_EQ(a.replayed_steps, b.replayed_steps);
+    ASSERT_EQ(a.attempt_log.size(), b.attempt_log.size());
+    for (std::size_t i = 0; i < a.attempt_log.size(); ++i) {
+        EXPECT_EQ(a.attempt_log[i].start_step,
+                  b.attempt_log[i].start_step);
+        EXPECT_EQ(a.attempt_log[i].reached_step,
+                  b.attempt_log[i].reached_step);
+        EXPECT_EQ(a.attempt_log[i].began_at,
+                  b.attempt_log[i].began_at);
+        EXPECT_EQ(a.attempt_log[i].ended_at,
+                  b.attempt_log[i].ended_at);
+    }
+    ASSERT_EQ(a.checkpoints.size(), b.checkpoints.size());
+    for (std::size_t i = 0; i < a.checkpoints.size(); ++i) {
+        EXPECT_EQ(a.checkpoints[i].step, b.checkpoints[i].step);
+        EXPECT_EQ(a.checkpoints[i].saved_at,
+                  b.checkpoints[i].saved_at);
+    }
+}
+
+TEST(ResilientRunnerTest, BudgetExhaustionReportsPartialResult)
+{
+    const RuntimeWorkload w = smallWorkload();
+    const SimTime wall = cleanWallTime(w);
+
+    SessionConfig config;
+    config.preemption = PreemptionSpec::at(wall / 3);
+    ResilientOptions opts;
+    opts.max_attempts = 1;
+
+    Simulator sim;
+    ResilientRunner runner(sim, config, w, opts);
+    bool boundary_called = false;
+    runner.setBoundaryHook(
+        [&](const AttemptOutcome &, StepId) {
+        boundary_called = true;
+    });
+    const ResilientResult r = runner.run();
+
+    EXPECT_FALSE(r.completed);
+    EXPECT_EQ(r.attempts, 1u);
+    EXPECT_LT(r.useful_steps, w.schedule.train_steps);
+    EXPECT_TRUE(r.final_result.preempted);
+    EXPECT_EQ(r.backoff_time, 0);
+    // No restart follows the last allowed attempt, so no boundary
+    // record should be emitted either.
+    EXPECT_FALSE(boundary_called);
+}
+
+TEST(ResilientRunnerTest, HooksFireOncePerAttemptAndBoundary)
+{
+    const RuntimeWorkload w = smallWorkload();
+    const SimTime wall = cleanWallTime(w);
+
+    SessionConfig config;
+    config.preemption = PreemptionSpec::at(wall / 2);
+
+    Simulator sim;
+    ResilientRunner runner(sim, config, w);
+    std::uint32_t attempt_calls = 0, boundary_calls = 0;
+    StepId last_resume = 0;
+    runner.setAttemptHook(
+        [&](TrainingSession &, std::uint32_t attempt) {
+        EXPECT_EQ(attempt, attempt_calls);
+        ++attempt_calls;
+    });
+    runner.setBoundaryHook(
+        [&](const AttemptOutcome &failed, StepId resume) {
+        EXPECT_TRUE(failed.preempted);
+        EXPECT_LE(resume, failed.reached_step);
+        last_resume = resume;
+        ++boundary_calls;
+    });
+    const ResilientResult r = runner.run();
+
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(attempt_calls, r.attempts);
+    EXPECT_EQ(boundary_calls, r.attempts - 1);
+    EXPECT_EQ(last_resume, r.attempt_log.back().start_step);
+}
+
+TEST(ResilientRunnerTest, EventsDuringBackoffAreDiscarded)
+{
+    const RuntimeWorkload w = smallWorkload();
+    const SimTime wall = cleanWallTime(w);
+
+    // The second interruption lands moments after the first: the
+    // aborted attempt is already gone when it fires, so it must be
+    // dropped during the restart backoff, not charged to attempt 2.
+    SessionConfig config;
+    config.preemption.events.push_back(
+        {wall / 2, PreemptionKind::Eviction});
+    config.preemption.events.push_back(
+        {wall / 2 + 10 * kMsec, PreemptionKind::Eviction});
+
+    Simulator sim;
+    ResilientRunner runner(sim, config, w);
+    const ResilientResult r = runner.run();
+    EXPECT_TRUE(r.completed);
+    EXPECT_EQ(r.attempts, 2u);
+    EXPECT_EQ(runner.preemptionPlan().triggered(), 1u);
+    EXPECT_EQ(runner.preemptionPlan().discarded(), 1u);
+}
+
+TEST(ResilientRunnerTest, InvalidOptionsAreRejected)
+{
+    const RuntimeWorkload w = smallWorkload();
+    Simulator sim;
+
+    ResilientOptions no_budget;
+    no_budget.max_attempts = 0;
+    EXPECT_THROW(
+        ResilientRunner(sim, SessionConfig{}, w, no_budget),
+        std::runtime_error);
+
+    ResilientOptions bad_jitter;
+    bad_jitter.jitter = 1.5;
+    EXPECT_THROW(
+        ResilientRunner(sim, SessionConfig{}, w, bad_jitter),
+        std::runtime_error);
+
+    ResilientOptions bad_multiplier;
+    bad_multiplier.backoff_multiplier = 0.5;
+    EXPECT_THROW(
+        ResilientRunner(sim, SessionConfig{}, w, bad_multiplier),
+        std::runtime_error);
+}
+
+} // namespace
+} // namespace tpupoint

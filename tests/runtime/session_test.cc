@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
+#include <map>
 #include <stdexcept>
+#include <string>
 
+#include "host/host_ops.hh"
 #include "profiler/collector.hh"
 #include "runtime/session.hh"
 #include "workloads/catalog.hh"
@@ -100,6 +104,137 @@ TEST(SessionTest, RestartFromCheckpointRunsRemainder)
     session.start(nullptr);
     sim.run();
     EXPECT_EQ(session.result().steps_completed, 40u);
+}
+
+TEST(SessionTest, ResumeRestoresAndNumbersStepsFromStart)
+{
+    Simulator sim;
+    RuntimeWorkload w = smallWorkload(100);
+    // Eval rounds borrow step ids past the train range; disable
+    // them so the id bounds below are exact.
+    w.schedule.steps_per_eval = 0;
+    SessionConfig config;
+    config.start_step = 60;
+    TrainingSession session(sim, config, w);
+    InMemoryTrace trace;
+    session.traceHub().attach(&trace);
+    StepId first_step = 0;
+    session.setStepCallback([&](StepId step, SimTime) {
+        if (first_step == 0)
+            first_step = step;
+        EXPECT_GT(step, 60u);
+        EXPECT_LE(step, 100u);
+    });
+    session.start(nullptr);
+    sim.run();
+
+    // The resumed run restores from the step-60 checkpoint during
+    // initialization and numbers its steps from there.
+    EXPECT_EQ(first_step, 61u);
+    EXPECT_EQ(session.result().steps_completed, 40u);
+    bool saw_restore = false;
+    for (const auto &event : trace.events())
+        saw_restore |= std::strcmp(event.type, hostop::kRestoreV2) == 0;
+    EXPECT_TRUE(saw_restore);
+}
+
+/** Per-step op-invocation counts for steps in [from, to]. */
+std::map<StepId, std::map<std::string, std::uint64_t>>
+stepOpCounts(const InMemoryTrace &trace, StepId from, StepId to)
+{
+    std::map<StepId, std::map<std::string, std::uint64_t>> counts;
+    for (const auto &event : trace.events()) {
+        if (event.step == kNoStep || event.step < from ||
+            event.step > to)
+            continue;
+        ++counts[event.step][event.type];
+    }
+    return counts;
+}
+
+TEST(SessionTest, ResumedTraceTailMatchesUninterruptedRun)
+{
+    RuntimeWorkload w = smallWorkload(100);
+    // Eval rounds consume step ids at every steps_per_eval
+    // boundary, and a resumed run skips the rounds before its
+    // start step — which would shift every later id. Disable eval
+    // so the two runs number their steps identically.
+    w.schedule.steps_per_eval = 0;
+    auto run = [&](StepId start_step) {
+        Simulator sim;
+        SessionConfig config;
+        config.start_step = start_step;
+        TrainingSession session(sim, config, w);
+        InMemoryTrace trace;
+        session.traceHub().attach(&trace);
+        session.start(nullptr);
+        sim.run();
+        // Durations differ (the resumed pipeline replays a
+        // different Rng tail), so compare the op mix per step, a
+        // few steps past the boundary to let the pipeline re-warm.
+        return stepOpCounts(trace, 66, 100);
+    };
+    const auto full = run(0);
+    const auto resumed = run(60);
+    ASSERT_FALSE(resumed.empty());
+    EXPECT_EQ(full, resumed);
+}
+
+TEST(SessionTest, PreemptionAbortsWithPartialResult)
+{
+    const RuntimeWorkload w = smallWorkload(100);
+    const SimTime wall = [&] {
+        Simulator sim;
+        TrainingSession session(sim, SessionConfig{}, w);
+        session.start(nullptr);
+        sim.run();
+        return session.result().wall_time;
+    }();
+
+    Simulator sim;
+    SessionConfig config;
+    config.preemption = PreemptionSpec::at(wall / 2);
+    TrainingSession session(sim, config, w);
+    InMemoryTrace trace;
+    session.traceHub().attach(&trace);
+    bool completed = false;
+    session.start([&] { completed = true; });
+    sim.run();
+
+    // The session still completes (with a partial result), so the
+    // orchestration layer can observe and restart it.
+    ASSERT_TRUE(completed);
+    ASSERT_TRUE(session.finished());
+    const SessionResult &r = session.result();
+    EXPECT_TRUE(r.preempted);
+    EXPECT_EQ(r.preemption_kind, PreemptionKind::Eviction);
+    EXPECT_GT(r.steps_completed, 0u);
+    EXPECT_LT(r.steps_completed, w.schedule.train_steps);
+    EXPECT_EQ(r.preempted_at, r.steps_completed);
+    EXPECT_GE(r.wall_time, wall / 2);
+    EXPECT_LT(r.wall_time, wall);
+
+    bool saw_preempt = false;
+    for (const auto &event : trace.events())
+        saw_preempt |=
+            std::strcmp(event.type, hostop::kDevicePreempted) == 0;
+    EXPECT_TRUE(saw_preempt);
+    EXPECT_EQ(session.preemptionPlan().triggered(), 1u);
+}
+
+TEST(SessionTest, MaintenancePreemptionReportsItsKind)
+{
+    Simulator sim;
+    const RuntimeWorkload w = smallWorkload(100);
+    SessionConfig config;
+    config.preemption =
+        PreemptionSpec::at(1 * kMsec, PreemptionKind::Maintenance);
+    TrainingSession session(sim, config, w);
+    session.start(nullptr);
+    sim.run();
+    EXPECT_TRUE(session.result().preempted);
+    EXPECT_EQ(session.result().preemption_kind,
+              PreemptionKind::Maintenance);
 }
 
 TEST(SessionTest, DeterministicAcrossRuns)

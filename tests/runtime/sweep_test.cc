@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -132,6 +134,126 @@ TEST(SweepRunnerTest, DerivedSeedsDependOnIndexNotThreads)
 TEST(SweepRunnerTest, EmptyJobListIsFine)
 {
     EXPECT_TRUE(SweepRunner().run({}).empty());
+}
+
+TEST(SweepRunnerTest, FailingJobDoesNotPoisonTheSweep)
+{
+    auto jobs = smallJobs();
+    // An invalid preemption spec makes the job throw when its
+    // session constructs the plan.
+    jobs[1].config.preemption.rate_per_hour = -1.0;
+
+    const auto outcomes = SweepRunner(SweepOptions{}).run(jobs);
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (i == 1) {
+            EXPECT_EQ(outcomes[i].status, JobStatus::Failed);
+            EXPECT_FALSE(outcomes[i].ok());
+            EXPECT_FALSE(outcomes[i].error.empty());
+            EXPECT_TRUE(outcomes[i].records.empty());
+        } else {
+            // Every other job's outcome survives intact.
+            EXPECT_EQ(outcomes[i].status, JobStatus::Ok);
+            EXPECT_TRUE(outcomes[i].error.empty());
+            EXPECT_GT(outcomes[i].result.steps_completed, 0u);
+            EXPECT_FALSE(outcomes[i].records.empty());
+        }
+    }
+}
+
+TEST(SweepRunnerTest, StrictModeRethrowsTheFirstFailure)
+{
+    auto jobs = smallJobs();
+    jobs[2].config.preemption.rate_per_hour = -1.0;
+    SweepOptions options;
+    options.strict = true;
+    EXPECT_THROW(SweepRunner(options).run(jobs),
+                 std::runtime_error);
+}
+
+TEST(SweepRunnerTest, JobRetriesDoNotMaskDeterministicFailures)
+{
+    auto jobs = smallJobs();
+    jobs[0].config.preemption.rate_per_hour = -1.0;
+    SweepOptions options;
+    options.job_retries = 2;
+    const auto outcomes = SweepRunner(options).run(jobs);
+    EXPECT_EQ(outcomes[0].status, JobStatus::Failed);
+    EXPECT_EQ(outcomes[1].status, JobStatus::Ok);
+}
+
+TEST(SweepRunnerTest, PreemptedJobStitchesAttempts)
+{
+    auto jobs = smallJobs();
+
+    // Run clean once, then preempt job 1 midway through its run.
+    const auto clean_outcomes = runWith(1, jobs);
+    jobs[1].config.preemption =
+        PreemptionSpec::at(clean_outcomes[1].result.wall_time / 2);
+
+    const auto outcomes = runWith(2, jobs);
+    const SweepOutcome &preempted = outcomes[1];
+    EXPECT_EQ(preempted.status, JobStatus::Ok);
+    ASSERT_GE(preempted.attempts, 2u);
+    EXPECT_GT(preempted.replayed_steps, 0u);
+    // Useful steps across attempts equal the requested steps.
+    EXPECT_EQ(preempted.result.steps_completed,
+              jobs[1].workload.schedule.train_steps);
+
+    // The stream carries attempt-boundary records for stitching.
+    std::size_t boundaries = 0;
+    std::uint32_t max_attempt = 0;
+    for (const auto &record : preempted.records) {
+        boundaries += record.attempt_boundary ? 1 : 0;
+        max_attempt = std::max(max_attempt, record.attempt);
+    }
+    EXPECT_EQ(boundaries, preempted.attempts - 1u);
+    EXPECT_EQ(max_attempt, preempted.attempts - 1u);
+
+    // The analyzer stitches the attempts into one profile: same
+    // step universe as the uninterrupted run, replay counted once.
+    const AnalysisResult stitched =
+        TpuPointAnalyzer().analyze(preempted.records);
+    EXPECT_EQ(stitched.attempts, preempted.attempts);
+    EXPECT_EQ(stitched.replayed_steps, preempted.replayed_steps);
+    const AnalysisResult clean =
+        TpuPointAnalyzer().analyze(clean_outcomes[1].records);
+    // Every train step appears exactly once (the table is keyed by
+    // step id). The stitched run may carry fewer eval rows than the
+    // clean one: a restarted attempt does not re-run eval rounds
+    // already completed before the resume checkpoint, and the
+    // preempted attempt's rows past that checkpoint are dropped.
+    EXPECT_GE(stitched.table.size(),
+              jobs[1].workload.schedule.train_steps);
+    EXPECT_LE(stitched.table.size(), clean.table.size());
+
+    // Untouched jobs report single attempts.
+    EXPECT_EQ(outcomes[0].attempts, 1u);
+    EXPECT_EQ(outcomes[0].replayed_steps, 0u);
+}
+
+TEST(SweepRunnerTest, PreemptedSweepIsThreadCountInvariant)
+{
+    auto jobs = smallJobs();
+    const auto clean = runWith(1, jobs);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        jobs[i].config.preemption =
+            PreemptionSpec::at(clean[i].result.wall_time / 2);
+    }
+    const auto serial = runWith(1, jobs);
+    const auto parallel = runWith(4, jobs);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].attempts, parallel[i].attempts);
+        EXPECT_EQ(serial[i].replayed_steps,
+                  parallel[i].replayed_steps);
+        ASSERT_EQ(serial[i].records.size(),
+                  parallel[i].records.size());
+        for (std::size_t r = 0; r < serial[i].records.size(); ++r) {
+            EXPECT_EQ(encodeProfileRecord(serial[i].records[r]),
+                      encodeProfileRecord(parallel[i].records[r]));
+        }
+    }
 }
 
 } // namespace

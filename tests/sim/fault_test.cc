@@ -148,5 +148,103 @@ TEST(FaultPlanTest, SummaryCountsInjections)
               "errors=2 spikes=0 resets=0 of 2 samples");
 }
 
+TEST(PreemptionPlanTest, QuietPlanNeverFires)
+{
+    PreemptionPlan quiet;
+    EXPECT_FALSE(quiet.enabled());
+    EXPECT_EQ(quiet.poll(kTimeForever), nullptr);
+    EXPECT_EQ(quiet.triggered(), 0u);
+}
+
+TEST(PreemptionPlanTest, ExplicitEventsSortAndConsumeInOrder)
+{
+    PreemptionSpec spec;
+    spec.events.push_back(
+        {20 * kSec, PreemptionKind::Maintenance});
+    spec.events.push_back({5 * kSec, PreemptionKind::Eviction});
+    PreemptionPlan plan(spec, 1);
+
+    ASSERT_EQ(plan.events().size(), 2u);
+    EXPECT_EQ(plan.events()[0].at, 5 * kSec);
+    EXPECT_EQ(plan.events()[1].at, 20 * kSec);
+
+    EXPECT_EQ(plan.poll(4 * kSec), nullptr);
+    // Both events have landed by t=25s: poll consumes the earliest
+    // first, one per call — a consumed event never fires twice.
+    const PreemptionEvent *first = plan.poll(25 * kSec);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->at, 5 * kSec);
+    EXPECT_EQ(first->kind, PreemptionKind::Eviction);
+    const PreemptionEvent *second = plan.poll(25 * kSec);
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(second->at, 20 * kSec);
+    EXPECT_EQ(second->kind, PreemptionKind::Maintenance);
+    EXPECT_EQ(plan.poll(kTimeForever), nullptr);
+    EXPECT_EQ(plan.triggered(), 2u);
+    EXPECT_EQ(plan.summary(), "2 scheduled, 2 triggered, "
+                              "0 discarded");
+}
+
+TEST(PreemptionPlanTest, DiscardUntilDropsWithoutFiring)
+{
+    PreemptionSpec spec;
+    spec.events.push_back({5 * kSec, PreemptionKind::Eviction});
+    spec.events.push_back({20 * kSec, PreemptionKind::Eviction});
+    PreemptionPlan plan(spec, 1);
+
+    plan.discardUntil(10 * kSec);
+    EXPECT_EQ(plan.discarded(), 1u);
+    const PreemptionEvent *next = plan.poll(kTimeForever);
+    ASSERT_NE(next, nullptr);
+    EXPECT_EQ(next->at, 20 * kSec);
+    EXPECT_EQ(plan.triggered(), 1u);
+}
+
+TEST(PreemptionPlanTest, PoissonScheduleIsDeterministic)
+{
+    const PreemptionSpec spec = PreemptionSpec::poisson(2.0, 77);
+    PreemptionPlan a(spec, 1);
+    PreemptionPlan b(spec, 2); // spec seed overrides the fallback
+    ASSERT_FALSE(a.events().empty());
+    ASSERT_EQ(a.events().size(), b.events().size());
+    for (std::size_t i = 0; i < a.events().size(); ++i) {
+        EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+        EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+        if (i > 0)
+            EXPECT_GE(a.events()[i].at, a.events()[i - 1].at);
+    }
+    // Backoff jitter comes from the same seeded stream.
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(a.jitter(), b.jitter());
+
+    PreemptionPlan c(PreemptionSpec::poisson(2.0, 78), 1);
+    const bool identical =
+        a.events().size() == c.events().size() &&
+        a.events()[0].at == c.events()[0].at;
+    EXPECT_FALSE(identical);
+}
+
+TEST(PreemptionPlanTest, PoissonRateIsApproximatelyHonored)
+{
+    // 2 arrivals per hour over the default 30-day horizon: expect
+    // about 1440 events.
+    PreemptionPlan plan(PreemptionSpec::poisson(2.0, 9), 1);
+    EXPECT_GT(plan.events().size(), 1200u);
+    EXPECT_LT(plan.events().size(), 1700u);
+}
+
+TEST(PreemptionPlanTest, InvalidSpecsAreRejected)
+{
+    PreemptionSpec negative_rate;
+    negative_rate.rate_per_hour = -1.0;
+    EXPECT_THROW(PreemptionPlan(negative_rate, 1),
+                 std::runtime_error);
+
+    PreemptionSpec bad_share = PreemptionSpec::poisson(1.0);
+    bad_share.maintenance_share = 1.5;
+    EXPECT_THROW(PreemptionPlan(bad_share, 1),
+                 std::runtime_error);
+}
+
 } // namespace
 } // namespace tpupoint

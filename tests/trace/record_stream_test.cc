@@ -60,7 +60,7 @@ TEST(RecordStreamTest, ZeroRecordStreamReadsCleanEnd)
     std::string_view payload;
     EXPECT_EQ(reader.next(payload), StreamStatus::End);
     EXPECT_EQ(reader.records(), 0u);
-    EXPECT_EQ(reader.version(), 3u);
+    EXPECT_EQ(reader.version(), 4u);
     // Terminal state is sticky.
     EXPECT_EQ(reader.next(payload), StreamStatus::End);
 }
@@ -174,6 +174,33 @@ TEST(RecordStreamTest, WrongVersionIsCorrupt)
 {
     std::string bytes = writeStream({"abc"});
     bytes[4] = 9; // Version field follows the 4-byte magic.
+    std::istringstream in(bytes);
+    RecordStreamReader reader(in);
+    EXPECT_EQ(reader.status(), StreamStatus::Corrupt);
+    EXPECT_NE(reader.error().find("version"), std::string::npos);
+}
+
+TEST(RecordStreamTest, PriorVersion3IsStillAccepted)
+{
+    // Readers accept the v3..v4 range: a stream written before the
+    // attempt-continuity tail existed must still read cleanly.
+    std::string bytes = writeStream({"abc", "def"});
+    bytes[4] = 3;
+    std::istringstream in(bytes);
+    RecordStreamReader reader(in);
+    std::string_view payload;
+    ASSERT_EQ(reader.next(payload), StreamStatus::Ok);
+    EXPECT_EQ(payload, "abc");
+    ASSERT_EQ(reader.next(payload), StreamStatus::Ok);
+    EXPECT_EQ(payload, "def");
+    EXPECT_EQ(reader.next(payload), StreamStatus::End);
+    EXPECT_EQ(reader.version(), 3u);
+}
+
+TEST(RecordStreamTest, VersionBelowMinimumIsCorrupt)
+{
+    std::string bytes = writeStream({"abc"});
+    bytes[4] = 2;
     std::istringstream in(bytes);
     RecordStreamReader reader(in);
     EXPECT_EQ(reader.status(), StreamStatus::Corrupt);

@@ -182,6 +182,84 @@ TEST(SalvageTest, DamagedHeaderScansToTheFirstChunk)
     EXPECT_TRUE(reader.sawDamage());
 }
 
+/**
+ * Build a version-3 profile container: records without the v4
+ * attempt tail (fixed-width u32+u32+u64+u64 = 24 bytes), framed
+ * with the header version patched back to 3.
+ */
+std::string
+makeV3Profile(int count)
+{
+    std::ostringstream out;
+    {
+        RecordStreamOptions options;
+        options.chunk_records = 1;
+        RecordStreamWriter framing(out, options);
+        for (int i = 0; i < count; ++i) {
+            ProfileRecord record;
+            record.sequence = static_cast<std::uint64_t>(i);
+            record.window_begin = i * kSec;
+            record.window_end = (i + 1) * kSec;
+            record.retries = 40 + static_cast<std::uint64_t>(i);
+            record.retry_time = (i + 1) * kMsec;
+            std::string payload = encodeProfileRecord(record);
+            payload.resize(payload.size() - 24);
+            framing.append(payload);
+        }
+        framing.finish();
+    }
+    std::string bytes = out.str();
+    bytes[4] = 3; // Version field follows the 4-byte magic.
+    return bytes;
+}
+
+TEST(SalvageTest, V3RetryFieldsRoundTripThroughBothReaders)
+{
+    const std::string bytes = makeV3Profile(4);
+
+    // The plain reader accepts the older container outright...
+    {
+        std::istringstream in(bytes);
+        ProfileReader reader(in);
+        const auto records = reader.readAll();
+        ASSERT_EQ(records.size(), 4u);
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            EXPECT_EQ(records[i].retries, 40 + i);
+            EXPECT_EQ(records[i].retry_time,
+                      static_cast<SimTime>(i + 1) * kMsec);
+            EXPECT_EQ(records[i].attempt, 0u);
+            EXPECT_FALSE(records[i].attempt_boundary);
+        }
+    }
+
+    // ...and so does the salvage reader, with nothing reported
+    // lost.
+    std::istringstream in(bytes);
+    ProfileReader reader(in, /*salvage=*/true);
+    const auto records = reader.readAll();
+    ASSERT_EQ(records.size(), 4u);
+    EXPECT_EQ(records[2].retries, 42u);
+    EXPECT_FALSE(reader.sawDamage());
+}
+
+TEST(SalvageTest, DamagedV3ProfileSalvagesRetryFields)
+{
+    std::string bytes = makeV3Profile(5);
+    corruptChunkPayload(bytes, 1);
+
+    std::istringstream in(bytes);
+    ProfileReader reader(in, /*salvage=*/true);
+    const auto records = reader.readAll();
+    ASSERT_EQ(records.size(), 4u);
+    EXPECT_EQ(records[0].retries, 40u);
+    EXPECT_EQ(records[1].sequence, 2u); // resynced past the damage
+    EXPECT_EQ(records[1].retries, 42u);
+    EXPECT_EQ(records[1].retry_time, 3 * kMsec);
+    EXPECT_EQ(reader.chunksDropped(), 1u);
+    EXPECT_EQ(reader.recordsDropped(), 1u);
+    EXPECT_TRUE(reader.sawDamage());
+}
+
 TEST(SalvageTest, ProfileReaderSalvagesDamagedProfiles)
 {
     // A real ProfileRecord stream: 1 record per chunk so one

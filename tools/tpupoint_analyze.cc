@@ -129,7 +129,11 @@ main(int argc, char **argv)
         ProfileReader reader(in, salvage);
         ProfileRecord record;
         while (reader.read(record)) {
-            windows.emplace_back(record);
+            // Attempt-boundary markers are zero-width stitching
+            // directives, not profile windows; keep them out of
+            // the trace viewer's window track.
+            if (!record.attempt_boundary)
+                windows.emplace_back(record);
             session.ingest(record);
         }
         if (salvage && reader.sawDamage()) {
@@ -167,6 +171,22 @@ main(int argc, char **argv)
                 checkpoints.size());
 
     const AnalysisResult analysis = session.finalize(checkpoints);
+
+    if (analysis.attempts > 1) {
+        // A stitched multi-attempt profile: report what the
+        // preemptions cost. Replayed steps are in the table once,
+        // marked; discarded rows never made it in.
+        std::printf("\nattempts: %u (preempted %u times); "
+                    "%llu steps replayed, %llu dropped at "
+                    "boundaries (%s lost)\n",
+                    analysis.attempts, analysis.attempts - 1,
+                    static_cast<unsigned long long>(
+                        analysis.replayed_steps),
+                    static_cast<unsigned long long>(
+                        analysis.discarded_steps),
+                    formatDuration(
+                        analysis.discarded_time).c_str());
+    }
 
     std::printf("\n%s: %zu steps -> %zu phases (top-3 coverage "
                 "%.1f%%)\n",

@@ -19,15 +19,32 @@
  *     --fault-error-rate F  storage transient-error probability
  *                           per transfer              (default 0)
  *     --fault-seed N    fault-plan seed (default: session seed)
+ *     --preempt-at S    device interruption at S simulated seconds
+ *                       (repeatable)                  (default none)
+ *     --preempt-rate F  Poisson interruptions per simulated hour
+ *                       (default 0)
+ *     --preempt-seed N  preemption-plan seed (default: session seed)
+ *     --max-attempts N  restart budget under preemption (default 8)
+ *
+ * With preemptions scheduled the run is orchestrated by
+ * ResilientRunner: each interruption aborts the session at the next
+ * safe boundary, the run restarts from the nearest checkpoint, and
+ * every attempt streams into the same profile with attempt-boundary
+ * records so `tpupoint-analyze` can stitch the attempts back into
+ * one continuous step table. Exit status 1 when the attempt budget
+ * runs out before the requested steps complete.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "profiler/profiler.hh"
 #include "proto/serialize.hh"
+#include "runtime/resilient.hh"
 #include "runtime/session.hh"
 #include "tools/cli_common.hh"
 #include "workloads/catalog.hh"
@@ -44,6 +61,10 @@ main(int argc, char **argv)
     std::uint64_t max_steps = 0;
     double fault_error_rate = 0;
     std::uint64_t fault_seed = 0;
+    std::vector<double> preempt_at;
+    double preempt_rate = 0;
+    std::uint64_t preempt_seed = 0;
+    std::uint32_t max_attempts = 8;
     bool naive = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -70,6 +91,16 @@ main(int argc, char **argv)
         } else if (arg == "--fault-seed") {
             fault_seed =
                 static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (arg == "--preempt-at") {
+            preempt_at.push_back(std::atof(next()));
+        } else if (arg == "--preempt-rate") {
+            preempt_rate = std::atof(next());
+        } else if (arg == "--preempt-seed") {
+            preempt_seed =
+                static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (arg == "--max-attempts") {
+            max_attempts =
+                static_cast<std::uint32_t>(std::atoi(next()));
         } else if (arg == "--naive") {
             naive = true;
         } else if (arg == "--out") {
@@ -109,6 +140,28 @@ main(int argc, char **argv)
         config.faults = FaultSpec::uniform(fault_error_rate);
         config.faults.seed = fault_seed;
     }
+    if (preempt_rate < 0) {
+        std::fprintf(stderr,
+                     "error: --preempt-rate must be >= 0\n");
+        return 2;
+    }
+    if (max_attempts < 1) {
+        std::fprintf(stderr,
+                     "error: --max-attempts must be >= 1\n");
+        return 2;
+    }
+    for (double at : preempt_at) {
+        if (at < 0) {
+            std::fprintf(stderr,
+                         "error: --preempt-at must be >= 0\n");
+            return 2;
+        }
+        config.preemption.events.push_back(
+            {static_cast<SimTime>(at * kSec),
+             PreemptionKind::Eviction});
+    }
+    config.preemption.rate_per_hour = preempt_rate;
+    config.preemption.seed = preempt_seed;
 
     // Open the sink up front and stream records to it as they are
     // harvested: memory stays bounded by the spool, not the run
@@ -126,15 +179,107 @@ main(int argc, char **argv)
                     workload.schedule.train_steps),
                 naive ? ", naive pipeline" : "");
 
-    TrainingSession session(sim, config, workload);
-    ProfilerOptions profiler_options;
-    profiler_options.retain_records = false;
-    TpuPointProfiler profiler(sim, session, profiler_options);
-    profiler.streamTo(out);
-    profiler.start(/*analyzer=*/true);
-    session.start(nullptr);
-    sim.run();
-    profiler.stop();
+    int exit_code = 0;
+    std::vector<CheckpointInfo> checkpoints;
+
+    if (config.preemption.enabled()) {
+        // Preemption-resilient path: ResilientRunner orchestrates
+        // the attempts; each one gets a fresh attempt-stamped
+        // profiler streaming into one shared spool (one container,
+        // sealed once), with attempt-boundary records interleaved
+        // for the analyzer's stitching pass.
+        RecordSpool spool(&out);
+        ResilientOptions ropts;
+        ropts.max_attempts = max_attempts;
+        ResilientRunner runner(sim, config, workload, ropts);
+        std::unique_ptr<TpuPointProfiler> profiler;
+        std::uint64_t records_total = 0;
+
+        runner.setAttemptHook(
+            [&](TrainingSession &session, std::uint32_t attempt) {
+            if (profiler)
+                records_total += profiler->recordsRecorded();
+            ProfilerOptions popts;
+            popts.retain_records = false;
+            popts.attempt = attempt;
+            profiler = std::make_unique<TpuPointProfiler>(
+                sim, session, popts);
+            profiler->streamTo(spool);
+            profiler->start(/*analyzer=*/true);
+        });
+        runner.setBoundaryHook(
+            [&](const AttemptOutcome &failed, StepId resume) {
+            ProfileRecord boundary;
+            boundary.attempt = failed.index + 1;
+            boundary.attempt_boundary = true;
+            boundary.preempted_at_step = failed.reached_step;
+            boundary.resume_step = resume;
+            boundary.window_begin = failed.ended_at;
+            boundary.window_end = failed.ended_at;
+            spool.push(encodeProfileRecord(boundary));
+        });
+
+        const ResilientResult result = runner.run();
+        if (profiler)
+            records_total += profiler->recordsRecorded();
+        spool.finish();
+
+        std::printf("done: wall %.1f s across %u attempt%s, "
+                    "%llu profile records\n",
+                    toSeconds(result.wall_time), result.attempts,
+                    result.attempts == 1 ? "" : "s",
+                    static_cast<unsigned long long>(
+                        records_total));
+        std::printf("preemptions: %s; %llu useful steps, "
+                    "%llu replayed, %.1f s restart backoff\n",
+                    runner.preemptionPlan().summary().c_str(),
+                    static_cast<unsigned long long>(
+                        result.useful_steps),
+                    static_cast<unsigned long long>(
+                        result.replayed_steps),
+                    toSeconds(result.backoff_time));
+        checkpoints = result.checkpoints;
+        if (!result.completed) {
+            std::fprintf(stderr,
+                         "error: attempt budget (%u) exhausted at "
+                         "step %llu of %llu\n",
+                         max_attempts,
+                         static_cast<unsigned long long>(
+                             result.final_result.preempted_at),
+                         static_cast<unsigned long long>(
+                             workload.schedule.train_steps));
+            exit_code = 1;
+        }
+    } else {
+        TrainingSession session(sim, config, workload);
+        ProfilerOptions profiler_options;
+        profiler_options.retain_records = false;
+        TpuPointProfiler profiler(sim, session, profiler_options);
+        profiler.streamTo(out);
+        profiler.start(/*analyzer=*/true);
+        session.start(nullptr);
+        sim.run();
+        profiler.stop();
+
+        const SessionResult &result = session.result();
+        std::printf("done: wall %.1f s, idle %.1f%%, MXU %.1f%%, "
+                    "%llu profile records\n",
+                    toSeconds(result.wall_time),
+                    100 * result.tpu_idle_fraction,
+                    100 * result.mxu_utilization,
+                    static_cast<unsigned long long>(
+                        profiler.recordsRecorded()));
+        if (session.faultPlan().enabled()) {
+            std::printf(
+                "faults: %s; %llu retries, %.2f s retried\n",
+                session.faultPlan().summary().c_str(),
+                static_cast<unsigned long long>(
+                    session.storageBucket().retriesPerformed()),
+                toSeconds(session.storageBucket().retryTime()));
+        }
+        checkpoints = session.checkpoints().checkpoints();
+    }
+
     out.flush();
     if (!out) {
         std::fprintf(stderr, "error: failed writing %s\n",
@@ -142,27 +287,10 @@ main(int argc, char **argv)
         return 1;
     }
 
-    const SessionResult &result = session.result();
-    std::printf("done: wall %.1f s, idle %.1f%%, MXU %.1f%%, "
-                "%llu profile records\n",
-                toSeconds(result.wall_time),
-                100 * result.tpu_idle_fraction,
-                100 * result.mxu_utilization,
-                static_cast<unsigned long long>(
-                    profiler.recordsRecorded()));
-    if (session.faultPlan().enabled()) {
-        std::printf("faults: %s; %llu retries, %.2f s retried\n",
-                    session.faultPlan().summary().c_str(),
-                    static_cast<unsigned long long>(
-                        session.storageBucket().retriesPerformed()),
-                    toSeconds(
-                        session.storageBucket().retryTime()));
-    }
-
-    // Checkpoint registry alongside, for phase fast-forwarding.
+    // Checkpoint registry alongside, for phase fast-forwarding;
+    // under preemption it accumulates every attempt's saves.
     std::ofstream ckpt_out(out_path + ".checkpoints");
-    for (const auto &info :
-         session.checkpoints().checkpoints()) {
+    for (const auto &info : checkpoints) {
         ckpt_out << info.step << ' ' << info.saved_at << ' '
                  << info.bytes << '\n';
     }
@@ -173,5 +301,5 @@ main(int argc, char **argv)
     }
     std::printf("wrote %s and %s.checkpoints\n", out_path.c_str(),
                 out_path.c_str());
-    return 0;
+    return exit_code;
 }
