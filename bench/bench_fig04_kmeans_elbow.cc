@@ -17,8 +17,10 @@
 using namespace tpupoint;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::BenchReport report("fig04_kmeans_elbow", argc,
+                                  argv);
     benchutil::banner("Figure 4: k-means SSD vs k (1..15)",
                       "Figure 4 + Section VI-A");
 
@@ -44,8 +46,10 @@ main()
         for (const double ssd : sweep.ssd_curve)
             std::printf(" %7.4f", ssd / base);
         std::printf("   k=%d\n", sweep.elbow_k);
+        report.figure(std::string(workloadName(id)) + "_elbow_k",
+                      sweep.elbow_k);
     }
     std::printf("\nPaper: the SSD elbow lands at k = 4..6 for the "
                 "studied workloads.\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

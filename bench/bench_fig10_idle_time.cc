@@ -12,8 +12,9 @@
 using namespace tpupoint;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::BenchReport report("fig10_idle_time", argc, argv);
     benchutil::banner("Figure 10: TPU idle time, TPUv2 vs TPUv3",
                       "Figure 10 + Observations 3 and 5");
 
@@ -40,5 +41,7 @@ main()
                 100 * sum_v2 / count, 100 * sum_v3 / count);
     std::printf("\nPaper averages: 38.90%% (TPUv2), 43.53%% "
                 "(TPUv3) — idle grows on the faster part.\n");
-    return 0;
+    report.figure("avg_idle_v2_pct", 100 * sum_v2 / count);
+    report.figure("avg_idle_v3_pct", 100 * sum_v3 / count);
+    return report.write() ? 0 : 1;
 }

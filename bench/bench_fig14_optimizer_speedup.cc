@@ -16,8 +16,10 @@
 using namespace tpupoint;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::BenchReport report("fig14_optimizer_speedup", argc,
+                                  argv);
     benchutil::banner("Figure 14: TPUPoint-Optimizer speedups "
                       "(TPUv2, default parameters)",
                       "Figure 14 + Section VII-C");
@@ -91,5 +93,6 @@ main()
     }
     std::printf("\nPaper: ~1.12x average speedup over default "
                 "parameters on TPUv2 for >=20-minute workloads.\n");
-    return 0;
+    report.figure("geomean_speedup", geomean);
+    return report.write() ? 0 : 1;
 }

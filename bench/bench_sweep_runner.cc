@@ -10,10 +10,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <functional>
+#include <iostream>
 #include <vector>
 
 #include "analyzer/analyzer.hh"
 #include "bench/common.hh"
+#include "obs/progress.hh"
 #include "proto/serialize.hh"
 #include "runtime/sweep.hh"
 
@@ -77,8 +80,9 @@ identical(const std::vector<SweepOutcome> &a,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::BenchReport report("sweep_runner", argc, argv);
     benchutil::banner("Ablation: parallel sweep runner",
                       "Section V methodology (profiled workload "
                       "sweeps)");
@@ -89,8 +93,13 @@ main()
     serial_options.threads = 1;
     const SweepRunner serial(serial_options);
 
+    // The pool run reports live job progress: a status line on a
+    // terminal, one JSON object per event when stderr is a pipe.
+    obs::ProgressReporter reporter(
+        std::cerr, obs::ProgressReporter::autoMode(2));
     SweepOptions pool_options;
     pool_options.threads = benchutil::sweepThreads();
+    pool_options.progress = std::ref(reporter);
     const SweepRunner pool(pool_options);
 
     std::printf("sweeping %zu profiled workloads: 1 thread vs %u "
@@ -100,6 +109,7 @@ main()
     double serial_s = 0, pool_s = 0;
     const auto serial_out = timedRun(serial, jobs, &serial_s);
     const auto pool_out = timedRun(pool, jobs, &pool_s);
+    reporter.finish();
 
     std::printf("%-24s %10.2fs\n", "1 worker", serial_s);
     std::printf("%-24s %10.2fs  (%.2fx speedup)\n",
@@ -123,5 +133,9 @@ main()
                     outcome.records.size(),
                     analysis.phases.size());
     }
-    return bitwise ? 0 : 1;
+    report.figure("serial_s", serial_s);
+    report.figure("pool_s", pool_s);
+    report.figure("speedup", pool_s > 0 ? serial_s / pool_s : 0.0);
+    report.figure("bitwise_identical", bitwise ? 1.0 : 0.0);
+    return report.write() && bitwise ? 0 : 1;
 }

@@ -13,8 +13,9 @@
 using namespace tpupoint;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::BenchReport report("table1_workloads", argc, argv);
     benchutil::banner("Table I: workload breakdown and "
                       "specifications",
                       "Table I (Section V, Experimental "
@@ -50,5 +51,9 @@ main()
                     static_cast<unsigned long long>(
                         w.dataset.num_examples));
     }
-    return 0;
+    report.figure("workloads",
+                  static_cast<double>(allWorkloads().size()));
+    report.figure("reduced_variants",
+                  static_cast<double>(reducedWorkloads().size()));
+    return report.write() ? 0 : 1;
 }

@@ -2,9 +2,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 
+#include "core/json.hh"
 #include "core/logging.hh"
 #include "core/strings.hh"
+#include "obs/progress.hh"
 #include "profiler/profiler.hh"
 #include "runtime/sweep.hh"
 
@@ -109,7 +113,15 @@ sweep(const std::vector<WorkloadId> &ids, TpuGeneration generation,
     }
     SweepOptions options;
     options.threads = sweepThreads();
-    return SweepRunner(options).run(jobs);
+    // Progress goes to stderr — a repainted status line on a
+    // terminal, JSONL on a pipe — leaving the bench's stdout
+    // tables untouched.
+    obs::ProgressReporter reporter(
+        std::cerr, obs::ProgressReporter::autoMode(2));
+    options.progress = std::ref(reporter);
+    auto outcomes = SweepRunner(options).run(jobs);
+    reporter.finish();
+    return outcomes;
 }
 
 } // namespace
@@ -151,6 +163,61 @@ banner(const std::string &title, const std::string &paper_reference)
     std::printf("Reproduces: %s\n", paper_reference.c_str());
     std::printf("==============================================="
                 "=============================\n");
+}
+
+BenchReport::BenchReport(const std::string &bench_name, int argc,
+                         char **argv)
+    : name(bench_name), started(std::chrono::steady_clock::now())
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--json PATH]\n",
+                         name.c_str());
+            std::exit(2);
+        }
+    }
+}
+
+void
+BenchReport::figure(const std::string &name_in, double value)
+{
+    figures.emplace_back(name_in, value);
+}
+
+bool
+BenchReport::write() const
+{
+    if (path.empty())
+        return true;
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    std::ofstream out(path, std::ios::binary);
+    if (out) {
+        JsonWriter w(out);
+        w.beginObject();
+        w.field("bench", name);
+        w.field("wall_ms", wall_ms);
+        w.key("figures");
+        w.beginObject();
+        for (const auto &[key, value] : figures)
+            w.field(key, value);
+        w.endObject();
+        w.endObject();
+        out << '\n';
+    }
+    if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
 }
 
 void

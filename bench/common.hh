@@ -15,7 +15,9 @@
 #ifndef TPUPOINT_BENCH_COMMON_HH
 #define TPUPOINT_BENCH_COMMON_HH
 
+#include <chrono>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "host/pipeline.hh"
@@ -78,6 +80,48 @@ void banner(const std::string &title,
 /** Print one row of right-aligned columns. */
 void row(const std::vector<std::string> &cells,
          const std::vector<int> &widths);
+
+/**
+ * Machine-readable bench results. Every bench binary accepts
+ * `--json PATH`; when given, the bench writes one JSON object —
+ * bench name, wall-clock milliseconds, and the key figures it
+ * printed — so CI and regression scripts can diff bench output
+ * without scraping tables.
+ *
+ * @code
+ *   BenchReport report("fig10_idle_time", argc, argv);
+ *   ...
+ *   report.figure("v2_idle_pct", 38.2);
+ *   return report.write() ? 0 : 1;
+ * @endcode
+ */
+class BenchReport
+{
+  public:
+    /** Parse bench argv (only `--json PATH` is accepted; anything
+     * else exits 2) and start the wall clock. */
+    BenchReport(const std::string &bench_name, int argc,
+                char **argv);
+
+    /** Record one named figure. */
+    void figure(const std::string &name, double value);
+
+    /** True when `--json` was requested. */
+    bool enabled() const { return !path.empty(); }
+
+    /**
+     * Write the report when `--json PATH` was given (no-op and
+     * true otherwise). Returns false after printing an error when
+     * the file cannot be written.
+     */
+    bool write() const;
+
+  private:
+    std::string name;
+    std::string path;
+    std::chrono::steady_clock::time_point started;
+    std::vector<std::pair<std::string, double>> figures;
+};
 
 } // namespace benchutil
 } // namespace tpupoint

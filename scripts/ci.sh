@@ -26,6 +26,34 @@ run_suite() {
     echo "== testing ${build_dir}"
     ctest --test-dir "${build_dir}" --output-on-failure \
         -j "${jobs}" --timeout "${test_timeout}"
+    echo "== smoke: profile -> export (${build_dir})"
+    smoke_suite "${build_dir}"
+}
+
+# End-to-end smoke over the real binaries: profile a small run with
+# telemetry dumps, then export it to trace-event JSON. --check makes
+# tpupoint-export re-read and validate its own output, so an invalid
+# trace file fails the gate.
+smoke_suite() {
+    local build_dir=$1
+    local work
+    work=$(mktemp -d)
+    "${build_dir}/tools/tpupoint-profile" \
+        --workload dcgan-mnist --scale 0.02 --steps 60 \
+        --out "${work}/smoke.tpp" \
+        --trace-out "${work}/smoke.spans.json" \
+        --metrics-out "${work}/smoke.metrics.json"
+    "${build_dir}/tools/tpupoint-export" "${work}/smoke.tpp" \
+        -o "${work}/smoke.trace.json" --check
+    local artifact
+    for artifact in smoke.trace.json smoke.spans.json \
+        smoke.metrics.json; do
+        test -s "${work}/${artifact}" || {
+            echo "smoke: missing ${artifact}" >&2
+            return 1
+        }
+    done
+    rm -rf "${work}"
 }
 
 sanitizers=${TPUPOINT_CI_SANITIZERS-"address undefined"}

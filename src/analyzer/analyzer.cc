@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/logging.hh"
+#include "obs/span.hh"
 
 namespace tpupoint {
 
@@ -34,6 +35,7 @@ AnalysisSession::ingest(const ProfileRecord &record)
         panic("AnalysisSession::ingest after finalize");
     if (record.attempt + 1 > attempts_seen)
         attempts_seen = record.attempt + 1;
+    dropped_events += record.events_dropped;
     if (record.attempt_boundary) {
         // Stitch: the dead attempt's windows may extend past the
         // restart point — completed steps the new attempt re-runs
@@ -65,12 +67,20 @@ AnalysisSession::finalize(
     result.attempts = attempts_seen;
     result.discarded_steps = discarded_steps;
     result.discarded_time = discarded_time;
+    result.dropped_events = dropped_events;
     for (const auto &row : result.table.steps()) {
         if (row.replayed)
             ++result.replayed_steps;
     }
     if (result.table.size() == 0)
         return result;
+
+    obs::TraceSpan detect_span(
+        std::string("analyze.") +
+        phaseAlgorithmName(opts.algorithm));
+    detect_span.arg("steps",
+                    static_cast<std::uint64_t>(
+                        result.table.size()));
 
     switch (opts.algorithm) {
       case PhaseAlgorithm::KMeans: {
@@ -130,6 +140,10 @@ AnalysisSession::finalize(
         break;
       }
     }
+    detect_span.arg("phases",
+                    static_cast<std::uint64_t>(
+                        result.phases.size()));
+    detect_span.finish();
 
     result.top3_coverage = topPhaseCoverage(result.phases, 3);
 
@@ -167,8 +181,14 @@ TpuPointAnalyzer::analyze(
     const std::vector<CheckpointInfo> &checkpoints) const
 {
     AnalysisSession session(opts);
-    for (const auto &record : records)
-        session.ingest(record);
+    {
+        obs::TraceSpan ingest_span("analyze.ingest");
+        ingest_span.arg("records",
+                        static_cast<std::uint64_t>(
+                            records.size()));
+        for (const auto &record : records)
+            session.ingest(record);
+    }
     return session.finalize(checkpoints);
 }
 

@@ -98,6 +98,14 @@ struct AnalysisResult
     std::uint64_t discarded_steps = 0; ///< Rows dropped at boundaries.
     SimTime discarded_time = 0;        ///< Span of dropped rows.
 
+    /**
+     * Events the profiler rejected at transport caps, summed over
+     * every ingested record (container v5; 0 for older profiles).
+     * Non-zero means the phase statistics undercount the capped
+     * windows.
+     */
+    std::uint64_t dropped_events = 0;
+
     /** The longest phase, or nullptr when no phases. */
     const Phase *longest() const { return longestPhase(phases); }
 };
@@ -148,6 +156,7 @@ class AnalysisSession
     std::uint32_t attempts_seen = 1;
     std::uint64_t discarded_steps = 0;
     SimTime discarded_time = 0;
+    std::uint64_t dropped_events = 0;
 };
 
 /**

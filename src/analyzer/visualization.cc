@@ -171,6 +171,7 @@ writeAnalysisJson(const AnalysisResult &analysis, std::ostream &out,
     w.field("replayed_steps", analysis.replayed_steps);
     w.field("discarded_steps", analysis.discarded_steps);
     w.field("discarded_time_ns", analysis.discarded_time);
+    w.field("dropped_events", analysis.dropped_events);
 
     w.key("phase_list");
     w.beginArray();

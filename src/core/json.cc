@@ -1,5 +1,6 @@
 #include "core/json.hh"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 
@@ -160,6 +161,245 @@ bool
 JsonWriter::complete() const
 {
     return scopes.empty() && root_written && !key_pending;
+}
+
+namespace {
+
+/** Recursive-descent JSON validator over a byte range. */
+class JsonValidator
+{
+  public:
+    explicit JsonValidator(std::string_view input) : text(input) {}
+
+    bool
+    validate(std::string *error)
+    {
+        if (!value() || !atEndAfterSpace()) {
+            if (error) {
+                *error = "invalid JSON at byte " +
+                         std::to_string(pos) + ": " + reason;
+            }
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *why)
+    {
+        if (reason.empty())
+            reason = why;
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    atEndAfterSpace()
+    {
+        skipSpace();
+        return pos == text.size() ||
+            fail("trailing content after value");
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) != word)
+            return fail("bad literal");
+        pos += word.size();
+        return true;
+    }
+
+    bool
+    number()
+    {
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        const std::size_t digits_begin = pos;
+        while (pos < text.size() && text[pos] >= '0' &&
+               text[pos] <= '9')
+            ++pos;
+        if (pos == digits_begin)
+            return fail("digit expected");
+        // No leading zeros: "0" alone is fine, "01" is not.
+        if (text[digits_begin] == '0' &&
+            pos - digits_begin > 1)
+            return fail("leading zero");
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            const std::size_t frac_begin = pos;
+            while (pos < text.size() && text[pos] >= '0' &&
+                   text[pos] <= '9')
+                ++pos;
+            if (pos == frac_begin)
+                return fail("digit expected after '.'");
+        }
+        if (pos < text.size() &&
+            (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            const std::size_t exp_begin = pos;
+            while (pos < text.size() && text[pos] >= '0' &&
+                   text[pos] <= '9')
+                ++pos;
+            if (pos == exp_begin)
+                return fail("digit expected in exponent");
+        }
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (pos >= text.size() || text[pos] != '"')
+            return fail("'\"' expected");
+        ++pos;
+        while (pos < text.size()) {
+            const unsigned char c =
+                static_cast<unsigned char>(text[pos]);
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("raw control character in string");
+            if (c == '\\') {
+                ++pos;
+                if (pos >= text.size())
+                    return fail("dangling escape");
+                const char esc = text[pos];
+                if (esc == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos + static_cast<std::size_t>(i) >=
+                                text.size() ||
+                            !std::isxdigit(static_cast<
+                                unsigned char>(text[pos +
+                                static_cast<std::size_t>(i)])))
+                            return fail("bad \\u escape");
+                    }
+                    pos += 4;
+                } else if (esc != '"' && esc != '\\' &&
+                           esc != '/' && esc != 'b' &&
+                           esc != 'f' && esc != 'n' &&
+                           esc != 'r' && esc != 't') {
+                    return fail("unknown escape");
+                }
+            }
+            ++pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    value()
+    {
+        if (++depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipSpace();
+        if (pos >= text.size()) {
+            --depth;
+            return fail("value expected");
+        }
+        bool ok = false;
+        switch (text[pos]) {
+          case '{': ok = object(); break;
+          case '[': ok = array(); break;
+          case '"': ok = string(); break;
+          case 't': ok = literal("true"); break;
+          case 'f': ok = literal("false"); break;
+          case 'n': ok = literal("null"); break;
+          default: ok = number(); break;
+        }
+        --depth;
+        return ok;
+    }
+
+    bool
+    object()
+    {
+        ++pos; // '{'
+        skipSpace();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            skipSpace();
+            if (!string())
+                return false;
+            skipSpace();
+            if (pos >= text.size() || text[pos] != ':')
+                return fail("':' expected");
+            ++pos;
+            if (!value())
+                return false;
+            skipSpace();
+            if (pos >= text.size())
+                return fail("unterminated object");
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("',' or '}' expected");
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos; // '['
+        skipSpace();
+        if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            if (!value())
+                return false;
+            skipSpace();
+            if (pos >= text.size())
+                return fail("unterminated array");
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("',' or ']' expected");
+        }
+    }
+
+    static constexpr int kMaxDepth = 256;
+
+    std::string_view text;
+    std::size_t pos = 0;
+    int depth = 0;
+    std::string reason;
+};
+
+} // namespace
+
+bool
+validateJson(std::string_view text, std::string *error)
+{
+    return JsonValidator(text).validate(error);
 }
 
 std::string

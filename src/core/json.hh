@@ -97,6 +97,18 @@ class JsonWriter
     std::vector<bool> has_items;
 };
 
+/**
+ * Validate that @p text is one complete JSON value (RFC 8259
+ * grammar; no trailing content beyond whitespace). The complement
+ * of JsonWriter: everything the writer emits round-trips through
+ * this check, and tests/CI use it to gate exported trace files.
+ *
+ * @param error When non-null, receives a byte offset + reason on
+ *     failure.
+ */
+bool validateJson(std::string_view text,
+                  std::string *error = nullptr);
+
 } // namespace tpupoint
 
 #endif // TPUPOINT_CORE_JSON_HH

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <stdexcept>
 
@@ -10,7 +12,21 @@ namespace tpupoint {
 namespace {
 
 std::atomic<LogLevel> global_threshold{LogLevel::Info};
+
+/** Serializes emission so parallel sweep workers cannot interleave
+ * partial lines on stderr. */
 std::mutex emit_mutex;
+
+std::once_flag environment_once;
+
+/** Apply TPUPOINT_LOG_LEVEL exactly once, before the first
+ * threshold read or explicit set wins the race. */
+void
+ensureEnvironmentLoaded()
+{
+    std::call_once(environment_once,
+                   []() { LogConfig::loadFromEnvironment(); });
+}
 
 const char *
 levelName(LogLevel level)
@@ -30,13 +46,43 @@ levelName(LogLevel level)
 LogLevel
 LogConfig::threshold()
 {
+    ensureEnvironmentLoaded();
     return global_threshold.load(std::memory_order_relaxed);
 }
 
 void
 LogConfig::setThreshold(LogLevel level)
 {
+    // Consume the environment first so a late first read cannot
+    // overwrite this explicit choice.
+    ensureEnvironmentLoaded();
     global_threshold.store(level, std::memory_order_relaxed);
+}
+
+bool
+LogConfig::parseLevel(const char *name, LogLevel *level)
+{
+    if (!name)
+        return false;
+    if (std::strcmp(name, "debug") == 0)
+        *level = LogLevel::Debug;
+    else if (std::strcmp(name, "info") == 0)
+        *level = LogLevel::Info;
+    else if (std::strcmp(name, "warn") == 0)
+        *level = LogLevel::Warn;
+    else
+        return false;
+    return true;
+}
+
+bool
+LogConfig::loadFromEnvironment()
+{
+    LogLevel level;
+    if (!parseLevel(std::getenv("TPUPOINT_LOG_LEVEL"), &level))
+        return false;
+    global_threshold.store(level, std::memory_order_relaxed);
+    return true;
 }
 
 namespace detail {
@@ -44,6 +90,7 @@ namespace detail {
 void
 logMessage(LogLevel level, const std::string &msg)
 {
+    ensureEnvironmentLoaded();
     if (level < global_threshold.load(std::memory_order_relaxed))
         return;
     std::lock_guard<std::mutex> lock(emit_mutex);

@@ -17,7 +17,9 @@ enum class LogLevel { Debug, Info, Warn, Fatal, Panic };
 
 /**
  * Global log verbosity control. Messages below the threshold are
- * suppressed. Defaults to Info; tests lower it to keep output clean.
+ * suppressed. Defaults to Info; the TPUPOINT_LOG_LEVEL environment
+ * variable (debug/info/warn) overrides the default on first use,
+ * and tests lower it explicitly to keep output clean.
  */
 class LogConfig
 {
@@ -27,6 +29,19 @@ class LogConfig
 
     /** Set the minimum level that will be emitted. */
     static void setThreshold(LogLevel level);
+
+    /**
+     * Re-read TPUPOINT_LOG_LEVEL and apply it.
+     * @return true when the variable held a valid level; an unset
+     *     or unparsable value leaves the threshold untouched.
+     */
+    static bool loadFromEnvironment();
+
+    /**
+     * Parse a level name ("debug", "info", "warn").
+     * @return false when @p name is not a level.
+     */
+    static bool parseLevel(const char *name, LogLevel *level);
 };
 
 namespace detail {

@@ -4,6 +4,7 @@
 
 #include "core/logging.hh"
 #include "host/host_ops.hh"
+#include "obs/metrics.hh"
 
 namespace tpupoint {
 
@@ -142,6 +143,9 @@ StorageBucket::transfer(std::uint64_t bytes, int attempt,
         }
         ++retries;
         retry_time += held + backoff;
+        obs::MetricsRegistry::global()
+            .counter("storage.retries")
+            .add(1);
         // The retry event spans the failed attempt plus the
         // backoff — the time the fault actually cost this stream.
         emitRetry(attempt_start, held + backoff, step);

@@ -1,0 +1,214 @@
+#include "obs/metrics.hh"
+
+#include <limits>
+
+#include "core/json.hh"
+#include "core/logging.hh"
+
+namespace tpupoint {
+namespace obs {
+
+Histogram::Histogram(const HistogramOptions &options)
+{
+    if (options.buckets == 0)
+        fatal("Histogram: at least one bucket is required");
+    if (options.growth < 2)
+        fatal("Histogram: growth factor must be >= 2");
+    upper_bounds.reserve(options.buckets);
+    std::uint64_t bound =
+        options.first_bound > 0 ? options.first_bound : 1;
+    for (std::size_t i = 0; i < options.buckets; ++i) {
+        upper_bounds.push_back(bound);
+        // Saturate instead of wrapping: every further bucket keeps
+        // the max bound and the scan stops at the first match.
+        if (bound > std::numeric_limits<std::uint64_t>::max() /
+                        options.growth) {
+            bound = std::numeric_limits<std::uint64_t>::max();
+        } else {
+            bound *= options.growth;
+        }
+    }
+    counts = std::vector<std::atomic<std::uint64_t>>(
+        upper_bounds.size() + 1);
+}
+
+std::size_t
+Histogram::bucketIndex(std::uint64_t value) const
+{
+    for (std::size_t i = 0; i < upper_bounds.size(); ++i) {
+        if (value <= upper_bounds[i])
+            return i;
+    }
+    return upper_bounds.size(); // overflow bucket
+}
+
+void
+Histogram::observe(std::uint64_t value)
+{
+    counts[bucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    observations.fetch_add(1, std::memory_order_relaxed);
+    total.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::bucketCount(std::size_t index) const
+{
+    if (index >= counts.size())
+        panic("Histogram::bucketCount: index out of range");
+    return counts[index].load(std::memory_order_relaxed);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &bucket : counts)
+        bucket.store(0, std::memory_order_relaxed);
+    observations.store(0, std::memory_order_relaxed);
+    total.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry *registry = new MetricsRegistry();
+    return *registry;
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(registration);
+    auto it = counters.find(name);
+    if (it == counters.end()) {
+        it = counters
+                 .emplace(std::string(name),
+                          std::make_unique<Counter>())
+                 .first;
+    }
+    return *it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(registration);
+    auto it = gauges.find(name);
+    if (it == gauges.end()) {
+        it = gauges
+                 .emplace(std::string(name),
+                          std::make_unique<Gauge>())
+                 .first;
+    }
+    return *it->second;
+}
+
+Histogram &
+MetricsRegistry::histogram(std::string_view name,
+                           const HistogramOptions &options)
+{
+    std::lock_guard<std::mutex> lock(registration);
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+        it = histograms
+                 .emplace(std::string(name),
+                          std::make_unique<Histogram>(options))
+                 .first;
+    }
+    return *it->second;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(registration);
+    MetricsSnapshot snap;
+    for (const auto &[name, counter] : counters)
+        snap.counters[name] = counter->value();
+    for (const auto &[name, gauge] : gauges)
+        snap.gauges[name] = gauge->value();
+    for (const auto &[name, histogram] : histograms) {
+        MetricsSnapshot::HistogramData data;
+        data.count = histogram->count();
+        data.sum = histogram->sum();
+        data.bounds = histogram->bounds();
+        data.bucket_counts.reserve(data.bounds.size() + 1);
+        for (std::size_t i = 0; i <= data.bounds.size(); ++i)
+            data.bucket_counts.push_back(
+                histogram->bucketCount(i));
+        snap.histograms[name] = std::move(data);
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(registration);
+    for (const auto &[name, counter] : counters)
+        counter->reset();
+    for (const auto &[name, gauge] : gauges)
+        gauge->reset();
+    for (const auto &[name, histogram] : histograms)
+        histogram->reset();
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &out, bool pretty) const
+{
+    const MetricsSnapshot snap = snapshot();
+    JsonWriter w(out, pretty);
+    w.beginObject();
+    w.key("counters");
+    w.beginObject();
+    for (const auto &[name, value] : snap.counters)
+        w.field(name, value);
+    w.endObject();
+    w.key("gauges");
+    w.beginObject();
+    for (const auto &[name, value] : snap.gauges)
+        w.field(name, value);
+    w.endObject();
+    w.key("histograms");
+    w.beginObject();
+    for (const auto &[name, data] : snap.histograms) {
+        w.key(name);
+        w.beginObject();
+        w.field("count", data.count);
+        w.field("sum", data.sum);
+        w.key("buckets");
+        w.beginArray();
+        for (std::size_t i = 0; i < data.bucket_counts.size();
+             ++i) {
+            w.beginObject();
+            w.key("le");
+            if (i < data.bounds.size())
+                w.value(data.bounds[i]);
+            else
+                w.value("inf");
+            w.field("count", data.bucket_counts[i]);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+void
+MetricsRegistry::writeText(std::ostream &out) const
+{
+    const MetricsSnapshot snap = snapshot();
+    for (const auto &[name, value] : snap.counters)
+        out << name << ' ' << value << '\n';
+    for (const auto &[name, value] : snap.gauges)
+        out << name << ' ' << value << '\n';
+    for (const auto &[name, data] : snap.histograms) {
+        out << name << " count=" << data.count
+            << " sum=" << data.sum << '\n';
+    }
+}
+
+} // namespace obs
+} // namespace tpupoint

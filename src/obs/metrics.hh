@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges and
+ * exponential-bucket histograms for the toolchain's own telemetry.
+ * The hot-path contract is the one production metric libraries
+ * offer: instruments are registered once (under a lock) and then
+ * held by pointer/reference, so recording is a single relaxed
+ * atomic operation with no lock and no lookup. Everything here
+ * measures the *tools* (events spooled, retries performed, jobs
+ * completed) — nothing feeds back into simulated time, so metrics
+ * can never perturb a run's determinism.
+ */
+
+#ifndef TPUPOINT_OBS_METRICS_HH
+#define TPUPOINT_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tpupoint {
+namespace obs {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    /** Add @p n to the counter (relaxed; hot-path safe). */
+    void
+    add(std::uint64_t n = 1)
+    {
+        total.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** Current value. */
+    std::uint64_t
+    value() const
+    {
+        return total.load(std::memory_order_relaxed);
+    }
+
+    /** Reset to zero (tests and per-run dumps). */
+    void reset() { total.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> total{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t v)
+    {
+        current.store(v, std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    value() const
+    {
+        return current.load(std::memory_order_relaxed);
+    }
+
+    void reset() { current.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> current{0};
+};
+
+/** Histogram bucketing: fixed exponential boundaries. */
+struct HistogramOptions
+{
+    /** Upper bound of the first bucket. */
+    std::uint64_t first_bound = 1;
+
+    /** Ratio between consecutive bucket bounds (>= 2). */
+    std::uint64_t growth = 2;
+
+    /** Finite buckets; one implicit overflow bucket follows. */
+    std::size_t buckets = 20;
+};
+
+/**
+ * Fixed-exponential-bucket histogram. Bucket i counts observations
+ * v <= first_bound * growth^i; the final (overflow) bucket counts
+ * everything larger. observe() is lock-free: one bounded scan over
+ * precomputed bounds plus three relaxed atomic adds.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(const HistogramOptions &options = {});
+
+    /** Record one observation. */
+    void observe(std::uint64_t value);
+
+    /** Observations recorded. */
+    std::uint64_t
+    count() const
+    {
+        return observations.load(std::memory_order_relaxed);
+    }
+
+    /** Sum of all observations. */
+    std::uint64_t
+    sum() const
+    {
+        return total.load(std::memory_order_relaxed);
+    }
+
+    /** Inclusive upper bounds, one per finite bucket. */
+    const std::vector<std::uint64_t> &bounds() const
+    {
+        return upper_bounds;
+    }
+
+    /** Count in bucket @p index (bounds().size() = overflow). */
+    std::uint64_t bucketCount(std::size_t index) const;
+
+    /** Index of the bucket @p value falls into. */
+    std::size_t bucketIndex(std::uint64_t value) const;
+
+    /** Reset all buckets (tests and per-run dumps). */
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> upper_bounds;
+    std::vector<std::atomic<std::uint64_t>> counts;
+    std::atomic<std::uint64_t> observations{0};
+    std::atomic<std::uint64_t> total{0};
+};
+
+/** Point-in-time copy of every instrument, for tests and dumps. */
+struct MetricsSnapshot
+{
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+
+    struct HistogramData
+    {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::vector<std::uint64_t> bounds;
+        std::vector<std::uint64_t> bucket_counts; ///< +1 overflow.
+    };
+    std::map<std::string, HistogramData> histograms;
+};
+
+/**
+ * The registry. Instruments are created on first use and live for
+ * the process; the returned references stay valid forever, which is
+ * what makes the cache-the-pointer hot-path pattern safe.
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide registry. */
+    static MetricsRegistry &global();
+
+    /** Get or create the named counter. */
+    Counter &counter(std::string_view name);
+
+    /** Get or create the named gauge. */
+    Gauge &gauge(std::string_view name);
+
+    /**
+     * Get or create the named histogram. Options apply only on
+     * creation; later calls return the existing instrument.
+     */
+    Histogram &histogram(std::string_view name,
+                         const HistogramOptions &options = {});
+
+    /** Copy every instrument's current value. */
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every instrument (registrations survive). */
+    void reset();
+
+    /**
+     * Dump as JSON: {"counters":{...},"gauges":{...},
+     * "histograms":{name:{count,sum,buckets:[{le,count}...]}}}.
+     * Field order is stable (name-sorted) for golden tests.
+     */
+    void writeJson(std::ostream &out, bool pretty = false) const;
+
+    /** Dump as "name value" lines, counters then gauges then
+     * histogram summaries. */
+    void writeText(std::ostream &out) const;
+
+  private:
+    mutable std::mutex registration;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+        counters;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>>
+        gauges;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+        histograms;
+};
+
+} // namespace obs
+} // namespace tpupoint
+
+#endif // TPUPOINT_OBS_METRICS_HH

@@ -7,7 +7,12 @@
 
 namespace tpupoint {
 
-StatsCollector::StatsCollector(SimTime start) : window_begin(start)
+StatsCollector::StatsCollector(SimTime start)
+    : window_begin(start),
+      accepted_metric(&obs::MetricsRegistry::global().counter(
+          "profiler.events_accepted")),
+      dropped_metric(&obs::MetricsRegistry::global().counter(
+          "profiler.events_dropped"))
 {
 }
 
@@ -16,10 +21,14 @@ StatsCollector::record(const TraceEvent &event)
 {
     if (events >= kMaxEventsPerProfile) {
         truncated = true;
+        ++dropped;
+        dropped_metric->add(1);
         return;
     }
     if (event.end() - window_begin > kMaxProfileDuration) {
         truncated = true;
+        ++dropped;
+        dropped_metric->add(1);
         return;
     }
     StepId step = event.step;
@@ -40,6 +49,7 @@ StatsCollector::record(const TraceEvent &event)
         retry_time += event.duration;
     }
     ++events;
+    accepted_metric->add(1);
 }
 
 ProfileRecord
@@ -51,6 +61,7 @@ StatsCollector::harvest(SimTime window_end)
     record.window_end = window_end;
     record.event_count = events;
     record.truncated = truncated;
+    record.events_dropped = dropped;
     record.retries = retry_events;
     record.retry_time = retry_time;
 
@@ -71,6 +82,7 @@ StatsCollector::harvest(SimTime window_end)
 
     steps.clear();
     events = 0;
+    dropped = 0;
     truncated = false;
     retry_events = 0;
     retry_time = 0;

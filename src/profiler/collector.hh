@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 
+#include "obs/metrics.hh"
 #include "proto/event.hh"
 #include "proto/limits.hh"
 #include "proto/record.hh"
@@ -42,6 +43,9 @@ class StatsCollector : public TraceSink
     /** Events accepted into the current window. */
     std::uint64_t eventsInWindow() const { return events; }
 
+    /** Events rejected from the current window after a cap. */
+    std::uint64_t eventsDropped() const { return dropped; }
+
     /** True once the current window hit a transport cap. */
     bool overflowed() const { return truncated; }
 
@@ -52,11 +56,19 @@ class StatsCollector : public TraceSink
     std::map<StepId, StepStats> steps;
     SimTime window_begin;
     std::uint64_t events = 0;
+    std::uint64_t dropped = 0;
     std::uint64_t sequence = 0;
     bool truncated = false;
     StepId latest_step = 0;
     std::uint64_t retry_events = 0;
     SimTime retry_time = 0;
+
+    /** Registry counters, resolved once so the per-event path is a
+     * relaxed atomic increment with no registry lookup. Pointers
+     * (not references) keep the collector assignable — the profiler
+     * replaces its collector at every start(). */
+    obs::Counter *accepted_metric;
+    obs::Counter *dropped_metric;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "profiler/profiler.hh"
 
 #include "core/logging.hh"
+#include "obs/metrics.hh"
 
 namespace tpupoint {
 
@@ -53,6 +54,9 @@ TpuPointProfiler::start(bool analyzer)
     active = true;
     analyzer_enabled = analyzer;
     collector = StatsCollector(sim.now());
+    run_span = std::make_unique<obs::TraceSpan>("profiler.run");
+    run_span->arg("attempt",
+                  static_cast<std::uint64_t>(opts.attempt));
     if (analyzer_enabled && !spool && !external_spool) {
         // The recording thread's bounded spool; without a
         // streamTo() sink it only accounts for the traffic.
@@ -151,6 +155,26 @@ TpuPointProfiler::stop()
     if (spool)
         spool->finish();
     active = false;
+
+    // Fold this run's transport totals into the process metrics.
+    // Only the owned spool is charged here: a shared spool's totals
+    // belong to its owner, or attempts would double count.
+    auto &registry = obs::MetricsRegistry::global();
+    registry.counter("profiler.requests").add(requests);
+    registry.counter("profiler.windows_recorded")
+        .add(records_recorded);
+    registry.counter("spool.bytes").add(recorded_bytes);
+    if (spool) {
+        registry.counter("spool.chunks").add(spool->chunksSpooled());
+        registry.counter("spool.stalls").add(spool->stalls());
+    }
+    if (run_span) {
+        run_span->arg("requests", requests);
+        run_span->arg("windows", records_recorded);
+        run_span->arg("bytes", recorded_bytes);
+        run_span->finish();
+        run_span.reset();
+    }
 }
 
 } // namespace tpupoint

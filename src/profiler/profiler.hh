@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/span.hh"
 #include "profiler/collector.hh"
 #include "proto/serialize.hh"
 #include "runtime/session.hh"
@@ -153,6 +154,7 @@ class TpuPointProfiler
     TrainingSession &session;
     ProfilerOptions opts;
     StatsCollector collector;
+    std::unique_ptr<obs::TraceSpan> run_span;
     std::vector<ProfileRecord> profile_records;
     std::unique_ptr<RecordSpool> spool;
     RecordSpool *external_spool = nullptr;

@@ -93,6 +93,14 @@ struct ProfileRecord
     std::uint64_t event_count = 0;
     bool truncated = false;
 
+    /**
+     * Events the collector rejected after the window hit a
+     * transport cap (1M events / 60 s). Quantifies what
+     * `truncated` only flags: how much of the window is missing
+     * (container v5; 0 on older profiles).
+     */
+    std::uint64_t events_dropped = 0;
+
     /** Device meta-data sampled with the response. */
     double tpu_idle_fraction = 0.0;  ///< Idle / elapsed in window.
     double mxu_utilization = 0.0;    ///< MXU-active / elapsed.

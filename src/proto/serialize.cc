@@ -83,6 +83,9 @@ encodeProfileRecord(const ProfileRecord &record)
     out.putU32(record.attempt_boundary ? 1 : 0);
     out.putU64(record.preempted_at_step);
     out.putU64(record.resume_step);
+    // Container v5: the transport-cap drop count; v4 payloads end
+    // above and decode with events_dropped = 0.
+    out.putU64(record.events_dropped);
     return std::move(out).str();
 }
 
@@ -130,6 +133,11 @@ decodeProfileRecord(std::string_view payload,
         !in.getU64(record.resume_step))
         return false;
     record.attempt_boundary = boundary != 0;
+    // A v4 payload ends here; v5 adds the drop count.
+    if (in.atEnd())
+        return true;
+    if (!in.getU64(record.events_dropped))
+        return false;
     return in.atEnd();
 }
 
@@ -199,6 +207,7 @@ profileRecordToJson(const ProfileRecord &record, std::ostream &out,
     w.field("window_end_ns", record.window_end);
     w.field("event_count", record.event_count);
     w.field("truncated", record.truncated);
+    w.field("events_dropped", record.events_dropped);
     w.field("tpu_idle_fraction", record.tpu_idle_fraction);
     w.field("mxu_utilization", record.mxu_utilization);
     w.field("retries", record.retries);

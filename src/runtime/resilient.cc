@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 
 namespace tpupoint {
 
@@ -59,6 +61,14 @@ ResilientRunner::run()
         log.start_step = resume;
         log.began_at = sim.now();
 
+        obs::MetricsRegistry::global()
+            .counter("resilient.attempts")
+            .add(1);
+        obs::TraceSpan attempt_span("resilient.attempt");
+        attempt_span.arg("attempt",
+                         static_cast<std::uint64_t>(attempt));
+        attempt_span.arg("resume_step", resume);
+
         StepId next_resume = base;
         {
             SessionConfig cfg = base_config;
@@ -110,16 +120,26 @@ ResilientRunner::run()
             out.final_result = res;
             out.attempt_log.push_back(log);
 
+            attempt_span.arg("reached_step", reached);
+            attempt_span.arg("preempted", res.preempted ?
+                             "true" : "false");
+            attempt_span.finish();
+
             if (!res.preempted) {
                 out.completed = true;
                 break;
             }
+            obs::MetricsRegistry::global()
+                .counter("resilient.preemptions")
+                .add(1);
 
             // Restart point: the checkpoint nearest the preempted
             // step from this attempt's registry, improved by any
             // checkpoint an earlier attempt saved closer to (but
             // not past) the interruption. Resuming past the
             // preempted step would skip work, so it is clamped.
+            obs::TraceSpan restore_span("checkpoint.restore");
+            restore_span.arg("preempted_at", res.preempted_at);
             const CheckpointInfo *ck =
                 session.checkpoints().nearest(res.preempted_at);
             next_resume = ck ? ck->step : base;
@@ -130,6 +150,7 @@ ResilientRunner::run()
             }
             next_resume = std::min(next_resume, res.preempted_at);
             next_resume = std::max(next_resume, base);
+            restore_span.arg("resume_step", next_resume);
         } // session destroyed; the event set is drained
 
         if (attempt + 1 >= opts.max_attempts)

@@ -1,11 +1,14 @@
 #include "runtime/sweep.hh"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
 
 #include "core/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 
 namespace tpupoint {
 
@@ -119,6 +122,87 @@ runJob(const SweepJob &job, std::size_t index,
     return outcome;
 }
 
+/**
+ * Owns the sweep's running totals and serializes ProgressSink
+ * invocations, so worker threads emit progress without coordinating
+ * and sinks never observe torn counts.
+ */
+class ProgressBroker
+{
+  public:
+    ProgressBroker(const obs::ProgressSink &sink_fn,
+                   std::size_t total_jobs)
+        : sink(sink_fn), total(total_jobs)
+    {
+    }
+
+    void
+    jobStarted(std::size_t index)
+    {
+        if (!sink)
+            return;
+        std::lock_guard<std::mutex> lock(guard);
+        ++started;
+        emit(obs::ProgressEvent::Kind::Start, index, 1, "", 0);
+    }
+
+    void
+    jobRetried(std::size_t index, unsigned attempt)
+    {
+        if (!sink)
+            return;
+        std::lock_guard<std::mutex> lock(guard);
+        ++retried;
+        emit(obs::ProgressEvent::Kind::Retry, index, attempt, "",
+             0);
+    }
+
+    void
+    jobFinished(std::size_t index, unsigned attempt,
+                JobStatus status, double wall_seconds)
+    {
+        if (!sink)
+            return;
+        std::lock_guard<std::mutex> lock(guard);
+        switch (status) {
+          case JobStatus::Ok: ++succeeded; break;
+          case JobStatus::Preempted: ++preempted; break;
+          case JobStatus::Failed: ++failed; break;
+        }
+        emit(obs::ProgressEvent::Kind::Finish, index, attempt,
+             jobStatusName(status), wall_seconds);
+    }
+
+  private:
+    void
+    emit(obs::ProgressEvent::Kind kind, std::size_t index,
+         unsigned attempt, const char *status, double wall_seconds)
+    {
+        obs::ProgressEvent event;
+        event.kind = kind;
+        event.item = index;
+        event.total = total;
+        event.attempt = attempt;
+        event.status = status;
+        event.wall_seconds = wall_seconds;
+        event.started = started;
+        event.succeeded = succeeded;
+        event.preempted = preempted;
+        event.failed = failed;
+        event.retried = retried;
+        sink(event);
+    }
+
+    const obs::ProgressSink &sink;
+    std::mutex guard;
+    std::size_t total;
+    std::size_t started = 0;
+    std::size_t succeeded = 0;
+    std::size_t preempted = 0;
+    std::size_t failed = 0;
+    std::size_t retried = 0;
+};
+
 } // namespace
 
 const char *
@@ -168,6 +252,8 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
     std::atomic<std::size_t> next_job{0};
     std::exception_ptr first_error;
     std::mutex error_mutex;
+    ProgressBroker progress(opts.progress, jobs.size());
+    auto &registry = obs::MetricsRegistry::global();
 
     auto worker = [&]() {
         for (;;) {
@@ -176,7 +262,15 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
             if (index >= jobs.size())
                 return;
             const unsigned tries = opts.job_retries + 1;
+            unsigned tries_used = 1;
+            progress.jobStarted(index);
+            const auto job_begin =
+                std::chrono::steady_clock::now();
+            obs::TraceSpan job_span("sweep.job");
+            job_span.arg("job",
+                         static_cast<std::uint64_t>(index));
             for (unsigned t = 0; t < tries; ++t) {
+                tries_used = t + 1;
                 std::exception_ptr err;
                 try {
                     outcomes[index] = runJob(
@@ -189,8 +283,13 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                 }
                 if (!err)
                     break;
-                if (t + 1 < tries)
-                    continue; // per-job retry budget remains
+                if (t + 1 < tries) {
+                    // Per-job retry budget remains; announce the
+                    // upcoming try before it begins.
+                    registry.counter("sweep.jobs_retried").add(1);
+                    progress.jobRetried(index, t + 2);
+                    continue;
+                }
                 // Failure isolation: the job's outcome carries its
                 // own status and message; the rest of the sweep is
                 // unaffected.
@@ -212,6 +311,28 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                         first_error = err;
                 }
             }
+            const JobStatus status = outcomes[index].status;
+            switch (status) {
+              case JobStatus::Ok:
+                registry.counter("sweep.jobs_completed").add(1);
+                break;
+              case JobStatus::Preempted:
+                registry.counter("sweep.jobs_preempted").add(1);
+                break;
+              case JobStatus::Failed:
+                registry.counter("sweep.jobs_failed").add(1);
+                break;
+            }
+            const double wall_seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - job_begin)
+                    .count();
+            job_span.arg("status", jobStatusName(status));
+            job_span.arg("tries",
+                         static_cast<std::uint64_t>(tries_used));
+            job_span.finish();
+            progress.jobFinished(index, tries_used, status,
+                                 wall_seconds);
         }
     };
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/progress.hh"
 #include "profiler/profiler.hh"
 #include "runtime/resilient.hh"
 #include "runtime/session.hh"
@@ -109,6 +110,16 @@ struct SweepOptions
      * way every time; this is for jobs whose failure is injected
      * or environmental. */
     unsigned job_retries = 0;
+
+    /**
+     * Invoked on every job start/retry/finish with running totals
+     * (obs::ProgressReporter renders a status line or JSONL).
+     * Invocations are serialized under the runner's own mutex, so
+     * the sink needs no locking; it must not throw. The callback
+     * observes wall-clock progress only — job results are
+     * bit-identical with or without a sink attached.
+     */
+    obs::ProgressSink progress;
 };
 
 /**

@@ -11,9 +11,10 @@ namespace {
 
 constexpr char kMagic[4] = {'T', 'P', 'P', 'F'};
 // v4: profile records carry attempt-continuity meta-data (attempt
-// index, attempt-boundary markers). The tail fields are appended to
-// the v3 layout, so readers accept every version back to v3.
-constexpr std::uint32_t kVersion = 4;
+// index, attempt-boundary markers). v5: records count events the
+// collector dropped after a transport cap. Each tail is appended to
+// the previous layout, so readers accept every version back to v3.
+constexpr std::uint32_t kVersion = 5;
 constexpr std::uint32_t kMinVersion = 3;
 constexpr std::uint32_t kChunkMarker = 0x4b4e4843u; // "CHNK"
 constexpr std::uint32_t kEndMarker = 0x53444e45u;   // "ENDS"
@@ -131,6 +132,7 @@ RecordStreamWriter::flush()
     stream.write(chunk.data(),
                  static_cast<std::streamsize>(chunk.size()));
     written_bytes += 16 + chunk.size();
+    ++flushed_chunks;
     chunk.clear();
     chunk_records = 0;
     if (!stream)

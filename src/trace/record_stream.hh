@@ -15,8 +15,8 @@
  * for ProfileRecords); this layer only frames bytes:
  *
  *   stream  := header chunk* end
- *   header  := "TPPF" u32(version)    (writers emit v4; readers
- *                                      accept v3..v4)
+ *   header  := "TPPF" u32(version)    (writers emit v5; readers
+ *                                      accept v3..v5)
  *   chunk   := u32(CHUNK_MARKER) u32(record_count)
  *              u32(payload_size) u32(crc32 payload) payload
  *   payload := { u32(record_size) record_bytes }*
@@ -92,6 +92,9 @@ class RecordStreamWriter
     /** Bytes pushed to the underlying stream (header included). */
     std::uint64_t bytesWritten() const { return written_bytes; }
 
+    /** Sealed chunks written to the stream. */
+    std::uint64_t chunksWritten() const { return flushed_chunks; }
+
     /** Bytes buffered in the open, unflushed chunk. */
     std::size_t pendingBytes() const { return chunk.size(); }
 
@@ -105,6 +108,7 @@ class RecordStreamWriter
     std::size_t chunk_records = 0;
     std::uint64_t total_records = 0;
     std::uint64_t written_bytes = 0;
+    std::uint64_t flushed_chunks = 0;
     bool finished = false;
 };
 

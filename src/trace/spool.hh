@@ -88,6 +88,12 @@ class RecordSpool
         return writer.pendingBytes();
     }
 
+    /** Sealed chunks pushed to the sink so far. */
+    std::uint64_t chunksSpooled() const
+    {
+        return writer.chunksWritten();
+    }
+
     /** Times a push hit the backpressure threshold. */
     std::uint64_t stalls() const { return stall_count; }
 

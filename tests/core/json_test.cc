@@ -138,5 +138,56 @@ TEST(JsonWriterTest, CompleteOnlyWhenBalanced)
     EXPECT_TRUE(w.complete());
 }
 
+TEST(JsonValidatorTest, AcceptsWellFormedDocuments)
+{
+    EXPECT_TRUE(validateJson("{}"));
+    EXPECT_TRUE(validateJson("[]"));
+    EXPECT_TRUE(validateJson("null"));
+    EXPECT_TRUE(validateJson("true"));
+    EXPECT_TRUE(validateJson("-12.5e3"));
+    EXPECT_TRUE(validateJson("\"text with \\\"quotes\\\"\""));
+    EXPECT_TRUE(validateJson(
+        "{\"a\":[1,2,{\"b\":null}],\"c\":\"\\u00e9\"}"));
+    EXPECT_TRUE(validateJson("  [1, 2]  \n")); // edge whitespace
+}
+
+TEST(JsonValidatorTest, RejectsMalformedDocuments)
+{
+    EXPECT_FALSE(validateJson(""));
+    EXPECT_FALSE(validateJson("{"));
+    EXPECT_FALSE(validateJson("[1,]"));
+    EXPECT_FALSE(validateJson("{\"a\":1,}"));
+    EXPECT_FALSE(validateJson("{'a':1}"));
+    EXPECT_FALSE(validateJson("nul"));
+    EXPECT_FALSE(validateJson("01"));
+    EXPECT_FALSE(validateJson("\"unterminated"));
+    EXPECT_FALSE(validateJson("{} trailing"));
+    EXPECT_FALSE(validateJson("NaN"));
+}
+
+TEST(JsonValidatorTest, ErrorCarriesAnOffsetAndReason)
+{
+    std::string error;
+    EXPECT_FALSE(validateJson("{\"a\":}", &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonValidatorTest, WriterOutputAlwaysValidates)
+{
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.beginObject();
+    w.field("name", "a\"b\\c\nnewline");
+    w.field("nan", std::nan("")); // emitted as null
+    w.key("list");
+    w.beginArray();
+    w.value(std::int64_t{-1});
+    w.value(0.25);
+    w.endArray();
+    w.endObject();
+    std::string error;
+    EXPECT_TRUE(validateJson(out.str(), &error)) << error;
+}
+
 } // namespace
 } // namespace tpupoint

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "core/logging.hh"
@@ -70,6 +71,40 @@ TEST_F(LoggingTest, ConcatenateFormatsMixedTypes)
                                   'x'),
               "a=1 b=2.5 c=x");
     EXPECT_EQ(detail::concatenate(), "");
+}
+
+TEST_F(LoggingTest, ParseLevelAcceptsKnownNamesOnly)
+{
+    LogLevel level = LogLevel::Info;
+    EXPECT_TRUE(LogConfig::parseLevel("debug", &level));
+    EXPECT_EQ(level, LogLevel::Debug);
+    EXPECT_TRUE(LogConfig::parseLevel("warn", &level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(LogConfig::parseLevel("info", &level));
+    EXPECT_EQ(level, LogLevel::Info);
+    EXPECT_FALSE(LogConfig::parseLevel("verbose", &level));
+    EXPECT_FALSE(LogConfig::parseLevel("", &level));
+    // A failed parse never clobbers the output.
+    EXPECT_EQ(level, LogLevel::Info);
+}
+
+TEST_F(LoggingTest, EnvironmentVariableSetsTheThreshold)
+{
+    ASSERT_EQ(setenv("TPUPOINT_LOG_LEVEL", "debug", 1), 0);
+    EXPECT_TRUE(LogConfig::loadFromEnvironment());
+    EXPECT_EQ(LogConfig::threshold(), LogLevel::Debug);
+
+    ASSERT_EQ(setenv("TPUPOINT_LOG_LEVEL", "warn", 1), 0);
+    EXPECT_TRUE(LogConfig::loadFromEnvironment());
+    EXPECT_EQ(LogConfig::threshold(), LogLevel::Warn);
+
+    // Garbage and absence both leave the threshold untouched.
+    ASSERT_EQ(setenv("TPUPOINT_LOG_LEVEL", "shouting", 1), 0);
+    EXPECT_FALSE(LogConfig::loadFromEnvironment());
+    EXPECT_EQ(LogConfig::threshold(), LogLevel::Warn);
+    ASSERT_EQ(unsetenv("TPUPOINT_LOG_LEVEL"), 0);
+    EXPECT_FALSE(LogConfig::loadFromEnvironment());
+    EXPECT_EQ(LogConfig::threshold(), LogLevel::Warn);
 }
 
 TEST_F(LoggingTest, InformAndWarnDoNotThrow)

@@ -1,0 +1,171 @@
+/** @file Metrics registry: instruments, buckets, snapshots. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/json.hh"
+#include "obs/metrics.hh"
+
+namespace tpupoint {
+namespace obs {
+namespace {
+
+TEST(MetricsTest, CounterAccumulatesAndResets)
+{
+    MetricsRegistry registry;
+    Counter &c = registry.counter("events");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsTest, GaugeIsLastWriteWins)
+{
+    MetricsRegistry registry;
+    Gauge &g = registry.gauge("depth");
+    g.set(7);
+    g.set(-3);
+    EXPECT_EQ(g.value(), -3);
+}
+
+TEST(MetricsTest, SameNameReturnsSameInstrument)
+{
+    MetricsRegistry registry;
+    Counter &a = registry.counter("x");
+    Counter &b = registry.counter("x");
+    EXPECT_EQ(&a, &b);
+    a.add(5);
+    EXPECT_EQ(b.value(), 5u);
+}
+
+TEST(MetricsTest, HistogramBucketBoundariesAreInclusive)
+{
+    // Bounds 1, 2, 4, 8; bucket i counts v <= bound[i].
+    HistogramOptions options;
+    options.first_bound = 1;
+    options.growth = 2;
+    options.buckets = 4;
+    MetricsRegistry registry;
+    Histogram &h = registry.histogram("sizes", options);
+
+    ASSERT_EQ(h.bounds().size(), 4u);
+    EXPECT_EQ(h.bounds()[0], 1u);
+    EXPECT_EQ(h.bounds()[1], 2u);
+    EXPECT_EQ(h.bounds()[2], 4u);
+    EXPECT_EQ(h.bounds()[3], 8u);
+
+    EXPECT_EQ(h.bucketIndex(0), 0u);
+    EXPECT_EQ(h.bucketIndex(1), 0u); // inclusive upper bound
+    EXPECT_EQ(h.bucketIndex(2), 1u);
+    EXPECT_EQ(h.bucketIndex(3), 2u);
+    EXPECT_EQ(h.bucketIndex(4), 2u);
+    EXPECT_EQ(h.bucketIndex(8), 3u);
+    EXPECT_EQ(h.bucketIndex(9), 4u); // overflow bucket
+
+    h.observe(1);
+    h.observe(8);
+    h.observe(8);
+    h.observe(1000);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 1017u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(3), 2u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+}
+
+TEST(MetricsTest, HistogramOptionsApplyOnlyOnCreation)
+{
+    MetricsRegistry registry;
+    HistogramOptions small;
+    small.buckets = 2;
+    Histogram &first = registry.histogram("h", small);
+    HistogramOptions big;
+    big.buckets = 30;
+    Histogram &second = registry.histogram("h", big);
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(second.bounds().size(), 2u);
+}
+
+TEST(MetricsTest, SnapshotAndResetCoverEveryInstrument)
+{
+    MetricsRegistry registry;
+    registry.counter("jobs").add(3);
+    registry.gauge("queue").set(9);
+    registry.histogram("lat").observe(5);
+
+    const MetricsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.counters.at("jobs"), 3u);
+    EXPECT_EQ(snap.gauges.at("queue"), 9);
+    EXPECT_EQ(snap.histograms.at("lat").count, 1u);
+    EXPECT_EQ(snap.histograms.at("lat").sum, 5u);
+
+    registry.reset();
+    const MetricsSnapshot zeroed = registry.snapshot();
+    EXPECT_EQ(zeroed.counters.at("jobs"), 0u);
+    EXPECT_EQ(zeroed.gauges.at("queue"), 0);
+    EXPECT_EQ(zeroed.histograms.at("lat").count, 0u);
+}
+
+TEST(MetricsTest, JsonDumpIsValidAndNameSorted)
+{
+    MetricsRegistry registry;
+    registry.counter("b.second").add(2);
+    registry.counter("a.first").add(1);
+    registry.gauge("depth").set(4);
+    registry.histogram("lat").observe(3);
+
+    std::ostringstream out;
+    registry.writeJson(out);
+    std::string error;
+    EXPECT_TRUE(validateJson(out.str(), &error)) << error;
+    // Name-sorted field order keeps dumps diffable.
+    EXPECT_LT(out.str().find("a.first"), out.str().find("b.second"));
+    EXPECT_NE(out.str().find("\"counters\""), std::string::npos);
+    EXPECT_NE(out.str().find("\"gauges\""), std::string::npos);
+    EXPECT_NE(out.str().find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricsTest, TextDumpListsValues)
+{
+    MetricsRegistry registry;
+    registry.counter("jobs").add(12);
+    std::ostringstream out;
+    registry.writeText(out);
+    EXPECT_NE(out.str().find("jobs"), std::string::npos);
+    EXPECT_NE(out.str().find("12"), std::string::npos);
+}
+
+TEST(MetricsTest, ConcurrentAddsNeverLoseCounts)
+{
+    MetricsRegistry registry;
+    Counter &c = registry.counter("hot");
+    constexpr int kThreads = 8;
+    constexpr int kAdds = 10000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&c] {
+            for (int i = 0; i < kAdds; ++i)
+                c.add();
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(c.value(),
+              static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(MetricsTest, GlobalRegistryIsAProcessSingleton)
+{
+    EXPECT_EQ(&MetricsRegistry::global(),
+              &MetricsRegistry::global());
+}
+
+} // namespace
+} // namespace obs
+} // namespace tpupoint

@@ -1,0 +1,94 @@
+/** @file TraceSpan RAII semantics and SpanBuffer bounds. */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/span.hh"
+
+namespace tpupoint {
+namespace obs {
+namespace {
+
+TEST(SpanTest, ScopeExitRecordsTheSpan)
+{
+    SpanBuffer buffer(16);
+    {
+        TraceSpan span("work", buffer);
+        EXPECT_EQ(buffer.size(), 0u); // not recorded until exit
+    }
+    ASSERT_EQ(buffer.size(), 1u);
+    const SpanRecord record = buffer.snapshot().front();
+    EXPECT_EQ(record.name, "work");
+    EXPECT_GE(record.duration_ns(), 0);
+    EXPECT_EQ(record.thread_id, currentThreadId());
+}
+
+TEST(SpanTest, ArgsArriveInAttachmentOrder)
+{
+    SpanBuffer buffer(16);
+    {
+        TraceSpan span("phase", buffer);
+        span.arg("steps", std::uint64_t{97});
+        span.arg("algorithm", "kmeans");
+        span.arg("delta", -3.5);
+    }
+    const SpanRecord record = buffer.snapshot().front();
+    ASSERT_EQ(record.args.size(), 3u);
+    EXPECT_EQ(record.args[0].first, "steps");
+    EXPECT_EQ(record.args[0].second, "97");
+    EXPECT_EQ(record.args[1].first, "algorithm");
+    EXPECT_EQ(record.args[1].second, "kmeans");
+    EXPECT_EQ(record.args[2].first, "delta");
+}
+
+TEST(SpanTest, FinishIsIdempotent)
+{
+    SpanBuffer buffer(16);
+    {
+        TraceSpan span("once", buffer);
+        span.finish();
+        span.finish(); // no double record
+    } // destructor after finish(): still one record
+    EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(SpanTest, FullBufferDropsAndCounts)
+{
+    SpanBuffer buffer(2);
+    for (int i = 0; i < 5; ++i)
+        TraceSpan("s", buffer).finish();
+    EXPECT_EQ(buffer.size(), 2u);
+    EXPECT_EQ(buffer.dropped(), 3u);
+    buffer.clear();
+    EXPECT_EQ(buffer.size(), 0u);
+    EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(SpanTest, SnapshotPreservesCompletionOrder)
+{
+    SpanBuffer buffer(8);
+    TraceSpan("first", buffer).finish();
+    TraceSpan("second", buffer).finish();
+    const auto spans = buffer.snapshot();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].name, "first");
+    EXPECT_EQ(spans[1].name, "second");
+    EXPECT_LE(spans[0].begin_ns, spans[1].begin_ns);
+}
+
+TEST(SpanTest, ThreadIdsDistinguishRecordingThreads)
+{
+    SpanBuffer buffer(8);
+    TraceSpan("main", buffer).finish();
+    std::thread([&buffer] {
+        TraceSpan("worker", buffer).finish();
+    }).join();
+    const auto spans = buffer.snapshot();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_NE(spans[0].thread_id, spans[1].thread_id);
+}
+
+} // namespace
+} // namespace obs
+} // namespace tpupoint

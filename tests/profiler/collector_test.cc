@@ -89,6 +89,26 @@ TEST(CollectorTest, DurationCapTruncates)
     EXPECT_EQ(collector.eventsInWindow(), 1u);
 }
 
+TEST(CollectorTest, DroppedEventsAreCountedNotJustFlagged)
+{
+    StatsCollector collector(0);
+    constexpr std::uint64_t kOverflow = 37;
+    for (std::uint64_t i = 0; i < kMaxEventsPerProfile + kOverflow;
+         ++i) {
+        collector.record(makeEvent("MatMul", 0, 1, 0));
+    }
+    EXPECT_EQ(collector.eventsDropped(), kOverflow);
+
+    const ProfileRecord record = collector.harvest(1);
+    EXPECT_TRUE(record.truncated);
+    EXPECT_EQ(record.events_dropped, kOverflow);
+    // The drop count resets with the window, like the cap flag.
+    EXPECT_EQ(collector.eventsDropped(), 0u);
+    const ProfileRecord clean = collector.harvest(2);
+    EXPECT_EQ(clean.events_dropped, 0u);
+    EXPECT_FALSE(clean.truncated);
+}
+
 TEST(CollectorTest, MetadataComputedOverWindow)
 {
     StatsCollector collector(0);

@@ -23,6 +23,8 @@ randomRecord(Rng &rng, std::uint64_t sequence)
         static_cast<SimTime>(rng.nextBounded(1u << 30));
     record.event_count = rng.nextBounded(100000);
     record.truncated = rng.bernoulli(0.3);
+    record.events_dropped =
+        record.truncated ? 1 + rng.nextBounded(5000) : 0;
     record.tpu_idle_fraction = rng.nextDouble();
     record.mxu_utilization = rng.nextDouble();
     record.retries = rng.nextBounded(100);
@@ -80,6 +82,7 @@ expectEqualRecords(const ProfileRecord &a, const ProfileRecord &b)
     EXPECT_EQ(a.attempt_boundary, b.attempt_boundary);
     EXPECT_EQ(a.preempted_at_step, b.preempted_at_step);
     EXPECT_EQ(a.resume_step, b.resume_step);
+    EXPECT_EQ(a.events_dropped, b.events_dropped);
     ASSERT_EQ(a.steps.size(), b.steps.size());
     for (std::size_t i = 0; i < a.steps.size(); ++i) {
         const StepStats &x = a.steps[i];
@@ -223,6 +226,9 @@ TEST(SerializeTest, V4RoundTripCarriesAttemptFields)
 /** The 24-byte v4 attempt tail: u32 + u32 + u64 + u64. */
 constexpr std::size_t kAttemptTailBytes = 24;
 
+/** The 8-byte v5 drop-count tail: one u64. */
+constexpr std::size_t kDropTailBytes = 8;
+
 TEST(SerializeTest, V3PayloadWithoutAttemptTailStillDecodes)
 {
     Rng rng(12);
@@ -230,12 +236,15 @@ TEST(SerializeTest, V3PayloadWithoutAttemptTailStillDecodes)
     original.retries = 17;
     original.retry_time = 123 * kMsec;
 
-    // Strip the fixed-width v4 tail: exactly what a v3 writer
-    // emitted. The v3 retry fields must survive unchanged and the
-    // attempt fields take their defaults.
+    // Strip the fixed-width v4 + v5 tails: exactly what a v3
+    // writer emitted. The v3 retry fields must survive unchanged
+    // and the newer fields take their defaults.
+    original.events_dropped = 0; // not representable in v3
     std::string payload = encodeProfileRecord(original);
-    ASSERT_GT(payload.size(), kAttemptTailBytes);
-    payload.resize(payload.size() - kAttemptTailBytes);
+    ASSERT_GT(payload.size(),
+              kAttemptTailBytes + kDropTailBytes);
+    payload.resize(payload.size() - kAttemptTailBytes -
+                   kDropTailBytes);
 
     ProfileRecord decoded;
     ASSERT_TRUE(decodeProfileRecord(payload, decoded));
@@ -246,6 +255,31 @@ TEST(SerializeTest, V3PayloadWithoutAttemptTailStillDecodes)
     EXPECT_FALSE(decoded.attempt_boundary);
     EXPECT_EQ(decoded.preempted_at_step, 0u);
     EXPECT_EQ(decoded.resume_step, 0u);
+}
+
+TEST(SerializeTest, V4PayloadWithoutDropTailStillDecodes)
+{
+    Rng rng(21);
+    ProfileRecord original = randomRecord(rng, 3);
+    original.attempt = 2;
+    original.attempt_boundary = true;
+    original.preempted_at_step = 800;
+    original.resume_step = 750;
+
+    // Strip only the v5 drop-count tail: exactly what a v4 writer
+    // emitted. The attempt fields must survive and the drop count
+    // must default to zero.
+    original.events_dropped = 0; // not representable in v4
+    std::string payload = encodeProfileRecord(original);
+    ASSERT_GT(payload.size(), kDropTailBytes);
+    payload.resize(payload.size() - kDropTailBytes);
+
+    ProfileRecord decoded;
+    ASSERT_TRUE(decodeProfileRecord(payload, decoded));
+    expectEqualRecords(original, decoded);
+    EXPECT_EQ(decoded.attempt, 2u);
+    EXPECT_TRUE(decoded.attempt_boundary);
+    EXPECT_EQ(decoded.events_dropped, 0u);
 }
 
 TEST(SerializeTest, PartialAttemptTailIsRejected)

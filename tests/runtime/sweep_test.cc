@@ -232,6 +232,117 @@ TEST(SweepRunnerTest, PreemptedJobStitchesAttempts)
     EXPECT_EQ(outcomes[0].replayed_steps, 0u);
 }
 
+TEST(SweepRunnerTest, ProgressEventsArriveInOrderPerJob)
+{
+    const auto jobs = smallJobs();
+    // Sink invocations are serialized by the runner, so plain
+    // vector appends are safe even with four workers.
+    std::vector<obs::ProgressEvent> events;
+    SweepOptions options;
+    options.threads = 4;
+    options.progress = [&events](const obs::ProgressEvent &e) {
+        events.push_back(e);
+    };
+    const auto outcomes = SweepRunner(options).run(jobs);
+
+    // Exactly one start and one finish per job, start first.
+    ASSERT_EQ(events.size(), 2 * jobs.size());
+    std::vector<int> starts(jobs.size(), 0);
+    std::vector<int> finishes(jobs.size(), 0);
+    for (const auto &event : events) {
+        ASSERT_LT(event.item, jobs.size());
+        EXPECT_EQ(event.total, jobs.size());
+        if (event.kind == obs::ProgressEvent::Kind::Start) {
+            EXPECT_EQ(finishes[event.item], 0)
+                << "start after finish for job " << event.item;
+            ++starts[event.item];
+        } else if (event.kind ==
+                   obs::ProgressEvent::Kind::Finish) {
+            EXPECT_EQ(starts[event.item], 1);
+            ++finishes[event.item];
+            EXPECT_STREQ(event.status, "ok");
+            EXPECT_GE(event.wall_seconds, 0.0);
+        }
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(starts[i], 1);
+        EXPECT_EQ(finishes[i], 1);
+    }
+
+    // The last event's running totals equal the outcome totals.
+    const obs::ProgressEvent &last = events.back();
+    std::size_t ok = 0, preempted = 0, failed = 0;
+    for (const auto &outcome : outcomes) {
+        switch (outcome.status) {
+          case JobStatus::Ok: ++ok; break;
+          case JobStatus::Preempted: ++preempted; break;
+          case JobStatus::Failed: ++failed; break;
+        }
+    }
+    EXPECT_EQ(last.started, jobs.size());
+    EXPECT_EQ(last.succeeded, ok);
+    EXPECT_EQ(last.preempted, preempted);
+    EXPECT_EQ(last.failed, failed);
+    EXPECT_EQ(last.retried, 0u);
+    EXPECT_EQ(last.finished(), jobs.size());
+}
+
+TEST(SweepRunnerTest, ProgressReportsRetriesAndFailures)
+{
+    auto jobs = smallJobs();
+    jobs[1].config.preemption.rate_per_hour = -1.0;
+    std::vector<obs::ProgressEvent> events;
+    SweepOptions options;
+    options.threads = 1;
+    options.job_retries = 2;
+    options.progress = [&events](const obs::ProgressEvent &e) {
+        events.push_back(e);
+    };
+    const auto outcomes = SweepRunner(options).run(jobs);
+    ASSERT_EQ(outcomes[1].status, JobStatus::Failed);
+
+    // Job 1: start (attempt 1), two retries (attempts 2, 3), then
+    // a failed finish; the retry totals accumulate.
+    std::vector<const obs::ProgressEvent *> job1;
+    for (const auto &event : events) {
+        if (event.item == 1)
+            job1.push_back(&event);
+    }
+    ASSERT_EQ(job1.size(), 4u);
+    EXPECT_EQ(job1[0]->kind, obs::ProgressEvent::Kind::Start);
+    EXPECT_EQ(job1[0]->attempt, 1u);
+    EXPECT_EQ(job1[1]->kind, obs::ProgressEvent::Kind::Retry);
+    EXPECT_EQ(job1[1]->attempt, 2u);
+    EXPECT_EQ(job1[2]->kind, obs::ProgressEvent::Kind::Retry);
+    EXPECT_EQ(job1[2]->attempt, 3u);
+    EXPECT_EQ(job1[3]->kind, obs::ProgressEvent::Kind::Finish);
+    EXPECT_STREQ(job1[3]->status, "failed");
+    EXPECT_EQ(events.back().retried, 2u);
+    EXPECT_EQ(events.back().failed, 1u);
+    EXPECT_EQ(events.back().succeeded, jobs.size() - 1);
+}
+
+TEST(SweepRunnerTest, ProgressSinkNeverChangesResults)
+{
+    const auto jobs = smallJobs();
+    const auto plain = runWith(2, jobs);
+    SweepOptions options;
+    options.threads = 2;
+    options.progress = [](const obs::ProgressEvent &) {};
+    const auto observed = SweepRunner(options).run(jobs);
+    ASSERT_EQ(plain.size(), observed.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        ASSERT_EQ(plain[i].records.size(),
+                  observed[i].records.size());
+        for (std::size_t r = 0; r < plain[i].records.size(); ++r) {
+            EXPECT_EQ(encodeProfileRecord(plain[i].records[r]),
+                      encodeProfileRecord(observed[i].records[r]));
+        }
+        EXPECT_EQ(plain[i].result.wall_time,
+                  observed[i].result.wall_time);
+    }
+}
+
 TEST(SweepRunnerTest, PreemptedSweepIsThreadCountInvariant)
 {
     auto jobs = smallJobs();

@@ -15,11 +15,13 @@
 #include <fstream>
 #ifdef __unix__
 #include <sys/wait.h>
+#include <unistd.h>
 #endif
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/json.hh"
 #include "proto/serialize.hh"
 #include "tests/analyzer/synthetic.hh"
 
@@ -32,12 +34,15 @@ struct CommandResult
     std::string output; ///< Combined stdout + stderr.
 };
 
+std::string tempPath(const std::string &name);
+
 /** Run @p command, capturing its combined output. */
 CommandResult
 run(const std::string &command)
 {
-    const std::string log =
-        testing::TempDir() + "cli_test_output.log";
+    // tempPath prefixes the pid: ctest runs each case as its own
+    // process, possibly concurrently, and a shared path races.
+    const std::string log = tempPath("cli_test_output.log");
     const int raw = std::system(
         (command + " > '" + log + "' 2>&1").c_str());
     CommandResult result;
@@ -56,7 +61,12 @@ run(const std::string &command)
 std::string
 tempPath(const std::string &name)
 {
+#ifdef __unix__
+    return testing::TempDir() + std::to_string(getpid()) + "." +
+        name;
+#else
     return testing::TempDir() + name;
+#endif
 }
 
 /**
@@ -228,6 +238,98 @@ TEST(CliTest, SalvageToolFailsOnMissingInput)
             " /nonexistent/no.profile " + tempPath("out.profile"));
     EXPECT_NE(result.exit_code, 0);
     EXPECT_NE(result.output.find("cannot open profile"),
+              std::string::npos);
+}
+
+TEST(CliTest, ExportWritesValidatedTraceJson)
+{
+    const std::string profile = tempPath("export.profile");
+    const std::string trace = tempPath("export.trace.json");
+    writeProfile(profile);
+
+    const auto result = run(std::string(TPUPOINT_EXPORT_BIN) +
+                            " '" + profile + "' -o '" + trace +
+                            "' --check");
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_NE(result.output.find("exported 4 records"),
+              std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("is valid JSON"),
+              std::string::npos);
+
+    std::ifstream in(trace);
+    ASSERT_TRUE(in.good());
+    std::ostringstream text;
+    text << in.rdbuf();
+    EXPECT_TRUE(validateJson(text.str()));
+    EXPECT_NE(text.str().find("\"traceEvents\""),
+              std::string::npos);
+}
+
+TEST(CliTest, ExportMissingProfileFailsClearly)
+{
+    const auto result = run(std::string(TPUPOINT_EXPORT_BIN) +
+                            " /nonexistent/no.profile");
+    EXPECT_NE(result.exit_code, 0);
+    EXPECT_NE(result.output.find("cannot open profile"),
+              std::string::npos);
+}
+
+TEST(CliTest, ExportRejectsMalformedStepRange)
+{
+    const std::string profile = tempPath("range.profile");
+    writeProfile(profile);
+    const auto result = run(std::string(TPUPOINT_EXPORT_BIN) +
+                            " '" + profile + "' --steps 9:2");
+    EXPECT_EQ(result.exit_code, 2);
+    EXPECT_NE(result.output.find("--steps"), std::string::npos);
+}
+
+TEST(CliTest, ExportSalvagesDamagedProfiles)
+{
+    const std::string profile = tempPath("export_damaged.profile");
+    const std::string trace = tempPath("export_damaged.json");
+    writeProfile(profile);
+    corruptChunk(profile, 1);
+
+    // Plain export refuses the damaged profile...
+    const auto plain = run(std::string(TPUPOINT_EXPORT_BIN) +
+                           " '" + profile + "' -o '" + trace + "'");
+    EXPECT_NE(plain.exit_code, 0);
+
+    // ...--salvage exports the surviving windows.
+    const auto salvaged =
+        run(std::string(TPUPOINT_EXPORT_BIN) + " '" + profile +
+            "' -o '" + trace + "' --salvage --check");
+    EXPECT_EQ(salvaged.exit_code, 0) << salvaged.output;
+    EXPECT_NE(salvaged.output.find("exported 3 records"),
+              std::string::npos)
+        << salvaged.output;
+}
+
+TEST(CliTest, ProfileWritesTelemetryDumps)
+{
+    const std::string profile = tempPath("telemetry.profile");
+    const std::string spans = tempPath("telemetry.spans.json");
+    const std::string metrics = tempPath("telemetry.metrics.json");
+    const auto result =
+        run(std::string(TPUPOINT_PROFILE_BIN) +
+            " --workload dcgan-mnist --scale 0.02 --steps 40"
+            " --out '" + profile + "' --trace-out '" + spans +
+            "' --metrics-out '" + metrics + "'");
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+
+    for (const std::string &path : {spans, metrics}) {
+        std::ifstream in(path);
+        ASSERT_TRUE(in.good()) << path;
+        std::ostringstream text;
+        text << in.rdbuf();
+        EXPECT_TRUE(validateJson(text.str())) << path;
+    }
+    std::ifstream metrics_in(metrics);
+    std::ostringstream metrics_text;
+    metrics_text << metrics_in.rdbuf();
+    EXPECT_NE(metrics_text.str().find("profiler.events_accepted"),
               std::string::npos);
 }
 

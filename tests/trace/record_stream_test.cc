@@ -60,7 +60,7 @@ TEST(RecordStreamTest, ZeroRecordStreamReadsCleanEnd)
     std::string_view payload;
     EXPECT_EQ(reader.next(payload), StreamStatus::End);
     EXPECT_EQ(reader.records(), 0u);
-    EXPECT_EQ(reader.version(), 4u);
+    EXPECT_EQ(reader.version(), 5u);
     // Terminal state is sticky.
     EXPECT_EQ(reader.next(payload), StreamStatus::End);
 }

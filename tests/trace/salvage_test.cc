@@ -184,8 +184,9 @@ TEST(SalvageTest, DamagedHeaderScansToTheFirstChunk)
 
 /**
  * Build a version-3 profile container: records without the v4
- * attempt tail (fixed-width u32+u32+u64+u64 = 24 bytes), framed
- * with the header version patched back to 3.
+ * attempt tail (fixed-width u32+u32+u64+u64 = 24 bytes) or the v5
+ * drop-count tail (u64 = 8 bytes), framed with the header version
+ * patched back to 3.
  */
 std::string
 makeV3Profile(int count)
@@ -203,7 +204,7 @@ makeV3Profile(int count)
             record.retries = 40 + static_cast<std::uint64_t>(i);
             record.retry_time = (i + 1) * kMsec;
             std::string payload = encodeProfileRecord(record);
-            payload.resize(payload.size() - 24);
+            payload.resize(payload.size() - 24 - 8);
             framing.append(payload);
         }
         framing.finish();

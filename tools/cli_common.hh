@@ -6,9 +6,14 @@
 #ifndef TPUPOINT_TOOLS_CLI_COMMON_HH
 #define TPUPOINT_TOOLS_CLI_COMMON_HH
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "analyzer/analyzer.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_export.hh"
+#include "proto/serialize.hh"
 #include "workloads/catalog.hh"
 
 namespace tpupoint {
@@ -60,6 +65,60 @@ parseAlgorithm(const std::string &name, PhaseAlgorithm *algorithm)
     else
         return false;
     return true;
+}
+
+/**
+ * Write the tool's self-telemetry (`--trace-out`: the span buffer
+ * as trace-event JSON; `--metrics-out`: the metrics registry as
+ * JSON). Empty paths are skipped. Returns false (after printing an
+ * error) when a requested file cannot be written.
+ */
+inline bool
+writeTelemetry(const std::string &trace_out,
+               const std::string &metrics_out)
+{
+    const auto write = [](const std::string &path,
+                          const auto &writer) -> bool {
+        std::ofstream out(path, std::ios::binary);
+        if (out)
+            writer(out);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         path.c_str());
+            return false;
+        }
+        return true;
+    };
+    bool ok = true;
+    if (!trace_out.empty()) {
+        ok = write(trace_out, [](std::ostream &out) {
+            obs::writeSpanTrace(obs::SpanBuffer::global(), out);
+        }) && ok;
+    }
+    if (!metrics_out.empty()) {
+        ok = write(metrics_out, [](std::ostream &out) {
+            obs::MetricsRegistry::global().writeJson(out);
+        }) && ok;
+    }
+    return ok;
+}
+
+/**
+ * Charge a salvage-mode reader's damage tallies to the metrics
+ * registry. Called by the tools (proto/ cannot depend on obs/).
+ */
+inline void
+recordSalvageMetrics(const ProfileReader &reader)
+{
+    if (!reader.sawDamage())
+        return;
+    auto &registry = obs::MetricsRegistry::global();
+    registry.counter("salvage.chunks_dropped")
+        .add(reader.chunksDropped());
+    registry.counter("salvage.records_dropped")
+        .add(reader.recordsDropped());
+    registry.counter("salvage.bytes_skipped")
+        .add(reader.bytesSkipped());
 }
 
 } // namespace cli

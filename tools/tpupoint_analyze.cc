@@ -17,6 +17,10 @@
  *     --salvage           analyze what survives in a damaged
  *                         profile instead of failing on the first
  *                         corrupt chunk; reports what was dropped
+ *     --trace-out PATH    write the tool's own wall-time spans as
+ *                         trace-event JSON (Perfetto-loadable)
+ *     --metrics-out PATH  write the process metrics registry as
+ *                         JSON
  */
 
 #include <cstdio>
@@ -63,6 +67,8 @@ main(int argc, char **argv)
     const std::string profile_path = argv[1];
     std::string out_base = profile_path;
     bool salvage = false;
+    std::string trace_out;
+    std::string metrics_out;
     AnalyzerOptions options;
 
     for (int i = 2; i < argc; ++i) {
@@ -92,6 +98,10 @@ main(int argc, char **argv)
             out_base = next();
         } else if (arg == "--salvage") {
             salvage = true;
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg == "--metrics-out") {
+            metrics_out = next();
         } else {
             std::fprintf(stderr, "unknown option %s\n",
                          arg.c_str());
@@ -136,6 +146,7 @@ main(int argc, char **argv)
                 windows.emplace_back(record);
             session.ingest(record);
         }
+        cli::recordSalvageMetrics(reader);
         if (salvage && reader.sawDamage()) {
             std::printf(
                 "salvage: dropped %llu chunks, %llu records, "
@@ -171,6 +182,13 @@ main(int argc, char **argv)
                 checkpoints.size());
 
     const AnalysisResult analysis = session.finalize(checkpoints);
+
+    if (analysis.dropped_events > 0) {
+        std::printf("warning: profiler dropped %llu events at "
+                    "transport caps; capped windows undercount\n",
+                    static_cast<unsigned long long>(
+                        analysis.dropped_events));
+    }
 
     if (analysis.attempts > 1) {
         // A stitched multi-attempt profile: report what the
@@ -250,5 +268,7 @@ main(int argc, char **argv)
                 "%s.summary.json\n",
                 out_base.c_str(), out_base.c_str(),
                 out_base.c_str());
+    if (!cli::writeTelemetry(trace_out, metrics_out))
+        return 1;
     return 0;
 }

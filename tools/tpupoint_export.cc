@@ -1,0 +1,211 @@
+/**
+ * @file
+ * `tpupoint-export`: convert a binary profile written by
+ * `tpupoint-profile` into trace-event JSON loadable in Perfetto or
+ * chrome://tracing. Each per-step operator row becomes an `X`
+ * duration event on its device track, steps and profile windows get
+ * their own tracks, idle/MXU device meta-data becomes counter
+ * tracks, and every attempt boundary (preemption) becomes an
+ * instant event.
+ *
+ * Usage:
+ *   tpupoint-export PROFILE [options]
+ *     -o PATH           output path (default: PROFILE.trace.json)
+ *     --steps A:B       export only steps A through B inclusive
+ *     --no-ops          skip per-op rows (steps + windows only)
+ *     --no-counters     skip the idle/MXU counter tracks
+ *     --pretty          indent the JSON
+ *     --salvage         convert what survives in a damaged profile
+ *                       instead of failing on the first bad chunk
+ *     --check           re-read the written file and validate it
+ *                       as JSON (exit 1 on malformed output)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/json.hh"
+#include "obs/trace_export.hh"
+#include "proto/serialize.hh"
+#include "tools/cli_common.hh"
+
+using namespace tpupoint;
+
+namespace {
+
+/** Parse "A:B" into an inclusive step range. */
+bool
+parseStepRange(const char *text, StepId *first, StepId *last)
+{
+    const char *colon = std::strchr(text, ':');
+    if (!colon || colon == text || colon[1] == '\0')
+        return false;
+    char *end = nullptr;
+    *first = std::strtoull(text, &end, 10);
+    if (end != colon)
+        return false;
+    *last = std::strtoull(colon + 1, &end, 10);
+    if (*end != '\0')
+        return false;
+    return *first <= *last;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: tpupoint-export PROFILE [-o PATH] "
+                     "[--steps A:B] [--no-ops] [--no-counters] "
+                     "[--pretty] [--salvage] [--check]\n");
+        return 2;
+    }
+    const std::string profile_path = argv[1];
+    std::string out_path = profile_path + ".trace.json";
+    obs::ProfileTraceOptions options;
+    bool salvage = false;
+    bool check = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "-o" || arg == "--out") {
+            out_path = next();
+        } else if (arg == "--steps") {
+            if (!parseStepRange(next(), &options.first_step,
+                                &options.last_step)) {
+                std::fprintf(stderr,
+                             "error: --steps wants A:B with "
+                             "A <= B\n");
+                return 2;
+            }
+        } else if (arg == "--no-ops") {
+            options.include_ops = false;
+        } else if (arg == "--no-counters") {
+            options.include_counters = false;
+        } else if (arg == "--pretty") {
+            options.pretty = true;
+        } else if (arg == "--salvage") {
+            salvage = true;
+        } else if (arg == "--check") {
+            check = true;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    std::ifstream in(profile_path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr,
+                     "error: cannot open profile '%s'\n",
+                     profile_path.c_str());
+        return 1;
+    }
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+
+    // Stream records straight from the profile reader into the
+    // trace writer: memory stays bounded by one record however
+    // large the profile is.
+    std::uint64_t records = 0;
+    std::uint64_t dropped_events = 0;
+    try {
+        ProfileReader reader(in, salvage);
+        obs::ProfileTraceWriter writer(out, options);
+        ProfileRecord record;
+        while (reader.read(record)) {
+            ++records;
+            dropped_events += record.events_dropped;
+            writer.add(record);
+        }
+        writer.finish();
+        cli::recordSalvageMetrics(reader);
+        if (salvage && reader.sawDamage()) {
+            std::printf(
+                "salvage: dropped %llu chunks, %llu records, "
+                "skipped %llu bytes%s\n",
+                static_cast<unsigned long long>(
+                    reader.chunksDropped()),
+                static_cast<unsigned long long>(
+                    reader.recordsDropped()),
+                static_cast<unsigned long long>(
+                    reader.bytesSkipped()),
+                reader.truncatedTail() ? ", truncated tail" : "");
+        }
+        if (records == 0) {
+            std::fprintf(stderr,
+                         "error: profile '%s' contains no "
+                         "records\n",
+                         profile_path.c_str());
+            return 1;
+        }
+        std::printf("exported %llu records: %llu duration events, "
+                    "%llu instant events",
+                    static_cast<unsigned long long>(records),
+                    static_cast<unsigned long long>(
+                        writer.durationEvents()),
+                    static_cast<unsigned long long>(
+                        writer.instantEvents()));
+        if (writer.stepsFiltered() > 0)
+            std::printf(", %llu steps outside --steps",
+                        static_cast<unsigned long long>(
+                            writer.stepsFiltered()));
+        std::printf("\n");
+        if (dropped_events > 0)
+            std::printf("warning: profiler dropped %llu events at "
+                        "transport caps; capped windows "
+                        "undercount\n",
+                        static_cast<unsigned long long>(
+                            dropped_events));
+    } catch (const std::exception &error) {
+        std::fprintf(stderr,
+                     "error: unreadable profile '%s': %s\n",
+                     profile_path.c_str(), error.what());
+        return 1;
+    }
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "error: failed writing %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    out.close();
+
+    if (check) {
+        std::ifstream reread(out_path, std::ios::binary);
+        std::ostringstream text;
+        text << reread.rdbuf();
+        std::string error;
+        if (!reread || !validateJson(text.str(), &error)) {
+            std::fprintf(stderr,
+                         "error: %s is not valid JSON: %s\n",
+                         out_path.c_str(), error.c_str());
+            return 1;
+        }
+        std::printf("checked: %s is valid JSON (%zu bytes)\n",
+                    out_path.c_str(), text.str().size());
+    }
+
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -25,6 +25,9 @@
  *                       (default 0)
  *     --preempt-seed N  preemption-plan seed (default: session seed)
  *     --max-attempts N  restart budget under preemption (default 8)
+ *     --trace-out PATH  write the tool's own wall-time spans as
+ *                       trace-event JSON (Perfetto-loadable)
+ *     --metrics-out PATH  write the process metrics registry as JSON
  *
  * With preemptions scheduled the run is orchestrated by
  * ResilientRunner: each interruption aborts the session at the next
@@ -66,6 +69,8 @@ main(int argc, char **argv)
     std::uint64_t preempt_seed = 0;
     std::uint32_t max_attempts = 8;
     bool naive = false;
+    std::string trace_out;
+    std::string metrics_out;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -105,6 +110,10 @@ main(int argc, char **argv)
             naive = true;
         } else if (arg == "--out") {
             out_path = next();
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg == "--metrics-out") {
+            metrics_out = next();
         } else {
             std::fprintf(stderr, "unknown option %s\n",
                          arg.c_str());
@@ -301,5 +310,7 @@ main(int argc, char **argv)
     }
     std::printf("wrote %s and %s.checkpoints\n", out_path.c_str(),
                 out_path.c_str());
+    if (!cli::writeTelemetry(trace_out, metrics_out))
+        return 1;
     return exit_code;
 }
