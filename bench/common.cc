@@ -83,15 +83,24 @@ plainRun(const RuntimeWorkload &workload, TpuGeneration generation,
     return session.result();
 }
 
+namespace {
+
+/** Set by BenchReport when the bench was given `--threads N`. */
+unsigned requested_sweep_threads = 0;
+
+} // namespace
+
 unsigned
 sweepThreads()
 {
+    if (requested_sweep_threads > 0)
+        return requested_sweep_threads;
     if (const char *env = std::getenv("TPUPOINT_SWEEP_THREADS")) {
         const long parsed = std::atol(env);
         if (parsed > 0)
             return static_cast<unsigned>(parsed);
     }
-    return 0; // 0 = let SweepRunner pick hardware concurrency.
+    return 0; // 0 = SweepRunner resolves TPUPOINT_THREADS / hw.
 }
 
 namespace {
@@ -173,9 +182,19 @@ BenchReport::BenchReport(const std::string &bench_name, int argc,
         const std::string arg = argv[i];
         if (arg == "--json" && i + 1 < argc) {
             path = argv[++i];
+        } else if (arg == "--threads" && i + 1 < argc) {
+            const long parsed = std::atol(argv[++i]);
+            if (parsed < 0) {
+                std::fprintf(stderr,
+                             "--threads wants N >= 0\n");
+                std::exit(2);
+            }
+            thread_count = static_cast<unsigned>(parsed);
+            requested_sweep_threads = thread_count;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--json PATH]\n",
+                         "usage: %s [--json PATH] "
+                         "[--threads N]\n",
                          name.c_str());
             std::exit(2);
         }

@@ -56,10 +56,12 @@ SessionResult plainRun(const RuntimeWorkload &workload,
                            PipelineConfig{});
 
 /**
- * Worker threads for bench sweeps: TPUPOINT_SWEEP_THREADS if set,
- * else hardware concurrency. The thread count never changes the
- * numbers a bench prints — sweeps are bit-deterministic — only how
- * long the bench takes.
+ * Worker threads for bench sweeps: the `--threads N` flag (parsed
+ * by BenchReport) if given, else TPUPOINT_SWEEP_THREADS, else 0 —
+ * which lets SweepRunner resolve through the process-wide knob
+ * (TPUPOINT_THREADS, then hardware concurrency). The thread count
+ * never changes the numbers a bench prints — sweeps are
+ * bit-deterministic — only how long the bench takes.
  */
 unsigned sweepThreads();
 
@@ -98,8 +100,9 @@ void row(const std::vector<std::string> &cells,
 class BenchReport
 {
   public:
-    /** Parse bench argv (only `--json PATH` is accepted; anything
-     * else exits 2) and start the wall clock. */
+    /** Parse bench argv (`--json PATH` and `--threads N`; anything
+     * else exits 2) and start the wall clock. `--threads` feeds
+     * sweepThreads() for the whole process. */
     BenchReport(const std::string &bench_name, int argc,
                 char **argv);
 
@@ -108,6 +111,10 @@ class BenchReport
 
     /** True when `--json` was requested. */
     bool enabled() const { return !path.empty(); }
+
+    /** The `--threads N` value (0 = not given; resolve via
+     * sweepThreads() / resolveThreadCount()). */
+    unsigned threads() const { return thread_count; }
 
     /**
      * Write the report when `--json PATH` was given (no-op and
@@ -119,6 +126,7 @@ class BenchReport
   private:
     std::string name;
     std::string path;
+    unsigned thread_count = 0;
     std::chrono::steady_clock::time_point started;
     std::vector<std::pair<std::string, double>> figures;
 };

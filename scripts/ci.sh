@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 gate: configure, build and run the full test suite, first
-# plain and then once per sanitizer (TPUPOINT_SANITIZE=address and
-# =undefined by default). Usage:
+# plain and then once per sanitizer (TPUPOINT_SANITIZE=address,
+# =thread and =undefined by default; the TSan pass guards the
+# ThreadPool-backed analysis and sweep paths). Usage:
 #   scripts/ci.sh [extra cmake args...]
 # TPUPOINT_CI_SANITIZERS overrides the sanitizer list, e.g.
 #   TPUPOINT_CI_SANITIZERS=address scripts/ci.sh   # ASan only
+#   TPUPOINT_CI_SANITIZERS=thread scripts/ci.sh    # TSan only
 #   TPUPOINT_CI_SANITIZERS= scripts/ci.sh          # plain only
 set -euo pipefail
 
@@ -56,7 +58,7 @@ smoke_suite() {
     rm -rf "${work}"
 }
 
-sanitizers=${TPUPOINT_CI_SANITIZERS-"address undefined"}
+sanitizers=${TPUPOINT_CI_SANITIZERS-"address thread undefined"}
 
 run_suite build "$@"
 for sanitizer in ${sanitizers}; do

@@ -1,11 +1,32 @@
 #include "analyzer/analyzer.hh"
 
 #include <algorithm>
+#include <memory>
 
+#include "analyzer/detector.hh"
 #include "core/logging.hh"
+#include "core/thread_pool.hh"
+#include "obs/pool_metrics.hh"
 #include "obs/span.hh"
 
 namespace tpupoint {
+
+namespace {
+
+/** Primary algorithm first, then deduplicated extras in order. */
+std::vector<PhaseAlgorithm>
+requestedAlgorithms(const AnalyzerOptions &opts)
+{
+    std::vector<PhaseAlgorithm> algorithms{opts.algorithm};
+    for (const PhaseAlgorithm extra : opts.extra_algorithms) {
+        if (std::find(algorithms.begin(), algorithms.end(),
+                      extra) == algorithms.end())
+            algorithms.push_back(extra);
+    }
+    return algorithms;
+}
+
+} // namespace
 
 const char *
 phaseAlgorithmName(PhaseAlgorithm algorithm)
@@ -57,6 +78,18 @@ AnalysisResult
 AnalysisSession::finalize(
     const std::vector<CheckpointInfo> &checkpoints)
 {
+    ThreadPoolOptions pool_opts;
+    pool_opts.workers = opts.threads;
+    pool_opts.hooks = obs::instrumentedPoolHooks("analysis");
+    ThreadPool pool(pool_opts);
+    return finalize(checkpoints, pool);
+}
+
+AnalysisResult
+AnalysisSession::finalize(
+    const std::vector<CheckpointInfo> &checkpoints,
+    ThreadPool &pool)
+{
     if (finalized)
         panic("AnalysisSession::finalize called twice");
     finalized = true;
@@ -75,77 +108,59 @@ AnalysisSession::finalize(
     if (result.table.size() == 0)
         return result;
 
-    obs::TraceSpan detect_span(
-        std::string("analyze.") +
-        phaseAlgorithmName(opts.algorithm));
-    detect_span.arg("steps",
-                    static_cast<std::uint64_t>(
-                        result.table.size()));
+    const std::vector<PhaseAlgorithm> algorithms =
+        requestedAlgorithms(opts);
 
-    switch (opts.algorithm) {
-      case PhaseAlgorithm::KMeans: {
-        const FeatureMatrix features =
-            FeatureMatrix::build(result.table, opts.features);
-        if (opts.kmeans_fixed_k > 0) {
-            Rng rng(opts.seed);
-            result.kmeans.best = kMeansCluster(
-                features.rows(), opts.kmeans_fixed_k, rng);
-            result.kmeans.elbow_k = opts.kmeans_fixed_k;
-            result.kmeans.k_values = {opts.kmeans_fixed_k};
-            result.kmeans.ssd_curve = {result.kmeans.best.ssd};
-        } else {
-            result.kmeans = kMeansSweep(
-                features.rows(), opts.kmeans_k_min,
-                opts.kmeans_k_max, opts.seed);
-        }
-        result.phases = phasesFromLabels(
-            result.table, result.kmeans.best.labels);
-        break;
-      }
-      case PhaseAlgorithm::Dbscan: {
-        const FeatureMatrix features =
-            FeatureMatrix::build(result.table, opts.features);
-        if (opts.dbscan_fixed_min_samples > 0) {
-            const double eps = opts.dbscan_eps > 0
-                ? opts.dbscan_eps
-                : suggestEps(features.rows());
-            result.dbscan.best = dbscanCluster(
-                features.rows(), eps,
-                opts.dbscan_fixed_min_samples);
-            result.dbscan.elbow_min_samples =
-                opts.dbscan_fixed_min_samples;
-            result.dbscan.min_samples_values = {
-                opts.dbscan_fixed_min_samples};
-            result.dbscan.noise_curve = {
-                result.dbscan.best.noise_ratio};
-            result.dbscan.cluster_counts = {
-                result.dbscan.best.clusters};
-        } else {
-            result.dbscan =
-                dbscanSweep(features.rows(), opts.dbscan_eps);
-        }
-        result.phases = phasesFromLabels(
-            result.table, result.dbscan.best.labels);
-        break;
-      }
-      case PhaseAlgorithm::OnlineLinearScan: {
-        OnlineLinearScan ols(OlsOptions{opts.ols_threshold});
-        for (const auto &step : result.table.steps())
-            ols.addStep(step);
-        ols.finish();
-        result.ols_spans = ols.spans();
-        result.ols_groups = ols.phases();
-        result.phases =
-            phasesFromGroups(result.table, result.ols_groups);
-        break;
-      }
+    // One shared feature pass: build the matrix once iff any
+    // requested detector reads it, instead of each algorithm
+    // re-deriving its own copy.
+    std::unique_ptr<FeatureMatrix> features;
+    bool need_features = false;
+    for (const PhaseAlgorithm algorithm : algorithms)
+        need_features |= detectorFor(algorithm).needsFeatures();
+    if (need_features) {
+        obs::TraceSpan feature_span("analyze.features");
+        feature_span.arg("steps",
+                         static_cast<std::uint64_t>(
+                             result.table.size()));
+        features = std::make_unique<FeatureMatrix>(
+            FeatureMatrix::build(result.table, opts.features));
     }
-    detect_span.arg("phases",
-                    static_cast<std::uint64_t>(
-                        result.phases.size()));
-    detect_span.finish();
 
-    result.top3_coverage = topPhaseCoverage(result.phases, 3);
+    // Detectors only read the table/features and write their own
+    // detections slot, so they run concurrently when the pool has
+    // workers; each also receives the pool for its internal
+    // sweeps (nested fan-out is safe — waiters help).
+    result.detections.resize(algorithms.size());
+    auto run_detector = [&](std::size_t i) {
+        const PhaseDetector &detector =
+            detectorFor(algorithms[i]);
+        obs::TraceSpan detect_span(std::string("analyze.") +
+                                   detector.name());
+        detect_span.arg("steps",
+                        static_cast<std::uint64_t>(
+                            result.table.size()));
+        result.detections[i] = detector.detect(
+            result.table, features.get(), opts, &pool);
+        detect_span.arg("phases",
+                        static_cast<std::uint64_t>(
+                            result.detections[i].phases.size()));
+    };
+    if (algorithms.size() == 1)
+        run_detector(0);
+    else
+        pool.forEach(algorithms.size(), run_detector,
+                     "analyze.detector");
+
+    // The flat fields mirror the primary detector for backward
+    // compatibility with single-algorithm consumers.
+    const DetectorResult &primary = result.detections.front();
+    result.phases = primary.phases;
+    result.top3_coverage = primary.top3_coverage;
+    result.kmeans = primary.kmeans;
+    result.dbscan = primary.dbscan;
+    result.ols_spans = primary.ols_spans;
+    result.ols_groups = primary.ols_groups;
 
     // Section IV-C: find the checkpoint with the smallest distance
     // to each phase's steps.
@@ -175,21 +190,40 @@ AnalysisSession::finalize(
     return result;
 }
 
+namespace {
+
+AnalysisSession
+ingestAll(const AnalyzerOptions &opts,
+          const std::vector<ProfileRecord> &records)
+{
+    AnalysisSession session(opts);
+    obs::TraceSpan ingest_span("analyze.ingest");
+    ingest_span.arg("records",
+                    static_cast<std::uint64_t>(records.size()));
+    for (const auto &record : records)
+        session.ingest(record);
+    return session;
+}
+
+} // namespace
+
 AnalysisResult
 TpuPointAnalyzer::analyze(
     const std::vector<ProfileRecord> &records,
     const std::vector<CheckpointInfo> &checkpoints) const
 {
-    AnalysisSession session(opts);
-    {
-        obs::TraceSpan ingest_span("analyze.ingest");
-        ingest_span.arg("records",
-                        static_cast<std::uint64_t>(
-                            records.size()));
-        for (const auto &record : records)
-            session.ingest(record);
-    }
+    AnalysisSession session = ingestAll(opts, records);
     return session.finalize(checkpoints);
+}
+
+AnalysisResult
+TpuPointAnalyzer::analyze(
+    const std::vector<ProfileRecord> &records,
+    const std::vector<CheckpointInfo> &checkpoints,
+    ThreadPool &pool) const
+{
+    AnalysisSession session = ingestAll(opts, records);
+    return session.finalize(checkpoints, pool);
 }
 
 } // namespace tpupoint

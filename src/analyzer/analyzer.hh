@@ -23,6 +23,8 @@
 
 namespace tpupoint {
 
+class ThreadPool;
+
 /** Phase-detection algorithms offered by TPUPoint-Analyzer. */
 enum class PhaseAlgorithm { KMeans, Dbscan, OnlineLinearScan };
 
@@ -33,6 +35,24 @@ const char *phaseAlgorithmName(PhaseAlgorithm algorithm);
 struct AnalyzerOptions
 {
     PhaseAlgorithm algorithm = PhaseAlgorithm::OnlineLinearScan;
+
+    /**
+     * Detectors to run in addition to `algorithm` over the same
+     * aggregated table and shared feature pass. Each produces one
+     * AnalysisResult::detections entry; the flat result fields
+     * always mirror the primary `algorithm`. Duplicates of the
+     * primary (or of each other) are ignored.
+     */
+    std::vector<PhaseAlgorithm> extra_algorithms;
+
+    /**
+     * Worker threads for finalize(): detectors run concurrently
+     * and the k-means / DBSCAN sweeps fan out per setting. The
+     * default 1 executes inline on the calling thread — the
+     * historical serial path — and any thread count produces
+     * bit-identical results (see DESIGN.md section 10).
+     */
+    unsigned threads = 1;
 
     /** OLS similarity threshold (Equation 1; default 70%). */
     double ols_threshold = 0.70;
@@ -52,6 +72,23 @@ struct AnalyzerOptions
 
     FeatureOptions features;
     std::uint64_t seed = 0x414e4c5aULL; // "ANLZ"
+};
+
+/**
+ * One phase detector's complete output. finalize() produces one
+ * DetectorResult per requested algorithm; only the fields relevant
+ * to that algorithm are populated (kmeans for k-means, dbscan for
+ * DBSCAN, ols_* for OLS — phases and top3_coverage always).
+ */
+struct DetectorResult
+{
+    PhaseAlgorithm algorithm = PhaseAlgorithm::OnlineLinearScan;
+    std::vector<Phase> phases;
+    double top3_coverage = 0.0;
+    KMeansSweep kmeans;
+    DbscanSweep dbscan;
+    std::vector<OnlineLinearScan::Span> ols_spans;
+    std::vector<OnlineLinearScan::Group> ols_groups;
 };
 
 /** A phase's associated restart checkpoint (Section IV-C). */
@@ -82,6 +119,15 @@ struct AnalysisResult
     /** OLS raw segments and aggregated phase groups. */
     std::vector<OnlineLinearScan::Span> ols_spans;
     std::vector<OnlineLinearScan::Group> ols_groups;
+
+    /**
+     * Every requested detector's output, primary algorithm first,
+     * then extra_algorithms in request order. The flat fields
+     * above (phases, top3_coverage, kmeans, dbscan, ols_*) mirror
+     * detections.front() so single-algorithm consumers need not
+     * care that others ran.
+     */
+    std::vector<DetectorResult> detections;
 
     /** Nearest checkpoint per phase, when checkpoints were given. */
     std::vector<PhaseCheckpoint> checkpoints;
@@ -146,6 +192,18 @@ class AnalysisSession
     AnalysisResult finalize(
         const std::vector<CheckpointInfo> &checkpoints = {});
 
+    /**
+     * finalize() on a caller-provided pool instead of one built
+     * from options().threads — lets a process share a single pool
+     * (and a single --threads knob) across sessions, sweeps, and
+     * jobs. The pool only schedules; it never feeds randomness or
+     * simulated time into detection, so results are bit-identical
+     * for any worker count.
+     */
+    AnalysisResult finalize(
+        const std::vector<CheckpointInfo> &checkpoints,
+        ThreadPool &pool);
+
     const AnalyzerOptions &options() const { return opts; }
 
   private:
@@ -177,6 +235,12 @@ class TpuPointAnalyzer
     AnalysisResult analyze(
         const std::vector<ProfileRecord> &records,
         const std::vector<CheckpointInfo> &checkpoints = {}) const;
+
+    /** analyze() on a caller-provided pool (see AnalysisSession). */
+    AnalysisResult analyze(
+        const std::vector<ProfileRecord> &records,
+        const std::vector<CheckpointInfo> &checkpoints,
+        ThreadPool &pool) const;
 
     const AnalyzerOptions &options() const { return opts; }
 

@@ -5,6 +5,7 @@
 
 #include "analyzer/elbow.hh"
 #include "core/logging.hh"
+#include "core/thread_pool.hh"
 
 namespace tpupoint {
 
@@ -120,24 +121,45 @@ dbscanCluster(const std::vector<FeatureVector> &points, double eps,
 
 DbscanSweep
 dbscanSweep(const std::vector<FeatureVector> &points, double eps,
-            std::size_t lo, std::size_t hi, std::size_t stride)
+            std::size_t lo, std::size_t hi, std::size_t stride,
+            ThreadPool *pool)
 {
     if (stride == 0)
         fatal("dbscanSweep: stride must be positive");
+    // Resolve eps once, before any fan-out, so every setting
+    // clusters against the same neighbourhood radius.
     if (eps <= 0)
         eps = suggestEps(points);
 
+    std::vector<std::size_t> settings;
+    for (std::size_t m = lo; m <= hi; m += stride)
+        settings.push_back(m);
+
     DbscanSweep sweep;
-    std::vector<DbscanResult> all;
-    std::vector<double> xs;
-    for (std::size_t m = lo; m <= hi; m += stride) {
-        DbscanResult r = dbscanCluster(points, eps, m);
-        sweep.min_samples_values.push_back(m);
-        sweep.noise_curve.push_back(r.noise_ratio);
-        sweep.cluster_counts.push_back(r.clusters);
-        xs.push_back(static_cast<double>(m));
-        all.push_back(std::move(r));
+    sweep.min_samples_values.resize(settings.size());
+    sweep.noise_curve.resize(settings.size());
+    sweep.cluster_counts.resize(settings.size());
+    std::vector<DbscanResult> all(settings.size());
+    std::vector<double> xs(settings.size());
+
+    // Settings are independent and write preassigned slots, so the
+    // parallel sweep is bit-identical to the serial one.
+    auto run_m = [&](std::size_t i) {
+        all[i] = dbscanCluster(points, eps, settings[i]);
+        sweep.min_samples_values[i] = settings[i];
+        sweep.noise_curve[i] = all[i].noise_ratio;
+        sweep.cluster_counts[i] = all[i].clusters;
+        xs[i] = static_cast<double>(settings[i]);
+    };
+    if (pool != nullptr && !pool->inlineMode() &&
+        settings.size() > 1) {
+        pool->forEach(settings.size(), run_m,
+                      "analyze.dbscan.min_samples");
+    } else {
+        for (std::size_t i = 0; i < settings.size(); ++i)
+            run_m(i);
     }
+
     const std::size_t idx = elbowIndex(xs, sweep.noise_curve);
     sweep.elbow_min_samples = sweep.min_samples_values[idx];
     sweep.best = all[idx];

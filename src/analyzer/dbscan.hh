@@ -17,6 +17,8 @@
 
 namespace tpupoint {
 
+class ThreadPool;
+
 /** Label assigned to noise points. */
 inline constexpr int kDbscanNoise = -1;
 
@@ -57,11 +59,17 @@ struct DbscanSweep
 /**
  * Sweep min_samples over [lo, hi] in the given stride (the paper
  * uses 5..180 step 25) at a fixed eps (0 = suggestEps()).
+ *
+ * eps is resolved once before the sweep and every min-samples
+ * setting is clustered independently into a preassigned slot, so
+ * when @p pool is given the settings fan out across its workers
+ * with output bit-identical to the serial path.
  */
 DbscanSweep dbscanSweep(const std::vector<FeatureVector> &points,
                         double eps = 0.0, std::size_t lo = 5,
                         std::size_t hi = 180,
-                        std::size_t stride = 25);
+                        std::size_t stride = 25,
+                        ThreadPool *pool = nullptr);
 
 } // namespace tpupoint
 

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The pluggable phase-detector interface behind
+ * AnalysisSession::finalize(). Each of TPUPoint-Analyzer's
+ * algorithms (k-means, DBSCAN, OLS — Section IV-A) is one
+ * registered PhaseDetector; finalize() builds the step table and
+ * feature matrix once and hands the shared, read-only views to
+ * every requested detector, instead of each algorithm re-deriving
+ * its own inputs.
+ *
+ * Detectors must be pure functions of (table, features, options):
+ * any randomness is seeded from options.seed, and the optional
+ * ThreadPool only schedules — a detector must produce bit-identical
+ * output whether it runs serially, on an inline pool, or fanned out
+ * across workers.
+ */
+
+#ifndef TPUPOINT_ANALYZER_DETECTOR_HH
+#define TPUPOINT_ANALYZER_DETECTOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "analyzer/analyzer.hh"
+
+namespace tpupoint {
+
+class ThreadPool;
+
+/** One phase-detection algorithm, pluggable into finalize(). */
+class PhaseDetector
+{
+  public:
+    virtual ~PhaseDetector() = default;
+
+    /** The algorithm this detector implements. */
+    virtual PhaseAlgorithm algorithm() const = 0;
+
+    /** Printable name (matches phaseAlgorithmName()). */
+    virtual const char *name() const = 0;
+
+    /**
+     * True when detect() reads the step-feature matrix. finalize()
+     * builds the matrix once iff any requested detector needs it.
+     */
+    virtual bool needsFeatures() const = 0;
+
+    /**
+     * Run phase detection over the aggregated table.
+     *
+     * @param table Aggregated per-step statistics (read-only,
+     *     shared across concurrently running detectors).
+     * @param features The shared feature matrix; non-null whenever
+     *     needsFeatures() is true, may be null otherwise.
+     * @param options Analyzer configuration (thresholds, sweep
+     *     ranges, seed).
+     * @param pool Optional pool for fanning out internal sweeps;
+     *     never required for correctness and must not change the
+     *     result.
+     */
+    virtual DetectorResult detect(const StepTable &table,
+                                  const FeatureMatrix *features,
+                                  const AnalyzerOptions &options,
+                                  ThreadPool *pool) const = 0;
+};
+
+/**
+ * Look up the registered detector for @p algorithm. The three
+ * builtin algorithms are always registered; throws (fatal) for an
+ * algorithm nothing has registered. The returned reference stays
+ * valid until a replacement is registered for the same algorithm.
+ */
+const PhaseDetector &detectorFor(PhaseAlgorithm algorithm);
+
+/** Every registered detector, in registration order. */
+std::vector<const PhaseDetector *> registeredDetectors();
+
+/**
+ * Register @p detector, replacing any existing entry for the same
+ * algorithm (tests use this to interpose instrumented detectors).
+ * Registration is mutex-guarded, but replacing a detector while a
+ * finalize() that uses it is in flight is the caller's race.
+ */
+void registerPhaseDetector(std::unique_ptr<PhaseDetector> detector);
+
+/**
+ * A fresh instance of the builtin detector for @p algorithm —
+ * what the registry starts with. Lets a test that interposed a
+ * replacement restore the builtin afterwards:
+ * registerPhaseDetector(makeBuiltinDetector(algorithm)).
+ */
+std::unique_ptr<PhaseDetector> makeBuiltinDetector(
+    PhaseAlgorithm algorithm);
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_ANALYZER_DETECTOR_HH

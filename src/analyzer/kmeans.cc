@@ -5,6 +5,7 @@
 
 #include "analyzer/elbow.hh"
 #include "core/logging.hh"
+#include "core/thread_pool.hh"
 
 namespace tpupoint {
 
@@ -123,21 +124,46 @@ kMeansCluster(const std::vector<FeatureVector> &points, int k,
 
 KMeansSweep
 kMeansSweep(const std::vector<FeatureVector> &points, int k_min,
-            int k_max, std::uint64_t seed)
+            int k_max, std::uint64_t seed, ThreadPool *pool)
 {
     if (k_min < 1 || k_max < k_min)
         fatal("kMeansSweep: invalid k range");
+    const std::size_t count =
+        static_cast<std::size_t>(k_max - k_min + 1);
     KMeansSweep sweep;
-    std::vector<KMeansResult> all;
-    std::vector<double> ks;
-    for (int k = k_min; k <= k_max; ++k) {
+    sweep.k_values.resize(count);
+    sweep.ssd_curve.resize(count);
+    std::vector<KMeansResult> all(count);
+    std::vector<double> ks(count);
+
+    // Each k is fully independent: its own Rng(seed + k) stream and
+    // a preassigned slot keyed by k, so scheduling order cannot
+    // change the result — parallel and serial sweeps are
+    // bit-identical.
+    auto run_k = [&](int k) {
+        const std::size_t slot =
+            static_cast<std::size_t>(k - k_min);
         Rng rng(seed + static_cast<std::uint64_t>(k));
-        KMeansResult r = kMeansCluster(points, k, rng);
-        sweep.k_values.push_back(k);
-        sweep.ssd_curve.push_back(r.ssd);
-        ks.push_back(static_cast<double>(k));
-        all.push_back(std::move(r));
+        all[slot] = kMeansCluster(points, k, rng);
+        sweep.k_values[slot] = k;
+        sweep.ssd_curve[slot] = all[slot].ssd;
+        ks[slot] = static_cast<double>(k);
+    };
+    if (pool != nullptr && !pool->inlineMode() && count > 1) {
+        // Largest k first: Lloyd iterations at k = k_max dominate
+        // the sweep, so scheduling them first shortens the
+        // makespan.
+        pool->forEach(
+            count,
+            [&](std::size_t i) {
+                run_k(k_max - static_cast<int>(i));
+            },
+            "analyze.kmeans.k");
+    } else {
+        for (int k = k_min; k <= k_max; ++k)
+            run_k(k);
     }
+
     const std::size_t idx = elbowIndex(ks, sweep.ssd_curve);
     sweep.elbow_k = sweep.k_values[idx];
     sweep.best = all[idx];

@@ -17,6 +17,8 @@
 
 namespace tpupoint {
 
+class ThreadPool;
+
 /** One k-means clustering. */
 struct KMeansResult
 {
@@ -50,10 +52,16 @@ struct KMeansSweep
 
 /**
  * Run the full sweep of Section IV-A stages 2-3.
+ *
+ * Every k in the sweep draws from its own Rng(seed + k) stream and
+ * writes a preassigned result slot, so when @p pool is given the
+ * per-k clusterings fan out across its workers and the sweep stays
+ * bit-identical to the serial path (pool == nullptr or inline).
  */
 KMeansSweep kMeansSweep(const std::vector<FeatureVector> &points,
                         int k_min, int k_max,
-                        std::uint64_t seed = 0x6b6d65616e73ULL);
+                        std::uint64_t seed = 0x6b6d65616e73ULL,
+                        ThreadPool *pool = nullptr);
 
 } // namespace tpupoint
 

@@ -47,8 +47,13 @@ Histogram::observe(std::uint64_t value)
 {
     counts[bucketIndex(value)].fetch_add(
         1, std::memory_order_relaxed);
-    observations.fetch_add(1, std::memory_order_relaxed);
     total.fetch_add(value, std::memory_order_relaxed);
+    // Release-publish last: a reader that acquires `observations`
+    // == N is guaranteed to see the bucket and sum updates of all
+    // N observations, so a snapshot's sum can never undercount
+    // its own count (it may include newer observations, which is
+    // benign — monotonic, never torn).
+    observations.fetch_add(1, std::memory_order_release);
 }
 
 std::uint64_t

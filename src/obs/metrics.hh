@@ -91,7 +91,9 @@ struct HistogramOptions
  * Fixed-exponential-bucket histogram. Bucket i counts observations
  * v <= first_bound * growth^i; the final (overflow) bucket counts
  * everything larger. observe() is lock-free: one bounded scan over
- * precomputed bounds plus three relaxed atomic adds.
+ * precomputed bounds plus three atomic adds, the last of which
+ * (the observation count) is the release that publishes the other
+ * two to acquiring readers.
  */
 class Histogram
 {
@@ -101,11 +103,16 @@ class Histogram
     /** Record one observation. */
     void observe(std::uint64_t value);
 
-    /** Observations recorded. */
+    /**
+     * Observations recorded. Acquire-paired with observe()'s
+     * final release increment: read count() first and the
+     * subsequent sum()/bucketCount() reads cover at least those
+     * observations — no torn count-without-sum snapshots.
+     */
     std::uint64_t
     count() const
     {
-        return observations.load(std::memory_order_relaxed);
+        return observations.load(std::memory_order_acquire);
     }
 
     /** Sum of all observations. */

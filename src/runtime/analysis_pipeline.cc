@@ -1,0 +1,121 @@
+#include "runtime/analysis_pipeline.hh"
+
+#include <exception>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hh"
+#include "obs/pool_metrics.hh"
+#include "proto/serialize.hh"
+
+namespace tpupoint {
+namespace runtime {
+
+namespace {
+
+/** Charge a salvaging reader's damage to the metrics registry. */
+void
+chargeSalvageMetrics(const ProfileReader &reader)
+{
+    if (!reader.sawDamage())
+        return;
+    auto &registry = obs::MetricsRegistry::global();
+    registry.counter("salvage.chunks_dropped")
+        .add(reader.chunksDropped());
+    registry.counter("salvage.records_dropped")
+        .add(reader.recordsDropped());
+    registry.counter("salvage.bytes_skipped")
+        .add(reader.bytesSkipped());
+}
+
+} // namespace
+
+std::string
+PipelineReport::salvageSummary() const
+{
+    if (!saw_damage)
+        return "salvage: profile is intact";
+    std::ostringstream out;
+    out << "salvage: dropped " << chunks_dropped << " chunks, "
+        << records_dropped << " records, skipped " << bytes_skipped
+        << " bytes";
+    if (truncated_tail)
+        out << ", truncated tail";
+    return out.str();
+}
+
+AnalysisPipeline::AnalysisPipeline(const PipelineOptions &options)
+    : opts(options)
+{
+    if (opts.pool != nullptr) {
+        active_pool = opts.pool;
+    } else {
+        ThreadPoolOptions pool_opts;
+        pool_opts.workers = resolveThreadCount(opts.threads);
+        pool_opts.hooks = obs::instrumentedPoolHooks("analysis");
+        owned_pool = std::make_unique<ThreadPool>(pool_opts);
+        active_pool = owned_pool.get();
+    }
+}
+
+PipelineReport
+AnalysisPipeline::streamProfile(const std::string &path,
+                                const RecordHook &hook) const
+{
+    PipelineReport report;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        report.error = PipelineError::OpenFailed;
+        report.message = "cannot open profile '" + path + "'";
+        return report;
+    }
+    try {
+        ProfileReader reader(in, opts.salvage);
+        ProfileRecord record;
+        while (reader.read(record)) {
+            ++report.records;
+            report.events_dropped += record.events_dropped;
+            if (hook)
+                hook(record);
+        }
+        chargeSalvageMetrics(reader);
+        report.saw_damage = reader.sawDamage();
+        report.chunks_dropped = reader.chunksDropped();
+        report.records_dropped = reader.recordsDropped();
+        report.bytes_skipped = reader.bytesSkipped();
+        report.truncated_tail = reader.truncatedTail();
+    } catch (const std::exception &error) {
+        report.error = PipelineError::Unreadable;
+        report.message = "unreadable profile '" + path +
+            "': " + error.what();
+        return report;
+    }
+    if (report.records == 0) {
+        report.error = PipelineError::Empty;
+        report.message =
+            "profile '" + path + "' contains no records";
+    }
+    return report;
+}
+
+PipelineReport
+AnalysisPipeline::analyzeProfile(
+    const std::string &path, AnalysisResult *result,
+    const std::vector<CheckpointInfo> &checkpoints,
+    const RecordHook &hook) const
+{
+    AnalysisSession session(opts.analyzer);
+    const PipelineReport report = streamProfile(
+        path, [&session, &hook](const ProfileRecord &record) {
+            if (hook)
+                hook(record);
+            session.ingest(record);
+        });
+    if (!report.ok())
+        return report;
+    *result = session.finalize(checkpoints, *active_pool);
+    return report;
+}
+
+} // namespace runtime
+} // namespace tpupoint

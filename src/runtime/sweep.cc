@@ -1,13 +1,14 @@
 #include "runtime/sweep.hh"
 
-#include <atomic>
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <mutex>
-#include <thread>
 
 #include "core/logging.hh"
+#include "core/thread_pool.hh"
 #include "obs/metrics.hh"
+#include "obs/pool_metrics.hh"
 #include "obs/span.hh"
 
 namespace tpupoint {
@@ -217,12 +218,9 @@ jobStatusName(JobStatus status)
 }
 
 SweepRunner::SweepRunner(const SweepOptions &options)
-    : opts(options), thread_count(options.threads)
+    : opts(options),
+      thread_count(resolveThreadCount(options.threads))
 {
-    if (thread_count == 0) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        thread_count = hw ? hw : 1;
-    }
 }
 
 std::uint64_t
@@ -246,107 +244,100 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
     if (jobs.empty())
         return outcomes;
 
-    const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(thread_count, jobs.size()));
-
-    std::atomic<std::size_t> next_job{0};
     std::exception_ptr first_error;
     std::mutex error_mutex;
     ProgressBroker progress(opts.progress, jobs.size());
     auto &registry = obs::MetricsRegistry::global();
 
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t index =
-                next_job.fetch_add(1, std::memory_order_relaxed);
-            if (index >= jobs.size())
-                return;
-            const unsigned tries = opts.job_retries + 1;
-            unsigned tries_used = 1;
-            progress.jobStarted(index);
-            const auto job_begin =
-                std::chrono::steady_clock::now();
-            obs::TraceSpan job_span("sweep.job");
-            job_span.arg("job",
-                         static_cast<std::uint64_t>(index));
-            for (unsigned t = 0; t < tries; ++t) {
-                tries_used = t + 1;
-                std::exception_ptr err;
-                try {
-                    outcomes[index] = runJob(
-                        jobs[index], index,
-                        jobSeed(jobs[index].config.seed,
-                                opts.seed_salt, index),
-                        opts.derive_seeds);
-                } catch (...) {
-                    err = std::current_exception();
-                }
-                if (!err)
-                    break;
-                if (t + 1 < tries) {
-                    // Per-job retry budget remains; announce the
-                    // upcoming try before it begins.
-                    registry.counter("sweep.jobs_retried").add(1);
-                    progress.jobRetried(index, t + 2);
-                    continue;
-                }
-                // Failure isolation: the job's outcome carries its
-                // own status and message; the rest of the sweep is
-                // unaffected.
-                SweepOutcome failed;
-                failed.job_index = index;
-                failed.status = JobStatus::Failed;
-                failed.attempts = tries;
-                try {
-                    std::rethrow_exception(err);
-                } catch (const std::exception &e) {
-                    failed.error = e.what();
-                } catch (...) {
-                    failed.error = "unknown error";
-                }
-                outcomes[index] = std::move(failed);
-                if (opts.strict) {
-                    std::lock_guard<std::mutex> lock(error_mutex);
-                    if (!first_error)
-                        first_error = err;
-                }
+    auto run_index = [&](std::size_t index) {
+        const unsigned tries = opts.job_retries + 1;
+        unsigned tries_used = 1;
+        progress.jobStarted(index);
+        const auto job_begin = std::chrono::steady_clock::now();
+        obs::TraceSpan job_span("sweep.job");
+        job_span.arg("job", static_cast<std::uint64_t>(index));
+        for (unsigned t = 0; t < tries; ++t) {
+            tries_used = t + 1;
+            std::exception_ptr err;
+            try {
+                outcomes[index] = runJob(
+                    jobs[index], index,
+                    jobSeed(jobs[index].config.seed,
+                            opts.seed_salt, index),
+                    opts.derive_seeds);
+            } catch (...) {
+                err = std::current_exception();
             }
-            const JobStatus status = outcomes[index].status;
-            switch (status) {
-              case JobStatus::Ok:
-                registry.counter("sweep.jobs_completed").add(1);
+            if (!err)
                 break;
-              case JobStatus::Preempted:
-                registry.counter("sweep.jobs_preempted").add(1);
-                break;
-              case JobStatus::Failed:
-                registry.counter("sweep.jobs_failed").add(1);
-                break;
+            if (t + 1 < tries) {
+                // Per-job retry budget remains; announce the
+                // upcoming try before it begins.
+                registry.counter("sweep.jobs_retried").add(1);
+                progress.jobRetried(index, t + 2);
+                continue;
             }
-            const double wall_seconds =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - job_begin)
-                    .count();
-            job_span.arg("status", jobStatusName(status));
-            job_span.arg("tries",
-                         static_cast<std::uint64_t>(tries_used));
-            job_span.finish();
-            progress.jobFinished(index, tries_used, status,
-                                 wall_seconds);
+            // Failure isolation: the job's outcome carries its
+            // own status and message; the rest of the sweep is
+            // unaffected.
+            SweepOutcome failed;
+            failed.job_index = index;
+            failed.status = JobStatus::Failed;
+            failed.attempts = tries;
+            try {
+                std::rethrow_exception(err);
+            } catch (const std::exception &e) {
+                failed.error = e.what();
+            } catch (...) {
+                failed.error = "unknown error";
+            }
+            outcomes[index] = std::move(failed);
+            if (opts.strict) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = err;
+            }
         }
+        const JobStatus status = outcomes[index].status;
+        switch (status) {
+          case JobStatus::Ok:
+            registry.counter("sweep.jobs_completed").add(1);
+            break;
+          case JobStatus::Preempted:
+            registry.counter("sweep.jobs_preempted").add(1);
+            break;
+          case JobStatus::Failed:
+            registry.counter("sweep.jobs_failed").add(1);
+            break;
+        }
+        const double wall_seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - job_begin)
+                .count();
+        job_span.arg("status", jobStatusName(status));
+        job_span.arg("tries",
+                     static_cast<std::uint64_t>(tries_used));
+        job_span.finish();
+        progress.jobFinished(index, tries_used, status,
+                             wall_seconds);
     };
 
-    if (workers <= 1) {
-        // Single-threaded sweeps run inline: same code path, no
-        // pool, convenient under a debugger.
-        worker();
+    // Jobs never throw out of run_index (failure isolation above),
+    // so forEach's rethrow path stays cold. Each job already opens
+    // its own "sweep.job" span, so the fan-out itself is unlabeled
+    // to keep traces single-spanned per job.
+    if (opts.pool != nullptr) {
+        opts.pool->forEach(jobs.size(), run_index);
     } else {
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (unsigned i = 0; i < workers; ++i)
-            pool.emplace_back(worker);
-        for (auto &thread : pool)
-            thread.join();
+        // A runner-created pool sized to the work: a 1-thread (or
+        // 1-job) sweep runs inline on this thread — same code
+        // path, no pool threads, convenient under a debugger.
+        ThreadPoolOptions pool_opts;
+        pool_opts.workers = static_cast<unsigned>(
+            std::min<std::size_t>(thread_count, jobs.size()));
+        pool_opts.hooks = obs::instrumentedPoolHooks("sweep");
+        ThreadPool job_pool(pool_opts);
+        job_pool.forEach(jobs.size(), run_index);
     }
 
     // Strict mode keeps the pre-isolation contract: any job

@@ -25,6 +25,8 @@
 
 namespace tpupoint {
 
+class ThreadPool;
+
 /** One sweep entry: a workload on a platform configuration. */
 struct SweepJob
 {
@@ -81,8 +83,20 @@ struct SweepOutcome
 /** Sweep execution knobs. */
 struct SweepOptions
 {
-    /** Worker threads; 0 = hardware concurrency. */
+    /**
+     * Worker threads; 0 resolves through the process-wide knob:
+     * TPUPOINT_THREADS if set, else hardware concurrency (see
+     * resolveThreadCount()). Ignored when `pool` is given.
+     */
     unsigned threads = 0;
+
+    /**
+     * Run jobs on this caller-owned pool instead of creating one —
+     * the process-wide `--threads N` pool shared with the analysis
+     * stack. The runner only borrows it: jobs fan out with
+     * ThreadPool::forEach and the pool survives the sweep.
+     */
+    ThreadPool *pool = nullptr;
 
     /**
      * Derive a distinct deterministic seed for each job from its
@@ -123,17 +137,19 @@ struct SweepOptions
 };
 
 /**
- * The sweep runner. Jobs are pulled from a shared queue by a pool
- * of std::threads; outcomes land at their job's index, so the
- * output order equals the input order regardless of completion
- * order.
+ * The sweep runner. Jobs fan out across a core::ThreadPool (a
+ * borrowed SweepOptions::pool or one the runner creates per run);
+ * outcomes land at their job's index, so the output order equals
+ * the input order regardless of completion order.
  */
 class SweepRunner
 {
   public:
     explicit SweepRunner(const SweepOptions &options = {});
 
-    /** Worker threads the pool will use. */
+    /** Worker threads a runner-created pool will use (the borrowed
+     * pool's own worker count applies when SweepOptions::pool is
+     * set). */
     unsigned threads() const { return thread_count; }
 
     /**

@@ -3,28 +3,18 @@
  * `tpupoint-analyze`: the offline half of the toolchain. Reads a
  * binary profile written by `tpupoint-profile` (or
  * TpuPointProfiler::writeRecords), runs TPUPoint-Analyzer with the
- * chosen phase detector, prints the phase summary and writes the
+ * chosen phase detector(s), prints the phase summary and writes the
  * chrome://tracing JSON, phase CSV and analysis JSON next to the
- * input.
+ * input. Loading and analysis run through the shared
+ * runtime::AnalysisPipeline; `--threads` sizes the pool that phase
+ * detectors and their sweeps fan out on (results are bit-identical
+ * for any thread count).
  *
- * Usage:
- *   tpupoint-analyze PROFILE [options]
- *     --algorithm ols|kmeans|dbscan       (default ols)
- *     --threshold F       OLS similarity threshold (default 0.70)
- *     --k N               fixed k for k-means (default: 1..15 sweep)
- *     --min-samples N     fixed DBSCAN min-samples (default: sweep)
- *     --out BASE          output base path (default: PROFILE)
- *     --salvage           analyze what survives in a damaged
- *                         profile instead of failing on the first
- *                         corrupt chunk; reports what was dropped
- *     --trace-out PATH    write the tool's own wall-time spans as
- *                         trace-event JSON (Perfetto-loadable)
- *     --metrics-out PATH  write the process metrics registry as
- *                         JSON
+ * Run with --help for the full flag list.
  */
 
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <string>
@@ -32,7 +22,7 @@
 
 #include "analyzer/visualization.hh"
 #include "core/strings.hh"
-#include "proto/serialize.hh"
+#include "runtime/analysis_pipeline.hh"
 #include "tools/cli_common.hh"
 
 using namespace tpupoint;
@@ -55,67 +45,102 @@ loadCheckpoints(const std::string &path)
 int
 main(int argc, char **argv)
 {
+    std::string out_base;
+    std::string trace_out;
+    std::string metrics_out;
+    runtime::PipelineOptions pipeline_options;
+    pipeline_options.threads = 0; // TPUPOINT_THREADS, else hw
+    AnalyzerOptions &options = pipeline_options.analyzer;
+
+    cli::FlagParser parser("tpupoint-analyze", "PROFILE");
+    parser.option("--algorithm", "ols|kmeans|dbscan",
+                  "phase detector (default ols)",
+                  [&](const char *value) {
+                      if (!cli::parseAlgorithm(
+                              value, &options.algorithm)) {
+                          std::fprintf(stderr,
+                                       "unknown algorithm\n");
+                          return false;
+                      }
+                      return true;
+                  });
+    parser.option("--also", "ols|kmeans|dbscan",
+                  "additional detector to run over the same table "
+                  "(repeatable)",
+                  [&](const char *value) {
+                      PhaseAlgorithm extra;
+                      if (!cli::parseAlgorithm(value, &extra)) {
+                          std::fprintf(stderr,
+                                       "unknown algorithm\n");
+                          return false;
+                      }
+                      options.extra_algorithms.push_back(extra);
+                      return true;
+                  });
+    parser.option("--threshold", "F",
+                  "OLS similarity threshold (default 0.70)",
+                  [&](const char *value) {
+                      options.ols_threshold = std::atof(value);
+                      return true;
+                  });
+    parser.option("--k", "N",
+                  "fixed k for k-means (default: 1..15 sweep)",
+                  [&](const char *value) {
+                      options.kmeans_fixed_k = std::atoi(value);
+                      return true;
+                  });
+    parser.option("--min-samples", "N",
+                  "fixed DBSCAN min-samples (default: sweep)",
+                  [&](const char *value) {
+                      options.dbscan_fixed_min_samples =
+                          static_cast<std::size_t>(
+                              std::atoll(value));
+                      return true;
+                  });
+    parser.option("--out", "BASE",
+                  "output base path (default: PROFILE)",
+                  [&](const char *value) {
+                      out_base = value;
+                      return true;
+                  });
+    parser.toggle("--salvage",
+                  "analyze what survives in a damaged profile and "
+                  "report what was dropped",
+                  [&]() { pipeline_options.salvage = true; });
+    cli::addThreadsFlag(parser, &pipeline_options.threads);
+    parser.option("--trace-out", "PATH",
+                  "write the tool's own wall-time spans as "
+                  "trace-event JSON",
+                  [&](const char *value) {
+                      trace_out = value;
+                      return true;
+                  });
+    parser.option("--metrics-out", "PATH",
+                  "write the process metrics registry as JSON",
+                  [&](const char *value) {
+                      metrics_out = value;
+                      return true;
+                  });
+
     if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: tpupoint-analyze PROFILE "
-                     "[--algorithm ols|kmeans|dbscan] "
-                     "[--threshold F] [--k N] "
-                     "[--min-samples N] [--out BASE] "
-                     "[--salvage]\n");
+        std::fprintf(stderr, "%s\n", parser.usage().c_str());
         return 2;
     }
     const std::string profile_path = argv[1];
-    std::string out_base = profile_path;
-    bool salvage = false;
-    std::string trace_out;
-    std::string metrics_out;
-    AnalyzerOptions options;
-
-    for (int i = 2; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value for %s\n",
-                             arg.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--algorithm") {
-            if (!cli::parseAlgorithm(next(),
-                                     &options.algorithm)) {
-                std::fprintf(stderr, "unknown algorithm\n");
-                return 2;
-            }
-        } else if (arg == "--threshold") {
-            options.ols_threshold = std::atof(next());
-        } else if (arg == "--k") {
-            options.kmeans_fixed_k = std::atoi(next());
-        } else if (arg == "--min-samples") {
-            options.dbscan_fixed_min_samples =
-                static_cast<std::size_t>(std::atoll(next()));
-        } else if (arg == "--out") {
-            out_base = next();
-        } else if (arg == "--salvage") {
-            salvage = true;
-        } else if (arg == "--trace-out") {
-            trace_out = next();
-        } else if (arg == "--metrics-out") {
-            metrics_out = next();
-        } else {
-            std::fprintf(stderr, "unknown option %s\n",
-                         arg.c_str());
-            return 2;
-        }
+    if (profile_path == "--help" || profile_path == "-h") {
+        parser.printHelp(stdout);
+        return 0;
     }
+    switch (parser.parse(argc, argv, 2)) {
+      case cli::FlagParser::Outcome::Help: return 0;
+      case cli::FlagParser::Outcome::Error: return 2;
+      case cli::FlagParser::Outcome::Ok: break;
+    }
+    if (out_base.empty())
+        out_base = profile_path;
 
-    std::ifstream in(profile_path, std::ios::binary);
-    if (!in) {
-        std::fprintf(stderr,
-                     "error: cannot open profile '%s'\n",
-                     profile_path.c_str());
+    if (!cli::profileReadable(profile_path))
         return 1;
-    }
 
     // Probe the output base before the (possibly long) analysis so
     // a bad --out fails immediately, not after minutes of work.
@@ -130,58 +155,33 @@ main(int argc, char **argv)
         }
     }
 
-    // Stream the profile: each record is folded into the analysis
-    // as it is decoded, so memory stays bounded by one chunk plus
-    // the aggregated step table, not the profile size.
-    AnalysisSession session(options);
+    // Stream the profile through the shared pipeline; the windows
+    // for the trace viewer are collected off the same pass.
+    runtime::AnalysisPipeline pipeline(pipeline_options);
     std::vector<ProfileWindowInfo> windows;
-    try {
-        ProfileReader reader(in, salvage);
-        ProfileRecord record;
-        while (reader.read(record)) {
+    const auto checkpoints =
+        loadCheckpoints(profile_path + ".checkpoints");
+    AnalysisResult analysis;
+    const runtime::PipelineReport report = pipeline.analyzeProfile(
+        profile_path, &analysis, checkpoints,
+        [&windows](const ProfileRecord &record) {
             // Attempt-boundary markers are zero-width stitching
             // directives, not profile windows; keep them out of
             // the trace viewer's window track.
             if (!record.attempt_boundary)
                 windows.emplace_back(record);
-            session.ingest(record);
-        }
-        cli::recordSalvageMetrics(reader);
-        if (salvage && reader.sawDamage()) {
-            std::printf(
-                "salvage: dropped %llu chunks, %llu records, "
-                "skipped %llu bytes%s\n",
-                static_cast<unsigned long long>(
-                    reader.chunksDropped()),
-                static_cast<unsigned long long>(
-                    reader.recordsDropped()),
-                static_cast<unsigned long long>(
-                    reader.bytesSkipped()),
-                reader.truncatedTail() ? ", truncated tail" : "");
-        } else if (salvage) {
-            std::printf("salvage: profile is intact\n");
-        }
-    } catch (const std::exception &error) {
-        std::fprintf(stderr,
-                     "error: unreadable profile '%s': %s\n",
-                     profile_path.c_str(), error.what());
+        });
+    if (!report.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     report.message.c_str());
         return 1;
     }
-    if (session.recordsIngested() == 0) {
-        std::fprintf(stderr,
-                     "error: profile '%s' contains no records\n",
-                     profile_path.c_str());
-        return 1;
-    }
+    if (pipeline_options.salvage)
+        std::printf("%s\n", report.salvageSummary().c_str());
 
-    const auto checkpoints =
-        loadCheckpoints(profile_path + ".checkpoints");
     std::printf("loaded %llu profile records, %zu checkpoints\n",
-                static_cast<unsigned long long>(
-                    session.recordsIngested()),
+                static_cast<unsigned long long>(report.records),
                 checkpoints.size());
-
-    const AnalysisResult analysis = session.finalize(checkpoints);
 
     if (analysis.dropped_events > 0) {
         std::printf("warning: profiler dropped %llu events at "
@@ -222,6 +222,15 @@ main(int argc, char **argv)
                     phase->size(),
                     formatDuration(
                         phase->total_duration).c_str());
+    }
+    // Extra detectors requested with --also: one summary line each.
+    for (std::size_t i = 1; i < analysis.detections.size(); ++i) {
+        const DetectorResult &extra = analysis.detections[i];
+        std::printf("also %s: %zu phases (top-3 coverage "
+                    "%.1f%%)\n",
+                    phaseAlgorithmName(extra.algorithm),
+                    extra.phases.size(),
+                    100 * extra.top3_coverage);
     }
     const Phase *longest = analysis.longest();
     if (longest) {

@@ -4,21 +4,18 @@
  * workload on TPUv2 and TPUv3, or before/after a pipeline change):
  * phase counts, whether the top TPU operator is consistent, and
  * the operator-share deltas of the longest phases — the Table II /
- * Observation 5 view of two runs.
+ * Observation 5 view of two runs. Both profiles run through the
+ * shared runtime::AnalysisPipeline on one `--threads` pool.
  *
- * Usage:
- *   tpupoint-compare PROFILE_A PROFILE_B [--label-a X]
- *                    [--label-b Y] [--algorithm ols|kmeans|dbscan]
+ * Run with --help for the full flag list.
  */
 
 #include <cstdio>
-#include <exception>
-#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "analyzer/compare.hh"
-#include "proto/serialize.hh"
+#include "runtime/analysis_pipeline.hh"
 #include "tools/cli_common.hh"
 
 using namespace tpupoint;
@@ -31,35 +28,18 @@ namespace {
  * exit instead of comparing garbage.
  */
 AnalysisResult
-analyzeProfile(const std::string &path,
-               const AnalyzerOptions &options)
+analyzeProfile(const runtime::AnalysisPipeline &pipeline,
+               const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        std::fprintf(stderr,
-                     "error: cannot open profile '%s'\n",
-                     path.c_str());
+    AnalysisResult analysis;
+    const runtime::PipelineReport report =
+        pipeline.analyzeProfile(path, &analysis);
+    if (!report.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     report.message.c_str());
         std::exit(1);
     }
-    AnalysisSession session(options);
-    try {
-        ProfileReader reader(in);
-        ProfileRecord record;
-        while (reader.read(record))
-            session.ingest(record);
-    } catch (const std::exception &error) {
-        std::fprintf(stderr,
-                     "error: unreadable profile '%s': %s\n",
-                     path.c_str(), error.what());
-        std::exit(1);
-    }
-    if (session.recordsIngested() == 0) {
-        std::fprintf(stderr,
-                     "error: profile '%s' contains no records\n",
-                     path.c_str());
-        std::exit(1);
-    }
-    return session.finalize();
+    return analysis;
 }
 
 } // namespace
@@ -67,48 +47,67 @@ analyzeProfile(const std::string &path,
 int
 main(int argc, char **argv)
 {
+    std::string label_a;
+    std::string label_b;
+    runtime::PipelineOptions pipeline_options;
+    pipeline_options.threads = 0; // TPUPOINT_THREADS, else hw
+
+    cli::FlagParser parser("tpupoint-compare",
+                           "PROFILE_A PROFILE_B");
+    parser.option("--label-a", "X",
+                  "display label for the first profile",
+                  [&](const char *value) {
+                      label_a = value;
+                      return true;
+                  });
+    parser.option("--label-b", "Y",
+                  "display label for the second profile",
+                  [&](const char *value) {
+                      label_b = value;
+                      return true;
+                  });
+    parser.option(
+        "--algorithm", "ols|kmeans|dbscan",
+        "phase detector for both profiles (default ols)",
+        [&](const char *value) {
+            if (!cli::parseAlgorithm(
+                    value,
+                    &pipeline_options.analyzer.algorithm)) {
+                std::fprintf(stderr, "unknown algorithm\n");
+                return false;
+            }
+            return true;
+        });
+    cli::addThreadsFlag(parser, &pipeline_options.threads);
+
+    if (argc >= 2) {
+        const std::string first = argv[1];
+        if (first == "--help" || first == "-h") {
+            parser.printHelp(stdout);
+            return 0;
+        }
+    }
     if (argc < 3) {
-        std::fprintf(stderr,
-                     "usage: tpupoint-compare PROFILE_A PROFILE_B"
-                     " [--label-a X] [--label-b Y]"
-                     " [--algorithm ols|kmeans|dbscan]\n");
+        std::fprintf(stderr, "%s\n", parser.usage().c_str());
         return 2;
     }
     const std::string path_a = argv[1];
     const std::string path_b = argv[2];
-    std::string label_a = path_a;
-    std::string label_b = path_b;
-    AnalyzerOptions options;
-
-    for (int i = 3; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value for %s\n",
-                             arg.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--label-a") {
-            label_a = next();
-        } else if (arg == "--label-b") {
-            label_b = next();
-        } else if (arg == "--algorithm") {
-            if (!cli::parseAlgorithm(next(),
-                                     &options.algorithm)) {
-                std::fprintf(stderr, "unknown algorithm\n");
-                return 2;
-            }
-        } else {
-            std::fprintf(stderr, "unknown option %s\n",
-                         arg.c_str());
-            return 2;
-        }
+    switch (parser.parse(argc, argv, 3)) {
+      case cli::FlagParser::Outcome::Help: return 0;
+      case cli::FlagParser::Outcome::Error: return 2;
+      case cli::FlagParser::Outcome::Ok: break;
     }
+    if (label_a.empty())
+        label_a = path_a;
+    if (label_b.empty())
+        label_b = path_b;
 
-    const AnalysisResult a = analyzeProfile(path_a, options);
-    const AnalysisResult b = analyzeProfile(path_b, options);
+    // One pipeline, one pool: both analyses share the --threads
+    // knob (and its workers), sequentially per profile.
+    const runtime::AnalysisPipeline pipeline(pipeline_options);
+    const AnalysisResult a = analyzeProfile(pipeline, path_a);
+    const AnalysisResult b = analyzeProfile(pipeline, path_b);
     const AnalysisComparison comparison =
         compareAnalyses(a, b, label_a, label_b);
     writeComparison(comparison, std::cout);

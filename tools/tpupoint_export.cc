@@ -6,32 +6,22 @@
  * duration event on its device track, steps and profile windows get
  * their own tracks, idle/MXU device meta-data becomes counter
  * tracks, and every attempt boundary (preemption) becomes an
- * instant event.
+ * instant event. The profile streams through the shared
+ * runtime::AnalysisPipeline reader (records are never materialized
+ * as a list).
  *
- * Usage:
- *   tpupoint-export PROFILE [options]
- *     -o PATH           output path (default: PROFILE.trace.json)
- *     --steps A:B       export only steps A through B inclusive
- *     --no-ops          skip per-op rows (steps + windows only)
- *     --no-counters     skip the idle/MXU counter tracks
- *     --pretty          indent the JSON
- *     --salvage         convert what survives in a damaged profile
- *                       instead of failing on the first bad chunk
- *     --check           re-read the written file and validate it
- *                       as JSON (exit 1 on malformed output)
+ * Run with --help for the full flag list.
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <exception>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "core/json.hh"
 #include "obs/trace_export.hh"
-#include "proto/serialize.hh"
+#include "runtime/analysis_pipeline.hh"
 #include "tools/cli_common.hh"
 
 using namespace tpupoint;
@@ -60,63 +50,70 @@ parseStepRange(const char *text, StepId *first, StepId *last)
 int
 main(int argc, char **argv)
 {
+    std::string out_path;
+    obs::ProfileTraceOptions options;
+    runtime::PipelineOptions pipeline_options;
+    bool check = false;
+
+    cli::FlagParser parser("tpupoint-export", "PROFILE");
+    parser.optionWithAlias(
+        "--out", "-o", "PATH",
+        "output path (default: PROFILE.trace.json)",
+        [&](const char *value) {
+            out_path = value;
+            return true;
+        });
+    parser.option("--steps", "A:B",
+                  "export only steps A through B inclusive",
+                  [&](const char *value) {
+                      if (!parseStepRange(value,
+                                          &options.first_step,
+                                          &options.last_step)) {
+                          std::fprintf(
+                              stderr,
+                              "error: --steps wants A:B with "
+                              "A <= B\n");
+                          return false;
+                      }
+                      return true;
+                  });
+    parser.toggle("--no-ops",
+                  "skip per-op rows (steps + windows only)",
+                  [&]() { options.include_ops = false; });
+    parser.toggle("--no-counters",
+                  "skip the idle/MXU counter tracks",
+                  [&]() { options.include_counters = false; });
+    parser.toggle("--pretty", "indent the JSON",
+                  [&]() { options.pretty = true; });
+    parser.toggle("--salvage",
+                  "convert what survives in a damaged profile "
+                  "instead of failing on the first bad chunk",
+                  [&]() { pipeline_options.salvage = true; });
+    parser.toggle("--check",
+                  "re-read the written file and validate it as "
+                  "JSON (exit 1 on malformed output)",
+                  [&]() { check = true; });
+
     if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: tpupoint-export PROFILE [-o PATH] "
-                     "[--steps A:B] [--no-ops] [--no-counters] "
-                     "[--pretty] [--salvage] [--check]\n");
+        std::fprintf(stderr, "%s\n", parser.usage().c_str());
         return 2;
     }
     const std::string profile_path = argv[1];
-    std::string out_path = profile_path + ".trace.json";
-    obs::ProfileTraceOptions options;
-    bool salvage = false;
-    bool check = false;
-
-    for (int i = 2; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value for %s\n",
-                             arg.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "-o" || arg == "--out") {
-            out_path = next();
-        } else if (arg == "--steps") {
-            if (!parseStepRange(next(), &options.first_step,
-                                &options.last_step)) {
-                std::fprintf(stderr,
-                             "error: --steps wants A:B with "
-                             "A <= B\n");
-                return 2;
-            }
-        } else if (arg == "--no-ops") {
-            options.include_ops = false;
-        } else if (arg == "--no-counters") {
-            options.include_counters = false;
-        } else if (arg == "--pretty") {
-            options.pretty = true;
-        } else if (arg == "--salvage") {
-            salvage = true;
-        } else if (arg == "--check") {
-            check = true;
-        } else {
-            std::fprintf(stderr, "unknown option %s\n",
-                         arg.c_str());
-            return 2;
-        }
+    if (profile_path == "--help" || profile_path == "-h") {
+        parser.printHelp(stdout);
+        return 0;
     }
+    switch (parser.parse(argc, argv, 2)) {
+      case cli::FlagParser::Outcome::Help: return 0;
+      case cli::FlagParser::Outcome::Error: return 2;
+      case cli::FlagParser::Outcome::Ok: break;
+    }
+    if (out_path.empty())
+        out_path = profile_path + ".trace.json";
 
-    std::ifstream in(profile_path, std::ios::binary);
-    if (!in) {
-        std::fprintf(stderr,
-                     "error: cannot open profile '%s'\n",
-                     profile_path.c_str());
+    if (!cli::profileReadable(profile_path))
         return 1;
-    }
+
     std::ofstream out(out_path, std::ios::binary);
     if (!out) {
         std::fprintf(stderr, "error: cannot write %s\n",
@@ -124,65 +121,41 @@ main(int argc, char **argv)
         return 1;
     }
 
-    // Stream records straight from the profile reader into the
-    // trace writer: memory stays bounded by one record however
-    // large the profile is.
-    std::uint64_t records = 0;
-    std::uint64_t dropped_events = 0;
-    try {
-        ProfileReader reader(in, salvage);
-        obs::ProfileTraceWriter writer(out, options);
-        ProfileRecord record;
-        while (reader.read(record)) {
-            ++records;
-            dropped_events += record.events_dropped;
+    // Stream records straight from the pipeline's profile reader
+    // into the trace writer: memory stays bounded by one record
+    // however large the profile is.
+    const runtime::AnalysisPipeline pipeline(pipeline_options);
+    obs::ProfileTraceWriter writer(out, options);
+    const runtime::PipelineReport report = pipeline.streamProfile(
+        profile_path, [&writer](const ProfileRecord &record) {
             writer.add(record);
-        }
-        writer.finish();
-        cli::recordSalvageMetrics(reader);
-        if (salvage && reader.sawDamage()) {
-            std::printf(
-                "salvage: dropped %llu chunks, %llu records, "
-                "skipped %llu bytes%s\n",
-                static_cast<unsigned long long>(
-                    reader.chunksDropped()),
-                static_cast<unsigned long long>(
-                    reader.recordsDropped()),
-                static_cast<unsigned long long>(
-                    reader.bytesSkipped()),
-                reader.truncatedTail() ? ", truncated tail" : "");
-        }
-        if (records == 0) {
-            std::fprintf(stderr,
-                         "error: profile '%s' contains no "
-                         "records\n",
-                         profile_path.c_str());
-            return 1;
-        }
-        std::printf("exported %llu records: %llu duration events, "
-                    "%llu instant events",
-                    static_cast<unsigned long long>(records),
-                    static_cast<unsigned long long>(
-                        writer.durationEvents()),
-                    static_cast<unsigned long long>(
-                        writer.instantEvents()));
-        if (writer.stepsFiltered() > 0)
-            std::printf(", %llu steps outside --steps",
-                        static_cast<unsigned long long>(
-                            writer.stepsFiltered()));
-        std::printf("\n");
-        if (dropped_events > 0)
-            std::printf("warning: profiler dropped %llu events at "
-                        "transport caps; capped windows "
-                        "undercount\n",
-                        static_cast<unsigned long long>(
-                            dropped_events));
-    } catch (const std::exception &error) {
-        std::fprintf(stderr,
-                     "error: unreadable profile '%s': %s\n",
-                     profile_path.c_str(), error.what());
+        });
+    if (!report.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     report.message.c_str());
         return 1;
     }
+    writer.finish();
+    if (report.saw_damage)
+        std::printf("%s\n", report.salvageSummary().c_str());
+    std::printf("exported %llu records: %llu duration events, "
+                "%llu instant events",
+                static_cast<unsigned long long>(report.records),
+                static_cast<unsigned long long>(
+                    writer.durationEvents()),
+                static_cast<unsigned long long>(
+                    writer.instantEvents()));
+    if (writer.stepsFiltered() > 0)
+        std::printf(", %llu steps outside --steps",
+                    static_cast<unsigned long long>(
+                        writer.stepsFiltered()));
+    std::printf("\n");
+    if (report.events_dropped > 0)
+        std::printf("warning: profiler dropped %llu events at "
+                    "transport caps; capped windows "
+                    "undercount\n",
+                    static_cast<unsigned long long>(
+                        report.events_dropped));
     out.flush();
     if (!out) {
         std::fprintf(stderr, "error: failed writing %s\n",

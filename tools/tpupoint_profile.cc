@@ -72,53 +72,85 @@ main(int argc, char **argv)
     std::string trace_out;
     std::string metrics_out;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value for %s\n",
-                             arg.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
+    cli::FlagParser parser("tpupoint-profile", "");
+    const auto string_into = [](std::string *into) {
+        return [into](const char *value) {
+            *into = value;
+            return true;
         };
-        if (arg == "--workload") {
-            workload_name = next();
-        } else if (arg == "--tpu") {
-            tpu = next();
-        } else if (arg == "--scale") {
-            scale = std::atof(next());
-        } else if (arg == "--steps") {
-            max_steps =
-                static_cast<std::uint64_t>(std::atoll(next()));
-        } else if (arg == "--fault-error-rate") {
-            fault_error_rate = std::atof(next());
-        } else if (arg == "--fault-seed") {
-            fault_seed =
-                static_cast<std::uint64_t>(std::atoll(next()));
-        } else if (arg == "--preempt-at") {
-            preempt_at.push_back(std::atof(next()));
-        } else if (arg == "--preempt-rate") {
-            preempt_rate = std::atof(next());
-        } else if (arg == "--preempt-seed") {
-            preempt_seed =
-                static_cast<std::uint64_t>(std::atoll(next()));
-        } else if (arg == "--max-attempts") {
-            max_attempts =
-                static_cast<std::uint32_t>(std::atoi(next()));
-        } else if (arg == "--naive") {
-            naive = true;
-        } else if (arg == "--out") {
-            out_path = next();
-        } else if (arg == "--trace-out") {
-            trace_out = next();
-        } else if (arg == "--metrics-out") {
-            metrics_out = next();
-        } else {
-            std::fprintf(stderr, "unknown option %s\n",
-                         arg.c_str());
-            return 2;
-        }
+    };
+    const auto double_into = [](double *into) {
+        return [into](const char *value) {
+            *into = std::atof(value);
+            return true;
+        };
+    };
+    const auto u64_into = [](std::uint64_t *into) {
+        return [into](const char *value) {
+            *into = static_cast<std::uint64_t>(std::atoll(value));
+            return true;
+        };
+    };
+    parser.option("--workload", "NAME",
+                  "bert-mrpc|bert-squad|bert-cola|bert-mnli|"
+                  "dcgan-cifar10|dcgan-mnist|qanet|retinanet|"
+                  "resnet|resnet-cifar10 (default dcgan-cifar10)",
+                  string_into(&workload_name));
+    parser.option("--tpu", "v2|v3",
+                  "TPU generation (default v2)",
+                  string_into(&tpu));
+    parser.option("--scale", "F",
+                  "step-scale factor (default 0.05)",
+                  double_into(&scale));
+    parser.option("--steps", "N",
+                  "hard cap on train steps (default none)",
+                  u64_into(&max_steps));
+    parser.option("--fault-error-rate", "F",
+                  "storage transient-error probability per "
+                  "transfer (default 0)",
+                  double_into(&fault_error_rate));
+    parser.option("--fault-seed", "N",
+                  "fault-plan seed (default: session seed)",
+                  u64_into(&fault_seed));
+    parser.option("--preempt-at", "S",
+                  "device interruption at S simulated seconds "
+                  "(repeatable)",
+                  [&preempt_at](const char *value) {
+                      preempt_at.push_back(std::atof(value));
+                      return true;
+                  });
+    parser.option("--preempt-rate", "F",
+                  "Poisson interruptions per simulated hour "
+                  "(default 0)",
+                  double_into(&preempt_rate));
+    parser.option("--preempt-seed", "N",
+                  "preemption-plan seed (default: session seed)",
+                  u64_into(&preempt_seed));
+    parser.option("--max-attempts", "N",
+                  "restart budget under preemption (default 8)",
+                  [&max_attempts](const char *value) {
+                      max_attempts = static_cast<std::uint32_t>(
+                          std::atoi(value));
+                      return true;
+                  });
+    parser.toggle("--naive",
+                  "use the naive pipeline configuration",
+                  [&naive]() { naive = true; });
+    parser.option("--out", "PATH",
+                  "output profile path "
+                  "(default tpupoint.profile)",
+                  string_into(&out_path));
+    parser.option("--trace-out", "PATH",
+                  "write the tool's own wall-time spans as "
+                  "trace-event JSON (Perfetto-loadable)",
+                  string_into(&trace_out));
+    parser.option("--metrics-out", "PATH",
+                  "write the process metrics registry as JSON",
+                  string_into(&metrics_out));
+    switch (parser.parse(argc, argv, 1)) {
+      case cli::FlagParser::Outcome::Help: return 0;
+      case cli::FlagParser::Outcome::Error: return 2;
+      case cli::FlagParser::Outcome::Ok: break;
     }
 
     WorkloadId id;
