@@ -55,12 +55,48 @@ smoke_suite() {
             return 1
         }
     done
+    # Salvage path: truncate a multi-chunk profile mid-stream and
+    # analyze what survives. Runs in every suite, so the ASan
+    # build walks the damaged-chunk recovery and resynchronization
+    # code under instrumentation. (More steps than the export
+    # smoke: the salvage profile must span several chunks so a
+    # 2/3 cut still leaves intact ones.)
+    echo "== smoke: salvage analysis of a truncated profile"
+    "${build_dir}/tools/tpupoint-profile" \
+        --workload dcgan-mnist --scale 0.02 --steps 600 \
+        --out "${work}/salvage.tpp"
+    local size
+    size=$(wc -c < "${work}/salvage.tpp")
+    head -c $((size * 2 / 3)) "${work}/salvage.tpp" \
+        > "${work}/damaged.tpp"
+    "${build_dir}/tools/tpupoint-analyze" "${work}/damaged.tpp" \
+        --salvage --out "${work}/damaged"
+    test -s "${work}/damaged.summary.json" || {
+        echo "smoke: salvage produced no summary" >&2
+        return 1
+    }
+    rm -rf "${work}"
+}
+
+# Analyzer throughput bench (plain build only: sanitizers would
+# only measure their own overhead). The --json report must parse
+# through the toolchain's own JSON validator.
+bench_smoke() {
+    local build_dir=$1
+    local work
+    work=$(mktemp -d)
+    echo "== bench: analyzer throughput (${build_dir})"
+    "${build_dir}/bench/bench_analyzer_throughput" \
+        --json "${work}/throughput.json"
+    "${build_dir}/tools/tpupoint-validate-json" \
+        "${work}/throughput.json"
     rm -rf "${work}"
 }
 
 sanitizers=${TPUPOINT_CI_SANITIZERS-"address thread undefined"}
 
 run_suite build "$@"
+bench_smoke build
 for sanitizer in ${sanitizers}; do
     run_suite "build-${sanitizer}" \
         -DTPUPOINT_SANITIZE="${sanitizer}" "$@"

@@ -74,6 +74,26 @@ AnalysisSession::ingest(const ProfileRecord &record)
     builder.ingest(record);
 }
 
+void
+AnalysisSession::ingest(const ColumnarRecord &record)
+{
+    if (finalized)
+        panic("AnalysisSession::ingest after finalize");
+    if (record.attempt + 1 > attempts_seen)
+        attempts_seen = record.attempt + 1;
+    dropped_events += record.events_dropped;
+    if (record.attempt_boundary) {
+        SimTime span = 0;
+        discarded_steps +=
+            builder.dropAfter(record.resume_step, &span);
+        discarded_time += span;
+        builder.markReplayed(record.resume_step,
+                             record.preempted_at_step);
+        return; // boundary markers carry no step data
+    }
+    builder.ingest(record);
+}
+
 AnalysisResult
 AnalysisSession::finalize(
     const std::vector<CheckpointInfo> &checkpoints)
@@ -101,8 +121,8 @@ AnalysisSession::finalize(
     result.discarded_steps = discarded_steps;
     result.discarded_time = discarded_time;
     result.dropped_events = dropped_events;
-    for (const auto &row : result.table.steps()) {
-        if (row.replayed)
+    for (std::size_t i = 0; i < result.table.size(); ++i) {
+        if (result.table.replayed(i))
             ++result.replayed_steps;
     }
     if (result.table.size() == 0)

@@ -177,6 +177,14 @@ class AnalysisSession
      */
     void ingest(const ProfileRecord &record);
 
+    /**
+     * Columnar fast path: fold a reusable ColumnarRecord (see
+     * ProfileReader::read(ColumnarRecord&)) with identical
+     * semantics — same stitching, same aggregates — but no
+     * per-record map materialization.
+     */
+    void ingest(const ColumnarRecord &record);
+
     /** Records ingested so far. */
     std::uint64_t recordsIngested() const
     {

@@ -1,6 +1,7 @@
 #include "analyzer/dbscan.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 
 #include "analyzer/elbow.hh"
@@ -13,12 +14,13 @@ namespace {
 
 /** Indices of all points within eps of @p center (inclusive). */
 std::vector<std::size_t>
-regionQuery(const std::vector<FeatureVector> &points,
-            std::size_t center, double eps2)
+regionQuery(const Matrix &points, std::size_t center, double eps2)
 {
+    const double *c = points.rowPtr(center);
+    const std::size_t dim = points.cols();
     std::vector<std::size_t> out;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        if (squaredDistance(points[center], points[i]) <= eps2)
+    for (std::size_t i = 0; i < points.rows(); ++i) {
+        if (squaredDistanceN(c, points.rowPtr(i), dim) <= eps2)
             out.push_back(i);
     }
     return out;
@@ -27,23 +29,26 @@ regionQuery(const std::vector<FeatureVector> &points,
 } // namespace
 
 double
-suggestEps(const std::vector<FeatureVector> &points)
+suggestEps(const Matrix &points)
 {
-    if (points.size() < 2)
+    const std::size_t rows = points.rows();
+    if (rows < 2)
         return 1.0;
+    const std::size_t dim = points.cols();
     // Use a 24-NN radius: wide enough that steady-state training
     // steps (which dominate every run) form a dense core across
     // the whole min-samples sweep, as in the paper's Figure 5.
     constexpr std::size_t kth = 24;
     std::vector<double> kth_distances;
-    kth_distances.reserve(points.size());
+    kth_distances.reserve(rows);
     std::vector<double> dists;
-    for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t i = 0; i < rows; ++i) {
         dists.clear();
-        for (std::size_t j = 0; j < points.size(); ++j) {
+        const double *pi = points.rowPtr(i);
+        for (std::size_t j = 0; j < rows; ++j) {
             if (j != i) {
-                dists.push_back(
-                    euclideanDistance(points[i], points[j]));
+                dists.push_back(std::sqrt(squaredDistanceN(
+                    pi, points.rowPtr(j), dim)));
             }
         }
         const std::size_t k = std::min(kth, dists.size()) - 1;
@@ -59,8 +64,14 @@ suggestEps(const std::vector<FeatureVector> &points)
     return eps > 0 ? eps : 1.0;
 }
 
+double
+suggestEps(const std::vector<FeatureVector> &points)
+{
+    return suggestEps(Matrix::fromRows(points));
+}
+
 DbscanResult
-dbscanCluster(const std::vector<FeatureVector> &points, double eps,
+dbscanCluster(const Matrix &points, double eps,
               std::size_t min_samples)
 {
     if (eps <= 0)
@@ -68,16 +79,17 @@ dbscanCluster(const std::vector<FeatureVector> &points, double eps,
     if (min_samples == 0)
         fatal("dbscanCluster: min_samples must be positive");
 
+    const std::size_t rows = points.rows();
     DbscanResult result;
     result.eps = eps;
     result.min_samples = min_samples;
     const double eps2 = eps * eps;
 
     constexpr int kUnvisited = -2;
-    result.labels.assign(points.size(), kUnvisited);
+    result.labels.assign(rows, kUnvisited);
     int next_cluster = 0;
 
-    for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t i = 0; i < rows; ++i) {
         if (result.labels[i] != kUnvisited)
             continue;
         std::vector<std::size_t> neighbours =
@@ -113,16 +125,23 @@ dbscanCluster(const std::vector<FeatureVector> &points, double eps,
     for (const int label : result.labels)
         if (label == kDbscanNoise)
             ++result.noise_points;
-    result.noise_ratio = points.empty() ? 0.0
+    result.noise_ratio = rows == 0 ? 0.0
         : static_cast<double>(result.noise_points) /
-            static_cast<double>(points.size());
+            static_cast<double>(rows);
     return result;
 }
 
+DbscanResult
+dbscanCluster(const std::vector<FeatureVector> &points, double eps,
+              std::size_t min_samples)
+{
+    return dbscanCluster(Matrix::fromRows(points), eps,
+                         min_samples);
+}
+
 DbscanSweep
-dbscanSweep(const std::vector<FeatureVector> &points, double eps,
-            std::size_t lo, std::size_t hi, std::size_t stride,
-            ThreadPool *pool)
+dbscanSweep(const Matrix &points, double eps, std::size_t lo,
+            std::size_t hi, std::size_t stride, ThreadPool *pool)
 {
     if (stride == 0)
         fatal("dbscanSweep: stride must be positive");
@@ -164,6 +183,15 @@ dbscanSweep(const std::vector<FeatureVector> &points, double eps,
     sweep.elbow_min_samples = sweep.min_samples_values[idx];
     sweep.best = all[idx];
     return sweep;
+}
+
+DbscanSweep
+dbscanSweep(const std::vector<FeatureVector> &points, double eps,
+            std::size_t lo, std::size_t hi, std::size_t stride,
+            ThreadPool *pool)
+{
+    return dbscanSweep(Matrix::fromRows(points), eps, lo, hi,
+                       stride, pool);
 }
 
 } // namespace tpupoint

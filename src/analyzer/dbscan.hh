@@ -40,11 +40,22 @@ DbscanResult dbscanCluster(const std::vector<FeatureVector> &points,
                            double eps, std::size_t min_samples);
 
 /**
+ * Row-major overload (the hot path: neighbourhood queries stride
+ * contiguous rows). The vector-of-rows entry point packs its data
+ * and delegates here, so both are bit-identical.
+ */
+DbscanResult dbscanCluster(const Matrix &points, double eps,
+                           std::size_t min_samples);
+
+/**
  * Suggest an eps from the data: 1.5x the 90th percentile of each
  * point's 24th-nearest-neighbour distance — dense step clusters
  * sit well inside it, stragglers outside.
  */
 double suggestEps(const std::vector<FeatureVector> &points);
+
+/** Row-major overload (see dbscanCluster). */
+double suggestEps(const Matrix &points);
 
 /** The min-samples sweep plus elbow choice (Figure 5). */
 struct DbscanSweep
@@ -68,6 +79,12 @@ struct DbscanSweep
 DbscanSweep dbscanSweep(const std::vector<FeatureVector> &points,
                         double eps = 0.0, std::size_t lo = 5,
                         std::size_t hi = 180,
+                        std::size_t stride = 25,
+                        ThreadPool *pool = nullptr);
+
+/** Row-major overload of the sweep (see dbscanCluster). */
+DbscanSweep dbscanSweep(const Matrix &points, double eps = 0.0,
+                        std::size_t lo = 5, std::size_t hi = 180,
                         std::size_t stride = 25,
                         ThreadPool *pool = nullptr);
 

@@ -38,13 +38,13 @@ class KMeansDetector final : public PhaseDetector
         if (options.kmeans_fixed_k > 0) {
             Rng rng(options.seed);
             out.kmeans.best = kMeansCluster(
-                features->rows(), options.kmeans_fixed_k, rng);
+                features->matrix(), options.kmeans_fixed_k, rng);
             out.kmeans.elbow_k = options.kmeans_fixed_k;
             out.kmeans.k_values = {options.kmeans_fixed_k};
             out.kmeans.ssd_curve = {out.kmeans.best.ssd};
         } else {
             out.kmeans = kMeansSweep(
-                features->rows(), options.kmeans_k_min,
+                features->matrix(), options.kmeans_k_min,
                 options.kmeans_k_max, options.seed, pool);
         }
         out.phases =
@@ -82,9 +82,9 @@ class DbscanDetector final : public PhaseDetector
         if (options.dbscan_fixed_min_samples > 0) {
             const double eps = options.dbscan_eps > 0
                 ? options.dbscan_eps
-                : suggestEps(features->rows());
+                : suggestEps(features->matrix());
             out.dbscan.best = dbscanCluster(
-                features->rows(), eps,
+                features->matrix(), eps,
                 options.dbscan_fixed_min_samples);
             out.dbscan.elbow_min_samples =
                 options.dbscan_fixed_min_samples;
@@ -96,7 +96,7 @@ class DbscanDetector final : public PhaseDetector
                 out.dbscan.best.clusters};
         } else {
             out.dbscan = dbscanSweep(
-                features->rows(), options.dbscan_eps, 5, 180, 25,
+                features->matrix(), options.dbscan_eps, 5, 180, 25,
                 pool);
         }
         out.phases =
@@ -131,10 +131,15 @@ class OlsDetector final : public PhaseDetector
         DetectorResult out;
         out.algorithm = PhaseAlgorithm::OnlineLinearScan;
         // OLS is inherently sequential: each step folds into the
-        // running span, so there is nothing to fan out.
+        // running span, so there is nothing to fan out. Steps are
+        // fed as interned operator-key sets straight off the
+        // columnar table — no name maps are materialized.
         OnlineLinearScan ols(OlsOptions{options.ols_threshold});
-        for (const auto &step : table.steps())
-            ols.addStep(step);
+        for (std::size_t i = 0; i < table.size(); ++i) {
+            ols.addStep(table.stepId(i), table.span(i),
+                        OnlineLinearScan::opKeys(
+                            table.hostOps(i), table.tpuOps(i)));
+        }
         ols.finish();
         out.ols_spans = ols.spans();
         out.ols_groups = ols.phases();

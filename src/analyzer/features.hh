@@ -4,6 +4,12 @@
  * we define dimensions in terms of TensorFlow operations, the
  * accumulated number of invocations, and total durations", with PCA
  * capping the representation at 100 dimensions.
+ *
+ * Features are stored as one flat row-major Matrix (one row per
+ * step) rather than a vector of per-step vectors: the clustering
+ * inner loops stride contiguous memory, and the fill pass maps
+ * interned op ids straight to column indices without touching op
+ * name strings.
  */
 
 #ifndef TPUPOINT_ANALYZER_FEATURES_HH
@@ -38,8 +44,14 @@ class FeatureMatrix
     static FeatureMatrix build(const StepTable &table,
                                const FeatureOptions &options = {});
 
-    /** One row per step, same order as the table. */
-    const std::vector<FeatureVector> &rows() const { return data; }
+    /** Flat row-major storage: one row per step, table order. */
+    const Matrix &matrix() const { return data; }
+
+    /**
+     * Row-oriented compatibility view (copies the matrix rows out;
+     * prefer matrix() on hot paths).
+     */
+    std::vector<FeatureVector> rows() const;
 
     /** Dimension labels before any PCA reduction. */
     const std::vector<std::string> &rawDimensions() const
@@ -53,11 +65,11 @@ class FeatureMatrix
     /** Final dimensionality. */
     std::size_t dimensions() const
     {
-        return data.empty() ? 0 : data.front().size();
+        return data.rows() == 0 ? 0 : data.cols();
     }
 
   private:
-    std::vector<FeatureVector> data;
+    Matrix data;
     std::vector<std::string> labels;
     bool reduced = false;
 };

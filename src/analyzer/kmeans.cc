@@ -11,42 +11,42 @@ namespace tpupoint {
 
 namespace {
 
-/** k-means++ initial centroid selection. */
+/** k-means++ initial centroid selection over row-major data. */
 std::vector<FeatureVector>
-seedCentroids(const std::vector<FeatureVector> &points, int k,
-              Rng &rng)
+seedCentroids(const Matrix &points, int k, Rng &rng)
 {
+    const std::size_t rows = points.rows();
+    const std::size_t dim = points.cols();
     std::vector<FeatureVector> centroids;
     centroids.reserve(static_cast<std::size_t>(k));
-    centroids.push_back(
-        points[rng.nextBounded(points.size())]);
+    centroids.push_back(points.row(rng.nextBounded(rows)));
 
-    std::vector<double> dist2(points.size(),
+    std::vector<double> dist2(rows,
                               std::numeric_limits<double>::max());
     while (centroids.size() < static_cast<std::size_t>(k)) {
         double total = 0.0;
-        for (std::size_t i = 0; i < points.size(); ++i) {
+        for (std::size_t i = 0; i < rows; ++i) {
             dist2[i] = std::min(
                 dist2[i],
-                squaredDistance(points[i], centroids.back()));
+                squaredDistanceN(points.rowPtr(i),
+                                 centroids.back().data(), dim));
             total += dist2[i];
         }
         if (total == 0.0) {
             // All remaining points coincide with centroids.
-            centroids.push_back(
-                points[rng.nextBounded(points.size())]);
+            centroids.push_back(points.row(rng.nextBounded(rows)));
             continue;
         }
         double target = rng.nextDouble() * total;
-        std::size_t chosen = points.size() - 1;
-        for (std::size_t i = 0; i < points.size(); ++i) {
+        std::size_t chosen = rows - 1;
+        for (std::size_t i = 0; i < rows; ++i) {
             target -= dist2[i];
             if (target <= 0) {
                 chosen = i;
                 break;
             }
         }
-        centroids.push_back(points[chosen]);
+        centroids.push_back(points.row(chosen));
     }
     return centroids;
 }
@@ -54,31 +54,35 @@ seedCentroids(const std::vector<FeatureVector> &points, int k,
 } // namespace
 
 KMeansResult
-kMeansCluster(const std::vector<FeatureVector> &points, int k,
-              Rng &rng, int max_iterations)
+kMeansCluster(const Matrix &points, int k, Rng &rng,
+              int max_iterations)
 {
-    if (points.empty())
+    const std::size_t rows = points.rows();
+    if (rows == 0)
         fatal("kMeansCluster: empty data set");
-    k = std::max(1, std::min<int>(
-        k, static_cast<int>(points.size())));
+    k = std::max(1,
+                 std::min<int>(k, static_cast<int>(rows)));
 
     KMeansResult result;
     result.k = k;
     result.centroids = seedCentroids(points, k, rng);
-    result.labels.assign(points.size(), 0);
+    result.labels.assign(rows, 0);
 
-    const std::size_t dim = points.front().size();
+    const std::size_t dim = points.cols();
     for (int iter = 0; iter < max_iterations; ++iter) {
         bool changed = false;
         // Assignment step.
-        for (std::size_t i = 0; i < points.size(); ++i) {
+        for (std::size_t i = 0; i < rows; ++i) {
+            const double *point = points.rowPtr(i);
             int best = 0;
-            double best_d =
-                squaredDistance(points[i], result.centroids[0]);
+            double best_d = squaredDistanceN(
+                point, result.centroids[0].data(), dim);
             for (int c = 1; c < k; ++c) {
-                const double d = squaredDistance(
-                    points[i],
-                    result.centroids[static_cast<std::size_t>(c)]);
+                const double d = squaredDistanceN(
+                    point,
+                    result.centroids[static_cast<std::size_t>(c)]
+                        .data(),
+                    dim);
                 if (d < best_d) {
                     best_d = d;
                     best = c;
@@ -98,10 +102,11 @@ kMeansCluster(const std::vector<FeatureVector> &points, int k,
             static_cast<std::size_t>(k), FeatureVector(dim, 0.0));
         std::vector<std::size_t> counts(
             static_cast<std::size_t>(k), 0);
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            addInPlace(sums[static_cast<std::size_t>(
-                result.labels[i])], points[i]);
-            ++counts[static_cast<std::size_t>(result.labels[i])];
+        for (std::size_t i = 0; i < rows; ++i) {
+            const auto label =
+                static_cast<std::size_t>(result.labels[i]);
+            addN(sums[label].data(), points.rowPtr(i), dim);
+            ++counts[label];
         }
         for (int c = 0; c < k; ++c) {
             const auto uc = static_cast<std::size_t>(c);
@@ -114,17 +119,29 @@ kMeansCluster(const std::vector<FeatureVector> &points, int k,
     }
 
     result.ssd = 0.0;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        result.ssd += squaredDistance(
-            points[i], result.centroids[static_cast<std::size_t>(
-                result.labels[i])]);
+    for (std::size_t i = 0; i < rows; ++i) {
+        result.ssd += squaredDistanceN(
+            points.rowPtr(i),
+            result.centroids[static_cast<std::size_t>(
+                result.labels[i])].data(),
+            dim);
     }
     return result;
 }
 
+KMeansResult
+kMeansCluster(const std::vector<FeatureVector> &points, int k,
+              Rng &rng, int max_iterations)
+{
+    if (points.empty())
+        fatal("kMeansCluster: empty data set");
+    return kMeansCluster(Matrix::fromRows(points), k, rng,
+                         max_iterations);
+}
+
 KMeansSweep
-kMeansSweep(const std::vector<FeatureVector> &points, int k_min,
-            int k_max, std::uint64_t seed, ThreadPool *pool)
+kMeansSweep(const Matrix &points, int k_min, int k_max,
+            std::uint64_t seed, ThreadPool *pool)
 {
     if (k_min < 1 || k_max < k_min)
         fatal("kMeansSweep: invalid k range");
@@ -168,6 +185,14 @@ kMeansSweep(const std::vector<FeatureVector> &points, int k_min,
     sweep.elbow_k = sweep.k_values[idx];
     sweep.best = all[idx];
     return sweep;
+}
+
+KMeansSweep
+kMeansSweep(const std::vector<FeatureVector> &points, int k_min,
+            int k_max, std::uint64_t seed, ThreadPool *pool)
+{
+    return kMeansSweep(Matrix::fromRows(points), k_min, k_max, seed,
+                       pool);
 }
 
 } // namespace tpupoint

@@ -41,6 +41,14 @@ KMeansResult kMeansCluster(const std::vector<FeatureVector> &points,
                            int k, Rng &rng,
                            int max_iterations = 100);
 
+/**
+ * Row-major overload (the hot path: assignment distances stride
+ * contiguous rows). The vector-of-rows entry point packs its data
+ * and delegates here, so both are bit-identical.
+ */
+KMeansResult kMeansCluster(const Matrix &points, int k, Rng &rng,
+                           int max_iterations = 100);
+
 /** The k = k_min..k_max sweep plus the elbow choice (Figure 4). */
 struct KMeansSweep
 {
@@ -60,6 +68,11 @@ struct KMeansSweep
  */
 KMeansSweep kMeansSweep(const std::vector<FeatureVector> &points,
                         int k_min, int k_max,
+                        std::uint64_t seed = 0x6b6d65616e73ULL,
+                        ThreadPool *pool = nullptr);
+
+/** Row-major overload of the sweep (see kMeansCluster). */
+KMeansSweep kMeansSweep(const Matrix &points, int k_min, int k_max,
                         std::uint64_t seed = 0x6b6d65616e73ULL,
                         ThreadPool *pool = nullptr);
 

@@ -2,9 +2,56 @@
 
 #include <algorithm>
 
+#include "core/interner.hh"
 #include "core/logging.hh"
 
 namespace tpupoint {
+
+namespace {
+
+/**
+ * Sorted operator-key set of a row-oriented step: intern each
+ * label's name, tag the device side in the low bit, sort. Produces
+ * the same set (up to the label <-> key bijection) as
+ * StepStats::opSet().
+ */
+std::vector<std::uint64_t>
+keysFromMaps(const StepStats &step)
+{
+    StringInterner &interner = StringInterner::global();
+    std::vector<std::uint64_t> keys;
+    keys.reserve(step.host_ops.size() + step.tpu_ops.size());
+    for (const auto &[name, stats] : step.host_ops)
+        keys.push_back(static_cast<std::uint64_t>(
+                           interner.intern(name)) << 1);
+    for (const auto &[name, stats] : step.tpu_ops)
+        keys.push_back((static_cast<std::uint64_t>(
+                            interner.intern(name)) << 1) | 1);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+/**
+ * Materialize a key signature back into the sorted label strings
+ * StepStats::opSet() would have produced ("host:" labels sort
+ * before "tpu:" labels, names sorted within each side).
+ */
+std::vector<std::string>
+labelsFromKeys(const std::vector<std::uint64_t> &keys)
+{
+    const StringInterner &interner = StringInterner::global();
+    std::vector<std::string> labels;
+    labels.reserve(keys.size());
+    for (const std::uint64_t key : keys) {
+        const auto id = static_cast<std::uint32_t>(key >> 1);
+        labels.push_back(((key & 1) ? "tpu:" : "host:") +
+                         std::string(interner.view(id)));
+    }
+    std::sort(labels.begin(), labels.end());
+    return labels;
+}
+
+} // namespace
 
 OnlineLinearScan::OnlineLinearScan(const OlsOptions &options)
     : opts(options)
@@ -39,46 +86,104 @@ OnlineLinearScan::setSimilarity(const std::vector<std::string> &a,
 }
 
 double
+OnlineLinearScan::keySimilarity(const std::vector<std::uint64_t> &a,
+                                const std::vector<std::uint64_t> &b)
+{
+    if (a.empty() || b.empty())
+        return a.empty() && b.empty() ? 1.0 : 0.0;
+    std::size_t i = 0, j = 0, common = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] == b[j]) {
+            ++common;
+            ++i;
+            ++j;
+        } else if (a[i] < b[j]) {
+            ++i;
+        } else {
+            ++j;
+        }
+    }
+    const std::size_t smaller = std::min(a.size(), b.size());
+    return static_cast<double>(common) /
+        static_cast<double>(smaller);
+}
+
+double
 OnlineLinearScan::stepSimilarity(const StepStats &a,
                                  const StepStats &b)
 {
     return setSimilarity(a.opSet(), b.opSet());
 }
 
+std::vector<std::uint64_t>
+OnlineLinearScan::opKeys(OpStatsSpan host, OpStatsSpan tpu)
+{
+    // Both runs are id-sorted, so the key runs (id * 2 for host,
+    // id * 2 + 1 for TPU) are each ascending: one linear merge.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(host.size() + tpu.size());
+    std::size_t i = 0, j = 0;
+    while (i < host.size() && j < tpu.size()) {
+        const std::uint64_t hk =
+            static_cast<std::uint64_t>(host[i].op) << 1;
+        const std::uint64_t tk =
+            (static_cast<std::uint64_t>(tpu[j].op) << 1) | 1;
+        if (hk < tk) {
+            keys.push_back(hk);
+            ++i;
+        } else {
+            keys.push_back(tk);
+            ++j;
+        }
+    }
+    for (; i < host.size(); ++i)
+        keys.push_back(static_cast<std::uint64_t>(host[i].op)
+                       << 1);
+    for (; j < tpu.size(); ++j)
+        keys.push_back(
+            (static_cast<std::uint64_t>(tpu[j].op) << 1) | 1);
+    return keys;
+}
+
 void
 OnlineLinearScan::addStep(const StepStats &step)
+{
+    addStep(step.step, step.span(), keysFromMaps(step));
+}
+
+void
+OnlineLinearScan::addStep(StepId step, SimTime span,
+                          std::vector<std::uint64_t> event_keys)
 {
     if (finished)
         panic("OnlineLinearScan::addStep after finish");
 
-    std::vector<std::string> event_set = step.opSet();
-
     if (!have_current) {
-        current = Span{step.step, step.step, 1, step.span()};
-        current_signature = event_set;
+        current = Span{step, step, 1, span};
+        current_signature = event_keys;
         have_current = true;
     } else {
         const double similarity =
-            setSimilarity(previous_set, event_set);
+            keySimilarity(previous_set, event_keys);
         if (similarity >= opts.similarity_threshold) {
             // Group with the running segment.
-            current.last_step = step.step;
+            current.last_step = step;
             ++current.steps;
-            current.duration += step.span();
+            current.duration += span;
         } else {
             // Phase boundary: close the segment, aggregate it into
             // a matching phase (or start a new one), and open the
             // next segment. This keeps the working set at three
             // step records plus one signature per distinct phase.
             closeSegment();
-            current = Span{step.step, step.step, 1, step.span()};
-            current_signature = event_set;
+            current = Span{step, step, 1, span};
+            current_signature = event_keys;
         }
     }
 
     // Slide the three-step window (i, i-1, i-2).
     preprevious_set = std::move(previous_set);
-    previous_set = std::move(event_set);
+    previous_set = std::move(event_keys);
     peak_held = std::max<std::size_t>(peak_held, 3);
 }
 
@@ -88,17 +193,20 @@ OnlineLinearScan::closeSegment()
     segments.push_back(current);
 
     Group *home = nullptr;
-    for (auto &group : groups) {
-        if (setSimilarity(group.signature, current_signature) >=
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (keySimilarity(group_keys[g], current_signature) >=
             opts.similarity_threshold) {
-            home = &group;
+            home = &groups[g];
             break;
         }
     }
     if (!home) {
         groups.emplace_back();
         home = &groups.back();
-        home->signature = current_signature;
+        group_keys.push_back(current_signature);
+        // Label strings are only materialized here — once per
+        // distinct phase, not per step.
+        home->signature = labelsFromKeys(current_signature);
     }
     home->spans.push_back(current);
     home->steps += current.steps;

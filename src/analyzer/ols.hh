@@ -9,14 +9,23 @@
  * same operator signature (e.g. every eval pass) then aggregate
  * into a single phase — the paper notes all three algorithms
  * "aggregate the same set of phases into a single phase".
+ *
+ * Internally steps compare as sorted sets of integer operator keys
+ * (interned op id * 2 + device side) rather than label strings:
+ * Equation 1 only depends on set cardinalities, which the
+ * label <-> key bijection preserves, so results are identical while
+ * the scan never touches operator names. Signature label strings
+ * are materialized only when a new phase group is created.
  */
 
 #ifndef TPUPOINT_ANALYZER_OLS_HH
 #define TPUPOINT_ANALYZER_OLS_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "proto/columnar.hh"
 #include "proto/record.hh"
 
 namespace tpupoint {
@@ -57,6 +66,14 @@ class OnlineLinearScan
     /** Feed the next step (ascending step order). */
     void addStep(const StepStats &step);
 
+    /**
+     * Columnar fast path: feed the next step as its wall span plus
+     * its sorted operator-key set (see opKeys()). No strings are
+     * touched until a new phase group forms.
+     */
+    void addStep(StepId step, SimTime span,
+                 std::vector<std::uint64_t> event_keys);
+
     /** Close the trailing segment and aggregate phases. */
     void finish();
 
@@ -83,6 +100,20 @@ class OnlineLinearScan
     static double setSimilarity(const std::vector<std::string> &a,
                                 const std::vector<std::string> &b);
 
+    /** Equation 1 over sorted operator-key sets. */
+    static double
+    keySimilarity(const std::vector<std::uint64_t> &a,
+                  const std::vector<std::uint64_t> &b);
+
+    /**
+     * Build the sorted operator-key set of one columnar step row:
+     * host entries map to even keys (id * 2), TPU entries to odd
+     * (id * 2 + 1), linearly merged in ascending key order (both
+     * input runs are id-sorted).
+     */
+    static std::vector<std::uint64_t> opKeys(OpStatsSpan host,
+                                             OpStatsSpan tpu);
+
   private:
     /** Close the open segment and fold it into its phase group. */
     void closeSegment();
@@ -90,10 +121,12 @@ class OnlineLinearScan
     OlsOptions opts;
     std::vector<Span> segments;
     std::vector<Group> groups;
+    /** Per-group key signatures, parallel to groups. */
+    std::vector<std::vector<std::uint64_t>> group_keys;
     Span current;
-    std::vector<std::string> current_signature;
-    std::vector<std::string> previous_set;    ///< Step i-1.
-    std::vector<std::string> preprevious_set; ///< Step i-2.
+    std::vector<std::uint64_t> current_signature;
+    std::vector<std::uint64_t> previous_set;    ///< Step i-1.
+    std::vector<std::uint64_t> preprevious_set; ///< Step i-2.
     bool have_current = false;
     bool finished = false;
     std::size_t peak_held = 0;

@@ -29,17 +29,41 @@ PcaModel::projectAll(const std::vector<FeatureVector> &points) const
     return out;
 }
 
-PcaModel
-fitPca(const std::vector<FeatureVector> &points,
-       std::size_t num_components, Rng &rng, int iterations)
+Matrix
+PcaModel::projectAll(const Matrix &points) const
 {
-    if (points.empty())
+    Matrix out(points.rows(), components.size());
+    FeatureVector centered(mean.size(), 0.0);
+    for (std::size_t r = 0; r < points.rows(); ++r) {
+        const double *row = points.rowPtr(r);
+        for (std::size_t i = 0; i < mean.size(); ++i)
+            centered[i] = row[i] - mean[i];
+        double *dst = out.rowPtr(r);
+        for (std::size_t c = 0; c < components.size(); ++c) {
+            dst[c] = dotN(components[c].data(), centered.data(),
+                          centered.size());
+        }
+    }
+    return out;
+}
+
+PcaModel
+fitPca(const Matrix &points, std::size_t num_components, Rng &rng,
+       int iterations)
+{
+    if (points.rows() == 0)
         fatal("fitPca: empty data set");
-    const std::size_t dim = points.front().size();
+    const std::size_t dim = points.cols();
     num_components = std::min(num_components, dim);
 
     PcaModel model;
-    model.mean = meanVector(points);
+    // Same accumulation order as meanVector(): row-order adds, one
+    // final scale.
+    model.mean.assign(dim, 0.0);
+    for (std::size_t r = 0; r < points.rows(); ++r)
+        addN(model.mean.data(), points.rowPtr(r), dim);
+    scaleInPlace(model.mean,
+                 1.0 / static_cast<double>(points.rows()));
 
     Matrix cov = Matrix::covariance(points);
 
@@ -75,6 +99,16 @@ fitPca(const std::vector<FeatureVector> &points,
         model.eigenvalues.push_back(eigenvalue);
     }
     return model;
+}
+
+PcaModel
+fitPca(const std::vector<FeatureVector> &points,
+       std::size_t num_components, Rng &rng, int iterations)
+{
+    if (points.empty())
+        fatal("fitPca: empty data set");
+    return fitPca(Matrix::fromRows(points), num_components, rng,
+                  iterations);
 }
 
 } // namespace tpupoint

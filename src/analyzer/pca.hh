@@ -30,6 +30,13 @@ struct PcaModel
     /** Project every row. */
     std::vector<FeatureVector>
     projectAll(const std::vector<FeatureVector> &points) const;
+
+    /**
+     * Project every row of a row-major observation matrix (the hot
+     * path: contiguous rows in, contiguous rows out). Bit-identical
+     * to the vector-of-rows overload.
+     */
+    Matrix projectAll(const Matrix &points) const;
 };
 
 /**
@@ -44,6 +51,13 @@ struct PcaModel
 PcaModel fitPca(const std::vector<FeatureVector> &points,
                 std::size_t num_components, Rng &rng,
                 int iterations = 60);
+
+/**
+ * Row-major overload; the vector-of-rows entry point packs its data
+ * and delegates here, so both produce bit-identical models.
+ */
+PcaModel fitPca(const Matrix &points, std::size_t num_components,
+                Rng &rng, int iterations = 60);
 
 } // namespace tpupoint
 

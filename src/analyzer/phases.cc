@@ -2,29 +2,66 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
 
+#include "core/interner.hh"
 #include "core/logging.hh"
 
 namespace tpupoint {
 
 namespace {
 
-void
-foldStep(Phase &phase, const StepStats &step, std::size_t index)
+/**
+ * Phase under construction: the phase itself plus id-keyed operator
+ * accumulators. Sums fold integer-to-integer against interned ids;
+ * the name-keyed OpStatsMap the Phase exposes is materialized once
+ * at the end (std::map insertion re-sorts by name, so the result is
+ * identical to accumulating name maps directly).
+ */
+struct PhaseAccum
 {
+    Phase phase;
+    std::unordered_map<std::uint32_t, OpStats> host, tpu;
+};
+
+void
+foldStep(PhaseAccum &acc, const StepTable &table, std::size_t index)
+{
+    Phase &phase = acc.phase;
+    const StepId sid = table.stepId(index);
     if (phase.members.empty()) {
-        phase.first_step = step.step;
-        phase.last_step = step.step;
+        phase.first_step = sid;
+        phase.last_step = sid;
     } else {
-        phase.first_step = std::min(phase.first_step, step.step);
-        phase.last_step = std::max(phase.last_step, step.step);
+        phase.first_step = std::min(phase.first_step, sid);
+        phase.last_step = std::max(phase.last_step, sid);
     }
     phase.members.push_back(index);
-    phase.total_duration += step.span();
-    for (const auto &[name, stats] : step.host_ops)
-        phase.host_ops[name].merge(stats);
-    for (const auto &[name, stats] : step.tpu_ops)
-        phase.tpu_ops[name].merge(stats);
+    phase.total_duration += table.span(index);
+    for (const ColumnarOpStats &entry : table.hostOps(index)) {
+        OpStats &stats = acc.host[entry.op];
+        stats.count += entry.count;
+        stats.total_duration += entry.total_duration;
+    }
+    for (const ColumnarOpStats &entry : table.tpuOps(index)) {
+        OpStats &stats = acc.tpu[entry.op];
+        stats.count += entry.count;
+        stats.total_duration += entry.total_duration;
+    }
+}
+
+/** Resolve the id-keyed accumulators into the phase's name maps. */
+Phase
+materialize(PhaseAccum &&acc)
+{
+    const StringInterner &interner = StringInterner::global();
+    for (const auto &[id, stats] : acc.host)
+        acc.phase.host_ops.emplace(
+            std::string(interner.view(id)), stats);
+    for (const auto &[id, stats] : acc.tpu)
+        acc.phase.tpu_ops.emplace(
+            std::string(interner.view(id)), stats);
+    return std::move(acc.phase);
 }
 
 } // namespace
@@ -35,20 +72,20 @@ phasesFromLabels(const StepTable &table,
 {
     if (labels.size() != table.size())
         panic("phasesFromLabels: label/step count mismatch");
-    std::map<int, Phase> by_label;
+    std::map<int, PhaseAccum> by_label;
     for (std::size_t i = 0; i < labels.size(); ++i) {
         const int key = labels[i] < 0 ? -1 : labels[i];
-        Phase &phase = by_label[key];
-        if (phase.members.empty()) {
-            phase.id = key;
-            phase.is_noise = key < 0;
+        PhaseAccum &acc = by_label[key];
+        if (acc.phase.members.empty()) {
+            acc.phase.id = key;
+            acc.phase.is_noise = key < 0;
         }
-        foldStep(phase, table.at(i), i);
+        foldStep(acc, table, i);
     }
     std::vector<Phase> out;
     out.reserve(by_label.size());
-    for (auto &[key, phase] : by_label)
-        out.push_back(std::move(phase));
+    for (auto &[key, acc] : by_label)
+        out.push_back(materialize(std::move(acc)));
     return out;
 }
 
@@ -62,22 +99,22 @@ phasesFromGroups(const StepTable &table,
     // Map each step to its group by span membership. Spans are
     // disjoint across groups, so a per-step scan suffices.
     for (const auto &group : groups) {
-        Phase phase;
-        phase.id = static_cast<int>(out.size());
+        PhaseAccum acc;
+        acc.phase.id = static_cast<int>(out.size());
         std::size_t index = 0;
         for (const auto &span : group.spans) {
             // Spans arrive in ascending step order per group.
             while (index < table.size() &&
-                   table.at(index).step < span.first_step)
+                   table.stepId(index) < span.first_step)
                 ++index;
             while (index < table.size() &&
-                   table.at(index).step <= span.last_step) {
-                foldStep(phase, table.at(index), index);
+                   table.stepId(index) <= span.last_step) {
+                foldStep(acc, table, index);
                 ++index;
             }
         }
-        if (!phase.members.empty())
-            out.push_back(std::move(phase));
+        if (!acc.phase.members.empty())
+            out.push_back(materialize(std::move(acc)));
     }
     return out;
 }

@@ -1,26 +1,167 @@
 #include "analyzer/step_table.hh"
 
 #include <algorithm>
-#include <map>
 #include <set>
 
 #include "core/logging.hh"
 
 namespace tpupoint {
 
+namespace {
+
+/**
+ * Merge the id-sorted run @p src into the id-sorted row @p dst,
+ * accumulating stats for shared ids, via @p scratch (linear merge;
+ * scratch capacity is retained across calls).
+ */
 void
-StepTableBuilder::ingest(const StepStats &step)
+mergeOpRuns(std::vector<ColumnarOpStats> &dst, OpStatsSpan src,
+            std::vector<ColumnarOpStats> &scratch)
 {
-    // A step can span profile windows; merge duplicates.
-    auto [it, inserted] = merged.try_emplace(step.step, step);
-    if (!inserted)
-        it->second.merge(step);
+    if (src.empty())
+        return;
+    if (dst.empty()) {
+        dst.assign(src.begin(), src.end());
+        return;
+    }
+    scratch.clear();
+    std::size_t i = 0, j = 0;
+    while (i < dst.size() && j < src.size()) {
+        if (dst[i].op == src[j].op) {
+            ColumnarOpStats merged = dst[i];
+            merged.count += src[j].count;
+            merged.total_duration += src[j].total_duration;
+            scratch.push_back(merged);
+            ++i;
+            ++j;
+        } else if (dst[i].op < src[j].op) {
+            scratch.push_back(dst[i]);
+            ++i;
+        } else {
+            scratch.push_back(src[j]);
+            ++j;
+        }
+    }
+    for (; i < dst.size(); ++i)
+        scratch.push_back(dst[i]);
+    for (; j < src.size(); ++j)
+        scratch.push_back(src[j]);
+    dst.assign(scratch.begin(), scratch.end());
+}
+
+/** Intern an OpStatsMap into an id-sorted entry run. */
+void
+internOpMap(const OpStatsMap &ops,
+            std::vector<ColumnarOpStats> &out)
+{
+    out.clear();
+    StringInterner &interner = StringInterner::global();
+    for (const auto &[name, stats] : ops)
+        out.push_back(ColumnarOpStats{interner.intern(name),
+                                      stats.count,
+                                      stats.total_duration});
+    std::sort(out.begin(), out.end(),
+              [](const ColumnarOpStats &a,
+                 const ColumnarOpStats &b) { return a.op < b.op; });
+}
+
+/** Materialize an id-sorted entry run back into a name map. */
+OpStatsMap
+materializeOpMap(OpStatsSpan entries)
+{
+    OpStatsMap out;
+    const StringInterner &interner = StringInterner::global();
+    for (const ColumnarOpStats &entry : entries) {
+        OpStats stats;
+        stats.count = entry.count;
+        stats.total_duration = entry.total_duration;
+        out.emplace(std::string(interner.view(entry.op)), stats);
+    }
+    return out;
+}
+
+} // namespace
+
+std::size_t
+StepTableBuilder::rowFor(StepId step, SimTime begin, SimTime end)
+{
+    // Profiles arrive in step order, so appending is the common
+    // case; the binary-search path handles out-of-order windows
+    // and re-ingested (replayed) steps.
+    if (ids.empty() || step > ids.back()) {
+        ids.push_back(step);
+        begins.push_back(begin);
+        ends.push_back(end);
+        busys.push_back(0);
+        idles.push_back(0);
+        mxus.push_back(0);
+        replays.push_back(0);
+        host_rows.emplace_back();
+        tpu_rows.emplace_back();
+        return ids.size() - 1;
+    }
+    const auto it =
+        std::lower_bound(ids.begin(), ids.end(), step);
+    const auto row =
+        static_cast<std::size_t>(it - ids.begin());
+    if (it != ids.end() && *it == step) {
+        // Existing row: widen the event envelope.
+        begins[row] = std::min(begins[row], begin);
+        ends[row] = std::max(ends[row], end);
+        return row;
+    }
+    const auto offset = static_cast<std::ptrdiff_t>(row);
+    ids.insert(ids.begin() + offset, step);
+    begins.insert(begins.begin() + offset, begin);
+    ends.insert(ends.begin() + offset, end);
+    busys.insert(busys.begin() + offset, 0);
+    idles.insert(idles.begin() + offset, 0);
+    mxus.insert(mxus.begin() + offset, 0);
+    replays.insert(replays.begin() + offset, 0);
+    // Note: explicit empty-vector values; a braced `{}` here would
+    // pick the initializer-list overload and insert nothing.
+    host_rows.insert(host_rows.begin() + offset,
+                     std::vector<ColumnarOpStats>());
+    tpu_rows.insert(tpu_rows.begin() + offset,
+                    std::vector<ColumnarOpStats>());
+    return row;
+}
+
+void
+StepTableBuilder::foldStep(StepId step, SimTime begin, SimTime end,
+                           SimTime busy, SimTime idle, SimTime mxu,
+                           OpStatsSpan host, OpStatsSpan tpu,
+                           bool replayed_flag)
+{
+    const std::size_t row = rowFor(step, begin, end);
+    busys[row] += busy;
+    idles[row] += idle;
+    mxus[row] += mxu;
+    if (replayed_flag)
+        replays[row] = 1;
+    mergeOpRuns(host_rows[row], host, scratch);
+    mergeOpRuns(tpu_rows[row], tpu, scratch);
     for (const auto &[after, through] : replay_ranges) {
-        if (step.step > after && step.step <= through) {
-            it->second.replayed = true;
+        if (step > after && step <= through) {
+            replays[row] = 1;
             break;
         }
     }
+}
+
+void
+StepTableBuilder::ingest(const StepStats &step)
+{
+    // Convert the name maps once, then fold id-to-id like the
+    // columnar path. The scratch run must not alias the merge
+    // scratch, so convert into a local.
+    std::vector<ColumnarOpStats> host_run, tpu_run;
+    internOpMap(step.host_ops, host_run);
+    internOpMap(step.tpu_ops, tpu_run);
+    foldStep(step.step, step.begin, step.end, step.tpu_busy,
+             step.tpu_idle, step.mxu_active,
+             OpStatsSpan(host_run), OpStatsSpan(tpu_run),
+             step.replayed);
 }
 
 void
@@ -31,17 +172,42 @@ StepTableBuilder::ingest(const ProfileRecord &record)
     ++records_seen;
 }
 
+void
+StepTableBuilder::ingest(const ColumnarRecord &record)
+{
+    for (std::size_t i = 0; i < record.stepCount(); ++i) {
+        foldStep(record.step[i], record.begin[i], record.end[i],
+                 record.tpu_busy[i], record.tpu_idle[i],
+                 record.mxu_active[i], record.hostOps(i),
+                 record.tpuOps(i), /*replayed_flag=*/false);
+    }
+    ++records_seen;
+}
+
 std::size_t
 StepTableBuilder::dropAfter(StepId after, SimTime *dropped_span)
 {
-    auto first = merged.upper_bound(after);
-    std::size_t dropped = 0;
-    for (auto it = first; it != merged.end(); ++it) {
-        ++dropped;
-        if (dropped_span)
-            *dropped_span += it->second.span();
+    const auto it =
+        std::upper_bound(ids.begin(), ids.end(), after);
+    const auto first =
+        static_cast<std::size_t>(it - ids.begin());
+    const std::size_t dropped = ids.size() - first;
+    if (dropped_span) {
+        for (std::size_t row = first; row < ids.size(); ++row) {
+            *dropped_span +=
+                ends[row] > begins[row] ? ends[row] - begins[row]
+                                        : 0;
+        }
     }
-    merged.erase(first, merged.end());
+    ids.resize(first);
+    begins.resize(first);
+    ends.resize(first);
+    busys.resize(first);
+    idles.resize(first);
+    mxus.resize(first);
+    replays.resize(first);
+    host_rows.resize(first);
+    tpu_rows.resize(first);
     return dropped;
 }
 
@@ -57,10 +223,41 @@ StepTable
 StepTableBuilder::build() &&
 {
     StepTable table;
-    table.rows.reserve(merged.size());
-    for (auto &[id, stats] : merged)
-        table.rows.push_back(std::move(stats));
-    merged.clear();
+    table.ids = std::move(ids);
+    table.begins = std::move(begins);
+    table.ends = std::move(ends);
+    table.busys = std::move(busys);
+    table.idles = std::move(idles);
+    table.mxus = std::move(mxus);
+    table.replays = std::move(replays);
+
+    // Flatten the per-row op runs into CSR.
+    const std::size_t rows = table.ids.size();
+    std::size_t host_total = 0, tpu_total = 0;
+    for (std::size_t i = 0; i < rows; ++i) {
+        host_total += host_rows[i].size();
+        tpu_total += tpu_rows[i].size();
+    }
+    table.host_offsets.reserve(rows + 1);
+    table.tpu_offsets.reserve(rows + 1);
+    table.host_entries.reserve(host_total);
+    table.tpu_entries.reserve(tpu_total);
+    table.host_offsets.push_back(0);
+    table.tpu_offsets.push_back(0);
+    for (std::size_t i = 0; i < rows; ++i) {
+        table.host_entries.insert(table.host_entries.end(),
+                                  host_rows[i].begin(),
+                                  host_rows[i].end());
+        table.tpu_entries.insert(table.tpu_entries.end(),
+                                 tpu_rows[i].begin(),
+                                 tpu_rows[i].end());
+        table.host_offsets.push_back(
+            static_cast<std::uint32_t>(table.host_entries.size()));
+        table.tpu_offsets.push_back(
+            static_cast<std::uint32_t>(table.tpu_entries.size()));
+    }
+    host_rows.clear();
+    tpu_rows.clear();
     return table;
 }
 
@@ -73,34 +270,62 @@ StepTable::fromRecords(const std::vector<ProfileRecord> &records)
     return std::move(builder).build();
 }
 
-const StepStats &
+StepStats
 StepTable::at(std::size_t index) const
 {
-    if (index >= rows.size())
+    if (index >= ids.size())
         panic("StepTable::at: index out of range");
-    return rows[index];
+    StepStats step;
+    step.step = ids[index];
+    step.begin = begins[index];
+    step.end = ends[index];
+    step.tpu_busy = busys[index];
+    step.tpu_idle = idles[index];
+    step.mxu_active = mxus[index];
+    step.replayed = replays[index] != 0;
+    step.host_ops = materializeOpMap(hostOps(index));
+    step.tpu_ops = materializeOpMap(tpuOps(index));
+    return step;
+}
+
+std::vector<StepStats>
+StepTable::steps() const
+{
+    std::vector<StepStats> out;
+    out.reserve(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        out.push_back(at(i));
+    return out;
 }
 
 SimTime
 StepTable::totalDuration() const
 {
     SimTime total = 0;
-    for (const auto &row : rows)
-        total += row.span();
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        total += span(i);
     return total;
 }
 
 std::vector<std::string>
 StepTable::opUniverse() const
 {
-    std::set<std::string> labels;
-    for (const auto &row : rows) {
-        for (const auto &[name, stats] : row.host_ops)
-            labels.insert("host:" + name);
-        for (const auto &[name, stats] : row.tpu_ops)
-            labels.insert("tpu:" + name);
-    }
-    return {labels.begin(), labels.end()};
+    std::set<std::uint32_t> host_ids, tpu_ids;
+    for (const auto &entry : host_entries)
+        host_ids.insert(entry.op);
+    for (const auto &entry : tpu_entries)
+        tpu_ids.insert(entry.op);
+
+    const StringInterner &interner = StringInterner::global();
+    std::vector<std::string> labels;
+    labels.reserve(host_ids.size() + tpu_ids.size());
+    for (const std::uint32_t id : host_ids)
+        labels.push_back("host:" +
+                         std::string(interner.view(id)));
+    for (const std::uint32_t id : tpu_ids)
+        labels.push_back("tpu:" + std::string(interner.view(id)));
+    std::sort(labels.begin(), labels.end());
+    return labels;
 }
 
 } // namespace tpupoint

@@ -4,16 +4,25 @@
  * into one per-step table (TPUPoint-Analyzer "extracts the records
  * from all statistical profiles and aggregates records together
  * using the TPU step numbers" — Section IV-A, stage 1).
+ *
+ * Storage is columnar: parallel per-step arrays for the scalar
+ * columns (step id, timing, device counters, replay flag) and a
+ * CSR layout — offset columns into flat, id-sorted operator-entry
+ * arrays — for the per-step operator statistics, with operator
+ * names interned to dense u32 ids (core/interner). Detectors walk
+ * contiguous memory and compare integer ids; the row-oriented
+ * `StepStats` view is materialized on demand (`at()`, `steps()`)
+ * for consumers that still want maps of names.
  */
 
 #ifndef TPUPOINT_ANALYZER_STEP_TABLE_HH
 #define TPUPOINT_ANALYZER_STEP_TABLE_HH
 
-#include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "proto/columnar.hh"
 #include "proto/record.hh"
 
 namespace tpupoint {
@@ -24,7 +33,9 @@ class StepTable;
  * Incremental step aggregation: records are folded in one at a
  * time as they arrive from the streaming reader, so the table can
  * be built while the profile is still being read (or recorded)
- * without materializing the record list.
+ * without materializing the record list. Rows are kept sorted by
+ * step id throughout (ingest is effectively append-only for
+ * in-order profiles), so build() is a flatten, not a sort.
  */
 class StepTableBuilder
 {
@@ -35,18 +46,27 @@ class StepTableBuilder
     /** Fold one step summary into the aggregation. */
     void ingest(const StepStats &step);
 
+    /**
+     * Columnar fast path: fold a decoded ColumnarRecord without
+     * ever materializing per-step string maps — entries merge
+     * id-to-id by linear merge of the sorted runs.
+     */
+    void ingest(const ColumnarRecord &record);
+
     /** Records folded in so far. */
     std::uint64_t recordsIngested() const { return records_seen; }
 
     /** Steps aggregated so far. */
-    std::size_t stepsAggregated() const { return merged.size(); }
+    std::size_t stepsAggregated() const { return ids.size(); }
 
     /**
      * Attempt stitching, part 1: erase every aggregated step with
      * id > @p after. A preempted attempt's final windows carry
      * steps past the resume point — completed steps the restart
      * will re-run (which must not double-count) and prefetch
-     * activity attributed to steps that never finished.
+     * activity attributed to steps that never finished. Rows are
+     * sorted by step id, so this is one binary search plus a
+     * truncation of each column: O(log n + tail).
      * @param dropped_span When non-null, accumulates the wall span
      *     of the dropped rows (the discarded work).
      * @return Rows erased.
@@ -65,7 +85,27 @@ class StepTableBuilder
     StepTable build() &&;
 
   private:
-    std::map<StepId, StepStats> merged;
+    /** Row index for @p step, inserting a fresh row if absent. */
+    std::size_t rowFor(StepId step, SimTime begin, SimTime end);
+
+    /** Fold one step's scalar columns + sorted op runs. */
+    void foldStep(StepId step, SimTime begin, SimTime end,
+                  SimTime busy, SimTime idle, SimTime mxu,
+                  OpStatsSpan host, OpStatsSpan tpu,
+                  bool replayed_flag);
+
+    /** Parallel columns, sorted ascending by step id. */
+    std::vector<StepId> ids;
+    std::vector<SimTime> begins, ends, busys, idles, mxus;
+    std::vector<std::uint8_t> replays;
+
+    /** Per-row op entries, id-sorted (flattened to CSR on build). */
+    std::vector<std::vector<ColumnarOpStats>> host_rows;
+    std::vector<std::vector<ColumnarOpStats>> tpu_rows;
+
+    /** Reused merge/convert scratch (capacity retained). */
+    std::vector<ColumnarOpStats> scratch;
+
     std::uint64_t records_seen = 0;
 
     /** (after, through] ranges whose re-ingested steps are
@@ -75,7 +115,8 @@ class StepTableBuilder
 
 /**
  * Per-step statistics aggregated across every profile window,
- * ascending by step number.
+ * ascending by step number. Columnar accessors index by row
+ * position (0..size()), not by step id.
  */
 class StepTable
 {
@@ -84,14 +125,49 @@ class StepTable
     static StepTable fromRecords(
         const std::vector<ProfileRecord> &records);
 
-    /** All steps, ascending. */
-    const std::vector<StepStats> &steps() const { return rows; }
-
     /** Number of steps observed. */
-    std::size_t size() const { return rows.size(); }
+    std::size_t size() const { return ids.size(); }
 
-    /** One step by index (not by step id). */
-    const StepStats &at(std::size_t index) const;
+    /** Columnar accessors (unchecked; index < size()). */
+    StepId stepId(std::size_t i) const { return ids[i]; }
+    SimTime beginTime(std::size_t i) const { return begins[i]; }
+    SimTime endTime(std::size_t i) const { return ends[i]; }
+    SimTime tpuBusy(std::size_t i) const { return busys[i]; }
+    SimTime tpuIdle(std::size_t i) const { return idles[i]; }
+    SimTime mxuActive(std::size_t i) const { return mxus[i]; }
+    bool replayed(std::size_t i) const { return replays[i] != 0; }
+
+    /** Wall-clock span covered by step @p i's events. */
+    SimTime
+    span(std::size_t i) const
+    {
+        return ends[i] > begins[i] ? ends[i] - begins[i] : 0;
+    }
+
+    /** Step @p i's operator entries, sorted by interned id. */
+    OpStatsSpan
+    hostOps(std::size_t i) const
+    {
+        return OpStatsSpan(host_entries.data() + host_offsets[i],
+                           host_offsets[i + 1] - host_offsets[i]);
+    }
+
+    OpStatsSpan
+    tpuOps(std::size_t i) const
+    {
+        return OpStatsSpan(tpu_entries.data() + tpu_offsets[i],
+                           tpu_offsets[i + 1] - tpu_offsets[i]);
+    }
+
+    /**
+     * Row-oriented compatibility view of one step (by index, not
+     * step id): materializes the op maps through the interner.
+     * Panics on an out-of-range index.
+     */
+    StepStats at(std::size_t index) const;
+
+    /** All steps, ascending, materialized (compatibility view). */
+    std::vector<StepStats> steps() const;
 
     /** Sum of all step spans (the execution time phases divide). */
     SimTime totalDuration() const;
@@ -105,7 +181,15 @@ class StepTable
   private:
     friend class StepTableBuilder;
 
-    std::vector<StepStats> rows;
+    std::vector<StepId> ids;
+    std::vector<SimTime> begins, ends, busys, idles, mxus;
+    std::vector<std::uint8_t> replays;
+
+    /** CSR: row i's entries are *_entries[*_offsets[i] ..
+     * *_offsets[i+1]), id-sorted. Offsets have size()+1 elements
+     * (or are empty for an empty table). */
+    std::vector<std::uint32_t> host_offsets, tpu_offsets;
+    std::vector<ColumnarOpStats> host_entries, tpu_entries;
 };
 
 } // namespace tpupoint

@@ -18,9 +18,8 @@ phaseExtent(const Phase &phase, const StepTable &table)
     SimTime begin = kTimeForever;
     SimTime end = 0;
     for (const std::size_t index : phase.members) {
-        const StepStats &step = table.at(index);
-        begin = std::min(begin, step.begin);
-        end = std::max(end, step.end);
+        begin = std::min(begin, table.beginTime(index));
+        end = std::max(end, table.endTime(index));
     }
     if (begin == kTimeForever)
         begin = 0;

@@ -38,6 +38,14 @@ struct ProfileWindowInfo
           truncated(record.truncated)
     {
     }
+
+    explicit ProfileWindowInfo(const ColumnarRecord &record)
+        : sequence(record.sequence),
+          window_begin(record.window_begin),
+          window_end(record.window_end),
+          truncated(record.truncated)
+    {
+    }
 };
 
 /**

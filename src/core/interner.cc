@@ -1,0 +1,66 @@
+#include "core/interner.hh"
+
+#include <mutex>
+
+#include "core/logging.hh"
+
+namespace tpupoint {
+
+StringInterner &
+StringInterner::global()
+{
+    // Leaked deliberately: interned views must stay valid through
+    // static destruction of late consumers.
+    static StringInterner *instance = new StringInterner;
+    return *instance;
+}
+
+std::uint32_t
+StringInterner::intern(std::string_view name)
+{
+    {
+        std::shared_lock<std::shared_mutex> read(guard);
+        const auto it = index.find(name);
+        if (it != index.end())
+            return it->second;
+    }
+    std::unique_lock<std::shared_mutex> write(guard);
+    // Re-check: another thread may have interned it between locks.
+    const auto it = index.find(name);
+    if (it != index.end())
+        return it->second;
+    const auto id = static_cast<std::uint32_t>(strings.size());
+    strings.emplace_back(name);
+    index.emplace(std::string_view(strings.back()), id);
+    return id;
+}
+
+bool
+StringInterner::lookup(std::string_view name,
+                       std::uint32_t &id) const
+{
+    std::shared_lock<std::shared_mutex> read(guard);
+    const auto it = index.find(name);
+    if (it == index.end())
+        return false;
+    id = it->second;
+    return true;
+}
+
+std::string_view
+StringInterner::view(std::uint32_t id) const
+{
+    std::shared_lock<std::shared_mutex> read(guard);
+    if (id >= strings.size())
+        panic("StringInterner::view: unknown id ", id);
+    return std::string_view(strings[id]);
+}
+
+std::size_t
+StringInterner::size() const
+{
+    std::shared_lock<std::shared_mutex> read(guard);
+    return strings.size();
+}
+
+} // namespace tpupoint

@@ -16,6 +16,21 @@ namespace tpupoint {
 /** A dense feature vector (one per training step in the analyzer). */
 using FeatureVector = std::vector<double>;
 
+/**
+ * Raw-pointer kernels over contiguous doubles. These are the inner
+ * loops of the clustering/PCA hot paths, written over restrict-free
+ * pointers with a fixed single-accumulator summation order: unrolling
+ * computes several elements' terms per trip but always folds them
+ * into one accumulator in index order, so results are bit-identical
+ * to the naive loop (no reassociation) while the element-wise work
+ * auto-vectorizes.
+ */
+double dotN(const double *a, const double *b, std::size_t n);
+double squaredDistanceN(const double *a, const double *b,
+                        std::size_t n);
+void addN(double *a, const double *b, std::size_t n);
+void scaleN(double *v, double s, std::size_t n);
+
 /** Dot product; vectors must have equal dimension. */
 double dot(const FeatureVector &a, const FeatureVector &b);
 
@@ -48,6 +63,9 @@ FeatureVector meanVector(const std::vector<FeatureVector> &points);
 class Matrix
 {
   public:
+    /** An empty 0 x 0 matrix (resize before use). */
+    Matrix() : num_rows(0), num_cols(0) {}
+
     /** A rows x cols zero matrix. */
     Matrix(std::size_t rows, std::size_t cols);
 
@@ -58,6 +76,19 @@ class Matrix
     std::size_t rows() const { return num_rows; }
     std::size_t cols() const { return num_cols; }
 
+    /**
+     * Raw pointer to row @p r's contiguous cells — the hot-path
+     * access the kernels above consume. Bounds-checked.
+     */
+    double *rowPtr(std::size_t r);
+    const double *rowPtr(std::size_t r) const;
+
+    /** Reshape to rows x cols, zero-filled (storage is reused). */
+    void resize(std::size_t rows, std::size_t cols);
+
+    /** Copy row @p r out into a FeatureVector. */
+    FeatureVector row(std::size_t r) const;
+
     /** Matrix-vector product; v.size() must equal cols(). */
     FeatureVector multiply(const FeatureVector &v) const;
 
@@ -65,10 +96,24 @@ class Matrix
     Matrix transposed() const;
 
     /**
+     * Pack a vector-of-rows data set into row-major storage. Rows
+     * must share one dimension; an empty input yields a 0 x 0
+     * matrix.
+     */
+    static Matrix fromRows(const std::vector<FeatureVector> &data);
+
+    /**
      * Covariance matrix of a data set whose rows are observations.
      * Rows of @p data must share one dimension.
      */
     static Matrix covariance(const std::vector<FeatureVector> &data);
+
+    /**
+     * Covariance of a row-major observation matrix. Summation order
+     * matches the vector-of-rows overload exactly, so either entry
+     * point yields bit-identical covariances.
+     */
+    static Matrix covariance(const Matrix &data);
 
   private:
     std::size_t num_rows;

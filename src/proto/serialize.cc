@@ -186,6 +186,33 @@ ProfileReader::read(ProfileRecord &record)
     }
 }
 
+bool
+ProfileReader::read(ColumnarRecord &record,
+                    StringInterner &interner)
+{
+    std::string_view payload;
+    for (;;) {
+        switch (framing.next(payload)) {
+          case StreamStatus::Ok:
+            if (!decodeProfileRecordColumnar(payload, record,
+                                             interner)) {
+                if (framing.salvaging()) {
+                    ++undecodable;
+                    continue;
+                }
+                fatal("ProfileReader: malformed record payload");
+            }
+            return true;
+          case StreamStatus::End:
+            return false;
+          case StreamStatus::Truncated:
+          case StreamStatus::Corrupt:
+            fatal("ProfileReader: ", framing.error());
+        }
+        panic("ProfileReader: unreachable stream status");
+    }
+}
+
 std::vector<ProfileRecord>
 ProfileReader::readAll()
 {

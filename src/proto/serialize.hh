@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "proto/columnar.hh"
 #include "proto/record.hh"
 #include "trace/record_stream.hh"
 
@@ -96,8 +97,29 @@ class ProfileReader
      */
     bool read(ProfileRecord &record);
 
+    /**
+     * Columnar fast path: read the next record straight into a
+     * reusable ColumnarRecord, interning op names into
+     * @p interner (the process-global one by default). With one
+     * record reused across calls, the steady-state loop — chunk
+     * buffer, record columns, interner — does no heap allocation.
+     * @return false at end of stream.
+     */
+    bool read(ColumnarRecord &record,
+              StringInterner &interner = StringInterner::global());
+
     /** Read every remaining record. */
     std::vector<ProfileRecord> readAll();
+
+    /** Bytes consumed from the underlying stream so far. */
+    std::uint64_t bytesRead() const { return framing.bytesRead(); }
+
+    /** Reusable-chunk-buffer capacity growths (see
+     * RecordStreamReader::bufferGrowths()). */
+    std::uint64_t bufferGrowths() const
+    {
+        return framing.bufferGrowths();
+    }
 
     /** Records produced so far. */
     std::uint64_t recordsRead() const { return framing.records(); }

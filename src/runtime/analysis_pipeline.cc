@@ -1,5 +1,6 @@
 #include "runtime/analysis_pipeline.hh"
 
+#include <chrono>
 #include <exception>
 #include <fstream>
 #include <sstream>
@@ -26,6 +27,33 @@ chargeSalvageMetrics(const ProfileReader &reader)
         .add(reader.recordsDropped());
     registry.counter("salvage.bytes_skipped")
         .add(reader.bytesSkipped());
+}
+
+/**
+ * Charge one streaming pass's ingest volume to the metrics
+ * registry: total events summarized by the ingested records, and
+ * the raw profile-read rate of this pass.
+ */
+void
+chargeIngestMetrics(std::uint64_t events, std::uint64_t bytes,
+                    double seconds)
+{
+    auto &registry = obs::MetricsRegistry::global();
+    registry.counter("analyzer.events_ingested").add(events);
+    if (seconds > 0.0) {
+        registry.gauge("analyzer.ingest_bytes_per_sec")
+            .set(static_cast<std::int64_t>(
+                static_cast<double>(bytes) / seconds));
+    }
+}
+
+/** Seconds elapsed since @p start. */
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
 }
 
 } // namespace
@@ -70,15 +98,70 @@ AnalysisPipeline::streamProfile(const std::string &path,
         return report;
     }
     try {
+        const auto start = std::chrono::steady_clock::now();
+        std::uint64_t events = 0;
         ProfileReader reader(in, opts.salvage);
         ProfileRecord record;
         while (reader.read(record)) {
             ++report.records;
             report.events_dropped += record.events_dropped;
+            events += record.event_count;
             if (hook)
                 hook(record);
         }
         chargeSalvageMetrics(reader);
+        chargeIngestMetrics(events, reader.bytesRead(),
+                            secondsSince(start));
+        report.saw_damage = reader.sawDamage();
+        report.chunks_dropped = reader.chunksDropped();
+        report.records_dropped = reader.recordsDropped();
+        report.bytes_skipped = reader.bytesSkipped();
+        report.truncated_tail = reader.truncatedTail();
+    } catch (const std::exception &error) {
+        report.error = PipelineError::Unreadable;
+        report.message = "unreadable profile '" + path +
+            "': " + error.what();
+        return report;
+    }
+    if (report.records == 0) {
+        report.error = PipelineError::Empty;
+        report.message =
+            "profile '" + path + "' contains no records";
+    }
+    return report;
+}
+
+PipelineReport
+AnalysisPipeline::streamColumnar(const std::string &path,
+                                 AnalysisSession &session,
+                                 const ColumnarHook &hook) const
+{
+    PipelineReport report;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        report.error = PipelineError::OpenFailed;
+        report.message = "cannot open profile '" + path + "'";
+        return report;
+    }
+    try {
+        const auto start = std::chrono::steady_clock::now();
+        std::uint64_t events = 0;
+        ProfileReader reader(in, opts.salvage);
+        // One record reused across the whole stream: per-step
+        // columns and op runs land in the same buffers every
+        // iteration, so the steady-state loop allocates nothing.
+        ColumnarRecord record;
+        while (reader.read(record)) {
+            ++report.records;
+            report.events_dropped += record.events_dropped;
+            events += record.event_count;
+            if (hook)
+                hook(record);
+            session.ingest(record);
+        }
+        chargeSalvageMetrics(reader);
+        chargeIngestMetrics(events, reader.bytesRead(),
+                            secondsSince(start));
         report.saw_damage = reader.sawDamage();
         report.chunks_dropped = reader.chunksDropped();
         report.records_dropped = reader.recordsDropped();
@@ -104,13 +187,32 @@ AnalysisPipeline::analyzeProfile(
     const std::vector<CheckpointInfo> &checkpoints,
     const RecordHook &hook) const
 {
+    if (!hook) {
+        // No row-oriented observer: take the columnar fast path.
+        return analyzeProfile(path, result, checkpoints,
+                              ColumnarHook(nullptr));
+    }
     AnalysisSession session(opts.analyzer);
     const PipelineReport report = streamProfile(
         path, [&session, &hook](const ProfileRecord &record) {
-            if (hook)
-                hook(record);
+            hook(record);
             session.ingest(record);
         });
+    if (!report.ok())
+        return report;
+    *result = session.finalize(checkpoints, *active_pool);
+    return report;
+}
+
+PipelineReport
+AnalysisPipeline::analyzeProfile(
+    const std::string &path, AnalysisResult *result,
+    const std::vector<CheckpointInfo> &checkpoints,
+    const ColumnarHook &hook) const
+{
+    AnalysisSession session(opts.analyzer);
+    const PipelineReport report =
+        streamColumnar(path, session, hook);
     if (!report.ok())
         return report;
     *result = session.finalize(checkpoints, *active_pool);

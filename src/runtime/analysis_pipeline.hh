@@ -99,6 +99,8 @@ class AnalysisPipeline
 {
   public:
     using RecordHook = std::function<void(const ProfileRecord &)>;
+    using ColumnarHook =
+        std::function<void(const ColumnarRecord &)>;
 
     explicit AnalysisPipeline(const PipelineOptions &options = {});
 
@@ -122,12 +124,30 @@ class AnalysisPipeline
         const std::vector<CheckpointInfo> &checkpoints = {},
         const RecordHook &hook = nullptr) const;
 
+    /**
+     * Columnar analyze path: records are decoded straight into a
+     * reusable ColumnarRecord (names interned, no per-record maps
+     * or string allocation) and folded id-to-id into the step
+     * table. This is what a null-RecordHook analyzeProfile runs;
+     * pass a ColumnarHook to observe each record without forcing
+     * the row-oriented decode.
+     */
+    PipelineReport analyzeProfile(
+        const std::string &path, AnalysisResult *result,
+        const std::vector<CheckpointInfo> &checkpoints,
+        const ColumnarHook &hook) const;
+
     /** The pool finalize() runs on (owned or borrowed). */
     ThreadPool &pool() const { return *active_pool; }
 
     const PipelineOptions &options() const { return opts; }
 
   private:
+    /** Shared columnar streaming loop behind analyzeProfile. */
+    PipelineReport streamColumnar(const std::string &path,
+                                  AnalysisSession &session,
+                                  const ColumnarHook &hook) const;
+
     PipelineOptions opts;
     std::unique_ptr<ThreadPool> owned_pool;
     ThreadPool *active_pool;

@@ -158,7 +158,9 @@ RecordStreamReader::RecordStreamReader(std::istream &in,
     : stream(in), salvage(salvage_mode)
 {
     char magic[4];
-    if (!stream.read(magic, sizeof(magic))) {
+    if (stream.read(magic, sizeof(magic)))
+        read_bytes += sizeof(magic);
+    else {
         if (salvage) {
             truncated_tail = true;
             state = StreamStatus::End;
@@ -189,6 +191,7 @@ RecordStreamReader::RecordStreamReader(std::istream &in,
              "stream ended inside the header");
         return;
     }
+    read_bytes += 4;
     if (stream_version < kMinVersion || stream_version > kVersion) {
         if (salvage) {
             detail = "version " + std::to_string(stream_version) +
@@ -279,7 +282,9 @@ RecordStreamReader::loadChunk()
         if (resynced_marker != 0) {
             marker = resynced_marker;
             resynced_marker = 0;
-        } else if (!getU32(stream, marker)) {
+        } else if (getU32(stream, marker)) {
+            read_bytes += 4;
+        } else {
             if (salvage) {
                 truncated_tail = true;
                 state = StreamStatus::End;
@@ -290,7 +295,9 @@ RecordStreamReader::loadChunk()
         }
         if (marker == kEndMarker) {
             std::uint64_t declared;
-            if (!getU64(stream, declared)) {
+            if (getU64(stream, declared))
+                read_bytes += 8;
+            else {
                 if (salvage) {
                     truncated_tail = true;
                     state = StreamStatus::End;
@@ -328,9 +335,11 @@ RecordStreamReader::loadChunk()
         }
 
         std::uint32_t record_count, payload_size, checksum;
-        if (!getU32(stream, record_count) ||
-            !getU32(stream, payload_size) ||
-            !getU32(stream, checksum)) {
+        if (getU32(stream, record_count) &&
+            getU32(stream, payload_size) &&
+            getU32(stream, checksum)) {
+            read_bytes += 12;
+        } else {
             if (salvage) {
                 truncated_tail = true;
                 state = StreamStatus::End;
@@ -356,10 +365,17 @@ RecordStreamReader::loadChunk()
                         "implausible chunk payload size " +
                             std::to_string(payload_size));
         }
+        // The one buffer the reader owns: capacity is retained
+        // across chunks, so growth happens only until the largest
+        // chunk has been seen — the steady state reads without
+        // touching the heap.
+        if (payload_size > chunk.capacity())
+            ++buffer_growths;
         chunk.resize(payload_size);
-        if (!stream.read(chunk.data(),
-                         static_cast<std::streamsize>(
-                             payload_size))) {
+        if (stream.read(chunk.data(),
+                        static_cast<std::streamsize>(payload_size)))
+            read_bytes += payload_size;
+        else {
             if (salvage) {
                 ++dropped_chunks;
                 truncated_tail = true;
@@ -399,6 +415,7 @@ RecordStreamReader::recover(const std::string &why)
     std::uint64_t consumed = 0;
     char byte;
     while (stream.get(byte)) {
+        ++read_bytes;
         window = (window >> 8) |
             (static_cast<std::uint32_t>(
                  static_cast<unsigned char>(byte))

@@ -173,6 +173,18 @@ class RecordStreamReader
     /** Salvage: the stream ended without a (valid) end marker. */
     bool truncatedTail() const { return truncated_tail; }
 
+    /** Bytes consumed from the underlying stream so far. */
+    std::uint64_t bytesRead() const { return read_bytes; }
+
+    /**
+     * Times the reusable chunk buffer had to grow its capacity.
+     * The reader keeps exactly one buffer and reuses it for every
+     * chunk, so in steady state (after the largest chunk has been
+     * seen) this stops advancing — the allocation-counting hook the
+     * zero-allocation tests assert on.
+     */
+    std::uint64_t bufferGrowths() const { return buffer_growths; }
+
     /** Salvage: any damage was encountered at all. */
     bool
     sawDamage() const
@@ -200,6 +212,9 @@ class RecordStreamReader
     std::uint32_t stream_version = 0;
     StreamStatus state = StreamStatus::Ok;
     std::string detail;
+
+    std::uint64_t read_bytes = 0;
+    std::uint64_t buffer_growths = 0;
 
     bool salvage = false;
     std::uint32_t resynced_marker = 0; ///< Marker found by recover.

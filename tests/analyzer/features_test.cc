@@ -45,8 +45,10 @@ TEST(FeaturesTest, MissingOpsAreZero)
     const FeatureMatrix features =
         FeatureMatrix::build(table, options);
     // Step 1 lacks MatMul: some dimension must be exactly zero.
+    // (rows() returns by value; bind it before indexing in.)
+    const std::vector<FeatureVector> rows = features.rows();
     bool has_zero = false;
-    for (const double x : features.rows()[1])
+    for (const double x : rows[1])
         has_zero |= x == 0.0;
     EXPECT_TRUE(has_zero);
 }

@@ -66,7 +66,7 @@ TEST(KMeansTest, KClampedToPointCount)
 TEST(KMeansTest, EmptyDataRejected)
 {
     Rng rng(5);
-    EXPECT_THROW(kMeansCluster({}, 2, rng), std::runtime_error);
+    EXPECT_THROW(kMeansCluster(std::vector<FeatureVector>{}, 2, rng), std::runtime_error);
 }
 
 TEST(KMeansTest, DeterministicGivenSeed)

@@ -91,7 +91,7 @@ TEST(PcaTest, DegenerateDataStopsEarly)
 TEST(PcaTest, EmptyDataRejected)
 {
     Rng rng(9);
-    EXPECT_THROW(fitPca({}, 2, rng), std::runtime_error);
+    EXPECT_THROW(fitPca(std::vector<FeatureVector>{}, 2, rng), std::runtime_error);
 }
 
 } // namespace

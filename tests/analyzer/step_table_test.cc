@@ -86,6 +86,27 @@ TEST(StepTableTest, DropAfterErasesTailAndReportsSpan)
     EXPECT_EQ(table.at(1).step, 2u);
 }
 
+TEST(StepTableTest, DropAfterCountsMergedWindowEnvelope)
+{
+    // Step 3 arrives in two windows (its envelope widens on the
+    // second merge) and step 5 arrives before step 4; the dropped
+    // span must reflect the merged columnar rows, not the raw
+    // ingest order.
+    StepTableBuilder builder;
+    builder.ingest(makeRecord({makeStep(2, {"a"}, {}, 100),
+                               makeStep(3, {"a"}, {}, 100)}));
+    builder.ingest(makeRecord({makeStep(3, {"a"}, {}, 100),
+                               makeStep(5, {"a"}, {}, 100)}));
+    builder.ingest(makeRecord({makeStep(4, {"a"}, {}, 100)}));
+    SimTime span = 0;
+    // Drops steps 3 (merged, same envelope), 4 and 5.
+    EXPECT_EQ(builder.dropAfter(2, &span), 3u);
+    EXPECT_EQ(span, 300);
+    const StepTable table = std::move(builder).build();
+    ASSERT_EQ(table.size(), 1u);
+    EXPECT_EQ(table.stepId(0), 2u);
+}
+
 TEST(StepTableTest, MarkReplayedFlagsReingestedRange)
 {
     StepTableBuilder builder;

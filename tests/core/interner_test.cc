@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/interner.hh"
+
+namespace tpupoint {
+namespace {
+
+TEST(StringInterner, AssignsDenseIdsInFirstSeenOrder)
+{
+    StringInterner interner;
+    EXPECT_EQ(interner.intern("conv2d"), 0u);
+    EXPECT_EQ(interner.intern("matmul"), 1u);
+    EXPECT_EQ(interner.intern("conv2d"), 0u);
+    EXPECT_EQ(interner.intern("relu"), 2u);
+    EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(StringInterner, ViewRoundTrips)
+{
+    StringInterner interner;
+    const auto id = interner.intern("crossreplicasum");
+    EXPECT_EQ(interner.view(id), "crossreplicasum");
+    EXPECT_EQ(interner.view(interner.intern("fusion.3")), "fusion.3");
+}
+
+TEST(StringInterner, LookupDoesNotIntern)
+{
+    StringInterner interner;
+    std::uint32_t id = 99;
+    EXPECT_FALSE(interner.lookup("absent", id));
+    EXPECT_EQ(interner.size(), 0u);
+    interner.intern("present");
+    EXPECT_TRUE(interner.lookup("present", id));
+    EXPECT_EQ(id, 0u);
+}
+
+TEST(StringInterner, InternDoesNotKeepCallerStorage)
+{
+    StringInterner interner;
+    std::uint32_t id;
+    {
+        std::string transient = "short-lived-op-name";
+        id = interner.intern(transient);
+        transient.assign(transient.size(), 'x');
+    }
+    EXPECT_EQ(interner.view(id), "short-lived-op-name");
+}
+
+TEST(StringInterner, ViewsStayValidAsTableGrows)
+{
+    StringInterner interner;
+    const std::string_view first = interner.view(interner.intern("op0"));
+    for (int i = 1; i < 2000; ++i)
+        interner.intern("op" + std::to_string(i));
+    EXPECT_EQ(first, "op0");
+    EXPECT_EQ(interner.size(), 2000u);
+}
+
+TEST(StringInterner, ConcurrentInterningAgreesOnIds)
+{
+    StringInterner interner;
+    constexpr int kNames = 200;
+    constexpr int kThreads = 8;
+    std::vector<std::vector<std::uint32_t>> ids(kThreads);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&interner, &ids, t] {
+            ids[t].reserve(kNames);
+            for (int i = 0; i < kNames; ++i)
+                ids[t].push_back(
+                    interner.intern("op" + std::to_string(i)));
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(interner.size(), static_cast<std::size_t>(kNames));
+    // Every thread must have received the same id for each name.
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(ids[t], ids[0]);
+    for (int i = 0; i < kNames; ++i)
+        EXPECT_EQ(interner.view(ids[0][i]), "op" + std::to_string(i));
+}
+
+TEST(StringInterner, GlobalIsASingleton)
+{
+    EXPECT_EQ(&StringInterner::global(), &StringInterner::global());
+}
+
+} // namespace
+} // namespace tpupoint

@@ -101,7 +101,9 @@ TEST(MatrixTest, CovarianceOfKnownData)
 
 TEST(MatrixTest, CovarianceRejectsBadInput)
 {
-    EXPECT_THROW(Matrix::covariance({}), std::runtime_error);
+    EXPECT_THROW(
+        Matrix::covariance(std::vector<FeatureVector>{}),
+        std::runtime_error);
     EXPECT_THROW(Matrix::covariance({{1, 2}, {1}}),
                  std::runtime_error);
 }

@@ -126,6 +126,39 @@ TEST(RecordStreamTest, TruncationMidChunkIsDetected)
     EXPECT_FALSE(reader.error().empty());
 }
 
+TEST(RecordStreamTest, TruncationMidChunkHeaderReusesBuffer)
+{
+    // The stream dies partway through a chunk *header* (not its
+    // payload): every whole chunk before the cut is recovered
+    // through the one reusable buffer, then the reader diagnoses
+    // truncation instead of reading garbage.
+    RecordStreamOptions options;
+    options.chunk_records = 10;
+    std::vector<std::string> payloads(30, std::string(100, 'p'));
+    // All chunks are the same size; measure one via a one-chunk
+    // reference stream.
+    const std::string reference = writeStream(
+        {payloads.begin(), payloads.begin() + 10}, options);
+    const std::size_t chunk_size =
+        reference.size() - kHeaderSize - kEndSize;
+    std::string bytes = writeStream(payloads, options);
+    // Cut 7 bytes into the third chunk's 16-byte header.
+    bytes.resize(kHeaderSize + 2 * chunk_size + 7);
+
+    std::istringstream in(bytes);
+    RecordStreamReader reader(in);
+    std::string_view payload;
+    std::uint64_t produced = 0;
+    StreamStatus status;
+    while ((status = reader.next(payload)) == StreamStatus::Ok)
+        ++produced;
+    EXPECT_EQ(status, StreamStatus::Truncated);
+    EXPECT_EQ(produced, 20u);
+    // Equal-size chunks: the buffer grows for the first one and is
+    // reused as-is for the second.
+    EXPECT_EQ(reader.bufferGrowths(), 1u);
+}
+
 TEST(RecordStreamTest, MissingEndMarkerIsTruncation)
 {
     // Cut exactly at the last chunk boundary: every chunk is

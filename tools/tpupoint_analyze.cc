@@ -164,7 +164,7 @@ main(int argc, char **argv)
     AnalysisResult analysis;
     const runtime::PipelineReport report = pipeline.analyzeProfile(
         profile_path, &analysis, checkpoints,
-        [&windows](const ProfileRecord &record) {
+        [&windows](const ColumnarRecord &record) {
             // Attempt-boundary markers are zero-width stitching
             // directives, not profile windows; keep them out of
             // the trace viewer's window track.

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * `tpupoint-validate-json`: gate one or more JSON files through the
+ * toolchain's own RFC 8259 validator (core/json.hh). CI uses it to
+ * must-parse machine-readable artifacts — bench `--json` reports,
+ * metrics dumps — without depending on an external JSON tool.
+ * Exits 0 when every file validates, 1 otherwise.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/json.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: tpupoint-validate-json FILE...\n");
+        return 2;
+    }
+    bool ok = true;
+    for (int i = 1; i < argc; ++i) {
+        std::ifstream in(argv[i], std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "error: cannot open '%s'\n",
+                         argv[i]);
+            ok = false;
+            continue;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        std::string error;
+        if (!tpupoint::validateJson(text.str(), &error)) {
+            std::fprintf(stderr, "error: %s: %s\n", argv[i],
+                         error.c_str());
+            ok = false;
+            continue;
+        }
+        std::printf("%s: valid JSON\n", argv[i]);
+    }
+    return ok ? 0 : 1;
+}
