@@ -1,0 +1,225 @@
+/**
+ * @file
+ * tpupoint-serve ingest throughput: how many concurrent live
+ * traces one daemon sustains. 120 synthetic sessions spool into a
+ * temp directory in interleaved slices (cut mid-chunk on purpose,
+ * so every session exercises the truncated-tail "pending, more may
+ * come" path between polls) while one SessionManager tail-follows
+ * them all on a shared pool. Reports sessions ingested, aggregate
+ * sessions/sec and events/sec, and the p99 per-chunk ingest
+ * latency from the `serve.ingest_chunk_us` histogram. Sessions
+ * evict immediately after finalize (evict TTL 0), so the run also
+ * demonstrates bounded memory under churn.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#include "bench/common.hh"
+#include "obs/metrics.hh"
+#include "proto/serialize.hh"
+#include "serve/serve.hh"
+#include "trace/record_stream.hh"
+
+using namespace tpupoint;
+
+namespace {
+
+constexpr std::size_t kSessions = 120;
+constexpr std::size_t kRecordsPerSession = 16;
+constexpr std::size_t kStepsPerRecord = 8;
+constexpr int kSliceRounds = 4;
+
+/** One synthetic profile record: a few ops per step. */
+ProfileRecord
+makeRecord(std::uint64_t seq, StepId step_base)
+{
+    ProfileRecord record;
+    record.sequence = seq;
+    const SimTime span = 100 * kUsec;
+    for (std::size_t i = 0; i < kStepsPerRecord; ++i) {
+        StepStats step;
+        step.step = step_base + static_cast<StepId>(i);
+        step.begin = static_cast<SimTime>(step.step) * span;
+        step.end = step.begin + span;
+        for (const char *name :
+             {"fusion", "MatMul", "InfeedDequeueTuple"}) {
+            OpStats stats;
+            stats.count = 1;
+            stats.total_duration = 20 * kUsec;
+            step.tpu_ops[name] = stats;
+            step.tpu_busy += stats.total_duration;
+        }
+        OpStats host;
+        host.count = 1;
+        host.total_duration = 5 * kUsec;
+        step.host_ops["OutfeedDequeueTuple"] = host;
+        record.event_count += 4;
+        record.steps.push_back(std::move(step));
+    }
+    record.window_begin = record.steps.front().begin;
+    record.window_end = record.steps.back().end;
+    return record;
+}
+
+/** The full wire bytes of one session's stream, multi-chunk. */
+std::string
+sessionStream()
+{
+    std::ostringstream out(std::ios::binary);
+    RecordStreamOptions options;
+    options.chunk_records = 2; // ~8 chunks per session.
+    {
+        RecordStreamWriter writer(out, options);
+        StepId step = 0;
+        for (std::size_t seq = 0; seq < kRecordsPerSession;
+             ++seq) {
+            writer.append(encodeProfileRecord(
+                makeRecord(seq, step)));
+            step += kStepsPerRecord;
+        }
+        writer.finish();
+    }
+    return out.str();
+}
+
+std::string
+spoolDir()
+{
+    std::string dir = std::filesystem::temp_directory_path()
+                          .string() +
+        "/tpupoint_bench_serve";
+#ifdef __unix__
+    dir += "." + std::to_string(getpid());
+#endif
+    return dir;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchutil::BenchReport report("bench_serve", argc, argv);
+    benchutil::banner(
+        "TPUPoint serve: concurrent live-trace ingest",
+        "fleet-scale serving of the Section III analyzer "
+        "pipeline");
+
+    const std::string stream = sessionStream();
+    const std::string dir = spoolDir();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    std::vector<std::string> paths;
+    paths.reserve(kSessions);
+    for (std::size_t i = 0; i < kSessions; ++i)
+        paths.push_back(dir + "/session" + std::to_string(i) +
+                        ".tpp");
+
+    serve::ServeOptions options;
+    options.spool_dir = dir;
+    options.threads = benchutil::sweepThreads();
+    options.idle_ttl_ms = 3600 * 1000; // Only finalize on Complete.
+    options.evict_ttl_ms = 0;          // Evict as soon as final.
+    options.max_finalizes_per_poll = 16;
+    serve::SessionManager manager(options);
+
+    const auto started = std::chrono::steady_clock::now();
+
+    // Spool in interleaved slices: every session's file exists
+    // from round 0 on, so all kSessions are live simultaneously,
+    // and the cut points deliberately land mid-chunk.
+    std::size_t previous_cut = 0;
+    for (int round = 1; round <= kSliceRounds; ++round) {
+        const std::size_t cut = round == kSliceRounds
+            ? stream.size()
+            : stream.size() * static_cast<std::size_t>(round) /
+                kSliceRounds +
+                7; // Off a chunk boundary on purpose.
+        for (std::size_t i = 0; i < kSessions; ++i) {
+            std::ofstream out(paths[i],
+                              std::ios::binary | std::ios::app);
+            out.write(stream.data() +
+                          static_cast<std::ptrdiff_t>(
+                              previous_cut),
+                      static_cast<std::streamsize>(
+                          cut - previous_cut));
+        }
+        previous_cut = cut;
+        manager.poll();
+    }
+
+    // Drain: finalizes are capped per poll, so keep polling until
+    // every session has been finalized and evicted.
+    std::size_t polls = 0;
+    while (!manager.stats().drained() && polls < 10000) {
+        manager.poll();
+        ++polls;
+    }
+
+    const double wall_s =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+
+    const serve::ServeStats stats = manager.stats();
+    const auto snapshot =
+        obs::MetricsRegistry::global().snapshot();
+    double p99_chunk_ms = 0.0;
+    const auto it =
+        snapshot.histograms.find("serve.ingest_chunk_us");
+    if (it != snapshot.histograms.end())
+        p99_chunk_ms =
+            obs::histogramQuantile(it->second, 0.99) / 1000.0;
+
+    const double sessions_per_sec =
+        wall_s > 0 ? static_cast<double>(stats.finalized +
+                                         stats.evicted) /
+                wall_s
+                   : 0.0;
+    const double events_per_sec =
+        wall_s > 0 ? static_cast<double>(stats.events) / wall_s
+                   : 0.0;
+
+    std::printf("\nsimultaneous sessions   %zu\n", stats.sessions);
+    std::printf("finalized + evicted     %zu\n",
+                stats.finalized + stats.evicted);
+    std::printf("records ingested        %llu\n",
+                static_cast<unsigned long long>(stats.records));
+    std::printf("events ingested         %llu\n",
+                static_cast<unsigned long long>(stats.events));
+    std::printf("wall time               %.3f s\n", wall_s);
+    std::printf("sessions/sec            %.1f\n",
+                sessions_per_sec);
+    std::printf("events/sec              %.0f\n", events_per_sec);
+    std::printf("p99 chunk ingest        %.3f ms\n",
+                p99_chunk_ms);
+
+    std::filesystem::remove_all(dir);
+
+    if (stats.sessions < 100 ||
+        stats.finalized + stats.evicted < kSessions) {
+        std::fprintf(stderr,
+                     "bench_serve: expected %zu sessions "
+                     "finalized, got %zu of %zu\n",
+                     kSessions, stats.finalized + stats.evicted,
+                     stats.sessions);
+        return 1;
+    }
+
+    report.figure("sessions",
+                  static_cast<double>(stats.sessions));
+    report.figure("sessions_per_sec", sessions_per_sec);
+    report.figure("events_per_sec", events_per_sec);
+    report.figure("p99_chunk_ingest_ms", p99_chunk_ms);
+    return report.write() ? 0 : 1;
+}

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 
 #include "core/json.hh"
 #include "core/logging.hh"
@@ -96,9 +97,12 @@ sweepThreads()
     if (requested_sweep_threads > 0)
         return requested_sweep_threads;
     if (const char *env = std::getenv("TPUPOINT_SWEEP_THREADS")) {
-        const long parsed = std::atol(env);
-        if (parsed > 0)
+        std::uint64_t parsed = 0;
+        if (parseUint64(env, &parsed) && parsed > 0 &&
+            parsed <= std::numeric_limits<unsigned>::max())
             return static_cast<unsigned>(parsed);
+        warn("ignoring TPUPOINT_SWEEP_THREADS='", env,
+             "': want a positive integer");
     }
     return 0; // 0 = SweepRunner resolves TPUPOINT_THREADS / hw.
 }
@@ -183,10 +187,14 @@ BenchReport::BenchReport(const std::string &bench_name, int argc,
         if (arg == "--json" && i + 1 < argc) {
             path = argv[++i];
         } else if (arg == "--threads" && i + 1 < argc) {
-            const long parsed = std::atol(argv[++i]);
-            if (parsed < 0) {
+            std::uint64_t parsed = 0;
+            if (!parseUint64(argv[++i], &parsed) ||
+                parsed >
+                    std::numeric_limits<unsigned>::max()) {
                 std::fprintf(stderr,
-                             "--threads wants N >= 0\n");
+                             "--threads wants an integer "
+                             ">= 0, got '%s'\n",
+                             argv[i]);
                 std::exit(2);
             }
             thread_count = static_cast<unsigned>(parsed);

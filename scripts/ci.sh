@@ -75,6 +75,53 @@ smoke_suite() {
         echo "smoke: salvage produced no summary" >&2
         return 1
     }
+    # Serve path: the daemon tail-follows a spool holding one
+    # complete and one truncated stream, answers a phases query
+    # while ingest is live, and exits cleanly once drained. Runs
+    # in every suite, so the sanitizer builds walk the concurrent
+    # session manager under instrumentation.
+    echo "== smoke: serve daemon over a live spool"
+    mkdir "${work}/spool"
+    cp "${work}/smoke.tpp" "${work}/spool/whole.tpp"
+    cp "${work}/damaged.tpp" "${work}/spool/torn.tpp"
+    "${build_dir}/tools/tpupoint-serve" \
+        --spool "${work}/spool" \
+        --status-out "${work}/serve.status.json" \
+        --poll-ms 20 --idle-ttl-ms 300 --drain &
+    local serve_pid=$!
+    # Query while the daemon is still ingesting: wait for the
+    # first status publish, then read the phases section back.
+    # (tpupoint-validate-json reads files, not stdin.)
+    local tries=0
+    until [ -s "${work}/serve.status.json" ]; do
+        tries=$((tries + 1))
+        if [ "${tries}" -gt 100 ]; then
+            echo "smoke: serve never published a status" >&2
+            kill "${serve_pid}" 2>/dev/null || true
+            return 1
+        fi
+        sleep 0.05
+    done
+    "${build_dir}/tools/tpupoint-serve" \
+        --query phases --status "${work}/serve.status.json" \
+        > "${work}/serve.phases.json"
+    "${build_dir}/tools/tpupoint-validate-json" \
+        "${work}/serve.phases.json"
+    wait "${serve_pid}" || {
+        echo "smoke: serve daemon exited nonzero" >&2
+        return 1
+    }
+    # After the drain both sessions must be final, the torn one
+    # salvaged rather than failed.
+    "${build_dir}/tools/tpupoint-serve" \
+        --query sessions --status "${work}/serve.status.json" \
+        > "${work}/serve.sessions.json"
+    "${build_dir}/tools/tpupoint-validate-json" \
+        "${work}/serve.sessions.json"
+    grep -q '"torn"' "${work}/serve.sessions.json" || {
+        echo "smoke: serve lost the truncated session" >&2
+        return 1
+    }
     rm -rf "${work}"
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 
 namespace tpupoint {
@@ -114,6 +115,42 @@ formatDuration(SimTime t)
         return formatDouble(ns / static_cast<double>(kMsec), 2) +
             " ms";
     return formatDouble(ns / static_cast<double>(kSec), 2) + " s";
+}
+
+namespace {
+
+/**
+ * Shared from_chars wrapper: succeeds only when the whole of
+ * @p text converts and the value fits @p T — from_chars itself
+ * rejects leading whitespace, '+' signs and hex prefixes, which is
+ * exactly the strictness the CLI wants.
+ */
+template <typename T>
+bool
+parseWhole(std::string_view text, T *value)
+{
+    T parsed{};
+    const char *end = text.data() + text.size();
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), end, parsed, 10);
+    if (ec != std::errc() || ptr != end)
+        return false;
+    *value = parsed;
+    return true;
+}
+
+} // namespace
+
+bool
+parseInt64(std::string_view text, std::int64_t *value)
+{
+    return parseWhole(text, value);
+}
+
+bool
+parseUint64(std::string_view text, std::uint64_t *value)
+{
+    return parseWhole(text, value);
 }
 
 std::string

@@ -44,6 +44,19 @@ std::string formatBytes(std::uint64_t bytes);
 /** Human-readable simulated duration: "1.50 s", "230.00 ms", ... */
 std::string formatDuration(SimTime t);
 
+/**
+ * Strict integer parse: the whole of @p text must be one decimal
+ * integer (optional leading '-' for the signed form, no leading or
+ * trailing junk, no whitespace) that fits the result type.
+ * @return true and sets @p value on success; on any failure —
+ *     empty input, stray characters, out of range — @p value is
+ *     left untouched.
+ */
+bool parseInt64(std::string_view text, std::int64_t *value);
+
+/** parseInt64 for unsigned values ('-' is a failure, not a wrap). */
+bool parseUint64(std::string_view text, std::uint64_t *value);
+
 /** Left-pad with spaces to at least @p width characters. */
 std::string padLeft(std::string_view text, std::size_t width);
 

@@ -215,5 +215,39 @@ MetricsRegistry::writeText(std::ostream &out) const
     }
 }
 
+double
+histogramQuantile(const MetricsSnapshot::HistogramData &data,
+                  double q)
+{
+    if (data.count == 0 || data.bucket_counts.empty())
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // The observation whose bucket we report: rank ceil(q * N),
+    // clamped to [1, N].
+    auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(data.count));
+    if (static_cast<double>(rank) <
+        q * static_cast<double>(data.count))
+        ++rank;
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < data.bucket_counts.size(); ++i) {
+        seen += data.bucket_counts[i];
+        if (seen >= rank) {
+            if (i < data.bounds.size())
+                return static_cast<double>(data.bounds[i]);
+            break;
+        }
+    }
+    // Overflow bucket: the last finite bound is all we can say.
+    return data.bounds.empty()
+        ? 0.0
+        : static_cast<double>(data.bounds.back());
+}
+
 } // namespace obs
 } // namespace tpupoint

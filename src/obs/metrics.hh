@@ -161,6 +161,17 @@ struct MetricsSnapshot
 };
 
 /**
+ * Approximate quantile from bucketed data: the inclusive upper
+ * bound of the bucket holding the @p q-th observation (q in 0..1 —
+ * 0.99 for a p99). Bucketed data can only bound the true quantile,
+ * so this reports the conservative (upper) edge; an observation
+ * landing in the overflow bucket reports the last finite bound,
+ * a *lower* bound on the truth. Zero observations report 0.
+ */
+double histogramQuantile(const MetricsSnapshot::HistogramData &data,
+                         double q);
+
+/**
  * The registry. Instruments are created on first use and live for
  * the process; the returned references stay valid forever, which is
  * what makes the cache-the-pointer hot-path pattern safe.

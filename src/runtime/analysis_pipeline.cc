@@ -29,24 +29,6 @@ chargeSalvageMetrics(const ProfileReader &reader)
         .add(reader.bytesSkipped());
 }
 
-/**
- * Charge one streaming pass's ingest volume to the metrics
- * registry: total events summarized by the ingested records, and
- * the raw profile-read rate of this pass.
- */
-void
-chargeIngestMetrics(std::uint64_t events, std::uint64_t bytes,
-                    double seconds)
-{
-    auto &registry = obs::MetricsRegistry::global();
-    registry.counter("analyzer.events_ingested").add(events);
-    if (seconds > 0.0) {
-        registry.gauge("analyzer.ingest_bytes_per_sec")
-            .set(static_cast<std::int64_t>(
-                static_cast<double>(bytes) / seconds));
-    }
-}
-
 /** Seconds elapsed since @p start. */
 double
 secondsSince(std::chrono::steady_clock::time_point start)
@@ -57,6 +39,45 @@ secondsSince(std::chrono::steady_clock::time_point start)
 }
 
 } // namespace
+
+void
+chargeIngestMetrics(const std::string &session_label,
+                    std::uint64_t events, std::uint64_t bytes,
+                    double seconds)
+{
+    auto &registry = obs::MetricsRegistry::global();
+    registry.counter("analyzer.events_ingested").add(events);
+    if (seconds <= 0.0)
+        return;
+    const auto rate = static_cast<std::int64_t>(
+        static_cast<double>(bytes) / seconds);
+    // 64 KiB/s .. ~4 TiB/s in x4 buckets.
+    obs::HistogramOptions buckets;
+    buckets.first_bound = 64 * 1024;
+    buckets.growth = 4;
+    buckets.buckets = 14;
+    registry.histogram("analyzer.ingest_bytes_per_sec", buckets)
+        .observe(static_cast<std::uint64_t>(rate < 0 ? 0 : rate));
+    const std::string gauge_name =
+        session_label.empty()
+            ? "analyzer.ingest_bytes_per_sec"
+            : "analyzer.ingest_bytes_per_sec{session=" +
+                session_label + "}";
+    registry.gauge(gauge_name).set(rate);
+}
+
+const char *
+pipelineErrorName(PipelineError error)
+{
+    switch (error) {
+      case PipelineError::None: return "none";
+      case PipelineError::OpenFailed: return "open-failed";
+      case PipelineError::Unreadable: return "unreadable";
+      case PipelineError::Empty: return "empty";
+      case PipelineError::Pending: return "pending";
+    }
+    return "unknown";
+}
 
 std::string
 PipelineReport::salvageSummary() const
@@ -110,7 +131,8 @@ AnalysisPipeline::streamProfile(const std::string &path,
                 hook(record);
         }
         chargeSalvageMetrics(reader);
-        chargeIngestMetrics(events, reader.bytesRead(),
+        chargeIngestMetrics(opts.session_label, events,
+                            reader.bytesRead(),
                             secondsSince(start));
         report.saw_damage = reader.sawDamage();
         report.chunks_dropped = reader.chunksDropped();
@@ -160,7 +182,8 @@ AnalysisPipeline::streamColumnar(const std::string &path,
             session.ingest(record);
         }
         chargeSalvageMetrics(reader);
-        chargeIngestMetrics(events, reader.bytesRead(),
+        chargeIngestMetrics(opts.session_label, events,
+                            reader.bytesRead(),
                             secondsSince(start));
         report.saw_damage = reader.sawDamage();
         report.chunks_dropped = reader.chunksDropped();

@@ -40,6 +40,18 @@ struct PipelineOptions
     bool salvage = false;
 
     /**
+     * Session label for ingest metrics. Empty (the batch CLIs)
+     * keeps the historical unlabeled
+     * `analyzer.ingest_bytes_per_sec` gauge; non-empty (one label
+     * per concurrent serve session) lands the rate in
+     * `analyzer.ingest_bytes_per_sec{session=LABEL}` instead, so
+     * concurrent sessions never clobber one another's gauge. The
+     * aggregate `analyzer.ingest_bytes_per_sec` histogram records
+     * every pass either way.
+     */
+    std::string session_label;
+
+    /**
      * Worker threads for the pipeline-owned pool; 0 resolves via
      * resolveThreadCount() (TPUPOINT_THREADS, else hardware
      * concurrency). 1 runs everything inline — the serial path.
@@ -57,7 +69,37 @@ enum class PipelineError : std::uint8_t {
     OpenFailed, ///< The profile could not be opened.
     Unreadable, ///< Decoding failed (and salvage was off or hopeless).
     Empty,      ///< The profile decoded to zero records.
+
+    /**
+     * A live stream has produced no complete records *yet* — the
+     * tail is truncated but the writer may still be appending.
+     * Only the streaming layer (tpupoint-serve's tail-following
+     * sessions) reports this; the batch paths, for which a
+     * zero-record file is final, keep reporting Empty.
+     */
+    Pending,
 };
+
+/** Printable PipelineError name ("none", "pending", ...). */
+const char *pipelineErrorName(PipelineError error);
+
+/**
+ * Charge one streaming pass's ingest volume to the metrics
+ * registry: total events summarized by the ingested records, and
+ * the raw profile-read rate of this pass. The rate always lands in
+ * the aggregate `analyzer.ingest_bytes_per_sec` histogram (honest
+ * across concurrent sessions: every pass is one observation); the
+ * last-write-wins gauge is either per-session-labeled
+ * (`analyzer.ingest_bytes_per_sec{session=LABEL}`) or, for the
+ * single-session batch CLIs (empty label), the historical unlabeled
+ * name. The one thing that never happens anymore is two sessions
+ * racing on the same gauge. Shared by the pipeline's batch passes
+ * and tpupoint-serve's incremental tail polls so both report under
+ * one metric contract.
+ */
+void chargeIngestMetrics(const std::string &session_label,
+                         std::uint64_t events, std::uint64_t bytes,
+                         double seconds);
 
 /** Outcome of one profile load (plus salvage bookkeeping). */
 struct PipelineReport

@@ -1,0 +1,576 @@
+#include "serve/serve.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+
+#include "core/interner.hh"
+#include "core/json.hh"
+#include "core/types.hh"
+#include "obs/metrics.hh"
+#include "obs/pool_metrics.hh"
+#include "proto/columnar.hh"
+#include "runtime/analysis_pipeline.hh"
+#include "trace/tail_reader.hh"
+
+namespace tpupoint {
+namespace serve {
+
+namespace {
+
+/** Per-chunk ingest latency: 8us .. ~67s in x2 buckets. */
+obs::HistogramOptions
+chunkLatencyBuckets()
+{
+    obs::HistogramOptions options;
+    options.first_bound = 8;
+    options.growth = 2;
+    options.buckets = 23;
+    return options;
+}
+
+std::int64_t
+steadyNowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now()
+                   .time_since_epoch())
+        .count();
+}
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+/** File stem: the session name and its metric label. */
+std::string
+sessionName(const std::string &filename, const std::string &suffix)
+{
+    return filename.substr(0, filename.size() - suffix.size());
+}
+
+} // namespace
+
+const char *
+sessionStateName(SessionState state)
+{
+    switch (state) {
+      case SessionState::Discovering: return "discovering";
+      case SessionState::Ingesting: return "ingesting";
+      case SessionState::Quiescent: return "quiescent";
+      case SessionState::Finalized: return "finalized";
+      case SessionState::Evicted: return "evicted";
+    }
+    return "unknown";
+}
+
+/**
+ * One spooled trace. The compact `status` lives as long as the
+ * manager; everything heavy sits behind `live` (while ingesting)
+ * and `result` (while Finalized) so eviction can actually return
+ * the memory.
+ */
+struct SessionManager::Session
+{
+    /** The heavy, evictable ingest state. */
+    struct Live
+    {
+        Live(const std::string &path,
+             const TailReaderOptions &tail_options,
+             const AnalyzerOptions &analyzer_options)
+            : tail(path, tail_options), analysis(analyzer_options)
+        {
+        }
+
+        TailReader tail;
+        AnalysisSession analysis;
+        ColumnarRecord scratch;
+    };
+
+    SessionStatus status;
+    std::unique_ptr<Live> live;
+    std::unique_ptr<AnalysisResult> result;
+    std::int64_t last_progress_ms = 0;
+    std::int64_t finalized_at_ms = 0;
+    bool ready_to_finalize = false;
+};
+
+SessionManager::SessionManager(const ServeOptions &options)
+    : opts(options)
+{
+    if (opts.pool != nullptr) {
+        active_pool = opts.pool;
+    } else {
+        ThreadPoolOptions pool_opts;
+        pool_opts.workers = resolveThreadCount(opts.threads);
+        pool_opts.hooks = obs::instrumentedPoolHooks("serve");
+        owned_pool = std::make_unique<ThreadPool>(pool_opts);
+        active_pool = owned_pool.get();
+    }
+}
+
+SessionManager::~SessionManager() = default;
+
+std::int64_t
+SessionManager::nowMs() const
+{
+    return opts.now_ms ? opts.now_ms() : steadyNowMs();
+}
+
+void
+SessionManager::scanSpool(std::int64_t now)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::directory_iterator it(opts.spool_dir, ec);
+    if (ec)
+        return; // Spool not there yet: nothing to discover.
+    std::vector<std::string> fresh;
+    for (const auto &entry : it) {
+        if (!entry.is_regular_file(ec) || ec)
+            continue;
+        const std::string filename =
+            entry.path().filename().string();
+        if (filename.size() <= opts.suffix.size() ||
+            filename.compare(filename.size() - opts.suffix.size(),
+                             opts.suffix.size(),
+                             opts.suffix) != 0)
+            continue;
+        const std::string path = entry.path().string();
+        const bool known = std::any_of(
+            all.begin(), all.end(), [&path](const auto &session) {
+                return session->status.path == path;
+            });
+        if (!known)
+            fresh.push_back(path);
+    }
+    // Directory iteration order is filesystem-defined; sort so
+    // discovery order (and every status dump) is deterministic.
+    std::sort(fresh.begin(), fresh.end());
+    for (const std::string &path : fresh) {
+        auto session = std::make_unique<Session>();
+        session->status.path = path;
+        session->status.name = sessionName(
+            std::filesystem::path(path).filename().string(),
+            opts.suffix);
+        TailReaderOptions tail_options;
+        tail_options.salvage = opts.salvage;
+        session->live = std::make_unique<Session::Live>(
+            path, tail_options, opts.analyzer);
+        session->last_progress_ms = now;
+        all.push_back(std::move(session));
+        obs::MetricsRegistry::global()
+            .counter("serve.sessions_discovered")
+            .add(1);
+    }
+}
+
+bool
+SessionManager::ingestOne(Session &session, std::int64_t now)
+{
+    auto &live = *session.live;
+    auto &status = session.status;
+    auto &registry = obs::MetricsRegistry::global();
+    auto &chunk_latency = registry.histogram(
+        "serve.ingest_chunk_us", chunkLatencyBuckets());
+
+    const auto poll_start = std::chrono::steady_clock::now();
+    auto chunk_mark = poll_start;
+    std::uint64_t events_delta = 0;
+
+    const TailPoll pass = live.tail.poll(
+        [&](std::string_view payload) {
+            if (decodeProfileRecordColumnar(
+                    payload, live.scratch,
+                    StringInterner::global())) {
+                live.analysis.ingest(live.scratch);
+                ++status.records;
+                status.events += live.scratch.event_count;
+                events_delta += live.scratch.event_count;
+            } else {
+                ++status.decode_failures;
+            }
+        },
+        [&](std::size_t) {
+            const auto chunk_done =
+                std::chrono::steady_clock::now();
+            chunk_latency.observe(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<
+                    std::chrono::microseconds>(chunk_done -
+                                               chunk_mark)
+                    .count()));
+            chunk_mark = chunk_done;
+        });
+
+    status.bytes = live.tail.bytesConsumed();
+    status.chunks = live.tail.chunksConsumed();
+    status.chunks_dropped = live.tail.chunksDropped();
+    status.bytes_skipped = live.tail.bytesSkipped();
+    status.records_dropped = live.tail.recordsDropped();
+    if (!live.tail.error().empty())
+        status.error = live.tail.error();
+    status.complete = live.tail.complete();
+    status.pending = status.records == 0 && !status.complete &&
+        !live.tail.damaged();
+
+    const bool progressed = pass.bytes > 0;
+    if (progressed) {
+        session.last_progress_ms = now;
+        if (status.state == SessionState::Discovering ||
+            status.state == SessionState::Quiescent)
+            status.state = SessionState::Ingesting;
+        registry.counter("serve.records_ingested")
+            .add(pass.records);
+        runtime::chargeIngestMetrics(status.name, events_delta,
+                                     pass.bytes,
+                                     elapsedSeconds(poll_start));
+    }
+
+    if (status.complete || live.tail.damaged()) {
+        session.ready_to_finalize = true;
+    } else if (!progressed && opts.idle_ttl_ms >= 0 &&
+               now - session.last_progress_ms >=
+                   opts.idle_ttl_ms) {
+        // The writer went quiet past the TTL: declare the stream
+        // dead and analyze what salvage recovered.
+        status.state = SessionState::Quiescent;
+        session.ready_to_finalize = true;
+    }
+    return progressed;
+}
+
+void
+SessionManager::finalizeOne(Session &session, std::int64_t now)
+{
+    auto &status = session.status;
+    auto result = std::make_unique<AnalysisResult>(
+        session.live->analysis.finalize({}, *active_pool));
+
+    status.algorithm = phaseAlgorithmName(result->algorithm);
+    status.steps = result->table.size();
+    status.top3_coverage = result->top3_coverage;
+    status.phases.clear();
+    status.phases.reserve(result->phases.size());
+    for (const Phase &phase : result->phases) {
+        PhaseSummary summary;
+        summary.id = phase.id;
+        summary.first_step = phase.first_step;
+        summary.last_step = phase.last_step;
+        summary.steps = phase.size();
+        summary.duration_ms =
+            static_cast<double>(phase.total_duration) / kMsec;
+        summary.noise = phase.is_noise;
+        status.phases.push_back(summary);
+    }
+    if (status.records == 0 && status.error.empty())
+        status.error = "stream ended with no records";
+    status.pending = false;
+    status.state = SessionState::Finalized;
+
+    session.result = std::move(result);
+    session.live.reset(); // Tail buffers + builder released now.
+    session.finalized_at_ms = now;
+    session.ready_to_finalize = false;
+    obs::MetricsRegistry::global()
+        .counter("serve.sessions_finalized")
+        .add(1);
+}
+
+std::size_t
+SessionManager::poll()
+{
+    const std::int64_t now = nowMs();
+    ++polls;
+    scanSpool(now);
+
+    std::vector<Session *> active;
+    for (const auto &session : all) {
+        const SessionState state = session->status.state;
+        if (state == SessionState::Discovering ||
+            state == SessionState::Ingesting ||
+            state == SessionState::Quiescent)
+            if (!session->ready_to_finalize)
+                active.push_back(session.get());
+    }
+    std::atomic<std::size_t> progressed{0};
+    active_pool->forEach(
+        active.size(),
+        [&](std::size_t i) {
+            if (ingestOne(*active[i], now))
+                progressed.fetch_add(1,
+                                     std::memory_order_relaxed);
+        },
+        "serve.ingest");
+
+    std::vector<Session *> ready;
+    for (const auto &session : all)
+        if (session->ready_to_finalize)
+            ready.push_back(session.get());
+    if (opts.max_finalizes_per_poll > 0 &&
+        ready.size() > opts.max_finalizes_per_poll)
+        ready.resize(opts.max_finalizes_per_poll);
+    active_pool->forEach(
+        ready.size(),
+        [&](std::size_t i) { finalizeOne(*ready[i], now); },
+        "serve.finalize");
+
+    for (const auto &session : all) {
+        if (session->status.state != SessionState::Finalized ||
+            opts.evict_ttl_ms < 0)
+            continue;
+        if (now - session->finalized_at_ms < opts.evict_ttl_ms)
+            continue;
+        session->result.reset();
+        session->status.state = SessionState::Evicted;
+        obs::MetricsRegistry::global()
+            .counter("serve.sessions_evicted")
+            .add(1);
+    }
+    return progressed.load(std::memory_order_relaxed);
+}
+
+std::vector<SessionStatus>
+SessionManager::sessions() const
+{
+    std::vector<SessionStatus> out;
+    out.reserve(all.size());
+    for (const auto &session : all)
+        out.push_back(session->status);
+    return out;
+}
+
+ServeStats
+SessionManager::stats() const
+{
+    ServeStats out;
+    out.polls = polls;
+    out.sessions = all.size();
+    for (const auto &session : all) {
+        const SessionStatus &status = session->status;
+        switch (status.state) {
+          case SessionState::Discovering: ++out.discovering; break;
+          case SessionState::Ingesting: ++out.ingesting; break;
+          case SessionState::Quiescent: ++out.quiescent; break;
+          case SessionState::Finalized: ++out.finalized; break;
+          case SessionState::Evicted: ++out.evicted; break;
+        }
+        out.records += status.records;
+        out.events += status.events;
+        out.bytes += status.bytes;
+    }
+    return out;
+}
+
+void
+SessionManager::writeStatusJson(std::ostream &out,
+                                bool pretty) const
+{
+    JsonWriter w(out, pretty);
+    w.beginObject();
+
+    w.key("sessions");
+    w.beginArray();
+    for (const auto &session : all) {
+        const SessionStatus &status = session->status;
+        w.beginObject();
+        w.field("name", status.name);
+        w.field("path", status.path);
+        w.field("state", sessionStateName(status.state));
+        w.field("pending", status.pending);
+        w.field("complete", status.complete);
+        w.field("records", status.records);
+        w.field("events", status.events);
+        w.field("bytes", status.bytes);
+        w.field("chunks", status.chunks);
+        w.field("chunks_dropped", status.chunks_dropped);
+        w.field("bytes_skipped", status.bytes_skipped);
+        w.field("records_dropped", status.records_dropped);
+        w.field("decode_failures", status.decode_failures);
+        if (!status.error.empty())
+            w.field("error", status.error);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("phases");
+    w.beginArray();
+    for (const auto &session : all) {
+        const SessionStatus &status = session->status;
+        if (status.state != SessionState::Finalized &&
+            status.state != SessionState::Evicted)
+            continue;
+        w.beginObject();
+        w.field("name", status.name);
+        w.field("algorithm", status.algorithm);
+        w.key("phases");
+        w.beginArray();
+        for (const PhaseSummary &phase : status.phases) {
+            w.beginObject();
+            w.field("id", phase.id);
+            w.field("first_step", phase.first_step);
+            w.field("last_step", phase.last_step);
+            w.field("steps", phase.steps);
+            w.field("duration_ms", phase.duration_ms);
+            w.field("noise", phase.noise);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("coverage");
+    w.beginArray();
+    for (const auto &session : all) {
+        const SessionStatus &status = session->status;
+        if (status.state != SessionState::Finalized &&
+            status.state != SessionState::Evicted)
+            continue;
+        w.beginObject();
+        w.field("name", status.name);
+        w.field("algorithm", status.algorithm);
+        w.field("steps", status.steps);
+        w.field("phase_count",
+                static_cast<std::uint64_t>(
+                    status.phases.size()));
+        w.field("top3_coverage", status.top3_coverage);
+        w.endObject();
+    }
+    w.endArray();
+
+    const ServeStats tallies = stats();
+    w.key("stats");
+    w.beginObject();
+    w.field("polls", tallies.polls);
+    w.field("sessions",
+            static_cast<std::uint64_t>(tallies.sessions));
+    w.field("discovering",
+            static_cast<std::uint64_t>(tallies.discovering));
+    w.field("ingesting",
+            static_cast<std::uint64_t>(tallies.ingesting));
+    w.field("quiescent",
+            static_cast<std::uint64_t>(tallies.quiescent));
+    w.field("finalized",
+            static_cast<std::uint64_t>(tallies.finalized));
+    w.field("evicted",
+            static_cast<std::uint64_t>(tallies.evicted));
+    w.field("records", tallies.records);
+    w.field("events", tallies.events);
+    w.field("bytes", tallies.bytes);
+    w.endObject();
+
+    w.endObject();
+}
+
+bool
+extractStatusSection(std::string_view status_json,
+                     std::string_view key, std::string *out)
+{
+    std::size_t i = 0;
+    const std::size_t n = status_json.size();
+    const auto skipWs = [&] {
+        while (i < n &&
+               (status_json[i] == ' ' ||
+                status_json[i] == '\t' ||
+                status_json[i] == '\n' ||
+                status_json[i] == '\r'))
+            ++i;
+    };
+    // Skip a string literal; i sits on the opening quote.
+    const auto skipString = [&]() -> bool {
+        ++i;
+        while (i < n) {
+            if (status_json[i] == '\\')
+                i += 2;
+            else if (status_json[i] == '"') {
+                ++i;
+                return true;
+            } else
+                ++i;
+        }
+        return false;
+    };
+    // Skip one complete value; i sits on its first byte.
+    const std::function<bool()> skipValue = [&]() -> bool {
+        skipWs();
+        if (i >= n)
+            return false;
+        const char c = status_json[i];
+        if (c == '"')
+            return skipString();
+        if (c == '{' || c == '[') {
+            // Balanced scan; container-kind mismatches are the
+            // validator's job, not this scanner's.
+            std::size_t depth = 0;
+            while (i < n) {
+                const char d = status_json[i];
+                if (d == '"') {
+                    if (!skipString())
+                        return false;
+                    continue;
+                }
+                if (d == '{' || d == '[')
+                    ++depth;
+                else if (d == '}' || d == ']') {
+                    --depth;
+                    if (depth == 0) {
+                        ++i;
+                        return true;
+                    }
+                }
+                ++i;
+            }
+            return false;
+        }
+        // Primitive: run to the next structural byte.
+        while (i < n && status_json[i] != ',' &&
+               status_json[i] != '}' && status_json[i] != ']')
+            ++i;
+        return true;
+    };
+
+    skipWs();
+    if (i >= n || status_json[i] != '{')
+        return false;
+    ++i;
+    for (;;) {
+        skipWs();
+        if (i >= n)
+            return false;
+        if (status_json[i] == '}')
+            return false; // Key absent.
+        if (status_json[i] != '"')
+            return false;
+        const std::size_t key_begin = i + 1;
+        if (!skipString())
+            return false;
+        const std::string_view found = status_json.substr(
+            key_begin, i - 1 - key_begin);
+        skipWs();
+        if (i >= n || status_json[i] != ':')
+            return false;
+        ++i;
+        skipWs();
+        if (found == key) {
+            const std::size_t value_begin = i;
+            if (!skipValue())
+                return false;
+            out->assign(status_json.substr(
+                value_begin, i - value_begin));
+            return true;
+        }
+        if (!skipValue())
+            return false;
+        skipWs();
+        if (i < n && status_json[i] == ',')
+            ++i;
+    }
+}
+
+} // namespace serve
+} // namespace tpupoint

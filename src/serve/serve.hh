@@ -1,0 +1,259 @@
+/**
+ * @file
+ * The tpupoint-serve session manager: long-running, concurrent
+ * ingest of profile streams as they appear and grow in a spool
+ * directory. Every batch tool in the repo assumes a finished file;
+ * a fleet deployment instead points TPUPoint at the directory its
+ * recording threads spool into and wants phase answers *while*
+ * training runs write. SessionManager owns that loop:
+ *
+ *  - discovery: each poll() scans the spool for new `*.tpp` files
+ *    and opens one session per trace;
+ *  - ingest: every live session tail-follows its file with a
+ *    TailReader (trace/tail_reader), decoding records straight into
+ *    an incremental AnalysisSession via the columnar path; sessions
+ *    ingest concurrently, sharded over one shared core::ThreadPool;
+ *  - lifecycle: Discovering → Ingesting → Quiescent → Finalized →
+ *    Evicted. A stream finalizes the moment its end marker lands,
+ *    or after an idle TTL with no growth (the writer died; analyze
+ *    what salvage recovered). Finalized results are retained for
+ *    queries until an eviction TTL, after which the heavy state
+ *    (step table, analysis result, tail buffers) is released and
+ *    only a compact summary survives — the knob that bounds the
+ *    daemon's memory under session churn;
+ *  - observability: per-session labeled ingest-rate gauges (shared
+ *    contract with runtime::chargeIngestMetrics), an aggregate
+ *    rate histogram, and a p99-able per-chunk ingest-latency
+ *    histogram (`serve.ingest_chunk_us`);
+ *  - queries: writeStatusJson() emits one document whose top-level
+ *    sections ("sessions", "phases", "coverage", "stats") are what
+ *    `tpupoint-serve --query` extracts via extractStatusSection().
+ *
+ * Threading contract: poll(), the accessors and the JSON writers
+ * are control-plane calls from one thread (the daemon loop). The
+ * data plane — per-session ingest and capped finalizes — fans out
+ * on the pool inside poll(), touching disjoint sessions plus the
+ * thread-safe process-wide interner and metrics registry.
+ */
+
+#ifndef TPUPOINT_SERVE_SERVE_HH
+#define TPUPOINT_SERVE_SERVE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyzer/analyzer.hh"
+#include "core/thread_pool.hh"
+
+namespace tpupoint {
+namespace serve {
+
+/** Where a session is in its life. */
+enum class SessionState {
+    Discovering, ///< File seen; no complete chunk ingested yet.
+    Ingesting,   ///< Records are flowing.
+    Quiescent,   ///< No growth for the idle TTL; finalize pending.
+    Finalized,   ///< Analysis ran; result held for queries.
+    Evicted,     ///< Heavy state released; summary only.
+};
+
+/** Printable state name ("discovering", "ingesting", ...). */
+const char *sessionStateName(SessionState state);
+
+/** Compact per-phase summary that survives eviction. */
+struct PhaseSummary
+{
+    int id = 0;
+    std::uint64_t first_step = 0;
+    std::uint64_t last_step = 0;
+    std::uint64_t steps = 0;
+    double duration_ms = 0.0;
+    bool noise = false;
+};
+
+/** Queryable per-session status (compact; survives eviction). */
+struct SessionStatus
+{
+    std::string name; ///< File stem; the metric session label.
+    std::string path;
+    SessionState state = SessionState::Discovering;
+
+    /**
+     * Live stream with no complete records *yet* — the streaming
+     * layer's "no data yet" outcome (PipelineError::Pending), as
+     * opposed to the batch verdict that a record-less profile is
+     * empty. Cleared once records arrive or the session is
+     * declared dead (finalized).
+     */
+    bool pending = true;
+
+    /** The stream's end marker was consumed. */
+    bool complete = false;
+
+    std::uint64_t records = 0; ///< Records decoded and ingested.
+    std::uint64_t events = 0;  ///< Events those records summarize.
+    std::uint64_t bytes = 0;   ///< Bytes consumed from the file.
+    std::uint64_t chunks = 0;  ///< Whole chunks consumed.
+
+    /** Salvage damage tallies (see TailReader). */
+    std::uint64_t chunks_dropped = 0;
+    std::uint64_t bytes_skipped = 0;
+    std::uint64_t records_dropped = 0;
+    std::uint64_t decode_failures = 0;
+
+    /** Damage or decode detail; empty when healthy. */
+    std::string error;
+
+    /** Analysis summary; valid once Finalized. */
+    std::string algorithm;
+    std::uint64_t steps = 0;
+    double top3_coverage = 0.0;
+    std::vector<PhaseSummary> phases;
+};
+
+/** Fleet-level tallies for one SessionManager. */
+struct ServeStats
+{
+    std::uint64_t polls = 0;
+    std::size_t sessions = 0;
+    std::size_t discovering = 0;
+    std::size_t ingesting = 0;
+    std::size_t quiescent = 0;
+    std::size_t finalized = 0;
+    std::size_t evicted = 0;
+    std::uint64_t records = 0;
+    std::uint64_t events = 0;
+    std::uint64_t bytes = 0;
+
+    /** Sessions exist and none is still live. */
+    bool
+    drained() const
+    {
+        return sessions > 0 &&
+            discovering + ingesting + quiescent == 0;
+    }
+};
+
+/** SessionManager configuration. */
+struct ServeOptions
+{
+    /** Directory the recording threads spool streams into. */
+    std::string spool_dir;
+
+    /** Only files with this suffix are traces. */
+    std::string suffix = ".tpp";
+
+    /** Analyzer configuration for every session. */
+    AnalyzerOptions analyzer;
+
+    /**
+     * Tail-follow in salvage mode (drop damaged chunks, keep
+     * streaming). Off = strict: damage parks the session with an
+     * error.
+     */
+    bool salvage = true;
+
+    /**
+     * Workers for the manager-owned pool; 0 resolves via
+     * resolveThreadCount(). Ignored when `pool` is lent.
+     */
+    unsigned threads = 0;
+
+    /** Borrow this caller-owned pool instead of creating one. */
+    ThreadPool *pool = nullptr;
+
+    /**
+     * A live session with no growth for this long turns Quiescent
+     * and is finalized with whatever salvage recovered.
+     */
+    std::int64_t idle_ttl_ms = 2000;
+
+    /**
+     * A Finalized session older than this releases its heavy state
+     * (result, step table) and turns Evicted. Negative = never.
+     */
+    std::int64_t evict_ttl_ms = 10000;
+
+    /** Finalizes run per poll() at most (bounds the memory and
+     *  latency spike of many streams completing at once). */
+    std::size_t max_finalizes_per_poll = 4;
+
+    /**
+     * Injectable monotonic clock (milliseconds); tests drive TTL
+     * transitions deterministically through it. Defaults to
+     * steady_clock.
+     */
+    std::function<std::int64_t()> now_ms;
+};
+
+/** The daemon core: one session per spooled trace. */
+class SessionManager
+{
+  public:
+    explicit SessionManager(const ServeOptions &options);
+    ~SessionManager();
+
+    SessionManager(const SessionManager &) = delete;
+    SessionManager &operator=(const SessionManager &) = delete;
+
+    /**
+     * One pass: discover new spool files, tail-poll every live
+     * session concurrently, run capped finalizes, evict expired
+     * sessions.
+     * @return Sessions that made ingest progress this pass.
+     */
+    std::size_t poll();
+
+    /** Copies of every session's status, discovery order. */
+    std::vector<SessionStatus> sessions() const;
+
+    /** Fleet-level tallies. */
+    ServeStats stats() const;
+
+    /**
+     * The full status document: {"sessions":[...],
+     * "phases":[...], "coverage":[...], "stats":{...}}.
+     */
+    void writeStatusJson(std::ostream &out,
+                         bool pretty = false) const;
+
+    /** The pool session work fans out on (owned or borrowed). */
+    ThreadPool &pool() const { return *active_pool; }
+
+    const ServeOptions &options() const { return opts; }
+
+  private:
+    struct Session;
+
+    std::int64_t nowMs() const;
+    void scanSpool(std::int64_t now);
+    bool ingestOne(Session &session, std::int64_t now);
+    void finalizeOne(Session &session, std::int64_t now);
+
+    ServeOptions opts;
+    std::unique_ptr<ThreadPool> owned_pool;
+    ThreadPool *active_pool;
+    std::vector<std::unique_ptr<Session>> all;
+    std::uint64_t polls = 0;
+};
+
+/**
+ * Extract one top-level section (e.g. "phases") from a status
+ * document into @p out — the `--query` implementation. A
+ * string-aware structural scan, not a JSON parser: it finds the
+ * key at nesting depth 1 and copies its balanced value verbatim.
+ * @return false when the key is absent or the document is
+ *     malformed.
+ */
+bool extractStatusSection(std::string_view status_json,
+                          std::string_view key, std::string *out);
+
+} // namespace serve
+} // namespace tpupoint
+
+#endif // TPUPOINT_SERVE_SERVE_HH

@@ -4,24 +4,18 @@
 
 #include "core/logging.hh"
 #include "trace/checksum.hh"
+#include "trace/wire.hh"
 
 namespace tpupoint {
 
 namespace {
 
-constexpr char kMagic[4] = {'T', 'P', 'P', 'F'};
-// v4: profile records carry attempt-continuity meta-data (attempt
-// index, attempt-boundary markers). v5: records count events the
-// collector dropped after a transport cap. Each tail is appended to
-// the previous layout, so readers accept every version back to v3.
-constexpr std::uint32_t kVersion = 5;
-constexpr std::uint32_t kMinVersion = 3;
-constexpr std::uint32_t kChunkMarker = 0x4b4e4843u; // "CHNK"
-constexpr std::uint32_t kEndMarker = 0x53444e45u;   // "ENDS"
-
-/** Upper bound a chunk's declared payload size must respect; a
- *  corrupt length field must not drive a multi-gigabyte resize. */
-constexpr std::uint32_t kMaxChunkPayload = 64u * 1024 * 1024;
+using wire::kChunkMarker;
+using wire::kEndMarker;
+using wire::kMagic;
+using wire::kMaxChunkPayload;
+using wire::kMinVersion;
+using wire::kVersion;
 
 void
 putU32(std::ostream &out, std::uint32_t v)

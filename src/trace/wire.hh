@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The record-stream wire constants, shared between the batch reader
+ * (record_stream) and the tail-following reader (tail_reader). Both
+ * must agree byte-for-byte on the framing — magic, markers, version
+ * window, payload cap — so the constants live here once instead of
+ * drifting apart in two translation units.
+ *
+ * The format itself is documented in record_stream.hh.
+ */
+
+#ifndef TPUPOINT_TRACE_WIRE_HH
+#define TPUPOINT_TRACE_WIRE_HH
+
+#include <cstdint>
+
+namespace tpupoint {
+namespace wire {
+
+/** Stream header magic: the literal bytes "TPPF". */
+constexpr char kMagic[4] = {'T', 'P', 'P', 'F'};
+
+/**
+ * Current container version, the one writers emit. v4: profile
+ * records carry attempt-continuity meta-data (attempt index,
+ * attempt-boundary markers). v5: records count events the collector
+ * dropped after a transport cap. Each tail is appended to the
+ * previous layout, so readers accept every version back to v3.
+ */
+constexpr std::uint32_t kVersion = 5;
+
+/** Oldest container version readers still accept. */
+constexpr std::uint32_t kMinVersion = 3;
+
+/** Chunk marker; little-endian, so the wire bytes read "CHNK". */
+constexpr std::uint32_t kChunkMarker = 0x4b4e4843u;
+
+/** End marker; little-endian, so the wire bytes read "ENDS". */
+constexpr std::uint32_t kEndMarker = 0x53444e45u;
+
+/** Upper bound a chunk's declared payload size must respect; a
+ *  corrupt length field must not drive a multi-gigabyte resize. */
+constexpr std::uint32_t kMaxChunkPayload = 64u * 1024 * 1024;
+
+} // namespace wire
+} // namespace tpupoint
+
+#endif // TPUPOINT_TRACE_WIRE_HH

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "core/strings.hh"
 #include "core/types.hh"
 
@@ -91,6 +94,49 @@ TEST(StringsTest, Padding)
     EXPECT_EQ(padRight("ab", 5), "ab   ");
     EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
     EXPECT_EQ(padRight("abcdef", 3), "abcdef");
+}
+
+TEST(StringsTest, ParseInt64AcceptsOnlyWholeIntegers)
+{
+    std::int64_t value = 0;
+    EXPECT_TRUE(parseInt64("42", &value));
+    EXPECT_EQ(value, 42);
+    EXPECT_TRUE(parseInt64("-7", &value));
+    EXPECT_EQ(value, -7);
+    EXPECT_TRUE(parseInt64("0", &value));
+    EXPECT_EQ(value, 0);
+    EXPECT_TRUE(parseInt64("9223372036854775807", &value));
+    EXPECT_EQ(value, std::numeric_limits<std::int64_t>::max());
+
+    // Failures leave the value untouched.
+    value = 123;
+    EXPECT_FALSE(parseInt64("", &value));
+    EXPECT_FALSE(parseInt64("abc", &value));
+    EXPECT_FALSE(parseInt64("12abc", &value)); // Trailing junk.
+    EXPECT_FALSE(parseInt64("1.5", &value));
+    EXPECT_FALSE(parseInt64(" 42", &value)); // No silent trim.
+    EXPECT_FALSE(parseInt64("42 ", &value));
+    EXPECT_FALSE(parseInt64("9223372036854775808",
+                            &value)); // Overflow.
+    EXPECT_FALSE(parseInt64("-9223372036854775809", &value));
+    EXPECT_EQ(value, 123);
+}
+
+TEST(StringsTest, ParseUint64RejectsSignsAndOverflow)
+{
+    std::uint64_t value = 0;
+    EXPECT_TRUE(parseUint64("0", &value));
+    EXPECT_EQ(value, 0u);
+    EXPECT_TRUE(parseUint64("18446744073709551615", &value));
+    EXPECT_EQ(value, std::numeric_limits<std::uint64_t>::max());
+
+    value = 99;
+    EXPECT_FALSE(parseUint64("-1", &value)); // No wrap to huge.
+    EXPECT_FALSE(parseUint64("+1", &value));
+    EXPECT_FALSE(parseUint64("", &value));
+    EXPECT_FALSE(parseUint64("1e3", &value));
+    EXPECT_FALSE(parseUint64("18446744073709551616", &value));
+    EXPECT_EQ(value, 99u);
 }
 
 } // namespace

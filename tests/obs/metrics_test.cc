@@ -166,6 +166,53 @@ TEST(MetricsTest, GlobalRegistryIsAProcessSingleton)
               &MetricsRegistry::global());
 }
 
+TEST(MetricsTest, HistogramQuantileReportsBucketUpperBound)
+{
+    MetricsRegistry registry;
+    HistogramOptions options;
+    options.first_bound = 10;
+    options.growth = 10;
+    options.buckets = 3; // Bounds 10, 100, 1000.
+    Histogram &h = registry.histogram("latency", options);
+    // 90 observations in the first bucket, 9 in the second, 1 in
+    // the third: a classic latency tail.
+    for (int i = 0; i < 90; ++i)
+        h.observe(5);
+    for (int i = 0; i < 9; ++i)
+        h.observe(50);
+    h.observe(500);
+
+    const auto snapshot = registry.snapshot();
+    const auto &data = snapshot.histograms.at("latency");
+    EXPECT_EQ(data.count, 100u);
+    EXPECT_DOUBLE_EQ(histogramQuantile(data, 0.5), 10.0);
+    EXPECT_DOUBLE_EQ(histogramQuantile(data, 0.9), 10.0);
+    EXPECT_DOUBLE_EQ(histogramQuantile(data, 0.95), 100.0);
+    EXPECT_DOUBLE_EQ(histogramQuantile(data, 0.99), 100.0);
+    EXPECT_DOUBLE_EQ(histogramQuantile(data, 1.0), 1000.0);
+}
+
+TEST(MetricsTest, HistogramQuantileEdgeCases)
+{
+    MetricsSnapshot::HistogramData empty;
+    EXPECT_DOUBLE_EQ(histogramQuantile(empty, 0.99), 0.0);
+
+    MetricsRegistry registry;
+    HistogramOptions options;
+    options.first_bound = 10;
+    options.growth = 10;
+    options.buckets = 2; // Bounds 10, 100.
+    Histogram &h = registry.histogram("overflow", options);
+    h.observe(5);
+    h.observe(12345); // Lands in the overflow bucket.
+    const auto snapshot = registry.snapshot();
+    const auto &data = snapshot.histograms.at("overflow");
+    // Overflow observations can only report the last finite
+    // bound — a lower bound on the truth, not an invention.
+    EXPECT_DOUBLE_EQ(histogramQuantile(data, 1.0), 100.0);
+    EXPECT_DOUBLE_EQ(histogramQuantile(data, 0.25), 10.0);
+}
+
 } // namespace
 } // namespace obs
 } // namespace tpupoint

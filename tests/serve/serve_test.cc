@@ -1,0 +1,340 @@
+/**
+ * @file serve::SessionManager: the tpupoint-serve daemon core.
+ * Pins the session lifecycle (discovering → ingesting → quiescent
+ * → finalized → evicted) against an injected clock, the streaming
+ * layer's "pending, no data yet" semantics for a live truncated
+ * trace, per-session-labeled ingest metrics that concurrent
+ * sessions cannot clobber, concurrent many-session ingest over the
+ * shared pool (the interner/metrics race test the TSan suite
+ * walks), and the status-document query path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#include "core/json.hh"
+#include "obs/metrics.hh"
+#include "proto/serialize.hh"
+#include "serve/serve.hh"
+#include "tests/analyzer/synthetic.hh"
+#include "trace/record_stream.hh"
+
+namespace tpupoint {
+namespace {
+
+std::string
+tempDir(const std::string &name)
+{
+    std::string dir = testing::TempDir();
+#ifdef __unix__
+    dir += std::to_string(getpid()) + ".";
+#endif
+    dir += name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/** The canonical three-phase run as a multi-chunk stream. */
+std::string
+analyzableStream()
+{
+    std::ostringstream out(std::ios::binary);
+    RecordStreamOptions options;
+    options.chunk_records = 4;
+    RecordStreamWriter writer(out, options);
+    const auto steps = testutil::threePhaseRun();
+    // One record per step so the stream spans many chunks.
+    for (std::size_t i = 0; i < steps.size(); ++i)
+        writer.append(encodeProfileRecord(
+            testutil::makeRecord({steps[i]}, i)));
+    writer.finish();
+    return out.str();
+}
+
+void
+writeFile(const std::string &path, std::string_view bytes)
+{
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Manager wired to a fake clock the test advances. */
+struct ManagedSpool
+{
+    explicit ManagedSpool(const std::string &dir_name,
+                          unsigned threads = 1)
+        : dir(tempDir(dir_name))
+    {
+        options.spool_dir = dir;
+        options.threads = threads;
+        options.idle_ttl_ms = 1000;
+        options.evict_ttl_ms = 5000;
+        options.now_ms = [this] { return now; };
+        manager = std::make_unique<serve::SessionManager>(options);
+    }
+
+    const serve::SessionStatus &
+    status(const std::string &name)
+    {
+        statuses = manager->sessions();
+        for (const auto &status : statuses)
+            if (status.name == name)
+                return status;
+        static serve::SessionStatus missing;
+        ADD_FAILURE() << "no session named " << name;
+        return missing;
+    }
+
+    std::string dir;
+    serve::ServeOptions options;
+    std::int64_t now = 0;
+    std::unique_ptr<serve::SessionManager> manager;
+    std::vector<serve::SessionStatus> statuses;
+};
+
+TEST(ServeTest, CompleteStreamFinalizesImmediately)
+{
+    ManagedSpool spool("serve_complete");
+    writeFile(spool.dir + "/run.tpp", analyzableStream());
+    spool.manager->poll(); // Discover + ingest to Complete.
+    spool.manager->poll(); // Finalize.
+    const auto &status = spool.status("run");
+    EXPECT_EQ(status.state, serve::SessionState::Finalized);
+    EXPECT_TRUE(status.complete);
+    EXPECT_FALSE(status.pending);
+    EXPECT_GT(status.records, 0u);
+    EXPECT_GT(status.steps, 0u);
+    EXPECT_FALSE(status.phases.empty());
+    EXPECT_GT(status.top3_coverage, 0.0);
+    EXPECT_TRUE(status.error.empty());
+}
+
+TEST(ServeTest, LiveTraceWithNoRecordsYetIsPendingNotEmpty)
+{
+    ManagedSpool spool("serve_pending");
+    const std::string bytes = analyzableStream();
+    // Header plus a sliver of the first chunk: zero complete
+    // records, but the writer may still be appending.
+    writeFile(spool.dir + "/young.tpp",
+              std::string_view(bytes).substr(0, 14));
+    spool.manager->poll();
+    const auto &status = spool.status("young");
+    EXPECT_TRUE(status.pending);
+    EXPECT_EQ(status.records, 0u);
+    EXPECT_TRUE(status.error.empty());
+    // The header's bytes count as progress, so the session is
+    // already Ingesting — but still pending, never Empty.
+    EXPECT_EQ(status.state, serve::SessionState::Ingesting);
+}
+
+TEST(ServeTest, QuiescentStreamFinalizesAfterIdleTtl)
+{
+    ManagedSpool spool("serve_quiescent");
+    const std::string bytes = analyzableStream();
+    // Most of the stream, cut mid-chunk, never completed.
+    writeFile(spool.dir + "/dead.tpp",
+              std::string_view(bytes).substr(
+                  0, bytes.size() * 2 / 3 + 3));
+    spool.manager->poll();
+    EXPECT_EQ(spool.status("dead").state,
+              serve::SessionState::Ingesting);
+
+    // Writer stays silent past the idle TTL: declared dead,
+    // analyzed with what salvage recovered.
+    spool.now += spool.options.idle_ttl_ms + 1;
+    spool.manager->poll(); // Notices quiescence.
+    spool.manager->poll(); // Finalizes.
+    const auto &status = spool.status("dead");
+    EXPECT_EQ(status.state, serve::SessionState::Finalized);
+    EXPECT_FALSE(status.pending);
+    EXPECT_GT(status.records, 0u);
+    EXPECT_GT(status.steps, 0u);
+}
+
+TEST(ServeTest, RecordlessStreamDeclaredDeadReportsNoRecords)
+{
+    ManagedSpool spool("serve_recordless");
+    const std::string bytes = analyzableStream();
+    writeFile(spool.dir + "/empty.tpp",
+              std::string_view(bytes).substr(0, 10));
+    spool.manager->poll();
+    EXPECT_TRUE(spool.status("empty").pending);
+    spool.now += spool.options.idle_ttl_ms + 1;
+    spool.manager->poll();
+    spool.manager->poll();
+    const auto &status = spool.status("empty");
+    EXPECT_EQ(status.state, serve::SessionState::Finalized);
+    // Once declared dead, "pending" resolves to a final verdict.
+    EXPECT_FALSE(status.pending);
+    EXPECT_EQ(status.records, 0u);
+    EXPECT_EQ(status.error, "stream ended with no records");
+}
+
+TEST(ServeTest, EvictionReleasesResultKeepsSummary)
+{
+    ManagedSpool spool("serve_evict");
+    writeFile(spool.dir + "/run.tpp", analyzableStream());
+    spool.manager->poll();
+    spool.manager->poll();
+    ASSERT_EQ(spool.status("run").state,
+              serve::SessionState::Finalized);
+    const auto summary = spool.status("run").phases;
+    ASSERT_FALSE(summary.empty());
+
+    spool.now += spool.options.evict_ttl_ms + 1;
+    spool.manager->poll();
+    const auto &status = spool.status("run");
+    EXPECT_EQ(status.state, serve::SessionState::Evicted);
+    // The compact summary survives eviction for queries.
+    EXPECT_EQ(status.phases.size(), summary.size());
+    EXPECT_GT(status.top3_coverage, 0.0);
+
+    const serve::ServeStats stats = spool.manager->stats();
+    EXPECT_EQ(stats.evicted, 1u);
+    EXPECT_TRUE(stats.drained());
+}
+
+TEST(ServeTest, PerSessionIngestMetricsDoNotClobber)
+{
+    auto &registry = obs::MetricsRegistry::global();
+    registry.reset();
+    ManagedSpool spool("serve_metrics");
+    const std::string bytes = analyzableStream();
+    writeFile(spool.dir + "/alpha.tpp", bytes);
+    // Different size so equal rates are unlikely even in theory.
+    writeFile(spool.dir + "/beta.tpp",
+              std::string_view(bytes).substr(
+                  0, bytes.size() / 2 + 5));
+    spool.manager->poll();
+
+    const obs::MetricsSnapshot snapshot = registry.snapshot();
+    const auto alpha = snapshot.gauges.find(
+        "analyzer.ingest_bytes_per_sec{session=alpha}");
+    const auto beta = snapshot.gauges.find(
+        "analyzer.ingest_bytes_per_sec{session=beta}");
+    ASSERT_NE(alpha, snapshot.gauges.end());
+    ASSERT_NE(beta, snapshot.gauges.end());
+    EXPECT_GT(alpha->second, 0);
+    EXPECT_GT(beta->second, 0);
+    // Both passes also landed in the aggregate histogram.
+    const auto aggregate = snapshot.histograms.find(
+        "analyzer.ingest_bytes_per_sec");
+    ASSERT_NE(aggregate, snapshot.histograms.end());
+    EXPECT_GE(aggregate->second.count, 2u);
+    // The per-chunk ingest latency histogram saw every chunk.
+    const auto latency =
+        snapshot.histograms.find("serve.ingest_chunk_us");
+    ASSERT_NE(latency, snapshot.histograms.end());
+    EXPECT_GT(latency->second.count, 0u);
+}
+
+// Many sessions ingesting concurrently on a real pool: every
+// worker interns op names into the global StringInterner and
+// observes shared registry instruments at once. The TSan suite
+// runs this against the thread sanitizer.
+TEST(ServeTest, ConcurrentSessionsIngestSafely)
+{
+    ManagedSpool spool("serve_concurrent", /*threads=*/8);
+    spool.options.idle_ttl_ms = 0;
+    const std::string bytes = analyzableStream();
+    constexpr int kSessions = 24;
+    for (int i = 0; i < kSessions; ++i)
+        writeFile(spool.dir + "/s" + std::to_string(i) + ".tpp",
+                  bytes);
+    int polls = 0;
+    while (!spool.manager->stats().drained() && polls < 200) {
+        spool.manager->poll();
+        spool.now += 10;
+        ++polls;
+    }
+    const serve::ServeStats stats = spool.manager->stats();
+    EXPECT_EQ(stats.sessions,
+              static_cast<std::size_t>(kSessions));
+    EXPECT_EQ(stats.finalized + stats.evicted,
+              static_cast<std::size_t>(kSessions));
+    for (const auto &status : spool.manager->sessions()) {
+        EXPECT_TRUE(status.complete);
+        EXPECT_GT(status.steps, 0u);
+        EXPECT_TRUE(status.error.empty()) << status.error;
+    }
+}
+
+TEST(ServeTest, FinalizesAreCappedPerPoll)
+{
+    ManagedSpool spool("serve_capped");
+    spool.options.max_finalizes_per_poll = 1;
+    spool.manager = std::make_unique<serve::SessionManager>(
+        spool.options);
+    const std::string bytes = analyzableStream();
+    for (int i = 0; i < 3; ++i)
+        writeFile(spool.dir + "/s" + std::to_string(i) + ".tpp",
+                  bytes);
+    // Each poll ingests then finalizes at most one session.
+    spool.manager->poll();
+    EXPECT_EQ(spool.manager->stats().finalized, 1u);
+    spool.manager->poll();
+    EXPECT_EQ(spool.manager->stats().finalized, 2u);
+    spool.manager->poll();
+    EXPECT_EQ(spool.manager->stats().finalized, 3u);
+}
+
+TEST(ServeTest, StatusJsonValidatesAndSectionsExtract)
+{
+    ManagedSpool spool("serve_status");
+    writeFile(spool.dir + "/run.tpp", analyzableStream());
+    spool.manager->poll();
+    spool.manager->poll();
+
+    std::ostringstream out;
+    spool.manager->writeStatusJson(out);
+    const std::string status = out.str();
+    std::string why;
+    EXPECT_TRUE(validateJson(status, &why)) << why;
+
+    for (const char *section :
+         {"sessions", "phases", "coverage", "stats"}) {
+        std::string value;
+        ASSERT_TRUE(serve::extractStatusSection(status, section,
+                                                &value))
+            << section;
+        EXPECT_TRUE(validateJson(value, &why))
+            << section << ": " << why;
+    }
+    std::string value;
+    EXPECT_FALSE(
+        serve::extractStatusSection(status, "nope", &value));
+
+    // The phases section names the finalized session.
+    ASSERT_TRUE(
+        serve::extractStatusSection(status, "phases", &value));
+    EXPECT_NE(value.find("\"run\""), std::string::npos);
+}
+
+TEST(ServeTest, ExtractSectionSurvivesTrickyStrings)
+{
+    const std::string doc =
+        "{\"a\":\"s{[\\\"x\\\"]}\",\"list\":[1,2,{\"k\":\"}\"}],"
+        "\"b\":{\"n\":-1.5e3,\"t\":true}}";
+    std::string value;
+    ASSERT_TRUE(serve::extractStatusSection(doc, "list", &value));
+    EXPECT_EQ(value, "[1,2,{\"k\":\"}\"}]");
+    ASSERT_TRUE(serve::extractStatusSection(doc, "b", &value));
+    EXPECT_EQ(value, "{\"n\":-1.5e3,\"t\":true}");
+    ASSERT_TRUE(serve::extractStatusSection(doc, "a", &value));
+    EXPECT_EQ(value, "\"s{[\\\"x\\\"]}\"");
+    EXPECT_FALSE(serve::extractStatusSection(doc, "n", &value));
+}
+
+} // namespace
+} // namespace tpupoint

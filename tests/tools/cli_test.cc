@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #ifdef __unix__
 #include <sys/wait.h>
@@ -347,6 +348,106 @@ TEST(CliTest, SalvageToolFailsWhenNothingSurvives)
     EXPECT_NE(result.exit_code, 0);
     EXPECT_NE(result.output.find("nothing salvageable"),
               std::string::npos);
+}
+
+// The satellite fix for unchecked atoi: every numeric flag now
+// rejects garbage, trailing junk, out-of-range and misplaced
+// negatives with a clear message and exit 2 — instead of silently
+// parsing "20x" as 20 or "abc" as 0.
+TEST(CliTest, NumericFlagsRejectGarbage)
+{
+    const char *bad_analyze[] = {"--k abc", "--k 3x", "--k -2",
+                                 "--k 99999999999999999999",
+                                 "--min-samples -1",
+                                 "--min-samples 1.5"};
+    for (const char *flags : bad_analyze) {
+        // The profile path is positional (argv[1]); flags follow.
+        const auto result =
+            run(std::string(TPUPOINT_ANALYZE_BIN) + " " +
+                tempPath("never_read.tpp") + " " + flags);
+        EXPECT_EQ(result.exit_code, 2) << flags;
+        EXPECT_NE(result.output.find("wants an integer"),
+                  std::string::npos)
+            << flags << " said: " << result.output;
+    }
+
+    const char *bad_profile[] = {"--steps 10x", "--steps junk",
+                                 "--steps -5", "--max-attempts 3.5",
+                                 "--fault-seed 0x10"};
+    for (const char *flags : bad_profile) {
+        const auto result =
+            run(std::string(TPUPOINT_PROFILE_BIN) + " " + flags +
+                " --out " + tempPath("never_written.tpp"));
+        EXPECT_EQ(result.exit_code, 2) << flags;
+        EXPECT_NE(result.output.find("wants an integer"),
+                  std::string::npos)
+            << flags << " said: " << result.output;
+    }
+
+    const auto threads = run(std::string(TPUPOINT_ANALYZE_BIN) +
+                             " " + tempPath("never_read.tpp") +
+                             " --threads two");
+    EXPECT_EQ(threads.exit_code, 2);
+    EXPECT_NE(threads.output.find("wants an integer"),
+              std::string::npos);
+}
+
+TEST(CliTest, ServeQueryRejectsUnknownSectionAndMissingStatus)
+{
+    const auto unknown = run(std::string(TPUPOINT_SERVE_BIN) +
+                             " --query bogus --status x.json");
+    EXPECT_EQ(unknown.exit_code, 2);
+    EXPECT_NE(unknown.output.find("unknown query 'bogus'"),
+              std::string::npos);
+
+    const std::string absent = tempPath("serve_absent_status.json");
+    std::remove(absent.c_str());
+    const auto missing = run(std::string(TPUPOINT_SERVE_BIN) +
+                             " --query phases --status '" +
+                             absent + "'");
+    EXPECT_EQ(missing.exit_code, 1);
+    EXPECT_NE(missing.output.find("no status file"),
+              std::string::npos);
+
+    const auto no_spool = run(std::string(TPUPOINT_SERVE_BIN));
+    EXPECT_EQ(no_spool.exit_code, 2);
+    EXPECT_NE(no_spool.output.find("--spool"), std::string::npos);
+}
+
+TEST(CliTest, ServeDrainsSpoolAndAnswersQueries)
+{
+    const std::string spool = tempPath("serve_spool");
+    std::filesystem::remove_all(spool);
+    std::filesystem::create_directories(spool);
+    writeProfile(spool + "/run.tpp");
+    const std::string status = tempPath("serve_status.json");
+
+    const auto serve = run(std::string(TPUPOINT_SERVE_BIN) +
+                           " --spool '" + spool +
+                           "' --status-out '" + status +
+                           "' --poll-ms 10 --idle-ttl-ms 200"
+                           " --threads 1 --drain");
+    ASSERT_EQ(serve.exit_code, 0) << serve.output;
+    EXPECT_NE(serve.output.find("1 sessions (1 finalized"),
+              std::string::npos)
+        << serve.output;
+
+    for (const char *section :
+         {"phases", "coverage", "sessions", "stats"}) {
+        const auto query = run(std::string(TPUPOINT_SERVE_BIN) +
+                               " --query " + section +
+                               " --status '" + status + "'");
+        EXPECT_EQ(query.exit_code, 0)
+            << section << ": " << query.output;
+        std::string why;
+        EXPECT_TRUE(validateJson(query.output, &why))
+            << section << ": " << why;
+    }
+    const auto phases = run(std::string(TPUPOINT_SERVE_BIN) +
+                            " --query phases --status '" + status +
+                            "'");
+    EXPECT_NE(phases.output.find("\"run\""), std::string::npos);
+    std::filesystem::remove_all(spool);
 }
 
 } // namespace

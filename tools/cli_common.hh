@@ -9,14 +9,17 @@
 #ifndef TPUPOINT_TOOLS_CLI_COMMON_HH
 #define TPUPOINT_TOOLS_CLI_COMMON_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "analyzer/analyzer.hh"
+#include "core/strings.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_export.hh"
 #include "proto/serialize.hh"
@@ -197,6 +200,49 @@ class FlagParser
 };
 
 /**
+ * Checked CLI integer parse: the whole of @p text must be one
+ * decimal integer in [@p min, @p max]. On failure prints
+ * "FLAG wants an integer in [min, max], got 'text'" to stderr and
+ * returns false — `--steps banana` is a diagnosed error, never a
+ * silent zero, and an overflowing value never wraps.
+ */
+inline bool
+parseInt(const char *flag, const char *text, std::int64_t min,
+         std::int64_t max, std::int64_t *value)
+{
+    std::int64_t parsed = 0;
+    if (!tpupoint::parseInt64(text, &parsed) || parsed < min ||
+        parsed > max) {
+        std::fprintf(stderr,
+                     "%s wants an integer in [%lld, %lld], "
+                     "got '%s'\n",
+                     flag, static_cast<long long>(min),
+                     static_cast<long long>(max), text);
+        return false;
+    }
+    *value = parsed;
+    return true;
+}
+
+/** parseInt for unsigned ranges ('-1' is rejected, not wrapped). */
+inline bool
+parseUint(const char *flag, const char *text, std::uint64_t max,
+          std::uint64_t *value)
+{
+    std::uint64_t parsed = 0;
+    if (!tpupoint::parseUint64(text, &parsed) || parsed > max) {
+        std::fprintf(stderr,
+                     "%s wants an integer in [0, %llu], got "
+                     "'%s'\n",
+                     flag, static_cast<unsigned long long>(max),
+                     text);
+        return false;
+    }
+    *value = parsed;
+    return true;
+}
+
+/**
  * Register the standard `--threads N` knob on @p parser, storing
  * into @p threads: 0 (the conventional default) resolves through
  * TPUPOINT_THREADS / hardware concurrency at pool construction,
@@ -210,12 +256,11 @@ addThreadsFlag(FlagParser &parser, unsigned *threads)
         "analysis worker threads (default: TPUPOINT_THREADS or "
         "hardware concurrency; results identical for any N)",
         [threads](const char *value) {
-            const long parsed = std::atol(value);
-            if (parsed < 0) {
-                std::fprintf(stderr,
-                             "--threads wants N >= 0\n");
+            std::uint64_t parsed = 0;
+            if (!parseUint("--threads", value,
+                           std::numeric_limits<unsigned>::max(),
+                           &parsed))
                 return false;
-            }
             *threads = static_cast<unsigned>(parsed);
             return true;
         });

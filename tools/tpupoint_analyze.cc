@@ -86,15 +86,28 @@ main(int argc, char **argv)
     parser.option("--k", "N",
                   "fixed k for k-means (default: 1..15 sweep)",
                   [&](const char *value) {
-                      options.kmeans_fixed_k = std::atoi(value);
+                      std::int64_t parsed = 0;
+                      if (!cli::parseInt(
+                              "--k", value, 0,
+                              std::numeric_limits<int>::max(),
+                              &parsed))
+                          return false;
+                      options.kmeans_fixed_k =
+                          static_cast<int>(parsed);
                       return true;
                   });
     parser.option("--min-samples", "N",
                   "fixed DBSCAN min-samples (default: sweep)",
                   [&](const char *value) {
+                      std::uint64_t parsed = 0;
+                      if (!cli::parseUint(
+                              "--min-samples", value,
+                              std::numeric_limits<
+                                  std::uint32_t>::max(),
+                              &parsed))
+                          return false;
                       options.dbscan_fixed_min_samples =
-                          static_cast<std::size_t>(
-                              std::atoll(value));
+                          static_cast<std::size_t>(parsed);
                       return true;
                   });
     parser.option("--out", "BASE",

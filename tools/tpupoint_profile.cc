@@ -85,10 +85,12 @@ main(int argc, char **argv)
             return true;
         };
     };
-    const auto u64_into = [](std::uint64_t *into) {
-        return [into](const char *value) {
-            *into = static_cast<std::uint64_t>(std::atoll(value));
-            return true;
+    const auto u64_into = [](const char *flag,
+                             std::uint64_t *into) {
+        return [flag, into](const char *value) {
+            return cli::parseUint(
+                flag, value,
+                std::numeric_limits<std::uint64_t>::max(), into);
         };
     };
     parser.option("--workload", "NAME",
@@ -104,14 +106,14 @@ main(int argc, char **argv)
                   double_into(&scale));
     parser.option("--steps", "N",
                   "hard cap on train steps (default none)",
-                  u64_into(&max_steps));
+                  u64_into("--steps", &max_steps));
     parser.option("--fault-error-rate", "F",
                   "storage transient-error probability per "
                   "transfer (default 0)",
                   double_into(&fault_error_rate));
     parser.option("--fault-seed", "N",
                   "fault-plan seed (default: session seed)",
-                  u64_into(&fault_seed));
+                  u64_into("--fault-seed", &fault_seed));
     parser.option("--preempt-at", "S",
                   "device interruption at S simulated seconds "
                   "(repeatable)",
@@ -125,12 +127,19 @@ main(int argc, char **argv)
                   double_into(&preempt_rate));
     parser.option("--preempt-seed", "N",
                   "preemption-plan seed (default: session seed)",
-                  u64_into(&preempt_seed));
+                  u64_into("--preempt-seed", &preempt_seed));
     parser.option("--max-attempts", "N",
                   "restart budget under preemption (default 8)",
                   [&max_attempts](const char *value) {
-                      max_attempts = static_cast<std::uint32_t>(
-                          std::atoi(value));
+                      std::uint64_t parsed = 0;
+                      if (!cli::parseUint(
+                              "--max-attempts", value,
+                              std::numeric_limits<
+                                  std::uint32_t>::max(),
+                              &parsed))
+                          return false;
+                      max_attempts =
+                          static_cast<std::uint32_t>(parsed);
                       return true;
                   });
     parser.toggle("--naive",

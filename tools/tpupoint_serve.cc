@@ -1,0 +1,331 @@
+/**
+ * @file
+ * `tpupoint-serve`: the long-running ingest daemon. Points at a
+ * spool directory that recording threads write profile streams
+ * into, tail-follows every stream as it grows (salvage-tolerant:
+ * a torn tail is "pending", not "broken"), runs one incremental
+ * analysis session per trace on a shared thread pool, and
+ * publishes a JSON status document that `--query` reads back out
+ * while ingest is still live.
+ *
+ * Daemon mode:
+ *   tpupoint-serve --spool DIR --status-out status.json
+ * Query mode (against a running daemon's status file):
+ *   tpupoint-serve --query phases --status status.json
+ *
+ * Run with --help for the full flag list.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "core/json.hh"
+#include "core/strings.hh"
+#include "serve/serve.hh"
+#include "tools/cli_common.hh"
+
+using namespace tpupoint;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+/** Publish the status document atomically: tmp file + rename. */
+bool
+writeStatusFile(const serve::SessionManager &manager,
+                const std::string &path)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        if (out) {
+            manager.writeStatusJson(out);
+            out << '\n';
+        }
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         tmp.c_str());
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::fprintf(stderr, "error: cannot publish %s: %s\n",
+                     path.c_str(), ec.message().c_str());
+        return false;
+    }
+    return true;
+}
+
+int
+runQuery(const std::string &query, const std::string &status_path)
+{
+    if (query != "phases" && query != "coverage" &&
+        query != "sessions" && query != "stats") {
+        std::fprintf(stderr,
+                     "unknown query '%s' (want "
+                     "phases|coverage|sessions|stats)\n",
+                     query.c_str());
+        return 2;
+    }
+    if (status_path.empty()) {
+        std::fprintf(stderr,
+                     "--query wants --status PATH (the daemon's "
+                     "--status-out file)\n");
+        return 2;
+    }
+    std::ifstream in(status_path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr,
+                     "error: no status file '%s' (is the daemon "
+                     "running with --status-out?)\n",
+                     status_path.c_str());
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string status = text.str();
+    std::string section;
+    if (!serve::extractStatusSection(status, query, &section)) {
+        std::fprintf(stderr,
+                     "error: status file '%s' has no '%s' "
+                     "section\n",
+                     status_path.c_str(), query.c_str());
+        return 1;
+    }
+    std::string why;
+    if (!validateJson(section, &why)) {
+        std::fprintf(stderr,
+                     "error: status section '%s' is not valid "
+                     "JSON: %s\n",
+                     query.c_str(), why.c_str());
+        return 1;
+    }
+    std::printf("%s\n", section.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::ServeOptions serve_options;
+    std::string status_out;
+    std::string metrics_out;
+    std::string trace_out;
+    std::string stop_file;
+    std::string query;
+    std::string status_in;
+    std::int64_t poll_ms = 200;
+    std::int64_t run_for_ms = -1;
+    bool once = false;
+    bool drain = false;
+
+    cli::FlagParser parser("tpupoint-serve", "");
+    parser.option("--spool", "DIR",
+                  "spool directory to watch for *.tpp streams",
+                  [&](const char *value) {
+                      serve_options.spool_dir = value;
+                      return true;
+                  });
+    parser.option("--suffix", "S",
+                  "trace filename suffix (default .tpp)",
+                  [&](const char *value) {
+                      serve_options.suffix = value;
+                      return true;
+                  });
+    parser.option("--status-out", "PATH",
+                  "publish the status document here after every "
+                  "poll (atomic rename)",
+                  [&](const char *value) {
+                      status_out = value;
+                      return true;
+                  });
+    parser.option("--poll-ms", "N",
+                  "delay between spool polls (default 200)",
+                  [&](const char *value) {
+                      return cli::parseInt("--poll-ms", value, 0,
+                                           3600 * 1000, &poll_ms);
+                  });
+    parser.option("--idle-ttl-ms", "N",
+                  "finalize a stream after this long with no "
+                  "growth (default 2000)",
+                  [&](const char *value) {
+                      return cli::parseInt(
+                          "--idle-ttl-ms", value, 0,
+                          std::numeric_limits<
+                              std::int32_t>::max(),
+                          &serve_options.idle_ttl_ms);
+                  });
+    parser.option("--evict-ttl-ms", "N",
+                  "release a finalized session's memory after "
+                  "this long (default 10000; -1 = never)",
+                  [&](const char *value) {
+                      return cli::parseInt(
+                          "--evict-ttl-ms", value, -1,
+                          std::numeric_limits<
+                              std::int32_t>::max(),
+                          &serve_options.evict_ttl_ms);
+                  });
+    parser.option("--max-finalizes", "N",
+                  "finalizes run per poll at most (default 4)",
+                  [&](const char *value) {
+                      std::uint64_t parsed = 0;
+                      if (!cli::parseUint("--max-finalizes", value,
+                                          1024, &parsed))
+                          return false;
+                      serve_options.max_finalizes_per_poll =
+                          static_cast<std::size_t>(parsed);
+                      return true;
+                  });
+    parser.option("--algorithm", "ols|kmeans|dbscan",
+                  "phase detector for every session "
+                  "(default ols)",
+                  [&](const char *value) {
+                      if (!cli::parseAlgorithm(
+                              value,
+                              &serve_options.analyzer
+                                   .algorithm)) {
+                          std::fprintf(stderr,
+                                       "unknown algorithm\n");
+                          return false;
+                      }
+                      return true;
+                  });
+    parser.toggle("--no-salvage",
+                  "strict tail reads: structural damage parks the "
+                  "session instead of resynchronizing",
+                  [&]() { serve_options.salvage = false; });
+    cli::addThreadsFlag(parser, &serve_options.threads);
+    parser.option("--run-for-ms", "N",
+                  "exit cleanly after this long (default: run "
+                  "until signaled)",
+                  [&](const char *value) {
+                      return cli::parseInt(
+                          "--run-for-ms", value, 0,
+                          std::numeric_limits<
+                              std::int32_t>::max(),
+                          &run_for_ms);
+                  });
+    parser.toggle("--once", "one poll pass, then exit",
+                  [&]() { once = true; });
+    parser.toggle("--drain",
+                  "exit once every discovered session is "
+                  "finalized or evicted",
+                  [&]() { drain = true; });
+    parser.option("--stop-file", "PATH",
+                  "exit cleanly once this file exists",
+                  [&](const char *value) {
+                      stop_file = value;
+                      return true;
+                  });
+    parser.option("--query", "SECTION",
+                  "query mode: print one status section "
+                  "(phases|coverage|sessions|stats) and exit",
+                  [&](const char *value) {
+                      query = value;
+                      return true;
+                  });
+    parser.option("--status", "PATH",
+                  "status file to query (the daemon's "
+                  "--status-out)",
+                  [&](const char *value) {
+                      status_in = value;
+                      return true;
+                  });
+    parser.option("--trace-out", "PATH",
+                  "write the daemon's own wall-time spans as "
+                  "trace-event JSON",
+                  [&](const char *value) {
+                      trace_out = value;
+                      return true;
+                  });
+    parser.option("--metrics-out", "PATH",
+                  "write the process metrics registry as JSON on "
+                  "exit",
+                  [&](const char *value) {
+                      metrics_out = value;
+                      return true;
+                  });
+
+    switch (parser.parse(argc, argv, 1)) {
+      case cli::FlagParser::Outcome::Help: return 0;
+      case cli::FlagParser::Outcome::Error: return 2;
+      case cli::FlagParser::Outcome::Ok: break;
+    }
+
+    if (!query.empty())
+        return runQuery(query, status_in);
+
+    if (serve_options.spool_dir.empty()) {
+        std::fprintf(stderr, "%s\n", parser.usage().c_str());
+        std::fprintf(stderr,
+                     "tpupoint-serve wants --spool DIR (daemon) "
+                     "or --query SECTION --status PATH\n");
+        return 2;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    serve::SessionManager manager(serve_options);
+    const auto started = std::chrono::steady_clock::now();
+    for (;;) {
+        manager.poll();
+        if (!status_out.empty() &&
+            !writeStatusFile(manager, status_out))
+            return 1;
+        if (g_stop || once)
+            break;
+        if (drain && manager.stats().drained())
+            break;
+        if (run_for_ms >= 0 &&
+            std::chrono::duration_cast<
+                std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - started)
+                    .count() >= run_for_ms)
+            break;
+        if (!stop_file.empty()) {
+            std::error_code ec;
+            if (std::filesystem::exists(stop_file, ec))
+                break;
+        }
+        // Sleep in short slices so a signal or stop file is
+        // honored promptly even with a long poll interval.
+        std::int64_t slept = 0;
+        while (slept < poll_ms && !g_stop) {
+            const std::int64_t slice =
+                std::min<std::int64_t>(poll_ms - slept, 50);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(slice));
+            slept += slice;
+        }
+    }
+
+    const serve::ServeStats tallies = manager.stats();
+    std::printf("serve: %zu sessions (%zu finalized, %zu "
+                "evicted), %llu records, %llu events\n",
+                tallies.sessions, tallies.finalized,
+                tallies.evicted,
+                static_cast<unsigned long long>(tallies.records),
+                static_cast<unsigned long long>(tallies.events));
+    if (!cli::writeTelemetry(trace_out, metrics_out))
+        return 1;
+    return 0;
+}
