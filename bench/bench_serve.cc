@@ -10,6 +10,12 @@
  * latency from the `serve.ingest_chunk_us` histogram. Sessions
  * evict immediately after finalize (evict TTL 0), so the run also
  * demonstrates bounded memory under churn.
+ *
+ * Two robustness phases follow the throughput run: a restart-
+ * recovery phase (half-ingested journaled sessions, manager
+ * dropped cold, rebuild timed — the `recovery_ms` figure) and an
+ * overload phase (more sessions than the admission cap, shed then
+ * re-admitted to completion — the `shed_rate` figure).
  */
 
 #include <chrono>
@@ -216,10 +222,131 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // ---- Phase 2: restart recovery -------------------------------
+    // Journal half-ingested sessions, drop the manager cold (the
+    // "kill -9"), and time how long a rebuild takes to restore
+    // every session from its committed offset.
+    constexpr std::size_t kRecoverySessions = 32;
+    const std::string recovery_dir = dir + ".recovery";
+    std::filesystem::remove_all(recovery_dir);
+    std::filesystem::create_directories(recovery_dir);
+    for (std::size_t i = 0; i < kRecoverySessions; ++i) {
+        std::ofstream out(recovery_dir + "/session" +
+                              std::to_string(i) + ".tpp",
+                          std::ios::binary);
+        out.write(stream.data(),
+                  static_cast<std::streamsize>(stream.size() / 2));
+    }
+    serve::ServeOptions recovery_options;
+    recovery_options.spool_dir = recovery_dir;
+    recovery_options.threads = benchutil::sweepThreads();
+    recovery_options.idle_ttl_ms = 3600 * 1000;
+    recovery_options.evict_ttl_ms = -1;
+    recovery_options.journal_path =
+        recovery_dir + "/serve.journal";
+    {
+        serve::SessionManager first(recovery_options);
+        first.poll(); // Ingest the half-streams; journal commits.
+    }
+    const auto recovery_start = std::chrono::steady_clock::now();
+    serve::SessionManager second(recovery_options);
+    const double recovery_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - recovery_start)
+            .count();
+    const std::size_t recovered = second.stats().recovered;
+
+    // Finish the streams to prove recovery resumes, not restarts.
+    for (std::size_t i = 0; i < kRecoverySessions; ++i) {
+        std::ofstream out(recovery_dir + "/session" +
+                              std::to_string(i) + ".tpp",
+                          std::ios::binary | std::ios::app);
+        out.write(stream.data() +
+                      static_cast<std::ptrdiff_t>(
+                          stream.size() / 2),
+                  static_cast<std::streamsize>(
+                      stream.size() - stream.size() / 2));
+    }
+    std::size_t recovery_polls = 0;
+    while (!second.stats().drained() && recovery_polls < 10000) {
+        second.poll();
+        ++recovery_polls;
+    }
+    const serve::ServeStats recovered_stats = second.stats();
+    std::filesystem::remove_all(recovery_dir);
+
+    std::printf("recovered sessions      %zu of %zu\n", recovered,
+                kRecoverySessions);
+    std::printf("recovery time           %.3f ms\n", recovery_ms);
+
+    // ---- Phase 3: overload shedding ------------------------------
+    // Four times more sessions than the admission cap: the excess
+    // is shed at the door, then re-admitted and finished as
+    // capacity frees — overload delays work, never loses it.
+    constexpr std::size_t kShedSessions = 32;
+    const std::string shed_dir = dir + ".shed";
+    std::filesystem::remove_all(shed_dir);
+    std::filesystem::create_directories(shed_dir);
+    for (std::size_t i = 0; i < kShedSessions; ++i) {
+        std::ofstream out(shed_dir + "/session" +
+                              std::to_string(i) + ".tpp",
+                          std::ios::binary);
+        out.write(stream.data(),
+                  static_cast<std::streamsize>(stream.size()));
+    }
+    serve::ServeOptions shed_options;
+    shed_options.spool_dir = shed_dir;
+    shed_options.threads = benchutil::sweepThreads();
+    shed_options.idle_ttl_ms = 3600 * 1000;
+    shed_options.evict_ttl_ms = 0;
+    shed_options.max_finalizes_per_poll = 16;
+    shed_options.max_sessions = kShedSessions / 4;
+    serve::SessionManager overloaded(shed_options);
+    overloaded.poll();
+    const std::size_t shed_peak = overloaded.stats().shed;
+    const double shed_rate = static_cast<double>(shed_peak) /
+        static_cast<double>(kShedSessions);
+    std::size_t shed_polls = 0;
+    while (!overloaded.stats().drained() && shed_polls < 10000) {
+        overloaded.poll();
+        ++shed_polls;
+    }
+    const serve::ServeStats shed_stats = overloaded.stats();
+    std::filesystem::remove_all(shed_dir);
+
+    std::printf("shed at peak            %zu of %zu (rate %.2f)\n",
+                shed_peak, kShedSessions, shed_rate);
+    std::printf("finished after shed     %zu\n",
+                shed_stats.finalized + shed_stats.evicted);
+
+    if (recovered != kRecoverySessions ||
+        recovered_stats.finalized < kRecoverySessions) {
+        std::fprintf(stderr,
+                     "bench_serve: recovery restored %zu of %zu "
+                     "sessions (%zu finalized)\n",
+                     recovered, kRecoverySessions,
+                     recovered_stats.finalized);
+        return 1;
+    }
+    if (shed_peak == 0 ||
+        shed_stats.finalized + shed_stats.evicted <
+            kShedSessions) {
+        std::fprintf(stderr,
+                     "bench_serve: shed phase finished %zu of %zu "
+                     "sessions (peak shed %zu)\n",
+                     shed_stats.finalized + shed_stats.evicted,
+                     kShedSessions, shed_peak);
+        return 1;
+    }
+
     report.figure("sessions",
                   static_cast<double>(stats.sessions));
     report.figure("sessions_per_sec", sessions_per_sec);
     report.figure("events_per_sec", events_per_sec);
     report.figure("p99_chunk_ingest_ms", p99_chunk_ms);
+    report.figure("recovery_ms", recovery_ms);
+    report.figure("recovered_sessions",
+                  static_cast<double>(recovered));
+    report.figure("shed_rate", shed_rate);
     return report.write() ? 0 : 1;
 }

@@ -122,6 +122,77 @@ smoke_suite() {
         echo "smoke: serve lost the truncated session" >&2
         return 1
     }
+    # Chaos path: kill -9 a journaled daemon mid-ingest, restart it
+    # over the same journal, and require the recovered coverage to
+    # be byte-identical to an uninterrupted baseline run. Runs in
+    # every suite, so the sanitizer builds walk journal replay and
+    # restart recovery under instrumentation.
+    echo "== smoke: crash recovery matches the uninterrupted run"
+    mkdir "${work}/baseline.spool" "${work}/chaos.spool"
+    cp "${work}/salvage.tpp" "${work}/baseline.spool/run.tpp"
+    "${build_dir}/tools/tpupoint-serve" \
+        --spool "${work}/baseline.spool" \
+        --status-out "${work}/baseline.status.json" \
+        --poll-ms 20 --idle-ttl-ms 300 --drain
+    "${build_dir}/tools/tpupoint-serve" \
+        --query coverage --status "${work}/baseline.status.json" \
+        > "${work}/baseline.coverage.json"
+    # Same session name, half the stream: the daemon journals its
+    # committed offset on the first poll, then dies mid-session.
+    head -c $((size / 2)) "${work}/salvage.tpp" \
+        > "${work}/chaos.spool/run.tpp"
+    "${build_dir}/tools/tpupoint-serve" \
+        --spool "${work}/chaos.spool" \
+        --status-out "${work}/chaos.status.json" \
+        --journal "${work}/chaos.journal" \
+        --poll-ms 20 --idle-ttl-ms 60000 &
+    local chaos_pid=$!
+    tries=0
+    until [ -s "${work}/chaos.status.json" ]; do
+        tries=$((tries + 1))
+        if [ "${tries}" -gt 200 ]; then
+            echo "smoke: chaos serve never published" >&2
+            kill -9 "${chaos_pid}" 2>/dev/null || true
+            return 1
+        fi
+        sleep 0.05
+    done
+    kill -9 "${chaos_pid}"
+    wait "${chaos_pid}" 2>/dev/null || true
+    # The rest of the stream arrives while the daemon is dead; the
+    # restart replays to the journaled offset and resumes from it.
+    tail -c +$((size / 2 + 1)) "${work}/salvage.tpp" \
+        >> "${work}/chaos.spool/run.tpp"
+    "${build_dir}/tools/tpupoint-serve" \
+        --spool "${work}/chaos.spool" \
+        --status-out "${work}/chaos.status.json" \
+        --journal "${work}/chaos.journal" \
+        --poll-ms 20 --idle-ttl-ms 300 --drain
+    "${build_dir}/tools/tpupoint-serve" \
+        --query coverage --status "${work}/chaos.status.json" \
+        > "${work}/chaos.coverage.json"
+    cmp "${work}/baseline.coverage.json" \
+        "${work}/chaos.coverage.json" || {
+        echo "smoke: recovered coverage diverged from baseline" >&2
+        return 1
+    }
+    # Overload path: one admission slot for two sessions — the
+    # second is shed at the door, re-admitted once the first
+    # finishes, and the drain still ends with both finalized.
+    echo "== smoke: overload shedding re-admits and finishes"
+    mkdir "${work}/shed.spool"
+    cp "${work}/smoke.tpp" "${work}/shed.spool/one.tpp"
+    cp "${work}/smoke.tpp" "${work}/shed.spool/two.tpp"
+    "${build_dir}/tools/tpupoint-serve" \
+        --spool "${work}/shed.spool" \
+        --status-out "${work}/shed.status.json" \
+        --max-sessions 1 --poll-ms 20 --idle-ttl-ms 300 --drain \
+        > "${work}/shed.out"
+    grep -q "2 sessions (2 finalized" "${work}/shed.out" || {
+        echo "smoke: shed run lost a session" >&2
+        cat "${work}/shed.out" >&2
+        return 1
+    }
     rm -rf "${work}"
 }
 
@@ -137,6 +208,16 @@ bench_smoke() {
         --json "${work}/throughput.json"
     "${build_dir}/tools/tpupoint-validate-json" \
         "${work}/throughput.json"
+    echo "== bench: serve ingest, restart recovery, shedding"
+    "${build_dir}/bench/bench_serve" --json "${work}/serve.json"
+    "${build_dir}/tools/tpupoint-validate-json" \
+        "${work}/serve.json"
+    for figure in recovery_ms shed_rate; do
+        grep -q "\"${figure}\"" "${work}/serve.json" || {
+            echo "bench: bench_serve lost the ${figure} figure" >&2
+            return 1
+        }
+    done
     rm -rf "${work}"
 }
 

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Host-side I/O fail points. The simulated device world has had
+ * seeded fault injection since the StorageBucket work (sim/fault):
+ * experiments replay a brown-out bit-for-bit from one seed. The
+ * *host* data plane — the serve daemon's status publishes, its
+ * session journal, the spool files it tails — had no equivalent,
+ * so its ENOSPC/EIO/torn-rename paths were untestable except by
+ * actually filling a disk.
+ *
+ * This layer closes that gap with named fail points. Call sites
+ * sample a site ("serve.status_write", "serve.journal_append",
+ * "serve.spool_read", ...) once per operation; a process-wide
+ * FaultInjector, configured from a spec string (flag or the
+ * TPUPOINT_IO_FAULTS environment variable), decides whether that
+ * hit fails and how. Hit-indexed rules ("fail the 3rd write") make
+ * crash-path tests deterministic; seeded rate rules support chaos
+ * runs. An unconfigured injector costs one relaxed atomic load per
+ * sample, so production paths keep their hot-path behaviour.
+ *
+ * Spec grammar (entries separated by ','):
+ *
+ *   SITE=KIND          inject KIND at the 1st hit of SITE, once
+ *   SITE=KIND@N        inject at the Nth hit, once
+ *   SITE=KIND@N+       inject at the Nth hit and every one after
+ *   SITE=KIND~RATE     inject with probability RATE per hit (seeded)
+ *
+ * KIND is one of: enospc (disk full: a partial write lands, then
+ * failure), eio (hard I/O error: nothing lands), short (all but the
+ * final byte lands, then failure), torn (rename variant: the crash
+ * window between temp-write and rename — the temp file stays, the
+ * target is never replaced).
+ */
+
+#ifndef TPUPOINT_CORE_IO_FAULTS_HH
+#define TPUPOINT_CORE_IO_FAULTS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/rng.hh"
+
+namespace tpupoint {
+namespace io {
+
+/** Classes of injected host-I/O failure. */
+enum class FaultKind : std::uint8_t {
+    None,       ///< The operation proceeds normally.
+    DiskFull,   ///< ENOSPC: a partial write lands, then failure.
+    IoError,    ///< EIO: the operation fails with nothing landed.
+    ShortWrite, ///< All but the last byte lands, then failure.
+    TornRename, ///< Rename never happens; the source file remains.
+};
+
+/** Printable fault-kind name ("enospc", "eio", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** One parsed spec entry. */
+struct FaultRule
+{
+    std::string site;
+    FaultKind kind = FaultKind::None;
+
+    /** 1-based hit index at which the rule fires. */
+    std::uint64_t at = 1;
+
+    /** Fire at every hit >= `at` ("@N+"), not just the Nth. */
+    bool persistent = false;
+
+    /** When > 0: seeded per-hit probability instead of `at`. */
+    double rate = 0.0;
+};
+
+/**
+ * The process-wide fail-point registry. sample() is thread-safe;
+ * the unarmed fast path is a single relaxed atomic load. Rules are
+ * evaluated in configuration order; the first that fires wins.
+ */
+class FaultInjector
+{
+  public:
+    /** The process-wide injector every fail point samples. */
+    static FaultInjector &global();
+
+    /**
+     * Parse @p spec (grammar above) and append its rules.
+     * @return false (with @p error set, when non-null) on a
+     *     malformed entry; no rules are added on failure.
+     */
+    bool configure(std::string_view spec,
+                   std::string *error = nullptr);
+
+    /**
+     * Read TPUPOINT_IO_FAULTS and configure() from it.
+     * @return false when the variable is set but malformed; unset
+     *     is success (no rules).
+     */
+    bool loadFromEnvironment(std::string *error = nullptr);
+
+    /** Seed the rate-rule stream (default is a fixed constant). */
+    void setSeed(std::uint64_t seed);
+
+    /** Drop every rule and zero every counter. */
+    void reset();
+
+    /** True when any rule is configured (hot-path gate). */
+    bool
+    armed() const
+    {
+        return any_rules.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Record one hit of @p site and decide its fate. Returns
+     * FaultKind::None when the operation should proceed.
+     */
+    FaultKind sample(std::string_view site);
+
+    /** Hits recorded for @p site so far. */
+    std::uint64_t hits(std::string_view site) const;
+
+    /** Faults injected at @p site so far. */
+    std::uint64_t injected(std::string_view site) const;
+
+    /** Faults injected across every site. */
+    std::uint64_t injectedTotal() const;
+
+    /** "2 rules, 5 hits, 1 injected". */
+    std::string summary() const;
+
+  private:
+    mutable std::mutex mu;
+    std::vector<FaultRule> rules;
+    std::map<std::string, std::uint64_t, std::less<>> hit_counts;
+    std::map<std::string, std::uint64_t, std::less<>>
+        injected_counts;
+    Rng rng{0x494f464c54ULL}; // "IOFLT"
+    std::uint64_t total_injected = 0;
+    std::atomic<bool> any_rules{false};
+};
+
+/**
+ * Write @p bytes to @p path (replacing it), honoring any fault
+ * injected at @p site: DiskFull lands a partial prefix, ShortWrite
+ * all but the last byte, IoError nothing — all three then report
+ * failure, like the real syscalls would. Real filesystem errors
+ * report failure the same way.
+ * @return true when every byte landed; otherwise false with
+ *     @p error describing the failure (injected or real).
+ */
+bool writeFileWithFaults(std::string_view site,
+                         const std::string &path,
+                         std::string_view bytes,
+                         std::string *error = nullptr);
+
+/**
+ * Rename @p from to @p to, honoring any fault injected at @p site.
+ * TornRename models the crash window between temp-write and
+ * publish: the rename never happens, @p from survives, @p to is
+ * untouched. Other kinds fail the rename outright.
+ */
+bool renameWithFaults(std::string_view site,
+                      const std::string &from,
+                      const std::string &to,
+                      std::string *error = nullptr);
+
+} // namespace io
+} // namespace tpupoint
+
+#endif // TPUPOINT_CORE_IO_FAULTS_HH

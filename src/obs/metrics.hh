@@ -158,6 +158,29 @@ struct MetricsSnapshot
         std::vector<std::uint64_t> bucket_counts; ///< +1 overflow.
     };
     std::map<std::string, HistogramData> histograms;
+
+    /**
+     * Counter value, or @p fallback when the counter was never
+     * registered — the common test/bench shape ("how many sessions
+     * were shed?" where the answer may legitimately be "the
+     * counter never fired").
+     */
+    std::uint64_t
+    counterOr(const std::string &name,
+              std::uint64_t fallback = 0) const
+    {
+        const auto it = counters.find(name);
+        return it == counters.end() ? fallback : it->second;
+    }
+
+    /** Gauge value, or @p fallback when never registered. */
+    std::int64_t
+    gaugeOr(const std::string &name,
+            std::int64_t fallback = 0) const
+    {
+        const auto it = gauges.find(name);
+        return it == gauges.end() ? fallback : it->second;
+    }
 };
 
 /**

@@ -1,0 +1,398 @@
+#include "serve/journal.hh"
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/io_faults.hh"
+#include "trace/bytes.hh"
+#include "trace/checksum.hh"
+#include "trace/wire.hh"
+
+namespace tpupoint {
+namespace serve {
+
+namespace {
+
+/** Fixed-size prefix of every entry: marker, count, size, crc. */
+constexpr std::uint64_t kEntryHeaderBytes = 16;
+
+/** Journal header: magic + version. */
+constexpr std::uint64_t kHeaderBytes = 8;
+
+std::string
+frameEntry(std::string_view payload)
+{
+    ByteWriter frame;
+    frame.putU32(wire::kChunkMarker);
+    frame.putU32(1); // One entry per frame.
+    frame.putU32(static_cast<std::uint32_t>(payload.size()));
+    frame.putU32(crc32(payload));
+    frame.putBytes(payload);
+    return std::move(frame).str();
+}
+
+std::string
+journalHeader()
+{
+    std::string header(kJournalMagic, sizeof(kJournalMagic));
+    ByteWriter version;
+    version.putU32(kJournalVersion);
+    header += version.str();
+    return header;
+}
+
+} // namespace
+
+std::string
+encodeJournalEntry(const SessionStatus &status)
+{
+    ByteWriter w;
+    w.putString(status.name);
+    w.putString(status.path);
+    w.putU32(static_cast<std::uint32_t>(status.state));
+    w.putU32((status.pending ? 1u : 0u) |
+             (status.complete ? 2u : 0u));
+    w.putU64(status.records);
+    w.putU64(status.events);
+    w.putU64(status.bytes);
+    w.putU64(status.chunks);
+    w.putU64(status.chunks_dropped);
+    w.putU64(status.bytes_skipped);
+    w.putU64(status.records_dropped);
+    w.putU64(status.decode_failures);
+    w.putString(status.error);
+    w.putString(status.algorithm);
+    w.putU64(status.steps);
+    w.putF64(status.top3_coverage);
+    w.putU32(static_cast<std::uint32_t>(status.phases.size()));
+    for (const PhaseSummary &phase : status.phases) {
+        w.putI64(phase.id);
+        w.putU64(phase.first_step);
+        w.putU64(phase.last_step);
+        w.putU64(phase.steps);
+        w.putF64(phase.duration_ms);
+        w.putU32(phase.noise ? 1u : 0u);
+    }
+    return std::move(w).str();
+}
+
+bool
+decodeJournalEntry(std::string_view payload,
+                   SessionStatus *status)
+{
+    ByteReader r(payload);
+    SessionStatus out;
+    std::uint32_t state = 0;
+    std::uint32_t flags = 0;
+    std::uint32_t phase_count = 0;
+    if (!r.getString(out.name) || !r.getString(out.path) ||
+        !r.getU32(state) || !r.getU32(flags) ||
+        !r.getU64(out.records) || !r.getU64(out.events) ||
+        !r.getU64(out.bytes) || !r.getU64(out.chunks) ||
+        !r.getU64(out.chunks_dropped) ||
+        !r.getU64(out.bytes_skipped) ||
+        !r.getU64(out.records_dropped) ||
+        !r.getU64(out.decode_failures) ||
+        !r.getString(out.error) ||
+        !r.getString(out.algorithm) || !r.getU64(out.steps) ||
+        !r.getF64(out.top3_coverage) || !r.getU32(phase_count))
+        return false;
+    if (state > static_cast<std::uint32_t>(
+                    SessionState::Quarantined))
+        return false;
+    out.state = static_cast<SessionState>(state);
+    out.pending = (flags & 1u) != 0;
+    out.complete = (flags & 2u) != 0;
+    // An implausible phase count must not drive a huge reserve.
+    if (phase_count > payload.size())
+        return false;
+    out.phases.reserve(phase_count);
+    for (std::uint32_t i = 0; i < phase_count; ++i) {
+        PhaseSummary phase;
+        std::int64_t id = 0;
+        std::uint32_t noise = 0;
+        if (!r.getI64(id) || !r.getU64(phase.first_step) ||
+            !r.getU64(phase.last_step) ||
+            !r.getU64(phase.steps) ||
+            !r.getF64(phase.duration_ms) || !r.getU32(noise))
+            return false;
+        phase.id = static_cast<int>(id);
+        phase.noise = noise != 0;
+        out.phases.push_back(phase);
+    }
+    if (!r.atEnd())
+        return false;
+    *status = std::move(out);
+    return true;
+}
+
+bool
+replayJournal(const std::string &path, JournalReplay *out,
+              std::string *error)
+{
+    *out = JournalReplay{};
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return true; // First start: nothing to replay.
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    if (bytes.empty())
+        return true;
+    if (bytes.size() < kHeaderBytes ||
+        bytes.compare(0, sizeof(kJournalMagic), kJournalMagic,
+                      sizeof(kJournalMagic)) != 0) {
+        if (error != nullptr)
+            *error = "'" + path +
+                "' is not a TPUPoint session journal";
+        return false;
+    }
+
+    ByteReader header(std::string_view(bytes).substr(
+        sizeof(kJournalMagic), 4));
+    std::uint32_t version = 0;
+    header.getU32(version);
+    if (version == 0 || version > kJournalVersion) {
+        if (error != nullptr)
+            *error = "unsupported journal version " +
+                std::to_string(version);
+        return false;
+    }
+
+    std::uint64_t at = kHeaderBytes;
+    const std::uint64_t size = bytes.size();
+    const auto torn = [&](const std::string &why) {
+        out->damaged = true;
+        out->detail = why;
+        return true; // Entries so far stand; later bytes dropped.
+    };
+    while (at < size) {
+        if (size - at < kEntryHeaderBytes)
+            return torn("torn entry header at byte " +
+                        std::to_string(at));
+        ByteReader frame(
+            std::string_view(bytes).substr(at,
+                                           kEntryHeaderBytes));
+        std::uint32_t marker = 0, count = 0, payload_size = 0,
+                      checksum = 0;
+        frame.getU32(marker);
+        frame.getU32(count);
+        frame.getU32(payload_size);
+        frame.getU32(checksum);
+        if (marker != wire::kChunkMarker || count != 1 ||
+            payload_size > wire::kMaxChunkPayload)
+            return torn("corrupt entry framing at byte " +
+                        std::to_string(at));
+        if (size - at - kEntryHeaderBytes < payload_size)
+            return torn("torn entry payload at byte " +
+                        std::to_string(at));
+        const std::string_view payload =
+            std::string_view(bytes).substr(
+                at + kEntryHeaderBytes, payload_size);
+        if (crc32(payload) != checksum)
+            return torn("entry checksum mismatch at byte " +
+                        std::to_string(at));
+        SessionStatus status;
+        if (!decodeJournalEntry(payload, &status))
+            return torn("undecodable entry at byte " +
+                        std::to_string(at));
+        out->entries.push_back(std::move(status));
+        at += kEntryHeaderBytes + payload_size;
+        out->bytes_replayed = at;
+    }
+    out->bytes_replayed = at;
+    return true;
+}
+
+std::vector<SessionStatus>
+foldJournalEntries(const std::vector<SessionStatus> &entries)
+{
+    std::vector<SessionStatus> folded;
+    for (const SessionStatus &entry : entries) {
+        bool known = false;
+        for (SessionStatus &existing : folded) {
+            if (existing.name == entry.name) {
+                existing = entry; // Last wins.
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            folded.push_back(entry);
+    }
+    return folded;
+}
+
+JournalWriter::JournalWriter(std::string path)
+    : file_path(std::move(path))
+{
+}
+
+JournalWriter::~JournalWriter()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (file != nullptr) {
+        std::fflush(file);
+        std::fclose(file);
+    }
+}
+
+bool
+JournalWriter::open()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (file != nullptr)
+        return true;
+    std::error_code ec;
+    const std::uint64_t existing =
+        std::filesystem::exists(file_path, ec) && !ec
+        ? std::filesystem::file_size(file_path, ec)
+        : 0;
+    file = std::fopen(file_path.c_str(), "ab");
+    if (file == nullptr) {
+        ++error_count;
+        detail = "cannot open journal '" + file_path + "'";
+        return false;
+    }
+    file_bytes = ec ? 0 : existing;
+    if (file_bytes == 0) {
+        const std::string header = journalHeader();
+        if (!writeRaw(header.data(), header.size()))
+            return false;
+    }
+    return true;
+}
+
+bool
+JournalWriter::writeRaw(const char *bytes, std::size_t size)
+{
+    // Caller holds `mu`.
+    if (std::fwrite(bytes, 1, size, file) != size) {
+        ++error_count;
+        detail = "journal write failed";
+        return false;
+    }
+    file_bytes += size;
+    return true;
+}
+
+bool
+JournalWriter::append(const SessionStatus &status)
+{
+    const std::string framed =
+        frameEntry(encodeJournalEntry(status));
+    std::lock_guard<std::mutex> lock(mu);
+    if (file == nullptr) {
+        ++error_count;
+        detail = "journal is not open";
+        return false;
+    }
+    const io::FaultKind fault =
+        io::FaultInjector::global().sample(
+            "serve.journal_append");
+    if (fault != io::FaultKind::None) {
+        // A failed append only makes the journal lag reality;
+        // recovery re-ingests the gap from the spool file.
+        ++error_count;
+        detail = std::string("injected ") +
+            io::faultKindName(fault) + " appending to journal";
+        if (fault == io::FaultKind::DiskFull ||
+            fault == io::FaultKind::ShortWrite) {
+            // A partial frame lands — exactly the torn tail
+            // replay must tolerate.
+            writeRaw(framed.data(), framed.size() / 2);
+        }
+        return false;
+    }
+    if (!writeRaw(framed.data(), framed.size()))
+        return false;
+    ++appended;
+    return true;
+}
+
+bool
+JournalWriter::commit()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (file == nullptr)
+        return false;
+    if (std::fflush(file) != 0) {
+        ++error_count;
+        detail = "journal flush failed";
+        return false;
+    }
+    return true;
+}
+
+bool
+JournalWriter::compact(const std::vector<SessionStatus> &snapshot)
+{
+    std::string compacted = journalHeader();
+    for (const SessionStatus &status : snapshot)
+        compacted += frameEntry(encodeJournalEntry(status));
+
+    std::lock_guard<std::mutex> lock(mu);
+    const std::string tmp = file_path + ".tmp";
+    std::string why;
+    if (!io::writeFileWithFaults("serve.journal_checkpoint", tmp,
+                                 compacted, &why)) {
+        ++error_count;
+        detail = "journal checkpoint failed: " + why;
+        std::error_code ec;
+        std::filesystem::remove(tmp, ec); // No stale litter.
+        return false;
+    }
+    if (!io::renameWithFaults("serve.journal_rename", tmp,
+                              file_path, &why)) {
+        ++error_count;
+        detail = "journal checkpoint rename failed: " + why;
+        std::error_code ec;
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    // The old handle points at the unlinked inode; reopen on the
+    // compact file before the next append.
+    if (file != nullptr) {
+        std::fflush(file);
+        std::fclose(file);
+    }
+    file = std::fopen(file_path.c_str(), "ab");
+    if (file == nullptr) {
+        ++error_count;
+        detail = "cannot reopen compacted journal";
+        file_bytes = 0;
+        return false;
+    }
+    file_bytes = compacted.size();
+    return true;
+}
+
+std::uint64_t
+JournalWriter::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return file_bytes;
+}
+
+std::uint64_t
+JournalWriter::entriesAppended() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return appended;
+}
+
+std::uint64_t
+JournalWriter::errors() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return error_count;
+}
+
+std::string
+JournalWriter::error() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return detail;
+}
+
+} // namespace serve
+} // namespace tpupoint

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The serve daemon's durable session journal. A crash or restart
+ * used to cost the daemon everything it knew: every live stream
+ * was re-ingested from offset 0 (double-charging metrics and
+ * redoing hours of analysis) and every finalize outcome was
+ * recomputed from scratch. The journal makes that knowledge
+ * durable: an append-only file of per-session snapshots — the
+ * committed ingest offset, the lifecycle state, salvage tallies,
+ * and the finalize outcome (phase summaries included) — committed
+ * once per poll, so SessionManager::recoverFromJournal() can
+ * restore the fleet after a kill -9 without losing or
+ * double-counting a single event.
+ *
+ * Wire format: the record-stream chunk framing from trace/wire.hh,
+ * one entry per chunk, guarded by the same slice-by-8 CRC-32:
+ *
+ *   journal := header entry*
+ *   header  := "TPPJ" u32(version)
+ *   entry   := u32(CHUNK_MARKER) u32(count = 1)
+ *              u32(payload_size) u32(crc32 payload) payload
+ *   payload := encoded SessionStatus (see journal.cc)
+ *
+ * Recovery invariants:
+ *  - An entry is only appended *after* its state is true in
+ *    memory, and the journal is flushed before the status document
+ *    publishes — a committed offset never runs ahead of what was
+ *    actually ingested, so recovery can trust it as a lower bound.
+ *  - Replay tolerates a torn final entry (the crash landed
+ *    mid-append): everything before it is intact by CRC, the torn
+ *    tail is discarded, and the affected session simply re-ingests
+ *    a little more from its spool file.
+ *  - A CRC-corrupt entry mid-file ends replay at the last good
+ *    entry; later entries are ignored (their sessions fall back to
+ *    earlier committed state — never forward to invented state).
+ *  - Entries for the same session fold last-wins, so an append-only
+ *    history of N polls collapses to one status per session.
+ *
+ * Compaction: when the file outgrows a threshold, the writer
+ * rewrites it as header + one entry per session via temp file +
+ * atomic rename (fail-pointed at "serve.journal_checkpoint" /
+ * "serve.journal_rename"), and appending continues on the compact
+ * file. A torn checkpoint is just a torn journal: replay handles
+ * it.
+ */
+
+#ifndef TPUPOINT_SERVE_JOURNAL_HH
+#define TPUPOINT_SERVE_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/serve.hh"
+
+namespace tpupoint {
+namespace serve {
+
+/** Journal container magic: the literal bytes "TPPJ". */
+constexpr char kJournalMagic[4] = {'T', 'P', 'P', 'J'};
+
+/** Journal container version. */
+constexpr std::uint32_t kJournalVersion = 1;
+
+/** Encode one session snapshot as a journal entry payload. */
+std::string encodeJournalEntry(const SessionStatus &status);
+
+/**
+ * Decode one journal entry payload.
+ * @return false on malformed bytes; @p status is unspecified then.
+ */
+bool decodeJournalEntry(std::string_view payload,
+                        SessionStatus *status);
+
+/** Everything one replay pass recovered. */
+struct JournalReplay
+{
+    /** Entries in append order (duplicates preserved). */
+    std::vector<SessionStatus> entries;
+
+    /**
+     * Replay stopped early: a torn final entry (crash mid-append)
+     * or a CRC/framing-corrupt entry mid-file. Entries up to the
+     * damage are valid; `detail` says what was hit.
+     */
+    bool damaged = false;
+    std::string detail;
+
+    /** Bytes of intact journal consumed. */
+    std::uint64_t bytes_replayed = 0;
+};
+
+/**
+ * Replay the journal at @p path. A missing or empty file is a
+ * clean, empty replay (a daemon's first start), not an error; a
+ * file with a foreign magic is an error (the operator pointed
+ * --journal at something else).
+ * @return false only on the foreign-magic/unreadable-header case,
+ *     with @p error set.
+ */
+bool replayJournal(const std::string &path, JournalReplay *out,
+                   std::string *error = nullptr);
+
+/**
+ * Fold replayed entries last-wins by session name, preserving
+ * first-appearance order — the shape recovery actually wants.
+ */
+std::vector<SessionStatus> foldJournalEntries(
+    const std::vector<SessionStatus> &entries);
+
+/**
+ * The append side. Thread-safe: append/commit/compact may be
+ * called concurrently (the serve control loop owns the cadence,
+ * but nothing breaks if a test hammers it from several threads).
+ * All write paths run through the io fail points
+ * "serve.journal_append", "serve.journal_checkpoint" and
+ * "serve.journal_rename", so ENOSPC/EIO/torn-rename behaviour is
+ * deterministic under test.
+ */
+class JournalWriter
+{
+  public:
+    explicit JournalWriter(std::string path);
+    ~JournalWriter();
+
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /**
+     * Open for appending, writing the header when the file is new
+     * or empty. @return false (error() set) when the file cannot
+     * be opened.
+     */
+    bool open();
+
+    /**
+     * Append one session snapshot. Buffered until commit().
+     * @return false when the entry could not be written (the
+     *     journal then lags reality, which recovery tolerates —
+     *     at worst a session re-ingests more of its spool file).
+     */
+    bool append(const SessionStatus &status);
+
+    /** Flush appended entries to the OS. */
+    bool commit();
+
+    /**
+     * Atomically rewrite the journal as header + one entry per
+     * status in @p snapshot (temp file + rename), then continue
+     * appending to the compact file. On failure the old journal
+     * keeps appending — compaction is an optimization, never a
+     * correctness step.
+     */
+    bool compact(const std::vector<SessionStatus> &snapshot);
+
+    /** Bytes in the journal file (header included). */
+    std::uint64_t size() const;
+
+    /** Entries appended over this writer's lifetime. */
+    std::uint64_t entriesAppended() const;
+
+    /** Append/commit/compact failures observed. */
+    std::uint64_t errors() const;
+
+    /** Detail of the most recent failure; empty when healthy. */
+    std::string error() const;
+
+    const std::string &path() const { return file_path; }
+
+  private:
+    bool writeRaw(const char *bytes, std::size_t size);
+
+    std::string file_path;
+    mutable std::mutex mu;
+    std::FILE *file = nullptr;
+    std::uint64_t file_bytes = 0;
+    std::uint64_t appended = 0;
+    std::uint64_t error_count = 0;
+    std::string detail;
+};
+
+} // namespace serve
+} // namespace tpupoint
+
+#endif // TPUPOINT_SERVE_JOURNAL_HH

@@ -4,14 +4,18 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <sstream>
 
 #include "core/interner.hh"
+#include "core/io_faults.hh"
 #include "core/json.hh"
+#include "core/logging.hh"
 #include "core/types.hh"
 #include "obs/metrics.hh"
 #include "obs/pool_metrics.hh"
 #include "proto/columnar.hh"
 #include "runtime/analysis_pipeline.hh"
+#include "serve/journal.hh"
 #include "trace/tail_reader.hh"
 
 namespace tpupoint {
@@ -65,6 +69,8 @@ sessionStateName(SessionState state)
       case SessionState::Quiescent: return "quiescent";
       case SessionState::Finalized: return "finalized";
       case SessionState::Evicted: return "evicted";
+      case SessionState::Shed: return "shed";
+      case SessionState::Quarantined: return "quarantined";
     }
     return "unknown";
 }
@@ -98,6 +104,17 @@ struct SessionManager::Session
     std::int64_t last_progress_ms = 0;
     std::int64_t finalized_at_ms = 0;
     bool ready_to_finalize = false;
+
+    /** Consecutive ingest failures (the quarantine watchdog). */
+    std::uint64_t consecutive_errors = 0;
+
+    /**
+     * The status changed since its last journal snapshot. Set by
+     * pool tasks (each owns its session exclusively), drained by
+     * the control thread after the forEach barrier — never
+     * concurrently touched.
+     */
+    bool journal_dirty = false;
 };
 
 SessionManager::SessionManager(const ServeOptions &options)
@@ -112,6 +129,8 @@ SessionManager::SessionManager(const ServeOptions &options)
         owned_pool = std::make_unique<ThreadPool>(pool_opts);
         active_pool = owned_pool.get();
     }
+    if (!opts.journal_path.empty())
+        recoverFromJournal(nowMs());
 }
 
 SessionManager::~SessionManager() = default;
@@ -120,6 +139,165 @@ std::int64_t
 SessionManager::nowMs() const
 {
     return opts.now_ms ? opts.now_ms() : steadyNowMs();
+}
+
+std::size_t
+SessionManager::liveCount() const
+{
+    std::size_t live = 0;
+    for (const auto &session : all) {
+        const SessionState state = session->status.state;
+        if (state == SessionState::Discovering ||
+            state == SessionState::Ingesting ||
+            state == SessionState::Quiescent)
+            ++live;
+    }
+    return live;
+}
+
+std::uint64_t
+SessionManager::liveBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto &session : all) {
+        const SessionState state = session->status.state;
+        if (state == SessionState::Discovering ||
+            state == SessionState::Ingesting ||
+            state == SessionState::Quiescent)
+            bytes += session->status.bytes;
+    }
+    return bytes;
+}
+
+bool
+SessionManager::admissible(std::uint64_t more_sessions) const
+{
+    if (opts.max_sessions > 0 &&
+        liveCount() + more_sessions > opts.max_sessions)
+        return false;
+    if (opts.max_inflight_bytes > 0 &&
+        liveBytes() >= opts.max_inflight_bytes)
+        return false;
+    return true;
+}
+
+void
+SessionManager::quarantine(Session &session,
+                           const std::string &why)
+{
+    SessionStatus &status = session.status;
+    status.state = SessionState::Quarantined;
+    status.error = why;
+    status.pending = false;
+    session.ready_to_finalize = false;
+    session.live.reset();
+    session.result.reset();
+    session.journal_dirty = true;
+    obs::MetricsRegistry::global()
+        .counter("serve.sessions_quarantined")
+        .add(1);
+}
+
+void
+SessionManager::recoverFromJournal(std::int64_t now)
+{
+    JournalReplay replay;
+    std::string why;
+    if (!replayJournal(opts.journal_path, &replay, &why)) {
+        // The operator pointed --journal at something that is not
+        // ours. Refusing to append to (or compact over) a foreign
+        // file beats destroying it: run un-journaled and say so.
+        warn("serve: journal disabled: ", why);
+        return;
+    }
+    if (replay.damaged)
+        warn("serve: journal replay stopped early (", replay.detail,
+             "); sessions past the damage re-ingest from spool");
+
+    auto &registry = obs::MetricsRegistry::global();
+    for (SessionStatus &entry :
+         foldJournalEntries(replay.entries)) {
+        auto session = std::make_unique<Session>();
+        entry.recovered = true;
+        session->status = entry;
+        session->last_progress_ms = now;
+
+        const SessionState state = entry.state;
+        const bool was_live =
+            state == SessionState::Discovering ||
+            state == SessionState::Ingesting ||
+            state == SessionState::Quiescent;
+        if (was_live) {
+            // The analysis state (step table, phase builder) is
+            // deliberately not journaled — it is large and
+            // rebuildable. Replay the spool file up to the
+            // committed offset into a fresh session, charging no
+            // ingest metrics (those events were charged before the
+            // crash), then verify the replay reproduced exactly
+            // the journaled tallies.
+            TailReaderOptions tail_options;
+            tail_options.salvage = opts.salvage;
+            session->live = std::make_unique<Session::Live>(
+                entry.path, tail_options, opts.analyzer);
+            auto &live = *session->live;
+            std::uint64_t replayed_records = 0;
+            std::uint64_t replayed_events = 0;
+            if (entry.bytes > 0)
+                live.tail.poll(
+                    [&](std::string_view payload) {
+                        if (decodeProfileRecordColumnar(
+                                payload, live.scratch,
+                                StringInterner::global())) {
+                            live.analysis.ingest(live.scratch);
+                            ++replayed_records;
+                            replayed_events +=
+                                live.scratch.event_count;
+                        }
+                    },
+                    nullptr, entry.bytes);
+            if (live.tail.bytesConsumed() != entry.bytes ||
+                replayed_records != entry.records ||
+                replayed_events != entry.events) {
+                quarantine(
+                    *session,
+                    "recovery replay diverged from the journal "
+                    "(spool file changed since the crash): "
+                    "journaled " +
+                        std::to_string(entry.bytes) + " bytes / " +
+                        std::to_string(entry.records) +
+                        " records, replayed " +
+                        std::to_string(
+                            live.tail.bytesConsumed()) +
+                        " bytes / " +
+                        std::to_string(replayed_records) +
+                        " records");
+            } else if (live.tail.complete() ||
+                       state == SessionState::Quiescent) {
+                session->ready_to_finalize = true;
+            }
+        } else if (state == SessionState::Finalized) {
+            // The heavy result object is gone; the summary in the
+            // status answers every query. Restart the evict TTL.
+            session->finalized_at_ms = now;
+        }
+        // Evicted / Shed / Quarantined restore from the journal
+        // alone — no file I/O at all.
+
+        registry.counter("serve.sessions_recovered").add(1);
+        ++recovered_count;
+        all.push_back(std::move(session));
+    }
+
+    journal = std::make_unique<JournalWriter>(opts.journal_path);
+    if (!journal->open()) {
+        warn("serve: ", journal->error(), "; running un-journaled");
+        journal.reset();
+        return;
+    }
+    // Compact immediately: folds the replayed history to one entry
+    // per session and truncates any torn tail the crash left.
+    if (!replay.entries.empty() || replay.damaged)
+        journal->compact(sessions());
 }
 
 void
@@ -152,101 +330,165 @@ SessionManager::scanSpool(std::int64_t now)
     // Directory iteration order is filesystem-defined; sort so
     // discovery order (and every status dump) is deterministic.
     std::sort(fresh.begin(), fresh.end());
+
+    auto &registry = obs::MetricsRegistry::global();
+    const auto admit = [&](Session &session) {
+        TailReaderOptions tail_options;
+        tail_options.salvage = opts.salvage;
+        session.live = std::make_unique<Session::Live>(
+            session.status.path, tail_options, opts.analyzer);
+        session.status.state = SessionState::Discovering;
+        session.status.error.clear();
+        session.status.pending = true;
+        session.last_progress_ms = now;
+        session.journal_dirty = true;
+    };
+
+    // Shed sessions were refused at the load limit, never started;
+    // re-admit them in discovery order as capacity frees, before
+    // anything newer gets a slot — deterministic FIFO fairness.
+    for (const auto &session : all) {
+        if (session->status.state != SessionState::Shed)
+            continue;
+        if (!admissible(1))
+            break;
+        admit(*session);
+        registry.counter("serve.sessions_readmitted").add(1);
+    }
+
     for (const std::string &path : fresh) {
         auto session = std::make_unique<Session>();
         session->status.path = path;
         session->status.name = sessionName(
             std::filesystem::path(path).filename().string(),
             opts.suffix);
-        TailReaderOptions tail_options;
-        tail_options.salvage = opts.salvage;
-        session->live = std::make_unique<Session::Live>(
-            path, tail_options, opts.analyzer);
-        session->last_progress_ms = now;
+        if (admissible(1)) {
+            admit(*session);
+        } else {
+            // Refuse at the door: an admitted session always runs
+            // to completion, so overload only ever sheds work that
+            // has not started.
+            session->status.state = SessionState::Shed;
+            session->status.error = "shed: admission limit";
+            session->status.pending = false;
+            session->journal_dirty = true;
+            registry.counter("serve.sessions_shed").add(1);
+        }
         all.push_back(std::move(session));
-        obs::MetricsRegistry::global()
-            .counter("serve.sessions_discovered")
-            .add(1);
+        registry.counter("serve.sessions_discovered").add(1);
     }
 }
 
 bool
 SessionManager::ingestOne(Session &session, std::int64_t now)
 {
-    auto &live = *session.live;
     auto &status = session.status;
     auto &registry = obs::MetricsRegistry::global();
-    auto &chunk_latency = registry.histogram(
-        "serve.ingest_chunk_us", chunkLatencyBuckets());
 
-    const auto poll_start = std::chrono::steady_clock::now();
-    auto chunk_mark = poll_start;
-    std::uint64_t events_delta = 0;
+    // One ingest error is transient (charged to the watchdog); a
+    // run of `quarantine_errors` consecutive ones parks the
+    // session so it cannot poison every subsequent poll.
+    const auto ingestFailed = [&](const std::string &why) {
+        ++session.consecutive_errors;
+        status.error = why;
+        session.journal_dirty = true;
+        registry.counter("serve.ingest_errors").add(1);
+        if (opts.quarantine_errors > 0 &&
+            session.consecutive_errors >= opts.quarantine_errors)
+            quarantine(session, why);
+        return false;
+    };
 
-    const TailPoll pass = live.tail.poll(
-        [&](std::string_view payload) {
-            if (decodeProfileRecordColumnar(
-                    payload, live.scratch,
-                    StringInterner::global())) {
-                live.analysis.ingest(live.scratch);
-                ++status.records;
-                status.events += live.scratch.event_count;
-                events_delta += live.scratch.event_count;
-            } else {
-                ++status.decode_failures;
-            }
-        },
-        [&](std::size_t) {
-            const auto chunk_done =
-                std::chrono::steady_clock::now();
-            chunk_latency.observe(static_cast<std::uint64_t>(
-                std::chrono::duration_cast<
-                    std::chrono::microseconds>(chunk_done -
-                                               chunk_mark)
-                    .count()));
-            chunk_mark = chunk_done;
-        });
+    const io::FaultKind fault =
+        io::FaultInjector::global().sample("serve.spool_read");
+    if (fault != io::FaultKind::None)
+        return ingestFailed(std::string("injected ") +
+                            io::faultKindName(fault) +
+                            " reading spool file");
 
-    status.bytes = live.tail.bytesConsumed();
-    status.chunks = live.tail.chunksConsumed();
-    status.chunks_dropped = live.tail.chunksDropped();
-    status.bytes_skipped = live.tail.bytesSkipped();
-    status.records_dropped = live.tail.recordsDropped();
-    if (!live.tail.error().empty())
-        status.error = live.tail.error();
-    status.complete = live.tail.complete();
-    status.pending = status.records == 0 && !status.complete &&
-        !live.tail.damaged();
+    const SessionState state_before = status.state;
+    const bool ready_before = session.ready_to_finalize;
+    try {
+        auto &live = *session.live;
+        auto &chunk_latency = registry.histogram(
+            "serve.ingest_chunk_us", chunkLatencyBuckets());
 
-    const bool progressed = pass.bytes > 0;
-    if (progressed) {
-        session.last_progress_ms = now;
-        if (status.state == SessionState::Discovering ||
-            status.state == SessionState::Quiescent)
-            status.state = SessionState::Ingesting;
-        registry.counter("serve.records_ingested")
-            .add(pass.records);
-        runtime::chargeIngestMetrics(status.name, events_delta,
-                                     pass.bytes,
-                                     elapsedSeconds(poll_start));
+        const auto poll_start = std::chrono::steady_clock::now();
+        auto chunk_mark = poll_start;
+        std::uint64_t events_delta = 0;
+
+        const TailPoll pass = live.tail.poll(
+            [&](std::string_view payload) {
+                if (decodeProfileRecordColumnar(
+                        payload, live.scratch,
+                        StringInterner::global())) {
+                    live.analysis.ingest(live.scratch);
+                    ++status.records;
+                    status.events += live.scratch.event_count;
+                    events_delta += live.scratch.event_count;
+                } else {
+                    ++status.decode_failures;
+                }
+            },
+            [&](std::size_t) {
+                const auto chunk_done =
+                    std::chrono::steady_clock::now();
+                chunk_latency.observe(static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(chunk_done -
+                                                   chunk_mark)
+                        .count()));
+                chunk_mark = chunk_done;
+            });
+
+        status.bytes = live.tail.bytesConsumed();
+        status.chunks = live.tail.chunksConsumed();
+        status.chunks_dropped = live.tail.chunksDropped();
+        status.bytes_skipped = live.tail.bytesSkipped();
+        status.records_dropped = live.tail.recordsDropped();
+        if (!live.tail.error().empty())
+            status.error = live.tail.error();
+        status.complete = live.tail.complete();
+        status.pending = status.records == 0 &&
+            !status.complete && !live.tail.damaged();
+        session.consecutive_errors = 0;
+
+        const bool progressed = pass.bytes > 0;
+        if (progressed) {
+            session.last_progress_ms = now;
+            if (status.state == SessionState::Discovering ||
+                status.state == SessionState::Quiescent)
+                status.state = SessionState::Ingesting;
+            registry.counter("serve.records_ingested")
+                .add(pass.records);
+            runtime::chargeIngestMetrics(
+                status.name, events_delta, pass.bytes,
+                elapsedSeconds(poll_start));
+        }
+
+        if (status.complete || live.tail.damaged()) {
+            session.ready_to_finalize = true;
+        } else if (!progressed && opts.idle_ttl_ms >= 0 &&
+                   now - session.last_progress_ms >=
+                       opts.idle_ttl_ms) {
+            // The writer went quiet past the TTL: declare the
+            // stream dead and analyze what salvage recovered.
+            status.state = SessionState::Quiescent;
+            session.ready_to_finalize = true;
+        }
+        if (progressed || status.state != state_before ||
+            session.ready_to_finalize != ready_before)
+            session.journal_dirty = true;
+        return progressed;
+    } catch (const std::exception &e) {
+        return ingestFailed(std::string("ingest failed: ") +
+                            e.what());
     }
-
-    if (status.complete || live.tail.damaged()) {
-        session.ready_to_finalize = true;
-    } else if (!progressed && opts.idle_ttl_ms >= 0 &&
-               now - session.last_progress_ms >=
-                   opts.idle_ttl_ms) {
-        // The writer went quiet past the TTL: declare the stream
-        // dead and analyze what salvage recovered.
-        status.state = SessionState::Quiescent;
-        session.ready_to_finalize = true;
-    }
-    return progressed;
 }
 
 void
 SessionManager::finalizeOne(Session &session, std::int64_t now)
-{
+try {
     auto &status = session.status;
     auto result = std::make_unique<AnalysisResult>(
         session.live->analysis.finalize({}, *active_pool));
@@ -276,9 +518,15 @@ SessionManager::finalizeOne(Session &session, std::int64_t now)
     session.live.reset(); // Tail buffers + builder released now.
     session.finalized_at_ms = now;
     session.ready_to_finalize = false;
+    session.journal_dirty = true;
     obs::MetricsRegistry::global()
         .counter("serve.sessions_finalized")
         .add(1);
+} catch (const std::exception &e) {
+    // A finalize that throws must not take the daemon (or the
+    // pool task running it) down: isolate the session.
+    quarantine(session, std::string("finalize failed: ") +
+                            e.what());
 }
 
 std::size_t
@@ -327,11 +575,49 @@ SessionManager::poll()
             continue;
         session->result.reset();
         session->status.state = SessionState::Evicted;
+        session->journal_dirty = true;
         obs::MetricsRegistry::global()
             .counter("serve.sessions_evicted")
             .add(1);
     }
+
+    journalPass();
     return progressed.load(std::memory_order_relaxed);
+}
+
+void
+SessionManager::journalPass()
+{
+    if (journal == nullptr)
+        return;
+    commitJournal();
+    if (journal->size() > opts.journal_compact_bytes)
+        journal->compact(sessions());
+}
+
+bool
+SessionManager::commitJournal()
+{
+    if (journal == nullptr)
+        return true;
+    bool ok = true;
+    bool wrote = false;
+    for (const auto &session : all) {
+        if (!session->journal_dirty)
+            continue;
+        // A failed append leaves the session dirty: the journal
+        // lags reality (safe — recovery re-ingests the gap) and
+        // the snapshot is retried next pass.
+        if (journal->append(session->status)) {
+            session->journal_dirty = false;
+            wrote = true;
+        } else {
+            ok = false;
+        }
+    }
+    if (wrote && !journal->commit())
+        ok = false;
+    return ok;
 }
 
 std::vector<SessionStatus>
@@ -358,11 +644,16 @@ SessionManager::stats() const
           case SessionState::Quiescent: ++out.quiescent; break;
           case SessionState::Finalized: ++out.finalized; break;
           case SessionState::Evicted: ++out.evicted; break;
+          case SessionState::Shed: ++out.shed; break;
+          case SessionState::Quarantined:
+            ++out.quarantined;
+            break;
         }
         out.records += status.records;
         out.events += status.events;
         out.bytes += status.bytes;
     }
+    out.recovered = recovered_count;
     return out;
 }
 
@@ -391,6 +682,8 @@ SessionManager::writeStatusJson(std::ostream &out,
         w.field("bytes_skipped", status.bytes_skipped);
         w.field("records_dropped", status.records_dropped);
         w.field("decode_failures", status.decode_failures);
+        if (status.recovered)
+            w.field("recovered", true);
         if (!status.error.empty())
             w.field("error", status.error);
         w.endObject();
@@ -459,6 +752,11 @@ SessionManager::writeStatusJson(std::ostream &out,
             static_cast<std::uint64_t>(tallies.finalized));
     w.field("evicted",
             static_cast<std::uint64_t>(tallies.evicted));
+    w.field("shed", static_cast<std::uint64_t>(tallies.shed));
+    w.field("quarantined",
+            static_cast<std::uint64_t>(tallies.quarantined));
+    w.field("recovered",
+            static_cast<std::uint64_t>(tallies.recovered));
     w.field("records", tallies.records);
     w.field("events", tallies.events);
     w.field("bytes", tallies.bytes);
@@ -570,6 +868,44 @@ extractStatusSection(std::string_view status_json,
         if (i < n && status_json[i] == ',')
             ++i;
     }
+}
+
+bool
+publishStatus(const SessionManager &manager,
+              const std::string &path, std::string *error)
+{
+    std::ostringstream json;
+    manager.writeStatusJson(json, /*pretty=*/true);
+    json << "\n";
+
+    const std::string tmp = path + ".tmp";
+    std::string why;
+    bool ok = io::writeFileWithFaults("serve.status_write", tmp,
+                                      json.str(), &why);
+    if (ok &&
+        !io::renameWithFaults("serve.status_rename", tmp, path,
+                              &why))
+        ok = false;
+    if (!ok) {
+        // Failure is a retry-next-tick event, never a crash, and
+        // never leaves a half-written temp to confuse readers.
+        std::error_code ec;
+        std::filesystem::remove(tmp, ec);
+        obs::MetricsRegistry::global()
+            .counter("serve.status_publish_errors")
+            .add(1);
+        if (error != nullptr)
+            *error = why;
+        return false;
+    }
+    return true;
+}
+
+bool
+sweepStalePublish(const std::string &path)
+{
+    std::error_code ec;
+    return std::filesystem::remove(path + ".tmp", ec) && !ec;
 }
 
 } // namespace serve

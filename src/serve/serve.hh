@@ -60,6 +60,8 @@ enum class SessionState {
     Quiescent,   ///< No growth for the idle TTL; finalize pending.
     Finalized,   ///< Analysis ran; result held for queries.
     Evicted,     ///< Heavy state released; summary only.
+    Shed,        ///< Admission refused at the load limit; parked.
+    Quarantined, ///< Repeated ingest errors; isolated, not fatal.
 };
 
 /** Printable state name ("discovering", "ingesting", ...). */
@@ -114,6 +116,13 @@ struct SessionStatus
     std::uint64_t steps = 0;
     double top3_coverage = 0.0;
     std::vector<PhaseSummary> phases;
+
+    /**
+     * This session was restored from the journal after a restart
+     * (process-lifetime fact; never persisted to the journal
+     * itself).
+     */
+    bool recovered = false;
 };
 
 /** Fleet-level tallies for one SessionManager. */
@@ -126,16 +135,26 @@ struct ServeStats
     std::size_t quiescent = 0;
     std::size_t finalized = 0;
     std::size_t evicted = 0;
+    std::size_t shed = 0;
+    std::size_t quarantined = 0;
     std::uint64_t records = 0;
     std::uint64_t events = 0;
     std::uint64_t bytes = 0;
 
-    /** Sessions exist and none is still live. */
+    /** Sessions restored from the journal at startup. */
+    std::size_t recovered = 0;
+
+    /**
+     * Sessions exist and none is still live. A shed session counts
+     * as live: it holds admissible work the manager will re-admit
+     * once capacity frees, so a draining daemon must not exit on
+     * it.
+     */
     bool
     drained() const
     {
         return sessions > 0 &&
-            discovering + ingesting + quiescent == 0;
+            discovering + ingesting + quiescent + shed == 0;
     }
 };
 
@@ -189,7 +208,43 @@ struct ServeOptions
      * steady_clock.
      */
     std::function<std::int64_t()> now_ms;
+
+    /**
+     * Durable session journal path; empty disables journaling.
+     * With a journal, the manager restores every session it
+     * recorded on construction (see journal.hh) and commits one
+     * snapshot per dirty session at the end of each poll().
+     */
+    std::string journal_path;
+
+    /** Compact the journal once it outgrows this many bytes. */
+    std::uint64_t journal_compact_bytes = 1 << 20;
+
+    /**
+     * Admission cap: at most this many live sessions (discovering,
+     * ingesting or quiescent) at once; excess spool files are
+     * parked in Shed and re-admitted in discovery order as
+     * capacity frees. 0 = unlimited.
+     */
+    std::size_t max_sessions = 0;
+
+    /**
+     * Admission cap on the bytes live sessions have consumed; a
+     * new session is shed while the fleet holds at least this
+     * much. Never sheds mid-session — admitted streams always run
+     * to completion. 0 = unlimited.
+     */
+    std::uint64_t max_inflight_bytes = 0;
+
+    /**
+     * Quarantine watchdog: this many *consecutive* ingest errors
+     * (I/O failures, ingest exceptions) park the session in
+     * Quarantined instead of letting it poison every poll.
+     */
+    std::uint64_t quarantine_errors = 3;
 };
+
+class JournalWriter;
 
 /** The daemon core: one session per spooled trace. */
 class SessionManager
@@ -227,6 +282,14 @@ class SessionManager
 
     const ServeOptions &options() const { return opts; }
 
+    /**
+     * Flush every pending journal snapshot now — the graceful-
+     * shutdown path (SIGTERM drain) calls this before the final
+     * status publish. A no-op without a journal.
+     * @return false when any append/flush failed.
+     */
+    bool commitJournal();
+
   private:
     struct Session;
 
@@ -234,13 +297,39 @@ class SessionManager
     void scanSpool(std::int64_t now);
     bool ingestOne(Session &session, std::int64_t now);
     void finalizeOne(Session &session, std::int64_t now);
+    void quarantine(Session &session, const std::string &why);
+    void recoverFromJournal(std::int64_t now);
+    std::size_t liveCount() const;
+    std::uint64_t liveBytes() const;
+    bool admissible(std::uint64_t more_sessions) const;
+    void journalPass();
 
     ServeOptions opts;
     std::unique_ptr<ThreadPool> owned_pool;
     ThreadPool *active_pool;
     std::vector<std::unique_ptr<Session>> all;
     std::uint64_t polls = 0;
+    std::unique_ptr<JournalWriter> journal;
+    std::size_t recovered_count = 0;
 };
+
+/**
+ * Publish @p manager's status document to @p path via temp file +
+ * atomic rename, hardened against publish failure: a failed write
+ * or rename never throws, never leaves a stale `<path>.tmp` behind,
+ * bumps the `serve.status_publish_errors` counter and reports false
+ * so the caller simply retries next tick. Both steps run through
+ * the io fail points "serve.status_write" / "serve.status_rename".
+ */
+bool publishStatus(const SessionManager &manager,
+                   const std::string &path,
+                   std::string *error = nullptr);
+
+/**
+ * Remove a stale `<path>.tmp` left by a crash mid-publish; called
+ * once at daemon startup. @return true when a stale temp existed.
+ */
+bool sweepStalePublish(const std::string &path);
 
 /**
  * Extract one top-level section (e.g. "phases") from a status

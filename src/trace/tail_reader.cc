@@ -75,7 +75,8 @@ TailReader::failOrResync(const std::string &why)
 
 TailPoll
 TailReader::poll(const RecordHook &on_record,
-                 const ChunkHook &on_chunk)
+                 const ChunkHook &on_chunk,
+                 std::uint64_t offset_limit)
 {
     TailPoll out;
     if (stage == Stage::Done) {
@@ -94,8 +95,15 @@ TailReader::poll(const RecordHook &on_record,
     const auto end_pos = in.tellg();
     if (end_pos < 0)
         return out;
-    const auto size = static_cast<std::uint64_t>(end_pos);
-    if (size < offset) {
+    // A limit caps what this pass may see, never what was already
+    // consumed — clamping to `offset` keeps `avail` at zero
+    // (Pending) instead of underflowing when a caller passes a
+    // limit at or below the current position.
+    const auto size = std::max(
+        offset,
+        std::min(static_cast<std::uint64_t>(end_pos),
+                 offset_limit));
+    if (static_cast<std::uint64_t>(end_pos) < offset) {
         // The file shrank under us — a writer never truncates, so
         // the consumed prefix is gone. Strict mode gives up;
         // salvage waits for the file to grow back past the offset

@@ -92,14 +92,25 @@ class TailReader
     explicit TailReader(std::string path,
                         const TailReaderOptions &options = {});
 
+    /** poll() with no byte limit. */
+    static constexpr std::uint64_t kNoLimit = ~0ull;
+
     /**
      * Consume everything complete that the file holds beyond the
      * current offset. A file that does not exist yet, or whose tail
      * stops mid-header/mid-chunk, reports Pending and consumes
      * nothing of the incomplete unit — the next poll re-examines it.
+     *
+     * @param offset_limit Treat the file as ending at this byte
+     *     offset: nothing at or past it is consumed. The crash-
+     *     recovery replay bound — a restarted serve session replays
+     *     its spool file up to the journal's committed offset
+     *     (every commit is a unit boundary, so the reader lands
+     *     exactly on the limit), then continues live past it.
      */
     TailPoll poll(const RecordHook &on_record,
-                  const ChunkHook &on_chunk = nullptr);
+                  const ChunkHook &on_chunk = nullptr,
+                  std::uint64_t offset_limit = kNoLimit);
 
     /** Terminal: the end marker was consumed. */
     bool complete() const { return stage == Stage::Done; }

@@ -1,0 +1,224 @@
+/**
+ * @file Host-side I/O fail points (core/io_faults). Pins the spec
+ * grammar, the hit-indexed firing rules (once, @N, @N+, seeded
+ * rate), the precise filesystem effects of each fault kind (what
+ * lands on disk before the failure reports), and that an unarmed
+ * injector lets every operation through.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#include "core/io_faults.hh"
+
+namespace tpupoint {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+#ifdef __unix__
+    return testing::TempDir() + std::to_string(getpid()) + "." +
+        name;
+#else
+    return testing::TempDir() + name;
+#endif
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** Clean process-wide injector state around every test. */
+struct IoFaultsTest : ::testing::Test
+{
+    void SetUp() override { io::FaultInjector::global().reset(); }
+    void TearDown() override
+    {
+        io::FaultInjector::global().reset();
+    }
+};
+
+TEST_F(IoFaultsTest, UnarmedInjectorPassesEverythingThrough)
+{
+    auto &injector = io::FaultInjector::global();
+    EXPECT_FALSE(injector.armed());
+    EXPECT_EQ(injector.sample("any.site"), io::FaultKind::None);
+    EXPECT_EQ(injector.injectedTotal(), 0u);
+}
+
+TEST_F(IoFaultsTest, SpecGrammarParsesEveryForm)
+{
+    auto &injector = io::FaultInjector::global();
+    std::string why;
+    EXPECT_TRUE(injector.configure(
+        "a=enospc,b=eio@3,c=short@2+,d=torn~0.5", &why))
+        << why;
+    EXPECT_TRUE(injector.armed());
+}
+
+TEST_F(IoFaultsTest, MalformedSpecsAreAtomicallyRejected)
+{
+    auto &injector = io::FaultInjector::global();
+    std::string why;
+    EXPECT_FALSE(injector.configure("a=bogus", &why));
+    EXPECT_FALSE(why.empty());
+    EXPECT_FALSE(injector.configure("nodelimiter", &why));
+    EXPECT_FALSE(injector.configure("a=eio~1.5", &why));
+    EXPECT_FALSE(injector.configure("a=eio@0", &why));
+    // A bad entry anywhere rejects the whole spec: no rules added.
+    EXPECT_FALSE(injector.configure("good=eio,bad=", &why));
+    EXPECT_FALSE(injector.armed());
+    EXPECT_EQ(injector.sample("good"), io::FaultKind::None);
+}
+
+TEST_F(IoFaultsTest, HitIndexedRuleFiresExactlyOnce)
+{
+    auto &injector = io::FaultInjector::global();
+    ASSERT_TRUE(injector.configure("site=eio@2"));
+    EXPECT_EQ(injector.sample("site"), io::FaultKind::None);
+    EXPECT_EQ(injector.sample("site"), io::FaultKind::IoError);
+    EXPECT_EQ(injector.sample("site"), io::FaultKind::None);
+    EXPECT_EQ(injector.sample("other"), io::FaultKind::None);
+    EXPECT_EQ(injector.hits("site"), 3u);
+    EXPECT_EQ(injector.injected("site"), 1u);
+    EXPECT_EQ(injector.injectedTotal(), 1u);
+}
+
+TEST_F(IoFaultsTest, PersistentRuleFiresFromItsHitOnward)
+{
+    auto &injector = io::FaultInjector::global();
+    ASSERT_TRUE(injector.configure("site=enospc@2+"));
+    EXPECT_EQ(injector.sample("site"), io::FaultKind::None);
+    EXPECT_EQ(injector.sample("site"), io::FaultKind::DiskFull);
+    EXPECT_EQ(injector.sample("site"), io::FaultKind::DiskFull);
+    EXPECT_EQ(injector.injected("site"), 2u);
+}
+
+TEST_F(IoFaultsTest, RateRuleIsSeedDeterministic)
+{
+    auto &injector = io::FaultInjector::global();
+    ASSERT_TRUE(injector.configure("site=eio~0.5"));
+
+    const auto run = [&](std::uint64_t seed) {
+        injector.setSeed(seed);
+        std::string pattern;
+        for (int i = 0; i < 64; ++i)
+            pattern += injector.sample("site") ==
+                    io::FaultKind::None
+                ? '.'
+                : 'X';
+        return pattern;
+    };
+    const std::string first = run(7);
+    EXPECT_EQ(first, run(7)); // Same seed, same fate sequence.
+    EXPECT_NE(first, run(8));
+    EXPECT_NE(first.find('X'), std::string::npos);
+    EXPECT_NE(first.find('.'), std::string::npos);
+}
+
+TEST_F(IoFaultsTest, EnvironmentVariableConfiguresTheInjector)
+{
+#ifdef __unix__
+    auto &injector = io::FaultInjector::global();
+    ASSERT_EQ(setenv("TPUPOINT_IO_FAULTS", "env.site=eio", 1), 0);
+    std::string why;
+    EXPECT_TRUE(injector.loadFromEnvironment(&why)) << why;
+    EXPECT_EQ(injector.sample("env.site"), io::FaultKind::IoError);
+
+    injector.reset();
+    ASSERT_EQ(setenv("TPUPOINT_IO_FAULTS", "garbage", 1), 0);
+    EXPECT_FALSE(injector.loadFromEnvironment(&why));
+
+    ASSERT_EQ(unsetenv("TPUPOINT_IO_FAULTS"), 0);
+    injector.reset();
+    EXPECT_TRUE(injector.loadFromEnvironment(&why));
+    EXPECT_FALSE(injector.armed());
+#endif
+}
+
+TEST_F(IoFaultsTest, IoErrorWriteLandsNothing)
+{
+    auto &injector = io::FaultInjector::global();
+    ASSERT_TRUE(injector.configure("w=eio"));
+    const std::string path = tempPath("iofault_eio.bin");
+    std::filesystem::remove(path);
+    std::string why;
+    EXPECT_FALSE(
+        io::writeFileWithFaults("w", path, "payload", &why));
+    EXPECT_FALSE(why.empty());
+    EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST_F(IoFaultsTest, DiskFullWriteLandsAPartialPrefix)
+{
+    auto &injector = io::FaultInjector::global();
+    ASSERT_TRUE(injector.configure("w=enospc"));
+    const std::string path = tempPath("iofault_enospc.bin");
+    std::string why;
+    EXPECT_FALSE(io::writeFileWithFaults("w", path,
+                                         "0123456789", &why));
+    const std::string landed = slurp(path);
+    EXPECT_LT(landed.size(), 10u); // Partial...
+    EXPECT_EQ(landed, std::string("0123456789").substr(
+                          0, landed.size())); // ...prefix.
+    std::filesystem::remove(path);
+}
+
+TEST_F(IoFaultsTest, ShortWriteLandsAllButTheLastByte)
+{
+    auto &injector = io::FaultInjector::global();
+    ASSERT_TRUE(injector.configure("w=short"));
+    const std::string path = tempPath("iofault_short.bin");
+    std::string why;
+    EXPECT_FALSE(io::writeFileWithFaults("w", path, "abcd", &why));
+    EXPECT_EQ(slurp(path), "abc");
+    std::filesystem::remove(path);
+}
+
+TEST_F(IoFaultsTest, TornRenameLeavesSourceAndTargetUntouched)
+{
+    auto &injector = io::FaultInjector::global();
+    ASSERT_TRUE(injector.configure("r=torn"));
+    const std::string from = tempPath("iofault_torn.tmp");
+    const std::string to = tempPath("iofault_torn.out");
+    ASSERT_TRUE(io::writeFileWithFaults("unfaulted", from, "new"));
+    ASSERT_TRUE(io::writeFileWithFaults("unfaulted", to, "old"));
+    std::string why;
+    EXPECT_FALSE(io::renameWithFaults("r", from, to, &why));
+    EXPECT_EQ(slurp(from), "new"); // The crash window: temp stays,
+    EXPECT_EQ(slurp(to), "old");   // target never replaced.
+
+    // The next attempt (the rule fired once) goes through.
+    EXPECT_TRUE(io::renameWithFaults("r", from, to, &why)) << why;
+    EXPECT_EQ(slurp(to), "new");
+    EXPECT_FALSE(std::filesystem::exists(from));
+    std::filesystem::remove(to);
+}
+
+TEST_F(IoFaultsTest, SummaryCountsRulesHitsAndInjections)
+{
+    auto &injector = io::FaultInjector::global();
+    ASSERT_TRUE(injector.configure("s=eio"));
+    injector.sample("s");
+    injector.sample("s");
+    const std::string summary = injector.summary();
+    EXPECT_NE(summary.find("1 rule"), std::string::npos);
+    EXPECT_NE(summary.find("2 hits"), std::string::npos);
+    EXPECT_NE(summary.find("1 injected"), std::string::npos);
+}
+
+} // namespace
+} // namespace tpupoint

@@ -1,0 +1,399 @@
+/**
+ * @file The serve session journal (serve/journal). Pins the entry
+ * codec round trip, replay of every damage shape recovery must
+ * survive — torn final record, CRC-corrupt entry mid-file,
+ * truncated checkpoint, foreign file — last-wins folding of
+ * duplicate session entries, compaction, the injected-fault append
+ * path (which leaves a *real* torn tail), and concurrent appends
+ * (the TSan case).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+#include "core/io_faults.hh"
+#include "serve/journal.hh"
+
+namespace tpupoint {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+#ifdef __unix__
+    return testing::TempDir() + std::to_string(getpid()) + "." +
+        name;
+#else
+    return testing::TempDir() + name;
+#endif
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+void
+spit(const std::string &path, std::string_view bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+serve::SessionStatus
+makeStatus(const std::string &name, std::uint64_t bytes,
+           serve::SessionState state =
+               serve::SessionState::Ingesting)
+{
+    serve::SessionStatus status;
+    status.name = name;
+    status.path = "/spool/" + name + ".tpp";
+    status.state = state;
+    status.pending = false;
+    status.complete = state == serve::SessionState::Finalized;
+    status.records = bytes / 100;
+    status.events = bytes / 10;
+    status.bytes = bytes;
+    status.chunks = bytes / 1000;
+    status.error = bytes % 2 ? "salvaged a torn chunk" : "";
+    if (state == serve::SessionState::Finalized) {
+        status.algorithm = "ols";
+        status.steps = 120;
+        status.top3_coverage = 0.91;
+        serve::PhaseSummary phase;
+        phase.id = 1;
+        phase.first_step = 3;
+        phase.last_step = 90;
+        phase.steps = 88;
+        phase.duration_ms = 1234.5;
+        phase.noise = false;
+        status.phases.push_back(phase);
+        phase.id = -1;
+        phase.noise = true;
+        status.phases.push_back(phase);
+    }
+    return status;
+}
+
+struct JournalTest : ::testing::Test
+{
+    void SetUp() override { io::FaultInjector::global().reset(); }
+    void TearDown() override
+    {
+        io::FaultInjector::global().reset();
+    }
+};
+
+TEST_F(JournalTest, EntryCodecRoundTripsEveryField)
+{
+    const serve::SessionStatus in =
+        makeStatus("run", 12345, serve::SessionState::Finalized);
+    serve::SessionStatus out;
+    ASSERT_TRUE(serve::decodeJournalEntry(
+        serve::encodeJournalEntry(in), &out));
+    EXPECT_EQ(out.name, in.name);
+    EXPECT_EQ(out.path, in.path);
+    EXPECT_EQ(out.state, in.state);
+    EXPECT_EQ(out.pending, in.pending);
+    EXPECT_EQ(out.complete, in.complete);
+    EXPECT_EQ(out.records, in.records);
+    EXPECT_EQ(out.events, in.events);
+    EXPECT_EQ(out.bytes, in.bytes);
+    EXPECT_EQ(out.chunks, in.chunks);
+    EXPECT_EQ(out.error, in.error);
+    EXPECT_EQ(out.algorithm, in.algorithm);
+    EXPECT_EQ(out.steps, in.steps);
+    EXPECT_DOUBLE_EQ(out.top3_coverage, in.top3_coverage);
+    ASSERT_EQ(out.phases.size(), in.phases.size());
+    EXPECT_EQ(out.phases[0].id, 1);
+    EXPECT_EQ(out.phases[0].steps, 88u);
+    EXPECT_DOUBLE_EQ(out.phases[0].duration_ms, 1234.5);
+    EXPECT_EQ(out.phases[1].id, -1);
+    EXPECT_TRUE(out.phases[1].noise);
+}
+
+TEST_F(JournalTest, TruncatedOrTrailingBytesFailDecode)
+{
+    const std::string payload = serve::encodeJournalEntry(
+        makeStatus("run", 500));
+    serve::SessionStatus out;
+    EXPECT_FALSE(serve::decodeJournalEntry(
+        std::string_view(payload).substr(0, payload.size() - 1),
+        &out));
+    EXPECT_FALSE(
+        serve::decodeJournalEntry(payload + "x", &out));
+    EXPECT_FALSE(serve::decodeJournalEntry("", &out));
+}
+
+TEST_F(JournalTest, MissingAndEmptyJournalsReplayClean)
+{
+    const std::string path = tempPath("journal_absent.tppj");
+    std::filesystem::remove(path);
+    serve::JournalReplay replay;
+    EXPECT_TRUE(serve::replayJournal(path, &replay));
+    EXPECT_TRUE(replay.entries.empty());
+    EXPECT_FALSE(replay.damaged);
+
+    spit(path, "");
+    EXPECT_TRUE(serve::replayJournal(path, &replay));
+    EXPECT_TRUE(replay.entries.empty());
+    EXPECT_FALSE(replay.damaged);
+    std::filesystem::remove(path);
+}
+
+TEST_F(JournalTest, ForeignFileIsAnErrorNotASilentWipe)
+{
+    const std::string path = tempPath("journal_foreign.tppj");
+    spit(path, "#!/bin/sh\necho not a journal\n");
+    serve::JournalReplay replay;
+    std::string why;
+    EXPECT_FALSE(serve::replayJournal(path, &replay, &why));
+    EXPECT_FALSE(why.empty());
+    std::filesystem::remove(path);
+}
+
+TEST_F(JournalTest, AppendCommitReplayRoundTrips)
+{
+    const std::string path = tempPath("journal_roundtrip.tppj");
+    std::filesystem::remove(path);
+    {
+        serve::JournalWriter writer(path);
+        ASSERT_TRUE(writer.open());
+        ASSERT_TRUE(writer.append(makeStatus("a", 100)));
+        ASSERT_TRUE(writer.append(makeStatus("b", 200)));
+        ASSERT_TRUE(writer.append(
+            makeStatus("a", 900,
+                       serve::SessionState::Finalized)));
+        ASSERT_TRUE(writer.commit());
+        EXPECT_EQ(writer.entriesAppended(), 3u);
+        EXPECT_EQ(writer.errors(), 0u);
+    }
+    serve::JournalReplay replay;
+    ASSERT_TRUE(serve::replayJournal(path, &replay));
+    EXPECT_FALSE(replay.damaged);
+    ASSERT_EQ(replay.entries.size(), 3u);
+
+    // Duplicate session entries fold last-wins, first-appearance
+    // order preserved.
+    const auto folded =
+        serve::foldJournalEntries(replay.entries);
+    ASSERT_EQ(folded.size(), 2u);
+    EXPECT_EQ(folded[0].name, "a");
+    EXPECT_EQ(folded[0].bytes, 900u);
+    EXPECT_EQ(folded[0].state, serve::SessionState::Finalized);
+    EXPECT_EQ(folded[1].name, "b");
+    EXPECT_EQ(folded[1].bytes, 200u);
+    std::filesystem::remove(path);
+}
+
+TEST_F(JournalTest, TornFinalRecordIsToleratedNotFatal)
+{
+    const std::string path = tempPath("journal_torn.tppj");
+    std::filesystem::remove(path);
+    {
+        serve::JournalWriter writer(path);
+        ASSERT_TRUE(writer.open());
+        ASSERT_TRUE(writer.append(makeStatus("a", 100)));
+        ASSERT_TRUE(writer.append(makeStatus("b", 200)));
+        ASSERT_TRUE(writer.commit());
+    }
+    // The crash landed mid-append: chop the tail mid-entry.
+    const std::string bytes = slurp(path);
+    spit(path, std::string_view(bytes)
+                   .substr(0, bytes.size() - 7));
+
+    serve::JournalReplay replay;
+    ASSERT_TRUE(serve::replayJournal(path, &replay));
+    EXPECT_TRUE(replay.damaged);
+    EXPECT_FALSE(replay.detail.empty());
+    ASSERT_EQ(replay.entries.size(), 1u);
+    EXPECT_EQ(replay.entries[0].name, "a");
+    std::filesystem::remove(path);
+}
+
+TEST_F(JournalTest, CorruptEntryMidFileStopsAtTheLastGoodOne)
+{
+    const std::string path = tempPath("journal_corrupt.tppj");
+    std::filesystem::remove(path);
+    std::uint64_t first_end = 0;
+    {
+        serve::JournalWriter writer(path);
+        ASSERT_TRUE(writer.open());
+        ASSERT_TRUE(writer.append(makeStatus("a", 100)));
+        first_end = writer.size();
+        ASSERT_TRUE(writer.append(makeStatus("b", 200)));
+        ASSERT_TRUE(writer.append(makeStatus("c", 300)));
+        ASSERT_TRUE(writer.commit());
+    }
+    // Flip one payload byte inside entry "b": its CRC now lies.
+    std::string bytes = slurp(path);
+    bytes[first_end + 20] ^= 0x40;
+    spit(path, bytes);
+
+    serve::JournalReplay replay;
+    ASSERT_TRUE(serve::replayJournal(path, &replay));
+    EXPECT_TRUE(replay.damaged);
+    // Replay must stop — never resync forward past corruption to
+    // invent state for "c" that may itself be suspect.
+    ASSERT_EQ(replay.entries.size(), 1u);
+    EXPECT_EQ(replay.entries[0].name, "a");
+    EXPECT_EQ(replay.bytes_replayed, first_end);
+    std::filesystem::remove(path);
+}
+
+TEST_F(JournalTest, CompactionFoldsHistoryAndKeepsAppending)
+{
+    const std::string path = tempPath("journal_compact.tppj");
+    std::filesystem::remove(path);
+    serve::JournalWriter writer(path);
+    ASSERT_TRUE(writer.open());
+    for (int i = 0; i < 50; ++i)
+        ASSERT_TRUE(
+            writer.append(makeStatus("a", 100 + 10 * i)));
+    ASSERT_TRUE(writer.commit());
+    const std::uint64_t before = writer.size();
+
+    std::vector<serve::SessionStatus> snapshot;
+    snapshot.push_back(makeStatus("a", 590));
+    ASSERT_TRUE(writer.compact(snapshot));
+    EXPECT_LT(writer.size(), before);
+
+    // Appends continue on the compacted file.
+    ASSERT_TRUE(writer.append(
+        makeStatus("a", 700, serve::SessionState::Finalized)));
+    ASSERT_TRUE(writer.commit());
+
+    serve::JournalReplay replay;
+    ASSERT_TRUE(serve::replayJournal(path, &replay));
+    EXPECT_FALSE(replay.damaged);
+    ASSERT_EQ(replay.entries.size(), 2u);
+    const auto folded =
+        serve::foldJournalEntries(replay.entries);
+    ASSERT_EQ(folded.size(), 1u);
+    EXPECT_EQ(folded[0].bytes, 700u);
+    std::filesystem::remove(path);
+}
+
+TEST_F(JournalTest, TruncatedCheckpointLeavesOldJournalIntact)
+{
+    const std::string path = tempPath("journal_ckpt.tppj");
+    std::filesystem::remove(path);
+    serve::JournalWriter writer(path);
+    ASSERT_TRUE(writer.open());
+    ASSERT_TRUE(writer.append(makeStatus("a", 100)));
+    ASSERT_TRUE(writer.append(makeStatus("a", 200)));
+    ASSERT_TRUE(writer.commit());
+
+    // The checkpoint write dies short: compaction must fail
+    // without touching the live journal or littering a temp file.
+    ASSERT_TRUE(io::FaultInjector::global().configure(
+        "serve.journal_checkpoint=short"));
+    std::vector<serve::SessionStatus> snapshot;
+    snapshot.push_back(makeStatus("a", 200));
+    EXPECT_FALSE(writer.compact(snapshot));
+    EXPECT_GT(writer.errors(), 0u);
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+    serve::JournalReplay replay;
+    ASSERT_TRUE(serve::replayJournal(path, &replay));
+    EXPECT_FALSE(replay.damaged);
+    EXPECT_EQ(replay.entries.size(), 2u);
+
+    // Same for the rename window (temp written, publish torn).
+    io::FaultInjector::global().reset();
+    ASSERT_TRUE(io::FaultInjector::global().configure(
+        "serve.journal_rename=torn"));
+    EXPECT_FALSE(writer.compact(snapshot));
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+    ASSERT_TRUE(serve::replayJournal(path, &replay));
+    EXPECT_EQ(replay.entries.size(), 2u);
+
+    // And with the injector quiet again, the same compact works.
+    io::FaultInjector::global().reset();
+    EXPECT_TRUE(writer.compact(snapshot));
+    ASSERT_TRUE(serve::replayJournal(path, &replay));
+    EXPECT_EQ(replay.entries.size(), 1u);
+    std::filesystem::remove(path);
+}
+
+TEST_F(JournalTest, InjectedAppendFaultLeavesARealTornTail)
+{
+    const std::string path = tempPath("journal_enospc.tppj");
+    std::filesystem::remove(path);
+    ASSERT_TRUE(io::FaultInjector::global().configure(
+        "serve.journal_append=enospc@2"));
+    serve::JournalWriter writer(path);
+    ASSERT_TRUE(writer.open());
+    ASSERT_TRUE(writer.append(makeStatus("a", 100)));
+    // The disk fills mid-append: half a frame lands.
+    EXPECT_FALSE(writer.append(makeStatus("b", 200)));
+    EXPECT_GT(writer.errors(), 0u);
+    ASSERT_TRUE(writer.commit());
+
+    // Replay walks the good prefix and discards the torn tail —
+    // the exact recovery path a real ENOSPC crash exercises.
+    serve::JournalReplay replay;
+    ASSERT_TRUE(serve::replayJournal(path, &replay));
+    EXPECT_TRUE(replay.damaged);
+    ASSERT_EQ(replay.entries.size(), 1u);
+    EXPECT_EQ(replay.entries[0].name, "a");
+    std::filesystem::remove(path);
+}
+
+TEST_F(JournalTest, ConcurrentAppendsAreSerializedSafely)
+{
+    const std::string path = tempPath("journal_threads.tppj");
+    std::filesystem::remove(path);
+    serve::JournalWriter writer(path);
+    ASSERT_TRUE(writer.open());
+
+    // Commit-while-ingest: several threads hammer append/commit/
+    // size concurrently. TSan runs this binary; every frame must
+    // land whole.
+    constexpr int kThreads = 4;
+    constexpr int kAppends = 25;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&writer, t] {
+            for (int i = 0; i < kAppends; ++i) {
+                writer.append(makeStatus(
+                    "s" + std::to_string(t),
+                    static_cast<std::uint64_t>(100 * i)));
+                if (i % 5 == 0)
+                    writer.commit();
+                (void)writer.size();
+            }
+        });
+    for (std::thread &thread : threads)
+        thread.join();
+    ASSERT_TRUE(writer.commit());
+    EXPECT_EQ(writer.entriesAppended(),
+              static_cast<std::uint64_t>(kThreads * kAppends));
+
+    serve::JournalReplay replay;
+    ASSERT_TRUE(serve::replayJournal(path, &replay));
+    EXPECT_FALSE(replay.damaged);
+    EXPECT_EQ(replay.entries.size(),
+              static_cast<std::size_t>(kThreads * kAppends));
+    EXPECT_EQ(serve::foldJournalEntries(replay.entries).size(),
+              static_cast<std::size_t>(kThreads));
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace tpupoint

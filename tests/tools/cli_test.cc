@@ -450,5 +450,88 @@ TEST(CliTest, ServeDrainsSpoolAndAnswersQueries)
     std::filesystem::remove_all(spool);
 }
 
+TEST(CliTest, ServeRejectsGarbageRobustnessFlagValues)
+{
+    const char *bad_serve[] = {
+        "--max-sessions garbage", "--max-inflight-bytes -1",
+        "--quarantine-errors 1.5", "--journal-compact-bytes 0x10",
+        "--io-fault-seed junk"};
+    for (const char *flags : bad_serve) {
+        const auto result =
+            run(std::string(TPUPOINT_SERVE_BIN) + " " + flags);
+        EXPECT_EQ(result.exit_code, 2) << flags;
+        EXPECT_NE(result.output.find("wants an integer"),
+                  std::string::npos)
+            << flags << " said: " << result.output;
+    }
+
+    const auto fault = run(std::string(TPUPOINT_SERVE_BIN) +
+                           " --io-fault bad=bogus");
+    EXPECT_EQ(fault.exit_code, 2);
+    EXPECT_NE(fault.output.find("--io-fault"), std::string::npos)
+        << fault.output;
+}
+
+TEST(CliTest, ServeJournalSurvivesRestart)
+{
+    const std::string spool = tempPath("serve_journal_spool");
+    std::filesystem::remove_all(spool);
+    std::filesystem::create_directories(spool);
+    writeProfile(spool + "/run.tpp");
+    const std::string status = tempPath("serve_journal_status.json");
+    const std::string journal = spool + "/serve.journal";
+
+    const std::string daemon = std::string(TPUPOINT_SERVE_BIN) +
+        " --spool '" + spool + "' --status-out '" + status +
+        "' --journal '" + journal +
+        "' --poll-ms 10 --idle-ttl-ms 200 --threads 1 --drain";
+    const auto first = run(daemon);
+    ASSERT_EQ(first.exit_code, 0) << first.output;
+    EXPECT_NE(first.output.find("1 sessions (1 finalized"),
+              std::string::npos)
+        << first.output;
+
+    // Restart against the same journal: the finalized session is
+    // restored from the journal alone and marked as recovered.
+    const auto second = run(daemon);
+    ASSERT_EQ(second.exit_code, 0) << second.output;
+    EXPECT_NE(second.output.find("1 sessions (1 finalized"),
+              std::string::npos)
+        << second.output;
+    const auto sessions = run(std::string(TPUPOINT_SERVE_BIN) +
+                              " --query sessions --status '" +
+                              status + "'");
+    EXPECT_EQ(sessions.exit_code, 0) << sessions.output;
+    EXPECT_NE(sessions.output.find("\"recovered\""),
+              std::string::npos)
+        << sessions.output;
+    std::filesystem::remove_all(spool);
+}
+
+TEST(CliTest, ServeMaxSessionsShedsThenFinishesEverySession)
+{
+    const std::string spool = tempPath("serve_shed_spool");
+    std::filesystem::remove_all(spool);
+    std::filesystem::create_directories(spool);
+    writeProfile(spool + "/aaa.tpp");
+    writeProfile(spool + "/bbb.tpp");
+    const std::string status = tempPath("serve_shed_status.json");
+
+    // One admission slot for two sessions: the second is shed at
+    // the door, re-admitted once the first finishes, and the drain
+    // still ends with both finalized.
+    const auto serve = run(std::string(TPUPOINT_SERVE_BIN) +
+                           " --spool '" + spool +
+                           "' --status-out '" + status +
+                           "' --max-sessions 1 --poll-ms 10"
+                           " --idle-ttl-ms 200 --threads 1"
+                           " --drain");
+    ASSERT_EQ(serve.exit_code, 0) << serve.output;
+    EXPECT_NE(serve.output.find("2 sessions (2 finalized"),
+              std::string::npos)
+        << serve.output;
+    std::filesystem::remove_all(spool);
+}
+
 } // namespace
 } // namespace tpupoint

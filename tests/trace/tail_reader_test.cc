@@ -220,6 +220,72 @@ TEST(TailReaderTest, ChunkHookReportsPerChunkRecordCounts)
     EXPECT_EQ(chunk_counts[1], 3u);
 }
 
+TEST(TailReaderTest, OffsetLimitBoundsReplayExactly)
+{
+    const std::string path = tempPath("tail_limit.tpp");
+    const std::string bytes = streamBytes(10);
+    writeBytes(path, bytes);
+
+    // Learn the offset after the first two chunks by polling an
+    // unlimited reader's consumption — commits always land on
+    // unit boundaries, which is what a journal records.
+    TailReader probe(path);
+    std::uint64_t boundary = 0;
+    std::uint64_t seen = 0;
+    probe.poll([](std::string_view) {},
+               [&](std::size_t records) {
+                   seen += records;
+                   if (seen <= 4)
+                       boundary = probe.bytesConsumed();
+               });
+    ASSERT_GT(boundary, 0u);
+
+    // A limited reader stops exactly at the boundary...
+    TailReader limited(path);
+    std::vector<std::string> records;
+    const TailPoll replay = limited.poll(
+        [&records](std::string_view payload) {
+            records.push_back(std::string(payload));
+        },
+        nullptr, boundary);
+    EXPECT_EQ(replay.status, TailStatus::Pending);
+    EXPECT_EQ(limited.bytesConsumed(), boundary);
+    EXPECT_EQ(records.size(), 4u);
+    EXPECT_FALSE(limited.sawDamage());
+
+    // ...and an unlimited poll afterwards picks up the rest:
+    // every record exactly once across the limit.
+    EXPECT_EQ(pollInto(limited, &records).status,
+              TailStatus::Complete);
+    ASSERT_EQ(records.size(), 10u);
+    for (std::size_t i = 0; i < records.size(); ++i)
+        EXPECT_EQ(records[i], "rec" + std::to_string(i));
+}
+
+TEST(TailReaderTest, LimitAtOrBelowOffsetIsPendingNotUnderflow)
+{
+    const std::string path = tempPath("tail_limit_low.tpp");
+    writeBytes(path, streamBytes(4));
+    TailReader reader(path);
+    std::vector<std::string> records;
+    EXPECT_EQ(pollInto(reader, &records).status,
+              TailStatus::Complete);
+    const std::uint64_t consumed = reader.bytesConsumed();
+
+    TailReader again(path);
+    // Replay up to just before the end marker, then poll with a
+    // limit *below* the offset: nothing more may be consumed and
+    // nothing underflows.
+    again.poll([](std::string_view) {}, nullptr, consumed - 12);
+    const std::uint64_t offset = again.bytesConsumed();
+    EXPECT_GT(offset, 8u);
+    const TailPoll low =
+        again.poll([](std::string_view) {}, nullptr, 8);
+    EXPECT_EQ(low.bytes, 0u);
+    EXPECT_EQ(low.status, TailStatus::Pending);
+    EXPECT_EQ(again.bytesConsumed(), offset);
+}
+
 TEST(TailReaderTest, CompletedReaderKeepsReportingComplete)
 {
     const std::string path = tempPath("tail_done.tpp");

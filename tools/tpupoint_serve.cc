@@ -10,6 +10,8 @@
  *
  * Daemon mode:
  *   tpupoint-serve --spool DIR --status-out status.json
+ * Crash-safe daemon (restart resumes where the last run left off):
+ *   tpupoint-serve --spool DIR --journal serve.journal ...
  * Query mode (against a running daemon's status file):
  *   tpupoint-serve --query phases --status status.json
  *
@@ -27,6 +29,7 @@
 #include <string>
 #include <thread>
 
+#include "core/io_faults.hh"
 #include "core/json.hh"
 #include "core/strings.hh"
 #include "serve/serve.hh"
@@ -36,6 +39,12 @@ using namespace tpupoint;
 
 namespace {
 
+/**
+ * The only thing a signal handler may touch. Everything else —
+ * logging, the final journal commit, the status publish — happens
+ * on the main loop after it observes the flag; nothing
+ * async-signal-unsafe runs in signal context.
+ */
 volatile std::sig_atomic_t g_stop = 0;
 
 void
@@ -44,32 +53,22 @@ onSignal(int)
     g_stop = 1;
 }
 
-/** Publish the status document atomically: tmp file + rename. */
-bool
-writeStatusFile(const serve::SessionManager &manager,
-                const std::string &path)
+void
+installSignalHandlers()
 {
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary);
-        if (out) {
-            manager.writeStatusJson(out);
-            out << '\n';
-        }
-        if (!out) {
-            std::fprintf(stderr, "error: cannot write %s\n",
-                         tmp.c_str());
-            return false;
-        }
-    }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
-        std::fprintf(stderr, "error: cannot publish %s: %s\n",
-                     path.c_str(), ec.message().c_str());
-        return false;
-    }
-    return true;
+#if defined(_WIN32)
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+#else
+    // sigaction without SA_RESTART: a delivered signal interrupts
+    // the sleep slice (EINTR) so shutdown is prompt even mid-wait.
+    struct sigaction action = {};
+    action.sa_handler = onSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+#endif
 }
 
 int
@@ -212,6 +211,80 @@ main(int argc, char **argv)
                   "strict tail reads: structural damage parks the "
                   "session instead of resynchronizing",
                   [&]() { serve_options.salvage = false; });
+    parser.option("--journal", "PATH",
+                  "durable session journal: restart resumes every "
+                  "session from its committed offset",
+                  [&](const char *value) {
+                      serve_options.journal_path = value;
+                      return true;
+                  });
+    parser.option("--journal-compact-bytes", "N",
+                  "compact the journal once it outgrows this "
+                  "(default 1048576)",
+                  [&](const char *value) {
+                      return cli::parseUint(
+                          "--journal-compact-bytes", value,
+                          std::numeric_limits<
+                              std::uint64_t>::max(),
+                          &serve_options.journal_compact_bytes);
+                  });
+    parser.option("--max-sessions", "N",
+                  "admit at most N live sessions; excess spool "
+                  "files are shed until capacity frees "
+                  "(default 0 = unlimited)",
+                  [&](const char *value) {
+                      std::uint64_t parsed = 0;
+                      if (!cli::parseUint("--max-sessions", value,
+                                          1u << 20, &parsed))
+                          return false;
+                      serve_options.max_sessions =
+                          static_cast<std::size_t>(parsed);
+                      return true;
+                  });
+    parser.option("--max-inflight-bytes", "N",
+                  "shed new sessions while live sessions hold at "
+                  "least N ingested bytes (default 0 = unlimited)",
+                  [&](const char *value) {
+                      return cli::parseUint(
+                          "--max-inflight-bytes", value,
+                          std::numeric_limits<
+                              std::uint64_t>::max(),
+                          &serve_options.max_inflight_bytes);
+                  });
+    parser.option("--quarantine-errors", "N",
+                  "quarantine a session after N consecutive "
+                  "ingest errors (default 3; 0 = never)",
+                  [&](const char *value) {
+                      return cli::parseUint(
+                          "--quarantine-errors", value, 1u << 20,
+                          &serve_options.quarantine_errors);
+                  });
+    parser.option("--io-fault", "SPEC",
+                  "inject host-I/O faults, e.g. "
+                  "serve.status_write=enospc@2 (testing)",
+                  [&](const char *value) {
+                      std::string why;
+                      if (!io::FaultInjector::global().configure(
+                              value, &why)) {
+                          std::fprintf(stderr, "--io-fault: %s\n",
+                                       why.c_str());
+                          return false;
+                      }
+                      return true;
+                  });
+    parser.option("--io-fault-seed", "N",
+                  "seed for rate-based injected faults",
+                  [&](const char *value) {
+                      std::uint64_t seed = 0;
+                      if (!cli::parseUint(
+                              "--io-fault-seed", value,
+                              std::numeric_limits<
+                                  std::uint64_t>::max(),
+                              &seed))
+                          return false;
+                      io::FaultInjector::global().setSeed(seed);
+                      return true;
+                  });
     cli::addThreadsFlag(parser, &serve_options.threads);
     parser.option("--run-for-ms", "N",
                   "exit cleanly after this long (default: run "
@@ -281,16 +354,40 @@ main(int argc, char **argv)
         return 2;
     }
 
-    std::signal(SIGINT, onSignal);
-    std::signal(SIGTERM, onSignal);
+    std::string why;
+    if (!io::FaultInjector::global().loadFromEnvironment(&why)) {
+        std::fprintf(stderr, "TPUPOINT_IO_FAULTS: %s\n",
+                     why.c_str());
+        return 2;
+    }
+
+    installSignalHandlers();
+
+    // A crash mid-publish leaves `status.json.tmp` behind; sweep
+    // it so readers never pick up a stale half-document.
+    if (!status_out.empty() &&
+        serve::sweepStalePublish(status_out))
+        std::fprintf(stderr,
+                     "serve: removed stale %s.tmp from a previous "
+                     "run\n",
+                     status_out.c_str());
 
     serve::SessionManager manager(serve_options);
     const auto started = std::chrono::steady_clock::now();
     for (;;) {
         manager.poll();
-        if (!status_out.empty() &&
-            !writeStatusFile(manager, status_out))
-            return 1;
+        if (!status_out.empty()) {
+            // A failed publish is a retry-next-tick event, never
+            // an exit: the daemon outlives a transiently full or
+            // flaky disk.
+            std::string publish_error;
+            if (!serve::publishStatus(manager, status_out,
+                                      &publish_error))
+                std::fprintf(stderr,
+                             "warning: status publish failed "
+                             "(%s); retrying next poll\n",
+                             publish_error.c_str());
+        }
         if (g_stop || once)
             break;
         if (drain && manager.stats().drained())
@@ -307,7 +404,10 @@ main(int argc, char **argv)
                 break;
         }
         // Sleep in short slices so a signal or stop file is
-        // honored promptly even with a long poll interval.
+        // honored promptly even with a long poll interval. An
+        // interrupted sleep (EINTR from a delivered signal) is
+        // normal control flow, not an error: re-check g_stop and
+        // carry on.
         std::int64_t slept = 0;
         while (slept < poll_ms && !g_stop) {
             const std::int64_t slice =
@@ -317,6 +417,17 @@ main(int argc, char **argv)
             slept += slice;
         }
     }
+
+    // Graceful drain (SIGTERM/SIGINT or a natural exit): flush
+    // every pending journal snapshot, publish the final status
+    // document, and report a clean exit — a supervisor restart
+    // then resumes from exactly this state.
+    if (!manager.commitJournal())
+        std::fprintf(stderr,
+                     "warning: final journal commit failed; "
+                     "restart will re-ingest the gap\n");
+    if (!status_out.empty())
+        serve::publishStatus(manager, status_out);
 
     const serve::ServeStats tallies = manager.stats();
     std::printf("serve: %zu sessions (%zu finalized, %zu "
