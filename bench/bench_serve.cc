@@ -30,6 +30,9 @@
 #endif
 
 #include "bench/common.hh"
+#include "core/logging.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/logger.hh"
 #include "obs/metrics.hh"
 #include "proto/serialize.hh"
 #include "serve/serve.hh"
@@ -339,6 +342,57 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // ---- Phase 4: observability overhead -------------------------
+    // The cost of leaving the structured logger on a hot path:
+    // events below the stream threshold with the flight recorder
+    // off (the production fast path — one level check), the same
+    // events with the recorder on (serialize + ring write), and a
+    // raw ring write of a pre-serialized payload.
+    constexpr std::uint64_t kLogEvents = 200000;
+    obs::Logger bench_logger;
+    std::FILE *log_sink = std::tmpfile();
+    bench_logger.setStream(log_sink);
+    bench_logger.setFormat(obs::LogFormat::Json);
+    LogConfig::setThreshold(LogLevel::Warn);
+    obs::FlightRecorder &flight = obs::FlightRecorder::global();
+
+    const auto timeLogLoop = [&] {
+        const auto begin = std::chrono::steady_clock::now();
+        for (std::uint64_t i = 0; i < kLogEvents; ++i)
+            bench_logger.log(LogLevel::Debug, "bench",
+                             "ingest tick",
+                             {{"session", "bench"}, {"i", i}});
+        return std::chrono::duration<double, std::nano>(
+                   std::chrono::steady_clock::now() - begin)
+                   .count() /
+            static_cast<double>(kLogEvents);
+    };
+
+    flight.disable();
+    const double log_off_ns = timeLogLoop();
+    flight.enable();
+    const double log_on_ns = timeLogLoop();
+
+    const std::string payload =
+        "{\"level\":\"debug\",\"component\":\"bench\","
+        "\"msg\":\"ingest tick\"}";
+    const auto ring_begin = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kLogEvents; ++i)
+        flight.record(payload);
+    const double ring_ns =
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - ring_begin)
+            .count() /
+        static_cast<double>(kLogEvents);
+    flight.disable();
+    LogConfig::setThreshold(LogLevel::Info);
+    if (log_sink != nullptr)
+        std::fclose(log_sink);
+
+    std::printf("log event, recorder off %.1f ns\n", log_off_ns);
+    std::printf("log event, recorder on  %.1f ns\n", log_on_ns);
+    std::printf("flight ring write       %.1f ns\n", ring_ns);
+
     report.figure("sessions",
                   static_cast<double>(stats.sessions));
     report.figure("sessions_per_sec", sessions_per_sec);
@@ -348,5 +402,8 @@ main(int argc, char **argv)
     report.figure("recovered_sessions",
                   static_cast<double>(recovered));
     report.figure("shed_rate", shed_rate);
+    report.figure("log_event_flight_off_ns", log_off_ns);
+    report.figure("log_event_flight_on_ns", log_on_ns);
+    report.figure("flight_record_ns", ring_ns);
     return report.write() ? 0 : 1;
 }

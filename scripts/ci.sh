@@ -193,6 +193,85 @@ smoke_suite() {
         cat "${work}/shed.out" >&2
         return 1
     }
+    # Observability path: scrape the health verdict and the
+    # OpenMetrics exposition from a live daemon, then demand a
+    # parseable flight dump from SIGUSR2 and a clean SIGTERM
+    # shutdown. Runs in every suite, so the sanitizer builds walk
+    # the lock-free flight ring and the signal-dump path under
+    # instrumentation.
+    echo "== smoke: observability (health, metrics, flight dump)"
+    mkdir "${work}/obs.spool"
+    cp "${work}/smoke.tpp" "${work}/obs.spool/run.tpp"
+    TPUPOINT_LOG_FORMAT=jsonl \
+    "${build_dir}/tools/tpupoint-serve" \
+        --spool "${work}/obs.spool" \
+        --status-out "${work}/obs.status.json" \
+        --flight-out "${work}/obs.flight.json" \
+        --slo-p99-ingest-us 60000000 --slo-max-lag-ms 600000 \
+        --poll-ms 20 --idle-ttl-ms 60000 &
+    local obs_pid=$!
+    tries=0
+    until [ -s "${work}/obs.status.json" ]; do
+        tries=$((tries + 1))
+        if [ "${tries}" -gt 200 ]; then
+            echo "smoke: observability serve never published" >&2
+            kill "${obs_pid}" 2>/dev/null || true
+            return 1
+        fi
+        sleep 0.05
+    done
+    "${build_dir}/tools/tpupoint-serve" \
+        --query health --status "${work}/obs.status.json" \
+        > "${work}/obs.health.json"
+    "${build_dir}/tools/tpupoint-validate-json" \
+        "${work}/obs.health.json"
+    grep -q '"state"' "${work}/obs.health.json" || {
+        echo "smoke: health query carried no verdict" >&2
+        kill "${obs_pid}" 2>/dev/null || true
+        return 1
+    }
+    "${build_dir}/tools/tpupoint-serve" \
+        --query metrics --status "${work}/obs.status.json" \
+        > "${work}/obs.metrics.txt"
+    grep -q '^# EOF' "${work}/obs.metrics.txt" &&
+        grep -q 'serve_sessions_discovered_total' \
+            "${work}/obs.metrics.txt" || {
+        echo "smoke: metrics scrape missing or torn" >&2
+        kill "${obs_pid}" 2>/dev/null || true
+        return 1
+    }
+    # On-demand black box: SIGUSR2 writes the ring through the
+    # async-signal-safe path; the document must still parse.
+    kill -USR2 "${obs_pid}"
+    tries=0
+    until [ -s "${work}/obs.flight.json" ]; do
+        tries=$((tries + 1))
+        if [ "${tries}" -gt 100 ]; then
+            echo "smoke: SIGUSR2 produced no flight dump" >&2
+            kill "${obs_pid}" 2>/dev/null || true
+            return 1
+        fi
+        sleep 0.05
+    done
+    "${build_dir}/tools/tpupoint-validate-json" \
+        "${work}/obs.flight.json"
+    grep -q '"reason":"signal"' "${work}/obs.flight.json" || {
+        echo "smoke: flight dump lost its reason" >&2
+        kill "${obs_pid}" 2>/dev/null || true
+        return 1
+    }
+    # Signaled shutdown rewrites the dump, attributed, and exits 0.
+    kill "${obs_pid}"
+    wait "${obs_pid}" || {
+        echo "smoke: observability serve exited nonzero" >&2
+        return 1
+    }
+    "${build_dir}/tools/tpupoint-validate-json" \
+        "${work}/obs.flight.json"
+    grep -q 'shutdown' "${work}/obs.flight.json" || {
+        echo "smoke: shutdown left no flight dump" >&2
+        return 1
+    }
     rm -rf "${work}"
 }
 
@@ -212,7 +291,7 @@ bench_smoke() {
     "${build_dir}/bench/bench_serve" --json "${work}/serve.json"
     "${build_dir}/tools/tpupoint-validate-json" \
         "${work}/serve.json"
-    for figure in recovery_ms shed_rate; do
+    for figure in recovery_ms shed_rate log_event_flight_on_ns; do
         grep -q "\"${figure}\"" "${work}/serve.json" || {
             echo "bench: bench_serve lost the ${figure} figure" >&2
             return 1

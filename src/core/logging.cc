@@ -28,8 +28,12 @@ ensureEnvironmentLoaded()
                    []() { LogConfig::loadFromEnvironment(); });
 }
 
+std::atomic<LogSinkFn> global_sink{nullptr};
+
+} // namespace
+
 const char *
-levelName(LogLevel level)
+logLevelName(LogLevel level)
 {
     switch (level) {
       case LogLevel::Debug: return "debug";
@@ -41,7 +45,11 @@ levelName(LogLevel level)
     return "?";
 }
 
-} // namespace
+void
+setLogSink(LogSinkFn sink)
+{
+    global_sink.store(sink, std::memory_order_release);
+}
 
 LogLevel
 LogConfig::threshold()
@@ -94,8 +102,14 @@ logMessage(LogLevel level, const std::string &msg)
     if (level < global_threshold.load(std::memory_order_relaxed))
         return;
     std::lock_guard<std::mutex> lock(emit_mutex);
-    std::fprintf(stderr, "tpupoint: %s: %s\n", levelName(level),
-                 msg.c_str());
+    const LogSinkFn sink =
+        global_sink.load(std::memory_order_acquire);
+    if (sink != nullptr) {
+        sink(level, msg);
+        return;
+    }
+    std::fprintf(stderr, "tpupoint: %s: %s\n",
+                 logLevelName(level), msg.c_str());
 }
 
 } // namespace detail

@@ -44,6 +44,23 @@ class LogConfig
     static bool parseLevel(const char *name, LogLevel *level);
 };
 
+/** Printable level name ("debug", "info", ...). */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Installable structured-log sink. When set, every message that
+ * clears the threshold is handed to the sink instead of the default
+ * "tpupoint: level: msg" stderr line — the hook obs::Logger uses to
+ * upgrade the whole toolchain's legacy inform()/warn() traffic to
+ * structured emission without core/ depending on obs/. The sink
+ * runs under the emission lock, so implementations must not call
+ * back into logMessage().
+ */
+using LogSinkFn = void (*)(LogLevel level, const std::string &msg);
+
+/** Install @p sink (nullptr restores the default stderr line). */
+void setLogSink(LogSinkFn sink);
+
 namespace detail {
 
 /** Emit one formatted message to stderr (internal). */

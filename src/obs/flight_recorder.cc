@@ -1,0 +1,379 @@
+#include "obs/flight_recorder.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "core/io_faults.hh"
+#include "core/json.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+
+namespace tpupoint {
+namespace obs {
+
+/**
+ * One ring slot. `stamp` holds seq+1 once the payload is complete;
+ * 0 marks empty-or-being-written. `busy` is a try-lock shared by
+ * writers and dumpers: whoever fails the exchange walks away
+ * (writers drop the event, dumpers skip the slot), so the
+ * non-atomic length/bytes are only ever touched exclusively and a
+ * dump never emits a torn payload.
+ */
+struct FlightRecorder::Slot
+{
+    std::atomic<std::uint64_t> stamp{0};
+    /**
+     * Writer claim. Two writers land on one slot only when the
+     * ring wraps a full lap mid-write; the loser drops its event
+     * (the ring keeps newest-only anyway) rather than racing the
+     * payload write.
+     */
+    std::atomic<bool> busy{false};
+    std::uint32_t length = 0;
+    char bytes[kFlightSlotBytes];
+};
+
+FlightRecorder::FlightRecorder(std::size_t slots_wanted)
+    : slot_count(slots_wanted ? slots_wanted : 1),
+      slots(new Slot[slot_count])
+{
+}
+
+FlightRecorder::~FlightRecorder() = default;
+
+FlightRecorder &
+FlightRecorder::global()
+{
+    static FlightRecorder *recorder = new FlightRecorder();
+    return *recorder;
+}
+
+void
+FlightRecorder::enable()
+{
+    armed.store(true, std::memory_order_relaxed);
+}
+
+void
+FlightRecorder::disable()
+{
+    armed.store(false, std::memory_order_relaxed);
+}
+
+void
+FlightRecorder::record(std::string_view json_object)
+{
+    if (!enabled())
+        return;
+    if (json_object.size() > kFlightSlotBytes) {
+        oversize.fetch_add(1, std::memory_order_relaxed);
+        char marker[64];
+        const int n = std::snprintf(
+            marker, sizeof(marker),
+            "{\"kind\":\"oversize\",\"bytes\":%zu}",
+            json_object.size());
+        if (n <= 0)
+            return;
+        record(std::string_view(marker,
+                                static_cast<std::size_t>(n)));
+        return;
+    }
+    const std::uint64_t seq =
+        next.fetch_add(1, std::memory_order_relaxed);
+    Slot &slot = slots[seq % slot_count];
+    if (slot.busy.exchange(true, std::memory_order_acquire)) {
+        contended.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    // Invalidate first so a dumper racing this overwrite sees a
+    // torn slot, not a stale-stamp/new-bytes mismatch.
+    slot.stamp.store(0, std::memory_order_release);
+    slot.length = static_cast<std::uint32_t>(json_object.size());
+    std::memcpy(slot.bytes, json_object.data(),
+                json_object.size());
+    slot.stamp.store(seq + 1, std::memory_order_release);
+    slot.busy.store(false, std::memory_order_release);
+}
+
+void
+FlightRecorder::recordSpan(const SpanRecord &span)
+{
+    if (!enabled())
+        return;
+    std::string line;
+    line.reserve(160);
+    line += "{\"kind\":\"span\",\"name\":\"";
+    line += JsonWriter::escape(span.name);
+    line += "\",\"tid\":";
+    line += std::to_string(span.thread_id);
+    line += ",\"begin_ns\":";
+    line += std::to_string(span.begin_ns);
+    line += ",\"dur_ns\":";
+    line += std::to_string(span.duration_ns());
+    for (const auto &[key, value] : span.args) {
+        line += ",\"";
+        line += JsonWriter::escape(key);
+        line += "\":\"";
+        line += JsonWriter::escape(value);
+        line += "\"";
+    }
+    line += "}";
+    record(line);
+}
+
+void
+FlightRecorder::recordSnapshot(const MetricsSnapshot &snapshot)
+{
+    if (!enabled())
+        return;
+    // Budget with room for the closing "},"truncated":true}" tail
+    // so the entry is always a complete object.
+    constexpr std::size_t kBudget = kFlightSlotBytes - 32;
+    const std::int64_t ts =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    std::string line;
+    line.reserve(kFlightSlotBytes);
+    line += "{\"kind\":\"metrics\",\"ts_ns\":";
+    line += std::to_string(ts);
+    line += ",\"values\":{";
+    bool truncated = false;
+    bool first = true;
+    const auto append = [&](const std::string &name,
+                            const std::string &value) {
+        if (truncated)
+            return;
+        std::string entry;
+        entry.reserve(name.size() + value.size() + 8);
+        if (!first)
+            entry += ",";
+        entry += "\"";
+        entry += JsonWriter::escape(name);
+        entry += "\":";
+        entry += value;
+        if (line.size() + entry.size() > kBudget) {
+            truncated = true;
+            return;
+        }
+        line += entry;
+        first = false;
+    };
+    for (const auto &[name, value] : snapshot.counters)
+        append(name, std::to_string(value));
+    for (const auto &[name, value] : snapshot.gauges)
+        append(name, std::to_string(value));
+    for (const auto &[name, data] : snapshot.histograms)
+        append(name + ".count", std::to_string(data.count));
+    line += "}";
+    if (truncated)
+        line += ",\"truncated\":true";
+    line += "}";
+    record(line);
+}
+
+std::uint64_t
+FlightRecorder::recorded() const
+{
+    return next.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+FlightRecorder::droppedOversize() const
+{
+    return oversize.load(std::memory_order_relaxed);
+}
+
+void
+FlightRecorder::writeJson(std::ostream &out,
+                          std::string_view reason) const
+{
+    const std::uint64_t end =
+        next.load(std::memory_order_acquire);
+    const std::uint64_t begin =
+        end > slot_count ? end - slot_count : 0;
+
+    out << "{\"reason\":\"" << JsonWriter::escape(reason)
+        << "\",\"recorded\":" << end
+        << ",\"dropped_oversize\":" << droppedOversize()
+        << ",\"dropped_contended\":"
+        << contended.load(std::memory_order_relaxed)
+        << ",\"events\":[";
+    bool first = true;
+    std::vector<char> copy(kFlightSlotBytes);
+    for (std::uint64_t seq = begin; seq < end; ++seq) {
+        Slot &slot = slots[seq % slot_count];
+        // Claim the slot: mutual exclusion with writers makes the
+        // length/bytes copy race-free. A slot someone else holds
+        // is mid-overwrite — skip it like a torn stamp.
+        if (slot.busy.exchange(true, std::memory_order_acquire))
+            continue;
+        const std::uint64_t stamp =
+            slot.stamp.load(std::memory_order_acquire);
+        const std::uint32_t length = slot.length;
+        const bool keep =
+            stamp == seq + 1 && length <= kFlightSlotBytes;
+        if (keep)
+            std::memcpy(copy.data(), slot.bytes, length);
+        slot.busy.store(false, std::memory_order_release);
+        if (!keep)
+            continue; // Overwritten or never completed: skip.
+        if (!first)
+            out << ",";
+        out << "\n";
+        out.write(copy.data(), length);
+        first = false;
+    }
+    out << "\n],\"metrics\":";
+    MetricsRegistry::global().writeJson(out);
+    out << "}\n";
+}
+
+bool
+FlightRecorder::dump(const std::string &path,
+                     std::string_view reason,
+                     std::string *error) const
+{
+    std::ostringstream doc;
+    writeJson(doc, reason);
+    const std::string tmp = path + ".tmp";
+    std::string why;
+    bool ok = io::writeFileWithFaults("obs.flight_write", tmp,
+                                      doc.str(), &why);
+    if (ok &&
+        !io::renameWithFaults("obs.flight_rename", tmp, path,
+                              &why))
+        ok = false;
+    if (!ok) {
+        std::error_code ec;
+        std::filesystem::remove(tmp, ec);
+        if (error != nullptr)
+            *error = why;
+        return false;
+    }
+    return true;
+}
+
+bool
+FlightRecorder::setSignalDumpPath(const char *path)
+{
+    const std::size_t length = std::strlen(path);
+    if (length == 0 || length >= sizeof(signal_path))
+        return false;
+    std::memcpy(signal_path, path, length + 1);
+    signal_path_set.store(true, std::memory_order_release);
+    return true;
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+namespace {
+
+/** write() the whole buffer, tolerating EINTR/short writes. */
+bool
+writeAll(int fd, const char *bytes, std::size_t length)
+{
+    std::size_t done = 0;
+    while (done < length) {
+        const ssize_t n =
+            ::write(fd, bytes + done, length - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+FlightRecorder::signalSafeDump() const
+{
+    // Everything below is on the POSIX async-signal-safe list:
+    // open, write, fsync, close, memcpy. No allocation, no locks,
+    // no formatting — slot payloads were serialized at record time.
+    if (!signal_path_set.load(std::memory_order_acquire))
+        return false;
+    const int fd = ::open(signal_path,
+                          O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+    static const char prefix[] =
+        "{\"reason\":\"signal\",\"events\":[";
+    bool ok = writeAll(fd, prefix, sizeof(prefix) - 1);
+    const std::uint64_t end =
+        next.load(std::memory_order_acquire);
+    const std::uint64_t begin =
+        end > slot_count ? end - slot_count : 0;
+    bool first = true;
+    char copy[kFlightSlotBytes];
+    for (std::uint64_t seq = begin; ok && seq < end; ++seq) {
+        Slot &slot = slots[seq % slot_count];
+        // exchange on a lock-free atomic is signal-safe, and a
+        // held slot is skipped, never waited on — the interrupted
+        // thread may be the holder.
+        if (slot.busy.exchange(true, std::memory_order_acquire))
+            continue;
+        const std::uint64_t stamp =
+            slot.stamp.load(std::memory_order_acquire);
+        const std::uint32_t length = slot.length;
+        const bool keep =
+            stamp == seq + 1 && length <= kFlightSlotBytes;
+        if (keep)
+            std::memcpy(copy, slot.bytes, length);
+        slot.busy.store(false, std::memory_order_release);
+        if (!keep)
+            continue;
+        if (!first)
+            ok = ok && writeAll(fd, ",\n", 2);
+        else
+            ok = ok && writeAll(fd, "\n", 1);
+        ok = ok && writeAll(fd, copy, length);
+        first = false;
+    }
+    static const char suffix[] = "\n]}\n";
+    ok = ok && writeAll(fd, suffix, sizeof(suffix) - 1);
+    if (::fsync(fd) != 0)
+        ok = false;
+    ::close(fd);
+    return ok;
+}
+
+#else // !__unix__
+
+bool
+FlightRecorder::signalSafeDump() const
+{
+    // No async-signal-safety contract to honor off POSIX; a stdio
+    // best effort beats losing the black box.
+    if (!signal_path_set.load(std::memory_order_acquire))
+        return false;
+    std::FILE *out = std::fopen(signal_path, "wb");
+    if (out == nullptr)
+        return false;
+    std::ostringstream doc;
+    writeJson(doc, "signal");
+    const std::string text = doc.str();
+    const bool ok = std::fwrite(text.data(), 1, text.size(),
+                                out) == text.size();
+    std::fclose(out);
+    return ok;
+}
+
+#endif
+
+} // namespace obs
+} // namespace tpupoint

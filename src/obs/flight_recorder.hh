@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The flight recorder: a bounded, lock-free ring of the process's
+ * most recent observability events — structured log lines, span
+ * completions and periodic metrics snapshots — kept pre-serialized
+ * so the ring can be dumped from contexts where serialization is
+ * forbidden. It is the serve daemon's black box: when a session is
+ * quarantined, when the process takes a fatal signal, or when an
+ * operator sends SIGUSR2, the last few hundred events land in a
+ * `.flight.json` file that explains what the process was doing in
+ * the moments before.
+ *
+ * Two dump paths with different contracts:
+ *
+ *  - dump(): normal context. Serializes the ring plus a live
+ *    metrics snapshot and publishes via temp file + atomic rename
+ *    (through the "obs.flight_write"/"obs.flight_rename" io fail
+ *    points), so readers never observe a half-written document.
+ *  - signalSafeDump(): async-signal context. Because every ring
+ *    entry is already a complete JSON object, the handler only
+ *    open()s, write()s constant punctuation plus slot bytes,
+ *    fsync()s and close()s — all async-signal-safe; no allocation,
+ *    no formatting, no locks. The target path is registered ahead
+ *    of time with setSignalDumpPath().
+ *
+ * record() is lock-free: a relaxed fetch_add claims a sequence
+ * number, the slot is stamped invalid, filled, then stamped with
+ * seq+1 (release). Dumpers re-check the stamp after copying and
+ * drop torn slots — a recorder must never block or corrupt the
+ * thing it is observing. Entries larger than a slot are counted
+ * (`dropped_oversize`) and replaced with a marker, never truncated
+ * into invalid JSON. Nothing here touches the sim clock; enabling
+ * the recorder cannot perturb a run.
+ */
+
+#ifndef TPUPOINT_OBS_FLIGHT_RECORDER_HH
+#define TPUPOINT_OBS_FLIGHT_RECORDER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace tpupoint {
+namespace obs {
+
+struct MetricsSnapshot;
+struct SpanRecord;
+
+/** Bytes of serialized JSON one ring slot can hold. */
+constexpr std::size_t kFlightSlotBytes = 1008;
+
+class FlightRecorder
+{
+  public:
+    /**
+     * @param slots Ring capacity in entries; the recorder retains
+     *     the most recent `slots` events.
+     */
+    explicit FlightRecorder(std::size_t slots = 256);
+    ~FlightRecorder();
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /** The process-wide recorder the Logger and serve mirror to. */
+    static FlightRecorder &global();
+
+    /**
+     * Arm the recorder. Until enabled, record() is a single relaxed
+     * load — the tax on processes that never dump.
+     */
+    void enable();
+
+    /** Disarm (tests). Does not clear retained entries. */
+    void disable();
+
+    bool
+    enabled() const
+    {
+        return armed.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Deposit one pre-serialized JSON *object* ("{...}", no
+     * trailing newline). Oversize entries are counted and replaced
+     * with a marker object. Lock-free; safe from any thread.
+     */
+    void record(std::string_view json_object);
+
+    /** Serialize + record one completed span. */
+    void recordSpan(const SpanRecord &span);
+
+    /**
+     * Serialize + record a compact metrics snapshot (counters and
+     * gauges; histograms summarized as count/sum). Stops cleanly at
+     * the slot budget with `"truncated":true`.
+     */
+    void recordSnapshot(const MetricsSnapshot &snapshot);
+
+    /** Entries recorded since construction (monotonic). */
+    std::uint64_t recorded() const;
+
+    /** Entries replaced by an oversize marker. */
+    std::uint64_t droppedOversize() const;
+
+    /** Ring capacity in entries. */
+    std::size_t capacity() const { return slot_count; }
+
+    /**
+     * Write the flight document:
+     * {"reason":..,"recorded":..,"events":[...],"metrics":{...}}.
+     * Events are oldest-first; torn slots are skipped.
+     */
+    void writeJson(std::ostream &out,
+                   std::string_view reason) const;
+
+    /**
+     * Publish the flight document to @p path atomically (temp +
+     * rename). @return false with @p error set on failure; the
+     * daemon treats that as retryable, never fatal.
+     */
+    bool dump(const std::string &path, std::string_view reason,
+              std::string *error = nullptr) const;
+
+    /**
+     * Register @p path for signalSafeDump(); copied into a fixed
+     * buffer so signal context never touches the heap. Paths
+     * longer than the buffer are rejected.
+     */
+    bool setSignalDumpPath(const char *path);
+
+    /**
+     * Dump the ring to the registered path using only
+     * async-signal-safe calls (open/write/fsync/close). Safe to
+     * call from a signal handler; a best-effort no-op when no path
+     * is registered or the recorder is disabled.
+     * @return true when the file was written and fsynced.
+     */
+    bool signalSafeDump() const;
+
+  private:
+    struct Slot;
+
+    std::size_t slot_count;
+    std::unique_ptr<Slot[]> slots;
+    std::atomic<std::uint64_t> next{0};
+    std::atomic<std::uint64_t> oversize{0};
+    std::atomic<std::uint64_t> contended{0};
+    std::atomic<bool> armed{false};
+    char signal_path[512] = {0};
+    std::atomic<bool> signal_path_set{false};
+};
+
+} // namespace obs
+} // namespace tpupoint
+
+#endif // TPUPOINT_OBS_FLIGHT_RECORDER_HH

@@ -161,7 +161,13 @@ MetricsRegistry::reset()
 void
 MetricsRegistry::writeJson(std::ostream &out, bool pretty) const
 {
-    const MetricsSnapshot snap = snapshot();
+    writeMetricsJson(snapshot(), out, pretty);
+}
+
+void
+writeMetricsJson(const MetricsSnapshot &snap, std::ostream &out,
+                 bool pretty)
+{
     JsonWriter w(out, pretty);
     w.beginObject();
     w.key("counters");
@@ -201,6 +207,176 @@ MetricsRegistry::writeJson(std::ostream &out, bool pretty) const
     w.endObject();
 }
 
+ParsedMetricName
+parseMetricName(std::string_view name)
+{
+    ParsedMetricName parsed;
+    const std::size_t brace = name.find('{');
+    if (brace == std::string_view::npos ||
+        name.back() != '}') {
+        parsed.base = std::string(name);
+        return parsed;
+    }
+    parsed.base = std::string(name.substr(0, brace));
+    std::string_view body =
+        name.substr(brace + 1, name.size() - brace - 2);
+    while (!body.empty()) {
+        const std::size_t comma = body.find(',');
+        const std::string_view entry =
+            comma == std::string_view::npos
+                ? body
+                : body.substr(0, comma);
+        const std::size_t eq = entry.find('=');
+        if (eq != std::string_view::npos)
+            parsed.labels.emplace_back(
+                std::string(entry.substr(0, eq)),
+                std::string(entry.substr(eq + 1)));
+        if (comma == std::string_view::npos)
+            break;
+        body.remove_prefix(comma + 1);
+    }
+    return parsed;
+}
+
+std::string
+escapeLabelValue(std::string_view value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** OpenMetrics name charset: [a-zA-Z0-9_:], no leading digit. */
+std::string
+sanitizeMetricName(std::string_view name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+            (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+/** `{key="escaped",...}` or "" when label-less. */
+std::string
+renderLabels(const ParsedMetricName &parsed)
+{
+    if (parsed.labels.empty())
+        return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[key, value] : parsed.labels) {
+        if (!first)
+            out += ",";
+        out += sanitizeMetricName(key);
+        out += "=\"";
+        out += escapeLabelValue(value);
+        out += "\"";
+        first = false;
+    }
+    out += "}";
+    return out;
+}
+
+/** Emit `# TYPE family kind` once per family (names arrive
+ * sorted, so labeled variants of one base are adjacent). */
+void
+typeLineOnce(std::ostream &out, std::string &last_family,
+             const std::string &family, const char *kind)
+{
+    if (family == last_family)
+        return;
+    out << "# TYPE " << family << ' ' << kind << '\n';
+    last_family = family;
+}
+
+} // namespace
+
+void
+writeOpenMetrics(const MetricsSnapshot &snap, std::ostream &out)
+{
+    std::string last_family;
+
+    for (const auto &[name, value] : snap.counters) {
+        const ParsedMetricName parsed = parseMetricName(name);
+        const std::string family =
+            sanitizeMetricName(parsed.base);
+        typeLineOnce(out, last_family, family, "counter");
+        out << family << "_total" << renderLabels(parsed) << ' '
+            << value << '\n';
+    }
+
+    for (const auto &[name, value] : snap.gauges) {
+        const ParsedMetricName parsed = parseMetricName(name);
+        const std::string family =
+            sanitizeMetricName(parsed.base);
+        typeLineOnce(out, last_family, family, "gauge");
+        out << family << renderLabels(parsed) << ' ' << value
+            << '\n';
+    }
+
+    for (const auto &[name, data] : snap.histograms) {
+        const ParsedMetricName parsed = parseMetricName(name);
+        const std::string family =
+            sanitizeMetricName(parsed.base);
+        typeLineOnce(out, last_family, family, "histogram");
+        // OpenMetrics buckets are cumulative; `le` is the
+        // inclusive upper bound. Extra labels precede le.
+        std::string labels = renderLabels(parsed);
+        std::string label_prefix;
+        if (labels.empty())
+            label_prefix = "{";
+        else {
+            label_prefix = labels;
+            label_prefix.back() = ',';
+        }
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < data.bucket_counts.size();
+             ++i) {
+            cumulative += data.bucket_counts[i];
+            out << family << "_bucket" << label_prefix << "le=\"";
+            if (i < data.bounds.size())
+                out << data.bounds[i];
+            else
+                out << "+Inf";
+            out << "\"} " << cumulative << '\n';
+        }
+        // A histogram constructed but never observed still closes
+        // its bucket series at +Inf.
+        if (data.bucket_counts.size() <= data.bounds.size())
+            out << family << "_bucket" << label_prefix
+                << "le=\"+Inf\"} " << cumulative << '\n';
+        out << family << "_sum" << labels << ' ' << data.sum
+            << '\n';
+        out << family << "_count" << labels << ' ' << data.count
+            << '\n';
+    }
+
+    out << "# EOF\n";
+}
+
+void
+MetricsRegistry::writeOpenMetrics(std::ostream &out) const
+{
+    obs::writeOpenMetrics(snapshot(), out);
+}
+
 void
 MetricsRegistry::writeText(std::ostream &out) const
 {
@@ -221,7 +397,9 @@ histogramQuantile(const MetricsSnapshot::HistogramData &data,
 {
     if (data.count == 0 || data.bucket_counts.empty())
         return 0.0;
-    if (q < 0.0)
+    // NaN fails every comparison; !(q >= 0) catches it alongside
+    // the negatives so the rank arithmetic below never casts NaN.
+    if (!(q >= 0.0))
         q = 0.0;
     if (q > 1.0)
         q = 1.0;

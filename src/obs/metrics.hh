@@ -22,6 +22,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace tpupoint {
@@ -190,9 +191,54 @@ struct MetricsSnapshot
  * so this reports the conservative (upper) edge; an observation
  * landing in the overflow bucket reports the last finite bound,
  * a *lower* bound on the truth. Zero observations report 0.
+ * q outside [0, 1] (including NaN) clamps: non-positive and NaN
+ * behave as q=0 (the first occupied bucket's bound), q >= 1 as the
+ * last occupied bucket's bound.
  */
 double histogramQuantile(const MetricsSnapshot::HistogramData &data,
                          double q);
+
+/**
+ * Registry names are flat strings; the serve path labels
+ * per-session instruments by appending "{key=value}" to the base
+ * name ("analyzer.ingest_bytes_per_sec{session=run1}"). This
+ * splits that convention back apart for exposition formats that
+ * carry labels natively. Labels are comma-separated, '=' splits
+ * key from value, values are raw (a session name containing ','
+ * or '=' does not round-trip — the spool naming contract). A name
+ * without '{' has no labels.
+ */
+struct ParsedMetricName
+{
+    std::string base;
+    std::vector<std::pair<std::string, std::string>> labels;
+};
+ParsedMetricName parseMetricName(std::string_view name);
+
+/**
+ * OpenMetrics text exposition of one snapshot. Conventions:
+ * metric names sanitized to [a-zA-Z0-9_:] (dots become
+ * underscores), counters suffixed `_total`, histograms expanded to
+ * cumulative `_bucket{le="..."}` samples (closing with le="+Inf")
+ * plus `_sum` and `_count`, label values escaped per the spec
+ * ('\' -> '\\', '"' -> '\"', newline -> '\n'), one `# TYPE` line
+ * per metric family, and a final `# EOF` terminator. Families are
+ * name-sorted, so the output is golden-pinnable.
+ */
+void writeOpenMetrics(const MetricsSnapshot &snapshot,
+                      std::ostream &out);
+
+/** OpenMetrics label-value escaping (exposed for tests). */
+std::string escapeLabelValue(std::string_view value);
+
+/**
+ * JSON dump of one snapshot (the body of
+ * MetricsRegistry::writeJson, exposed so callers can render the
+ * same snapshot as both JSON and OpenMetrics text, guaranteed in
+ * sync).
+ */
+void writeMetricsJson(const MetricsSnapshot &snapshot,
+                      std::ostream &out, bool pretty = false);
 
 /**
  * The registry. Instruments are created on first use and live for
@@ -234,6 +280,10 @@ class MetricsRegistry
     /** Dump as "name value" lines, counters then gauges then
      * histogram summaries. */
     void writeText(std::ostream &out) const;
+
+    /** Dump the current snapshot as OpenMetrics text (see the
+     * free writeOpenMetrics for the format contract). */
+    void writeOpenMetrics(std::ostream &out) const;
 
   private:
     mutable std::mutex registration;

@@ -3,6 +3,10 @@
 #include <atomic>
 #include <cstdio>
 
+#include "obs/flight_recorder.hh"
+#include "obs/logger.hh"
+#include "obs/metrics.hh"
+
 namespace tpupoint {
 namespace obs {
 
@@ -49,12 +53,29 @@ SpanBuffer::global()
 void
 SpanBuffer::add(SpanRecord record)
 {
-    std::lock_guard<std::mutex> lock(guard);
-    if (spans.size() >= bound) {
+    FlightRecorder &flight = FlightRecorder::global();
+    if (flight.enabled())
+        flight.recordSpan(record);
+    {
+        std::lock_guard<std::mutex> lock(guard);
+        if (spans.size() < bound) {
+            spans.push_back(std::move(record));
+            return;
+        }
         ++rejected;
-        return;
     }
-    spans.push_back(std::move(record));
+    // Overflow is silent truncation no more: every dropped span is
+    // counted, and the condition is reported once per interval
+    // instead of once per span (a long sweep can drop millions).
+    static Counter &drop_counter =
+        MetricsRegistry::global().counter("obs.spans_dropped");
+    drop_counter.add(1);
+    static LogSite overflow_site(10000);
+    Logger::global().logLimited(
+        overflow_site, LogLevel::Warn, "obs",
+        "span buffer full; dropping spans",
+        {{"capacity", static_cast<std::uint64_t>(bound)},
+         {"last", record.name}});
 }
 
 std::vector<SpanRecord>

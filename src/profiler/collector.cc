@@ -4,8 +4,28 @@
 #include <string_view>
 
 #include "host/host_ops.hh"
+#include "obs/logger.hh"
 
 namespace tpupoint {
+
+namespace {
+
+/**
+ * A saturated window drops every further event, so the drop report
+ * must be per-interval, not per-event — one structured line with
+ * the running tally, never a line per dropped event.
+ */
+void
+reportDrop(const char *why, std::uint64_t dropped_total)
+{
+    static obs::LogSite drop_site(5000);
+    obs::Logger::global().logLimited(
+        drop_site, LogLevel::Warn, "profiler",
+        "profile window saturated; dropping events",
+        {{"cause", why}, {"dropped", dropped_total}});
+}
+
+} // namespace
 
 StatsCollector::StatsCollector(SimTime start)
     : window_begin(start),
@@ -23,12 +43,14 @@ StatsCollector::record(const TraceEvent &event)
         truncated = true;
         ++dropped;
         dropped_metric->add(1);
+        reportDrop("event cap", dropped);
         return;
     }
     if (event.end() - window_begin > kMaxProfileDuration) {
         truncated = true;
         ++dropped;
         dropped_metric->add(1);
+        reportDrop("duration cap", dropped);
         return;
     }
     StepId step = event.step;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <mutex>
 #include <sstream>
 
 #include "core/interner.hh"
@@ -11,6 +12,8 @@
 #include "core/json.hh"
 #include "core/logging.hh"
 #include "core/types.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/logger.hh"
 #include "obs/metrics.hh"
 #include "obs/pool_metrics.hh"
 #include "proto/columnar.hh"
@@ -71,6 +74,17 @@ sessionStateName(SessionState state)
       case SessionState::Evicted: return "evicted";
       case SessionState::Shed: return "shed";
       case SessionState::Quarantined: return "quarantined";
+    }
+    return "unknown";
+}
+
+const char *
+healthStateName(HealthState state)
+{
+    switch (state) {
+      case HealthState::Ok: return "ok";
+      case HealthState::Degraded: return "degraded";
+      case HealthState::Unhealthy: return "unhealthy";
     }
     return "unknown";
 }
@@ -196,6 +210,22 @@ SessionManager::quarantine(Session &session,
     obs::MetricsRegistry::global()
         .counter("serve.sessions_quarantined")
         .add(1);
+    obs::logWarn("serve", "session quarantined",
+                 {{"session", status.name}, {"reason", why}});
+    if (opts.flight_path.empty())
+        return;
+    // Quarantine is the incident the black box exists for: dump
+    // the ring next to it. Pool tasks quarantine concurrently and
+    // dump() shares one temp path, so serialize the dumps.
+    static std::mutex dump_guard;
+    std::lock_guard<std::mutex> lock(dump_guard);
+    std::string dump_error;
+    if (!obs::FlightRecorder::global().dump(
+            opts.flight_path, "quarantine: " + status.name,
+            &dump_error))
+        obs::logWarn("serve", "flight dump failed",
+                     {{"path", opts.flight_path},
+                      {"error", dump_error}});
 }
 
 void
@@ -207,12 +237,18 @@ SessionManager::recoverFromJournal(std::int64_t now)
         // The operator pointed --journal at something that is not
         // ours. Refusing to append to (or compact over) a foreign
         // file beats destroying it: run un-journaled and say so.
-        warn("serve: journal disabled: ", why);
+        obs::logWarn("serve", "journal disabled",
+                     {{"path", opts.journal_path},
+                      {"error", why}});
         return;
     }
     if (replay.damaged)
-        warn("serve: journal replay stopped early (", replay.detail,
-             "); sessions past the damage re-ingest from spool");
+        obs::logWarn(
+            "serve",
+            "journal replay stopped early; sessions past the "
+            "damage re-ingest from spool",
+            {{"path", opts.journal_path},
+             {"detail", replay.detail}});
 
     auto &registry = obs::MetricsRegistry::global();
     for (SessionStatus &entry :
@@ -290,10 +326,19 @@ SessionManager::recoverFromJournal(std::int64_t now)
 
     journal = std::make_unique<JournalWriter>(opts.journal_path);
     if (!journal->open()) {
-        warn("serve: ", journal->error(), "; running un-journaled");
+        obs::logWarn("serve", "journal open failed; running "
+                              "un-journaled",
+                     {{"path", opts.journal_path},
+                      {"error", journal->error()}});
         journal.reset();
         return;
     }
+    if (recovered_count > 0)
+        obs::logInfo(
+            "serve", "recovered sessions from journal",
+            {{"sessions",
+              static_cast<std::uint64_t>(recovered_count)},
+             {"path", opts.journal_path}});
     // Compact immediately: folds the replayed history to one entry
     // per session and truncates any torn tail the crash left.
     if (!replay.entries.empty() || replay.damaged)
@@ -354,6 +399,8 @@ SessionManager::scanSpool(std::int64_t now)
             break;
         admit(*session);
         registry.counter("serve.sessions_readmitted").add(1);
+        obs::logInfo("serve", "shed session readmitted",
+                     {{"session", session->status.name}});
     }
 
     for (const std::string &path : fresh) {
@@ -364,6 +411,9 @@ SessionManager::scanSpool(std::int64_t now)
             opts.suffix);
         if (admissible(1)) {
             admit(*session);
+            obs::logDebug("serve", "session discovered",
+                          {{"session", session->status.name},
+                           {"path", path}});
         } else {
             // Refuse at the door: an admitted session always runs
             // to completion, so overload only ever sheds work that
@@ -373,6 +423,15 @@ SessionManager::scanSpool(std::int64_t now)
             session->status.pending = false;
             session->journal_dirty = true;
             registry.counter("serve.sessions_shed").add(1);
+            // A spool burst sheds many sessions in one poll; one
+            // line per interval carries the count, not the spam.
+            static obs::LogSite shed_site(1000);
+            obs::Logger::global().logLimited(
+                shed_site, LogLevel::Warn, "serve",
+                "session shed at admission limit",
+                {{"session", session->status.name},
+                 {"live",
+                  static_cast<std::uint64_t>(liveCount())}});
         }
         all.push_back(std::move(session));
         registry.counter("serve.sessions_discovered").add(1);
@@ -522,6 +581,11 @@ try {
     obs::MetricsRegistry::global()
         .counter("serve.sessions_finalized")
         .add(1);
+    obs::logInfo("serve", "session finalized",
+                 {{"session", status.name},
+                  {"records", status.records},
+                  {"phases", static_cast<std::uint64_t>(
+                                 status.phases.size())}});
 } catch (const std::exception &e) {
     // A finalize that throws must not take the daemon (or the
     // pool task running it) down: isolate the session.
@@ -581,7 +645,16 @@ SessionManager::poll()
             .add(1);
     }
 
+    updateLagGauges(now);
     journalPass();
+
+    // One compact snapshot per poll gives the flight recorder a
+    // metrics timeline alongside the event log — cheap (one ring
+    // slot) and only when the black box is armed.
+    obs::FlightRecorder &flight = obs::FlightRecorder::global();
+    if (flight.enabled())
+        flight.recordSnapshot(
+            obs::MetricsRegistry::global().snapshot());
     return progressed.load(std::memory_order_relaxed);
 }
 
@@ -655,6 +728,101 @@ SessionManager::stats() const
     }
     out.recovered = recovered_count;
     return out;
+}
+
+void
+SessionManager::updateLagGauges(std::int64_t now) const
+{
+    auto &registry = obs::MetricsRegistry::global();
+    std::int64_t max_lag = 0;
+    for (const auto &session : all) {
+        const SessionState state = session->status.state;
+        const bool live = state == SessionState::Discovering ||
+            state == SessionState::Ingesting ||
+            state == SessionState::Quiescent;
+        // A non-live session is by definition not lagging; pinning
+        // its gauge to zero (instead of leaving the last live
+        // value) keeps scrapes from alerting on finished work.
+        const std::int64_t lag =
+            live ? now - session->last_progress_ms : 0;
+        registry
+            .gauge("serve.session_lag_ms{session=" +
+                   session->status.name + "}")
+            .set(lag);
+        max_lag = std::max(max_lag, lag);
+    }
+    // The fleet staleness figure a single alert rule can watch:
+    // how far behind its slowest live stream the daemon is.
+    registry.gauge("serve.ingest_lag_max_ms").set(max_lag);
+}
+
+HealthReport
+SessionManager::health() const
+{
+    const std::int64_t now = nowMs();
+    updateLagGauges(now);
+
+    HealthReport report;
+    const auto degrade = [&](HealthState at_least) {
+        if (report.state < at_least)
+            report.state = at_least;
+    };
+
+    for (const auto &session : all) {
+        const SessionStatus &status = session->status;
+        if (status.state == SessionState::Quarantined) {
+            degrade(HealthState::Unhealthy);
+            report.issues.push_back(
+                {"quarantined", status.name, status.error});
+            continue;
+        }
+        if (status.state == SessionState::Shed) {
+            degrade(HealthState::Degraded);
+            report.issues.push_back(
+                {"shed", status.name, status.error});
+            continue;
+        }
+        const bool live =
+            status.state == SessionState::Discovering ||
+            status.state == SessionState::Ingesting ||
+            status.state == SessionState::Quiescent;
+        if (!live)
+            continue;
+        const std::int64_t lag = now - session->last_progress_ms;
+        if (lag > report.max_lag_ms) {
+            report.max_lag_ms = lag;
+            report.max_lag_session = status.name;
+        }
+        if (opts.slo_max_lag_ms > 0 && lag > opts.slo_max_lag_ms) {
+            degrade(HealthState::Degraded);
+            report.issues.push_back(
+                {"slo-ingest-lag", status.name,
+                 "no ingest progress for " + std::to_string(lag) +
+                     "ms (slo " +
+                     std::to_string(opts.slo_max_lag_ms) + "ms)"});
+        }
+    }
+
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::global().snapshot();
+    const auto it =
+        snapshot.histograms.find("serve.ingest_chunk_us");
+    if (it != snapshot.histograms.end() && it->second.count > 0)
+        report.p99_ingest_us =
+            obs::histogramQuantile(it->second, 0.99);
+    if (opts.slo_p99_ingest_us > 0 &&
+        report.p99_ingest_us >
+            static_cast<double>(opts.slo_p99_ingest_us)) {
+        degrade(HealthState::Degraded);
+        report.issues.push_back(
+            {"slo-p99-ingest", "",
+             "ingest chunk p99 " +
+                 std::to_string(static_cast<std::int64_t>(
+                     report.p99_ingest_us)) +
+                 "us over slo " +
+                 std::to_string(opts.slo_p99_ingest_us) + "us"});
+    }
+    return report;
 }
 
 void
@@ -760,6 +928,27 @@ SessionManager::writeStatusJson(std::ostream &out,
     w.field("records", tallies.records);
     w.field("events", tallies.events);
     w.field("bytes", tallies.bytes);
+    w.endObject();
+
+    const HealthReport verdict = health();
+    w.key("health");
+    w.beginObject();
+    w.field("state", healthStateName(verdict.state));
+    w.field("p99_ingest_us", verdict.p99_ingest_us);
+    w.field("max_lag_ms", verdict.max_lag_ms);
+    if (!verdict.max_lag_session.empty())
+        w.field("max_lag_session", verdict.max_lag_session);
+    w.key("issues");
+    w.beginArray();
+    for (const HealthIssue &issue : verdict.issues) {
+        w.beginObject();
+        w.field("kind", issue.kind);
+        if (!issue.session.empty())
+            w.field("session", issue.session);
+        w.field("detail", issue.detail);
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
 
     w.endObject();
@@ -906,6 +1095,33 @@ sweepStalePublish(const std::string &path)
 {
     std::error_code ec;
     return std::filesystem::remove(path + ".tmp", ec) && !ec;
+}
+
+bool
+publishMetrics(const std::string &path, std::string *error)
+{
+    std::ostringstream text;
+    obs::MetricsRegistry::global().writeOpenMetrics(text);
+
+    const std::string tmp = path + ".tmp";
+    std::string why;
+    bool ok = io::writeFileWithFaults("serve.metrics_write", tmp,
+                                      text.str(), &why);
+    if (ok &&
+        !io::renameWithFaults("serve.metrics_rename", tmp, path,
+                              &why))
+        ok = false;
+    if (!ok) {
+        std::error_code ec;
+        std::filesystem::remove(tmp, ec);
+        obs::MetricsRegistry::global()
+            .counter("serve.metrics_publish_errors")
+            .add(1);
+        if (error != nullptr)
+            *error = why;
+        return false;
+    }
+    return true;
 }
 
 } // namespace serve

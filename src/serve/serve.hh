@@ -242,6 +242,75 @@ struct ServeOptions
      * Quarantined instead of letting it poison every poll.
      */
     std::uint64_t quarantine_errors = 3;
+
+    /**
+     * SLO: the `serve.ingest_chunk_us` p99 (conservative bucket
+     * upper bound) must stay at or below this many microseconds;
+     * above it the health report turns degraded with an
+     * "slo-p99-ingest" issue. 0 disables the check.
+     */
+    std::int64_t slo_p99_ingest_us = 0;
+
+    /**
+     * SLO: no live session may go longer than this many
+     * milliseconds without ingest progress; beyond it the health
+     * report turns degraded with one "slo-ingest-lag" issue per
+     * lagging session. 0 disables the check. (Distinct from
+     * idle_ttl_ms, which *finalizes* a quiet stream; the SLO only
+     * reports.)
+     */
+    std::int64_t slo_max_lag_ms = 0;
+
+    /**
+     * Flight-recorder dump target: when non-empty, quarantining a
+     * session dumps the recorder ring here (atomic temp+rename),
+     * so the black box lands next to the incident that needs it.
+     * The daemon's signal paths reuse the same file.
+     */
+    std::string flight_path;
+};
+
+/** Aggregate health verdict, worst issue wins. */
+enum class HealthState : std::uint8_t {
+    Ok,        ///< All SLOs met, nothing shed or quarantined.
+    Degraded,  ///< Serving, but shedding or missing an SLO.
+    Unhealthy, ///< Sessions quarantined; data is being lost.
+};
+
+/** Printable health-state name ("ok", "degraded", "unhealthy"). */
+const char *healthStateName(HealthState state);
+
+/** One concrete reason the fleet is not Ok. */
+struct HealthIssue
+{
+    /** "quarantined" | "shed" | "slo-p99-ingest" |
+     *  "slo-ingest-lag". */
+    std::string kind;
+
+    /** Affected session; empty for fleet-wide issues. */
+    std::string session;
+
+    /** Human detail ("p99 3200us over slo 1000us"). */
+    std::string detail;
+};
+
+/**
+ * The `--query health` document: a verdict plus every concrete
+ * reason, so an operator (or an alerting rule) never has to infer
+ * *why* from raw counters.
+ */
+struct HealthReport
+{
+    HealthState state = HealthState::Ok;
+
+    /** Conservative p99 of `serve.ingest_chunk_us` (0 = no data). */
+    double p99_ingest_us = 0.0;
+
+    /** Worst live-session ingest lag and who owns it. */
+    std::int64_t max_lag_ms = 0;
+    std::string max_lag_session;
+
+    std::vector<HealthIssue> issues;
 };
 
 class JournalWriter;
@@ -271,8 +340,19 @@ class SessionManager
     ServeStats stats() const;
 
     /**
+     * Evaluate fleet health now: quarantined sessions make it
+     * unhealthy; shed sessions or a violated SLO
+     * (`slo_p99_ingest_us`, `slo_max_lag_ms`) degrade it; each
+     * issue is enumerated with its session and detail. Lag is
+     * measured on the injectable clock, so tests drive verdicts
+     * deterministically.
+     */
+    HealthReport health() const;
+
+    /**
      * The full status document: {"sessions":[...],
-     * "phases":[...], "coverage":[...], "stats":{...}}.
+     * "phases":[...], "coverage":[...], "stats":{...},
+     * "health":{...}}.
      */
     void writeStatusJson(std::ostream &out,
                          bool pretty = false) const;
@@ -298,6 +378,7 @@ class SessionManager
     bool ingestOne(Session &session, std::int64_t now);
     void finalizeOne(Session &session, std::int64_t now);
     void quarantine(Session &session, const std::string &why);
+    void updateLagGauges(std::int64_t now) const;
     void recoverFromJournal(std::int64_t now);
     std::size_t liveCount() const;
     std::uint64_t liveBytes() const;
@@ -330,6 +411,17 @@ bool publishStatus(const SessionManager &manager,
  * once at daemon startup. @return true when a stale temp existed.
  */
 bool sweepStalePublish(const std::string &path);
+
+/**
+ * Publish the process metrics registry as OpenMetrics text to
+ * @p path, same atomic temp+rename discipline (and failure
+ * contract) as publishStatus, through the "serve.metrics_write" /
+ * "serve.metrics_rename" io fail points. The daemon calls this on
+ * every publish tick right after the status document, so scrapers
+ * always find the two in step.
+ */
+bool publishMetrics(const std::string &path,
+                    std::string *error = nullptr);
 
 /**
  * Extract one top-level section (e.g. "phases") from a status

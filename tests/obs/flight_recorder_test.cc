@@ -1,0 +1,263 @@
+/** @file Flight recorder: ring semantics, dumps, signal path. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/io_faults.hh"
+#include "core/json.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace tpupoint {
+namespace obs {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    std::string path = testing::TempDir();
+#ifdef __unix__
+    path += std::to_string(getpid()) + ".";
+#endif
+    path += name;
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return path;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+struct FlightRecorderTest : ::testing::Test
+{
+    void TearDown() override
+    {
+        io::FaultInjector::global().reset();
+    }
+};
+
+TEST_F(FlightRecorderTest, DisabledRecorderDropsEverything)
+{
+    FlightRecorder recorder(8);
+    recorder.record("{\"a\":1}");
+    EXPECT_EQ(recorder.recorded(), 0u);
+}
+
+TEST_F(FlightRecorderTest, WriteJsonRoundTripsRecordedEvents)
+{
+    FlightRecorder recorder(8);
+    recorder.enable();
+    recorder.record("{\"a\":1}");
+    recorder.record("{\"b\":2}");
+
+    std::ostringstream out;
+    recorder.writeJson(out, "test \"reason\"");
+    std::string why;
+    EXPECT_TRUE(validateJson(out.str(), &why)) << out.str()
+                                               << "\n"
+                                               << why;
+    EXPECT_NE(out.str().find("{\"a\":1}"), std::string::npos);
+    EXPECT_NE(out.str().find("{\"b\":2}"), std::string::npos);
+    // The reason lands escaped, and the live metrics registry
+    // rides along so a dump is self-describing.
+    EXPECT_NE(out.str().find("test \\\"reason\\\""),
+              std::string::npos);
+    EXPECT_NE(out.str().find("\"metrics\":"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, RingRetainsOnlyTheMostRecentEvents)
+{
+    FlightRecorder recorder(4);
+    recorder.enable();
+    for (int i = 0; i < 10; ++i)
+        recorder.record("{\"i\":" + std::to_string(i) + "}");
+    EXPECT_EQ(recorder.recorded(), 10u);
+
+    std::ostringstream out;
+    recorder.writeJson(out, "wrap");
+    EXPECT_EQ(out.str().find("{\"i\":0}"), std::string::npos);
+    EXPECT_EQ(out.str().find("{\"i\":5}"), std::string::npos);
+    for (int i = 6; i < 10; ++i)
+        EXPECT_NE(out.str().find(
+                      "{\"i\":" + std::to_string(i) + "}"),
+                  std::string::npos)
+            << i;
+}
+
+TEST_F(FlightRecorderTest, OversizeEntriesBecomeMarkers)
+{
+    FlightRecorder recorder(4);
+    recorder.enable();
+    const std::string huge(kFlightSlotBytes + 100, 'x');
+    recorder.record(huge);
+    EXPECT_EQ(recorder.droppedOversize(), 1u);
+
+    std::ostringstream out;
+    recorder.writeJson(out, "oversize");
+    std::string why;
+    EXPECT_TRUE(validateJson(out.str(), &why)) << why;
+    EXPECT_NE(out.str().find("\"kind\":\"oversize\""),
+              std::string::npos);
+    // The payload itself never lands truncated-mid-JSON.
+    EXPECT_EQ(out.str().find("xxx"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, RecordSpanSerializesTheSpan)
+{
+    FlightRecorder recorder(4);
+    recorder.enable();
+    SpanRecord span;
+    span.name = "serve.ingest";
+    span.thread_id = 7;
+    span.begin_ns = 100;
+    span.end_ns = 350;
+    span.args.emplace_back("session", "run1");
+    recorder.recordSpan(span);
+
+    std::ostringstream out;
+    recorder.writeJson(out, "span");
+    std::string why;
+    EXPECT_TRUE(validateJson(out.str(), &why)) << why;
+    EXPECT_NE(out.str().find("\"kind\":\"span\""),
+              std::string::npos);
+    EXPECT_NE(out.str().find("\"name\":\"serve.ingest\""),
+              std::string::npos);
+    EXPECT_NE(out.str().find("\"dur_ns\":250"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("\"session\":\"run1\""),
+              std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, RecordSnapshotTruncatesAtSlotBudget)
+{
+    FlightRecorder recorder(4);
+    recorder.enable();
+    MetricsSnapshot snapshot;
+    for (int i = 0; i < 100; ++i)
+        snapshot.counters["very.long.counter.name.padding." +
+                          std::to_string(i)] = i;
+    recorder.recordSnapshot(snapshot);
+
+    std::ostringstream out;
+    recorder.writeJson(out, "snapshot");
+    std::string why;
+    ASSERT_TRUE(validateJson(out.str(), &why)) << why;
+    EXPECT_NE(out.str().find("\"kind\":\"metrics\""),
+              std::string::npos);
+    EXPECT_NE(out.str().find("\"truncated\":true"),
+              std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, DumpPublishesAtomically)
+{
+    FlightRecorder recorder(4);
+    recorder.enable();
+    recorder.record("{\"event\":\"quarantine\"}");
+    const std::string path = tempPath("flight_dump.json");
+    std::string error;
+    ASSERT_TRUE(recorder.dump(path, "quarantine: run1", &error))
+        << error;
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+    const std::string doc = readFile(path);
+    std::string why;
+    EXPECT_TRUE(validateJson(doc, &why)) << why;
+    EXPECT_NE(doc.find("\"reason\":\"quarantine: run1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("{\"event\":\"quarantine\"}"),
+              std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, DumpFailureLeavesNoTempBehind)
+{
+    FlightRecorder recorder(4);
+    recorder.enable();
+    recorder.record("{\"a\":1}");
+    ASSERT_TRUE(io::FaultInjector::global().configure(
+        "obs.flight_write=enospc@1"));
+    const std::string path = tempPath("flight_fail.json");
+    std::string error;
+    EXPECT_FALSE(recorder.dump(path, "fails", &error));
+    EXPECT_NE(error.find("enospc"), std::string::npos) << error;
+    EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(FlightRecorderTest, SignalSafeDumpWritesParseableDocument)
+{
+    FlightRecorder recorder(4);
+    recorder.enable();
+    recorder.record("{\"last\":\"words\"}");
+    const std::string path = tempPath("flight_signal.json");
+    ASSERT_TRUE(recorder.setSignalDumpPath(path.c_str()));
+    ASSERT_TRUE(recorder.signalSafeDump());
+
+    const std::string doc = readFile(path);
+    std::string why;
+    EXPECT_TRUE(validateJson(doc, &why)) << doc << "\n" << why;
+    EXPECT_NE(doc.find("\"reason\":\"signal\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("{\"last\":\"words\"}"),
+              std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, SignalDumpPathRejectsOversizedPaths)
+{
+    FlightRecorder recorder(4);
+    const std::string too_long(600, 'p');
+    EXPECT_FALSE(recorder.setSignalDumpPath(too_long.c_str()));
+    EXPECT_FALSE(recorder.signalSafeDump()); // No path: no-op.
+}
+
+TEST_F(FlightRecorderTest, ConcurrentRecordersNeverTearTheDump)
+{
+    FlightRecorder recorder(16);
+    recorder.enable();
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t) {
+        writers.emplace_back([&recorder, &stop, t] {
+            std::uint64_t i = 0;
+            while (!stop.load(std::memory_order_relaxed))
+                recorder.record("{\"t\":" + std::to_string(t) +
+                                ",\"i\":" +
+                                std::to_string(i++) + "}");
+        });
+    }
+    // Dump repeatedly while the ring churns: every produced
+    // document must stay valid JSON (torn slots skipped, never
+    // emitted).
+    for (int pass = 0; pass < 20; ++pass) {
+        std::ostringstream out;
+        recorder.writeJson(out, "churn");
+        std::string why;
+        ASSERT_TRUE(validateJson(out.str(), &why))
+            << why << "\n"
+            << out.str();
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (auto &w : writers)
+        w.join();
+}
+
+} // namespace
+} // namespace obs
+} // namespace tpupoint

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -211,6 +212,173 @@ TEST(MetricsTest, HistogramQuantileEdgeCases)
     // bound — a lower bound on the truth, not an invention.
     EXPECT_DOUBLE_EQ(histogramQuantile(data, 1.0), 100.0);
     EXPECT_DOUBLE_EQ(histogramQuantile(data, 0.25), 10.0);
+}
+
+TEST(MetricsTest, HistogramQuantileSingleBucket)
+{
+    MetricsSnapshot::HistogramData data;
+    data.count = 5;
+    data.sum = 25;
+    data.bounds = {10};
+    data.bucket_counts = {5, 0};
+    EXPECT_DOUBLE_EQ(histogramQuantile(data, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(histogramQuantile(data, 0.5), 10.0);
+    EXPECT_DOUBLE_EQ(histogramQuantile(data, 1.0), 10.0);
+}
+
+TEST(MetricsTest, HistogramQuantileClampsDegenerateQ)
+{
+    MetricsSnapshot::HistogramData data;
+    data.count = 4;
+    data.bounds = {10, 100};
+    data.bucket_counts = {2, 2, 0};
+    // Out-of-range q clamps instead of indexing garbage; NaN
+    // behaves as q=0, never casts into the rank arithmetic.
+    EXPECT_DOUBLE_EQ(histogramQuantile(data, -3.0), 10.0);
+    EXPECT_DOUBLE_EQ(histogramQuantile(data, 7.0), 100.0);
+    EXPECT_DOUBLE_EQ(histogramQuantile(data, std::nan("")), 10.0);
+}
+
+TEST(MetricsTest, HistogramQuantileBoundaryRanks)
+{
+    MetricsSnapshot::HistogramData data;
+    data.count = 100;
+    data.bounds = {10, 100};
+    data.bucket_counts = {50, 50, 0};
+    // Rank ceil(q*N): the 50th observation still sits in bucket 0,
+    // the 51st in bucket 1 — q=0.5 must not round up a bucket.
+    EXPECT_DOUBLE_EQ(histogramQuantile(data, 0.5), 10.0);
+    EXPECT_DOUBLE_EQ(histogramQuantile(data, 0.51), 100.0);
+    EXPECT_DOUBLE_EQ(histogramQuantile(data, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(histogramQuantile(data, 1.0), 100.0);
+}
+
+TEST(MetricsTest, ParseMetricNameSplitsLabels)
+{
+    const ParsedMetricName plain = parseMetricName("serve.polls");
+    EXPECT_EQ(plain.base, "serve.polls");
+    EXPECT_TRUE(plain.labels.empty());
+
+    const ParsedMetricName labeled = parseMetricName(
+        "analyzer.ingest_bytes_per_sec{session=run1}");
+    EXPECT_EQ(labeled.base, "analyzer.ingest_bytes_per_sec");
+    ASSERT_EQ(labeled.labels.size(), 1u);
+    EXPECT_EQ(labeled.labels[0].first, "session");
+    EXPECT_EQ(labeled.labels[0].second, "run1");
+
+    const ParsedMetricName multi =
+        parseMetricName("m{a=1,b=two}");
+    EXPECT_EQ(multi.base, "m");
+    ASSERT_EQ(multi.labels.size(), 2u);
+    EXPECT_EQ(multi.labels[1].first, "b");
+    EXPECT_EQ(multi.labels[1].second, "two");
+}
+
+TEST(MetricsTest, EscapeLabelValueCoversSpecCharacters)
+{
+    EXPECT_EQ(escapeLabelValue("plain"), "plain");
+    EXPECT_EQ(escapeLabelValue("a\"b"), "a\\\"b");
+    EXPECT_EQ(escapeLabelValue("a\\b"), "a\\\\b");
+    EXPECT_EQ(escapeLabelValue("a\nb"), "a\\nb");
+    // A value exercising every escape at once survives intact.
+    EXPECT_EQ(escapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(MetricsTest, OpenMetricsGoldenExposition)
+{
+    MetricsSnapshot snap;
+    snap.counters["analyzer.jobs{session=run1}"] = 7;
+    snap.counters["serve.records_ingested"] = 42;
+    snap.gauges["analyzer.ingest_bytes_per_sec{session=run1}"] =
+        1024;
+    MetricsSnapshot::HistogramData h;
+    h.count = 3;
+    h.sum = 30;
+    h.bounds = {10, 100};
+    h.bucket_counts = {2, 1, 0};
+    snap.histograms["serve.ingest_chunk_us"] = h;
+
+    std::ostringstream out;
+    writeOpenMetrics(snap, out);
+    EXPECT_EQ(out.str(),
+              "# TYPE analyzer_jobs counter\n"
+              "analyzer_jobs_total{session=\"run1\"} 7\n"
+              "# TYPE serve_records_ingested counter\n"
+              "serve_records_ingested_total 42\n"
+              "# TYPE analyzer_ingest_bytes_per_sec gauge\n"
+              "analyzer_ingest_bytes_per_sec{session=\"run1\"} "
+              "1024\n"
+              "# TYPE serve_ingest_chunk_us histogram\n"
+              "serve_ingest_chunk_us_bucket{le=\"10\"} 2\n"
+              "serve_ingest_chunk_us_bucket{le=\"100\"} 3\n"
+              "serve_ingest_chunk_us_bucket{le=\"+Inf\"} 3\n"
+              "serve_ingest_chunk_us_sum 30\n"
+              "serve_ingest_chunk_us_count 3\n"
+              "# EOF\n");
+}
+
+TEST(MetricsTest, OpenMetricsEscapesHostileLabelValues)
+{
+    MetricsSnapshot snap;
+    snap.gauges["lag{session=evil\"name\\with\nnewline}"] = 5;
+    std::ostringstream out;
+    writeOpenMetrics(snap, out);
+    EXPECT_NE(
+        out.str().find(
+            "lag{session=\"evil\\\"name\\\\with\\nnewline\"} 5"),
+        std::string::npos)
+        << out.str();
+    // The exposition never carries a raw newline inside a label.
+    EXPECT_EQ(out.str().find("evil\"name"), std::string::npos);
+}
+
+TEST(MetricsTest, JsonAndOpenMetricsAgreeOnOneSnapshot)
+{
+    MetricsRegistry registry;
+    registry.counter("jobs").add(9);
+    registry.gauge("depth{session=s1}").set(-4);
+    HistogramOptions options;
+    options.first_bound = 8;
+    options.buckets = 2;
+    registry.histogram("lat_us", options).observe(5);
+
+    // Both renderings come from the *same* snapshot, so a scraper
+    // reading the OpenMetrics file and an operator reading the
+    // JSON dump can never disagree about a value.
+    const MetricsSnapshot snap = registry.snapshot();
+    std::ostringstream json, text;
+    writeMetricsJson(snap, json);
+    writeOpenMetrics(snap, text);
+
+    std::string error;
+    EXPECT_TRUE(validateJson(json.str(), &error)) << error;
+    EXPECT_NE(json.str().find("\"jobs\":9"), std::string::npos)
+        << json.str();
+    EXPECT_NE(text.str().find("jobs_total 9"), std::string::npos);
+    EXPECT_NE(json.str().find("\"depth{session=s1}\":-4"),
+              std::string::npos)
+        << json.str();
+    EXPECT_NE(text.str().find("depth{session=\"s1\"} -4"),
+              std::string::npos);
+    EXPECT_NE(text.str().find("lat_us_count 1"),
+              std::string::npos);
+    // The terminator proves a scrape read the whole document.
+    const std::string exposition = text.str();
+    ASSERT_GE(exposition.size(), 6u);
+    EXPECT_EQ(exposition.substr(exposition.size() - 6), "# EOF\n");
+}
+
+TEST(MetricsTest, OpenMetricsSanitizesNames)
+{
+    MetricsSnapshot snap;
+    snap.counters["serve.odd-name"] = 1;
+    snap.counters["9starts_with_digit"] = 2;
+    std::ostringstream out;
+    writeOpenMetrics(snap, out);
+    EXPECT_NE(out.str().find("serve_odd_name_total 1"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("_9starts_with_digit_total 2"),
+              std::string::npos);
 }
 
 } // namespace

@@ -4,6 +4,8 @@
 
 #include <thread>
 
+#include "obs/flight_recorder.hh"
+#include "obs/metrics.hh"
 #include "obs/span.hh"
 
 namespace tpupoint {
@@ -63,6 +65,30 @@ TEST(SpanTest, FullBufferDropsAndCounts)
     buffer.clear();
     EXPECT_EQ(buffer.size(), 0u);
     EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(SpanTest, OverflowBumpsGlobalDropCounter)
+{
+    const std::uint64_t before =
+        MetricsRegistry::global().snapshot().counterOr(
+            "obs.spans_dropped");
+    SpanBuffer buffer(1);
+    for (int i = 0; i < 4; ++i)
+        TraceSpan("s", buffer).finish();
+    EXPECT_EQ(MetricsRegistry::global().snapshot().counterOr(
+                  "obs.spans_dropped"),
+              before + 3);
+}
+
+TEST(SpanTest, CompletedSpansMirrorToEnabledFlightRecorder)
+{
+    FlightRecorder &flight = FlightRecorder::global();
+    flight.enable();
+    const std::uint64_t before = flight.recorded();
+    SpanBuffer buffer(4);
+    TraceSpan("mirrored", buffer).finish();
+    flight.disable();
+    EXPECT_EQ(flight.recorded(), before + 1);
 }
 
 TEST(SpanTest, SnapshotPreservesCompletionOrder)

@@ -450,6 +450,58 @@ TEST(CliTest, ServeDrainsSpoolAndAnswersQueries)
     std::filesystem::remove_all(spool);
 }
 
+TEST(CliTest, ServeFlightRecorderAndObservabilityQueries)
+{
+    const std::string spool = tempPath("serve_obs_spool");
+    std::filesystem::remove_all(spool);
+    std::filesystem::create_directories(spool);
+    writeProfile(spool + "/run.tpp");
+    const std::string status = tempPath("serve_obs_status.json");
+    const std::string flight = tempPath("serve_obs_flight.json");
+    std::remove(flight.c_str());
+
+    const auto serve = run(std::string(TPUPOINT_SERVE_BIN) +
+                           " --spool '" + spool +
+                           "' --status-out '" + status +
+                           "' --flight-out '" + flight +
+                           "' --poll-ms 10 --idle-ttl-ms 200"
+                           " --threads 1 --drain");
+    ASSERT_EQ(serve.exit_code, 0) << serve.output;
+
+    // Health rides in the status document like any other section.
+    const auto health = run(std::string(TPUPOINT_SERVE_BIN) +
+                            " --query health --status '" + status +
+                            "'");
+    EXPECT_EQ(health.exit_code, 0) << health.output;
+    std::string why;
+    EXPECT_TRUE(validateJson(health.output, &why)) << why;
+    EXPECT_NE(health.output.find("\"state\": \"ok\""),
+              std::string::npos)
+        << health.output;
+
+    // Metrics come from the OpenMetrics sibling the daemon
+    // published next to the status file.
+    const auto metrics = run(std::string(TPUPOINT_SERVE_BIN) +
+                             " --query metrics --status '" +
+                             status + "'");
+    EXPECT_EQ(metrics.exit_code, 0) << metrics.output;
+    EXPECT_NE(metrics.output.find(
+                  "serve_sessions_finalized_total 1"),
+              std::string::npos)
+        << metrics.output;
+    EXPECT_NE(metrics.output.find("# EOF"), std::string::npos);
+
+    // A clean exit still dumps the flight ring, attributed.
+    std::ifstream in(flight, std::ios::binary);
+    std::ostringstream doc;
+    doc << in.rdbuf();
+    ASSERT_FALSE(doc.str().empty());
+    EXPECT_TRUE(validateJson(doc.str(), &why)) << why;
+    EXPECT_NE(doc.str().find("shutdown: clean exit"),
+              std::string::npos);
+    std::filesystem::remove_all(spool);
+}
+
 TEST(CliTest, ServeRejectsGarbageRobustnessFlagValues)
 {
     const char *bad_serve[] = {

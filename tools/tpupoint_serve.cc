@@ -12,8 +12,16 @@
  *   tpupoint-serve --spool DIR --status-out status.json
  * Crash-safe daemon (restart resumes where the last run left off):
  *   tpupoint-serve --spool DIR --journal serve.journal ...
- * Query mode (against a running daemon's status file):
+ * Black box + scrape endpoint:
+ *   tpupoint-serve --spool DIR --status-out status.json \
+ *       --flight-out serve.flight.json
+ *   (SIGUSR2 dumps the flight ring on demand; a crash signal or
+ *   quarantine dumps it automatically; status.json.metrics carries
+ *   the OpenMetrics exposition, refreshed atomically every tick.)
+ * Query mode (against a running daemon's published files):
  *   tpupoint-serve --query phases --status status.json
+ *   tpupoint-serve --query health --status status.json
+ *   tpupoint-serve --query metrics --status status.json
  *
  * Run with --help for the full flag list.
  */
@@ -32,6 +40,9 @@
 #include "core/io_faults.hh"
 #include "core/json.hh"
 #include "core/strings.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/logger.hh"
+#include "obs/metrics.hh"
 #include "serve/serve.hh"
 #include "tools/cli_common.hh"
 
@@ -53,12 +64,39 @@ onSignal(int)
     g_stop = 1;
 }
 
+/**
+ * On-demand black box: SIGUSR2 dumps the flight ring to the
+ * registered path without stopping the daemon. signalSafeDump()
+ * keeps to open/write/fsync/close on pre-serialized bytes, so the
+ * whole handler is async-signal-safe.
+ */
 void
-installSignalHandlers()
+onDumpRequest(int)
+{
+    obs::FlightRecorder::global().signalSafeDump();
+}
+
+/**
+ * Fatal-signal path: salvage the flight ring, then re-raise with
+ * the default disposition so the process still dies with the
+ * original signal (exit status, core file and all).
+ */
+void
+onCrash(int sig)
+{
+    obs::FlightRecorder::global().signalSafeDump();
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
+void
+installSignalHandlers(bool flight_armed)
 {
 #if defined(_WIN32)
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
+    if (flight_armed)
+        std::signal(SIGSEGV, onCrash);
 #else
     // sigaction without SA_RESTART: a delivered signal interrupts
     // the sleep slice (EINTR) so shutdown is prompt even mid-wait.
@@ -68,26 +106,86 @@ installSignalHandlers()
     action.sa_flags = 0;
     sigaction(SIGINT, &action, nullptr);
     sigaction(SIGTERM, &action, nullptr);
+    if (!flight_armed) {
+        // No dump path registered: SIGUSR2 would be a silent
+        // no-op, and the default disposition (terminate) is more
+        // honest than swallowing it.
+        return;
+    }
+    struct sigaction dump = {};
+    dump.sa_handler = onDumpRequest;
+    sigemptyset(&dump.sa_mask);
+    dump.sa_flags = SA_RESTART; // A dump must not abort a sleep.
+    sigaction(SIGUSR2, &dump, nullptr);
+
+    struct sigaction crash = {};
+    crash.sa_handler = onCrash;
+    sigemptyset(&crash.sa_mask);
+    crash.sa_flags = 0;
+    sigaction(SIGSEGV, &crash, nullptr);
+    sigaction(SIGBUS, &crash, nullptr);
+    sigaction(SIGILL, &crash, nullptr);
+    sigaction(SIGFPE, &crash, nullptr);
+    sigaction(SIGABRT, &crash, nullptr);
 #endif
 }
 
+/**
+ * `--query metrics`: print the daemon's OpenMetrics exposition.
+ * Not a status-document section — it is the sibling file the
+ * daemon publishes next to the status doc every tick — so it only
+ * gets a cheap structural check (the `# EOF` terminator proves the
+ * atomic rename completed) rather than JSON validation.
+ */
 int
-runQuery(const std::string &query, const std::string &status_path)
+runMetricsQuery(const std::string &metrics_path)
+{
+    std::ifstream in(metrics_path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr,
+                     "error: no metrics file '%s' (is the daemon "
+                     "running with --status-out?)\n",
+                     metrics_path.c_str());
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string exposition = text.str();
+    if (exposition.find("# EOF") == std::string::npos) {
+        std::fprintf(stderr,
+                     "error: metrics file '%s' is truncated (no "
+                     "# EOF terminator)\n",
+                     metrics_path.c_str());
+        return 1;
+    }
+    std::fputs(exposition.c_str(), stdout);
+    return 0;
+}
+
+int
+runQuery(const std::string &query, const std::string &status_path,
+         const std::string &openmetrics_path)
 {
     if (query != "phases" && query != "coverage" &&
-        query != "sessions" && query != "stats") {
+        query != "sessions" && query != "stats" &&
+        query != "health" && query != "metrics") {
         std::fprintf(stderr,
-                     "unknown query '%s' (want "
-                     "phases|coverage|sessions|stats)\n",
+                     "unknown query '%s' (want phases|coverage|"
+                     "sessions|stats|health|metrics)\n",
                      query.c_str());
         return 2;
     }
-    if (status_path.empty()) {
+    if (status_path.empty() &&
+        (query != "metrics" || openmetrics_path.empty())) {
         std::fprintf(stderr,
                      "--query wants --status PATH (the daemon's "
                      "--status-out file)\n");
         return 2;
     }
+    if (query == "metrics")
+        return runMetricsQuery(openmetrics_path.empty()
+                                   ? status_path + ".metrics"
+                                   : openmetrics_path);
     std::ifstream in(status_path, std::ios::binary);
     if (!in) {
         std::fprintf(stderr,
@@ -126,6 +224,7 @@ main(int argc, char **argv)
 {
     serve::ServeOptions serve_options;
     std::string status_out;
+    std::string openmetrics_path;
     std::string metrics_out;
     std::string trace_out;
     std::string stop_file;
@@ -251,6 +350,42 @@ main(int argc, char **argv)
                               std::uint64_t>::max(),
                           &serve_options.max_inflight_bytes);
                   });
+    parser.option("--openmetrics", "PATH",
+                  "OpenMetrics text exposition path: the daemon "
+                  "rewrites it atomically every tick, --query "
+                  "metrics reads it (default <status>.metrics)",
+                  [&](const char *value) {
+                      openmetrics_path = value;
+                      return true;
+                  });
+    parser.option("--flight-out", "PATH",
+                  "arm the flight recorder and dump its ring here "
+                  "on quarantine, fatal signal, SIGUSR2 and "
+                  "shutdown",
+                  [&](const char *value) {
+                      serve_options.flight_path = value;
+                      return true;
+                  });
+    parser.option("--slo-p99-ingest-us", "N",
+                  "health degrades when the ingest-chunk p99 "
+                  "exceeds N microseconds (default 0 = off)",
+                  [&](const char *value) {
+                      return cli::parseInt(
+                          "--slo-p99-ingest-us", value, 0,
+                          std::numeric_limits<
+                              std::int32_t>::max(),
+                          &serve_options.slo_p99_ingest_us);
+                  });
+    parser.option("--slo-max-lag-ms", "N",
+                  "health degrades when a live session goes N ms "
+                  "without ingest progress (default 0 = off)",
+                  [&](const char *value) {
+                      return cli::parseInt(
+                          "--slo-max-lag-ms", value, 0,
+                          std::numeric_limits<
+                              std::int32_t>::max(),
+                          &serve_options.slo_max_lag_ms);
+                  });
     parser.option("--quarantine-errors", "N",
                   "quarantine a session after N consecutive "
                   "ingest errors (default 3; 0 = never)",
@@ -309,8 +444,9 @@ main(int argc, char **argv)
                       return true;
                   });
     parser.option("--query", "SECTION",
-                  "query mode: print one status section "
-                  "(phases|coverage|sessions|stats) and exit",
+                  "query mode: print one published section "
+                  "(phases|coverage|sessions|stats|health|"
+                  "metrics) and exit",
                   [&](const char *value) {
                       query = value;
                       return true;
@@ -344,7 +480,7 @@ main(int argc, char **argv)
     }
 
     if (!query.empty())
-        return runQuery(query, status_in);
+        return runQuery(query, status_in, openmetrics_path);
 
     if (serve_options.spool_dir.empty()) {
         std::fprintf(stderr, "%s\n", parser.usage().c_str());
@@ -361,16 +497,46 @@ main(int argc, char **argv)
         return 2;
     }
 
-    installSignalHandlers();
+    // One flag upgrade makes every legacy inform()/warn() in the
+    // process a structured event under component "core";
+    // TPUPOINT_LOG_FORMAT=json turns the whole stream into JSONL.
+    obs::Logger::install();
+
+    obs::FlightRecorder &flight = obs::FlightRecorder::global();
+    const bool flight_armed = !serve_options.flight_path.empty();
+    if (flight_armed) {
+        flight.enable();
+        if (!flight.setSignalDumpPath(
+                serve_options.flight_path.c_str())) {
+            std::fprintf(stderr,
+                         "--flight-out: path too long for the "
+                         "signal-context buffer\n");
+            return 2;
+        }
+    }
+    // The handlers read FlightRecorder::global(); constructing it
+    // above (not lazily in signal context) keeps them safe.
+    installSignalHandlers(flight_armed);
+
+    if (!openmetrics_path.empty() && status_out.empty()) {
+        std::fprintf(stderr,
+                     "--openmetrics wants --status-out (it is "
+                     "published on the status tick)\n");
+        return 2;
+    }
+    if (openmetrics_path.empty() && !status_out.empty())
+        openmetrics_path = status_out + ".metrics";
 
     // A crash mid-publish leaves `status.json.tmp` behind; sweep
     // it so readers never pick up a stale half-document.
     if (!status_out.empty() &&
         serve::sweepStalePublish(status_out))
-        std::fprintf(stderr,
-                     "serve: removed stale %s.tmp from a previous "
-                     "run\n",
-                     status_out.c_str());
+        obs::logWarn("serve",
+                     "removed stale status temp from a previous "
+                     "run",
+                     {{"path", status_out + ".tmp"}});
+    if (!openmetrics_path.empty())
+        serve::sweepStalePublish(openmetrics_path);
 
     serve::SessionManager manager(serve_options);
     const auto started = std::chrono::steady_clock::now();
@@ -382,11 +548,25 @@ main(int argc, char **argv)
             // flaky disk.
             std::string publish_error;
             if (!serve::publishStatus(manager, status_out,
-                                      &publish_error))
-                std::fprintf(stderr,
-                             "warning: status publish failed "
-                             "(%s); retrying next poll\n",
-                             publish_error.c_str());
+                                      &publish_error)) {
+                static obs::LogSite status_site(1000);
+                obs::Logger::global().logLimited(
+                    status_site, LogLevel::Warn, "serve",
+                    "status publish failed; retrying next poll",
+                    {{"path", status_out},
+                     {"error", publish_error}});
+            }
+            // The scrape file rides the same tick, so the two
+            // documents never drift more than one poll apart.
+            if (!serve::publishMetrics(openmetrics_path,
+                                       &publish_error)) {
+                static obs::LogSite metrics_site(1000);
+                obs::Logger::global().logLimited(
+                    metrics_site, LogLevel::Warn, "serve",
+                    "metrics publish failed; retrying next poll",
+                    {{"path", openmetrics_path},
+                     {"error", publish_error}});
+            }
         }
         if (g_stop || once)
             break;
@@ -423,11 +603,28 @@ main(int argc, char **argv)
     // document, and report a clean exit — a supervisor restart
     // then resumes from exactly this state.
     if (!manager.commitJournal())
-        std::fprintf(stderr,
-                     "warning: final journal commit failed; "
-                     "restart will re-ingest the gap\n");
-    if (!status_out.empty())
+        obs::logWarn("serve",
+                     "final journal commit failed; restart will "
+                     "re-ingest the gap");
+    if (!status_out.empty()) {
         serve::publishStatus(manager, status_out);
+        serve::publishMetrics(openmetrics_path);
+    }
+    if (flight_armed) {
+        // The shutdown black box: whether the exit came from a
+        // signal, --run-for-ms, --drain or a stop file, the flight
+        // file on disk ends with a dump that says so.
+        const char *reason = g_stop ? "shutdown: signal"
+                                    : "shutdown: clean exit";
+        obs::logInfo("serve", "shutting down",
+                     {{"reason", reason}});
+        std::string dump_error;
+        if (!flight.dump(serve_options.flight_path, reason,
+                         &dump_error))
+            obs::logWarn("serve", "shutdown flight dump failed",
+                         {{"path", serve_options.flight_path},
+                          {"error", dump_error}});
+    }
 
     const serve::ServeStats tallies = manager.stats();
     std::printf("serve: %zu sessions (%zu finalized, %zu "
