@@ -122,6 +122,75 @@ smoke_suite() {
         echo "smoke: serve lost the truncated session" >&2
         return 1
     }
+    # Live-phase path: the stream grows underneath the daemon. A
+    # phases query answered mid-ingest must carry a provisional
+    # streaming snapshot tagged with nonzero steps_behind
+    # staleness; once the end marker lands, the same query must
+    # settle to the exact batch answer at steps_behind 0.
+    echo "== smoke: live phases on a growing stream"
+    mkdir "${work}/live.spool"
+    head -c $((size / 2)) "${work}/salvage.tpp" \
+        > "${work}/live.spool/grow.tpp"
+    "${build_dir}/tools/tpupoint-serve" \
+        --spool "${work}/live.spool" \
+        --status-out "${work}/live.status.json" \
+        --poll-ms 20 --idle-ttl-ms 60000 &
+    local live_pid=$!
+    # Wait for the mid-ingest snapshot: a phases entry for the
+    # still-growing session, visibly behind the stream head.
+    tries=0
+    until "${build_dir}/tools/tpupoint-serve" \
+            --query phases --status "${work}/live.status.json" \
+            > "${work}/live.phases.mid.json" 2>/dev/null &&
+        grep -q '"grow"' "${work}/live.phases.mid.json" &&
+        grep -Eq '"steps_behind": *[1-9]' \
+            "${work}/live.phases.mid.json"; do
+        tries=$((tries + 1))
+        if [ "${tries}" -gt 200 ]; then
+            echo "smoke: no live phase snapshot mid-ingest" >&2
+            kill "${live_pid}" 2>/dev/null || true
+            return 1
+        fi
+        sleep 0.05
+    done
+    "${build_dir}/tools/tpupoint-validate-json" \
+        "${work}/live.phases.mid.json"
+    grep -Eq '"exact": *false' "${work}/live.phases.mid.json" || {
+        echo "smoke: mid-ingest snapshot claimed exactness" >&2
+        kill "${live_pid}" 2>/dev/null || true
+        return 1
+    }
+    # The rest of the stream (end marker included) arrives; the
+    # staleness must drain to zero and the answer become exact.
+    tail -c +$((size / 2 + 1)) "${work}/salvage.tpp" \
+        >> "${work}/live.spool/grow.tpp"
+    tries=0
+    until "${build_dir}/tools/tpupoint-serve" \
+            --query phases --status "${work}/live.status.json" \
+            > "${work}/live.phases.final.json" 2>/dev/null &&
+        grep -Eq '"exact": *true' \
+            "${work}/live.phases.final.json"; do
+        tries=$((tries + 1))
+        if [ "${tries}" -gt 200 ]; then
+            echo "smoke: live phases never settled" >&2
+            kill "${live_pid}" 2>/dev/null || true
+            return 1
+        fi
+        sleep 0.05
+    done
+    "${build_dir}/tools/tpupoint-validate-json" \
+        "${work}/live.phases.final.json"
+    grep -Eq '"steps_behind": *0' \
+        "${work}/live.phases.final.json" || {
+        echo "smoke: finalized session still behind" >&2
+        kill "${live_pid}" 2>/dev/null || true
+        return 1
+    }
+    kill "${live_pid}"
+    wait "${live_pid}" || {
+        echo "smoke: live-phase serve exited nonzero" >&2
+        return 1
+    }
     # Chaos path: kill -9 a journaled daemon mid-ingest, restart it
     # over the same journal, and require the recovered coverage to
     # be byte-identical to an uninterrupted baseline run. Runs in
@@ -287,6 +356,18 @@ bench_smoke() {
         --json "${work}/throughput.json"
     "${build_dir}/tools/tpupoint-validate-json" \
         "${work}/throughput.json"
+    echo "== bench: streaming detection vs batch finalize"
+    "${build_dir}/bench/bench_streaming_detect" \
+        --json "${work}/streaming.json"
+    "${build_dir}/tools/tpupoint-validate-json" \
+        "${work}/streaming.json"
+    for figure in per_step_cost_ratio_10x all_ols_exact; do
+        grep -q "\"${figure}\"" "${work}/streaming.json" || {
+            echo "bench: bench_streaming_detect lost the" \
+                "${figure} figure" >&2
+            return 1
+        }
+    done
     echo "== bench: serve ingest, restart recovery, shedding"
     "${build_dir}/bench/bench_serve" --json "${work}/serve.json"
     "${build_dir}/tools/tpupoint-validate-json" \

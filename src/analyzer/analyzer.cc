@@ -1,11 +1,14 @@
 #include "analyzer/analyzer.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "analyzer/detector.hh"
+#include "analyzer/streaming.hh"
 #include "core/logging.hh"
 #include "core/thread_pool.hh"
+#include "obs/metrics.hh"
 #include "obs/pool_metrics.hh"
 #include "obs/span.hh"
 
@@ -49,6 +52,107 @@ AnalysisSession::AnalysisSession(const AnalyzerOptions &options)
 {
 }
 
+// Out of line: Stream holds a unique_ptr to the incomplete
+// StreamingDetector at the point of declaration.
+AnalysisSession::~AnalysisSession() = default;
+AnalysisSession::AnalysisSession(AnalysisSession &&) noexcept =
+    default;
+AnalysisSession &
+AnalysisSession::operator=(AnalysisSession &&) noexcept = default;
+
+void
+AnalysisSession::feedStreams(bool settle_all)
+{
+    if (!opts.streaming)
+        return;
+    if (!streams_ready) {
+        for (const PhaseAlgorithm algorithm :
+             requestedAlgorithms(opts)) {
+            Stream stream;
+            stream.detector =
+                makeStreamingDetector(algorithm, opts);
+            stream.step_us = &obs::MetricsRegistry::global()
+                                  .histogram(
+                                      std::string(
+                                          "analyzer.stream_step_"
+                                          "us{detector=") +
+                                      stream.detector->name() +
+                                      "}");
+            streams.push_back(std::move(stream));
+        }
+        streams_ready = true;
+    }
+
+    // History rewritten below what the detectors already saw (an
+    // out-of-order window, an attempt stitch, or a window overlap
+    // deeper than the current margin): start over. The detectors
+    // are pure functions of the settled prefix, so the re-feed
+    // reconverges to the state a clean arrival would have
+    // produced. Widening the margin to the observed depth makes
+    // the next same-depth overlap land above the watermark, so
+    // resets stop once the stream's overlap depth has been seen —
+    // without that, overlapping profiler windows would trigger a
+    // full re-feed per record and per-step cost would grow with
+    // trace length.
+    const std::size_t rows = builder.stepsAggregated();
+    if (builder.touchedFloor() < observed_rows) {
+        settle_margin = std::max(settle_margin,
+                                 rows - builder.touchedFloor());
+        for (Stream &stream : streams)
+            stream.detector->reset();
+        observed_rows = 0;
+    }
+    builder.clearTouchedFloor();
+
+    // A row is settled once no later window is expected to fold
+    // into it; hold back the trailing margin until finalize
+    // (settle_all) flushes it.
+    const std::size_t settled = settle_all
+        ? rows
+        : (rows > settle_margin ? rows - settle_margin : 0);
+    if (settled <= observed_rows)
+        return;
+
+    std::vector<StepDelta> deltas;
+    deltas.reserve(settled - observed_rows);
+    for (std::size_t i = observed_rows; i < settled; ++i) {
+        deltas.push_back(StepDelta{
+            builder.rowStepId(i), builder.rowSpan(i),
+            builder.rowHostOps(i), builder.rowTpuOps(i)});
+    }
+    for (Stream &stream : streams) {
+        const auto begin = std::chrono::steady_clock::now();
+        stream.detector->observeSteps(deltas);
+        const auto micros =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - begin)
+                .count();
+        // Amortized per-step cost of this feed.
+        stream.step_us->observe(static_cast<std::uint64_t>(
+            micros / static_cast<long long>(deltas.size())));
+    }
+    observed_rows = settled;
+}
+
+PartialResult
+AnalysisSession::partialResult() const
+{
+    PartialResult out;
+    // The builder is consumed by finalize(); the detectors keep
+    // the authoritative count from then on.
+    out.steps_aggregated = finalized
+        ? observed_rows
+        : builder.stepsAggregated();
+    out.steps_observed = observed_rows;
+    out.steps_behind = out.steps_aggregated > out.steps_observed
+        ? out.steps_aggregated - out.steps_observed
+        : 0;
+    out.snapshots.reserve(streams.size());
+    for (const Stream &stream : streams)
+        out.snapshots.push_back(stream.detector->snapshot());
+    return out;
+}
+
 void
 AnalysisSession::ingest(const ProfileRecord &record)
 {
@@ -69,9 +173,14 @@ AnalysisSession::ingest(const ProfileRecord &record)
         discarded_time += span;
         builder.markReplayed(record.resume_step,
                              record.preempted_at_step);
+        // The drop lowered the touch floor; re-sync the streaming
+        // detectors now so partialResult() never reports phases
+        // over discarded steps.
+        feedStreams(/*settle_all=*/false);
         return; // boundary markers carry no step data
     }
     builder.ingest(record);
+    feedStreams(/*settle_all=*/false);
 }
 
 void
@@ -89,9 +198,11 @@ AnalysisSession::ingest(const ColumnarRecord &record)
         discarded_time += span;
         builder.markReplayed(record.resume_step,
                              record.preempted_at_step);
+        feedStreams(/*settle_all=*/false);
         return; // boundary markers carry no step data
     }
     builder.ingest(record);
+    feedStreams(/*settle_all=*/false);
 }
 
 AnalysisResult
@@ -112,6 +223,9 @@ AnalysisSession::finalize(
 {
     if (finalized)
         panic("AnalysisSession::finalize called twice");
+    // Flush the held-back newest row into the streaming detectors
+    // before the builder is consumed; no-op for batch sessions.
+    feedStreams(/*settle_all=*/true);
     finalized = true;
 
     AnalysisResult result;
@@ -160,8 +274,16 @@ AnalysisSession::finalize(
         detect_span.arg("steps",
                         static_cast<std::uint64_t>(
                             result.table.size()));
-        result.detections[i] = detector.detect(
-            result.table, features.get(), opts, &pool);
+        // Streaming sessions finish through the incremental
+        // detectors (streams[i] is aligned with algorithms[i]):
+        // OLS completes its live scan, the sampled/fallback
+        // detectors delegate to the batch path — so finalize
+        // output is byte-identical either way.
+        result.detections[i] = opts.streaming
+            ? streams[i].detector->finalize(
+                  result.table, features.get(), opts, &pool)
+            : detector.detect(result.table, features.get(), opts,
+                              &pool);
         detect_span.arg("phases",
                         static_cast<std::uint64_t>(
                             result.detections[i].phases.size()));

@@ -11,6 +11,7 @@
 #define TPUPOINT_ANALYZER_ANALYZER_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "analyzer/dbscan.hh"
@@ -24,6 +25,11 @@
 namespace tpupoint {
 
 class ThreadPool;
+class StreamingDetector;
+
+namespace obs {
+class Histogram;
+} // namespace obs
 
 /** Phase-detection algorithms offered by TPUPoint-Analyzer. */
 enum class PhaseAlgorithm { KMeans, Dbscan, OnlineLinearScan };
@@ -72,6 +78,83 @@ struct AnalyzerOptions
 
     FeatureOptions features;
     std::uint64_t seed = 0x414e4c5aULL; // "ANLZ"
+
+    /**
+     * Maintain incremental detectors during ingest so
+     * partialResult() answers phase queries mid-stream at bounded
+     * per-step cost. Off (the default), ingest is aggregation only
+     * and finalize() is the historical batch path; on, finalize()
+     * is still bit-identical for batch detectors (k-means/DBSCAN
+     * re-detect over the full table) while OLS completes from its
+     * streaming state — the same fold, finished once.
+     */
+    bool streaming = false;
+
+    /**
+     * Capacity of the streaming mini-batch k-means reservoir: the
+     * deterministic sample of feature rows mid-stream snapshots
+     * cluster. Bounds snapshot cost regardless of trace length.
+     */
+    std::size_t streaming_reservoir = 256;
+};
+
+/** Compact phase summary a streaming snapshot reports. */
+struct StreamingPhase
+{
+    int id = 0;
+    StepId first_step = 0;
+    StepId last_step = 0;
+    std::uint64_t steps = 0;  ///< Sampled steps when `sampled`.
+    SimTime duration = 0;     ///< Sum of (sampled) member spans.
+    bool noise = false;
+};
+
+/**
+ * One incremental detector's answer mid-stream: the phases over
+ * every step observed so far, without finalizing anything.
+ */
+struct StreamingSnapshot
+{
+    PhaseAlgorithm algorithm = PhaseAlgorithm::OnlineLinearScan;
+    std::vector<StreamingPhase> phases;
+    double top3_coverage = 0.0;
+
+    /** Steps the detector has consumed. */
+    std::uint64_t steps_observed = 0;
+
+    /**
+     * The snapshot equals what the batch detector would produce
+     * over the observed steps (true for streaming OLS; false for
+     * sampled estimates and the batch-fallback adapter).
+     */
+    bool exact = false;
+
+    /** Phases are estimated from a reservoir sample. */
+    bool sampled = false;
+};
+
+/**
+ * AnalysisSession::partialResult(): the streaming detectors'
+ * answers plus how far they trail the aggregation. Available any
+ * number of times without consuming the session.
+ */
+struct PartialResult
+{
+    /** Step rows aggregated so far. */
+    std::uint64_t steps_aggregated = 0;
+
+    /**
+     * Settled rows the streaming detectors consumed. The newest
+     * row stays unsettled (a later window may still fold into it),
+     * so this trails steps_aggregated by at least one mid-stream.
+     */
+    std::uint64_t steps_observed = 0;
+
+    /** steps_aggregated - steps_observed: the staleness figure. */
+    std::uint64_t steps_behind = 0;
+
+    /** One snapshot per requested algorithm, primary first. */
+    std::vector<StreamingSnapshot> snapshots;
 };
 
 /**
@@ -167,6 +250,10 @@ class AnalysisSession
 {
   public:
     explicit AnalysisSession(const AnalyzerOptions &options = {});
+    ~AnalysisSession();
+
+    AnalysisSession(AnalysisSession &&) noexcept;
+    AnalysisSession &operator=(AnalysisSession &&) noexcept;
 
     /**
      * Fold one profile record into the session. Attempt-boundary
@@ -212,9 +299,33 @@ class AnalysisSession
         const std::vector<CheckpointInfo> &checkpoints,
         ThreadPool &pool);
 
+    /**
+     * Streaming read-out (options().streaming only; otherwise the
+     * snapshot list is empty and only the aggregation counters are
+     * filled). Does not consume or mutate the session beyond the
+     * detectors' own incremental state; callable any number of
+     * times, including after finalize() — where steps_behind is 0
+     * and each snapshot reflects every step (exact detectors
+     * report their final phases, sampled ones their last
+     * estimate).
+     */
+    PartialResult partialResult() const;
+
     const AnalyzerOptions &options() const { return opts; }
 
   private:
+    /**
+     * Feed the streaming detectors every settled row the builder
+     * has beyond what they observed. A row is settled once a
+     * higher step id exists (windows of one step arrive before the
+     * next step starts), so the newest row is withheld until
+     * either a later step lands or finalize(). When the builder's
+     * touch floor dips below the observed count — an out-of-order
+     * window or attempt stitch rewrote history — the detectors
+     * reset and re-observe from row 0.
+     */
+    void feedStreams(bool settle_all);
+
     AnalyzerOptions opts;
     StepTableBuilder builder;
     bool finalized = false;
@@ -223,6 +334,29 @@ class AnalysisSession
     std::uint64_t discarded_steps = 0;
     SimTime discarded_time = 0;
     std::uint64_t dropped_events = 0;
+
+    /** One incremental detector per requested algorithm (primary
+     * first), plus its per-step latency histogram — populated
+     * lazily on first ingest when opts.streaming. */
+    struct Stream
+    {
+        std::unique_ptr<StreamingDetector> detector;
+        obs::Histogram *step_us = nullptr;
+    };
+    std::vector<Stream> streams;
+    bool streams_ready = false;
+
+    /** Builder rows the streaming detectors have consumed. */
+    std::size_t observed_rows = 0;
+
+    /**
+     * How far the settle watermark trails the newest row. Profiler
+     * windows overlap, so trailing rows keep accumulating after
+     * they first appear; the margin grows to the deepest re-touch
+     * seen so far, after which resets stop and per-step cost is
+     * O(1) amortized.
+     */
+    std::size_t settle_margin = 1;
 };
 
 /**

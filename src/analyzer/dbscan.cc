@@ -7,6 +7,7 @@
 #include "analyzer/elbow.hh"
 #include "core/logging.hh"
 #include "core/thread_pool.hh"
+#include "runtime/pool_map.hh"
 
 namespace tpupoint {
 
@@ -170,14 +171,8 @@ dbscanSweep(const Matrix &points, double eps, std::size_t lo,
         sweep.cluster_counts[i] = all[i].clusters;
         xs[i] = static_cast<double>(settings[i]);
     };
-    if (pool != nullptr && !pool->inlineMode() &&
-        settings.size() > 1) {
-        pool->forEach(settings.size(), run_m,
-                      "analyze.dbscan.min_samples");
-    } else {
-        for (std::size_t i = 0; i < settings.size(); ++i)
-            run_m(i);
-    }
+    runtime::poolMap(pool, settings.size(), run_m,
+                     "analyze.dbscan.min_samples");
 
     const std::size_t idx = elbowIndex(xs, sweep.noise_curve);
     sweep.elbow_min_samples = sweep.min_samples_values[idx];

@@ -6,6 +6,7 @@
 #include "analyzer/elbow.hh"
 #include "core/logging.hh"
 #include "core/thread_pool.hh"
+#include "runtime/pool_map.hh"
 
 namespace tpupoint {
 
@@ -166,20 +167,14 @@ kMeansSweep(const Matrix &points, int k_min, int k_max,
         sweep.ssd_curve[slot] = all[slot].ssd;
         ks[slot] = static_cast<double>(k);
     };
-    if (pool != nullptr && !pool->inlineMode() && count > 1) {
-        // Largest k first: Lloyd iterations at k = k_max dominate
-        // the sweep, so scheduling them first shortens the
-        // makespan.
-        pool->forEach(
-            count,
-            [&](std::size_t i) {
-                run_k(k_max - static_cast<int>(i));
-            },
-            "analyze.kmeans.k");
-    } else {
-        for (int k = k_min; k <= k_max; ++k)
-            run_k(k);
-    }
+    // Largest k first: Lloyd iterations at k = k_max dominate the
+    // sweep, so scheduling them first shortens the makespan when
+    // the pool fans out (slots are preassigned, so the visit order
+    // never shows in the result).
+    runtime::poolMap(
+        pool, count,
+        [&](std::size_t i) { run_k(k_max - static_cast<int>(i)); },
+        "analyze.kmeans.k");
 
     const std::size_t idx = elbowIndex(ks, sweep.ssd_curve);
     sweep.elbow_k = sweep.k_values[idx];

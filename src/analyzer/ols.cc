@@ -213,6 +213,44 @@ OnlineLinearScan::closeSegment()
     home->duration += current.duration;
 }
 
+std::vector<OnlineLinearScan::PhasePeek>
+OnlineLinearScan::peekPhases() const
+{
+    std::vector<PhasePeek> out;
+    out.reserve(groups.size() + 1);
+    for (const Group &group : groups) {
+        PhasePeek peek;
+        peek.first_step = group.spans.front().first_step;
+        peek.last_step = group.spans.back().last_step;
+        peek.steps = group.steps;
+        peek.duration = group.duration;
+        peek.spans = group.spans.size();
+        out.push_back(peek);
+    }
+    if (!have_current || finished)
+        return out;
+    // Fold the open segment the way closeSegment() will: into the
+    // first group whose signature matches, else as a new phase.
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (keySimilarity(group_keys[g], current_signature) >=
+            opts.similarity_threshold) {
+            out[g].last_step = current.last_step;
+            out[g].steps += current.steps;
+            out[g].duration += current.duration;
+            ++out[g].spans;
+            return out;
+        }
+    }
+    PhasePeek open;
+    open.first_step = current.first_step;
+    open.last_step = current.last_step;
+    open.steps = current.steps;
+    open.duration = current.duration;
+    open.spans = 1;
+    out.push_back(open);
+    return out;
+}
+
 void
 OnlineLinearScan::finish()
 {

@@ -77,6 +77,26 @@ class OnlineLinearScan
     /** Close the trailing segment and aggregate phases. */
     void finish();
 
+    /** Compact per-phase aggregates for a mid-scan snapshot. */
+    struct PhasePeek
+    {
+        StepId first_step = 0;
+        StepId last_step = 0;
+        std::size_t steps = 0;
+        SimTime duration = 0;
+        std::size_t spans = 0; ///< Recurrences of the phase.
+    };
+
+    /**
+     * Non-destructive view of the phases as they stand mid-scan:
+     * the closed groups, with the open segment folded into its
+     * matching group (or appended as its own phase) exactly as
+     * closeSegment() would on the next boundary. O(groups), no
+     * strings, usable any time before finish(); after finish() it
+     * reports the final groups.
+     */
+    std::vector<PhasePeek> peekPhases() const;
+
     /** Raw consecutive segments, in execution order. */
     const std::vector<Span> &spans() const;
 

@@ -134,6 +134,7 @@ StepTableBuilder::foldStep(StepId step, SimTime begin, SimTime end,
                            bool replayed_flag)
 {
     const std::size_t row = rowFor(step, begin, end);
+    touched_floor = std::min(touched_floor, row);
     busys[row] += busy;
     idles[row] += idle;
     mxus[row] += mxu;
@@ -192,6 +193,8 @@ StepTableBuilder::dropAfter(StepId after, SimTime *dropped_span)
     const auto first =
         static_cast<std::size_t>(it - ids.begin());
     const std::size_t dropped = ids.size() - first;
+    if (dropped > 0)
+        touched_floor = std::min(touched_floor, first);
     if (dropped_span) {
         for (std::size_t row = first; row < ids.size(); ++row) {
             *dropped_span +=

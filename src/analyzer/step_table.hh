@@ -60,6 +60,52 @@ class StepTableBuilder
     std::size_t stepsAggregated() const { return ids.size(); }
 
     /**
+     * Read-only peek at row @p i of the in-progress aggregation
+     * (rows are sorted by step id, same order build() flattens
+     * them in). The incremental detectors consume settled rows
+     * through these without waiting for the table; a later ingest
+     * may still fold into the row (see touchedFloor()).
+     */
+    StepId rowStepId(std::size_t i) const { return ids[i]; }
+
+    /** Wall span of in-progress row @p i. */
+    SimTime
+    rowSpan(std::size_t i) const
+    {
+        return ends[i] > begins[i] ? ends[i] - begins[i] : 0;
+    }
+
+    /** In-progress row @p i's host op entries, id-sorted. */
+    OpStatsSpan
+    rowHostOps(std::size_t i) const
+    {
+        return OpStatsSpan(host_rows[i]);
+    }
+
+    /** In-progress row @p i's TPU op entries, id-sorted. */
+    OpStatsSpan
+    rowTpuOps(std::size_t i) const
+    {
+        return OpStatsSpan(tpu_rows[i]);
+    }
+
+    /**
+     * Rewind detection for incremental consumers: the lowest row
+     * index any fold has touched since the last clear (SIZE_MAX
+     * when nothing folded). A consumer that has observed rows
+     * [0, n) re-observes from scratch when the floor dips below n
+     * — an out-of-order window or attempt stitch changed history.
+     */
+    std::size_t touchedFloor() const { return touched_floor; }
+
+    /** Reset the touch floor after the consumer caught up. */
+    void
+    clearTouchedFloor()
+    {
+        touched_floor = static_cast<std::size_t>(-1);
+    }
+
+    /**
      * Attempt stitching, part 1: erase every aggregated step with
      * id > @p after. A preempted attempt's final windows carry
      * steps past the resume point — completed steps the restart
@@ -107,6 +153,9 @@ class StepTableBuilder
     std::vector<ColumnarOpStats> scratch;
 
     std::uint64_t records_seen = 0;
+
+    /** Lowest row index folded since clearTouchedFloor(). */
+    std::size_t touched_floor = static_cast<std::size_t>(-1);
 
     /** (after, through] ranges whose re-ingested steps are
      * replays. */

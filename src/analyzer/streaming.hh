@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Incremental phase detection: the streaming twin of the
+ * PhaseDetector registry (analyzer/detector.hh). Where a batch
+ * detector sees the finished step table once, a StreamingDetector
+ * consumes settled step rows as they are aggregated and can be
+ * asked for a phase snapshot at any moment, at a per-step cost
+ * bounded independent of trace length.
+ *
+ * Determinism contract: a streaming detector's snapshot must be a
+ * pure function of (options, the settled row prefix it observed) —
+ * never of how that prefix was chunked across observeSteps() calls
+ * or of wall-clock time. Any sampling draws per-row randomness from
+ * SplitMix64(seed ^ row-index) so arrival pattern cannot leak in.
+ * reset() returns the detector to its freshly-constructed state;
+ * AnalysisSession invokes it when the builder's touch floor shows
+ * history was rewritten (out-of-order window, attempt stitch) and
+ * then re-feeds from row 0.
+ *
+ * finalize() must agree with the batch registry: for OLS the
+ * streaming scan *is* the batch scan, finished once, so spans,
+ * groups and phases are bit-identical; k-means and DBSCAN finalize
+ * by delegating to their batch detectors over the full table, so
+ * batch-mode outputs stay byte-identical whether or not the
+ * session streamed.
+ */
+
+#ifndef TPUPOINT_ANALYZER_STREAMING_HH
+#define TPUPOINT_ANALYZER_STREAMING_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "analyzer/analyzer.hh"
+
+namespace tpupoint {
+
+class ThreadPool;
+
+/**
+ * One settled step row, in ascending row order. The op spans
+ * borrow the builder's storage and are valid only for the duration
+ * of the observeSteps() call — a detector that samples rows must
+ * copy the entries it keeps.
+ */
+struct StepDelta
+{
+    StepId step = 0;
+    SimTime span = 0;      ///< Wall span of the step's events.
+    OpStatsSpan host;      ///< Host op entries, id-sorted.
+    OpStatsSpan tpu;       ///< TPU op entries, id-sorted.
+};
+
+/** One incremental phase-detection algorithm. */
+class StreamingDetector
+{
+  public:
+    virtual ~StreamingDetector() = default;
+
+    /** The algorithm this detector implements. */
+    virtual PhaseAlgorithm algorithm() const = 0;
+
+    /** Printable name (matches phaseAlgorithmName()). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Consume the next batch of settled rows. Rows arrive in
+     * ascending row order with no gaps or repeats between calls;
+     * the batch boundary carries no meaning (see the determinism
+     * contract above).
+     */
+    virtual void observeSteps(
+        const std::vector<StepDelta> &deltas) = 0;
+
+    /** Discard all observed state (history was rewritten). */
+    virtual void reset() = 0;
+
+    /**
+     * The phases over every row observed so far. Non-destructive
+     * and repeatable; cost must be bounded by detector state (OLS:
+     * O(groups); sampled k-means: O(reservoir)), never by the
+     * number of observed steps.
+     */
+    virtual StreamingSnapshot snapshot() const = 0;
+
+    /**
+     * Produce the detector's final batch-grade result. Called once
+     * after every row (including the last, normally-unsettled one)
+     * has been observed; @p table is the built table those rows
+     * flattened into, and @p features / @p pool follow the batch
+     * PhaseDetector::detect() contract (features non-null whenever
+     * the batch detector for this algorithm needs them).
+     */
+    virtual DetectorResult finalize(const StepTable &table,
+                                    const FeatureMatrix *features,
+                                    const AnalyzerOptions &options,
+                                    ThreadPool *pool) = 0;
+};
+
+/** Factory for a fresh streaming detector bound to @p options. */
+using StreamingDetectorFactory =
+    std::function<std::unique_ptr<StreamingDetector>(
+        const AnalyzerOptions &)>;
+
+/**
+ * Override the streaming detector for @p algorithm (tests use this
+ * to interpose instrumented detectors). A null factory removes the
+ * override, restoring the builtin.
+ */
+void registerStreamingDetector(PhaseAlgorithm algorithm,
+                               StreamingDetectorFactory factory);
+
+/**
+ * A fresh streaming detector for @p algorithm: the registered
+ * override if any, else the builtin — truly-online OLS for
+ * OnlineLinearScan, reservoir-sampled mini-batch k-means for
+ * KMeans, and a batch-fallback adapter (empty snapshots, batch
+ * finalize) for DBSCAN, whose neighbourhood queries resist
+ * incrementalization.
+ */
+std::unique_ptr<StreamingDetector> makeStreamingDetector(
+    PhaseAlgorithm algorithm, const AnalyzerOptions &options);
+
+} // namespace tpupoint
+
+#endif // TPUPOINT_ANALYZER_STREAMING_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The one fan-out idiom behind every independent-item sweep in the
+ * repo: run `fn(0..count)` on a pool when that actually buys
+ * parallelism, else inline on the calling thread. The k-means k
+ * sweep, the DBSCAN min-samples sweep and SweepRunner's job fan-out
+ * all used to hand-roll the same pool-vs-serial branch; they (and
+ * the incremental analysis path) now share this header, so a change
+ * to the dispatch policy lands in one place.
+ *
+ * Determinism contract (same as ThreadPool::forEach): `fn` must
+ * write preassigned, per-index state only — poolMap never reorders
+ * results, so pooled and serial execution are bit-identical. The
+ * serial fallback runs indices ascending; callers that want a
+ * different schedule under the pool (e.g. largest-job-first) fold
+ * the mapping into `fn` itself, where it cannot affect outputs.
+ *
+ * Header-only on purpose: it depends only on core/thread_pool.hh,
+ * so the analyzer's sweeps can include it without creating an
+ * analyzer -> runtime link edge (the runtime library sits above the
+ * analyzer in the target graph).
+ */
+
+#ifndef TPUPOINT_RUNTIME_POOL_MAP_HH
+#define TPUPOINT_RUNTIME_POOL_MAP_HH
+
+#include <cstddef>
+
+#include "core/thread_pool.hh"
+
+namespace tpupoint {
+namespace runtime {
+
+/**
+ * Apply @p fn to every index in [0, count), fanning out on @p pool
+ * when it exists, has workers, and there is more than one item;
+ * otherwise inline, ascending. @p label names the pool tasks in
+ * traces/metrics (ignored on the inline path).
+ */
+template <typename Fn>
+void
+poolMap(ThreadPool *pool, std::size_t count, Fn &&fn,
+        const char *label = nullptr)
+{
+    if (count == 0)
+        return;
+    if (pool != nullptr && !pool->inlineMode() && count > 1) {
+        pool->forEach(count, fn, label);
+        return;
+    }
+    for (std::size_t i = 0; i < count; ++i)
+        fn(i);
+}
+
+} // namespace runtime
+} // namespace tpupoint
+
+#endif // TPUPOINT_RUNTIME_POOL_MAP_HH

@@ -10,6 +10,7 @@
 #include "obs/metrics.hh"
 #include "obs/pool_metrics.hh"
 #include "obs/span.hh"
+#include "runtime/pool_map.hh"
 
 namespace tpupoint {
 
@@ -323,11 +324,11 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
     };
 
     // Jobs never throw out of run_index (failure isolation above),
-    // so forEach's rethrow path stays cold. Each job already opens
+    // so the pool's rethrow path stays cold. Each job already opens
     // its own "sweep.job" span, so the fan-out itself is unlabeled
     // to keep traces single-spanned per job.
     if (opts.pool != nullptr) {
-        opts.pool->forEach(jobs.size(), run_index);
+        runtime::poolMap(opts.pool, jobs.size(), run_index);
     } else {
         // A runner-created pool sized to the work: a 1-thread (or
         // 1-job) sweep runs inline on this thread — same code
@@ -337,7 +338,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
             std::min<std::size_t>(thread_count, jobs.size()));
         pool_opts.hooks = obs::instrumentedPoolHooks("sweep");
         ThreadPool job_pool(pool_opts);
-        job_pool.forEach(jobs.size(), run_index);
+        runtime::poolMap(&job_pool, jobs.size(), run_index);
     }
 
     // Strict mode keeps the pre-isolation contract: any job

@@ -134,6 +134,10 @@ struct SessionManager::Session
 SessionManager::SessionManager(const ServeOptions &options)
     : opts(options)
 {
+    // Live phases ride on the analyzer's streaming mode; set it
+    // before any session (including a recovered one) is built.
+    if (opts.live_phases)
+        opts.analyzer.streaming = true;
     if (opts.pool != nullptr) {
         active_pool = opts.pool;
     } else {
@@ -203,6 +207,13 @@ SessionManager::quarantine(Session &session,
     status.state = SessionState::Quarantined;
     status.error = why;
     status.pending = false;
+    // Provisional streaming phases die with the live state; a
+    // quarantined session must not keep serving an estimate of a
+    // stream it lost.
+    status.phases.clear();
+    status.top3_coverage = 0.0;
+    status.steps_behind = 0;
+    status.phases_exact = false;
     session.ready_to_finalize = false;
     session.live.reset();
     session.result.reset();
@@ -257,6 +268,16 @@ SessionManager::recoverFromJournal(std::int64_t now)
         entry.recovered = true;
         session->status = entry;
         session->last_progress_ms = now;
+        // Derived fields the journal deliberately does not carry
+        // (format v1): the configured detector, and exactness for
+        // states whose phases are the batch answer.
+        session->status.detector =
+            phaseAlgorithmName(opts.analyzer.algorithm);
+        if (entry.state == SessionState::Finalized ||
+            entry.state == SessionState::Evicted) {
+            session->status.phases_exact = true;
+            session->status.steps_behind = 0;
+        }
 
         const SessionState state = entry.state;
         const bool was_live =
@@ -311,6 +332,12 @@ SessionManager::recoverFromJournal(std::int64_t now)
                        state == SessionState::Quiescent) {
                 session->ready_to_finalize = true;
             }
+            // The replay re-fed the streaming detectors the exact
+            // settled prefix the crashed process had observed, so
+            // the refreshed snapshot (and steps_behind) matches
+            // what the journal's writer was publishing.
+            if (session->live)
+                refreshLivePhases(*session);
         } else if (state == SessionState::Finalized) {
             // The heavy result object is gone; the summary in the
             // status answers every query. Restart the evict TTL.
@@ -385,6 +412,8 @@ SessionManager::scanSpool(std::int64_t now)
         session.status.state = SessionState::Discovering;
         session.status.error.clear();
         session.status.pending = true;
+        session.status.detector =
+            phaseAlgorithmName(opts.analyzer.algorithm);
         session.last_progress_ms = now;
         session.journal_dirty = true;
     };
@@ -409,6 +438,8 @@ SessionManager::scanSpool(std::int64_t now)
         session->status.name = sessionName(
             std::filesystem::path(path).filename().string(),
             opts.suffix);
+        session->status.detector =
+            phaseAlgorithmName(opts.analyzer.algorithm);
         if (admissible(1)) {
             admit(*session);
             obs::logDebug("serve", "session discovered",
@@ -525,6 +556,9 @@ SessionManager::ingestOne(Session &session, std::int64_t now)
                 elapsedSeconds(poll_start));
         }
 
+        if (progressed)
+            refreshLivePhases(session);
+
         if (status.complete || live.tail.damaged()) {
             session.ready_to_finalize = true;
         } else if (!progressed && opts.idle_ttl_ms >= 0 &&
@@ -542,6 +576,39 @@ SessionManager::ingestOne(Session &session, std::int64_t now)
     } catch (const std::exception &e) {
         return ingestFailed(std::string("ingest failed: ") +
                             e.what());
+    }
+}
+
+void
+SessionManager::refreshLivePhases(Session &session)
+{
+    if (!opts.analyzer.streaming || session.live == nullptr)
+        return;
+    const PartialResult partial =
+        session.live->analysis.partialResult();
+    SessionStatus &status = session.status;
+    status.steps = partial.steps_aggregated;
+    status.steps_behind = partial.steps_behind;
+    status.phases_exact = false;
+    if (partial.snapshots.empty())
+        return;
+    // The primary algorithm's snapshot is what the status document
+    // serves, mirroring how finalize's flat fields track the
+    // primary detector.
+    const StreamingSnapshot &primary = partial.snapshots.front();
+    status.top3_coverage = primary.top3_coverage;
+    status.phases.clear();
+    status.phases.reserve(primary.phases.size());
+    for (const StreamingPhase &phase : primary.phases) {
+        PhaseSummary summary;
+        summary.id = phase.id;
+        summary.first_step = phase.first_step;
+        summary.last_step = phase.last_step;
+        summary.steps = phase.steps;
+        summary.duration_ms =
+            static_cast<double>(phase.duration) / kMsec;
+        summary.noise = phase.noise;
+        status.phases.push_back(summary);
     }
 }
 
@@ -572,6 +639,8 @@ try {
         status.error = "stream ended with no records";
     status.pending = false;
     status.state = SessionState::Finalized;
+    status.steps_behind = 0;
+    status.phases_exact = true;
 
     session.result = std::move(result);
     session.live.reset(); // Tail buffers + builder released now.
@@ -850,6 +919,9 @@ SessionManager::writeStatusJson(std::ostream &out,
         w.field("bytes_skipped", status.bytes_skipped);
         w.field("records_dropped", status.records_dropped);
         w.field("decode_failures", status.decode_failures);
+        if (!status.detector.empty())
+            w.field("detector", status.detector);
+        w.field("steps_behind", status.steps_behind);
         if (status.recovered)
             w.field("recovered", true);
         if (!status.error.empty())
@@ -858,16 +930,36 @@ SessionManager::writeStatusJson(std::ostream &out,
     }
     w.endArray();
 
+    // Phase/coverage sections serve final answers *and* live
+    // streaming snapshots: a live session appears as soon as its
+    // incremental detector has phases, tagged exact=false with its
+    // staleness, and is replaced in place by the exact batch entry
+    // at finalize. `--query phases` therefore refuses neither
+    // mid-ingest nor post-finalize.
+    const auto phase_worthy = [](const SessionStatus &status) {
+        if (status.state == SessionState::Finalized ||
+            status.state == SessionState::Evicted)
+            return true;
+        const bool live =
+            status.state == SessionState::Discovering ||
+            status.state == SessionState::Ingesting ||
+            status.state == SessionState::Quiescent;
+        return live && !status.phases.empty();
+    };
+
     w.key("phases");
     w.beginArray();
     for (const auto &session : all) {
         const SessionStatus &status = session->status;
-        if (status.state != SessionState::Finalized &&
-            status.state != SessionState::Evicted)
+        if (!phase_worthy(status))
             continue;
         w.beginObject();
         w.field("name", status.name);
-        w.field("algorithm", status.algorithm);
+        w.field("algorithm", status.algorithm.empty()
+                    ? status.detector
+                    : status.algorithm);
+        w.field("exact", status.phases_exact);
+        w.field("steps_behind", status.steps_behind);
         w.key("phases");
         w.beginArray();
         for (const PhaseSummary &phase : status.phases) {
@@ -889,12 +981,15 @@ SessionManager::writeStatusJson(std::ostream &out,
     w.beginArray();
     for (const auto &session : all) {
         const SessionStatus &status = session->status;
-        if (status.state != SessionState::Finalized &&
-            status.state != SessionState::Evicted)
+        if (!phase_worthy(status))
             continue;
         w.beginObject();
         w.field("name", status.name);
-        w.field("algorithm", status.algorithm);
+        w.field("algorithm", status.algorithm.empty()
+                    ? status.detector
+                    : status.algorithm);
+        w.field("exact", status.phases_exact);
+        w.field("steps_behind", status.steps_behind);
         w.field("steps", status.steps);
         w.field("phase_count",
                 static_cast<std::uint64_t>(

@@ -118,6 +118,28 @@ struct SessionStatus
     std::vector<PhaseSummary> phases;
 
     /**
+     * The phase algorithm the session is configured to run —
+     * known from admission, unlike `algorithm` which reports what
+     * actually ran once Finalized.
+     */
+    std::string detector;
+
+    /**
+     * Staleness of the live phase snapshot: aggregated steps the
+     * streaming detectors have not consumed yet. Updated every
+     * ingest pass; 0 once Finalized (and always 0 when
+     * live-phase streaming is off).
+     */
+    std::uint64_t steps_behind = 0;
+
+    /**
+     * The phases/coverage fields are the batch detector's final
+     * answer (true once Finalized) rather than a live streaming
+     * snapshot (false mid-ingest).
+     */
+    bool phases_exact = false;
+
+    /**
      * This session was restored from the journal after a restart
      * (process-lifetime fact; never persisted to the journal
      * itself).
@@ -169,6 +191,17 @@ struct ServeOptions
 
     /** Analyzer configuration for every session. */
     AnalyzerOptions analyzer;
+
+    /**
+     * Keep streaming detectors live in every session (sets
+     * analyzer.streaming) so the status document answers phase and
+     * coverage queries *while* a stream ingests: per-poll snapshot
+     * updates at bounded cost, each tagged with its `steps_behind`
+     * staleness and exact=false until the batch finalize replaces
+     * it. Off, phases appear only after finalize — the pre-
+     * streaming behavior.
+     */
+    bool live_phases = true;
 
     /**
      * Tail-follow in salvage mode (drop damaged chunks, keep
@@ -376,6 +409,7 @@ class SessionManager
     std::int64_t nowMs() const;
     void scanSpool(std::int64_t now);
     bool ingestOne(Session &session, std::int64_t now);
+    void refreshLivePhases(Session &session);
     void finalizeOne(Session &session, std::int64_t now);
     void quarantine(Session &session, const std::string &why);
     void updateLagGauges(std::int64_t now) const;

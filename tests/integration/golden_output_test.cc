@@ -248,6 +248,78 @@ TEST(GoldenOutput, ExportTrace)
     expectGolden("export_trace.json", out.str());
 }
 
+// Streaming-vs-batch agreement across the Table I workloads the
+// paper characterizes. Three claims, each at --threads 1, 2 and 8:
+// a streaming-mode session's finalize() output is byte-identical
+// to the batch path (so turning live phases on can never change
+// an archived analysis); the streaming OLS phase boundaries equal
+// the batch OLS groups exactly (the snapshot is the same fold,
+// finished once); and the mini-batch k-means reservoir estimate
+// of top-3 coverage lands within a pinned tolerance of the batch
+// answer.
+TEST(GoldenOutput, StreamingAgreementAcrossTableIWorkloads)
+{
+    constexpr WorkloadId kTableOne[] = {
+        WorkloadId::BertMrpc,      WorkloadId::DcganMnist,
+        WorkloadId::QanetSquad,    WorkloadId::RetinanetCoco,
+        WorkloadId::ResnetImagenet};
+    for (const WorkloadId id : kTableOne) {
+        SCOPED_TRACE(workloadName(id));
+        const ProfiledRun run =
+            profileWorkload(id, TpuGeneration::V3);
+        ASSERT_FALSE(run.records.empty());
+
+        AnalyzerOptions batch_opts;
+        batch_opts.algorithm = PhaseAlgorithm::OnlineLinearScan;
+        batch_opts.extra_algorithms = {PhaseAlgorithm::KMeans};
+        const AnalysisResult batch =
+            TpuPointAnalyzer(batch_opts).analyze(run.records,
+                                                 run.checkpoints);
+        const std::string batch_json = analysisJson(batch);
+        ASSERT_EQ(batch.detections.size(), 2u);
+        const double batch_coverage =
+            batch.detections[1].top3_coverage;
+
+        for (const unsigned threads : {1u, 2u, 8u}) {
+            AnalyzerOptions opts = batch_opts;
+            opts.threads = threads;
+            opts.streaming = true;
+            AnalysisSession session(opts);
+            for (const auto &record : run.records)
+                session.ingest(record);
+            const PartialResult mid = session.partialResult();
+            ASSERT_EQ(mid.snapshots.size(), 2u);
+            EXPECT_TRUE(mid.snapshots[0].exact);
+            EXPECT_TRUE(mid.snapshots[1].sampled);
+
+            const AnalysisResult streamed =
+                session.finalize(run.checkpoints);
+            EXPECT_EQ(analysisJson(streamed), batch_json)
+                << "streaming output diverges at --threads "
+                << threads;
+
+            const PartialResult fin = session.partialResult();
+            EXPECT_EQ(fin.steps_behind, 0u);
+            const StreamingSnapshot &ols = fin.snapshots[0];
+            ASSERT_EQ(ols.phases.size(), batch.ols_groups.size());
+            for (std::size_t i = 0; i < ols.phases.size(); ++i) {
+                EXPECT_EQ(ols.phases[i].steps,
+                          batch.ols_groups[i].steps)
+                    << "OLS phase " << i;
+                EXPECT_EQ(ols.phases[i].duration,
+                          batch.ols_groups[i].duration)
+                    << "OLS phase " << i;
+            }
+            const StreamingSnapshot &kmeans = fin.snapshots[1];
+            EXPECT_NEAR(kmeans.top3_coverage, batch_coverage,
+                        0.15)
+                << "k-means reservoir estimate drifted at "
+                   "--threads "
+                << threads;
+        }
+    }
+}
+
 TEST(GoldenOutput, SalvagedAnalysis)
 {
     const ProfiledRun &run = runV2();

@@ -321,6 +321,129 @@ TEST(ServeTest, StatusJsonValidatesAndSectionsExtract)
     EXPECT_NE(value.find("\"run\""), std::string::npos);
 }
 
+// A writer mid-stream: live phases publish while the session is
+// still ingesting, marked inexact and staleness-stamped, then the
+// finalize pass replaces them with the exact answer.
+TEST(ServeTest, LivePhasesPublishMidIngest)
+{
+    ManagedSpool spool("serve_live_phases");
+    const std::string bytes = analyzableStream();
+    // Most of the stream, cut mid-chunk: ingest makes progress
+    // but the session stays live.
+    writeFile(spool.dir + "/grow.tpp",
+              std::string_view(bytes).substr(
+                  0, bytes.size() * 2 / 3));
+    spool.manager->poll();
+
+    const auto mid = spool.status("grow");
+    ASSERT_EQ(mid.state, serve::SessionState::Ingesting);
+    EXPECT_EQ(mid.detector, "OLS");
+    EXPECT_FALSE(mid.phases.empty());
+    EXPECT_FALSE(mid.phases_exact);
+    EXPECT_GT(mid.steps_behind, 0u);
+    EXPECT_GT(mid.top3_coverage, 0.0);
+
+    // The status document answers `--query phases` for the live
+    // session, carrying the staleness fields.
+    std::ostringstream out;
+    spool.manager->writeStatusJson(out);
+    std::string section;
+    ASSERT_TRUE(serve::extractStatusSection(out.str(), "phases",
+                                            &section));
+    EXPECT_NE(section.find("\"grow\""), std::string::npos);
+    EXPECT_NE(section.find("steps_behind"), std::string::npos);
+    std::string coverage;
+    ASSERT_TRUE(serve::extractStatusSection(out.str(), "coverage",
+                                            &coverage));
+    EXPECT_NE(coverage.find("\"grow\""), std::string::npos);
+
+    // The writer finishes; finalize supersedes the snapshot with
+    // the exact batch answer and the staleness drains to zero.
+    writeFile(spool.dir + "/grow.tpp", bytes);
+    spool.manager->poll(); // Ingest the rest (complete).
+    spool.manager->poll(); // Finalize.
+    const auto &fin = spool.status("grow");
+    EXPECT_EQ(fin.state, serve::SessionState::Finalized);
+    EXPECT_TRUE(fin.phases_exact);
+    EXPECT_EQ(fin.steps_behind, 0u);
+    EXPECT_FALSE(fin.phases.empty());
+    EXPECT_GT(fin.top3_coverage, 0.0);
+}
+
+// --no-live-phases: mid-ingest queries stay quiet, finalize-only
+// answers exactly as before the streaming path existed.
+TEST(ServeTest, LivePhasesDisabledKeepsMidIngestQuiet)
+{
+    ManagedSpool spool("serve_no_live");
+    spool.options.live_phases = false;
+    spool.manager =
+        std::make_unique<serve::SessionManager>(spool.options);
+    const std::string bytes = analyzableStream();
+    writeFile(spool.dir + "/still.tpp",
+              std::string_view(bytes).substr(
+                  0, bytes.size() * 2 / 3));
+    spool.manager->poll();
+    const auto mid = spool.status("still");
+    ASSERT_EQ(mid.state, serve::SessionState::Ingesting);
+    EXPECT_TRUE(mid.phases.empty());
+    EXPECT_EQ(mid.top3_coverage, 0.0);
+
+    writeFile(spool.dir + "/still.tpp", bytes);
+    spool.manager->poll();
+    spool.manager->poll();
+    const auto &fin = spool.status("still");
+    EXPECT_EQ(fin.state, serve::SessionState::Finalized);
+    EXPECT_TRUE(fin.phases_exact);
+    EXPECT_FALSE(fin.phases.empty());
+}
+
+// Restart mid-ingest: recovery replays the spool through the
+// streaming session and re-derives the same live snapshot the
+// lost process had published.
+TEST(ServeTest, RestartMidIngestRecoversLivePhases)
+{
+    ManagedSpool spool("serve_live_restart");
+    spool.options.journal_path =
+        spool.dir + "/serve.journal";
+    spool.manager =
+        std::make_unique<serve::SessionManager>(spool.options);
+    const std::string bytes = analyzableStream();
+    writeFile(spool.dir + "/grow.tpp",
+              std::string_view(bytes).substr(
+                  0, bytes.size() * 2 / 3));
+    spool.manager->poll();
+    const auto before = spool.status("grow");
+    ASSERT_EQ(before.state, serve::SessionState::Ingesting);
+    ASSERT_FALSE(before.phases.empty());
+    ASSERT_TRUE(spool.manager->commitJournal());
+
+    // "Crash" and restart against the same spool + journal.
+    spool.manager =
+        std::make_unique<serve::SessionManager>(spool.options);
+    const auto after = spool.status("grow");
+    EXPECT_EQ(after.state, serve::SessionState::Ingesting);
+    EXPECT_EQ(after.detector, "OLS");
+    EXPECT_FALSE(after.phases_exact);
+    ASSERT_EQ(after.phases.size(), before.phases.size());
+    for (std::size_t i = 0; i < after.phases.size(); ++i) {
+        EXPECT_EQ(after.phases[i].first_step,
+                  before.phases[i].first_step);
+        EXPECT_EQ(after.phases[i].last_step,
+                  before.phases[i].last_step);
+        EXPECT_EQ(after.phases[i].steps, before.phases[i].steps);
+    }
+    EXPECT_DOUBLE_EQ(after.top3_coverage, before.top3_coverage);
+
+    // The recovered session still finalizes normally.
+    writeFile(spool.dir + "/grow.tpp", bytes);
+    spool.manager->poll();
+    spool.manager->poll();
+    const auto &fin = spool.status("grow");
+    EXPECT_EQ(fin.state, serve::SessionState::Finalized);
+    EXPECT_TRUE(fin.phases_exact);
+    EXPECT_EQ(fin.steps_behind, 0u);
+}
+
 TEST(ServeTest, ExtractSectionSurvivesTrickyStrings)
 {
     const std::string doc =

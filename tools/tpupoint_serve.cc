@@ -20,6 +20,11 @@
  *   the OpenMetrics exposition, refreshed atomically every tick.)
  * Query mode (against a running daemon's published files):
  *   tpupoint-serve --query phases --status status.json
+ *   (phases/coverage answer mid-ingest with live streaming
+ *   snapshots — each entry carries `exact` and `steps_behind` so
+ *   readers can tell a snapshot from a finalized answer; pass
+ *   --no-live-phases to the daemon to restore finalize-only
+ *   answers)
  *   tpupoint-serve --query health --status status.json
  *   tpupoint-serve --query metrics --status status.json
  *
@@ -306,6 +311,10 @@ main(int argc, char **argv)
                       }
                       return true;
                   });
+    parser.toggle("--no-live-phases",
+                  "disable incremental phase detection: phases "
+                  "and coverage appear only after finalize",
+                  [&]() { serve_options.live_phases = false; });
     parser.toggle("--no-salvage",
                   "strict tail reads: structural damage parks the "
                   "session instead of resynchronizing",
